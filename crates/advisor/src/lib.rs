@@ -1,0 +1,454 @@
+//! # dayu-advisor
+//!
+//! The optimization guideline engine (Section III-A of the paper). Given the
+//! analyzer's findings, it emits concrete recommendations under the four
+//! guideline families:
+//!
+//! 1. **Customized Caching** — prioritize frequently reused data in the
+//!    fastest available storage or memory (intra- and inter-task reuse);
+//! 2. **Partial File Access** — access only the needed file segments,
+//!    leaving unused datasets behind;
+//! 3. **Customized Prefetching** — prefetch anticipated inputs to fast/local
+//!    storage, delay prefetch under congestion, stage shared data to
+//!    node-local storage to cut per-file concurrency;
+//! 4. **Data Format Optimization** — contiguous for small or sequentially
+//!    read fixed-length data, chunked for random/parallel access and for
+//!    variable-length data; consolidate many small datasets.
+//!
+//! Plus the scheduling moves the paper's evaluation applies: co-scheduling
+//! producer/consumer chains, parallelizing data-independent tasks, and
+//! staging out disposable data.
+
+use dayu_analyzer::Finding;
+use serde::{Deserialize, Serialize};
+
+/// Which Section III-A guideline family a recommendation belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Guideline {
+    /// III-A.1.
+    CustomizedCaching,
+    /// III-A.2.
+    PartialFileAccess,
+    /// III-A.3.
+    CustomizedPrefetching,
+    /// III-A.4.
+    DataFormatOptimization,
+    /// Scheduling moves used in the evaluation (co-scheduling, task
+    /// parallelization, stage-out).
+    Scheduling,
+}
+
+/// The concrete action recommended.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Cache the target in memory or the fastest node-local tier.
+    CacheInFastTier {
+        /// File (or dataset label) to cache.
+        target: String,
+    },
+    /// Read only the needed datasets; skip the named unused one.
+    SkipUnusedDataset {
+        /// Dataset label (`file:path`).
+        dataset: String,
+    },
+    /// Prefetch the file to node-local storage before its consumer starts.
+    PrefetchToNodeLocal {
+        /// The file.
+        file: String,
+        /// Delay the prefetch until shortly before first use (reduces
+        /// congestion; paper Fig. 4 circle 2).
+        delayed: bool,
+    },
+    /// Convert a dataset's layout.
+    ChangeLayout {
+        /// Dataset label.
+        dataset: String,
+        /// `"contiguous"` or `"chunked"`.
+        to: String,
+    },
+    /// Consolidate many small datasets of a file into one large dataset,
+    /// tracking original offsets.
+    ConsolidateSmallDatasets {
+        /// The file.
+        file: String,
+        /// How many datasets would merge.
+        count: usize,
+    },
+    /// Run the producer and consumer on the same node.
+    CoSchedule {
+        /// Producing task.
+        producer: String,
+        /// Consuming task.
+        consumer: String,
+    },
+    /// Run two data-independent tasks in parallel.
+    Parallelize {
+        /// First task.
+        first: String,
+        /// Second task.
+        second: String,
+    },
+    /// Move the file to slower storage once its last consumer finished.
+    StageOut {
+        /// The file.
+        file: String,
+    },
+}
+
+/// A recommendation: an action, its guideline family, and the rationale
+/// derived from the triggering finding.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Guideline family.
+    pub guideline: Guideline,
+    /// Concrete action.
+    pub action: Action,
+    /// Human-readable rationale.
+    pub rationale: String,
+}
+
+/// Derives recommendations from analyzer findings.
+pub fn advise(findings: &[Finding]) -> Vec<Recommendation> {
+    let mut out = Vec::new();
+    for f in findings {
+        match f {
+            Finding::DataReuse { file, readers } => out.push(Recommendation {
+                guideline: Guideline::CustomizedCaching,
+                action: Action::CacheInFastTier {
+                    target: file.clone(),
+                },
+                rationale: format!(
+                    "{file} is read by {} tasks ({}); keeping it in the fastest tier \
+                     avoids repeated shared-storage accesses",
+                    readers.len(),
+                    readers.join(", ")
+                ),
+            }),
+            Finding::WriteAfterRead { task, file }
+            | Finding::ReadAfterWrite { task, file } => out.push(Recommendation {
+                guideline: Guideline::CustomizedCaching,
+                action: Action::CacheInFastTier {
+                    target: file.clone(),
+                },
+                rationale: format!(
+                    "{task} revisits {file} within its lifetime; intra-task reuse \
+                     benefits from memory caching"
+                ),
+            }),
+            Finding::TimeDependentInput {
+                file,
+                first_access_fraction,
+            } => out.push(Recommendation {
+                guideline: Guideline::CustomizedPrefetching,
+                action: Action::PrefetchToNodeLocal {
+                    file: file.clone(),
+                    delayed: true,
+                },
+                rationale: format!(
+                    "{file} is first needed {:.0}% into the workflow; delaying its \
+                     prefetch until just before use reduces congestion and saves \
+                     local space",
+                    first_access_fraction * 100.0
+                ),
+            }),
+            Finding::DisposableData { file, .. } => out.push(Recommendation {
+                guideline: Guideline::Scheduling,
+                action: Action::StageOut {
+                    file: file.clone(),
+                },
+                rationale: format!(
+                    "{file} has at most one consumer; once processed it can move to \
+                     slower storage, freeing space for later-stage data"
+                ),
+            }),
+            Finding::SmallScatteredDatasets {
+                file,
+                dataset_count,
+                mean_bytes,
+            } => out.push(Recommendation {
+                guideline: Guideline::DataFormatOptimization,
+                action: Action::ConsolidateSmallDatasets {
+                    file: file.clone(),
+                    count: *dataset_count,
+                },
+                rationale: format!(
+                    "{file} holds {dataset_count} datasets averaging {mean_bytes:.0} \
+                     bytes; consolidating them into one large dataset cuts per-dataset \
+                     metadata I/O"
+                ),
+            }),
+            Finding::UnusedDataset {
+                dataset,
+                metadata_only_readers,
+                never_read,
+                ..
+            } => out.push(Recommendation {
+                guideline: Guideline::PartialFileAccess,
+                action: Action::SkipUnusedDataset {
+                    dataset: dataset.clone(),
+                },
+                rationale: if *never_read {
+                    format!("{dataset} is written but never read; skip moving it")
+                } else {
+                    format!(
+                        "{dataset} is only touched for metadata by {}; exclude its \
+                         content from data movement",
+                        metadata_only_readers.join(", ")
+                    )
+                },
+            }),
+            Finding::IndependentTasks { first, second } => out.push(Recommendation {
+                guideline: Guideline::Scheduling,
+                action: Action::Parallelize {
+                    first: first.clone(),
+                    second: second.clone(),
+                },
+                rationale: format!(
+                    "{first} and {second} share no files; with a pre-trained model \
+                     (or equivalent control dependency resolved) they can overlap"
+                ),
+            }),
+            Finding::MetadataHeavyFile {
+                file,
+                metadata_fraction,
+                ..
+            } => out.push(Recommendation {
+                guideline: Guideline::DataFormatOptimization,
+                action: Action::CacheInFastTier {
+                    target: file.clone(),
+                },
+                rationale: format!(
+                    "{:.0}% of {file}'s operations are metadata; placing it on a \
+                     low-latency tier (or restructuring its layout) pays off",
+                    metadata_fraction * 100.0
+                ),
+            }),
+            Finding::ChunkedSmallDataset { dataset, bytes } => out.push(Recommendation {
+                guideline: Guideline::DataFormatOptimization,
+                action: Action::ChangeLayout {
+                    dataset: dataset.clone(),
+                    to: "contiguous".into(),
+                },
+                rationale: format!(
+                    "{dataset} is only {bytes} bytes but chunked; the chunk index \
+                     adds metadata overhead and extra I/O — use contiguous layout"
+                ),
+            }),
+            Finding::RandomAccessContiguous {
+                dataset,
+                sequential_fraction,
+                ops,
+            } => out.push(Recommendation {
+                guideline: Guideline::DataFormatOptimization,
+                action: Action::ChangeLayout {
+                    dataset: dataset.clone(),
+                    to: "chunked".into(),
+                },
+                rationale: format!(
+                    "{dataset} is large, contiguous, and accessed non-sequentially \
+                     ({ops} ops, only {:.0}% sequential); chunked layout indexes the \
+                     regions being accessed",
+                    sequential_fraction * 100.0
+                ),
+            }),
+            Finding::ContiguousVarlenDataset { dataset, bytes } => out.push(Recommendation {
+                guideline: Guideline::DataFormatOptimization,
+                action: Action::ChangeLayout {
+                    dataset: dataset.clone(),
+                    to: "chunked".into(),
+                },
+                rationale: format!(
+                    "{dataset} stores {bytes} bytes of variable-length data \
+                     contiguously; chunked layout provides the index metadata for \
+                     efficient random access"
+                ),
+            }),
+            Finding::CoSchedulable {
+                producer,
+                consumer,
+                file,
+            } => out.push(Recommendation {
+                guideline: Guideline::Scheduling,
+                action: Action::CoSchedule {
+                    producer: producer.clone(),
+                    consumer: consumer.clone(),
+                },
+                rationale: format!(
+                    "{consumer} reads only {producer}'s output ({file}); running \
+                     both on one node turns shared-storage traffic into local I/O"
+                ),
+            }),
+        }
+    }
+    out
+}
+
+/// Formats recommendations as a plain-text report.
+pub fn report(recs: &[Recommendation]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "DaYu optimization recommendations ({}):", recs.len());
+    for (i, r) in recs.iter().enumerate() {
+        let _ = writeln!(out, "{:2}. [{:?}] {:?}", i + 1, r.guideline, r.action);
+        let _ = writeln!(out, "     {}", r.rationale);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_trace::time::Timestamp;
+
+    #[test]
+    fn every_finding_kind_yields_a_recommendation() {
+        let findings = vec![
+            Finding::DataReuse {
+                file: "a.h5".into(),
+                readers: vec!["r1".into(), "r2".into()],
+            },
+            Finding::WriteAfterRead {
+                task: "t".into(),
+                file: "a.h5".into(),
+            },
+            Finding::ReadAfterWrite {
+                task: "t".into(),
+                file: "b.h5".into(),
+            },
+            Finding::TimeDependentInput {
+                file: "late.h5".into(),
+                first_access_fraction: 0.6,
+            },
+            Finding::DisposableData {
+                file: "tmp.h5".into(),
+                after: Timestamp(100),
+            },
+            Finding::SmallScatteredDatasets {
+                file: "s.h5".into(),
+                dataset_count: 32,
+                mean_bytes: 300.0,
+            },
+            Finding::UnusedDataset {
+                dataset: "agg.h5:/contact_map".into(),
+                written_by: vec!["agg".into()],
+                metadata_only_readers: vec!["train".into()],
+                never_read: false,
+            },
+            Finding::IndependentTasks {
+                first: "train".into(),
+                second: "infer".into(),
+            },
+            Finding::MetadataHeavyFile {
+                file: "m.h5".into(),
+                metadata_fraction: 0.8,
+                total_ops: 100,
+            },
+            Finding::ChunkedSmallDataset {
+                dataset: "d.h5:/small".into(),
+                bytes: 800,
+            },
+            Finding::ContiguousVarlenDataset {
+                dataset: "v.h5:/images".into(),
+                bytes: 6 << 20,
+            },
+            Finding::CoSchedulable {
+                producer: "s3".into(),
+                consumer: "s4".into(),
+                file: "tracks.h5".into(),
+            },
+        ];
+        let recs = advise(&findings);
+        assert_eq!(recs.len(), findings.len());
+    }
+
+    #[test]
+    fn guideline_mapping_matches_paper() {
+        let recs = advise(&[
+            Finding::DataReuse {
+                file: "a".into(),
+                readers: vec!["x".into(), "y".into()],
+            },
+            Finding::UnusedDataset {
+                dataset: "f:/d".into(),
+                written_by: vec![],
+                metadata_only_readers: vec![],
+                never_read: true,
+            },
+            Finding::TimeDependentInput {
+                file: "l".into(),
+                first_access_fraction: 0.5,
+            },
+            Finding::ContiguousVarlenDataset {
+                dataset: "v:/i".into(),
+                bytes: 1,
+            },
+        ]);
+        assert_eq!(recs[0].guideline, Guideline::CustomizedCaching);
+        assert_eq!(recs[1].guideline, Guideline::PartialFileAccess);
+        assert_eq!(recs[2].guideline, Guideline::CustomizedPrefetching);
+        assert_eq!(recs[3].guideline, Guideline::DataFormatOptimization);
+    }
+
+    #[test]
+    fn layout_directions_are_correct() {
+        let recs = advise(&[
+            Finding::ChunkedSmallDataset {
+                dataset: "d:/s".into(),
+                bytes: 100,
+            },
+            Finding::ContiguousVarlenDataset {
+                dataset: "d:/v".into(),
+                bytes: 100,
+            },
+        ]);
+        assert_eq!(
+            recs[0].action,
+            Action::ChangeLayout {
+                dataset: "d:/s".into(),
+                to: "contiguous".into()
+            }
+        );
+        assert_eq!(
+            recs[1].action,
+            Action::ChangeLayout {
+                dataset: "d:/v".into(),
+                to: "chunked".into()
+            }
+        );
+    }
+
+    #[test]
+    fn delayed_prefetch_for_late_inputs() {
+        let recs = advise(&[Finding::TimeDependentInput {
+            file: "late.h5".into(),
+            first_access_fraction: 0.72,
+        }]);
+        match &recs[0].action {
+            Action::PrefetchToNodeLocal { file, delayed } => {
+                assert_eq!(file, "late.h5");
+                assert!(*delayed);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert!(recs[0].rationale.contains("72%"));
+    }
+
+    #[test]
+    fn report_is_readable() {
+        let recs = advise(&[Finding::CoSchedulable {
+            producer: "s3".into(),
+            consumer: "s4".into(),
+            file: "t.h5".into(),
+        }]);
+        let text = report(&recs);
+        assert!(text.contains("1 recommendations") || text.contains("(1)"));
+        assert!(text.contains("CoSchedule"));
+        assert!(text.contains("s3"));
+    }
+
+    #[test]
+    fn empty_findings_empty_recs() {
+        assert!(advise(&[]).is_empty());
+        assert!(report(&[]).contains("(0)"));
+    }
+}

@@ -1,0 +1,428 @@
+//! FTG and SDG construction from trace bundles (Section V of the paper).
+//!
+//! * [`build_ftg`] — the complete-overview graph: files and tasks as nodes,
+//!   directed read/write edges decorated with access statistics.
+//! * [`build_sdg`] — the deeper semantic graph: a dataset layer between
+//!   tasks and files, optionally enriched with file-address region nodes
+//!   showing where each dataset's content lands in the file (Fig. 3/8).
+//!
+//! Edges are primarily derived from the VFD trace (low-level truth,
+//! including the metadata/raw split and the current-object attribution from
+//! the Characteristic Mapper); object-level (VOL) accesses supply logical
+//! volumes and cover runs where time-sensitive I/O tracing was disabled.
+
+use crate::graph::{EdgeStats, Graph, GraphKind, NodeKind, Operation};
+use dayu_trace::store::TraceBundle;
+use dayu_trace::vfd::{AccessType, IoKind};
+use dayu_trace::vol::VolAccessKind;
+
+/// Options for SDG construction.
+#[derive(Clone, Debug)]
+pub struct SdgOptions {
+    /// Whether to add file-address region nodes.
+    pub include_regions: bool,
+    /// How many address regions to divide each file into.
+    pub region_count: u64,
+}
+
+impl Default for SdgOptions {
+    fn default() -> Self {
+        Self {
+            include_regions: false,
+            region_count: 4,
+        }
+    }
+}
+
+fn vfd_stats(rec: &dayu_trace::vfd::VfdRecord) -> EdgeStats {
+    let meta = rec.access == AccessType::Metadata;
+    EdgeStats {
+        access_volume: rec.len,
+        access_count: 1,
+        data_access_count: u64::from(!meta),
+        data_access_volume: if meta { 0 } else { rec.len },
+        metadata_access_count: u64::from(meta),
+        metadata_access_volume: if meta { rec.len } else { 0 },
+        busy_ns: rec.duration(),
+        first: rec.start,
+        last: rec.end,
+    }
+}
+
+/// Builds the File-Task Graph.
+pub fn build_ftg(bundle: &TraceBundle) -> Graph {
+    let mut g = Graph::new(GraphKind::Ftg, bundle.meta.workflow.clone());
+
+    // Seed task nodes in execution order so node ids follow the workflow.
+    for task in bundle.all_tasks() {
+        g.node(NodeKind::Task, task.as_str());
+    }
+
+    for rec in &bundle.vfd {
+        if !rec.kind.moves_data() {
+            continue;
+        }
+        let t = g.node(NodeKind::Task, rec.task.as_str());
+        let f = g.node(NodeKind::File, rec.file.as_str());
+        g.touch_node(t, rec.start, rec.end, rec.len);
+        g.touch_node(f, rec.start, rec.end, rec.len);
+        let stats = vfd_stats(rec);
+        match rec.kind {
+            IoKind::Read => g.edge(f, t, Operation::ReadOnly, stats),
+            IoKind::Write => g.edge(t, f, Operation::WriteOnly, stats),
+            _ => unreachable!(),
+        }
+    }
+
+    // Fallback/supplement: per-file statistics cover runs without I/O
+    // tracing (constant-storage mode).
+    if bundle.vfd.is_empty() {
+        for fr in &bundle.files {
+            let t = g.node(NodeKind::Task, fr.task.as_str());
+            let f = g.node(NodeKind::File, fr.file.as_str());
+            let (start, end) = fr
+                .lifetimes
+                .first()
+                .map(|l| (l.start, l.end))
+                .unwrap_or_default();
+            g.touch_node(t, start, end, fr.stats.total_bytes());
+            g.touch_node(f, start, end, fr.stats.total_bytes());
+            if fr.stats.read_ops > 0 {
+                g.edge(
+                    f,
+                    t,
+                    Operation::ReadOnly,
+                    EdgeStats {
+                        access_volume: fr.stats.bytes_read,
+                        access_count: fr.stats.read_ops,
+                        first: start,
+                        last: end,
+                        ..Default::default()
+                    },
+                );
+            }
+            if fr.stats.write_ops > 0 {
+                g.edge(
+                    t,
+                    f,
+                    Operation::WriteOnly,
+                    EdgeStats {
+                        access_volume: fr.stats.bytes_written,
+                        access_count: fr.stats.write_ops,
+                        first: start,
+                        last: end,
+                        ..Default::default()
+                    },
+                );
+            }
+        }
+    }
+
+    g.normalize_times();
+    g
+}
+
+/// Label of a dataset node: `file:object` (objects are per-file).
+pub fn dataset_label(file: &str, object: &str) -> String {
+    format!("{file}:{object}")
+}
+
+/// Label of an address-region node: `file:[lo-hi)p` in pages.
+pub fn region_label(file: &str, lo_page: u64, hi_page: u64) -> String {
+    format!("{file}:[{lo_page}-{hi_page})p")
+}
+
+/// Builds the Semantic Dataflow Graph.
+pub fn build_sdg(bundle: &TraceBundle, opts: &SdgOptions) -> Graph {
+    let mut g = Graph::new(GraphKind::Sdg, bundle.meta.workflow.clone());
+    for task in bundle.all_tasks() {
+        g.node(NodeKind::Task, task.as_str());
+    }
+
+    // Region geometry per file: observed extent split into region_count
+    // page-aligned pieces.
+    let page = bundle.meta.page_size.max(1);
+    let mut file_extent: std::collections::HashMap<&str, u64> = Default::default();
+    if opts.include_regions {
+        for rec in &bundle.vfd {
+            if rec.kind.moves_data() {
+                let e = file_extent.entry(rec.file.as_str()).or_default();
+                *e = (*e).max(rec.offset + rec.len);
+            }
+        }
+    }
+    let region_of = |file: &str, offset: u64| -> (u64, u64) {
+        let extent = file_extent.get(file).copied().unwrap_or(0).max(1);
+        let total_pages = extent.div_ceil(page);
+        let per_region = total_pages.div_ceil(opts.region_count.max(1)).max(1);
+        let page_idx = offset / page;
+        let region = (page_idx / per_region).min(opts.region_count - 1);
+        let lo = region * per_region;
+        let hi = ((region + 1) * per_region).min(total_pages.max(1));
+        (lo, hi)
+    };
+
+    // Low-level truth: edges from attributed VFD records.
+    for rec in &bundle.vfd {
+        if !rec.kind.moves_data() {
+            continue;
+        }
+        let t = g.node(NodeKind::Task, rec.task.as_str());
+        let f = g.node(NodeKind::File, rec.file.as_str());
+        let d = g.node(
+            NodeKind::Dataset,
+            &dataset_label(rec.file.as_str(), rec.object.as_str()),
+        );
+        g.touch_node(t, rec.start, rec.end, rec.len);
+        g.touch_node(f, rec.start, rec.end, rec.len);
+        g.touch_node(d, rec.start, rec.end, rec.len);
+        let stats = vfd_stats(rec);
+        match rec.kind {
+            IoKind::Read => g.edge(d, t, Operation::ReadOnly, stats.clone()),
+            IoKind::Write => g.edge(t, d, Operation::WriteOnly, stats.clone()),
+            _ => unreachable!(),
+        }
+        if opts.include_regions {
+            let (lo, hi) = region_of(rec.file.as_str(), rec.offset);
+            let r = g.node(
+                NodeKind::AddrRegion,
+                &region_label(rec.file.as_str(), lo, hi),
+            );
+            g.touch_node(r, rec.start, rec.end, rec.len);
+            g.edge(d, r, Operation::Structural, stats);
+            g.edge(r, f, Operation::Structural, EdgeStats::default());
+        } else {
+            g.edge(d, f, Operation::Structural, EdgeStats::default());
+        }
+    }
+
+    // Semantic layer: object-level accesses (logical volumes, and coverage
+    // when I/O tracing was off). Only the logical volume and count are
+    // added; low-level splits came from the VFD records above.
+    for rec in &bundle.vol {
+        if rec.accesses.is_empty() {
+            continue;
+        }
+        let t = g.node(NodeKind::Task, rec.task.as_str());
+        let d = g.node(
+            NodeKind::Dataset,
+            &dataset_label(rec.file.as_str(), rec.object.as_str()),
+        );
+        let f = g.node(NodeKind::File, rec.file.as_str());
+        if bundle.vfd.is_empty() {
+            // No low-level records: this is the only source of edges.
+            for a in &rec.accesses {
+                let stats = EdgeStats {
+                    access_volume: a.bytes,
+                    access_count: a.count,
+                    first: a.at,
+                    last: a.at,
+                    ..Default::default()
+                };
+                g.touch_node(t, a.at, a.at, a.bytes);
+                g.touch_node(d, a.at, a.at, a.bytes);
+                match a.kind {
+                    VolAccessKind::Read => g.edge(d, t, Operation::ReadOnly, stats),
+                    VolAccessKind::Write => g.edge(t, d, Operation::WriteOnly, stats),
+                }
+            }
+            g.edge(d, f, Operation::Structural, EdgeStats::default());
+        }
+        let (start, end) = rec
+            .lifetimes
+            .first()
+            .map(|l| (l.start, l.end))
+            .unwrap_or_default();
+        g.touch_node(d, start, end, 0);
+    }
+
+    g.normalize_times();
+    g
+}
+
+#[cfg(test)]
+#[allow(clippy::too_many_arguments)] // the test factory mirrors VfdRecord's fields
+mod tests {
+    use super::*;
+    use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
+    use dayu_trace::time::Timestamp;
+    use dayu_trace::vfd::VfdRecord;
+
+    fn rec(
+        task: &str,
+        file: &str,
+        object: &str,
+        kind: IoKind,
+        offset: u64,
+        len: u64,
+        access: AccessType,
+        at: u64,
+    ) -> VfdRecord {
+        VfdRecord {
+            task: TaskKey::new(task),
+            file: FileKey::new(file),
+            kind,
+            offset,
+            len,
+            access,
+            object: ObjectKey::new(object),
+            start: Timestamp(at),
+            end: Timestamp(at + 10),
+        }
+    }
+
+    fn sample_bundle() -> TraceBundle {
+        let mut b = TraceBundle::new("wf");
+        b.push_task(TaskKey::new("producer"));
+        b.push_task(TaskKey::new("consumer"));
+        b.vfd = vec![
+            rec("producer", "a.h5", "/d1", IoKind::Write, 0, 64, AccessType::Metadata, 0),
+            rec("producer", "a.h5", "/d1", IoKind::Write, 4096, 1000, AccessType::RawData, 10),
+            rec("consumer", "a.h5", "/d1", IoKind::Read, 4096, 1000, AccessType::RawData, 100),
+            rec("consumer", "b.h5", "/d2", IoKind::Write, 0, 500, AccessType::RawData, 200),
+        ];
+        b
+    }
+
+    #[test]
+    fn ftg_structure() {
+        let g = build_ftg(&sample_bundle());
+        assert_eq!(g.kind, GraphKind::Ftg);
+        assert_eq!(g.nodes_of(NodeKind::Task).count(), 2);
+        assert_eq!(g.nodes_of(NodeKind::File).count(), 2);
+        assert_eq!(g.nodes_of(NodeKind::Dataset).count(), 0, "FTG has no dataset layer");
+
+        // producer → a.h5 (writes, merged), a.h5 → consumer (read),
+        // consumer → b.h5 (write).
+        assert_eq!(g.edges.len(), 3);
+        let prod = g.find(NodeKind::Task, "producer").unwrap().id;
+        let a = g.find(NodeKind::File, "a.h5").unwrap().id;
+        let w = g
+            .edges
+            .iter()
+            .find(|e| e.from == prod && e.to == a)
+            .unwrap();
+        assert_eq!(w.stats.access_count, 2);
+        assert_eq!(w.stats.access_volume, 1064);
+        assert_eq!(w.stats.metadata_access_count, 1);
+        assert_eq!(w.stats.data_access_volume, 1000);
+        assert_eq!(w.stats.first, Timestamp(0));
+        assert_eq!(w.stats.last, Timestamp(20));
+        assert!(w.stats.bandwidth().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn ftg_falls_back_to_file_records() {
+        let mut b = TraceBundle::new("wf");
+        b.push_task(TaskKey::new("t"));
+        b.files.push(dayu_trace::vfd::FileRecord {
+            task: TaskKey::new("t"),
+            file: FileKey::new("f.h5"),
+            lifetimes: vec![dayu_trace::time::Interval::new(Timestamp(0), Timestamp(9))],
+            stats: {
+                let mut s = dayu_trace::vfd::FileStats::default();
+                s.record(IoKind::Read, 0, 100, AccessType::RawData);
+                s.record(IoKind::Write, 100, 300, AccessType::RawData);
+                s
+            },
+        });
+        let g = build_ftg(&b);
+        assert_eq!(g.edges.len(), 2, "read and write edges from stats");
+        let f = g.find(NodeKind::File, "f.h5").unwrap();
+        assert_eq!(f.volume, 400);
+    }
+
+    #[test]
+    fn sdg_has_dataset_layer_with_attribution() {
+        let g = build_sdg(&sample_bundle(), &SdgOptions::default());
+        assert_eq!(g.kind, GraphKind::Sdg);
+        assert_eq!(g.nodes_of(NodeKind::Dataset).count(), 2);
+
+        let d1 = g.find(NodeKind::Dataset, "a.h5:/d1").unwrap().id;
+        let cons = g.find(NodeKind::Task, "consumer").unwrap().id;
+        let read_edge = g
+            .edges
+            .iter()
+            .find(|e| e.from == d1 && e.to == cons)
+            .expect("dataset → consumer read edge");
+        assert_eq!(read_edge.op, Operation::ReadOnly);
+        assert_eq!(read_edge.stats.data_access_count, 1);
+        assert_eq!(read_edge.stats.metadata_access_count, 0);
+
+        // Structural containment edge dataset → file.
+        let a = g.find(NodeKind::File, "a.h5").unwrap().id;
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == d1 && e.to == a && e.op == Operation::Structural));
+    }
+
+    #[test]
+    fn sdg_with_regions() {
+        let mut b = sample_bundle();
+        // Spread writes to make 2 distinguishable regions in a.h5.
+        b.vfd.push(rec(
+            "producer", "a.h5", "/d1",
+            IoKind::Write, 100_000, 1000, AccessType::RawData, 30,
+        ));
+        let g = build_sdg(
+            &b,
+            &SdgOptions {
+                include_regions: true,
+                region_count: 4,
+            },
+        );
+        let regions: Vec<&str> = g
+            .nodes_of(NodeKind::AddrRegion)
+            .map(|n| n.label.as_str())
+            .collect();
+        assert!(regions.len() >= 2, "distinct regions: {regions:?}");
+        // Region nodes connect to the file, datasets connect to regions,
+        // and no dataset connects directly to the file.
+        let d1 = g.find(NodeKind::Dataset, "a.h5:/d1").unwrap().id;
+        let a = g.find(NodeKind::File, "a.h5").unwrap().id;
+        assert!(!g.edges.iter().any(|e| e.from == d1 && e.to == a));
+        let region_id = g.nodes_of(NodeKind::AddrRegion).next().unwrap().id;
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == region_id && e.to == a));
+    }
+
+    #[test]
+    fn sdg_from_vol_only() {
+        let mut b = TraceBundle::new("wf");
+        b.push_task(TaskKey::new("t"));
+        b.vol.push(dayu_trace::vol::VolRecord {
+            task: TaskKey::new("t"),
+            file: FileKey::new("f.h5"),
+            object: ObjectKey::new("/d"),
+            kind: dayu_trace::vol::ObjectKind::Dataset,
+            lifetimes: vec![],
+            description: Default::default(),
+            accesses: vec![dayu_trace::vol::VolAccess {
+                kind: VolAccessKind::Write,
+                count: 1,
+                bytes: 256,
+                sel_offset: vec![],
+                sel_count: vec![],
+                at: Timestamp(7),
+            }],
+        });
+        let g = build_sdg(&b, &SdgOptions::default());
+        let d = g.find(NodeKind::Dataset, "f.h5:/d").unwrap();
+        assert_eq!(d.volume, 256);
+        let t = g.find(NodeKind::Task, "t").unwrap().id;
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == t && e.to == d.id && e.op == Operation::WriteOnly));
+    }
+
+    #[test]
+    fn empty_bundle_builds_empty_graphs() {
+        let b = TraceBundle::new("wf");
+        assert_eq!(build_ftg(&b).nodes.len(), 0);
+        assert_eq!(build_sdg(&b, &SdgOptions::default()).nodes.len(), 0);
+    }
+}

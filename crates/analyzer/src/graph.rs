@@ -1,0 +1,400 @@
+//! The decorated dataflow graph model shared by FTGs and SDGs.
+//!
+//! Nodes are tasks, files, datasets or file-address regions; edges carry
+//! the access statistics the paper's interactive graphs expose in pop-ups
+//! (Fig. 7): access count and volume, HDF5 data vs metadata splits, the
+//! operation direction, and bandwidth. Node positions encode time — the
+//! Workflow Analyzer arranges nodes "vertically by event start time and
+//! horizontally by event end time" (Fig. 3).
+
+use dayu_trace::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What a node represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A workflow task.
+    Task,
+    /// A file.
+    File,
+    /// A data object (dataset) within a file.
+    Dataset,
+    /// A file-address region (page range) within a file.
+    AddrRegion,
+}
+
+/// Graph node.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Node index within the graph.
+    pub id: usize,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Display label (task name, file name, dataset path, address range).
+    pub label: String,
+    /// Earliest event involving this node.
+    pub start: Timestamp,
+    /// Latest event involving this node.
+    pub end: Timestamp,
+    /// Data volume associated with the node (bytes) — drives node width in
+    /// the visualization.
+    pub volume: u64,
+}
+
+/// Direction/summary of an edge's accesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Operation {
+    /// Only reads flowed along this edge.
+    ReadOnly,
+    /// Only writes.
+    WriteOnly,
+    /// Both.
+    ReadWrite,
+    /// Structural edge (e.g. dataset→file containment).
+    Structural,
+}
+
+/// Per-edge access statistics — the pop-up fields of the paper's Fig. 7.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EdgeStats {
+    /// Total bytes moved.
+    pub access_volume: u64,
+    /// Total access count.
+    pub access_count: u64,
+    /// Low-level raw-data access count.
+    pub data_access_count: u64,
+    /// Low-level raw-data bytes.
+    pub data_access_volume: u64,
+    /// Low-level metadata access count.
+    pub metadata_access_count: u64,
+    /// Low-level metadata bytes.
+    pub metadata_access_volume: u64,
+    /// Nanoseconds spent in the edge's operations (for bandwidth).
+    pub busy_ns: u64,
+    /// First access time.
+    pub first: Timestamp,
+    /// Last access time.
+    pub last: Timestamp,
+}
+
+impl EdgeStats {
+    /// Mean bytes per access.
+    pub fn average_access_size(&self) -> f64 {
+        if self.access_count == 0 {
+            0.0
+        } else {
+            self.access_volume as f64 / self.access_count as f64
+        }
+    }
+
+    /// Mean bytes per raw-data access.
+    pub fn average_data_access_size(&self) -> f64 {
+        if self.data_access_count == 0 {
+            0.0
+        } else {
+            self.data_access_volume as f64 / self.data_access_count as f64
+        }
+    }
+
+    /// Mean bytes per metadata access.
+    pub fn average_metadata_access_size(&self) -> f64 {
+        if self.metadata_access_count == 0 {
+            0.0
+        } else {
+            self.metadata_access_volume as f64 / self.metadata_access_count as f64
+        }
+    }
+
+    /// Achieved bandwidth in bytes/second (`None` when timing is absent).
+    pub fn bandwidth(&self) -> Option<f64> {
+        if self.busy_ns == 0 || self.access_volume == 0 {
+            None
+        } else {
+            Some(self.access_volume as f64 / (self.busy_ns as f64 / 1e9))
+        }
+    }
+
+    /// Folds another stats block into this one.
+    pub fn merge(&mut self, other: &EdgeStats) {
+        if self.access_count == 0 {
+            self.first = other.first;
+        } else if other.access_count > 0 {
+            self.first = self.first.min(other.first);
+        }
+        self.last = self.last.max(other.last);
+        self.access_volume += other.access_volume;
+        self.access_count += other.access_count;
+        self.data_access_count += other.data_access_count;
+        self.data_access_volume += other.data_access_volume;
+        self.metadata_access_count += other.metadata_access_count;
+        self.metadata_access_volume += other.metadata_access_volume;
+        self.busy_ns += other.busy_ns;
+    }
+}
+
+/// Graph edge.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node id.
+    pub from: usize,
+    /// Destination node id.
+    pub to: usize,
+    /// Direction summary.
+    pub op: Operation,
+    /// Access statistics.
+    pub stats: EdgeStats,
+}
+
+/// FTG vs SDG marker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GraphKind {
+    /// File-Task Graph.
+    Ftg,
+    /// Semantic Dataflow Graph.
+    Sdg,
+}
+
+/// A decorated dataflow graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Graph {
+    /// FTG or SDG.
+    pub kind: GraphKind,
+    /// Workflow the graph describes.
+    pub workflow: String,
+    /// Nodes, indexed by id.
+    pub nodes: Vec<Node>,
+    /// Edges.
+    pub edges: Vec<Edge>,
+    #[serde(skip)]
+    index: HashMap<(NodeKind, String), usize>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new(kind: GraphKind, workflow: impl Into<String>) -> Self {
+        Self {
+            kind,
+            workflow: workflow.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Gets or creates the node of `kind` labelled `label`.
+    pub fn node(&mut self, kind: NodeKind, label: &str) -> usize {
+        if let Some(&id) = self.index.get(&(kind, label.to_owned())) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            id,
+            kind,
+            label: label.to_owned(),
+            start: Timestamp(u64::MAX),
+            end: Timestamp::ZERO,
+            volume: 0,
+        });
+        self.index.insert((kind, label.to_owned()), id);
+        id
+    }
+
+    /// Looks up an existing node.
+    pub fn find(&self, kind: NodeKind, label: &str) -> Option<&Node> {
+        self.index
+            .get(&(kind, label.to_owned()))
+            .map(|&id| &self.nodes[id])
+    }
+
+    /// Expands a node's time span to include `[start, end]` and adds volume.
+    pub fn touch_node(&mut self, id: usize, start: Timestamp, end: Timestamp, volume: u64) {
+        let n = &mut self.nodes[id];
+        n.start = n.start.min(start);
+        n.end = n.end.max(end);
+        n.volume += volume;
+    }
+
+    /// Adds (or merges into) the edge `from → to` with the given direction.
+    pub fn edge(&mut self, from: usize, to: usize, op: Operation, stats: EdgeStats) {
+        if let Some(e) = self
+            .edges
+            .iter_mut()
+            .find(|e| e.from == from && e.to == to && e.op == op)
+        {
+            e.stats.merge(&stats);
+            return;
+        }
+        self.edges.push(Edge {
+            from,
+            to,
+            op,
+            stats,
+        });
+    }
+
+    /// All edges out of `id`.
+    pub fn out_edges(&self, id: usize) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.from == id)
+    }
+
+    /// All edges into `id`.
+    pub fn in_edges(&self, id: usize) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.to == id)
+    }
+
+    /// Nodes of a kind.
+    pub fn nodes_of(&self, kind: NodeKind) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(move |n| n.kind == kind)
+    }
+
+    /// Rebuilds the label index (needed after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .nodes
+            .iter()
+            .map(|n| ((n.kind, n.label.clone()), n.id))
+            .collect();
+    }
+
+    /// Fixes up nodes that never got touched (start still at the sentinel).
+    pub fn normalize_times(&mut self) {
+        for n in &mut self.nodes {
+            if n.start > n.end {
+                n.start = n.end;
+            }
+        }
+    }
+}
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+            && self.workflow == other.workflow
+            && self.nodes == other.nodes
+            && self.edges == other.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_dedup_by_kind_and_label() {
+        let mut g = Graph::new(GraphKind::Ftg, "wf");
+        let a = g.node(NodeKind::Task, "t1");
+        let b = g.node(NodeKind::Task, "t1");
+        let c = g.node(NodeKind::File, "t1");
+        assert_eq!(a, b);
+        assert_ne!(a, c, "same label, different kind");
+        assert_eq!(g.nodes.len(), 2);
+        assert!(g.find(NodeKind::Task, "t1").is_some());
+        assert!(g.find(NodeKind::Dataset, "t1").is_none());
+    }
+
+    #[test]
+    fn edges_merge_same_direction() {
+        let mut g = Graph::new(GraphKind::Ftg, "wf");
+        let t = g.node(NodeKind::Task, "t");
+        let f = g.node(NodeKind::File, "f");
+        g.edge(
+            t,
+            f,
+            Operation::WriteOnly,
+            EdgeStats {
+                access_volume: 100,
+                access_count: 1,
+                first: Timestamp(5),
+                last: Timestamp(5),
+                ..Default::default()
+            },
+        );
+        g.edge(
+            t,
+            f,
+            Operation::WriteOnly,
+            EdgeStats {
+                access_volume: 50,
+                access_count: 2,
+                first: Timestamp(1),
+                last: Timestamp(9),
+                ..Default::default()
+            },
+        );
+        // Opposite direction is a separate edge.
+        g.edge(f, t, Operation::ReadOnly, EdgeStats::default());
+        assert_eq!(g.edges.len(), 2);
+        let e = &g.edges[0];
+        assert_eq!(e.stats.access_volume, 150);
+        assert_eq!(e.stats.access_count, 3);
+        assert_eq!(e.stats.first, Timestamp(1));
+        assert_eq!(e.stats.last, Timestamp(9));
+    }
+
+    #[test]
+    fn stats_averages_and_bandwidth() {
+        let s = EdgeStats {
+            access_volume: 1000,
+            access_count: 4,
+            data_access_count: 2,
+            data_access_volume: 900,
+            metadata_access_count: 2,
+            metadata_access_volume: 100,
+            busy_ns: 1_000_000_000,
+            ..Default::default()
+        };
+        assert_eq!(s.average_access_size(), 250.0);
+        assert_eq!(s.average_data_access_size(), 450.0);
+        assert_eq!(s.average_metadata_access_size(), 50.0);
+        assert_eq!(s.bandwidth(), Some(1000.0));
+        assert_eq!(EdgeStats::default().bandwidth(), None);
+        assert_eq!(EdgeStats::default().average_access_size(), 0.0);
+    }
+
+    #[test]
+    fn touch_node_expands_span() {
+        let mut g = Graph::new(GraphKind::Sdg, "wf");
+        let n = g.node(NodeKind::Dataset, "/d");
+        g.touch_node(n, Timestamp(10), Timestamp(20), 64);
+        g.touch_node(n, Timestamp(5), Timestamp(15), 36);
+        let node = &g.nodes[n];
+        assert_eq!(node.start, Timestamp(5));
+        assert_eq!(node.end, Timestamp(20));
+        assert_eq!(node.volume, 100);
+    }
+
+    #[test]
+    fn normalize_untouched_nodes() {
+        let mut g = Graph::new(GraphKind::Ftg, "wf");
+        g.node(NodeKind::Task, "never_touched");
+        g.normalize_times();
+        assert_eq!(g.nodes[0].start, Timestamp::ZERO);
+    }
+
+    #[test]
+    fn serde_round_trip_with_index_rebuild() {
+        let mut g = Graph::new(GraphKind::Ftg, "wf");
+        let t = g.node(NodeKind::Task, "t");
+        let f = g.node(NodeKind::File, "f");
+        g.edge(t, f, Operation::WriteOnly, EdgeStats::default());
+        let json = serde_json::to_string(&g).unwrap();
+        let mut back: Graph = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back, g);
+        assert_eq!(back.node(NodeKind::Task, "t"), t, "index works after rebuild");
+    }
+
+    #[test]
+    fn edge_iteration() {
+        let mut g = Graph::new(GraphKind::Ftg, "wf");
+        let a = g.node(NodeKind::Task, "a");
+        let f = g.node(NodeKind::File, "f");
+        let b = g.node(NodeKind::Task, "b");
+        g.edge(a, f, Operation::WriteOnly, EdgeStats::default());
+        g.edge(f, b, Operation::ReadOnly, EdgeStats::default());
+        assert_eq!(g.out_edges(f).count(), 1);
+        assert_eq!(g.in_edges(f).count(), 1);
+        assert_eq!(g.nodes_of(NodeKind::Task).count(), 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! Resolution adjustment: aggregating complex graphs.
+//!
+//! "When SDGs become complex due to workflows with numerous tasks and
+//! parallel execution, the Workflow Analyzer enhances readability by
+//! presenting a less complex graph. It allows users to group and aggregate
+//! nodes by time, space, task, or location dimensions."
+//!
+//! [`aggregate`] rewrites a graph by mapping each node to a group label;
+//! nodes with the same `(kind, group)` collapse into one, edges merge, and
+//! time spans/volumes combine. Ready-made groupers cover the common
+//! dimensions: task-name prefixes (collapse `openmm_0..11` into `openmm`),
+//! time windows, and per-file datasets.
+
+use crate::graph::{Graph, Node, NodeKind};
+
+/// Maps a node to its group label (`None` keeps the node as itself).
+pub type Grouper<'a> = dyn Fn(&Node) -> Option<String> + 'a;
+
+/// Collapses a graph by the given grouper.
+pub fn aggregate(g: &Graph, group: &Grouper) -> Graph {
+    let mut out = Graph::new(g.kind, g.workflow.clone());
+    // Map old id → new id.
+    let mut remap = Vec::with_capacity(g.nodes.len());
+    for n in &g.nodes {
+        let label = group(n).unwrap_or_else(|| n.label.clone());
+        let id = out.node(n.kind, &label);
+        out.touch_node(id, n.start, n.end, n.volume);
+        remap.push(id);
+    }
+    for e in &g.edges {
+        let from = remap[e.from];
+        let to = remap[e.to];
+        if from == to {
+            continue; // collapsed self-edges carry no information
+        }
+        out.edge(from, to, e.op, e.stats.clone());
+    }
+    out.normalize_times();
+    out
+}
+
+/// Groups task nodes by the prefix before the last `_<number>` suffix
+/// (`openmm_3` → `openmm`); other nodes are untouched.
+pub fn by_task_prefix(n: &Node) -> Option<String> {
+    if n.kind != NodeKind::Task {
+        return None;
+    }
+    let (prefix, suffix) = n.label.rsplit_once('_')?;
+    if suffix.chars().all(|c| c.is_ascii_digit()) && !suffix.is_empty() {
+        Some(prefix.to_owned())
+    } else {
+        None
+    }
+}
+
+/// Groups every node into time windows of `window_ns` by its start time,
+/// prefixing labels with the window index — the "by time" dimension.
+pub fn by_time_window(window_ns: u64) -> impl Fn(&Node) -> Option<String> {
+    move |n: &Node| {
+        let w = n.start.nanos() / window_ns.max(1);
+        Some(format!("w{w}:{}", n.label))
+    }
+}
+
+/// Collapses every dataset node of a file into one `file:*` node — the
+/// "by space" dimension for files with very many datasets (Fig. 5).
+pub fn datasets_by_file(n: &Node) -> Option<String> {
+    if n.kind != NodeKind::Dataset {
+        return None;
+    }
+    let (file, _) = n.label.split_once(':')?;
+    Some(format!("{file}:*"))
+}
+
+/// Convenience: hides address-region nodes by collapsing them into their
+/// file's single `regions` node.
+pub fn collapse_regions(n: &Node) -> Option<String> {
+    if n.kind != NodeKind::AddrRegion {
+        return None;
+    }
+    let (file, _) = n.label.split_once(':')?;
+    Some(format!("{file}:regions"))
+}
+
+/// Estimated render complexity of a graph (nodes + edges), used to decide
+/// when resolution adjustment is worthwhile.
+pub fn complexity(g: &Graph) -> usize {
+    g.nodes.len() + g.edges.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeStats, GraphKind, Operation};
+    use dayu_trace::time::Timestamp;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new(GraphKind::Ftg, "wf");
+        for i in 0..4 {
+            let t = g.node(NodeKind::Task, &format!("openmm_{i}"));
+            g.touch_node(t, Timestamp(i * 10), Timestamp(i * 10 + 5), 100);
+            let f = g.node(NodeKind::File, &format!("out{i}.h5"));
+            g.edge(
+                t,
+                f,
+                Operation::WriteOnly,
+                EdgeStats {
+                    access_volume: 100,
+                    access_count: 1,
+                    first: Timestamp(i * 10),
+                    last: Timestamp(i * 10 + 5),
+                    ..Default::default()
+                },
+            );
+        }
+        let agg = g.node(NodeKind::Task, "aggregate");
+        for i in 0..4 {
+            let f = g.node(NodeKind::File, &format!("out{i}.h5"));
+            g.edge(f, agg, Operation::ReadOnly, EdgeStats::default());
+        }
+        g
+    }
+
+    #[test]
+    fn task_prefix_grouping_collapses_parallel_tasks() {
+        let g = sample();
+        assert_eq!(g.nodes_of(NodeKind::Task).count(), 5);
+        let agg = aggregate(&g, &by_task_prefix);
+        let tasks: Vec<&str> = agg
+            .nodes_of(NodeKind::Task)
+            .map(|n| n.label.as_str())
+            .collect();
+        assert_eq!(tasks, vec!["openmm", "aggregate"]);
+        // The collapsed node spans all component times and sums volume.
+        let openmm = agg.find(NodeKind::Task, "openmm").unwrap();
+        assert_eq!(openmm.start, Timestamp(0));
+        assert_eq!(openmm.end, Timestamp(35));
+        assert_eq!(openmm.volume, 400);
+        // Edges from openmm to the four files merged per file.
+        assert_eq!(agg.out_edges(openmm.id).count(), 4);
+        assert!(complexity(&agg) < complexity(&g));
+    }
+
+    #[test]
+    fn prefix_grouper_ignores_non_numeric_suffixes() {
+        let mut g = Graph::new(GraphKind::Ftg, "wf");
+        let id = g.node(NodeKind::Task, "run_speed");
+        assert_eq!(by_task_prefix(&g.nodes[id]), None);
+        let id2 = g.node(NodeKind::File, "file_3");
+        assert_eq!(by_task_prefix(&g.nodes[id2]), None, "files untouched");
+    }
+
+    #[test]
+    fn dataset_by_file_grouping() {
+        let mut g = Graph::new(GraphKind::Sdg, "wf");
+        for i in 0..10 {
+            g.node(NodeKind::Dataset, &format!("f.h5:/small{i}"));
+        }
+        g.node(NodeKind::Dataset, "g.h5:/other");
+        let agg = aggregate(&g, &datasets_by_file);
+        let labels: Vec<&str> = agg
+            .nodes_of(NodeKind::Dataset)
+            .map(|n| n.label.as_str())
+            .collect();
+        assert_eq!(labels, vec!["f.h5:*", "g.h5:*"]);
+    }
+
+    #[test]
+    fn time_window_grouping_separates_phases() {
+        let mut g = Graph::new(GraphKind::Ftg, "wf");
+        let a = g.node(NodeKind::Task, "t");
+        g.touch_node(a, Timestamp(5), Timestamp(6), 0);
+        let b = g.node(NodeKind::Task, "u");
+        g.touch_node(b, Timestamp(105), Timestamp(106), 0);
+        let agg = aggregate(&g, &by_time_window(100));
+        let labels: Vec<&str> = agg.nodes.iter().map(|n| n.label.as_str()).collect();
+        assert!(labels.contains(&"w0:t"));
+        assert!(labels.contains(&"w1:u"));
+    }
+
+    #[test]
+    fn self_edges_dropped_after_collapse() {
+        let mut g = Graph::new(GraphKind::Ftg, "wf");
+        let a = g.node(NodeKind::Task, "x_0");
+        let b = g.node(NodeKind::Task, "x_1");
+        // x_0 → x_1 edge (contrived) collapses to a self-edge and vanishes.
+        g.edge(a, b, Operation::ReadOnly, EdgeStats::default());
+        let agg = aggregate(&g, &by_task_prefix);
+        assert_eq!(agg.nodes.len(), 1);
+        assert!(agg.edges.is_empty());
+    }
+
+    #[test]
+    fn collapse_regions_grouper() {
+        let mut g = Graph::new(GraphKind::Sdg, "wf");
+        let r1 = g.node(NodeKind::AddrRegion, "f.h5:[0-4)p");
+        let r2 = g.node(NodeKind::AddrRegion, "f.h5:[4-8)p");
+        assert_eq!(
+            collapse_regions(&g.nodes[r1]),
+            Some("f.h5:regions".to_owned())
+        );
+        assert_eq!(
+            collapse_regions(&g.nodes[r2]),
+            Some("f.h5:regions".to_owned())
+        );
+        let agg = aggregate(&g, &collapse_regions);
+        assert_eq!(agg.nodes_of(NodeKind::AddrRegion).count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::graph::{EdgeStats, GraphKind, Operation};
+    use dayu_trace::time::Timestamp;
+    use proptest::prelude::*;
+
+    fn arb_graph() -> impl Strategy<Value = Graph> {
+        (
+            prop::collection::vec(("[a-z]{1,6}_[0-9]{1,2}", 0u64..1000, 0u64..1 << 20), 1..20),
+            prop::collection::vec((0usize..20, 0usize..20, 0u64..1 << 16), 0..40),
+        )
+            .prop_map(|(nodes, edges)| {
+                let mut g = Graph::new(GraphKind::Ftg, "prop");
+                for (i, (label, t, vol)) in nodes.iter().enumerate() {
+                    let kind = if i % 2 == 0 {
+                        NodeKind::Task
+                    } else {
+                        NodeKind::File
+                    };
+                    let id = g.node(kind, label);
+                    g.touch_node(id, Timestamp(*t), Timestamp(t + 10), *vol);
+                }
+                let n = g.nodes.len();
+                for (a, b, vol) in edges {
+                    let (from, to) = (a % n, b % n);
+                    if from == to {
+                        continue;
+                    }
+                    g.edge(
+                        from,
+                        to,
+                        Operation::ReadOnly,
+                        EdgeStats {
+                            access_volume: vol,
+                            access_count: 1,
+                            ..Default::default()
+                        },
+                    );
+                }
+                g
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Aggregation conserves node volume and never grows the graph.
+        #[test]
+        fn aggregation_conserves_volume(g in arb_graph()) {
+            let agg = aggregate(&g, &by_task_prefix);
+            let before: u64 = g.nodes.iter().map(|n| n.volume).sum();
+            let after: u64 = agg.nodes.iter().map(|n| n.volume).sum();
+            prop_assert_eq!(before, after);
+            prop_assert!(agg.nodes.len() <= g.nodes.len());
+            prop_assert!(agg.edges.len() <= g.edges.len());
+        }
+
+        /// Edge volume is conserved except for dropped self-edges.
+        #[test]
+        fn aggregation_conserves_edge_volume_modulo_self_edges(g in arb_graph()) {
+            let agg = aggregate(&g, &by_task_prefix);
+            let after: u64 = agg.edges.iter().map(|e| e.stats.access_volume).sum();
+            let before: u64 = g.edges.iter().map(|e| e.stats.access_volume).sum();
+            prop_assert!(after <= before);
+        }
+
+        /// Aggregating twice with the same grouper is idempotent on shape.
+        #[test]
+        fn aggregation_is_idempotent(g in arb_graph()) {
+            let once = aggregate(&g, &by_task_prefix);
+            let twice = aggregate(&once, &by_task_prefix);
+            prop_assert_eq!(once.nodes.len(), twice.nodes.len());
+            prop_assert_eq!(once.edges.len(), twice.edges.len());
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Criterion check of the paper's Workflow Analyzer performance claim:
+//! "less than 15 seconds to analyze a graph with 1k nodes and 6k edges,
+//! and less than 2 seconds to construct the corresponding FTG and SDG in
+//! HTML format."
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dayu_analyzer::{build_ftg, build_sdg, export, Analysis, SdgOptions};
+use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
+use dayu_trace::store::TraceBundle;
+use dayu_trace::time::Timestamp;
+use dayu_trace::vfd::{AccessType, IoKind, VfdRecord};
+
+/// A synthetic bundle yielding ≈1k graph nodes and ≈6k edges: 300 tasks,
+/// 300 files, ~400 datasets, each task touching several files/datasets.
+fn big_bundle() -> TraceBundle {
+    let mut b = TraceBundle::new("scale");
+    let mut at = 0u64;
+    for t in 0..300u64 {
+        b.push_task(TaskKey::new(format!("task_{t:03}")));
+        for k in 0..10u64 {
+            let file = format!("file_{:03}.h5", (t * 3 + k) % 300);
+            let object = format!("/dset_{}", (t + k) % 400);
+            at += 100;
+            b.vfd.push(VfdRecord {
+                task: TaskKey::new(format!("task_{t:03}")),
+                file: FileKey::new(&file),
+                kind: if k % 3 == 0 { IoKind::Write } else { IoKind::Read },
+                offset: k * 4096,
+                len: 4096,
+                access: if k % 4 == 0 {
+                    AccessType::Metadata
+                } else {
+                    AccessType::RawData
+                },
+                object: ObjectKey::new(&object),
+                start: Timestamp(at),
+                end: Timestamp(at + 50),
+            });
+        }
+    }
+    b
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let bundle = big_bundle();
+    {
+        // Sanity: graph size in the claim's regime.
+        let sdg = build_sdg(&bundle, &SdgOptions::default());
+        assert!(sdg.nodes.len() >= 900, "nodes: {}", sdg.nodes.len());
+        assert!(sdg.edges.len() >= 4000, "edges: {}", sdg.edges.len());
+    }
+
+    let mut g = c.benchmark_group("analyzer_scale");
+    g.sample_size(10);
+    g.bench_function("full_analysis_1k_nodes", |b| {
+        b.iter(|| std::hint::black_box(Analysis::run(&bundle)));
+    });
+    g.bench_function("build_ftg", |b| {
+        b.iter(|| std::hint::black_box(build_ftg(&bundle)));
+    });
+    let sdg = build_sdg(&bundle, &SdgOptions::default());
+    g.bench_function("export_html", |b| {
+        b.iter(|| std::hint::black_box(export::to_html(&sdg)));
+    });
+    g.bench_function("export_dot", |b| {
+        b.iter(|| std::hint::black_box(export::to_dot(&sdg)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analyzer);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion microbenchmarks of the format library's core operations:
+//! the per-layout write/read costs behind every layout study (Fig. 13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dayu_hdf::{DataType, DatasetBuilder, FileOptions, H5File, LayoutKind};
+use dayu_vfd::MemVfd;
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+fn bench_writes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataset_write");
+    for &size in &[4 << 10, 256 << 10, 4 << 20] {
+        g.throughput(Throughput::Bytes(size as u64));
+        let data = payload(size);
+        g.bench_with_input(
+            BenchmarkId::new("contiguous", size),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let f =
+                        H5File::create(MemVfd::new(), "b.h5", FileOptions::default()).unwrap();
+                    let mut ds = f
+                        .root()
+                        .create_dataset(
+                            "d",
+                            DatasetBuilder::new(DataType::Int { width: 1 }, &[data.len() as u64]),
+                        )
+                        .unwrap();
+                    ds.write(data).unwrap();
+                    ds.close().unwrap();
+                    f.close().unwrap();
+                });
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("chunked", size), &data, |b, data| {
+            b.iter(|| {
+                let f = H5File::create(MemVfd::new(), "b.h5", FileOptions::default()).unwrap();
+                let mut ds = f
+                    .root()
+                    .create_dataset(
+                        "d",
+                        DatasetBuilder::new(DataType::Int { width: 1 }, &[data.len() as u64])
+                            .chunks(&[(data.len() as u64 / 8).max(1)]),
+                    )
+                    .unwrap();
+                ds.write(data).unwrap();
+                ds.close().unwrap();
+                f.close().unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataset_read");
+    let size = 1 << 20;
+    for layout in [LayoutKind::Contiguous, LayoutKind::Chunked] {
+        let f = H5File::create(MemVfd::new(), "r.h5", FileOptions::default()).unwrap();
+        let builder = DatasetBuilder::new(DataType::Int { width: 1 }, &[size as u64]);
+        let builder = match layout {
+            LayoutKind::Chunked => builder.chunks(&[size as u64 / 8]),
+            other => builder.layout(other),
+        };
+        let mut ds = f.root().create_dataset("d", builder).unwrap();
+        ds.write(&payload(size)).unwrap();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(BenchmarkId::new(format!("{layout:?}"), size), |b| {
+            b.iter(|| std::hint::black_box(ds.read().unwrap()));
+        });
+        ds.close().unwrap();
+        f.close().unwrap();
+    }
+    g.finish();
+}
+
+fn bench_varlen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("varlen_write");
+    let items: Vec<Vec<u8>> = (0..64).map(|i| payload(512 + i * 7)).collect();
+    for layout in [LayoutKind::Contiguous, LayoutKind::Chunked] {
+        g.bench_function(format!("{layout:?}"), |b| {
+            b.iter(|| {
+                let f = H5File::create(MemVfd::new(), "v.h5", FileOptions::default()).unwrap();
+                let builder = DatasetBuilder::new(DataType::VarLen, &[64]);
+                let builder = match layout {
+                    LayoutKind::Chunked => builder.chunks(&[16]),
+                    other => builder.layout(other),
+                };
+                let mut ds = f.root().create_dataset("vl", builder).unwrap();
+                for (i, item) in items.iter().enumerate() {
+                    ds.write_varlen(i as u64, &[item]).unwrap();
+                }
+                ds.close().unwrap();
+                f.close().unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_writes, bench_reads, bench_varlen
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion measurement of the Data Semantic Mapper's per-operation cost —
+//! the microscopic view behind the Fig. 9 overhead curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dayu_hdf::{DataType, DatasetBuilder, FileOptions, H5File};
+use dayu_mapper::{Mapper, MapperConfig};
+use dayu_vfd::MemVfd;
+
+const OPS: usize = 64;
+const OP_BYTES: usize = 4 << 10;
+
+fn workload(file: H5File) {
+    let mut ds = file
+        .root()
+        .create_dataset(
+            "d",
+            DatasetBuilder::new(DataType::Int { width: 1 }, &[(OPS * OP_BYTES) as u64]),
+        )
+        .unwrap();
+    let chunk = vec![7u8; OP_BYTES];
+    for i in 0..OPS {
+        ds.write_slab(
+            &dayu_hdf::Selection::slab(&[(i * OP_BYTES) as u64], &[OP_BYTES as u64]),
+            &chunk,
+        )
+        .unwrap();
+    }
+    for i in 0..OPS {
+        ds.read_slab(&dayu_hdf::Selection::slab(
+            &[(i * OP_BYTES) as u64],
+            &[OP_BYTES as u64],
+        ))
+        .unwrap();
+    }
+    ds.close().unwrap();
+    file.close().unwrap();
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mapper_modes");
+    g.throughput(Throughput::Elements(2 * OPS as u64));
+
+    g.bench_function(BenchmarkId::new("baseline", "none"), |b| {
+        b.iter(|| {
+            workload(H5File::create(MemVfd::new(), "m.h5", FileOptions::default()).unwrap())
+        });
+    });
+
+    let modes: [(&str, MapperConfig); 3] = [
+        (
+            "vol_only",
+            MapperConfig {
+                trace_io: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "vfd_only",
+            MapperConfig {
+                trace_vol: false,
+                ..Default::default()
+            },
+        ),
+        ("full", MapperConfig::default()),
+    ];
+    for (name, cfg) in modes {
+        g.bench_function(BenchmarkId::new("instrumented", name), |b| {
+            b.iter(|| {
+                let mapper = Mapper::with_config("bench", cfg.clone());
+                mapper.set_task("t");
+                let file = H5File::create(
+                    mapper.wrap_vfd(MemVfd::new(), "m.h5"),
+                    "m.h5",
+                    mapper.file_options(),
+                )
+                .unwrap();
+                workload(file);
+                std::hint::black_box(mapper.into_bundle());
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_modes
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion throughput of the discrete-event replay engine: the cost of
+//! scoring one candidate plan, which bounds how many what-if placements a
+//! DaYu user can explore interactively.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dayu_sim::cluster::{Cluster, FileLocation, Placement};
+use dayu_sim::engine::Engine;
+use dayu_sim::program::{SimOp, SimTask};
+use dayu_sim::tiers::TierKind;
+
+fn job(tasks: usize, ops_per_task: usize) -> Vec<SimTask> {
+    (0..tasks)
+        .map(|t| {
+            let mut program = Vec::with_capacity(ops_per_task);
+            for i in 0..ops_per_task {
+                program.push(if i % 2 == 0 {
+                    SimOp::read(format!("in_{}.h5", t % 8), 64 << 10)
+                } else {
+                    SimOp::write(format!("out_{t}.h5"), 64 << 10)
+                });
+            }
+            SimTask {
+                name: format!("t{t}"),
+                node: t % 4,
+                deps: if t >= 8 { vec![t - 8] } else { vec![] },
+                program,
+            }
+        })
+        .collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let cluster = Cluster::gpu_cluster(4);
+    let mut placement = Placement::new();
+    for t in 0..8 {
+        placement.place(
+            format!("in_{t}.h5"),
+            FileLocation::NodeLocal(t % 4, TierKind::NvmeSsd),
+        );
+    }
+
+    let mut g = c.benchmark_group("des_replay");
+    for &(tasks, ops) in &[(16usize, 100usize), (64, 200), (256, 200)] {
+        let j = job(tasks, ops);
+        g.throughput(Throughput::Elements((tasks * ops) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("ops", format!("{tasks}x{ops}")),
+            &j,
+            |b, j| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        Engine::new(&cluster, &placement).run(j).unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p dayu-bench --bin figures -- all
+//! cargo run --release -p dayu-bench --bin figures -- fig11 fig13a
+//! cargo run --release -p dayu-bench --bin figures -- --quick all
+//! cargo run --release -p dayu-bench --bin figures -- --out figures_out fig3
+//! ```
+//!
+//! Graph figures (3–8) additionally write DOT/JSON/HTML artifacts into the
+//! output directory (default `figures_out/`).
+
+use dayu_bench::{ablation, fig01, fig09, fig10, fig11, fig12, fig13, fig_graphs, tables, FigResult, Scale};
+use std::path::PathBuf;
+
+const ALL: [&str; 16] = [
+    "table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9a", "fig9b", "fig9c", "fig9d", "fig10", "fig11",
+];
+// fig12/fig13* are included in `all` too; the const above is only for help text.
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [--quick] [--out DIR] <id>... | all\n  ids: {}, fig12, fig13a, fig13b, fig13c, ablation",
+        ALL.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scale = Scale::Full;
+    let mut out_dir = PathBuf::from("figures_out");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--out" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "-h" | "--help" => usage(),
+            id => ids.push(id.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = [
+            "table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10", "fig11", "fig12", "fig13a",
+            "fig13b", "fig13c", "ablation",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    }
+
+    let t0 = std::time::Instant::now();
+    for id in &ids {
+        let fig: FigResult = match id.as_str() {
+            "table1" => tables::table1(scale),
+            "table2" => tables::table2(scale),
+            "table3" => tables::table3(scale),
+            "fig1" => fig01::run(scale),
+            "fig3" => fig_graphs::run_fig3(&out_dir, scale),
+            "fig4" => fig_graphs::run_fig4(&out_dir, scale),
+            "fig5" => fig_graphs::run_fig5(&out_dir, scale),
+            "fig6" => fig_graphs::run_fig6(&out_dir, scale),
+            "fig7" => fig_graphs::run_fig7(&out_dir, scale),
+            "fig8" => fig_graphs::run_fig8(&out_dir, scale),
+            "fig9a" => fig09::run_9a(scale),
+            "fig9b" => fig09::run_9b(scale),
+            "fig9c" => fig09::run_9c(scale),
+            "fig9d" => fig09::run_9d(scale),
+            "fig10" => fig10::run(scale),
+            "fig11" => fig11::run(scale),
+            "fig12" => fig12::run(scale),
+            "fig13a" => fig13::run_13a(scale),
+            "fig13b" => fig13::run_13b(scale),
+            "fig13c" => fig13::run_13c(scale),
+            "ablation" => ablation::run(scale),
+            other => {
+                eprintln!("unknown figure id {other:?}");
+                usage();
+            }
+        };
+        println!("{}", fig.render());
+    }
+    eprintln!("regenerated {} artifact(s) in {:.1}s", ids.len(), t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,296 @@
+//! Fig. 9 — Data Semantic Mapper overhead.
+//!
+//! * **9a** — h5bench, VFD/VOL runtime overhead vs total file size
+//!   (paper: < 0.23%, decreasing with size);
+//! * **9b** — h5bench, overhead vs process count at fixed bytes/process;
+//! * **9c** — corner case, runtime overhead vs dataset I/O count
+//!   (paper: grows, up to ~4%);
+//! * **9d** — corner case, trace storage vs program data volume
+//!   (paper: VOL ≈ flat 0.2%, VFD linear in op count).
+//!
+//! These are *measured*, not simulated: each configuration runs
+//! uninstrumented and instrumented (VOL-only / VFD-only / full) against
+//! real files in a temp directory, several repetitions, best-of taken.
+//! Our substrate's baseline I/O is faster than a production parallel
+//! filesystem, so relative overheads come out *larger* than the paper's
+//! absolute percentages; the shape (decreasing in 9a/9b, increasing in 9c,
+//! VFD-linear storage in 9d) is the reproduction target.
+
+use crate::{pct, FigResult, Scale};
+use dayu_workloads::corner_case::{self, CornerCaseConfig};
+use dayu_workloads::h5bench::{self, H5benchConfig};
+use dayu_workloads::{Backend, Instrumentation};
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// Measures every instrumentation mode for a configuration in alternating
+/// order (b, m1, m2, b, m1, m2, …) and returns the per-mode medians —
+/// alternation cancels drift (page-cache warmup, allocator state), median
+/// rejects outliers. Returns times keyed like `modes`.
+fn measure_modes<F: FnMut(Instrumentation) -> u64>(
+    modes: &[Instrumentation],
+    reps: usize,
+    mut run_once: F,
+) -> Vec<u64> {
+    let mut samples: Vec<Vec<u64>> = vec![Vec::new(); modes.len()];
+    // One unmeasured warmup round.
+    for &m in modes {
+        let _ = run_once(m);
+    }
+    for _ in 0..reps {
+        for (i, &m) in modes.iter().enumerate() {
+            samples[i].push(run_once(m));
+        }
+    }
+    samples.into_iter().map(median).collect()
+}
+
+fn h5bench_once(cfg: &H5benchConfig, instr: Instrumentation, tag: usize) -> u64 {
+    let backend = Backend::temp_dir(&format!("fig9-{tag}")).expect("tempdir");
+    h5bench::run(cfg, backend, instr).expect("h5bench").wall_ns
+}
+
+fn corner_once(cfg: &CornerCaseConfig, instr: Instrumentation, tag: usize) -> u64 {
+    let backend = Backend::temp_dir(&format!("fig9c-{tag}")).expect("tempdir");
+    corner_case::run(cfg, backend, instr).expect("corner").wall_ns
+}
+
+/// Regenerates Fig. 9a: overhead vs total data size.
+pub fn run_9a(scale: Scale) -> FigResult {
+    let (sizes_mb, reps): (Vec<u64>, usize) = match scale {
+        Scale::Quick => (vec![4, 16], 2),
+        Scale::Full => (vec![16, 64, 256, 512], 5),
+    };
+    let mut fig = FigResult::new(
+        "fig9a",
+        "h5bench: mapper runtime overhead vs total file size",
+        &["total_size_MB", "vfd_overhead", "vol_overhead", "mapper_self_time"],
+    );
+    let mut overheads = Vec::new();
+    for mb in sizes_mb {
+        let cfg = H5benchConfig {
+            processes: 2,
+            bytes_per_process: (mb << 20) / 2,
+            datasets_per_file: 4,
+            read_back: true,
+        };
+        let mut tag = 0usize;
+        let modes = [
+            Instrumentation::None,
+            Instrumentation::VfdOnly,
+            Instrumentation::VolOnly,
+        ];
+        let times = measure_modes(&modes, reps, |m| {
+            tag += 1;
+            h5bench_once(&cfg, m, tag)
+        });
+        let (base, vfd, vol) = (times[0], times[1], times[2]);
+        let vfd_oh = (vfd as f64 - base as f64).max(0.0) / base as f64;
+        let vol_oh = (vol as f64 - base as f64).max(0.0) / base as f64;
+        // Deterministic companion metric: time the mapper itself spent on
+        // the critical path, free of wall-clock noise.
+        let backend = Backend::temp_dir("fig9a-self").expect("tempdir");
+        let self_frac = h5bench::run(&cfg, backend, Instrumentation::Full)
+            .expect("h5bench")
+            .self_time_fraction();
+        overheads.push((mb, self_frac));
+        fig.row(vec![mb.to_string(), pct(vfd_oh), pct(vol_oh), pct(self_frac)]);
+    }
+    if overheads.len() >= 2 {
+        let first = overheads.first().expect("nonempty").1;
+        let last = overheads.last().expect("nonempty").1;
+        fig.note(format!(
+            "mapper self-time trend with size: {} → {} (paper: <0.23% and \
+             decreasing); wall-clock deltas are below measurement noise here",
+            pct(first),
+            pct(last)
+        ));
+    }
+    fig
+}
+
+/// Regenerates Fig. 9b: overhead vs process count at fixed bytes/process.
+pub fn run_9b(scale: Scale) -> FigResult {
+    let (procs, per_proc_mb, reps): (Vec<usize>, u64, usize) = match scale {
+        Scale::Quick => (vec![1, 4], 4, 2),
+        Scale::Full => (vec![1, 2, 4, 8, 16], 32, 5),
+    };
+    let mut fig = FigResult::new(
+        "fig9b",
+        "h5bench: mapper runtime overhead vs process count (fixed bytes/process)",
+        &["processes", "vfd_overhead", "vol_overhead"],
+    );
+    for p in procs {
+        let cfg = H5benchConfig {
+            processes: p,
+            bytes_per_process: per_proc_mb << 20,
+            datasets_per_file: 4,
+            read_back: true,
+        };
+        let mut tag = 1000usize;
+        let modes = [
+            Instrumentation::None,
+            Instrumentation::VfdOnly,
+            Instrumentation::VolOnly,
+        ];
+        let times = measure_modes(&modes, reps, |m| {
+            tag += 1;
+            h5bench_once(&cfg, m, tag)
+        });
+        let (base, vfd, vol) = (times[0], times[1], times[2]);
+        fig.row(vec![
+            p.to_string(),
+            pct((vfd as f64 - base as f64).max(0.0) / base as f64),
+            pct((vol as f64 - base as f64).max(0.0) / base as f64),
+        ]);
+    }
+    fig.note("paper: overhead decreases with process count (per-process I/O dominates)");
+    fig
+}
+
+/// Regenerates Fig. 9c: runtime overhead vs dataset I/O count.
+pub fn run_9c(scale: Scale) -> FigResult {
+    let (reads, reps): (Vec<usize>, usize) = match scale {
+        Scale::Quick => (vec![200, 2000], 2),
+        Scale::Full => (vec![0, 1000, 2000, 4000, 8000], 5),
+    };
+    let mut fig = FigResult::new(
+        "fig9c",
+        "corner case (200 datasets): runtime overhead vs dataset I/O operations",
+        &["dataset_io_ops", "vfd_overhead", "vol_overhead", "mapper_self_time"],
+    );
+    for n in reads {
+        let cfg = CornerCaseConfig {
+            datasets: 200,
+            file_bytes: 8 << 20,
+            dataset_reads: n,
+        };
+        let mut tag = 2000usize;
+        let modes = [
+            Instrumentation::None,
+            Instrumentation::VfdOnly,
+            Instrumentation::VolOnly,
+        ];
+        let times = measure_modes(&modes, reps, |m| {
+            tag += 1;
+            corner_once(&cfg, m, tag)
+        });
+        let (base, vfd, vol) = (times[0], times[1], times[2]);
+        let backend = Backend::temp_dir("fig9c-self").expect("tempdir");
+        let self_frac = corner_case::run(&cfg, backend, Instrumentation::Full)
+            .expect("corner")
+            .self_time_fraction();
+        fig.row(vec![
+            n.to_string(),
+            pct((vfd as f64 - base as f64).max(0.0) / base as f64),
+            pct((vol as f64 - base as f64).max(0.0) / base as f64),
+            pct(self_frac),
+        ]);
+    }
+    fig.note("paper: overhead grows with I/O activity inside one open/close period, up to ~4% (2.97% VFD + 1.0% VOL)");
+    fig
+}
+
+/// Regenerates Fig. 9d: trace storage overhead vs I/O operation count.
+pub fn run_9d(scale: Scale) -> FigResult {
+    let reads: Vec<usize> = match scale {
+        Scale::Quick => vec![200, 2000],
+        Scale::Full => vec![500, 1000, 2000, 4000, 8000],
+    };
+    let mut fig = FigResult::new(
+        "fig9d",
+        "corner case: trace storage as a fraction of program data volume",
+        &["io_ops", "vfd_storage", "vol_storage", "vfd_pct", "vol_pct"],
+    );
+    let mut vol_pcts = Vec::new();
+    let mut vfd_per_op = Vec::new();
+    for n in reads {
+        let cfg = CornerCaseConfig {
+            datasets: 200,
+            file_bytes: 8 << 20,
+            dataset_reads: n,
+        };
+        let run = corner_case::run(&cfg, Backend::mem(), Instrumentation::Full)
+            .expect("corner");
+        let vfd = run.vfd_storage();
+        let vol = run.vol_storage();
+        let app = run.app_bytes.max(1);
+        vol_pcts.push(vol as f64 / app as f64);
+        vfd_per_op.push(vfd as f64 / (n.max(1) as f64));
+        fig.row(vec![
+            n.to_string(),
+            vfd.to_string(),
+            vol.to_string(),
+            pct(vfd as f64 / app as f64),
+            pct(vol as f64 / app as f64),
+        ]);
+    }
+    let per_op_spread = vfd_per_op.iter().cloned().fold(0.0_f64, f64::max)
+        / vfd_per_op.iter().cloned().fold(f64::MAX, f64::min).max(1e-9);
+    fig.note(format!(
+        "VFD storage is linear in op count (bytes/op stable within {per_op_spread:.2}x); \
+         VOL storage stays near-flat (paper: ~0.2%)"
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_workloads::corner_case;
+
+    /// Shape assertion for 9d — deterministic (storage, not timing).
+    #[test]
+    fn vfd_storage_linear_vol_flat() {
+        let run_at = |n: usize| {
+            corner_case::run(
+                &CornerCaseConfig {
+                    datasets: 50,
+                    file_bytes: 512 << 10,
+                    dataset_reads: n,
+                },
+                Backend::mem(),
+                Instrumentation::Full,
+            )
+            .unwrap()
+        };
+        let a = run_at(100);
+        let b = run_at(400);
+        let vfd_ratio = b.vfd_storage() as f64 / a.vfd_storage() as f64;
+        assert!(
+            (2.0..6.0).contains(&vfd_ratio),
+            "4x the reads ≈ linear VFD growth, got {vfd_ratio:.2}x"
+        );
+        let vol_ratio = b.vol_storage() as f64 / a.vol_storage() as f64;
+        assert!(
+            vol_ratio < 1.5,
+            "VOL storage near-flat under repeated reads, got {vol_ratio:.2}x"
+        );
+    }
+
+    /// 9a/9c smoke: instrumented runs complete and overheads are finite and
+    /// sane (timing itself is too noisy to bound tightly in CI).
+    #[test]
+    fn overhead_measurements_complete() {
+        let fig = run_9a(Scale::Quick);
+        assert_eq!(fig.rows.len(), 2);
+        let fig = run_9c(Scale::Quick);
+        assert_eq!(fig.rows.len(), 2);
+        for row in &fig.rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.trim_end_matches('%').parse().unwrap();
+                assert!((0.0..2000.0).contains(&v), "absurd overhead {cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn storage_figure_renders() {
+        let fig = run_9d(Scale::Quick);
+        assert_eq!(fig.rows.len(), 2);
+        assert!(fig.render().contains("vol_pct"));
+    }
+}

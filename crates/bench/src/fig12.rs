@@ -1,0 +1,241 @@
+//! Fig. 12 — DDMD: baseline vs DaYu-optimized pipeline over iterations.
+//!
+//! DaYu's optimized plan applies four moves from Section VII-C.1:
+//! eliminate the aggregate task's access to the unused `contact_map`
+//! dataset, co-locate aggregate and inference with node-local sim outputs,
+//! pipeline training with inference (the model dependency is satisfied by
+//! the previous iteration's pre-trained model), and stage finished data
+//! out asynchronously. Paper result: 1.15x per iteration, 1.2x over a
+//! 5-iteration pipeline.
+
+use crate::{ms, speedup, speedup_f, FigResult, Scale};
+use dayu_sim::cluster::{Cluster, Placement};
+use dayu_sim::engine::{Engine, SimReport};
+use dayu_sim::tiers::TierKind;
+use dayu_vfd::MemFs;
+use dayu_workflow::{record, transform, to_sim_tasks, RecordedRun, Schedule};
+use dayu_workloads::ddmd::{self, DdmdConfig};
+
+/// Result of the baseline/optimized comparison.
+pub struct PipelineOutcome {
+    /// Per-iteration makespans, baseline, ns.
+    pub baseline_iters: Vec<u64>,
+    /// Per-iteration makespans, optimized, ns.
+    pub optimized_iters: Vec<u64>,
+    /// Full-pipeline makespans, ns.
+    pub baseline_total: u64,
+    /// Optimized total.
+    pub optimized_total: u64,
+}
+
+impl PipelineOutcome {
+    /// Whole-pipeline speedup.
+    pub fn pipeline_speedup(&self) -> f64 {
+        speedup_f(self.baseline_total, self.optimized_total)
+    }
+
+    /// Mean per-iteration speedup.
+    pub fn mean_iteration_speedup(&self) -> f64 {
+        let n = self.baseline_iters.len().max(1) as f64;
+        self.baseline_iters
+            .iter()
+            .zip(&self.optimized_iters)
+            .map(|(&b, &o)| speedup_f(b, o))
+            .sum::<f64>()
+            / n
+    }
+}
+
+fn iteration_spans(report: &SimReport, iterations: usize) -> Vec<u64> {
+    (0..iterations)
+        .map(|i| {
+            let tag = format!("_i{i}");
+            let (mut lo, mut hi) = (u64::MAX, 0u64);
+            for t in &report.tasks {
+                if t.name.contains(&tag) || t.name.ends_with(&format!("iter{i:04}.h5")) {
+                    lo = lo.min(t.start_ns);
+                    hi = hi.max(t.end_ns);
+                }
+            }
+            if lo == u64::MAX {
+                0
+            } else {
+                hi - lo
+            }
+        })
+        .collect()
+}
+
+/// Runs the comparison for a configuration on a GPU cluster of `nodes`.
+pub fn run_configuration(cfg: &DdmdConfig, nodes: usize) -> PipelineOutcome {
+    let fs = MemFs::new();
+    let run: RecordedRun = record(&ddmd::workflow(cfg), &fs).expect("record");
+    let cluster = Cluster::gpu_cluster(nodes);
+
+    // ---- Baseline: round-robin schedule, everything on BeeGFS.
+    let schedule = Schedule::round_robin(&run, nodes);
+    let baseline_tasks = to_sim_tasks(&run, &schedule);
+    let baseline = Engine::new(&cluster, &Placement::new())
+        .run(&baseline_tasks)
+        .expect("baseline");
+
+    // ---- Optimized.
+    // (1) Eliminate the unused dataset access: aggregate stops touching
+    //     contact_map entirely (its reads from sims and its writes into
+    //     the aggregated file).
+    let mut opt_bundle = run.bundle.clone();
+    for i in 0..cfg.iterations {
+        transform::drop_object_ops(
+            &mut opt_bundle,
+            &format!("aggregate_i{i}"),
+            "/contact_map",
+        );
+    }
+    let opt_run = RecordedRun {
+        bundle: opt_bundle,
+        stage_of: run.stage_of.clone(),
+        compute_ns: run.compute_ns.clone(),
+        stage_names: run.stage_names.clone(),
+    };
+    let mut schedule = Schedule::round_robin(&opt_run, nodes);
+    // (2) Co-locate aggregate and inference on node 0.
+    for i in 0..cfg.iterations {
+        schedule.assign(&format!("aggregate_i{i}"), 0);
+        schedule.assign(&format!("inference_i{i}"), 0);
+        schedule.assign(&format!("training_i{i}"), 1 % nodes);
+    }
+    let mut opt_tasks = to_sim_tasks(&opt_run, &schedule);
+    let mut placement = Placement::new();
+    // Sim outputs land on their producer's local SSD... but aggregate and
+    // inference read them from node 0, so the winning placement is node 0
+    // SSD — which the engine models as the producers paying one network
+    // hop on write and the consumers reading locally.
+    for i in 0..cfg.iterations {
+        for t in 0..cfg.sim_tasks {
+            placement.place(
+                ddmd::sim_file(i, t),
+                dayu_sim::cluster::FileLocation::NodeLocal(0, TierKind::NvmeSsd),
+            );
+        }
+        // Aggregated file local to node 0 too.
+        placement.place(
+            ddmd::aggregated_file(i),
+            dayu_sim::cluster::FileLocation::NodeLocal(0, TierKind::NvmeSsd),
+        );
+        // (4) Async stage-out of the aggregated file to shared storage.
+        let bytes = dayu_workflow::file_written_bytes(&run, &ddmd::aggregated_file(i)).max(1);
+        transform::stage_out_async(&mut opt_tasks, &ddmd::aggregated_file(i), bytes, 0);
+        // (3) Pipeline training and inference within the iteration.
+        transform::parallelize(
+            &mut opt_tasks,
+            &format!("training_i{i}"),
+            &format!("inference_i{i}"),
+        );
+    }
+    let optimized = Engine::new(&cluster, &placement)
+        .run(&opt_tasks)
+        .expect("optimized");
+
+    PipelineOutcome {
+        baseline_iters: iteration_spans(&baseline, cfg.iterations),
+        optimized_iters: iteration_spans(&optimized, cfg.iterations),
+        baseline_total: baseline.makespan_ns,
+        optimized_total: optimized.makespan_ns,
+    }
+}
+
+fn scaled_config(scale: Scale) -> (DdmdConfig, usize) {
+    match scale {
+        // DDMD is compute-dominated (simulation and training far outweigh
+        // I/O), which is why the paper's win is a modest 1.15–1.2x: the
+        // modeled compute below keeps the I/O share realistic.
+        Scale::Quick => (
+            DdmdConfig {
+                sim_tasks: 6,
+                iterations: 3,
+                contact_map_dim: 96,
+                point_cloud_points: 256,
+                scalar_series_len: 64,
+                compute_ns: 100_000_000,
+                ..Default::default()
+            },
+            4,
+        ),
+        Scale::Full => (
+            DdmdConfig {
+                sim_tasks: 12,
+                iterations: 5,
+                contact_map_dim: 512,
+                point_cloud_points: 4096,
+                scalar_series_len: 512,
+                compute_ns: 300_000_000,
+                ..Default::default()
+            },
+            4,
+        ),
+    }
+}
+
+/// Regenerates Fig. 12.
+pub fn run(scale: Scale) -> FigResult {
+    let (cfg, nodes) = scaled_config(scale);
+    let out = run_configuration(&cfg, nodes);
+    let mut fig = FigResult::new(
+        "fig12",
+        "DDMD execution per iteration: baseline (BeeGFS) vs DaYu-optimized (BeeGFS+SSD), ms",
+        &["iteration", "baseline_ms", "dayu_ms", "speedup"],
+    );
+    for (i, (&b, &o)) in out
+        .baseline_iters
+        .iter()
+        .zip(&out.optimized_iters)
+        .enumerate()
+    {
+        fig.row(vec![
+            format!("{}", i + 1),
+            ms(b),
+            ms(o),
+            speedup(b, o),
+        ]);
+    }
+    fig.row(vec![
+        "pipeline".into(),
+        ms(out.baseline_total),
+        ms(out.optimized_total),
+        speedup(out.baseline_total, out.optimized_total),
+    ]);
+    fig.note(format!(
+        "pipeline speedup {:.2}x (paper: 1.2x over 5 iterations); mean per-iteration {:.2}x (paper: 1.15x)",
+        out.pipeline_speedup(),
+        out.mean_iteration_speedup()
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimized_pipeline_wins_modestly() {
+        let (cfg, nodes) = scaled_config(Scale::Quick);
+        let out = run_configuration(&cfg, nodes);
+        let s = out.pipeline_speedup();
+        assert!(
+            s > 1.05,
+            "expected a pipeline win like the paper's 1.2x, got {s:.2}x"
+        );
+        assert!(
+            s < 4.0,
+            "DDMD is compute-heavy; the win should be modest, got {s:.2}x"
+        );
+        assert!(out.mean_iteration_speedup() > 1.0);
+    }
+
+    #[test]
+    fn every_iteration_reported() {
+        let fig = run(Scale::Quick);
+        assert_eq!(fig.rows.len(), 4, "3 iterations + pipeline row");
+        assert!(fig.render().contains("pipeline"));
+    }
+}

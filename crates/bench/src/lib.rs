@@ -1,0 +1,167 @@
+//! # dayu-bench
+//!
+//! The benchmark harness: one regenerator per table and figure of the
+//! paper's evaluation (Sections VI and VII), callable from the `figures`
+//! binary (`cargo run -p dayu-bench --bin figures -- all`) and exercised in
+//! shape-asserting tests.
+//!
+//! | Module | Regenerates |
+//! |--------|-------------|
+//! | [`tables`] | Tables I, II (captured semantics) and III (machine models) |
+//! | [`fig01`]  | Fig. 1 — fragmentation / VL address scatter |
+//! | [`fig_graphs`] | Figs. 3–8 — FTG/SDG artifacts for the three workflows |
+//! | [`fig09`]  | Fig. 9a–d — mapper time and storage overhead |
+//! | [`fig10`]  | Fig. 10a/b — component breakdown |
+//! | [`fig11`]  | Fig. 11 — PyFLEXTRKR stages 3–5 placement optimization |
+//! | [`fig12`]  | Fig. 12 — DDMD pipeline optimization over iterations |
+//! | [`fig13`]  | Fig. 13a–c — data layout optimizations |
+//! | [`ablation`] | design ablations (context channel, replay vs coarse model) |
+//!
+//! Absolute numbers differ from the paper (the substrate is a simulator,
+//! not the authors' testbed); regenerators aim to reproduce the *shape*:
+//! who wins, by roughly what factor, and where the crossovers fall.
+
+pub mod ablation;
+pub mod fig01;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig_graphs;
+pub mod tables;
+
+/// How big to run a regenerator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale parameters for tests and quick looks.
+    Quick,
+    /// Larger parameters for the recorded EXPERIMENTS.md runs (still
+    /// laptop-scale; the paper's absolute sizes are scaled down ~100x).
+    Full,
+}
+
+/// One regenerated figure/table: a titled data table plus commentary.
+#[derive(Clone, Debug)]
+pub struct FigResult {
+    /// Identifier, e.g. `"fig9a"`.
+    pub id: String,
+    /// What the paper's artifact shows.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Shape statements: the qualitative claims the paper makes, evaluated
+    /// against this run ("chunked wins by 1.8x", …).
+    pub notes: Vec<String>,
+}
+
+impl FigResult {
+    /// A new empty result.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Self {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.columns.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a shape note.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        let hdr: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<w$}", w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "  {}", hdr.join(" | "));
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "  {}", rule.join("-+-"));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<w$}", w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "  {}", cells.join(" | "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  * {n}");
+        }
+        out
+    }
+}
+
+/// Formats nanoseconds as engineering-friendly milliseconds.
+pub fn ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(f: f64) -> String {
+    format!("{:.3}%", f * 100.0)
+}
+
+/// Formats a speedup factor.
+pub fn speedup(baseline: u64, optimized: u64) -> String {
+    if optimized == 0 {
+        return "inf".into();
+    }
+    format!("{:.2}x", baseline as f64 / optimized as f64)
+}
+
+/// Speedup as a float.
+pub fn speedup_f(baseline: u64, optimized: u64) -> f64 {
+    baseline as f64 / optimized.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut f = FigResult::new("figX", "demo", &["a", "long_column"]);
+        f.row(vec!["1".into(), "2".into()]);
+        f.row(vec!["wide cell".into(), "3".into()]);
+        f.note("a note");
+        let r = f.render();
+        assert!(r.contains("== figX — demo"));
+        assert!(r.contains("a         | long_column"));
+        assert!(r.contains("* a note"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(1_500_000), "1.500");
+        assert_eq!(pct(0.0425), "4.250%");
+        assert_eq!(speedup(300, 100), "3.00x");
+        assert_eq!(speedup(300, 0), "inf");
+        assert!((speedup_f(300, 100) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,97 @@
+//! Offline analysis of a persisted DaYu trace — the post-execution half of
+//! the toolset: point it at a `trace.jsonl` produced by any instrumented
+//! run and get the graphs, findings and recommendations.
+//!
+//! ```text
+//! dayu-analyze trace.jsonl                 # summary to stdout
+//! dayu-analyze trace.jsonl --out report/   # + FTG/SDG html/dot/json
+//! dayu-analyze trace.jsonl --regions 8     # address-region nodes
+//! dayu-analyze trace.jsonl --aggregate     # collapse parallel task groups
+//! ```
+
+use dayu_analyzer::{export, resolution, Analysis, DetectorConfig, SdgOptions};
+use dayu_trace::TraceBundle;
+use std::io::BufReader;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: dayu-analyze <trace.jsonl> [--out DIR] [--regions N] [--aggregate]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut input: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut regions: u64 = 0;
+    let mut aggregate = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--regions" => {
+                regions = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--aggregate" => aggregate = true,
+            "-h" | "--help" => usage(),
+            p if input.is_none() => input = Some(PathBuf::from(p)),
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+
+    let file = std::fs::File::open(&input).unwrap_or_else(|e| {
+        eprintln!("cannot open {}: {e}", input.display());
+        std::process::exit(1);
+    });
+    let bundle = TraceBundle::read_jsonl(BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot parse {}: {e}", input.display());
+        std::process::exit(1);
+    });
+
+    let sdg_opts = SdgOptions {
+        include_regions: regions > 0,
+        region_count: regions.max(4),
+    };
+    let analysis = Analysis::run_with(&bundle, &sdg_opts, &DetectorConfig::default());
+    let recommendations = dayu_advisor::advise(&analysis.findings);
+
+    println!("workflow {:?}", bundle.meta.workflow);
+    println!(
+        "  tasks: {}, object records: {}, low-level ops: {}, files: {}",
+        bundle.meta.task_order.len(),
+        bundle.vol.len(),
+        bundle.vfd.len(),
+        bundle.files.len()
+    );
+    let (mut ftg, mut sdg) = (analysis.ftg, analysis.sdg);
+    if aggregate {
+        ftg = resolution::aggregate(&ftg, &resolution::by_task_prefix);
+        sdg = resolution::aggregate(&sdg, &resolution::by_task_prefix);
+        println!("  (task groups aggregated by numeric-suffix prefix)");
+    }
+    println!(
+        "  FTG: {} nodes / {} edges;  SDG: {} nodes / {} edges",
+        ftg.nodes.len(),
+        ftg.edges.len(),
+        sdg.nodes.len(),
+        sdg.edges.len()
+    );
+    println!("\nfindings ({}):", analysis.findings.len());
+    for f in &analysis.findings {
+        println!("  [{}] {f:?}", f.category());
+    }
+    println!("\n{}", dayu_advisor::report(&recommendations));
+
+    if let Some(dir) = out {
+        std::fs::create_dir_all(&dir).expect("create out dir");
+        for (g, name) in [(&ftg, "ftg"), (&sdg, "sdg")] {
+            std::fs::write(dir.join(format!("{name}.dot")), export::to_dot(g)).unwrap();
+            std::fs::write(dir.join(format!("{name}.html")), export::to_html(g)).unwrap();
+            std::fs::write(dir.join(format!("{name}.json")), export::to_json(g)).unwrap();
+        }
+        println!("graphs written to {}/", dir.display());
+    }
+}

@@ -1,0 +1,111 @@
+//! Inspect a file written by the format library — the `h5ls`/`h5dump`
+//! counterpart for this repo's self-describing format.
+//!
+//! ```text
+//! dayu-h5ls file.h5              # object tree with shapes/layouts
+//! dayu-h5ls file.h5 --extents    # + file extents per dataset (fragmentation)
+//! dayu-h5ls file.h5 --attrs      # + attributes
+//! ```
+
+use dayu_hdf::{AttrValue, FileOptions, Group, H5File, LayoutKind};
+use dayu_trace::vol::ObjectKind;
+use dayu_vfd::FileVfd;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: dayu-h5ls <file> [--extents] [--attrs]");
+    std::process::exit(2);
+}
+
+fn fmt_attr(v: &AttrValue) -> String {
+    match v {
+        AttrValue::U64(x) => x.to_string(),
+        AttrValue::I64(x) => x.to_string(),
+        AttrValue::F64(x) => x.to_string(),
+        AttrValue::Str(s) => format!("{s:?}"),
+        AttrValue::Bytes(b) => format!("<{} bytes>", b.len()),
+    }
+}
+
+fn walk(group: &Group, indent: usize, extents: bool, attrs: bool) {
+    let pad = "  ".repeat(indent);
+    if attrs {
+        for a in group.attrs().unwrap_or_default() {
+            println!("{pad}  @{} = {}", a.name, fmt_attr(&a.value));
+        }
+    }
+    for (name, kind) in group.list().unwrap_or_default() {
+        match kind {
+            ObjectKind::Group => {
+                println!("{pad}{name}/");
+                if let Ok(child) = group.open_group(&name) {
+                    walk(&child, indent + 1, extents, attrs);
+                }
+            }
+            _ => {
+                let Ok(mut ds) = group.open_dataset(&name) else {
+                    println!("{pad}{name}  <unreadable>");
+                    continue;
+                };
+                let layout = match ds.layout() {
+                    LayoutKind::Compact => "compact",
+                    LayoutKind::Contiguous => "contiguous",
+                    LayoutKind::Chunked => "chunked",
+                };
+                println!(
+                    "{pad}{name}  shape {:?}  {:?}  {layout}",
+                    ds.shape(),
+                    ds.dtype()
+                );
+                if attrs {
+                    for a in ds.attrs().unwrap_or_default() {
+                        println!("{pad}  @{} = {}", a.name, fmt_attr(&a.value));
+                    }
+                }
+                if extents {
+                    match ds.extents() {
+                        Ok(ext) if ext.is_empty() => {
+                            println!("{pad}  extents: (none allocated)")
+                        }
+                        Ok(ext) => {
+                            for (addr, len) in ext {
+                                println!("{pad}  extent [{addr}, {})", addr + len);
+                            }
+                        }
+                        Err(e) => println!("{pad}  extents: error: {e}"),
+                    }
+                }
+                let _ = ds.close();
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut path: Option<PathBuf> = None;
+    let mut extents = false;
+    let mut attrs = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--extents" => extents = true,
+            "--attrs" => attrs = true,
+            "-h" | "--help" => usage(),
+            p if path.is_none() => path = Some(PathBuf::from(p)),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let vfd = FileVfd::open(&path).unwrap_or_else(|e| {
+        eprintln!("cannot open {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let name = path.file_name().and_then(|s| s.to_str()).unwrap_or("file");
+    let file = H5File::open(vfd, name, FileOptions::default()).unwrap_or_else(|e| {
+        eprintln!("not a valid file: {e}");
+        std::process::exit(1);
+    });
+    println!("{name}  ({} bytes allocated, {} free)", file.eof(), file.free_space());
+    println!("/");
+    walk(&file.root(), 1, extents, attrs);
+    let _ = file.close();
+}

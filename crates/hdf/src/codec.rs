@@ -1,0 +1,222 @@
+//! Little-endian binary encoding helpers for on-storage metadata structures.
+//!
+//! All format metadata (superblock, object headers, group tables, chunk
+//! indexes, heap headers) is encoded with these helpers so the byte layout
+//! is explicit and stable — the analyzer's address-region views depend on
+//! metadata structures having well-defined extents.
+
+use crate::error::{HdfError, Result};
+
+/// Append-only encoder.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Fresh empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encoder with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a length-prefixed (u16) UTF-8 string.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        debug_assert!(v.len() <= u16::MAX as usize, "name too long");
+        self.u16(v.len() as u16);
+        self.buf.extend_from_slice(v.as_bytes());
+        self
+    }
+
+    /// Pads with zeros up to `len` total bytes (no-op if already longer).
+    pub fn pad_to(&mut self, len: usize) -> &mut Self {
+        if self.buf.len() < len {
+            self.buf.resize(len, 0);
+        }
+        self
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finishes, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-based decoder over a byte slice.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Decoder over `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(HdfError::Corrupt(format!(
+                "decode past end: need {n} bytes at {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed (u16) UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| HdfError::Corrupt("invalid UTF-8 in name".into()))
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut e = Encoder::new();
+        e.u8(0xAB)
+            .u16(0xCDEF)
+            .u32(0xDEADBEEF)
+            .u64(0x0123456789ABCDEF)
+            .str("hello")
+            .bytes(&[1, 2, 3]);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.u8().unwrap(), 0xAB);
+        assert_eq!(d.u16().unwrap(), 0xCDEF);
+        assert_eq!(d.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(d.u64().unwrap(), 0x0123456789ABCDEF);
+        assert_eq!(d.str().unwrap(), "hello");
+        assert_eq!(d.bytes(3).unwrap(), &[1, 2, 3]);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn pad_to_extends_but_never_shrinks() {
+        let mut e = Encoder::new();
+        e.u32(7).pad_to(16);
+        assert_eq!(e.len(), 16);
+        e.pad_to(8);
+        assert_eq!(e.len(), 16);
+    }
+
+    #[test]
+    fn decode_past_end_is_corrupt_error() {
+        let mut d = Decoder::new(&[1, 2]);
+        assert!(matches!(d.u32(), Err(HdfError::Corrupt(_))));
+        // Failed reads do not advance the cursor.
+        assert_eq!(d.u16().unwrap(), 0x0201);
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt_error() {
+        let mut e = Encoder::new();
+        e.u16(2).bytes(&[0xFF, 0xFE]);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert!(matches!(d.str(), Err(HdfError::Corrupt(_))));
+    }
+
+    #[test]
+    fn position_tracking() {
+        let mut e = Encoder::new();
+        assert!(e.is_empty());
+        e.u64(0);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.position(), 0);
+        d.u32().unwrap();
+        assert_eq!(d.position(), 4);
+        assert_eq!(d.remaining(), 4);
+    }
+}

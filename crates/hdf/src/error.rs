@@ -1,0 +1,84 @@
+//! Error type for format operations.
+
+use dayu_vfd::VfdError;
+use std::fmt;
+
+/// Errors raised by the format library.
+#[derive(Debug)]
+pub enum HdfError {
+    /// Underlying driver failure.
+    Vfd(VfdError),
+    /// Named object does not exist.
+    NotFound(String),
+    /// An object with that name already exists in the group.
+    AlreadyExists(String),
+    /// Operation incompatible with the object's datatype or layout (e.g.
+    /// fixed-size read of a variable-length dataset).
+    TypeMismatch(String),
+    /// Caller-supplied shapes/selections/sizes are inconsistent.
+    InvalidArgument(String),
+    /// The bytes on storage do not decode as valid format structures.
+    Corrupt(String),
+    /// The file or object handle was already closed.
+    Closed,
+}
+
+impl fmt::Display for HdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdfError::Vfd(e) => write!(f, "driver error: {e}"),
+            HdfError::NotFound(n) => write!(f, "object not found: {n}"),
+            HdfError::AlreadyExists(n) => write!(f, "object already exists: {n}"),
+            HdfError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            HdfError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            HdfError::Corrupt(m) => write!(f, "corrupt file structure: {m}"),
+            HdfError::Closed => write!(f, "handle already closed"),
+        }
+    }
+}
+
+impl std::error::Error for HdfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HdfError::Vfd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VfdError> for HdfError {
+    fn from(e: VfdError) -> Self {
+        HdfError::Vfd(e)
+    }
+}
+
+/// Result alias for format operations.
+pub type Result<T> = std::result::Result<T, HdfError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(HdfError::NotFound("/x".into()).to_string().contains("/x"));
+        assert!(HdfError::AlreadyExists("d".into())
+            .to_string()
+            .contains("already exists"));
+        assert!(HdfError::TypeMismatch("vl".into())
+            .to_string()
+            .contains("type mismatch"));
+        assert!(HdfError::InvalidArgument("bad".into())
+            .to_string()
+            .contains("invalid"));
+        assert!(HdfError::Corrupt("magic".into())
+            .to_string()
+            .contains("corrupt"));
+        assert!(HdfError::Closed.to_string().contains("closed"));
+        let v: HdfError = VfdError::Closed.into();
+        assert!(v.to_string().contains("driver error"));
+        use std::error::Error;
+        assert!(v.source().is_some());
+        assert!(HdfError::Closed.source().is_none());
+    }
+}

@@ -1,0 +1,327 @@
+//! File handles and the shared file core.
+//!
+//! [`H5File`] owns a [`RawFile`] (driver + allocator), the global heap, the
+//! header cache, and the observation plumbing (VOL [`HookSet`], shared
+//! context, clock). [`crate::Group`] and [`crate::Dataset`]
+//! handles share the core through an `Arc<Mutex<…>>`, mirroring HDF5 where
+//! every object handle operates on the containing file's state.
+//!
+//! The header cache is read-cached but **write-through**: header updates go
+//! to storage immediately, so metadata churn is visible to the VFD profiler
+//! the way it is in HDF5 traces.
+
+use crate::error::{HdfError, Result};
+use crate::group::Group;
+use crate::heap::{GlobalHeap, DEFAULT_HEAP_BLOCK};
+use crate::hooks::HookSet;
+use crate::meta::{ObjectHeader, Superblock, HEADER_BLOCK_SIZE, SUPERBLOCK_SIZE};
+use crate::raw::RawFile;
+use dayu_trace::context::SharedContext;
+use dayu_trace::ids::FileKey;
+use dayu_trace::time::{Clock, RealClock, Timestamp};
+use dayu_trace::vfd::AccessType;
+use dayu_vfd::Vfd;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Configuration for creating or opening a file.
+#[derive(Clone)]
+pub struct FileOptions {
+    /// VOL hooks observing object-level events.
+    pub hooks: HookSet,
+    /// The VOL→VFD context channel; the format publishes the current object
+    /// here so a profiling driver can attribute low-level I/O.
+    pub context: SharedContext,
+    /// Time source for VOL event stamps.
+    pub clock: Arc<dyn Clock>,
+    /// Global heap block size for variable-length payloads.
+    pub heap_block_size: u64,
+    /// Default chunk cache capacity per dataset, in bytes.
+    pub chunk_cache_bytes: u64,
+}
+
+impl Default for FileOptions {
+    fn default() -> Self {
+        Self {
+            hooks: HookSet::none(),
+            context: SharedContext::new(),
+            clock: Arc::new(RealClock::new()),
+            heap_block_size: DEFAULT_HEAP_BLOCK,
+            chunk_cache_bytes: crate::chunk::DEFAULT_CACHE_BYTES,
+        }
+    }
+}
+
+impl std::fmt::Debug for FileOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileOptions")
+            .field("hooks", &self.hooks)
+            .field("heap_block_size", &self.heap_block_size)
+            .field("chunk_cache_bytes", &self.chunk_cache_bytes)
+            .finish()
+    }
+}
+
+/// Shared mutable state of one open file.
+pub(crate) struct FileCore {
+    pub(crate) name: FileKey,
+    pub(crate) rf: RawFile,
+    pub(crate) heap: GlobalHeap,
+    pub(crate) hooks: HookSet,
+    pub(crate) ctx: SharedContext,
+    pub(crate) clock: Arc<dyn Clock>,
+    pub(crate) chunk_cache_bytes: u64,
+    header_cache: HashMap<u64, ObjectHeader>,
+    root_addr: u64,
+    open: bool,
+    /// `rf.write_count()` when the file was opened; if unchanged at close,
+    /// the session was read-only and the superblock is not rewritten (so
+    /// pure readers do not appear as writers in FTGs).
+    writes_at_open: u64,
+}
+
+impl FileCore {
+    pub(crate) fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// Address of the root group's object header.
+    pub(crate) fn root_header_addr(&self) -> u64 {
+        self.root_addr
+    }
+
+    pub(crate) fn check_open(&self) -> Result<()> {
+        if self.open {
+            Ok(())
+        } else {
+            Err(HdfError::Closed)
+        }
+    }
+
+    /// Loads an object header, serving repeats from the cache (a minimal
+    /// metadata cache, like HDF5's).
+    pub(crate) fn load_header(&mut self, addr: u64) -> Result<ObjectHeader> {
+        if let Some(h) = self.header_cache.get(&addr) {
+            return Ok(h.clone());
+        }
+        let buf = self
+            .rf
+            .read_at(addr, HEADER_BLOCK_SIZE, AccessType::Metadata)?;
+        let h = ObjectHeader::decode(&buf)?;
+        self.header_cache.insert(addr, h.clone());
+        Ok(h)
+    }
+
+    /// Writes a header through to storage and updates the cache.
+    pub(crate) fn store_header(&mut self, addr: u64, h: &ObjectHeader) -> Result<()> {
+        let bytes = h.encode()?;
+        self.rf.write_at(addr, &bytes, AccessType::Metadata)?;
+        self.header_cache.insert(addr, h.clone());
+        Ok(())
+    }
+
+    /// Allocates a header block and writes `h` into it.
+    pub(crate) fn create_header(&mut self, h: &ObjectHeader) -> Result<u64> {
+        let addr = self.rf.alloc(HEADER_BLOCK_SIZE)?;
+        self.store_header(addr, h)?;
+        Ok(addr)
+    }
+
+    fn write_superblock(&mut self) -> Result<()> {
+        let sb = Superblock {
+            root_addr: self.root_addr,
+            eof: self.rf.eof(),
+        };
+        self.rf.write_at(0, &sb.encode(), AccessType::Metadata)?;
+        Ok(())
+    }
+}
+
+/// An open format file.
+pub struct H5File {
+    pub(crate) core: Arc<Mutex<FileCore>>,
+}
+
+impl H5File {
+    /// Creates a new file on `vfd` (existing contents are ignored and
+    /// overwritten from address 0).
+    pub fn create<V: Vfd + 'static>(vfd: V, name: &str, opts: FileOptions) -> Result<H5File> {
+        let mut core = FileCore {
+            name: FileKey::new(name),
+            rf: RawFile::new(Box::new(vfd), SUPERBLOCK_SIZE),
+            heap: GlobalHeap::new(opts.heap_block_size),
+            hooks: opts.hooks,
+            ctx: opts.context,
+            clock: opts.clock,
+            chunk_cache_bytes: opts.chunk_cache_bytes,
+            header_cache: HashMap::new(),
+            root_addr: 0,
+            open: true,
+            writes_at_open: 0,
+        };
+        // Root group header.
+        let root = ObjectHeader::new_group();
+        let root_addr = core.create_header(&root)?;
+        core.root_addr = root_addr;
+        core.write_superblock()?;
+        let now = core.now();
+        let name_key = core.name.clone();
+        core.hooks.each(|h| h.file_opened(&name_key, now));
+        Ok(H5File {
+            core: Arc::new(Mutex::new(core)),
+        })
+    }
+
+    /// Opens an existing file on `vfd`.
+    pub fn open<V: Vfd + 'static>(vfd: V, name: &str, opts: FileOptions) -> Result<H5File> {
+        let mut rf = RawFile::new(Box::new(vfd), SUPERBLOCK_SIZE);
+        let sb_bytes = rf.read_at(0, SUPERBLOCK_SIZE, AccessType::Metadata)?;
+        let sb = Superblock::decode(&sb_bytes)?;
+        let mut core = FileCore {
+            name: FileKey::new(name),
+            rf: RawFile::new(Box::new(NullVfd), 0), // replaced below
+            heap: GlobalHeap::new(opts.heap_block_size),
+            hooks: opts.hooks,
+            ctx: opts.context,
+            clock: opts.clock,
+            chunk_cache_bytes: opts.chunk_cache_bytes,
+            header_cache: HashMap::new(),
+            root_addr: sb.root_addr,
+            open: true,
+            writes_at_open: 0,
+        };
+        // Rebuild the raw file with allocation starting at the persisted EOF.
+        core.rf = rf.restart_at(sb.eof);
+        let now = core.now();
+        let name_key = core.name.clone();
+        core.hooks.each(|h| h.file_opened(&name_key, now));
+        Ok(H5File {
+            core: Arc::new(Mutex::new(core)),
+        })
+    }
+
+    /// The file's name key.
+    pub fn name(&self) -> FileKey {
+        self.core.lock().name.clone()
+    }
+
+    /// The root group.
+    pub fn root(&self) -> Group {
+        Group::root(self.core.clone())
+    }
+
+    /// Flushes the heap's current block and the superblock without closing.
+    pub fn flush(&self) -> Result<()> {
+        let mut core = self.core.lock();
+        core.check_open()?;
+        let FileCore { rf, heap, .. } = &mut *core;
+        heap.flush(rf)?;
+        if core.rf.write_count() > core.writes_at_open {
+            core.write_superblock()?;
+        }
+        core.rf.flush()?;
+        Ok(())
+    }
+
+    /// Closes the file: flushes the heap and superblock, truncates to EOF,
+    /// closes the driver and fires the `file_closed` hook. Dataset handles
+    /// must be closed first (their chunk caches flush on their close).
+    pub fn close(&self) -> Result<()> {
+        let mut core = self.core.lock();
+        core.check_open()?;
+        {
+            let FileCore { rf, heap, .. } = &mut *core;
+            heap.flush(rf)?;
+        }
+        if core.rf.write_count() > core.writes_at_open {
+            core.write_superblock()?;
+        }
+        core.rf.close()?;
+        core.open = false;
+        let now = core.now();
+        let name_key = core.name.clone();
+        core.hooks.each(|h| h.file_closed(&name_key, now));
+        Ok(())
+    }
+
+    /// Current end-of-file (allocated bytes).
+    pub fn eof(&self) -> u64 {
+        self.core.lock().rf.eof()
+    }
+
+    /// Bytes currently on the internal free list (fragmentation metric).
+    pub fn free_space(&self) -> u64 {
+        self.core.lock().rf.free_bytes()
+    }
+}
+
+impl RawFile {
+    /// Consumes this raw file and returns one whose allocator starts at
+    /// `eof` (used when opening an existing file whose superblock records
+    /// the persisted end-of-file).
+    fn restart_at(self, eof: u64) -> RawFile {
+        RawFile::new(self.into_vfd(), eof)
+    }
+}
+
+/// Inert driver used briefly during two-phase open.
+struct NullVfd;
+
+impl Vfd for NullVfd {
+    fn read(&mut self, _: u64, _: &mut [u8], _: AccessType) -> dayu_vfd::Result<()> {
+        Err(dayu_vfd::VfdError::Closed)
+    }
+    fn write(&mut self, _: u64, _: &[u8], _: AccessType) -> dayu_vfd::Result<()> {
+        Err(dayu_vfd::VfdError::Closed)
+    }
+    fn eof(&self) -> u64 {
+        0
+    }
+    fn truncate(&mut self, _: u64) -> dayu_vfd::Result<()> {
+        Err(dayu_vfd::VfdError::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_vfd::{MemFs, MemVfd};
+
+    #[test]
+    fn create_close_reopen() {
+        let fs = MemFs::new();
+        let f = H5File::create(fs.create("a.h5"), "a.h5", FileOptions::default()).unwrap();
+        assert_eq!(f.name().as_str(), "a.h5");
+        assert!(f.eof() >= SUPERBLOCK_SIZE + HEADER_BLOCK_SIZE);
+        f.close().unwrap();
+
+        let f2 = H5File::open(fs.open("a.h5"), "a.h5", FileOptions::default()).unwrap();
+        let root = f2.root();
+        assert_eq!(root.list().unwrap().len(), 0);
+        f2.close().unwrap();
+    }
+
+    #[test]
+    fn double_close_is_an_error() {
+        let f = H5File::create(MemVfd::new(), "x", FileOptions::default()).unwrap();
+        f.close().unwrap();
+        assert!(matches!(f.close(), Err(HdfError::Closed)));
+        assert!(matches!(f.flush(), Err(HdfError::Closed)));
+    }
+
+    #[test]
+    fn open_garbage_is_corrupt() {
+        let v = MemVfd::with_bytes(vec![0u8; 128]);
+        assert!(matches!(
+            H5File::open(v, "bad", FileOptions::default()),
+            Err(HdfError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn open_truncated_file_is_error() {
+        let v = MemVfd::with_bytes(vec![0u8; 10]);
+        assert!(H5File::open(v, "tiny", FileOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,453 @@
+//! Groups: hierarchical containers of datasets and other groups.
+//!
+//! A group's children live in an *entry table* block (the analogue of
+//! HDF5's symbol table): a packed list of `(name, header address, kind)`
+//! entries. Adding a child rewrites the table into a freshly allocated
+//! block and frees the old one — exactly the metadata-churn pattern that
+//! makes object creation visible as small metadata I/O in VFD traces.
+
+use crate::codec::{Decoder, Encoder};
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::{HdfError, Result};
+use crate::file::FileCore;
+use crate::meta::{self, AttrValue, Attribute, ObjectHeader};
+use dayu_trace::ids::ObjectKey;
+use dayu_trace::vfd::AccessType;
+use dayu_trace::vol::{ObjectDescription, ObjectKind};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One child entry of a group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Child's leaf name.
+    pub name: String,
+    /// Address of the child's object header.
+    pub addr: u64,
+    /// Group or dataset.
+    pub kind: ObjectKind,
+}
+
+pub(crate) fn encode_table(entries: &[Entry]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u32(entries.len() as u32);
+    for en in entries {
+        e.str(&en.name).u64(en.addr).u8(match en.kind {
+            ObjectKind::Group => 1,
+            _ => 2,
+        });
+    }
+    e.finish()
+}
+
+pub(crate) fn decode_table(buf: &[u8]) -> Result<Vec<Entry>> {
+    let mut d = Decoder::new(buf);
+    let n = d.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let name = d.str()?;
+        let addr = d.u64()?;
+        let kind = match d.u8()? {
+            1 => ObjectKind::Group,
+            2 => ObjectKind::Dataset,
+            k => return Err(HdfError::Corrupt(format!("bad entry kind {k}"))),
+        };
+        out.push(Entry { name, addr, kind });
+    }
+    Ok(out)
+}
+
+/// Handle to a group within an open file.
+pub struct Group {
+    core: Arc<Mutex<FileCore>>,
+    header_addr: u64,
+    path: String,
+    is_root: bool,
+}
+
+impl Group {
+    pub(crate) fn root(core: Arc<Mutex<FileCore>>) -> Group {
+        let header_addr = {
+            let core_guard = core.lock();
+            // Root header address is recorded in the superblock which the
+            // core loaded at open; it is always the first header block.
+            core_guard.root_header_addr()
+        };
+        Group {
+            core,
+            header_addr,
+            path: "/".to_owned(),
+            is_root: true,
+        }
+    }
+
+    /// This group's full path (e.g. `/` or `/sim/step0`).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    fn child_path(&self, name: &str) -> String {
+        if self.is_root {
+            format!("/{name}")
+        } else {
+            format!("{}/{name}", self.path)
+        }
+    }
+
+    fn load_entries(core: &mut FileCore, header: &ObjectHeader) -> Result<Vec<Entry>> {
+        if header.table_addr == 0 {
+            return Ok(Vec::new());
+        }
+        let buf = core
+            .rf
+            .read_at(header.table_addr, header.table_len, AccessType::Metadata)?;
+        decode_table(&buf)
+    }
+
+    fn store_entries(
+        core: &mut FileCore,
+        header_addr: u64,
+        header: &mut ObjectHeader,
+        entries: &[Entry],
+    ) -> Result<()> {
+        let bytes = encode_table(entries);
+        let new_addr = core.rf.alloc_write(&bytes, AccessType::Metadata)?;
+        if header.table_addr != 0 {
+            core.rf.free(header.table_addr, header.table_len);
+        }
+        header.table_addr = new_addr;
+        header.table_len = bytes.len() as u64;
+        core.store_header(header_addr, header)?;
+        Ok(())
+    }
+
+    fn insert_child(&self, name: &str, child: &ObjectHeader) -> Result<u64> {
+        let mut core = self.core.lock();
+        core.check_open()?;
+        let mut header = core.load_header(self.header_addr)?;
+        let mut entries = Self::load_entries(&mut core, &header)?;
+        if entries.iter().any(|e| e.name == name) {
+            return Err(HdfError::AlreadyExists(self.child_path(name)));
+        }
+        let child_addr = core.create_header(child)?;
+        entries.push(Entry {
+            name: name.to_owned(),
+            addr: child_addr,
+            kind: child.kind,
+        });
+        Self::store_entries(&mut core, self.header_addr, &mut header, &entries)?;
+        Ok(child_addr)
+    }
+
+    fn find_child(&self, name: &str) -> Result<Entry> {
+        let mut core = self.core.lock();
+        core.check_open()?;
+        let header = core.load_header(self.header_addr)?;
+        let entries = Self::load_entries(&mut core, &header)?;
+        entries
+            .into_iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| HdfError::NotFound(self.child_path(name)))
+    }
+
+    /// Creates a child group.
+    pub fn create_group(&self, name: &str) -> Result<Group> {
+        let path = self.child_path(name);
+        let ctx = self.core.lock().ctx.clone();
+        let key = ObjectKey::new(path.clone());
+        let addr = ctx.with_object(key.clone(), AccessType::Metadata, || {
+            self.insert_child(name, &ObjectHeader::new_group())
+        })?;
+        {
+            let core = self.core.lock();
+            let now = core.now();
+            let file = core.name.clone();
+            core.hooks.each(|h| {
+                h.object_opened(
+                    &file,
+                    &key,
+                    ObjectKind::Group,
+                    &ObjectDescription::default(),
+                    now,
+                )
+            });
+        }
+        Ok(Group {
+            core: self.core.clone(),
+            header_addr: addr,
+            path,
+            is_root: false,
+        })
+    }
+
+    /// Opens an existing child group.
+    pub fn open_group(&self, name: &str) -> Result<Group> {
+        let path = self.child_path(name);
+        let key = ObjectKey::new(path.clone());
+        let ctx = self.core.lock().ctx.clone();
+        let entry = ctx.with_object(key.clone(), AccessType::Metadata, || {
+            let entry = self.find_child(name)?;
+            if entry.kind != ObjectKind::Group {
+                return Err(HdfError::TypeMismatch(format!("{path} is not a group")));
+            }
+            // Pull the header into the cache under the object's scope so the
+            // metadata read is attributed to it.
+            self.core.lock().load_header(entry.addr)?;
+            Ok(entry)
+        })?;
+        {
+            let core = self.core.lock();
+            let now = core.now();
+            let file = core.name.clone();
+            core.hooks.each(|h| {
+                h.object_opened(
+                    &file,
+                    &key,
+                    ObjectKind::Group,
+                    &ObjectDescription::default(),
+                    now,
+                )
+            });
+        }
+        Ok(Group {
+            core: self.core.clone(),
+            header_addr: entry.addr,
+            path,
+            is_root: false,
+        })
+    }
+
+    /// Creates a dataset in this group per the builder's specification.
+    pub fn create_dataset(&self, name: &str, builder: DatasetBuilder) -> Result<Dataset> {
+        Dataset::create(self.core.clone(), self, name, builder)
+    }
+
+    /// Opens an existing dataset.
+    pub fn open_dataset(&self, name: &str) -> Result<Dataset> {
+        Dataset::open(self.core.clone(), self, name)
+    }
+
+    /// Lists the group's children as `(name, kind)` pairs.
+    pub fn list(&self) -> Result<Vec<(String, ObjectKind)>> {
+        let mut core = self.core.lock();
+        core.check_open()?;
+        let header = core.load_header(self.header_addr)?;
+        let entries = Self::load_entries(&mut core, &header)?;
+        Ok(entries.into_iter().map(|e| (e.name, e.kind)).collect())
+    }
+
+    /// Whether a child with `name` exists.
+    pub fn exists(&self, name: &str) -> Result<bool> {
+        match self.find_child(name) {
+            Ok(_) => Ok(true),
+            Err(HdfError::NotFound(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Sets (or replaces) an attribute on this group.
+    pub fn set_attr(&self, name: &str, value: AttrValue) -> Result<()> {
+        set_attr_on(&self.core, self.header_addr, &self.path, name, value)
+    }
+
+    /// Reads an attribute of this group.
+    pub fn attr(&self, name: &str) -> Result<Option<AttrValue>> {
+        attr_on(&self.core, self.header_addr, name)
+    }
+
+    /// All attributes of this group.
+    pub fn attrs(&self) -> Result<Vec<Attribute>> {
+        attrs_on(&self.core, self.header_addr)
+    }
+
+    pub(crate) fn insert_child_header(&self, name: &str, header: &ObjectHeader) -> Result<u64> {
+        self.insert_child(name, header)
+    }
+
+    pub(crate) fn lookup_child(&self, name: &str) -> Result<Entry> {
+        self.find_child(name)
+    }
+
+    pub(crate) fn make_child_path(&self, name: &str) -> String {
+        self.child_path(name)
+    }
+}
+
+/// Shared attribute mutation used by both groups and datasets: loads the
+/// attribute block, updates it, writes a fresh block and frees the old one.
+pub(crate) fn set_attr_on(
+    core: &Arc<Mutex<FileCore>>,
+    header_addr: u64,
+    path: &str,
+    name: &str,
+    value: AttrValue,
+) -> Result<()> {
+    let ctx = core.lock().ctx.clone();
+    ctx.with_object(ObjectKey::new(path), AccessType::Metadata, || {
+        let mut core = core.lock();
+        core.check_open()?;
+        let mut header = core.load_header(header_addr)?;
+        let mut attrs = if header.attr_addr == 0 {
+            Vec::new()
+        } else {
+            let buf = core
+                .rf
+                .read_at(header.attr_addr, header.attr_len, AccessType::Metadata)?;
+            meta::decode_attrs(&buf)?
+        };
+        match attrs.iter_mut().find(|a| a.name == name) {
+            Some(a) => a.value = value,
+            None => attrs.push(Attribute {
+                name: name.to_owned(),
+                value,
+            }),
+        }
+        let bytes = meta::encode_attrs(&attrs);
+        let new_addr = core.rf.alloc_write(&bytes, AccessType::Metadata)?;
+        if header.attr_addr != 0 {
+            core.rf.free(header.attr_addr, header.attr_len);
+        }
+        header.attr_addr = new_addr;
+        header.attr_len = bytes.len() as u64;
+        core.store_header(header_addr, &header)
+    })
+}
+
+pub(crate) fn attr_on(
+    core: &Arc<Mutex<FileCore>>,
+    header_addr: u64,
+    name: &str,
+) -> Result<Option<AttrValue>> {
+    Ok(attrs_on(core, header_addr)?
+        .into_iter()
+        .find(|a| a.name == name)
+        .map(|a| a.value))
+}
+
+pub(crate) fn attrs_on(core: &Arc<Mutex<FileCore>>, header_addr: u64) -> Result<Vec<Attribute>> {
+    let mut core = core.lock();
+    core.check_open()?;
+    let header = core.load_header(header_addr)?;
+    if header.attr_addr == 0 {
+        return Ok(Vec::new());
+    }
+    let buf = core
+        .rf
+        .read_at(header.attr_addr, header.attr_len, AccessType::Metadata)?;
+    meta::decode_attrs(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::{FileOptions, H5File};
+    use dayu_vfd::{MemFs, MemVfd};
+
+    fn file() -> H5File {
+        H5File::create(MemVfd::new(), "t.h5", FileOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn table_codec_round_trip() {
+        let entries = vec![
+            Entry {
+                name: "alpha".into(),
+                addr: 1024,
+                kind: ObjectKind::Group,
+            },
+            Entry {
+                name: "beta".into(),
+                addr: 2048,
+                kind: ObjectKind::Dataset,
+            },
+        ];
+        let bytes = encode_table(&entries);
+        assert_eq!(decode_table(&bytes).unwrap(), entries);
+        assert!(decode_table(&encode_table(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn create_and_list_children() {
+        let f = file();
+        let root = f.root();
+        root.create_group("a").unwrap();
+        root.create_group("b").unwrap();
+        let names: Vec<String> = root.list().unwrap().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(root.exists("a").unwrap());
+        assert!(!root.exists("zz").unwrap());
+    }
+
+    #[test]
+    fn nested_groups_and_paths() {
+        let f = file();
+        let root = f.root();
+        assert_eq!(root.path(), "/");
+        let a = root.create_group("a").unwrap();
+        assert_eq!(a.path(), "/a");
+        let b = a.create_group("b").unwrap();
+        assert_eq!(b.path(), "/a/b");
+        // Reopen through the hierarchy.
+        let again = root.open_group("a").unwrap().open_group("b").unwrap();
+        assert_eq!(again.path(), "/a/b");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let f = file();
+        let root = f.root();
+        root.create_group("x").unwrap();
+        assert!(matches!(
+            root.create_group("x"),
+            Err(HdfError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn open_missing_group_fails() {
+        let f = file();
+        assert!(matches!(
+            f.root().open_group("nope"),
+            Err(HdfError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn groups_persist_across_reopen() {
+        let fs = MemFs::new();
+        {
+            let f =
+                H5File::create(fs.create("g.h5"), "g.h5", FileOptions::default()).unwrap();
+            f.root().create_group("persisted").unwrap();
+            f.close().unwrap();
+        }
+        let f = H5File::open(fs.open("g.h5"), "g.h5", FileOptions::default()).unwrap();
+        assert!(f.root().exists("persisted").unwrap());
+        f.close().unwrap();
+    }
+
+    #[test]
+    fn group_attributes() {
+        let f = file();
+        let g = f.root().create_group("g").unwrap();
+        g.set_attr("version", AttrValue::U64(3)).unwrap();
+        g.set_attr("desc", AttrValue::Str("storm".into())).unwrap();
+        assert_eq!(g.attr("version").unwrap(), Some(AttrValue::U64(3)));
+        // Replace.
+        g.set_attr("version", AttrValue::U64(4)).unwrap();
+        assert_eq!(g.attr("version").unwrap(), Some(AttrValue::U64(4)));
+        assert_eq!(g.attrs().unwrap().len(), 2);
+        assert_eq!(g.attr("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn many_children_scale() {
+        let f = file();
+        let root = f.root();
+        for i in 0..100 {
+            root.create_group(&format!("g{i:03}")).unwrap();
+        }
+        assert_eq!(root.list().unwrap().len(), 100);
+        assert!(root.exists("g057").unwrap());
+    }
+}

@@ -1,0 +1,171 @@
+//! VOL (Virtual Object Layer) hook points.
+//!
+//! HDF5 lets a VOL plugin observe every object-level operation; DaYu's
+//! high-level profiler is such a plugin. This module is the equivalent
+//! attach surface: the format library invokes a [`HookSet`] at each
+//! object-level event, and `dayu-mapper` installs a [`VolHooks`]
+//! implementation that turns the events into Table I records.
+
+use dayu_trace::ids::{FileKey, ObjectKey};
+use dayu_trace::time::Timestamp;
+use dayu_trace::vol::{ObjectDescription, ObjectKind, VolAccessKind};
+use std::sync::Arc;
+
+/// Observer of object-level events. All methods default to no-ops so
+/// implementations only override what they need.
+#[allow(unused_variables)]
+pub trait VolHooks: Send + Sync {
+    /// A file was created or opened.
+    fn file_opened(&self, file: &FileKey, at: Timestamp) {}
+
+    /// A file was closed. The paper's mapper defers flushing per-object
+    /// statistics until this event.
+    fn file_closed(&self, file: &FileKey, at: Timestamp) {}
+
+    /// An object was created or opened. `desc` carries the object's
+    /// semantic description (shape, datatype, layout) — richest at create
+    /// time.
+    fn object_opened(
+        &self,
+        file: &FileKey,
+        object: &ObjectKey,
+        kind: ObjectKind,
+        desc: &ObjectDescription,
+        at: Timestamp,
+    ) {
+    }
+
+    /// An object handle was closed.
+    fn object_closed(&self, file: &FileKey, object: &ObjectKey, at: Timestamp) {}
+
+    /// The application read or wrote object data. `sel` is the hyperslab
+    /// `(offset, count)` when the access was partial.
+    fn object_access(
+        &self,
+        file: &FileKey,
+        object: &ObjectKey,
+        kind: VolAccessKind,
+        bytes: u64,
+        sel: Option<(&[u64], &[u64])>,
+        at: Timestamp,
+    ) {
+    }
+}
+
+/// A shareable, possibly-empty collection of hooks invoked in order.
+#[derive(Clone, Default)]
+pub struct HookSet {
+    hooks: Vec<Arc<dyn VolHooks>>,
+}
+
+impl HookSet {
+    /// No hooks: zero observation overhead.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A set containing one hook.
+    pub fn single(hook: Arc<dyn VolHooks>) -> Self {
+        Self { hooks: vec![hook] }
+    }
+
+    /// Adds a hook to the set.
+    pub fn push(&mut self, hook: Arc<dyn VolHooks>) {
+        self.hooks.push(hook);
+    }
+
+    /// Whether any hooks are installed (lets hot paths skip event assembly).
+    pub fn is_active(&self) -> bool {
+        !self.hooks.is_empty()
+    }
+
+    /// Invokes `f` for each installed hook.
+    pub fn each(&self, mut f: impl FnMut(&dyn VolHooks)) {
+        for h in &self.hooks {
+            f(h.as_ref());
+        }
+    }
+}
+
+impl std::fmt::Debug for HookSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HookSet({} hooks)", self.hooks.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[derive(Default)]
+    struct Counter {
+        events: AtomicU32,
+    }
+
+    impl VolHooks for Counter {
+        fn file_opened(&self, _: &FileKey, _: Timestamp) {
+            self.events.fetch_add(1, Ordering::Relaxed);
+        }
+        fn object_access(
+            &self,
+            _: &FileKey,
+            _: &ObjectKey,
+            _: VolAccessKind,
+            _: u64,
+            _: Option<(&[u64], &[u64])>,
+            _: Timestamp,
+        ) {
+            self.events.fetch_add(10, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn empty_set_is_inactive() {
+        let set = HookSet::none();
+        assert!(!set.is_active());
+        set.each(|_| panic!("no hooks should be invoked"));
+    }
+
+    #[test]
+    fn hooks_receive_events_in_order() {
+        let a = Arc::new(Counter::default());
+        let b = Arc::new(Counter::default());
+        let mut set = HookSet::single(a.clone());
+        set.push(b.clone());
+        assert!(set.is_active());
+        set.each(|h| h.file_opened(&FileKey::new("f"), Timestamp::ZERO));
+        set.each(|h| {
+            h.object_access(
+                &FileKey::new("f"),
+                &ObjectKey::new("/d"),
+                VolAccessKind::Read,
+                8,
+                None,
+                Timestamp::ZERO,
+            )
+        });
+        assert_eq!(a.events.load(Ordering::Relaxed), 11);
+        assert_eq!(b.events.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn default_hook_methods_are_noops() {
+        struct Nothing;
+        impl VolHooks for Nothing {}
+        let set = HookSet::single(Arc::new(Nothing));
+        // None of these should panic.
+        set.each(|h| {
+            h.file_opened(&FileKey::new("f"), Timestamp::ZERO);
+            h.file_closed(&FileKey::new("f"), Timestamp::ZERO);
+            h.object_opened(
+                &FileKey::new("f"),
+                &ObjectKey::new("/o"),
+                ObjectKind::Dataset,
+                &ObjectDescription::default(),
+                Timestamp::ZERO,
+            );
+            h.object_closed(&FileKey::new("f"), &ObjectKey::new("/o"), Timestamp::ZERO);
+        });
+    }
+}

@@ -1,0 +1,559 @@
+//! On-storage metadata structures: superblock, object headers, attributes.
+//!
+//! These are the structures whose I/O shows up flagged
+//! [`AccessType::Metadata`](dayu_trace::vfd::AccessType) in VFD traces, and
+//! which the paper's SDGs aggregate under "File-Metadata" nodes. Object
+//! headers live in fixed-size blocks (like HDF5's object header chunks);
+//! attributes live in a separate reallocated-on-update block, so attribute
+//! churn produces visible small metadata I/O.
+
+use crate::codec::{Decoder, Encoder};
+use crate::error::{HdfError, Result};
+use dayu_trace::vol::{DataType, ObjectKind};
+
+/// File magic at address 0.
+pub const MAGIC: &[u8; 8] = b"DAYUHDF1";
+/// Format version encoded in the superblock.
+pub const VERSION: u32 = 1;
+/// Size of the superblock block at address 0.
+pub const SUPERBLOCK_SIZE: u64 = 64;
+/// Fixed size of every object header block.
+pub const HEADER_BLOCK_SIZE: u64 = 512;
+/// Maximum payload bytes a compact-layout dataset may hold (the rest of the
+/// header block must fit the other messages).
+pub const COMPACT_MAX: u64 = 256;
+/// Maximum dataspace rank.
+pub const MAX_RANK: usize = 8;
+
+/// The superblock: root group location and end-of-file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Superblock {
+    /// Address of the root group's object header.
+    pub root_addr: u64,
+    /// End of allocated file space.
+    pub eof: u64,
+}
+
+impl Superblock {
+    /// Encodes into exactly [`SUPERBLOCK_SIZE`] bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(SUPERBLOCK_SIZE as usize);
+        e.bytes(MAGIC)
+            .u32(VERSION)
+            .u64(self.root_addr)
+            .u64(self.eof)
+            .pad_to(SUPERBLOCK_SIZE as usize);
+        e.finish()
+    }
+
+    /// Decodes and validates a superblock.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut d = Decoder::new(buf);
+        let magic = d.bytes(8)?;
+        if magic != MAGIC {
+            return Err(HdfError::Corrupt("bad magic".into()));
+        }
+        let version = d.u32()?;
+        if version != VERSION {
+            return Err(HdfError::Corrupt(format!("unsupported version {version}")));
+        }
+        Ok(Self {
+            root_addr: d.u64()?,
+            eof: d.u64()?,
+        })
+    }
+}
+
+/// Storage layout message held in a dataset's object header.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LayoutMessage {
+    /// Payload inline in the header block.
+    Compact {
+        /// The dataset's raw bytes.
+        data: Vec<u8>,
+    },
+    /// One contiguous extent. `addr == 0` means not yet allocated (HDF5's
+    /// "late allocation": space is assigned at first write).
+    Contiguous {
+        /// Extent address (0 = unallocated).
+        addr: u64,
+        /// Extent size in bytes.
+        size: u64,
+    },
+    /// Fixed-size chunks located through an index block.
+    Chunked {
+        /// Chunk dimensions.
+        chunk_dims: Vec<u64>,
+        /// Address of the chunk index block.
+        index_addr: u64,
+        /// Size of the chunk index block in bytes.
+        index_len: u64,
+    },
+}
+
+/// Everything stored in an object header block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjectHeader {
+    /// Group or dataset.
+    pub kind: ObjectKind,
+    /// Dataspace dimensions (datasets only; empty for groups).
+    pub shape: Vec<u64>,
+    /// Element datatype (datasets only).
+    pub dtype: Option<DataType>,
+    /// Layout message (datasets only).
+    pub layout: Option<LayoutMessage>,
+    /// For groups: address of the entry-table block (0 = empty group).
+    pub table_addr: u64,
+    /// For groups: byte length of the entry-table block.
+    pub table_len: u64,
+    /// Address of the attribute block (0 = no attributes).
+    pub attr_addr: u64,
+    /// Byte length of the attribute block.
+    pub attr_len: u64,
+    /// Logical payload bytes accumulated for variable-length datasets (the
+    /// descriptors only index the global heap, so the header tracks the
+    /// true data volume).
+    pub vl_logical_bytes: u64,
+}
+
+impl ObjectHeader {
+    /// A fresh group header.
+    pub fn new_group() -> Self {
+        Self {
+            kind: ObjectKind::Group,
+            shape: Vec::new(),
+            dtype: None,
+            layout: None,
+            table_addr: 0,
+            table_len: 0,
+            attr_addr: 0,
+            attr_len: 0,
+            vl_logical_bytes: 0,
+        }
+    }
+
+    /// A fresh dataset header.
+    pub fn new_dataset(shape: Vec<u64>, dtype: DataType, layout: LayoutMessage) -> Self {
+        Self {
+            kind: ObjectKind::Dataset,
+            shape,
+            dtype: Some(dtype),
+            layout: Some(layout),
+            table_addr: 0,
+            table_len: 0,
+            attr_addr: 0,
+            attr_len: 0,
+            vl_logical_bytes: 0,
+        }
+    }
+
+    /// Encodes into exactly [`HEADER_BLOCK_SIZE`] bytes.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let mut e = Encoder::with_capacity(HEADER_BLOCK_SIZE as usize);
+        e.u8(match self.kind {
+            ObjectKind::Group => 1,
+            ObjectKind::Dataset => 2,
+            _ => {
+                return Err(HdfError::InvalidArgument(
+                    "only groups and datasets have headers".into(),
+                ))
+            }
+        });
+        if self.shape.len() > MAX_RANK {
+            return Err(HdfError::InvalidArgument(format!(
+                "rank {} exceeds max {MAX_RANK}",
+                self.shape.len()
+            )));
+        }
+        e.u8(self.shape.len() as u8);
+        for &d in &self.shape {
+            e.u64(d);
+        }
+        encode_dtype(&mut e, self.dtype);
+        match &self.layout {
+            None => {
+                e.u8(0);
+            }
+            Some(LayoutMessage::Compact { data }) => {
+                if data.len() as u64 > COMPACT_MAX {
+                    return Err(HdfError::InvalidArgument(format!(
+                        "compact payload {} exceeds max {COMPACT_MAX}",
+                        data.len()
+                    )));
+                }
+                e.u8(1).u32(data.len() as u32).bytes(data);
+            }
+            Some(LayoutMessage::Contiguous { addr, size }) => {
+                e.u8(2).u64(*addr).u64(*size);
+            }
+            Some(LayoutMessage::Chunked {
+                chunk_dims,
+                index_addr,
+                index_len,
+            }) => {
+                e.u8(3).u8(chunk_dims.len() as u8);
+                for &d in chunk_dims {
+                    e.u64(d);
+                }
+                e.u64(*index_addr).u64(*index_len);
+            }
+        }
+        e.u64(self.table_addr)
+            .u64(self.table_len)
+            .u64(self.attr_addr)
+            .u64(self.attr_len)
+            .u64(self.vl_logical_bytes);
+        if e.len() as u64 > HEADER_BLOCK_SIZE {
+            return Err(HdfError::InvalidArgument(format!(
+                "object header overflows {HEADER_BLOCK_SIZE}-byte block ({} bytes)",
+                e.len()
+            )));
+        }
+        e.pad_to(HEADER_BLOCK_SIZE as usize);
+        Ok(e.finish())
+    }
+
+    /// Decodes a header block.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut d = Decoder::new(buf);
+        let kind = match d.u8()? {
+            1 => ObjectKind::Group,
+            2 => ObjectKind::Dataset,
+            k => return Err(HdfError::Corrupt(format!("bad object kind {k}"))),
+        };
+        let rank = d.u8()? as usize;
+        if rank > MAX_RANK {
+            return Err(HdfError::Corrupt(format!("bad rank {rank}")));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(d.u64()?);
+        }
+        let dtype = decode_dtype(&mut d)?;
+        let layout = match d.u8()? {
+            0 => None,
+            1 => {
+                let len = d.u32()? as usize;
+                Some(LayoutMessage::Compact {
+                    data: d.bytes(len)?.to_vec(),
+                })
+            }
+            2 => Some(LayoutMessage::Contiguous {
+                addr: d.u64()?,
+                size: d.u64()?,
+            }),
+            3 => {
+                let crank = d.u8()? as usize;
+                let mut chunk_dims = Vec::with_capacity(crank);
+                for _ in 0..crank {
+                    chunk_dims.push(d.u64()?);
+                }
+                Some(LayoutMessage::Chunked {
+                    chunk_dims,
+                    index_addr: d.u64()?,
+                    index_len: d.u64()?,
+                })
+            }
+            c => return Err(HdfError::Corrupt(format!("bad layout class {c}"))),
+        };
+        Ok(Self {
+            kind,
+            shape,
+            dtype,
+            layout,
+            table_addr: d.u64()?,
+            table_len: d.u64()?,
+            attr_addr: d.u64()?,
+            attr_len: d.u64()?,
+            vl_logical_bytes: d.u64()?,
+        })
+    }
+}
+
+fn encode_dtype(e: &mut Encoder, dtype: Option<DataType>) {
+    match dtype {
+        None => {
+            e.u8(0).u32(0);
+        }
+        Some(DataType::Int { width }) => {
+            e.u8(1).u32(width as u32);
+        }
+        Some(DataType::Float { width }) => {
+            e.u8(2).u32(width as u32);
+        }
+        Some(DataType::FixedBytes { len }) => {
+            e.u8(3).u32(len);
+        }
+        Some(DataType::VarLen) => {
+            e.u8(4).u32(0);
+        }
+    }
+}
+
+fn decode_dtype(d: &mut Decoder) -> Result<Option<DataType>> {
+    let code = d.u8()?;
+    let param = d.u32()?;
+    Ok(match code {
+        0 => None,
+        1 => Some(DataType::Int { width: param as u8 }),
+        2 => Some(DataType::Float { width: param as u8 }),
+        3 => Some(DataType::FixedBytes { len: param }),
+        4 => Some(DataType::VarLen),
+        c => return Err(HdfError::Corrupt(format!("bad dtype code {c}"))),
+    })
+}
+
+/// An attribute value (attributes are small, typed, and stored inline in the
+/// object's attribute block).
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Double-precision float.
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+}
+
+impl AttrValue {
+    /// Approximate stored size in bytes.
+    pub fn stored_size(&self) -> u64 {
+        match self {
+            AttrValue::U64(_) | AttrValue::I64(_) | AttrValue::F64(_) => 8,
+            AttrValue::Str(s) => s.len() as u64,
+            AttrValue::Bytes(b) => b.len() as u64,
+        }
+    }
+}
+
+/// A named attribute.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute value.
+    pub value: AttrValue,
+}
+
+/// Encodes an attribute list block.
+pub fn encode_attrs(attrs: &[Attribute]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u32(attrs.len() as u32);
+    for a in attrs {
+        e.str(&a.name);
+        match &a.value {
+            AttrValue::U64(v) => {
+                e.u8(1).u64(*v);
+            }
+            AttrValue::I64(v) => {
+                e.u8(2).u64(*v as u64);
+            }
+            AttrValue::F64(v) => {
+                e.u8(3).u64(v.to_bits());
+            }
+            AttrValue::Str(s) => {
+                e.u8(4).u32(s.len() as u32).bytes(s.as_bytes());
+            }
+            AttrValue::Bytes(b) => {
+                e.u8(5).u32(b.len() as u32).bytes(b);
+            }
+        }
+    }
+    e.finish()
+}
+
+/// Decodes an attribute list block.
+pub fn decode_attrs(buf: &[u8]) -> Result<Vec<Attribute>> {
+    let mut d = Decoder::new(buf);
+    let count = d.u32()? as usize;
+    let mut attrs = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let name = d.str()?;
+        let value = match d.u8()? {
+            1 => AttrValue::U64(d.u64()?),
+            2 => AttrValue::I64(d.u64()? as i64),
+            3 => AttrValue::F64(f64::from_bits(d.u64()?)),
+            4 => {
+                let len = d.u32()? as usize;
+                AttrValue::Str(
+                    String::from_utf8(d.bytes(len)?.to_vec())
+                        .map_err(|_| HdfError::Corrupt("invalid UTF-8 attribute".into()))?,
+                )
+            }
+            5 => {
+                let len = d.u32()? as usize;
+                AttrValue::Bytes(d.bytes(len)?.to_vec())
+            }
+            c => return Err(HdfError::Corrupt(format!("bad attr value code {c}"))),
+        };
+        attrs.push(Attribute { name, value });
+    }
+    Ok(attrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superblock_round_trip() {
+        let sb = Superblock {
+            root_addr: 64,
+            eof: 123456,
+        };
+        let bytes = sb.encode();
+        assert_eq!(bytes.len() as u64, SUPERBLOCK_SIZE);
+        assert_eq!(Superblock::decode(&bytes).unwrap(), sb);
+    }
+
+    #[test]
+    fn superblock_rejects_bad_magic_and_version() {
+        let sb = Superblock {
+            root_addr: 64,
+            eof: 0,
+        };
+        let mut bytes = sb.encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Superblock::decode(&bytes),
+            Err(HdfError::Corrupt(_))
+        ));
+        let mut bytes = sb.encode();
+        bytes[8] = 99;
+        assert!(matches!(
+            Superblock::decode(&bytes),
+            Err(HdfError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn group_header_round_trip() {
+        let mut h = ObjectHeader::new_group();
+        h.table_addr = 1024;
+        h.table_len = 256;
+        let bytes = h.encode().unwrap();
+        assert_eq!(bytes.len() as u64, HEADER_BLOCK_SIZE);
+        assert_eq!(ObjectHeader::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn dataset_header_round_trip_all_layouts() {
+        let layouts = vec![
+            LayoutMessage::Compact {
+                data: vec![7; 100],
+            },
+            LayoutMessage::Contiguous {
+                addr: 4096,
+                size: 800,
+            },
+            LayoutMessage::Chunked {
+                chunk_dims: vec![10, 100],
+                index_addr: 8192,
+                index_len: 480,
+            },
+        ];
+        for layout in layouts {
+            let mut h = ObjectHeader::new_dataset(
+                vec![100, 100],
+                DataType::Float { width: 8 },
+                layout.clone(),
+            );
+            h.attr_addr = 99;
+            h.attr_len = 12;
+            h.vl_logical_bytes = 5;
+            let bytes = h.encode().unwrap();
+            let back = ObjectHeader::decode(&bytes).unwrap();
+            assert_eq!(back, h, "layout {layout:?}");
+        }
+    }
+
+    #[test]
+    fn all_dtypes_round_trip() {
+        for dt in [
+            DataType::Int { width: 4 },
+            DataType::Float { width: 8 },
+            DataType::FixedBytes { len: 77 },
+            DataType::VarLen,
+        ] {
+            let h = ObjectHeader::new_dataset(
+                vec![4],
+                dt,
+                LayoutMessage::Contiguous { addr: 0, size: 0 },
+            );
+            let back = ObjectHeader::decode(&h.encode().unwrap()).unwrap();
+            assert_eq!(back.dtype, Some(dt));
+        }
+    }
+
+    #[test]
+    fn compact_overflow_is_rejected() {
+        let h = ObjectHeader::new_dataset(
+            vec![1000],
+            DataType::Int { width: 1 },
+            LayoutMessage::Compact {
+                data: vec![0; COMPACT_MAX as usize + 1],
+            },
+        );
+        assert!(matches!(h.encode(), Err(HdfError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn excessive_rank_is_rejected() {
+        let h = ObjectHeader::new_dataset(
+            vec![1; MAX_RANK + 1],
+            DataType::Int { width: 1 },
+            LayoutMessage::Contiguous { addr: 0, size: 0 },
+        );
+        assert!(h.encode().is_err());
+    }
+
+    #[test]
+    fn attribute_round_trip() {
+        let attrs = vec![
+            Attribute {
+                name: "count".into(),
+                value: AttrValue::U64(42),
+            },
+            Attribute {
+                name: "offset".into(),
+                value: AttrValue::I64(-9),
+            },
+            Attribute {
+                name: "scale".into(),
+                value: AttrValue::F64(2.5),
+            },
+            Attribute {
+                name: "units".into(),
+                value: AttrValue::Str("kelvin".into()),
+            },
+            Attribute {
+                name: "blob".into(),
+                value: AttrValue::Bytes(vec![1, 2, 3]),
+            },
+        ];
+        let bytes = encode_attrs(&attrs);
+        assert_eq!(decode_attrs(&bytes).unwrap(), attrs);
+    }
+
+    #[test]
+    fn attr_stored_sizes() {
+        assert_eq!(AttrValue::U64(1).stored_size(), 8);
+        assert_eq!(AttrValue::Str("abc".into()).stored_size(), 3);
+        assert_eq!(AttrValue::Bytes(vec![0; 10]).stored_size(), 10);
+    }
+
+    #[test]
+    fn corrupt_header_is_detected() {
+        let h = ObjectHeader::new_group();
+        let mut bytes = h.encode().unwrap();
+        bytes[0] = 77; // bad kind
+        assert!(matches!(
+            ObjectHeader::decode(&bytes),
+            Err(HdfError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,158 @@
+//! Raw file access: a driver plus the file-space allocator.
+//!
+//! Everything above this layer (headers, heaps, chunk machinery, dataset
+//! layout logic) performs I/O through [`RawFile`], which pairs the
+//! [`Vfd`] driver with the [`Allocator`] so callers can allocate-and-write
+//! or read-and-free without juggling two mutable borrows.
+
+use crate::alloc::Allocator;
+use crate::error::Result;
+use dayu_trace::vfd::AccessType;
+use dayu_vfd::Vfd;
+
+/// A driver plus allocator: the substrate for all format structures.
+pub struct RawFile {
+    vfd: Box<dyn Vfd>,
+    alloc: Allocator,
+    writes: u64,
+}
+
+impl RawFile {
+    /// Wraps a driver; allocation begins at `eof`.
+    pub fn new(vfd: Box<dyn Vfd>, eof: u64) -> Self {
+        Self {
+            vfd,
+            alloc: Allocator::new(eof),
+            writes: 0,
+        }
+    }
+
+    /// Number of write operations issued through this raw file (used to
+    /// detect whether a session modified the file at all).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Reads `len` bytes at `addr`.
+    pub fn read_at(&mut self, addr: u64, len: u64, access: AccessType) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len as usize];
+        self.vfd.read(addr, &mut buf, access)?;
+        Ok(buf)
+    }
+
+    /// Reads into a caller-provided buffer.
+    pub fn read_into(&mut self, addr: u64, buf: &mut [u8], access: AccessType) -> Result<()> {
+        self.vfd.read(addr, buf, access)?;
+        Ok(())
+    }
+
+    /// Writes `data` at `addr`.
+    pub fn write_at(&mut self, addr: u64, data: &[u8], access: AccessType) -> Result<()> {
+        self.vfd.write(addr, data, access)?;
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Allocates `len` bytes of file space.
+    pub fn alloc(&mut self, len: u64) -> Result<u64> {
+        self.alloc.alloc(len)
+    }
+
+    /// Frees `[addr, addr+len)`.
+    pub fn free(&mut self, addr: u64, len: u64) {
+        self.alloc.free(addr, len);
+    }
+
+    /// Allocates space for `data` and writes it, returning the address.
+    pub fn alloc_write(&mut self, data: &[u8], access: AccessType) -> Result<u64> {
+        let addr = self.alloc(data.len() as u64)?;
+        self.write_at(addr, data, access)?;
+        Ok(addr)
+    }
+
+    /// Ensures the driver's end-of-file covers addresses up to `end`,
+    /// zero-filling (HDF5 likewise extends the end-of-allocation when an
+    /// extent is reserved, so reads of not-yet-written regions return fill
+    /// values instead of failing).
+    pub fn ensure_eof(&mut self, end: u64) -> Result<()> {
+        if self.vfd.eof() < end {
+            self.vfd.truncate(end)?;
+        }
+        Ok(())
+    }
+
+    /// Unwraps the underlying driver, discarding allocator state.
+    pub fn into_vfd(self) -> Box<dyn Vfd> {
+        self.vfd
+    }
+
+    /// Current end of allocated space.
+    pub fn eof(&self) -> u64 {
+        self.alloc.eof()
+    }
+
+    /// Bytes currently on the free list.
+    pub fn free_bytes(&self) -> u64 {
+        self.alloc.free_bytes()
+    }
+
+    /// Flushes the driver.
+    pub fn flush(&mut self) -> Result<()> {
+        self.vfd.flush()?;
+        Ok(())
+    }
+
+    /// Truncates the driver to the allocator's EOF, drops un-persisted free
+    /// space, and closes the driver.
+    pub fn close(&mut self) -> Result<()> {
+        self.alloc.abandon_free_space();
+        self.vfd.truncate(self.alloc.eof())?;
+        self.vfd.close()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_vfd::MemVfd;
+
+    const RAW: AccessType = AccessType::RawData;
+
+    #[test]
+    fn alloc_write_read_round_trip() {
+        let mut rf = RawFile::new(Box::new(MemVfd::new()), 64);
+        let addr = rf.alloc_write(b"hello", RAW).unwrap();
+        assert_eq!(addr, 64);
+        assert_eq!(rf.read_at(addr, 5, RAW).unwrap(), b"hello");
+        assert_eq!(rf.eof(), 69);
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut rf = RawFile::new(Box::new(MemVfd::new()), 0);
+        let a = rf.alloc_write(&[1; 10], RAW).unwrap();
+        let _b = rf.alloc_write(&[2; 10], RAW).unwrap();
+        rf.free(a, 10);
+        assert_eq!(rf.free_bytes(), 10);
+        let c = rf.alloc(4).unwrap();
+        assert_eq!(c, a, "first fit reuses the hole");
+    }
+
+    #[test]
+    fn close_truncates_to_eof() {
+        let mut rf = RawFile::new(Box::new(MemVfd::new()), 0);
+        rf.alloc_write(&[0; 100], RAW).unwrap();
+        rf.flush().unwrap();
+        rf.close().unwrap();
+    }
+
+    #[test]
+    fn read_into_buffer() {
+        let mut rf = RawFile::new(Box::new(MemVfd::new()), 0);
+        let addr = rf.alloc_write(&[9; 16], RAW).unwrap();
+        let mut buf = [0u8; 8];
+        rf.read_into(addr + 4, &mut buf, RAW).unwrap();
+        assert_eq!(buf, [9; 8]);
+    }
+}

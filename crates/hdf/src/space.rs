@@ -1,0 +1,314 @@
+//! Dataspaces and hyperslab selections.
+//!
+//! A dataset's *dataspace* is its logical N-dimensional shape. Applications
+//! address data through *selections* (whole-space or hyperslab); the layout
+//! logic turns a selection into contiguous element runs in the row-major
+//! linearization — the first of the two translation steps (logical structure
+//! → file addresses) whose obscurity the paper targets.
+
+use crate::error::{HdfError, Result};
+
+/// A hyperslab selection: `offset` and `count` per dimension.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Selection {
+    /// Starting coordinate per dimension.
+    pub offset: Vec<u64>,
+    /// Number of elements selected per dimension.
+    pub count: Vec<u64>,
+}
+
+impl Selection {
+    /// Selects the whole of `shape`.
+    pub fn all(shape: &[u64]) -> Self {
+        Self {
+            offset: vec![0; shape.len()],
+            count: shape.to_vec(),
+        }
+    }
+
+    /// A hyperslab at `offset` spanning `count` elements per dimension.
+    pub fn slab(offset: &[u64], count: &[u64]) -> Self {
+        Self {
+            offset: offset.to_vec(),
+            count: count.to_vec(),
+        }
+    }
+
+    /// Number of selected elements.
+    pub fn element_count(&self) -> u64 {
+        if self.count.is_empty() {
+            1
+        } else {
+            self.count.iter().product()
+        }
+    }
+
+    /// Validates the selection against `shape`.
+    pub fn validate(&self, shape: &[u64]) -> Result<()> {
+        if self.offset.len() != shape.len() || self.count.len() != shape.len() {
+            return Err(HdfError::InvalidArgument(format!(
+                "selection rank {} does not match dataspace rank {}",
+                self.offset.len(),
+                shape.len()
+            )));
+        }
+        for (d, ((&off, &cnt), &dim)) in self
+            .offset
+            .iter()
+            .zip(&self.count)
+            .zip(shape)
+            .enumerate()
+        {
+            if off + cnt > dim {
+                return Err(HdfError::InvalidArgument(format!(
+                    "selection [{off}, {}) exceeds dimension {d} extent {dim}",
+                    off + cnt
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the selection covers the entire `shape`.
+    pub fn is_all(&self, shape: &[u64]) -> bool {
+        self.offset.iter().all(|&o| o == 0) && self.count == shape
+    }
+
+    /// Contiguous element runs of the selection in row-major order, as
+    /// `(linear_start_element, run_length)` pairs.
+    ///
+    /// Runs are maximal: a selection of whole trailing dimensions collapses
+    /// into longer runs (selecting full rows of a 2-D space yields one run
+    /// per row-range, and selecting everything yields a single run).
+    pub fn runs(&self, shape: &[u64]) -> Vec<(u64, u64)> {
+        if shape.is_empty() {
+            return vec![(0, 1)];
+        }
+        // Find the innermost suffix of dimensions selected completely: those
+        // collapse into the run.
+        let rank = shape.len();
+        let mut collapse_from = rank; // index of first fully-selected suffix dim
+        for d in (0..rank).rev() {
+            if self.offset[d] == 0 && self.count[d] == shape[d] {
+                collapse_from = d;
+            } else {
+                break;
+            }
+        }
+        // The run also extends over the innermost non-collapsed dimension's
+        // contiguous span (its count), if any.
+        let (outer_dims, run_len) = if collapse_from == 0 {
+            // Whole space selected.
+            return vec![(0, shape.iter().product())];
+        } else {
+            let inner: u64 = shape[collapse_from..].iter().product();
+            (collapse_from - 1, self.count[collapse_from - 1] * inner)
+        };
+        if run_len == 0 || self.count[..=outer_dims].contains(&0) {
+            return Vec::new();
+        }
+
+        // Row-major strides.
+        let mut strides = vec![1u64; rank];
+        for d in (0..rank - 1).rev() {
+            strides[d] = strides[d + 1] * shape[d + 1];
+        }
+
+        // Iterate the outer (non-collapsed, non-innermost-run) coordinates.
+        let mut runs = Vec::new();
+        let mut coord = self.offset[..outer_dims].to_vec();
+        loop {
+            let mut start = self.offset[outer_dims] * strides[outer_dims];
+            for d in 0..outer_dims {
+                start += coord[d] * strides[d];
+            }
+            runs.push((start, run_len));
+
+            // Advance odometer over dims [0, outer_dims).
+            let mut d = outer_dims;
+            loop {
+                if d == 0 {
+                    return runs;
+                }
+                d -= 1;
+                coord[d] += 1;
+                if coord[d] < self.offset[d] + self.count[d] {
+                    break;
+                }
+                coord[d] = self.offset[d];
+            }
+        }
+    }
+}
+
+/// Row-major linear index of `coord` within `shape`.
+pub fn linear_index(coord: &[u64], shape: &[u64]) -> u64 {
+    debug_assert_eq!(coord.len(), shape.len());
+    let mut idx = 0;
+    for (c, s) in coord.iter().zip(shape) {
+        idx = idx * s + c;
+    }
+    idx
+}
+
+/// Total elements of `shape` (1 for scalar/empty shape).
+pub fn element_count(shape: &[u64]) -> u64 {
+    if shape.is_empty() {
+        1
+    } else {
+        shape.iter().product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_selection_is_single_run() {
+        let shape = [4, 8];
+        let sel = Selection::all(&shape);
+        assert!(sel.is_all(&shape));
+        assert_eq!(sel.element_count(), 32);
+        assert_eq!(sel.runs(&shape), vec![(0, 32)]);
+    }
+
+    #[test]
+    fn full_row_selection_collapses() {
+        // Rows 1..3 of a 4x8 space: full trailing dim → one run of 16.
+        let sel = Selection::slab(&[1, 0], &[2, 8]);
+        assert_eq!(sel.runs(&[4, 8]), vec![(8, 16)]);
+    }
+
+    #[test]
+    fn partial_rows_are_one_run_each() {
+        // Columns 2..5 of rows 1..3: two runs of 3.
+        let sel = Selection::slab(&[1, 2], &[2, 3]);
+        assert_eq!(sel.runs(&[4, 8]), vec![(10, 3), (18, 3)]);
+    }
+
+    #[test]
+    fn three_d_runs() {
+        // shape (2,3,4): select [0..2, 1..3, 0..4] → trailing dim full, so
+        // runs of 2*4=8 at each outer coordinate.
+        let sel = Selection::slab(&[0, 1, 0], &[2, 2, 4]);
+        assert_eq!(sel.runs(&[2, 3, 4]), vec![(4, 8), (16, 8)]);
+    }
+
+    #[test]
+    fn one_d_slab() {
+        let sel = Selection::slab(&[5], &[10]);
+        assert_eq!(sel.runs(&[100]), vec![(5, 10)]);
+    }
+
+    #[test]
+    fn scalar_space() {
+        let sel = Selection::all(&[]);
+        assert_eq!(sel.element_count(), 1);
+        assert_eq!(sel.runs(&[]), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn empty_count_selection_yields_no_runs() {
+        let sel = Selection::slab(&[0, 0], &[0, 4]);
+        assert!(sel.runs(&[4, 8]).is_empty());
+        let sel2 = Selection::slab(&[0, 0], &[2, 0]);
+        assert!(sel2.runs(&[4, 8]).is_empty());
+    }
+
+    #[test]
+    fn validation() {
+        let shape = [4, 8];
+        assert!(Selection::all(&shape).validate(&shape).is_ok());
+        assert!(Selection::slab(&[0], &[4]).validate(&shape).is_err());
+        assert!(Selection::slab(&[3, 0], &[2, 8]).validate(&shape).is_err());
+        assert!(Selection::slab(&[3, 0], &[1, 8]).validate(&shape).is_ok());
+    }
+
+    #[test]
+    fn linear_index_row_major() {
+        assert_eq!(linear_index(&[0, 0], &[4, 8]), 0);
+        assert_eq!(linear_index(&[1, 2], &[4, 8]), 10);
+        assert_eq!(linear_index(&[3, 7], &[4, 8]), 31);
+        assert_eq!(linear_index(&[1, 2, 3], &[2, 3, 4]), 23);
+    }
+
+    #[test]
+    fn runs_cover_exactly_the_selected_elements() {
+        // Cross-check runs() against a brute-force enumeration.
+        let shape = [3, 4, 5];
+        let sel = Selection::slab(&[1, 1, 2], &[2, 2, 3]);
+        let mut from_runs: Vec<u64> = sel
+            .runs(&shape)
+            .into_iter()
+            .flat_map(|(s, l)| s..s + l)
+            .collect();
+        from_runs.sort_unstable();
+
+        let mut brute = Vec::new();
+        for i in 1..3u64 {
+            for j in 1..3u64 {
+                for k in 2..5u64 {
+                    brute.push(linear_index(&[i, j, k], &shape));
+                }
+            }
+        }
+        brute.sort_unstable();
+        assert_eq!(from_runs, brute);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn shape_and_slab() -> impl Strategy<Value = (Vec<u64>, Selection)> {
+        prop::collection::vec(1u64..6, 1..4).prop_flat_map(|shape| {
+            let sels = shape
+                .iter()
+                .map(|&dim| (0..dim).prop_flat_map(move |off| (Just(off), 0..=dim - off)))
+                .collect::<Vec<_>>();
+            (Just(shape), sels).prop_map(|(shape, parts)| {
+                let (offset, count): (Vec<u64>, Vec<u64>) = parts.into_iter().unzip();
+                (shape, Selection { offset, count })
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn runs_match_brute_force((shape, sel) in shape_and_slab()) {
+            prop_assert!(sel.validate(&shape).is_ok());
+            let mut from_runs: Vec<u64> =
+                sel.runs(&shape).into_iter().flat_map(|(s, l)| s..s + l).collect();
+            from_runs.sort_unstable();
+
+            // Brute force: enumerate all coordinates, keep those inside.
+            let total = element_count(&shape);
+            let mut brute = Vec::new();
+            for lin in 0..total {
+                let mut rem = lin;
+                let mut coord = vec![0u64; shape.len()];
+                for d in (0..shape.len()).rev() {
+                    coord[d] = rem % shape[d];
+                    rem /= shape[d];
+                }
+                let inside = coord
+                    .iter()
+                    .zip(sel.offset.iter().zip(&sel.count))
+                    .all(|(&c, (&o, &n))| c >= o && c < o + n);
+                if inside {
+                    brute.push(lin);
+                }
+            }
+            prop_assert_eq!(from_runs, brute);
+        }
+
+        #[test]
+        fn run_total_equals_element_count((shape, sel) in shape_and_slab()) {
+            let total: u64 = sel.runs(&shape).iter().map(|&(_, l)| l).sum();
+            prop_assert_eq!(total, sel.element_count());
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! # dayu-mapper
+//!
+//! The Data Semantic Mapper (Section IV of the paper): connects the
+//! high-level semantics of data interactions ("what") with their underlying
+//! I/O behaviours ("how"). It plugs into the format library at the same two
+//! points DaYu plugs into HDF5:
+//!
+//! * the **VOL profiler** ([`VolProfiler`]) observes object-level events
+//!   through the format's hook set, producing Table I records;
+//! * the **VFD profiler** ([`ProfilingVfd`]) wraps the low-level driver,
+//!   producing Table II records;
+//! * the **Characteristic Mapper** joins the two layers through the shared
+//!   context: the VOL layer publishes the current data object, and the VFD
+//!   profiler stamps it onto every low-level operation — revealing the
+//!   distinct I/O behaviour of each data object;
+//! * the **Input Parser** ([`MapperConfig`]) controls collection
+//!   granularity (page size, skipped ops, I/O tracing on/off).
+//!
+//! ## Usage
+//!
+//! ```
+//! use dayu_mapper::Mapper;
+//! use dayu_hdf::{H5File, DatasetBuilder, DataType};
+//! use dayu_vfd::MemFs;
+//!
+//! let fs = MemFs::new();
+//! let mapper = Mapper::new("my_workflow");
+//! mapper.set_task("producer");
+//!
+//! let file = H5File::create(
+//!     mapper.wrap_vfd(fs.create("out.h5"), "out.h5"),
+//!     "out.h5",
+//!     mapper.file_options(),
+//! ).unwrap();
+//! let mut ds = file.root()
+//!     .create_dataset("d", DatasetBuilder::new(DataType::Float { width: 8 }, &[8]))
+//!     .unwrap();
+//! ds.write_f64s(&[0.0; 8]).unwrap();
+//! ds.close().unwrap();
+//! file.close().unwrap();
+//!
+//! let bundle = mapper.into_bundle();
+//! assert_eq!(bundle.vol.len(), 1);          // one dataset record
+//! assert!(!bundle.vfd.is_empty());          // low-level ops traced
+//! ```
+
+pub mod config;
+pub mod state;
+pub mod timers;
+pub mod vfd_profiler;
+pub mod vol_profiler;
+
+pub use config::{ConfigError, MapperConfig};
+pub use timers::{Component, ComponentTimers};
+pub use vfd_profiler::ProfilingVfd;
+pub use vol_profiler::VolProfiler;
+
+use dayu_hdf::{FileOptions, HookSet};
+use dayu_trace::context::SharedContext;
+use dayu_trace::ids::FileKey;
+use dayu_trace::store::TraceBundle;
+use dayu_trace::time::{Clock, RealClock};
+use dayu_vfd::Vfd;
+use parking_lot::Mutex;
+use state::MapperState;
+use std::sync::Arc;
+
+/// One profiling session: typically one per task process, merged into a
+/// workflow-wide bundle afterwards (or one shared by all tasks of an
+/// in-process workflow run).
+#[derive(Clone)]
+pub struct Mapper {
+    cfg: MapperConfig,
+    ctx: SharedContext,
+    clock: Arc<dyn Clock>,
+    state: Arc<Mutex<MapperState>>,
+    timers: Arc<ComponentTimers>,
+}
+
+impl Mapper {
+    /// A mapper with default configuration and a real-time clock.
+    pub fn new(workflow: impl Into<String>) -> Self {
+        Self::with_config(workflow, MapperConfig::default())
+    }
+
+    /// A mapper with explicit configuration.
+    pub fn with_config(workflow: impl Into<String>, cfg: MapperConfig) -> Self {
+        Self::with_config_and_clock(workflow, cfg, Arc::new(RealClock::new()))
+    }
+
+    /// A mapper with explicit configuration and clock (virtual clocks make
+    /// traces deterministic for tests and simulation).
+    pub fn with_config_and_clock(
+        workflow: impl Into<String>,
+        cfg: MapperConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        Self {
+            ctx: SharedContext::new(),
+            state: Arc::new(Mutex::new(MapperState::new(workflow.into(), cfg.clone()))),
+            timers: Arc::new(ComponentTimers::default()),
+            cfg,
+            clock,
+        }
+    }
+
+    /// Parses configuration text through the Input Parser (timed as such)
+    /// and builds the mapper.
+    pub fn from_config_text(
+        workflow: impl Into<String>,
+        text: &str,
+    ) -> Result<Self, ConfigError> {
+        let timers = Arc::new(ComponentTimers::default());
+        let cfg = timers.time(Component::InputParser, || MapperConfig::parse(text))?;
+        let mapper = Self::with_config(workflow, cfg);
+        // Transplant the parse time into the session's timers.
+        mapper.timers.add(
+            Component::InputParser,
+            timers.get(Component::InputParser),
+        );
+        Ok(mapper)
+    }
+
+    /// Announces the current task (paper: "The workflow launcher or
+    /// application must inform DaYu of the current task").
+    pub fn set_task(&self, name: &str) {
+        self.ctx.set_task(name);
+        self.state.lock().push_task(name.into());
+    }
+
+    /// Ends the current task.
+    pub fn clear_task(&self) {
+        self.ctx.clear_task();
+    }
+
+    /// The shared VOL→VFD context channel (exposed for advanced callers and
+    /// tests; the format library publishes objects into it automatically).
+    pub fn context(&self) -> &SharedContext {
+        &self.ctx
+    }
+
+    /// Component timing breakdown (Fig. 10).
+    pub fn timers(&self) -> &Arc<ComponentTimers> {
+        &self.timers
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MapperConfig {
+        &self.cfg
+    }
+
+    /// Wraps a raw driver in the VFD profiler for the named file.
+    pub fn wrap_vfd<V: Vfd>(&self, inner: V, file: &str) -> ProfilingVfd<V> {
+        ProfilingVfd::new(
+            inner,
+            FileKey::new(file),
+            self.state.clone(),
+            self.ctx.clone(),
+            self.clock.clone(),
+            self.timers.clone(),
+            self.cfg.clone(),
+        )
+    }
+
+    /// Format-library options with the VOL profiler installed and the
+    /// shared context/clock wired through.
+    pub fn file_options(&self) -> FileOptions {
+        FileOptions {
+            hooks: HookSet::single(Arc::new(VolProfiler::new(
+                self.state.clone(),
+                self.ctx.clone(),
+                self.timers.clone(),
+                self.cfg.clone(),
+            ))),
+            context: self.ctx.clone(),
+            clock: self.clock.clone(),
+            ..FileOptions::default()
+        }
+    }
+
+    /// Snapshot of the trace so far (live records flushed into the
+    /// snapshot; the session keeps running).
+    pub fn bundle(&self) -> TraceBundle {
+        self.state.lock().snapshot_bundle(self.clock.now())
+    }
+
+    /// Finishes the session and returns the trace bundle. Other clones of
+    /// this mapper keep working against an emptied state.
+    pub fn into_bundle(self) -> TraceBundle {
+        let now = self.clock.now();
+        let mut state = self.state.lock();
+        let taken = std::mem::replace(
+            &mut *state,
+            MapperState::new(String::new(), self.cfg.clone()),
+        );
+        taken.into_bundle(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_hdf::{DataType, DatasetBuilder, H5File, LayoutKind};
+    use dayu_trace::vfd::AccessType;
+    use dayu_trace::vol::{ObjectKind, VolAccessKind};
+    use dayu_vfd::MemFs;
+
+    fn run_simple(cfg: MapperConfig) -> TraceBundle {
+        let fs = MemFs::new();
+        let mapper = Mapper::with_config("test_wf", cfg);
+        mapper.set_task("writer");
+        let file = H5File::create(
+            mapper.wrap_vfd(fs.create("a.h5"), "a.h5"),
+            "a.h5",
+            mapper.file_options(),
+        )
+        .unwrap();
+        let mut ds = file
+            .root()
+            .create_dataset(
+                "data",
+                DatasetBuilder::new(DataType::Float { width: 8 }, &[16]),
+            )
+            .unwrap();
+        ds.write_f64s(&[1.0; 16]).unwrap();
+        ds.close().unwrap();
+        file.close().unwrap();
+        mapper.into_bundle()
+    }
+
+    #[test]
+    fn end_to_end_capture() {
+        let b = run_simple(MapperConfig::default());
+        assert_eq!(b.meta.workflow, "test_wf");
+        assert_eq!(b.meta.task_order, vec!["writer".into()]);
+
+        // Table I: a dataset record with description and one write access.
+        let ds_rec = b
+            .vol
+            .iter()
+            .find(|r| r.object.as_str() == "/data")
+            .expect("dataset record");
+        assert_eq!(ds_rec.kind, ObjectKind::Dataset);
+        assert_eq!(ds_rec.description.shape, vec![16]);
+        assert_eq!(ds_rec.description.layout, Some(LayoutKind::Contiguous));
+        assert_eq!(ds_rec.access_count(VolAccessKind::Write), 1);
+        assert_eq!(ds_rec.bytes_written(), 128);
+        assert_eq!(ds_rec.lifetimes.len(), 1);
+
+        // Table II: low-level ops, raw write attributed to the dataset.
+        let raw_writes: Vec<_> = b
+            .vfd
+            .iter()
+            .filter(|r| {
+                r.access == AccessType::RawData && r.object.as_str() == "/data"
+            })
+            .collect();
+        assert_eq!(raw_writes.len(), 1, "one contiguous write of 128 bytes");
+        assert_eq!(raw_writes[0].len, 128);
+
+        // Metadata ops exist and are attributed (header writes to /data,
+        // superblock to File-Metadata).
+        assert!(b
+            .vfd
+            .iter()
+            .any(|r| r.access == AccessType::Metadata && r.object.as_str() == "/data"));
+        assert!(b
+            .vfd
+            .iter()
+            .any(|r| r.object == dayu_trace::ids::ObjectKey::file_metadata()));
+
+        // File record with stats.
+        assert_eq!(b.files.len(), 1);
+        assert!(b.files[0].stats.write_ops > 0);
+        assert!(b.files[0].stats.metadata_ops > 0);
+    }
+
+    #[test]
+    fn trace_io_off_still_captures_semantics() {
+        let b = run_simple(MapperConfig {
+            trace_io: false,
+            ..Default::default()
+        });
+        assert!(b.vfd.is_empty());
+        assert!(!b.vol.is_empty());
+        assert!(!b.files.is_empty());
+        assert!(b.files[0].stats.total_ops() > 0, "stats still counted");
+    }
+
+    #[test]
+    fn chunked_dataset_shows_index_metadata_ops() {
+        let fs = MemFs::new();
+        let mapper = Mapper::new("wf");
+        mapper.set_task("t");
+        let file = H5File::create(
+            mapper.wrap_vfd(fs.create("c.h5"), "c.h5"),
+            "c.h5",
+            mapper.file_options(),
+        )
+        .unwrap();
+        let mut ds = file
+            .root()
+            .create_dataset(
+                "grid",
+                DatasetBuilder::new(DataType::Int { width: 1 }, &[64]).chunks(&[16]),
+            )
+            .unwrap();
+        ds.write(&[7u8; 64]).unwrap();
+        ds.close().unwrap();
+        file.close().unwrap();
+        let b = mapper.into_bundle();
+
+        // Chunked write-back: 4 chunk payload writes + index entry updates,
+        // all attributed to /grid.
+        let raw = b
+            .vfd
+            .iter()
+            .filter(|r| r.object.as_str() == "/grid" && r.access == AccessType::RawData)
+            .count();
+        let meta = b
+            .vfd
+            .iter()
+            .filter(|r| r.object.as_str() == "/grid" && r.access == AccessType::Metadata)
+            .count();
+        assert_eq!(raw, 4, "one write per chunk");
+        // Chunk-index metadata: the index block create and its flush at
+        // close (entries are cached in memory while the dataset is open,
+        // like HDF5's metadata cache), plus header traffic.
+        assert!(meta >= 3, "index create/flush + header ops: {meta}");
+    }
+
+    #[test]
+    fn multi_task_shared_mapper() {
+        let fs = MemFs::new();
+        let mapper = Mapper::new("wf");
+        mapper.set_task("producer");
+        {
+            let f = H5File::create(
+                mapper.wrap_vfd(fs.create("x.h5"), "x.h5"),
+                "x.h5",
+                mapper.file_options(),
+            )
+            .unwrap();
+            let mut ds = f
+                .root()
+                .create_dataset("d", DatasetBuilder::new(DataType::Int { width: 4 }, &[8]))
+                .unwrap();
+            ds.write(&[1; 32]).unwrap();
+            ds.close().unwrap();
+            f.close().unwrap();
+        }
+        mapper.set_task("consumer");
+        {
+            let f = H5File::open(
+                mapper.wrap_vfd(fs.open("x.h5"), "x.h5"),
+                "x.h5",
+                mapper.file_options(),
+            )
+            .unwrap();
+            let mut ds = f.root().open_dataset("d").unwrap();
+            assert_eq!(ds.read().unwrap(), vec![1; 32]);
+            ds.close().unwrap();
+            f.close().unwrap();
+        }
+        let b = mapper.into_bundle();
+        assert_eq!(
+            b.meta.task_order,
+            vec!["producer".into(), "consumer".into()]
+        );
+        // Each task has its own VOL record for /d.
+        let tasks: Vec<&str> = b
+            .vol
+            .iter()
+            .filter(|r| r.object.as_str() == "/d")
+            .map(|r| r.task.as_str())
+            .collect();
+        assert!(tasks.contains(&"producer"));
+        assert!(tasks.contains(&"consumer"));
+        // The consumer's record is read-only.
+        let cons = b
+            .vol
+            .iter()
+            .find(|r| r.object.as_str() == "/d" && r.task.as_str() == "consumer")
+            .unwrap();
+        assert_eq!(cons.direction(), (true, false));
+    }
+
+    #[test]
+    fn component_timers_populate() {
+        let fs = MemFs::new();
+        let mapper = Mapper::from_config_text("wf", "page_size=8192").unwrap();
+        assert_eq!(mapper.config().page_size, 8192);
+        assert!(mapper.timers().get(Component::InputParser) > 0);
+        mapper.set_task("t");
+        let f = H5File::create(
+            mapper.wrap_vfd(fs.create("t.h5"), "t.h5"),
+            "t.h5",
+            mapper.file_options(),
+        )
+        .unwrap();
+        f.close().unwrap();
+        assert!(mapper.timers().get(Component::AccessTracker) > 0);
+        assert!(mapper.timers().get(Component::CharacteristicMapper) > 0);
+        let (ip, at, cm) = mapper.timers().breakdown();
+        assert!((ip + at + cm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bundle_snapshot_then_final() {
+        let mapper = Mapper::new("wf");
+        mapper.set_task("t");
+        let snap = mapper.bundle();
+        assert_eq!(snap.meta.task_order.len(), 1);
+        let fin = mapper.into_bundle();
+        assert_eq!(fin.meta.workflow, "wf");
+    }
+
+    #[test]
+    fn page_size_flows_into_bundle_meta() {
+        let cfg = MapperConfig {
+            page_size: 65536,
+            ..Default::default()
+        };
+        let mapper = Mapper::with_config("wf", cfg);
+        assert_eq!(mapper.bundle().meta.page_size, 65536);
+    }
+}

@@ -1,0 +1,407 @@
+//! The Access Tracker's accumulation state.
+//!
+//! Statistics are "collected as entries in a hash table in the duration of
+//! the task" and logging is *deferred until the file is closed* — DaYu keeps
+//! tracking semantic data even for closed datasets, so re-opening the same
+//! dataset merges into the live entry instead of emitting a new record
+//! (the behaviour behind the corner-case overhead shape of Fig. 9c).
+
+use crate::config::MapperConfig;
+use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
+use dayu_trace::store::{TraceBundle, TraceMeta};
+use dayu_trace::time::{Interval, Timestamp};
+use dayu_trace::vfd::{FileRecord, VfdRecord};
+use dayu_trace::vol::{ObjectDescription, ObjectKind, VolAccess, VolRecord};
+
+/// Live and flushed trace state shared by the VOL and VFD profilers.
+pub(crate) struct MapperState {
+    pub(crate) workflow: String,
+    pub(crate) cfg: MapperConfig,
+    pub(crate) task_order: Vec<TaskKey>,
+    /// Live object entries, keyed by identity triple.
+    open_vol: Vec<((TaskKey, FileKey, ObjectKey), VolRecord)>,
+    /// Live per-(task, file) records.
+    live_files: Vec<((TaskKey, FileKey), FileRecord)>,
+    /// Records flushed on file close.
+    pub(crate) flushed_vol: Vec<VolRecord>,
+    pub(crate) flushed_files: Vec<FileRecord>,
+    /// Time-sensitive I/O trace (when `trace_io` is on).
+    pub(crate) vfd: Vec<VfdRecord>,
+}
+
+impl MapperState {
+    pub(crate) fn new(workflow: String, cfg: MapperConfig) -> Self {
+        Self {
+            workflow,
+            cfg,
+            task_order: Vec::new(),
+            open_vol: Vec::new(),
+            live_files: Vec::new(),
+            flushed_vol: Vec::new(),
+            flushed_files: Vec::new(),
+            vfd: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push_task(&mut self, task: TaskKey) {
+        if !self.task_order.contains(&task) {
+            self.task_order.push(task);
+        }
+    }
+
+    /// Live-or-new VOL entry for an identity triple. Linear scan: the table
+    /// holds only *open* objects of the current tasks, which stays small;
+    /// re-keying with a HashMap would need owned keys per event (allocation
+    /// on the critical path) for no measured win at these sizes.
+    pub(crate) fn vol_entry(
+        &mut self,
+        task: &TaskKey,
+        file: &FileKey,
+        object: &ObjectKey,
+    ) -> Option<&mut VolRecord> {
+        self.open_vol
+            .iter_mut()
+            .find(|((t, f, o), _)| t == task && f == file && o == object)
+            .map(|(_, r)| r)
+    }
+
+    pub(crate) fn object_opened(
+        &mut self,
+        task: TaskKey,
+        file: FileKey,
+        object: ObjectKey,
+        kind: ObjectKind,
+        desc: &ObjectDescription,
+        at: Timestamp,
+    ) {
+        if let Some(rec) = self.vol_entry(&task, &file, &object) {
+            rec.lifetimes.push(Interval::new(at, at));
+            if rec.description == ObjectDescription::default() {
+                rec.description = desc.clone();
+            }
+            return;
+        }
+        let rec = VolRecord {
+            task: task.clone(),
+            file: file.clone(),
+            object: object.clone(),
+            kind,
+            lifetimes: vec![Interval::new(at, at)],
+            description: desc.clone(),
+            accesses: Vec::new(),
+        };
+        self.open_vol.push(((task, file, object), rec));
+    }
+
+    pub(crate) fn object_closed(
+        &mut self,
+        task: &TaskKey,
+        file: &FileKey,
+        object: &ObjectKey,
+        at: Timestamp,
+    ) {
+        if let Some(rec) = self.vol_entry(task, file, object) {
+            if let Some(last) = rec.lifetimes.last_mut() {
+                last.end = at;
+            }
+        }
+    }
+
+    pub(crate) fn object_access(
+        &mut self,
+        task: &TaskKey,
+        file: &FileKey,
+        object: &ObjectKey,
+        access: VolAccess,
+    ) {
+        if let Some(rec) = self.vol_entry(task, file, object) {
+            // Repeats of the same access pattern fold into one counted
+            // entry — this is what keeps VOL storage near-constant under
+            // repeated reads (Fig. 9d).
+            if let Some(last) = rec.accesses.last_mut() {
+                if last.same_pattern(&access) {
+                    last.fold(&access);
+                    return;
+                }
+            }
+            rec.accesses.push(access);
+        }
+    }
+
+    pub(crate) fn file_opened(&mut self, task: TaskKey, file: FileKey, at: Timestamp) {
+        if let Some((_, rec)) = self
+            .live_files
+            .iter_mut()
+            .find(|((t, f), _)| *t == task && *f == file)
+        {
+            rec.lifetimes.push(Interval::new(at, at));
+            return;
+        }
+        let rec = FileRecord {
+            task: task.clone(),
+            file: file.clone(),
+            lifetimes: vec![Interval::new(at, at)],
+            stats: Default::default(),
+        };
+        self.live_files.push(((task, file), rec));
+    }
+
+    /// Per-(task, file) statistics entry, created on demand (the VFD
+    /// profiler may see ops before the VOL `file_opened` event).
+    pub(crate) fn file_stats(
+        &mut self,
+        task: &TaskKey,
+        file: &FileKey,
+    ) -> &mut FileRecord {
+        let pos = self
+            .live_files
+            .iter()
+            .position(|((t, f), _)| t == task && f == file);
+        let pos = match pos {
+            Some(p) => p,
+            None => {
+                self.live_files.push((
+                    (task.clone(), file.clone()),
+                    FileRecord {
+                        task: task.clone(),
+                        file: file.clone(),
+                        lifetimes: Vec::new(),
+                        stats: Default::default(),
+                    },
+                ));
+                self.live_files.len() - 1
+            }
+        };
+        &mut self.live_files[pos].1
+    }
+
+    /// The deferred flush: on file close, every live record touching the
+    /// file is moved to the flushed stores.
+    pub(crate) fn file_closed(&mut self, file: &FileKey, at: Timestamp) {
+        let mut i = 0;
+        while i < self.open_vol.len() {
+            if self.open_vol[i].0 .1 == *file {
+                let (_, mut rec) = self.open_vol.swap_remove(i);
+                // Any still-open lifetime ends at file close.
+                if let Some(last) = rec.lifetimes.last_mut() {
+                    if last.end <= last.start {
+                        last.end = last.end.max(at);
+                    }
+                }
+                self.flushed_vol.push(rec);
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.live_files.len() {
+            if self.live_files[i].0 .1 == *file {
+                let (_, mut rec) = self.live_files.swap_remove(i);
+                if let Some(last) = rec.lifetimes.last_mut() {
+                    last.end = last.end.max(at);
+                }
+                self.flushed_files.push(rec);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Flushes everything still live (end of workflow) and assembles the
+    /// trace bundle.
+    pub(crate) fn into_bundle(mut self, now: Timestamp) -> TraceBundle {
+        let files: Vec<FileKey> = self
+            .open_vol
+            .iter()
+            .map(|((_, f, _), _)| f.clone())
+            .chain(self.live_files.iter().map(|((_, f), _)| f.clone()))
+            .collect();
+        for f in files {
+            self.file_closed(&f, now);
+        }
+        TraceBundle {
+            meta: TraceMeta {
+                workflow: self.workflow,
+                task_order: self.task_order,
+                page_size: self.cfg.page_size,
+            },
+            vol: self.flushed_vol,
+            vfd: self.vfd,
+            files: self.flushed_files,
+        }
+    }
+
+    /// A snapshot bundle without consuming the state (live records are
+    /// flushed into the snapshot but stay live here).
+    pub(crate) fn snapshot_bundle(&self, now: Timestamp) -> TraceBundle {
+        let mut copy = MapperState {
+            workflow: self.workflow.clone(),
+            cfg: self.cfg.clone(),
+            task_order: self.task_order.clone(),
+            open_vol: self.open_vol.clone(),
+            live_files: self.live_files.clone(),
+            flushed_vol: self.flushed_vol.clone(),
+            flushed_files: self.flushed_files.clone(),
+            vfd: self.vfd.clone(),
+        };
+        copy.open_vol = std::mem::take(&mut copy.open_vol);
+        copy.into_bundle(now)
+    }
+
+    /// Number of live object entries (diagnostics / tests).
+    #[cfg(test)]
+    pub(crate) fn live_objects(&self) -> usize {
+        self.open_vol.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_trace::vol::VolAccessKind;
+
+    fn keys() -> (TaskKey, FileKey, ObjectKey) {
+        (
+            TaskKey::new("t"),
+            FileKey::new("f.h5"),
+            ObjectKey::new("/d"),
+        )
+    }
+
+    #[test]
+    fn object_lifecycle_and_deferred_flush() {
+        let (t, f, o) = keys();
+        let mut s = MapperState::new("wf".into(), MapperConfig::default());
+        s.object_opened(
+            t.clone(),
+            f.clone(),
+            o.clone(),
+            ObjectKind::Dataset,
+            &ObjectDescription::default(),
+            Timestamp(10),
+        );
+        s.object_access(
+            &t,
+            &f,
+            &o,
+            VolAccess {
+                kind: VolAccessKind::Write,
+                count: 1,
+                bytes: 64,
+                sel_offset: vec![],
+                sel_count: vec![],
+                at: Timestamp(11),
+            },
+        );
+        s.object_closed(&t, &f, &o, Timestamp(20));
+        assert_eq!(s.live_objects(), 1, "closed but not yet flushed");
+        assert!(s.flushed_vol.is_empty());
+
+        s.file_closed(&f, Timestamp(30));
+        assert_eq!(s.live_objects(), 0);
+        assert_eq!(s.flushed_vol.len(), 1);
+        let rec = &s.flushed_vol[0];
+        assert_eq!(rec.lifetimes, vec![Interval::new(Timestamp(10), Timestamp(20))]);
+        assert_eq!(rec.bytes_written(), 64);
+    }
+
+    #[test]
+    fn reopened_object_merges_into_live_entry() {
+        let (t, f, o) = keys();
+        let mut s = MapperState::new("wf".into(), MapperConfig::default());
+        for i in 0..3u64 {
+            s.object_opened(
+                t.clone(),
+                f.clone(),
+                o.clone(),
+                ObjectKind::Dataset,
+                &ObjectDescription::default(),
+                Timestamp(i * 10),
+            );
+            s.object_closed(&t, &f, &o, Timestamp(i * 10 + 5));
+        }
+        assert_eq!(s.live_objects(), 1, "one merged entry, not three");
+        s.file_closed(&f, Timestamp(100));
+        assert_eq!(s.flushed_vol.len(), 1);
+        assert_eq!(s.flushed_vol[0].lifetimes.len(), 3);
+    }
+
+    #[test]
+    fn file_stats_created_on_demand_and_flushed() {
+        let (t, f, _) = keys();
+        let mut s = MapperState::new("wf".into(), MapperConfig::default());
+        s.file_stats(&t, &f).stats.read_ops = 7;
+        s.file_opened(t.clone(), f.clone(), Timestamp(5));
+        s.file_closed(&f, Timestamp(50));
+        assert_eq!(s.flushed_files.len(), 1);
+        assert_eq!(s.flushed_files[0].stats.read_ops, 7);
+        assert_eq!(
+            s.flushed_files[0].lifetimes,
+            vec![Interval::new(Timestamp(5), Timestamp(50))]
+        );
+    }
+
+    #[test]
+    fn into_bundle_flushes_stragglers() {
+        let (t, f, o) = keys();
+        let mut s = MapperState::new("wf".into(), MapperConfig::default());
+        s.push_task(t.clone());
+        s.object_opened(
+            t.clone(),
+            f.clone(),
+            o,
+            ObjectKind::Dataset,
+            &ObjectDescription::default(),
+            Timestamp(1),
+        );
+        let b = s.into_bundle(Timestamp(99));
+        assert_eq!(b.vol.len(), 1);
+        assert_eq!(b.meta.workflow, "wf");
+        assert_eq!(b.meta.task_order, vec![t]);
+    }
+
+    #[test]
+    fn snapshot_does_not_consume() {
+        let (t, f, o) = keys();
+        let mut s = MapperState::new("wf".into(), MapperConfig::default());
+        s.object_opened(
+            t,
+            f,
+            o,
+            ObjectKind::Dataset,
+            &ObjectDescription::default(),
+            Timestamp(1),
+        );
+        let b = s.snapshot_bundle(Timestamp(2));
+        assert_eq!(b.vol.len(), 1);
+        assert_eq!(s.live_objects(), 1, "live entry retained");
+    }
+
+    #[test]
+    fn task_order_deduplicates() {
+        let mut s = MapperState::new("wf".into(), MapperConfig::default());
+        s.push_task(TaskKey::new("a"));
+        s.push_task(TaskKey::new("b"));
+        s.push_task(TaskKey::new("a"));
+        assert_eq!(s.task_order.len(), 2);
+    }
+
+    #[test]
+    fn distinct_tasks_get_distinct_records() {
+        let (_, f, o) = keys();
+        let mut s = MapperState::new("wf".into(), MapperConfig::default());
+        for name in ["t1", "t2"] {
+            s.object_opened(
+                TaskKey::new(name),
+                f.clone(),
+                o.clone(),
+                ObjectKind::Dataset,
+                &ObjectDescription::default(),
+                Timestamp(0),
+            );
+        }
+        assert_eq!(s.live_objects(), 2);
+        s.file_closed(&f, Timestamp(9));
+        assert_eq!(s.flushed_vol.len(), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! The VOL profiler: high-level (object-level) half of the Access Tracker.
+//!
+//! Installed into the format library's hook set, it turns object events into
+//! Table I records in the shared mapper state, stamping each with the task
+//! announced through the shared context.
+
+use crate::config::MapperConfig;
+use crate::state::MapperState;
+use crate::timers::{Component, ComponentTimers};
+use dayu_hdf::hooks::VolHooks;
+use dayu_trace::context::SharedContext;
+use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
+use dayu_trace::time::Timestamp;
+use dayu_trace::vol::{ObjectDescription, ObjectKind, VolAccess, VolAccessKind};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Object-level profiler implementing the format's VOL hooks.
+pub struct VolProfiler {
+    state: Arc<Mutex<MapperState>>,
+    ctx: SharedContext,
+    timers: Arc<ComponentTimers>,
+    cfg: MapperConfig,
+}
+
+impl VolProfiler {
+    pub(crate) fn new(
+        state: Arc<Mutex<MapperState>>,
+        ctx: SharedContext,
+        timers: Arc<ComponentTimers>,
+        cfg: MapperConfig,
+    ) -> Self {
+        Self {
+            state,
+            ctx,
+            timers,
+            cfg,
+        }
+    }
+
+    fn task(&self) -> TaskKey {
+        self.ctx.task().unwrap_or_else(|| TaskKey::new("main"))
+    }
+}
+
+impl VolHooks for VolProfiler {
+    fn file_opened(&self, file: &FileKey, at: Timestamp) {
+        if !self.cfg.trace_vol {
+            return;
+        }
+        let task = self.task();
+        self.timers.time(Component::AccessTracker, || {
+            self.state.lock().file_opened(task, file.clone(), at);
+        });
+    }
+
+    fn file_closed(&self, file: &FileKey, at: Timestamp) {
+        if !self.cfg.trace_vol {
+            return;
+        }
+        // The deferred flush is the object↔I/O consolidation step, charged
+        // to the Characteristic Mapper.
+        self.timers.time(Component::CharacteristicMapper, || {
+            self.state.lock().file_closed(file, at);
+        });
+    }
+
+    fn object_opened(
+        &self,
+        file: &FileKey,
+        object: &ObjectKey,
+        kind: ObjectKind,
+        desc: &ObjectDescription,
+        at: Timestamp,
+    ) {
+        if !self.cfg.trace_vol {
+            return;
+        }
+        let task = self.task();
+        self.timers.time(Component::AccessTracker, || {
+            self.state
+                .lock()
+                .object_opened(task, file.clone(), object.clone(), kind, desc, at);
+        });
+    }
+
+    fn object_closed(&self, file: &FileKey, object: &ObjectKey, at: Timestamp) {
+        if !self.cfg.trace_vol {
+            return;
+        }
+        let task = self.task();
+        self.timers.time(Component::AccessTracker, || {
+            self.state.lock().object_closed(&task, file, object, at);
+        });
+    }
+
+    fn object_access(
+        &self,
+        file: &FileKey,
+        object: &ObjectKey,
+        kind: VolAccessKind,
+        bytes: u64,
+        sel: Option<(&[u64], &[u64])>,
+        at: Timestamp,
+    ) {
+        if !self.cfg.trace_vol {
+            return;
+        }
+        let task = self.task();
+        let access = VolAccess {
+            kind,
+            count: 1,
+            bytes,
+            sel_offset: sel.map(|(o, _)| o.to_vec()).unwrap_or_default(),
+            sel_count: sel.map(|(_, c)| c.to_vec()).unwrap_or_default(),
+            at,
+        };
+        self.timers.time(Component::AccessTracker, || {
+            self.state.lock().object_access(&task, file, object, access);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(trace_vol: bool) -> (VolProfiler, Arc<Mutex<MapperState>>) {
+        let cfg = MapperConfig {
+            trace_vol,
+            ..Default::default()
+        };
+        let state = Arc::new(Mutex::new(MapperState::new("wf".into(), cfg.clone())));
+        let ctx = SharedContext::new();
+        ctx.set_task("task0");
+        let p = VolProfiler::new(
+            state.clone(),
+            ctx,
+            Arc::new(ComponentTimers::default()),
+            cfg,
+        );
+        (p, state)
+    }
+
+    #[test]
+    fn events_produce_records() {
+        let (p, state) = setup(true);
+        let f = FileKey::new("f.h5");
+        let o = ObjectKey::new("/d");
+        p.file_opened(&f, Timestamp(0));
+        p.object_opened(
+            &f,
+            &o,
+            ObjectKind::Dataset,
+            &ObjectDescription::default(),
+            Timestamp(1),
+        );
+        p.object_access(&f, &o, VolAccessKind::Write, 100, None, Timestamp(2));
+        p.object_access(
+            &f,
+            &o,
+            VolAccessKind::Read,
+            50,
+            Some((&[0], &[5])),
+            Timestamp(3),
+        );
+        p.object_closed(&f, &o, Timestamp(4));
+        p.file_closed(&f, Timestamp(5));
+
+        let s = state.lock();
+        assert_eq!(s.flushed_vol.len(), 1);
+        let rec = &s.flushed_vol[0];
+        assert_eq!(rec.task, TaskKey::new("task0"));
+        assert_eq!(rec.accesses.len(), 2);
+        assert_eq!(rec.accesses[1].sel_count, vec![5]);
+        assert_eq!(s.flushed_files.len(), 1);
+    }
+
+    #[test]
+    fn trace_vol_off_records_nothing() {
+        let (p, state) = setup(false);
+        let f = FileKey::new("f.h5");
+        p.file_opened(&f, Timestamp(0));
+        p.object_opened(
+            &f,
+            &ObjectKey::new("/d"),
+            ObjectKind::Dataset,
+            &ObjectDescription::default(),
+            Timestamp(1),
+        );
+        p.file_closed(&f, Timestamp(5));
+        let s = state.lock();
+        assert!(s.flushed_vol.is_empty());
+        assert!(s.flushed_files.is_empty());
+    }
+
+    #[test]
+    fn missing_task_defaults_to_main() {
+        let cfg = MapperConfig::default();
+        let state = Arc::new(Mutex::new(MapperState::new("wf".into(), cfg.clone())));
+        let p = VolProfiler::new(
+            state.clone(),
+            SharedContext::new(),
+            Arc::new(ComponentTimers::default()),
+            cfg,
+        );
+        let f = FileKey::new("f");
+        p.file_opened(&f, Timestamp(0));
+        p.file_closed(&f, Timestamp(1));
+        assert_eq!(state.lock().flushed_files[0].task, TaskKey::new("main"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Node-local data buffering — a Hermes-style caching middleware model.
+//!
+//! The paper's "customized caching" and "customized prefetching" guidelines
+//! lean on a data-buffer middleware (Hermes) that keeps hot data in the
+//! fastest tier. Modeling it as *placement* alone ignores capacity; this
+//! module adds a per-node, byte-budgeted, LRU **read cache**: once a task
+//! on a node has read a file, subsequent reads of that file from the same
+//! node are served at RAM cost, until the file is evicted by the budget.
+//!
+//! Granularity is whole-file (the middleware caches what flows through
+//! it); a file's cached footprint grows as more of its bytes are touched.
+//! Writes are write-through — they pay the home tier's cost and refresh
+//! the cached copy.
+
+use std::collections::HashMap;
+
+/// Cache capacity configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Byte budget of each node's buffer.
+    pub bytes_per_node: u64,
+}
+
+impl CacheConfig {
+    /// A buffer of `bytes` per node.
+    pub fn per_node(bytes: u64) -> Self {
+        Self {
+            bytes_per_node: bytes,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Entry {
+    bytes: u64,
+    last_use: u64,
+}
+
+/// Per-node LRU file caches.
+pub struct CacheState {
+    cfg: CacheConfig,
+    nodes: Vec<HashMap<String, Entry>>,
+    used: Vec<u64>,
+    tick: u64,
+    /// Read operations served from the cache (diagnostics).
+    pub hits: u64,
+    /// Read operations that went to storage.
+    pub misses: u64,
+}
+
+impl CacheState {
+    /// Empty caches for `nodes` nodes.
+    pub fn new(cfg: CacheConfig, nodes: usize) -> Self {
+        Self {
+            cfg,
+            nodes: (0..nodes).map(|_| HashMap::new()).collect(),
+            used: vec![0; nodes],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Whether a read of `file` on `node` hits the cache. Updates
+    /// recency and hit/miss counters.
+    pub fn read_hit(&mut self, node: usize, file: &str) -> bool {
+        self.tick += 1;
+        if let Some(e) = self.nodes[node].get_mut(file) {
+            e.last_use = self.tick;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Records that `bytes` of `file` flowed through `node` (read miss
+    /// fill or write-through), growing the cached footprint and evicting
+    /// LRU files to stay within budget. Files larger than the whole budget
+    /// are not cached.
+    pub fn fill(&mut self, node: usize, file: &str, bytes: u64) {
+        self.tick += 1;
+        let budget = self.cfg.bytes_per_node;
+        let grow = {
+            let e = self.nodes[node].entry(file.to_owned()).or_default();
+            e.last_use = self.tick;
+            e.bytes += bytes;
+            e.bytes
+        };
+        if grow > budget {
+            // The file alone exceeds the budget: it cannot be held.
+            let e = self.nodes[node].remove(file).expect("just inserted");
+            self.used[node] = self.used[node].saturating_sub(e.bytes - bytes);
+            return;
+        }
+        self.used[node] += bytes;
+        while self.used[node] > budget {
+            let victim = self.nodes[node]
+                .iter()
+                .filter(|(f, _)| f.as_str() != file)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(f, _)| f.clone());
+            match victim {
+                Some(v) => {
+                    let e = self.nodes[node].remove(&v).expect("victim present");
+                    self.used[node] -= e.bytes;
+                }
+                None => break, // only the protected file remains
+            }
+        }
+    }
+
+    /// Bytes currently cached on `node`.
+    pub fn used_bytes(&self, node: usize) -> u64 {
+        self.used[node]
+    }
+
+    /// Whether `file` is resident on `node`.
+    pub fn contains(&self, node: usize, file: &str) -> bool {
+        self.nodes[node].contains_key(file)
+    }
+
+    /// Hit rate over all read operations so far.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = CacheState::new(CacheConfig::per_node(1000), 2);
+        assert!(!c.read_hit(0, "f"));
+        c.fill(0, "f", 100);
+        assert!(c.read_hit(0, "f"));
+        // Other node is independent.
+        assert!(!c.read_hit(1, "f"));
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 2);
+        assert!((c.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget() {
+        let mut c = CacheState::new(CacheConfig::per_node(250), 1);
+        c.fill(0, "a", 100);
+        c.fill(0, "b", 100);
+        assert!(c.read_hit(0, "a")); // a is now more recent than b
+        c.fill(0, "c", 100); // over budget: evict b (LRU)
+        assert!(c.contains(0, "a"));
+        assert!(!c.contains(0, "b"));
+        assert!(c.contains(0, "c"));
+        assert!(c.used_bytes(0) <= 250);
+    }
+
+    #[test]
+    fn oversized_file_is_not_cached() {
+        let mut c = CacheState::new(CacheConfig::per_node(100), 1);
+        c.fill(0, "big", 500);
+        assert!(!c.contains(0, "big"));
+        assert_eq!(c.used_bytes(0), 0);
+        // Small files still cache fine afterwards.
+        c.fill(0, "small", 50);
+        assert!(c.contains(0, "small"));
+    }
+
+    #[test]
+    fn footprint_grows_incrementally() {
+        let mut c = CacheState::new(CacheConfig::per_node(1000), 1);
+        c.fill(0, "f", 200);
+        c.fill(0, "f", 300);
+        assert_eq!(c.used_bytes(0), 500);
+        // Growing past the budget evicts the file itself.
+        c.fill(0, "f", 600);
+        assert!(!c.contains(0, "f"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Cluster topology and file placement.
+//!
+//! A [`Cluster`] has `n` nodes, each with the same set of node-local tiers,
+//! plus shared (networked) tiers reachable from every node. A [`Placement`]
+//! maps each file to a [`FileLocation`]; the engine charges a network hop
+//! when a task accesses a file homed on *another* node's local storage —
+//! the cost DaYu's co-scheduling optimization eliminates.
+
+use crate::tiers::{NetworkModel, TierKind, TierModel};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of a compute node.
+pub type NodeId = usize;
+
+/// Where a file lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FileLocation {
+    /// On a shared tier (every node pays the tier's cost directly; the
+    /// network round trip is folded into the tier's latency).
+    Shared(TierKind),
+    /// On `node`'s local tier; other nodes pay a network hop per access.
+    NodeLocal(NodeId, TierKind),
+}
+
+/// The simulated machine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Tier models available (looked up by kind for both local and shared).
+    pub tiers: Vec<TierModel>,
+    /// Interconnect between nodes (and to remote node-local storage).
+    pub network: NetworkModel,
+    /// The default shared filesystem files land on when a placement does
+    /// not say otherwise.
+    pub default_shared: TierKind,
+}
+
+impl Cluster {
+    /// The paper's CPU cluster: NFS default, node-local NVMe/SATA/HDD.
+    pub fn cpu_cluster(nodes: usize) -> Self {
+        Self {
+            nodes,
+            tiers: [
+                TierKind::Ram,
+                TierKind::NvmeSsd,
+                TierKind::SataSsd,
+                TierKind::Hdd,
+                TierKind::Nfs,
+            ]
+            .into_iter()
+            .map(TierModel::preset)
+            .collect(),
+            network: NetworkModel::ten_gbe(),
+            default_shared: TierKind::Nfs,
+        }
+    }
+
+    /// The paper's GPU cluster: BeeGFS default, node-local SSD.
+    pub fn gpu_cluster(nodes: usize) -> Self {
+        Self {
+            nodes,
+            tiers: [
+                TierKind::Ram,
+                TierKind::NvmeSsd,
+                TierKind::SataSsd,
+                TierKind::Beegfs,
+            ]
+            .into_iter()
+            .map(TierModel::preset)
+            .collect(),
+            network: NetworkModel::ten_gbe(),
+            default_shared: TierKind::Beegfs,
+        }
+    }
+
+    /// The tier model for a kind.
+    ///
+    /// # Panics
+    /// If the cluster has no tier of that kind configured.
+    pub fn tier(&self, kind: TierKind) -> &TierModel {
+        self.tiers
+            .iter()
+            .find(|t| t.kind == kind)
+            .unwrap_or_else(|| panic!("cluster has no {kind:?} tier"))
+    }
+}
+
+/// File → location map with a default for unplaced files.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Placement {
+    map: HashMap<String, FileLocation>,
+}
+
+impl Placement {
+    /// Empty placement: everything on the cluster's default shared tier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Homes `file` at `loc`, replacing any previous placement.
+    pub fn place(&mut self, file: impl Into<String>, loc: FileLocation) -> &mut Self {
+        self.map.insert(file.into(), loc);
+        self
+    }
+
+    /// Where `file` lives on `cluster`.
+    pub fn location(&self, cluster: &Cluster, file: &str) -> FileLocation {
+        self.map
+            .get(file)
+            .copied()
+            .unwrap_or(FileLocation::Shared(cluster.default_shared))
+    }
+
+    /// Number of explicitly placed files.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no file is explicitly placed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates explicit placements.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &FileLocation)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_clusters_have_expected_defaults() {
+        let cpu = Cluster::cpu_cluster(2);
+        assert_eq!(cpu.default_shared, TierKind::Nfs);
+        assert_eq!(cpu.nodes, 2);
+        assert!(cpu.tiers.iter().any(|t| t.kind == TierKind::Hdd));
+
+        let gpu = Cluster::gpu_cluster(8);
+        assert_eq!(gpu.default_shared, TierKind::Beegfs);
+        assert!(gpu.tiers.iter().any(|t| t.kind == TierKind::NvmeSsd));
+    }
+
+    #[test]
+    fn tier_lookup() {
+        let c = Cluster::cpu_cluster(1);
+        assert_eq!(c.tier(TierKind::Nfs).kind, TierKind::Nfs);
+    }
+
+    #[test]
+    #[should_panic(expected = "no Beegfs tier")]
+    fn missing_tier_panics() {
+        let c = Cluster::cpu_cluster(1);
+        c.tier(TierKind::Beegfs);
+    }
+
+    #[test]
+    fn placement_defaults_to_shared() {
+        let c = Cluster::gpu_cluster(2);
+        let mut p = Placement::new();
+        assert!(p.is_empty());
+        assert_eq!(
+            p.location(&c, "anything.h5"),
+            FileLocation::Shared(TierKind::Beegfs)
+        );
+        p.place("hot.h5", FileLocation::NodeLocal(1, TierKind::NvmeSsd));
+        assert_eq!(p.len(), 1);
+        assert_eq!(
+            p.location(&c, "hot.h5"),
+            FileLocation::NodeLocal(1, TierKind::NvmeSsd)
+        );
+    }
+
+    #[test]
+    fn placement_overwrites() {
+        let c = Cluster::cpu_cluster(1);
+        let mut p = Placement::new();
+        p.place("f", FileLocation::Shared(TierKind::Nfs));
+        p.place("f", FileLocation::NodeLocal(0, TierKind::Ram));
+        assert_eq!(
+            p.location(&c, "f"),
+            FileLocation::NodeLocal(0, TierKind::Ram)
+        );
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn cluster_and_placement_serde_round_trip() {
+        let c = Cluster::gpu_cluster(4);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Cluster = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.nodes, 4);
+        assert_eq!(back.default_shared, TierKind::Beegfs);
+        assert_eq!(back.tier(TierKind::NvmeSsd), c.tier(TierKind::NvmeSsd));
+
+        let mut p = Placement::new();
+        p.place("a.h5", FileLocation::NodeLocal(2, TierKind::Ram));
+        p.place("b.h5", FileLocation::Shared(TierKind::Beegfs));
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Placement = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            back.location(&c, "a.h5"),
+            FileLocation::NodeLocal(2, TierKind::Ram)
+        );
+        assert_eq!(back.len(), 2);
+    }
+}

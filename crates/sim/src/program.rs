@@ -1,0 +1,261 @@
+//! The replay vocabulary: per-task operation programs.
+//!
+//! A [`SimTask`] is a node assignment, a dependency list, and a sequence of
+//! [`SimOp`]s — typically converted from the VFD records DaYu collected
+//! during a profiled run (`dayu-workflow` provides that bridge), so the
+//! simulated I/O is exactly the I/O the real format library performed.
+
+use dayu_trace::vfd::{AccessType, IoKind, VfdRecord};
+use serde::{Deserialize, Serialize};
+
+/// Task index within a job.
+pub type TaskId = usize;
+
+/// Direction of a data operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoDir {
+    /// Read from the file.
+    Read,
+    /// Write to the file.
+    Write,
+}
+
+/// One step of a task's program.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SimOp {
+    /// A low-level I/O operation against a file.
+    Io {
+        /// Target file name (resolved through the placement).
+        file: String,
+        /// Read or write.
+        dir: IoDir,
+        /// Bytes moved.
+        bytes: u64,
+        /// Metadata (true) vs raw data (false) — metadata ops pay the
+        /// metadata-server cost on networked tiers.
+        metadata: bool,
+    },
+    /// Pure computation for the given duration.
+    Compute {
+        /// Nanoseconds of compute.
+        nanos: u64,
+    },
+}
+
+impl SimOp {
+    /// Convenience raw-data read.
+    pub fn read(file: impl Into<String>, bytes: u64) -> Self {
+        SimOp::Io {
+            file: file.into(),
+            dir: IoDir::Read,
+            bytes,
+            metadata: false,
+        }
+    }
+
+    /// Convenience raw-data write.
+    pub fn write(file: impl Into<String>, bytes: u64) -> Self {
+        SimOp::Io {
+            file: file.into(),
+            dir: IoDir::Write,
+            bytes,
+            metadata: false,
+        }
+    }
+
+    /// Convenience metadata operation.
+    pub fn metadata(file: impl Into<String>, dir: IoDir, bytes: u64) -> Self {
+        SimOp::Io {
+            file: file.into(),
+            dir,
+            bytes,
+            metadata: true,
+        }
+    }
+
+    /// Convenience compute phase.
+    pub fn compute(nanos: u64) -> Self {
+        SimOp::Compute { nanos }
+    }
+
+    /// Whether this op is I/O (vs compute).
+    pub fn is_io(&self) -> bool {
+        matches!(self, SimOp::Io { .. })
+    }
+
+    /// Bytes moved (0 for compute).
+    pub fn bytes(&self) -> u64 {
+        match self {
+            SimOp::Io { bytes, .. } => *bytes,
+            SimOp::Compute { .. } => 0,
+        }
+    }
+}
+
+/// One task of a simulated job.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimTask {
+    /// Human-readable name (usually the traced task name).
+    pub name: String,
+    /// Node the task runs on.
+    pub node: usize,
+    /// Tasks (by index) that must finish before this one starts.
+    pub deps: Vec<TaskId>,
+    /// The operation sequence.
+    pub program: Vec<SimOp>,
+}
+
+impl SimTask {
+    /// A task with no dependencies on node 0.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            node: 0,
+            deps: Vec::new(),
+            program: Vec::new(),
+        }
+    }
+
+    /// Assigns the node.
+    pub fn on_node(mut self, node: usize) -> Self {
+        self.node = node;
+        self
+    }
+
+    /// Adds dependencies.
+    pub fn after(mut self, deps: &[TaskId]) -> Self {
+        self.deps.extend_from_slice(deps);
+        self
+    }
+
+    /// Sets the program.
+    pub fn with_program(mut self, program: Vec<SimOp>) -> Self {
+        self.program = program;
+        self
+    }
+
+    /// Total bytes of I/O in the program.
+    pub fn total_io_bytes(&self) -> u64 {
+        self.program.iter().map(SimOp::bytes).sum()
+    }
+
+    /// Number of I/O operations in the program.
+    pub fn io_op_count(&self) -> usize {
+        self.program.iter().filter(|o| o.is_io()).count()
+    }
+}
+
+/// Converts one task's VFD records (in trace order) to a replay program.
+/// Lifecycle records (open/close/flush/truncate) are dropped — their cost is
+/// folded into tier latency; data and metadata ops are preserved exactly.
+pub fn program_from_vfd_records<'a>(
+    records: impl IntoIterator<Item = &'a VfdRecord>,
+) -> Vec<SimOp> {
+    records
+        .into_iter()
+        .filter(|r| r.kind.moves_data())
+        .map(|r| SimOp::Io {
+            file: r.file.as_str().to_owned(),
+            dir: if r.kind == IoKind::Read {
+                IoDir::Read
+            } else {
+                IoDir::Write
+            },
+            bytes: r.len,
+            metadata: r.access == AccessType::Metadata,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
+    use dayu_trace::time::Timestamp;
+
+    #[test]
+    fn op_constructors() {
+        let r = SimOp::read("f", 100);
+        assert!(r.is_io());
+        assert_eq!(r.bytes(), 100);
+        let c = SimOp::compute(5_000);
+        assert!(!c.is_io());
+        assert_eq!(c.bytes(), 0);
+        let m = SimOp::metadata("f", IoDir::Write, 12);
+        match m {
+            SimOp::Io { metadata, .. } => assert!(metadata),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn task_builder_and_accounting() {
+        let t = SimTask::new("train")
+            .on_node(3)
+            .after(&[0, 1])
+            .with_program(vec![
+                SimOp::read("a", 100),
+                SimOp::compute(10),
+                SimOp::write("b", 50),
+            ]);
+        assert_eq!(t.node, 3);
+        assert_eq!(t.deps, vec![0, 1]);
+        assert_eq!(t.total_io_bytes(), 150);
+        assert_eq!(t.io_op_count(), 2);
+    }
+
+    fn rec(kind: IoKind, len: u64, access: AccessType) -> VfdRecord {
+        VfdRecord {
+            task: TaskKey::new("t"),
+            file: FileKey::new("f.h5"),
+            kind,
+            offset: 0,
+            len,
+            access,
+            object: ObjectKey::new("/d"),
+            start: Timestamp(0),
+            end: Timestamp(1),
+        }
+    }
+
+    #[test]
+    fn vfd_conversion_preserves_data_ops_only() {
+        let records = vec![
+            rec(IoKind::Open, 0, AccessType::Metadata),
+            rec(IoKind::Write, 512, AccessType::Metadata),
+            rec(IoKind::Write, 4096, AccessType::RawData),
+            rec(IoKind::Read, 64, AccessType::Metadata),
+            rec(IoKind::Flush, 0, AccessType::Metadata),
+            rec(IoKind::Close, 0, AccessType::Metadata),
+        ];
+        let prog = program_from_vfd_records(&records);
+        assert_eq!(prog.len(), 3);
+        assert_eq!(
+            prog[0],
+            SimOp::Io {
+                file: "f.h5".into(),
+                dir: IoDir::Write,
+                bytes: 512,
+                metadata: true
+            }
+        );
+        assert_eq!(
+            prog[1],
+            SimOp::Io {
+                file: "f.h5".into(),
+                dir: IoDir::Write,
+                bytes: 4096,
+                metadata: false
+            }
+        );
+        assert_eq!(
+            prog[2],
+            SimOp::Io {
+                file: "f.h5".into(),
+                dir: IoDir::Read,
+                bytes: 64,
+                metadata: true
+            }
+        );
+    }
+}

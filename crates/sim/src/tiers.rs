@@ -1,0 +1,259 @@
+//! Storage tier cost models.
+//!
+//! Each tier charges an operation `latency + bytes / bandwidth`, with two
+//! refinements that drive the phenomena the paper's optimizations exploit:
+//!
+//! * **bandwidth sharing** — concurrent streams on a shared tier split the
+//!   streaming bandwidth (why co-locating tasks with node-local data beats
+//!   hammering the parallel filesystem);
+//! * **metadata contention** — metadata operations pay a separate,
+//!   higher latency on networked filesystems (a metadata-server round
+//!   trip), and that latency degrades under concurrency (why many small
+//!   datasets / chunk-index lookups are so costly on PFS, paper Fig. 5/13a).
+//!
+//! Calibration constants target the hardware class of Table III. Absolute
+//! values are order-of-magnitude realistic; the evaluation compares
+//! *relative* times, which depend on the ratios (per-op latency vs
+//! streaming cost), not the absolute scale.
+
+use serde::{Deserialize, Serialize};
+
+/// The storage technologies of the paper's two machines (Table III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TierKind {
+    /// DRAM staging (e.g. a Hermes-style memory tier).
+    Ram,
+    /// Node-local NVMe SSD.
+    NvmeSsd,
+    /// Node-local SATA SSD.
+    SataSsd,
+    /// Node-local spinning disk.
+    Hdd,
+    /// NFS share (the CPU cluster's default storage).
+    Nfs,
+    /// BeeGFS parallel filesystem (the GPU cluster's default storage).
+    Beegfs,
+}
+
+impl TierKind {
+    /// Whether the tier is reached over the network and shared by all nodes.
+    pub fn is_shared(self) -> bool {
+        matches!(self, TierKind::Nfs | TierKind::Beegfs)
+    }
+}
+
+/// Cost model of one tier.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TierModel {
+    /// Which technology this models.
+    pub kind: TierKind,
+    /// Fixed cost per data operation, nanoseconds.
+    pub latency_ns: u64,
+    /// Streaming read bandwidth, bytes/second.
+    pub read_bw: f64,
+    /// Streaming write bandwidth, bytes/second.
+    pub write_bw: f64,
+    /// Fixed cost per *metadata* operation, nanoseconds (metadata-server
+    /// round trip on networked tiers; device latency locally).
+    pub metadata_latency_ns: u64,
+    /// How strongly concurrent accessors degrade per-op latency:
+    /// `effective_latency = latency * (1 + contention * (streams - 1))`.
+    /// Zero for node-local devices with deep queues; positive for
+    /// network/metadata-server bound tiers.
+    pub contention: f64,
+}
+
+impl TierModel {
+    /// Preset model for a tier kind.
+    pub fn preset(kind: TierKind) -> TierModel {
+        match kind {
+            TierKind::Ram => TierModel {
+                kind,
+                latency_ns: 200,
+                read_bw: 12.0e9,
+                write_bw: 10.0e9,
+                metadata_latency_ns: 150,
+                contention: 0.0,
+            },
+            TierKind::NvmeSsd => TierModel {
+                kind,
+                latency_ns: 20_000,
+                read_bw: 3.2e9,
+                write_bw: 2.4e9,
+                metadata_latency_ns: 12_000,
+                contention: 0.05,
+            },
+            TierKind::SataSsd => TierModel {
+                kind,
+                latency_ns: 80_000,
+                read_bw: 530.0e6,
+                write_bw: 480.0e6,
+                metadata_latency_ns: 50_000,
+                contention: 0.1,
+            },
+            TierKind::Hdd => TierModel {
+                kind,
+                latency_ns: 4_000_000,
+                read_bw: 180.0e6,
+                write_bw: 160.0e6,
+                metadata_latency_ns: 4_000_000,
+                contention: 0.5,
+            },
+            TierKind::Nfs => TierModel {
+                kind,
+                latency_ns: 400_000,
+                read_bw: 500.0e6,
+                write_bw: 350.0e6,
+                metadata_latency_ns: 900_000,
+                contention: 0.6,
+            },
+            TierKind::Beegfs => TierModel {
+                kind,
+                latency_ns: 250_000,
+                read_bw: 1.6e9,
+                write_bw: 1.2e9,
+                metadata_latency_ns: 500_000,
+                contention: 0.4,
+            },
+        }
+    }
+
+    /// Cost in nanoseconds of one operation moving `bytes` with `streams`
+    /// concurrent accessors on this tier.
+    pub fn op_cost_ns(&self, is_write: bool, bytes: u64, metadata: bool, streams: u32) -> u64 {
+        let streams = streams.max(1);
+        let base_latency = if metadata {
+            self.metadata_latency_ns
+        } else {
+            self.latency_ns
+        };
+        let latency =
+            base_latency as f64 * (1.0 + self.contention * (streams as f64 - 1.0));
+        let bw = if is_write { self.write_bw } else { self.read_bw };
+        // Shared tiers split streaming bandwidth between concurrent streams;
+        // node-local devices keep full bandwidth (one task per device in
+        // these workloads; queue depth absorbs overlap).
+        let effective_bw = if self.kind.is_shared() {
+            bw / streams as f64
+        } else {
+            bw
+        };
+        let transfer = bytes as f64 / effective_bw * 1e9;
+        (latency + transfer) as u64
+    }
+}
+
+/// Interconnect cost model for reaching another node's local storage or a
+/// shared filesystem server.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// One-way message latency, nanoseconds.
+    pub latency_ns: u64,
+    /// Link bandwidth, bytes/second.
+    pub bandwidth: f64,
+}
+
+impl NetworkModel {
+    /// 10 GbE-class interconnect (the paper's clusters are commodity).
+    pub fn ten_gbe() -> Self {
+        Self {
+            latency_ns: 100_000,
+            bandwidth: 1.1e9,
+        }
+    }
+
+    /// Additional nanoseconds to move `bytes` across the link.
+    pub fn transfer_cost_ns(&self, bytes: u64) -> u64 {
+        self.latency_ns + (bytes as f64 / self.bandwidth * 1e9) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        let ram = TierModel::preset(TierKind::Ram);
+        let nvme = TierModel::preset(TierKind::NvmeSsd);
+        let sata = TierModel::preset(TierKind::SataSsd);
+        let hdd = TierModel::preset(TierKind::Hdd);
+        let nfs = TierModel::preset(TierKind::Nfs);
+        assert!(ram.latency_ns < nvme.latency_ns);
+        assert!(nvme.latency_ns < sata.latency_ns);
+        assert!(sata.latency_ns < hdd.latency_ns);
+        assert!(ram.read_bw > nvme.read_bw);
+        assert!(nvme.read_bw > sata.read_bw);
+        // Networked tiers: metadata ops cost more than data ops.
+        assert!(nfs.metadata_latency_ns > nfs.latency_ns);
+    }
+
+    #[test]
+    fn shared_flags() {
+        assert!(TierKind::Nfs.is_shared());
+        assert!(TierKind::Beegfs.is_shared());
+        assert!(!TierKind::NvmeSsd.is_shared());
+        assert!(!TierKind::Ram.is_shared());
+    }
+
+    #[test]
+    fn op_cost_scales_with_size() {
+        let m = TierModel::preset(TierKind::NvmeSsd);
+        let small = m.op_cost_ns(false, 4 << 10, false, 1);
+        let large = m.op_cost_ns(false, 4 << 20, false, 1);
+        assert!(large > small);
+        // 4 MiB at 3.2 GB/s ≈ 1.3 ms; latency negligible.
+        let expect = (4_194_304.0 / 3.2e9 * 1e9) as u64;
+        assert!(large > expect && large < expect + 2 * m.latency_ns + 1_000_000);
+    }
+
+    #[test]
+    fn metadata_op_cost_dominated_by_latency() {
+        let m = TierModel::preset(TierKind::Beegfs);
+        let md = m.op_cost_ns(false, 12, true, 1);
+        assert!(md >= m.metadata_latency_ns);
+        assert!(md < m.metadata_latency_ns + 10_000);
+    }
+
+    #[test]
+    fn contention_raises_latency_and_splits_bandwidth() {
+        let m = TierModel::preset(TierKind::Nfs);
+        let solo = m.op_cost_ns(false, 1 << 20, false, 1);
+        let crowded = m.op_cost_ns(false, 1 << 20, false, 8);
+        assert!(
+            crowded > 4 * solo,
+            "8-way contention should sharply degrade NFS: {solo} vs {crowded}"
+        );
+
+        let local = TierModel::preset(TierKind::NvmeSsd);
+        let solo_l = local.op_cost_ns(false, 1 << 20, false, 1);
+        let crowded_l = local.op_cost_ns(false, 1 << 20, false, 8);
+        assert!(
+            crowded_l < 2 * solo_l,
+            "local NVMe barely degrades: {solo_l} vs {crowded_l}"
+        );
+    }
+
+    #[test]
+    fn write_slower_than_read() {
+        let m = TierModel::preset(TierKind::Beegfs);
+        assert!(m.op_cost_ns(true, 1 << 20, false, 1) > m.op_cost_ns(false, 1 << 20, false, 1));
+    }
+
+    #[test]
+    fn network_transfer_cost() {
+        let n = NetworkModel::ten_gbe();
+        assert_eq!(n.transfer_cost_ns(0), n.latency_ns);
+        let mb = n.transfer_cost_ns(1 << 20);
+        assert!(mb > n.latency_ns + 900_000 / 2);
+    }
+
+    #[test]
+    fn zero_streams_treated_as_one() {
+        let m = TierModel::preset(TierKind::Ram);
+        assert_eq!(
+            m.op_cost_ns(false, 100, false, 0),
+            m.op_cost_ns(false, 100, false, 1)
+        );
+    }
+}

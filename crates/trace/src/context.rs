@@ -1,0 +1,237 @@
+//! The VOL → VFD communication channel.
+//!
+//! HDF5's abstraction layers make direct communication between a VOL plugin
+//! and a VFD plugin "inherently difficult"; the paper bridges them with a
+//! region of shared memory through which the VOL layer publishes the *current
+//! task*, *current data object* and *current access type* so the VFD profiler
+//! can attribute every low-level operation to its semantic cause.
+//!
+//! [`SharedContext`] is the in-process analogue: a cheaply clonable handle to
+//! shared state written by the high-level layer (object open/read/write) and
+//! read by the low-level profiler on every I/O operation. A mutex (rather
+//! than a lock-free scheme) is deliberate — the critical sections are a few
+//! stores, contention is between one writer and one reader per task, and
+//! `parking_lot::Mutex` is uncontended-fast; see the ablation discussion in
+//! DESIGN.md.
+
+use crate::ids::{ObjectKey, TaskKey};
+use crate::vfd::AccessType;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A snapshot of what the high-level layer is currently doing, as visible to
+/// the low-level profiler.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ContextSnapshot {
+    /// The task the workflow launcher announced, if any.
+    pub task: Option<TaskKey>,
+    /// The data object whose operation is in progress, if any.
+    pub object: Option<ObjectKey>,
+    /// Whether the in-progress operation is a metadata or raw-data access.
+    /// `None` when no object operation is in flight (the profiler then
+    /// classifies the I/O as metadata, matching HDF5 where unattributed
+    /// I/O is structural).
+    pub access: Option<AccessType>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    snap: ContextSnapshot,
+    /// Depth of nested `enter_object` scopes, so nested VOL operations
+    /// (e.g. reading a chunk index while writing a dataset) restore the
+    /// outer object on exit.
+    stack: Vec<(Option<ObjectKey>, Option<AccessType>)>,
+}
+
+/// Shared state through which the VOL layer labels VFD operations.
+///
+/// Clones share the same state. One `SharedContext` per *task* (thread of
+/// application activity) is the intended granularity, matching the paper
+/// where statistics are "collected as entries in a hash table in the
+/// duration of the task".
+#[derive(Clone, Debug, Default)]
+pub struct SharedContext {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl SharedContext {
+    /// A fresh, empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Announces the current task. The workflow launcher or the application
+    /// must call this before the task performs I/O (paper: "The workflow
+    /// launcher or application must inform DaYu of the current task").
+    pub fn set_task(&self, task: impl Into<TaskKey>) {
+        self.inner.lock().snap.task = Some(task.into());
+    }
+
+    /// Clears the current task (end of task).
+    pub fn clear_task(&self) {
+        self.inner.lock().snap.task = None;
+    }
+
+    /// The currently announced task, if any.
+    pub fn task(&self) -> Option<TaskKey> {
+        self.inner.lock().snap.task.clone()
+    }
+
+    /// Pushes an object scope: all VFD operations until the matching
+    /// [`SharedContext::exit_object`] are attributed to `object` with the
+    /// given access type. Scopes nest; the outer attribution is restored on
+    /// exit.
+    pub fn enter_object(&self, object: impl Into<ObjectKey>, access: AccessType) {
+        let mut inner = self.inner.lock();
+        let prev = (inner.snap.object.take(), inner.snap.access.take());
+        inner.stack.push(prev);
+        inner.snap.object = Some(object.into());
+        inner.snap.access = Some(access);
+    }
+
+    /// Pops the innermost object scope.
+    pub fn exit_object(&self) {
+        let mut inner = self.inner.lock();
+        if let Some((obj, acc)) = inner.stack.pop() {
+            inner.snap.object = obj;
+            inner.snap.access = acc;
+        } else {
+            inner.snap.object = None;
+            inner.snap.access = None;
+        }
+    }
+
+    /// Snapshot of the current attribution, taken by the VFD profiler when
+    /// recording an operation.
+    pub fn snapshot(&self) -> ContextSnapshot {
+        self.inner.lock().snap.clone()
+    }
+
+    /// Runs `f` inside an object scope; exception-safe convenience over
+    /// `enter_object`/`exit_object`.
+    pub fn with_object<R>(
+        &self,
+        object: impl Into<ObjectKey>,
+        access: AccessType,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        self.enter_object(object, access);
+        let guard = ScopeGuard { ctx: self };
+        let r = f();
+        drop(guard);
+        r
+    }
+}
+
+struct ScopeGuard<'a> {
+    ctx: &'a SharedContext,
+}
+
+impl Drop for ScopeGuard<'_> {
+    fn drop(&mut self) {
+        self.ctx.exit_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_context_snapshot() {
+        let ctx = SharedContext::new();
+        let s = ctx.snapshot();
+        assert_eq!(s.task, None);
+        assert_eq!(s.object, None);
+        assert_eq!(s.access, None);
+    }
+
+    #[test]
+    fn task_set_and_clear() {
+        let ctx = SharedContext::new();
+        ctx.set_task("openmm_0");
+        assert_eq!(ctx.task(), Some(TaskKey::new("openmm_0")));
+        ctx.clear_task();
+        assert_eq!(ctx.task(), None);
+    }
+
+    #[test]
+    fn object_scopes_nest_and_restore() {
+        let ctx = SharedContext::new();
+        ctx.enter_object("/outer", AccessType::RawData);
+        ctx.enter_object("/inner", AccessType::Metadata);
+        let s = ctx.snapshot();
+        assert_eq!(s.object, Some(ObjectKey::new("/inner")));
+        assert_eq!(s.access, Some(AccessType::Metadata));
+        ctx.exit_object();
+        let s = ctx.snapshot();
+        assert_eq!(s.object, Some(ObjectKey::new("/outer")));
+        assert_eq!(s.access, Some(AccessType::RawData));
+        ctx.exit_object();
+        assert_eq!(ctx.snapshot().object, None);
+    }
+
+    #[test]
+    fn unbalanced_exit_is_harmless() {
+        let ctx = SharedContext::new();
+        ctx.exit_object();
+        ctx.exit_object();
+        assert_eq!(ctx.snapshot().object, None);
+    }
+
+    #[test]
+    fn with_object_restores_on_return() {
+        let ctx = SharedContext::new();
+        let out = ctx.with_object("/d", AccessType::RawData, || {
+            assert_eq!(ctx.snapshot().object, Some(ObjectKey::new("/d")));
+            7
+        });
+        assert_eq!(out, 7);
+        assert_eq!(ctx.snapshot().object, None);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SharedContext::new();
+        let b = a.clone();
+        a.set_task("t");
+        assert_eq!(b.task(), Some(TaskKey::new("t")));
+        b.enter_object("/x", AccessType::Metadata);
+        assert_eq!(a.snapshot().object, Some(ObjectKey::new("/x")));
+    }
+
+    #[test]
+    fn snapshot_is_consistent_under_concurrency() {
+        // The writer always sets (object, access) pairs together; a reader
+        // must never observe an object from one scope with the access type
+        // of another.
+        let ctx = SharedContext::new();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..2000 {
+                    if i % 2 == 0 {
+                        ctx.enter_object("/meta", AccessType::Metadata);
+                    } else {
+                        ctx.enter_object("/raw", AccessType::RawData);
+                    }
+                    ctx.exit_object();
+                }
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+            s.spawn(|| {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let s = ctx.snapshot();
+                    match (&s.object, s.access) {
+                        (Some(o), Some(AccessType::Metadata)) => {
+                            assert_eq!(o.as_str(), "/meta")
+                        }
+                        (Some(o), Some(AccessType::RawData)) => assert_eq!(o.as_str(), "/raw"),
+                        (None, None) => {}
+                        other => panic!("torn snapshot: {other:?}"),
+                    }
+                }
+            });
+        });
+    }
+}

@@ -1,0 +1,164 @@
+//! Lightweight string keys identifying tasks, files and data objects.
+//!
+//! DaYu correlates records from two independent profiling layers (VOL and
+//! VFD) and across many tasks of a workflow. Correlation happens by *name*:
+//! the task name supplied by the workflow launcher, the file name, and the
+//! full object path inside the file (e.g. `/group/dataset`). These newtypes
+//! keep the three name spaces from being mixed up.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! string_key {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub String);
+
+        impl $name {
+            /// Creates a key from anything string-like.
+            pub fn new(s: impl Into<String>) -> Self {
+                Self(s.into())
+            }
+
+            /// The underlying name.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                Self(s.to_owned())
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                Self(s)
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+    };
+}
+
+string_key!(
+    /// The name of a workflow task, as announced to DaYu by the workflow
+    /// launcher or the application itself (the paper notes "the workflow
+    /// launcher or application must inform DaYu of the current task").
+    TaskKey
+);
+
+string_key!(
+    /// The name of a file a task interacts with.
+    FileKey
+);
+
+string_key!(
+    /// The full path of a data object (group, dataset or attribute) within a
+    /// file, e.g. `/simulation/contact_map`.
+    ObjectKey
+);
+
+impl ObjectKey {
+    /// Object key used for I/O that cannot be attributed to any data object
+    /// (e.g. superblock reads before any object is open). Grouped under the
+    /// pseudo-object the paper's SDGs label "File-Metadata".
+    pub fn file_metadata() -> Self {
+        Self("File-Metadata".to_owned())
+    }
+
+    /// Returns the last path component (the object's leaf name).
+    pub fn leaf(&self) -> &str {
+        self.0.rsplit('/').next().unwrap_or(&self.0)
+    }
+
+    /// Returns the parent path, or `None` when the key has no `/` separator
+    /// or is the root.
+    pub fn parent(&self) -> Option<&str> {
+        let idx = self.0.rfind('/')?;
+        if idx == 0 {
+            if self.0.len() > 1 {
+                Some("/")
+            } else {
+                None
+            }
+        } else {
+            Some(&self.0[..idx])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip() {
+        let t = TaskKey::new("run_gettracks");
+        assert_eq!(t.to_string(), "run_gettracks");
+        assert_eq!(t.as_str(), "run_gettracks");
+    }
+
+    #[test]
+    fn object_leaf_and_parent() {
+        let o = ObjectKey::new("/group/inner/dataset");
+        assert_eq!(o.leaf(), "dataset");
+        assert_eq!(o.parent(), Some("/group/inner"));
+
+        let top = ObjectKey::new("/dataset");
+        assert_eq!(top.leaf(), "dataset");
+        assert_eq!(top.parent(), Some("/"));
+
+        let root = ObjectKey::new("/");
+        assert_eq!(root.parent(), None);
+
+        let bare = ObjectKey::new("dataset");
+        assert_eq!(bare.leaf(), "dataset");
+        assert_eq!(bare.parent(), None);
+    }
+
+    #[test]
+    fn keys_are_distinct_types() {
+        // Compile-time property; runtime sanity that conversions work.
+        let f: FileKey = "a.h5".into();
+        let o: ObjectKey = String::from("/d").into();
+        assert_eq!(f.as_ref(), "a.h5");
+        assert_eq!(o.as_ref(), "/d");
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let f = FileKey::new("file.h5");
+        let json = serde_json::to_string(&f).unwrap();
+        assert_eq!(json, "\"file.h5\"");
+        let back: FileKey = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn file_metadata_pseudo_object() {
+        assert_eq!(ObjectKey::file_metadata().as_str(), "File-Metadata");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = TaskKey::new("a");
+        let b = TaskKey::new("b");
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,408 @@
+//! Trace container and JSONL persistence.
+//!
+//! The Data Semantic Mapper accumulates statistics "as entries in a hash
+//! table in the duration of the task" and flushes them when files close. The
+//! flushed records from every task of a workflow are collected into a
+//! [`TraceBundle`], the interchange format consumed by the Workflow Analyzer.
+//!
+//! Bundles serialize as JSON Lines: one header line, then one line per
+//! record, so traces from long workflows stream without buffering and
+//! bundles from separately-profiled tasks concatenate by appending files.
+
+use crate::ids::TaskKey;
+use crate::vfd::{FileRecord, VfdRecord};
+use crate::vol::VolRecord;
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, Write};
+
+/// Bundle-level metadata.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Human-readable workflow name.
+    pub workflow: String,
+    /// Execution order of tasks. The paper notes FTG construction "requires
+    /// manual input for task ordering" (future versions integrate with
+    /// workflow managers); the workflow engine in this repo supplies it
+    /// automatically.
+    pub task_order: Vec<TaskKey>,
+    /// Page size (bytes) used when bucketing file addresses into regions for
+    /// SDG address nodes.
+    pub page_size: u64,
+}
+
+/// All records collected from one workflow execution.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceBundle {
+    /// Bundle metadata.
+    pub meta: TraceMeta,
+    /// Object-level (Table I) records.
+    pub vol: Vec<VolRecord>,
+    /// Low-level I/O (Table II #5–7) records.
+    pub vfd: Vec<VfdRecord>,
+    /// Per-(task, file) lifetimes and statistics (Table II #3–4).
+    pub files: Vec<FileRecord>,
+}
+
+/// One line of the JSONL stream.
+#[derive(Serialize, Deserialize)]
+enum Line {
+    Meta(TraceMeta),
+    Vol(VolRecord),
+    Vfd(VfdRecord),
+    File(FileRecord),
+}
+
+impl TraceBundle {
+    /// An empty bundle for the named workflow.
+    pub fn new(workflow: impl Into<String>) -> Self {
+        Self {
+            meta: TraceMeta {
+                workflow: workflow.into(),
+                task_order: Vec::new(),
+                page_size: 4096,
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Appends all records of `other` to this bundle, extending the task
+    /// order with tasks not yet present. Used to join per-task traces into a
+    /// workflow-wide trace.
+    pub fn merge(&mut self, other: TraceBundle) {
+        for t in other.meta.task_order {
+            if !self.meta.task_order.contains(&t) {
+                self.meta.task_order.push(t);
+            }
+        }
+        self.vol.extend(other.vol);
+        self.vfd.extend(other.vfd);
+        self.files.extend(other.files);
+    }
+
+    /// Registers `task` at the end of the execution order if new.
+    pub fn push_task(&mut self, task: TaskKey) {
+        if !self.meta.task_order.contains(&task) {
+            self.meta.task_order.push(task);
+        }
+    }
+
+    /// Total bytes of application data moved (VFD raw view), used as the
+    /// denominator of the storage-overhead figures (Fig. 9d).
+    pub fn application_bytes(&self) -> u64 {
+        self.vfd.iter().filter(|r| r.kind.moves_data()).map(|r| r.len).sum()
+    }
+
+    /// Serialized size of only the VOL records, in bytes.
+    pub fn vol_storage_bytes(&self) -> u64 {
+        self.vol
+            .iter()
+            .map(|r| serde_json::to_string(r).map(|s| s.len() as u64 + 1).unwrap_or(0))
+            .sum()
+    }
+
+    /// Serialized size of only the VFD records, in bytes. Grows linearly
+    /// with I/O operation count (the paper's Fig. 9d), unless I/O tracing is
+    /// disabled in the mapper config.
+    pub fn vfd_storage_bytes(&self) -> u64 {
+        self.vfd
+            .iter()
+            .map(|r| serde_json::to_string(r).map(|s| s.len() as u64 + 1).unwrap_or(0))
+            .sum()
+    }
+
+    /// Writes the bundle as JSON Lines.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let mut emit = |line: &Line| -> io::Result<()> {
+            let s = serde_json::to_string(line).map_err(io::Error::other)?;
+            w.write_all(s.as_bytes())?;
+            w.write_all(b"\n")
+        };
+        emit(&Line::Meta(self.meta.clone()))?;
+        for r in &self.vol {
+            emit(&Line::Vol(r.clone()))?;
+        }
+        for r in &self.vfd {
+            emit(&Line::Vfd(r.clone()))?;
+        }
+        for r in &self.files {
+            emit(&Line::File(r.clone()))?;
+        }
+        Ok(())
+    }
+
+    /// Reads a bundle from JSON Lines. Multiple concatenated bundles merge:
+    /// later `Meta` lines extend the task order (first workflow
+    /// name/page-size win).
+    pub fn read_jsonl<R: BufRead>(r: R) -> io::Result<Self> {
+        let mut out = TraceBundle::default();
+        let mut saw_meta = false;
+        for line in r.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parsed: Line = serde_json::from_str(&line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            match parsed {
+                Line::Meta(m) => {
+                    if saw_meta {
+                        for t in m.task_order {
+                            if !out.meta.task_order.contains(&t) {
+                                out.meta.task_order.push(t);
+                            }
+                        }
+                    } else {
+                        out.meta = m;
+                        saw_meta = true;
+                    }
+                }
+                Line::Vol(v) => out.vol.push(v),
+                Line::Vfd(v) => out.vfd.push(v),
+                Line::File(f) => out.files.push(f),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Round-trips through the JSONL encoding into a byte buffer (useful for
+    /// storage accounting and tests).
+    pub fn to_jsonl_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.write_jsonl(&mut buf).expect("Vec<u8> writes are infallible");
+        buf
+    }
+
+    /// All distinct tasks mentioned anywhere in the bundle, in task-order
+    /// first, then any stragglers in record order.
+    pub fn all_tasks(&self) -> Vec<TaskKey> {
+        let mut tasks = self.meta.task_order.clone();
+        let mut push = |t: &TaskKey| {
+            if !tasks.contains(t) {
+                tasks.push(t.clone());
+            }
+        };
+        for r in &self.vol {
+            push(&r.task);
+        }
+        for r in &self.vfd {
+            push(&r.task);
+        }
+        for r in &self.files {
+            push(&r.task);
+        }
+        tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FileKey, ObjectKey};
+    use crate::time::{Interval, Timestamp};
+    use crate::vfd::{AccessType, IoKind};
+    use crate::vol::{ObjectDescription, ObjectKind};
+
+    fn bundle() -> TraceBundle {
+        let mut b = TraceBundle::new("wf");
+        b.push_task(TaskKey::new("t1"));
+        b.vol.push(VolRecord {
+            task: TaskKey::new("t1"),
+            file: FileKey::new("f.h5"),
+            object: ObjectKey::new("/d"),
+            kind: ObjectKind::Dataset,
+            lifetimes: vec![Interval::new(Timestamp(0), Timestamp(5))],
+            description: ObjectDescription::default(),
+            accesses: vec![],
+        });
+        b.vfd.push(VfdRecord {
+            task: TaskKey::new("t1"),
+            file: FileKey::new("f.h5"),
+            kind: IoKind::Write,
+            offset: 0,
+            len: 128,
+            access: AccessType::RawData,
+            object: ObjectKey::new("/d"),
+            start: Timestamp(1),
+            end: Timestamp(2),
+        });
+        b.files.push(FileRecord {
+            task: TaskKey::new("t1"),
+            file: FileKey::new("f.h5"),
+            lifetimes: vec![Interval::new(Timestamp(0), Timestamp(5))],
+            stats: Default::default(),
+        });
+        b
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let b = bundle();
+        let bytes = b.to_jsonl_bytes();
+        let back = TraceBundle::read_jsonl(&bytes[..]).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn concatenated_bundles_merge_on_read() {
+        let mut b1 = bundle();
+        b1.meta.workflow = "wf".into();
+        let mut b2 = bundle();
+        b2.meta.task_order = vec![TaskKey::new("t2")];
+        let mut bytes = b1.to_jsonl_bytes();
+        bytes.extend(b2.to_jsonl_bytes());
+        let back = TraceBundle::read_jsonl(&bytes[..]).unwrap();
+        assert_eq!(back.meta.workflow, "wf");
+        assert_eq!(
+            back.meta.task_order,
+            vec![TaskKey::new("t1"), TaskKey::new("t2")]
+        );
+        assert_eq!(back.vol.len(), 2);
+        assert_eq!(back.vfd.len(), 2);
+    }
+
+    #[test]
+    fn merge_deduplicates_task_order() {
+        let mut a = bundle();
+        let b = bundle();
+        a.merge(b);
+        assert_eq!(a.meta.task_order.len(), 1);
+        assert_eq!(a.vol.len(), 2);
+    }
+
+    #[test]
+    fn storage_accounting_positive_and_linear_in_records() {
+        let b = bundle();
+        let one = b.vfd_storage_bytes();
+        assert!(one > 0);
+        let mut b2 = b.clone();
+        b2.vfd.push(b.vfd[0].clone());
+        assert!(b2.vfd_storage_bytes() > one);
+        assert!(b.vol_storage_bytes() > 0);
+        assert_eq!(b.application_bytes(), 128);
+    }
+
+    #[test]
+    fn all_tasks_includes_stragglers() {
+        let mut b = bundle();
+        b.vfd.push(VfdRecord {
+            task: TaskKey::new("ghost"),
+            ..b.vfd[0].clone()
+        });
+        let tasks = b.all_tasks();
+        assert_eq!(tasks, vec![TaskKey::new("t1"), TaskKey::new("ghost")]);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let b = bundle();
+        let mut bytes = b"\n\n".to_vec();
+        bytes.extend(b.to_jsonl_bytes());
+        bytes.extend(b"\n");
+        let back = TraceBundle::read_jsonl(&bytes[..]).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn invalid_line_is_an_error() {
+        let err = TraceBundle::read_jsonl(&b"not json\n"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::ids::{FileKey, ObjectKey};
+    use crate::time::{Interval, Timestamp};
+    use crate::vfd::{AccessType, IoKind};
+    use crate::vol::{DataType, LayoutKind, ObjectDescription, ObjectKind, VolAccess, VolAccessKind};
+    use proptest::prelude::*;
+
+    fn arb_vfd() -> impl Strategy<Value = VfdRecord> {
+        (
+            "[a-z]{1,8}",
+            "[a-z]{1,8}\\.h5",
+            0u64..1 << 30,
+            0u64..1 << 20,
+            prop::bool::ANY,
+            prop::bool::ANY,
+            0u64..1 << 40,
+        )
+            .prop_map(|(task, file, offset, len, write, meta, t)| VfdRecord {
+                task: TaskKey::new(task),
+                file: FileKey::new(file),
+                kind: if write { IoKind::Write } else { IoKind::Read },
+                offset,
+                len,
+                access: if meta {
+                    AccessType::Metadata
+                } else {
+                    AccessType::RawData
+                },
+                object: ObjectKey::new("/d"),
+                start: Timestamp(t),
+                end: Timestamp(t + 10),
+            })
+    }
+
+    fn arb_vol() -> impl Strategy<Value = VolRecord> {
+        (
+            "[a-z]{1,8}",
+            "[a-z]{1,8}\\.h5",
+            "/[a-z]{1,12}",
+            prop::collection::vec(1u64..1000, 0..4),
+            prop::collection::vec((prop::bool::ANY, 1u64..1 << 20, 0u64..1 << 30), 0..6),
+        )
+            .prop_map(|(task, file, object, shape, accs)| VolRecord {
+                task: TaskKey::new(task),
+                file: FileKey::new(file),
+                object: ObjectKey::new(object),
+                kind: ObjectKind::Dataset,
+                lifetimes: vec![Interval::new(Timestamp(1), Timestamp(2))],
+                description: ObjectDescription {
+                    logical_size: shape.iter().product::<u64>(),
+                    shape,
+                    dtype: Some(DataType::Float { width: 8 }),
+                    layout: Some(LayoutKind::Chunked),
+                    chunk_shape: vec![],
+                },
+                accesses: accs
+                    .into_iter()
+                    .map(|(read, bytes, t)| VolAccess {
+                        kind: if read {
+                            VolAccessKind::Read
+                        } else {
+                            VolAccessKind::Write
+                        },
+                        count: 1,
+                        bytes,
+                        sel_offset: vec![],
+                        sel_count: vec![],
+                        at: Timestamp(t),
+                    })
+                    .collect(),
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Any bundle survives the JSONL encoding byte-exactly.
+        #[test]
+        fn jsonl_round_trip_arbitrary(
+            vfd in prop::collection::vec(arb_vfd(), 0..30),
+            vol in prop::collection::vec(arb_vol(), 0..15),
+            tasks in prop::collection::vec("[a-z]{1,8}", 0..6),
+        ) {
+            let mut b = TraceBundle::new("prop");
+            for t in tasks {
+                b.push_task(TaskKey::new(t));
+            }
+            b.vfd = vfd;
+            b.vol = vol;
+            let bytes = b.to_jsonl_bytes();
+            let back = TraceBundle::read_jsonl(&bytes[..]).unwrap();
+            prop_assert_eq!(back, b);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Fault-injecting wrapper driver.
+//!
+//! Profilers sit on the application's critical path; the mapper must not
+//! corrupt traces or deadlock when the underlying storage fails mid-task.
+//! [`FaultyVfd`] injects an `Io` failure on a chosen operation so those
+//! failure paths are testable deterministically.
+
+use crate::{Result, Vfd, VfdError};
+use dayu_trace::vfd::AccessType;
+
+/// When to inject failures.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Fail the nth data-moving operation (0-based). `None` disables
+    /// injection.
+    pub fail_on_op: Option<u64>,
+    /// If `true`, every operation after the first failure also fails
+    /// (a dead device); otherwise only the one op fails (a transient error).
+    pub sticky: bool,
+}
+
+impl FaultPlan {
+    /// Never fail.
+    pub fn none() -> Self {
+        Self {
+            fail_on_op: None,
+            sticky: false,
+        }
+    }
+
+    /// Fail permanently starting at data-op `n` (0-based).
+    pub fn dead_after(n: u64) -> Self {
+        Self {
+            fail_on_op: Some(n),
+            sticky: true,
+        }
+    }
+
+    /// Fail only data-op `n` (0-based), then recover.
+    pub fn transient_at(n: u64) -> Self {
+        Self {
+            fail_on_op: Some(n),
+            sticky: false,
+        }
+    }
+}
+
+/// Wrapper driver that fails according to a [`FaultPlan`].
+pub struct FaultyVfd<V> {
+    inner: V,
+    plan: FaultPlan,
+    ops_seen: u64,
+    tripped: bool,
+}
+
+impl<V: Vfd> FaultyVfd<V> {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: V, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            ops_seen: 0,
+            tripped: false,
+        }
+    }
+
+    /// Number of data-moving ops attempted so far (including failed ones).
+    pub fn ops_seen(&self) -> u64 {
+        self.ops_seen
+    }
+
+    fn gate(&mut self) -> Result<()> {
+        let n = self.ops_seen;
+        self.ops_seen += 1;
+        if self.tripped && self.plan.sticky {
+            return Err(VfdError::Io(std::io::Error::other("injected: device dead")));
+        }
+        if self.plan.fail_on_op == Some(n) {
+            self.tripped = true;
+            return Err(VfdError::Io(std::io::Error::other(format!(
+                "injected fault at op {n}"
+            ))));
+        }
+        Ok(())
+    }
+}
+
+impl<V: Vfd> Vfd for FaultyVfd<V> {
+    fn read(&mut self, offset: u64, buf: &mut [u8], access: AccessType) -> Result<()> {
+        self.gate()?;
+        self.inner.read(offset, buf, access)
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8], access: AccessType) -> Result<()> {
+        self.gate()?;
+        self.inner.write(offset, data, access)
+    }
+
+    fn eof(&self) -> u64 {
+        self.inner.eof()
+    }
+
+    fn truncate(&mut self, eof: u64) -> Result<()> {
+        self.inner.truncate(eof)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.inner.flush()
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.inner.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemVfd;
+
+    const RAW: AccessType = AccessType::RawData;
+
+    #[test]
+    fn no_plan_never_fails() {
+        let mut v = FaultyVfd::new(MemVfd::new(), FaultPlan::none());
+        for i in 0..10 {
+            v.write(i * 4, &[1; 4], RAW).unwrap();
+        }
+        assert_eq!(v.ops_seen(), 10);
+    }
+
+    #[test]
+    fn transient_fault_recovers() {
+        let mut v = FaultyVfd::new(MemVfd::new(), FaultPlan::transient_at(1));
+        v.write(0, &[1; 4], RAW).unwrap();
+        assert!(v.write(4, &[1; 4], RAW).is_err());
+        v.write(4, &[1; 4], RAW).unwrap();
+        assert_eq!(v.eof(), 8);
+    }
+
+    #[test]
+    fn dead_device_stays_dead() {
+        let mut v = FaultyVfd::new(MemVfd::new(), FaultPlan::dead_after(0));
+        assert!(v.write(0, &[1; 4], RAW).is_err());
+        assert!(v.write(0, &[1; 4], RAW).is_err());
+        let mut buf = [0u8; 1];
+        assert!(v.read(0, &mut buf, RAW).is_err());
+        assert_eq!(v.eof(), 0, "no write ever landed");
+    }
+
+    #[test]
+    fn lifecycle_ops_bypass_injection() {
+        let mut v = FaultyVfd::new(MemVfd::new(), FaultPlan::dead_after(0));
+        v.truncate(128).unwrap();
+        v.flush().unwrap();
+        v.close().unwrap();
+    }
+}

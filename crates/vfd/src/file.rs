@@ -1,0 +1,176 @@
+//! Real-filesystem driver.
+//!
+//! Used by the overhead evaluation (Figures 9 and 10): measuring the
+//! profiler against actual `pread`/`pwrite` syscalls keeps the baseline
+//! honest — against a pure in-memory driver the relative overhead of
+//! tracing would be wildly overstated.
+
+use crate::{Result, Vfd, VfdError};
+use dayu_trace::vfd::AccessType;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Driver over a real file.
+pub struct FileVfd {
+    file: Option<File>,
+    eof: u64,
+}
+
+impl FileVfd {
+    /// Creates (truncating) a real file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            file: Some(file),
+            eof: 0,
+        })
+    }
+
+    /// Opens an existing file at `path` read/write.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let eof = file.metadata()?.len();
+        Ok(Self {
+            file: Some(file),
+            eof,
+        })
+    }
+
+    fn file(&mut self) -> Result<&mut File> {
+        self.file.as_mut().ok_or(VfdError::Closed)
+    }
+}
+
+impl Vfd for FileVfd {
+    fn read(&mut self, offset: u64, buf: &mut [u8], _access: AccessType) -> Result<()> {
+        let eof = self.eof;
+        if offset + buf.len() as u64 > eof {
+            return Err(VfdError::OutOfBounds {
+                offset,
+                len: buf.len() as u64,
+                eof,
+            });
+        }
+        let f = self.file()?;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8], _access: AccessType) -> Result<()> {
+        let f = self.file()?;
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(data)?;
+        self.eof = self.eof.max(offset + data.len() as u64);
+        Ok(())
+    }
+
+    fn eof(&self) -> u64 {
+        self.eof
+    }
+
+    fn truncate(&mut self, eof: u64) -> Result<()> {
+        let f = self.file()?;
+        f.set_len(eof)?;
+        self.eof = eof;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.file()?.flush()?;
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        if self.file.take().is_none() {
+            return Err(VfdError::Closed);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RAW: AccessType = AccessType::RawData;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dayu-vfd-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn create_write_read_round_trip() {
+        let path = tmp("rt");
+        let mut v = FileVfd::create(&path).unwrap();
+        v.write(8, b"payload", RAW).unwrap();
+        assert_eq!(v.eof(), 15);
+        let mut buf = [0u8; 7];
+        v.read(8, &mut buf, RAW).unwrap();
+        assert_eq!(&buf, b"payload");
+        v.close().unwrap();
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn reopen_sees_previous_bytes() {
+        let path = tmp("reopen");
+        {
+            let mut v = FileVfd::create(&path).unwrap();
+            v.write(0, b"persist", RAW).unwrap();
+            v.flush().unwrap();
+            v.close().unwrap();
+        }
+        let mut v = FileVfd::open(&path).unwrap();
+        assert_eq!(v.eof(), 7);
+        let mut buf = [0u8; 7];
+        v.read(0, &mut buf, RAW).unwrap();
+        assert_eq!(&buf, b"persist");
+        v.close().unwrap();
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn read_past_eof_errors() {
+        let path = tmp("oob");
+        let mut v = FileVfd::create(&path).unwrap();
+        v.write(0, b"ab", RAW).unwrap();
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            v.read(0, &mut buf, RAW).unwrap_err(),
+            VfdError::OutOfBounds { eof: 2, .. }
+        ));
+        v.close().unwrap();
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn truncate_and_close_semantics() {
+        let path = tmp("trunc");
+        let mut v = FileVfd::create(&path).unwrap();
+        v.write(0, &[1; 100], RAW).unwrap();
+        v.truncate(10).unwrap();
+        assert_eq!(v.eof(), 10);
+        v.close().unwrap();
+        assert!(matches!(v.close().unwrap_err(), VfdError::Closed));
+        assert!(matches!(v.flush().unwrap_err(), VfdError::Closed));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn open_missing_file_is_io_error() {
+        match FileVfd::open("/nonexistent/dayu/file") {
+            Err(VfdError::Io(_)) => {}
+            Err(other) => panic!("unexpected error {other}"),
+            Ok(_) => panic!("open of a missing file succeeded"),
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! In-memory driver and shared in-memory filesystem.
+//!
+//! Workflow tasks exchange data through files on shared storage; to replay
+//! that deterministically in one process, [`MemFs`] keeps a map from file
+//! name to a shared byte image. Opening a file yields a [`MemVfd`] whose
+//! writes persist in the filesystem after close, so a downstream task opens
+//! exactly the bytes its producer wrote — the substrate on which DaYu's
+//! cross-task dataset mappings are exercised.
+
+use crate::{Result, Vfd, VfdError};
+use dayu_trace::vfd::AccessType;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+type Image = Arc<Mutex<Vec<u8>>>;
+
+/// A shared in-memory filesystem: file name → byte image.
+///
+/// Cloning shares the namespace (it is an `Arc` internally), so every task
+/// of a simulated workflow holds the same filesystem.
+#[derive(Clone, Default)]
+pub struct MemFs {
+    files: Arc<RwLock<BTreeMap<String, Image>>>,
+}
+
+impl std::fmt::Debug for MemFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MemFs({} files)", self.files.read().len())
+    }
+}
+
+impl MemFs {
+    /// An empty filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens `name`, creating it empty if absent. The returned driver shares
+    /// the byte image with any other concurrent opener (like a shared
+    /// filesystem would).
+    pub fn open(&self, name: &str) -> MemVfd {
+        let image = {
+            let mut files = self.files.write();
+            files.entry(name.to_owned()).or_default().clone()
+        };
+        MemVfd {
+            image,
+            open: true,
+        }
+    }
+
+    /// Opens `name` only if it already exists.
+    pub fn open_existing(&self, name: &str) -> Option<MemVfd> {
+        let image = self.files.read().get(name)?.clone();
+        Some(MemVfd { image, open: true })
+    }
+
+    /// Truncates-or-creates `name` to empty and opens it.
+    pub fn create(&self, name: &str) -> MemVfd {
+        let image: Image = Arc::default();
+        self.files.write().insert(name.to_owned(), image.clone());
+        MemVfd { image, open: true }
+    }
+
+    /// Whether `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.read().contains_key(name)
+    }
+
+    /// Removes `name`, returning whether it existed. Already-open drivers
+    /// keep their image alive (POSIX unlink semantics).
+    pub fn remove(&self, name: &str) -> bool {
+        self.files.write().remove(name).is_some()
+    }
+
+    /// Current size of `name` in bytes, if it exists.
+    pub fn size_of(&self, name: &str) -> Option<u64> {
+        let img = self.files.read().get(name)?.clone();
+        let len = img.lock().len() as u64;
+        Some(len)
+    }
+
+    /// Names of all files, sorted.
+    pub fn list(&self) -> Vec<String> {
+        self.files.read().keys().cloned().collect()
+    }
+
+    /// Sum of all file sizes.
+    pub fn total_bytes(&self) -> u64 {
+        let files = self.files.read();
+        files.values().map(|img| img.lock().len() as u64).sum()
+    }
+
+    /// Reads an entire file's bytes (test/diagnostic convenience).
+    pub fn snapshot(&self, name: &str) -> Option<Vec<u8>> {
+        let img = self.files.read().get(name)?.clone();
+        let bytes = img.lock().clone();
+        Some(bytes)
+    }
+}
+
+/// Driver over a (possibly shared) in-memory byte image.
+pub struct MemVfd {
+    image: Image,
+    open: bool,
+}
+
+impl MemVfd {
+    /// A standalone in-memory file not attached to any [`MemFs`].
+    pub fn new() -> Self {
+        Self {
+            image: Arc::default(),
+            open: true,
+        }
+    }
+
+    /// A standalone file pre-filled with `bytes`.
+    pub fn with_bytes(bytes: Vec<u8>) -> Self {
+        Self {
+            image: Arc::new(Mutex::new(bytes)),
+            open: true,
+        }
+    }
+
+    fn check_open(&self) -> Result<()> {
+        if self.open {
+            Ok(())
+        } else {
+            Err(VfdError::Closed)
+        }
+    }
+}
+
+impl Default for MemVfd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vfd for MemVfd {
+    fn read(&mut self, offset: u64, buf: &mut [u8], _access: AccessType) -> Result<()> {
+        self.check_open()?;
+        let image = self.image.lock();
+        let eof = image.len() as u64;
+        let end = offset + buf.len() as u64;
+        if end > eof {
+            return Err(VfdError::OutOfBounds {
+                offset,
+                len: buf.len() as u64,
+                eof,
+            });
+        }
+        buf.copy_from_slice(&image[offset as usize..end as usize]);
+        Ok(())
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8], _access: AccessType) -> Result<()> {
+        self.check_open()?;
+        let mut image = self.image.lock();
+        let end = (offset + data.len() as u64) as usize;
+        if end > image.len() {
+            image.resize(end, 0);
+        }
+        image[offset as usize..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn eof(&self) -> u64 {
+        self.image.lock().len() as u64
+    }
+
+    fn truncate(&mut self, eof: u64) -> Result<()> {
+        self.check_open()?;
+        self.image.lock().resize(eof as usize, 0);
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.check_open()?;
+        self.open = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RAW: AccessType = AccessType::RawData;
+
+    #[test]
+    fn write_extends_and_read_round_trips() {
+        let mut v = MemVfd::new();
+        v.write(4, b"data", RAW).unwrap();
+        assert_eq!(v.eof(), 8);
+        let mut buf = [0u8; 8];
+        v.read(0, &mut buf, RAW).unwrap();
+        assert_eq!(&buf, b"\0\0\0\0data", "gap is zero-filled");
+    }
+
+    #[test]
+    fn read_past_eof_errors() {
+        let mut v = MemVfd::with_bytes(vec![1, 2, 3]);
+        let mut buf = [0u8; 2];
+        let err = v.read(2, &mut buf, RAW).unwrap_err();
+        match err {
+            VfdError::OutOfBounds { offset, len, eof } => {
+                assert_eq!((offset, len, eof), (2, 2, 3));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn truncate_shrinks_and_grows() {
+        let mut v = MemVfd::with_bytes(vec![1, 2, 3, 4]);
+        v.truncate(2).unwrap();
+        assert_eq!(v.eof(), 2);
+        v.truncate(4).unwrap();
+        let mut buf = [9u8; 4];
+        v.read(0, &mut buf, RAW).unwrap();
+        assert_eq!(buf, [1, 2, 0, 0]);
+    }
+
+    #[test]
+    fn use_after_close_errors() {
+        let mut v = MemVfd::new();
+        v.close().unwrap();
+        assert!(matches!(
+            v.write(0, b"x", RAW).unwrap_err(),
+            VfdError::Closed
+        ));
+        assert!(matches!(v.close().unwrap_err(), VfdError::Closed));
+    }
+
+    #[test]
+    fn memfs_persists_across_open_close() {
+        let fs = MemFs::new();
+        let mut w = fs.create("a.h5");
+        w.write(0, b"hello", RAW).unwrap();
+        w.close().unwrap();
+
+        let mut r = fs.open("a.h5");
+        let mut buf = [0u8; 5];
+        r.read(0, &mut buf, RAW).unwrap();
+        assert_eq!(&buf, b"hello");
+        assert_eq!(fs.size_of("a.h5"), Some(5));
+    }
+
+    #[test]
+    fn memfs_create_truncates() {
+        let fs = MemFs::new();
+        fs.create("a").write(0, b"xxxx", RAW).unwrap();
+        let v = fs.create("a");
+        assert_eq!(v.eof(), 0);
+    }
+
+    #[test]
+    fn memfs_open_existing_and_remove() {
+        let fs = MemFs::new();
+        assert!(fs.open_existing("nope").is_none());
+        fs.create("f");
+        assert!(fs.exists("f"));
+        assert!(fs.open_existing("f").is_some());
+        assert!(fs.remove("f"));
+        assert!(!fs.remove("f"));
+        assert!(!fs.exists("f"));
+    }
+
+    #[test]
+    fn memfs_listing_and_totals() {
+        let fs = MemFs::new();
+        fs.create("b").write(0, &[0; 10], RAW).unwrap();
+        fs.create("a").write(0, &[0; 5], RAW).unwrap();
+        assert_eq!(fs.list(), vec!["a".to_owned(), "b".to_owned()]);
+        assert_eq!(fs.total_bytes(), 15);
+        assert_eq!(fs.snapshot("a").unwrap().len(), 5);
+        assert!(fs.snapshot("zz").is_none());
+    }
+
+    #[test]
+    fn concurrent_openers_share_the_image() {
+        let fs = MemFs::new();
+        let mut a = fs.open("shared");
+        let mut b = fs.open("shared");
+        a.write(0, b"A", RAW).unwrap();
+        let mut buf = [0u8; 1];
+        b.read(0, &mut buf, RAW).unwrap();
+        assert_eq!(&buf, b"A");
+    }
+
+    #[test]
+    fn unlinked_file_stays_usable_by_open_handles() {
+        let fs = MemFs::new();
+        let mut h = fs.open("tmp");
+        h.write(0, b"z", RAW).unwrap();
+        fs.remove("tmp");
+        let mut buf = [0u8; 1];
+        h.read(0, &mut buf, RAW).unwrap();
+        assert_eq!(&buf, b"z");
+    }
+
+    #[test]
+    fn parallel_writers_to_distinct_files() {
+        let fs = MemFs::new();
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let fs = fs.clone();
+                s.spawn(move || {
+                    let mut v = fs.create(&format!("f{i}"));
+                    v.write(0, &[i as u8; 100], RAW).unwrap();
+                });
+            }
+        });
+        assert_eq!(fs.list().len(), 8);
+        assert_eq!(fs.total_bytes(), 800);
+    }
+}

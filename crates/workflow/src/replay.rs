@@ -1,0 +1,231 @@
+//! Trace → simulation bridge: turns a recorded run into a DES job.
+//!
+//! Each traced task becomes a [`SimTask`] whose program is its exact VFD
+//! op stream (preceded by its modeled compute), with stage-barrier
+//! dependencies and a node assignment from a [`Schedule`]. Replaying the
+//! *same* op streams under different schedules/placements isolates the
+//! effect of the optimization being evaluated — the methodology behind the
+//! paper's Figures 11–13.
+
+use crate::runner::RecordedRun;
+use dayu_sim::program::{program_from_vfd_records, SimOp, SimTask};
+use std::collections::HashMap;
+
+/// Task → node assignment.
+#[derive(Clone, Debug, Default)]
+pub struct Schedule {
+    node_of: HashMap<String, usize>,
+}
+
+impl Schedule {
+    /// Empty schedule (everything on node 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Round-robin assignment: within each stage, tasks spread across
+    /// `nodes` in declaration order — the baseline scheduler.
+    pub fn round_robin(run: &RecordedRun, nodes: usize) -> Self {
+        let mut s = Self::new();
+        for stage in 0..run.stage_count() {
+            for (i, task) in run.tasks_of_stage(stage).iter().enumerate() {
+                s.node_of.insert((*task).to_owned(), i % nodes.max(1));
+            }
+        }
+        s
+    }
+
+    /// Pins a task to a node.
+    pub fn assign(&mut self, task: &str, node: usize) -> &mut Self {
+        self.node_of.insert(task.to_owned(), node);
+        self
+    }
+
+    /// The node a task runs on (default 0).
+    pub fn node_of(&self, task: &str) -> usize {
+        self.node_of.get(task).copied().unwrap_or(0)
+    }
+}
+
+/// Converts a recorded run into simulator tasks with stage-barrier
+/// dependencies.
+pub fn to_sim_tasks(run: &RecordedRun, schedule: &Schedule) -> Vec<SimTask> {
+    let order = &run.bundle.meta.task_order;
+    let index: HashMap<&str, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.as_str(), i))
+        .collect();
+
+    let mut out = Vec::with_capacity(order.len());
+    for task in order {
+        let name = task.as_str();
+        let stage = run.stage_of.get(name).copied().unwrap_or(0);
+        // Stage barrier: depend on every task of the previous stage.
+        let deps: Vec<usize> = if stage == 0 {
+            Vec::new()
+        } else {
+            run.tasks_of_stage(stage - 1)
+                .iter()
+                .filter_map(|t| index.get(t).copied())
+                .collect()
+        };
+        let mut program = Vec::new();
+        let compute = run.compute_ns.get(name).copied().unwrap_or(0);
+        if compute > 0 {
+            program.push(SimOp::compute(compute));
+        }
+        program.extend(program_from_vfd_records(
+            run.bundle.vfd.iter().filter(|r| r.task.as_str() == name),
+        ));
+        out.push(SimTask {
+            name: name.to_owned(),
+            node: schedule.node_of(name),
+            deps,
+            program,
+        });
+    }
+    out
+}
+
+/// Total bytes written to `file` across the recorded run (the file's
+/// produced size, used to size stage-in copies).
+pub fn file_written_bytes(run: &RecordedRun, file: &str) -> u64 {
+    run.bundle
+        .vfd
+        .iter()
+        .filter(|r| {
+            r.file.as_str() == file && r.kind == dayu_trace::vfd::IoKind::Write
+        })
+        .map(|r| r.len)
+        .sum()
+}
+
+/// Task indexes whose programs write *data* to `file`. Metadata-only
+/// writes (e.g. the superblock update every file close performs) do not
+/// make a task a producer — readers update file metadata too.
+pub fn producers_of(tasks: &[SimTask], file: &str) -> Vec<usize> {
+    tasks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            t.program.iter().any(|op| matches!(
+                op,
+                SimOp::Io {
+                    file: f,
+                    dir: dayu_sim::program::IoDir::Write,
+                    metadata: false,
+                    ..
+                } if f == file
+            ))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Task indexes whose programs read from `file`.
+pub fn readers_of(tasks: &[SimTask], file: &str) -> Vec<usize> {
+    tasks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            t.program.iter().any(|op| matches!(
+                op,
+                SimOp::Io { file: f, dir: dayu_sim::program::IoDir::Read, .. } if f == file
+            ))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{TaskIo, TaskSpec, WorkflowSpec};
+    use dayu_hdf::{DataType, DatasetBuilder};
+    use dayu_vfd::MemFs;
+
+    fn recorded() -> RecordedRun {
+        let spec = WorkflowSpec::new("pc")
+            .stage(
+                "produce",
+                vec![TaskSpec::new("producer", |io: &TaskIo| {
+                    let f = io.create("data.h5")?;
+                    let mut ds = f.root().create_dataset(
+                        "d",
+                        DatasetBuilder::new(DataType::Float { width: 8 }, &[128]),
+                    )?;
+                    ds.write_f64s(&[0.5; 128])?;
+                    ds.close()?;
+                    f.close()
+                })
+                .with_compute(500)],
+            )
+            .stage(
+                "consume",
+                vec![
+                    TaskSpec::new("c0", |io: &TaskIo| {
+                        let f = io.open("data.h5")?;
+                        let mut ds = f.root().open_dataset("d")?;
+                        ds.read_f64s()?;
+                        ds.close()?;
+                        f.close()
+                    }),
+                    TaskSpec::new("c1", |io: &TaskIo| {
+                        let f = io.open("data.h5")?;
+                        let mut ds = f.root().open_dataset("d")?;
+                        ds.read_f64s()?;
+                        ds.close()?;
+                        f.close()
+                    }),
+                ],
+            );
+        crate::runner::record(&spec, &MemFs::new()).unwrap()
+    }
+
+    #[test]
+    fn conversion_preserves_order_and_deps() {
+        let run = recorded();
+        let tasks = to_sim_tasks(&run, &Schedule::round_robin(&run, 2));
+        assert_eq!(tasks.len(), 3);
+        assert_eq!(tasks[0].name, "producer");
+        assert!(tasks[0].deps.is_empty());
+        assert_eq!(tasks[1].deps, vec![0]);
+        assert_eq!(tasks[2].deps, vec![0]);
+        // Round-robin within the consume stage.
+        assert_eq!(tasks[1].node, 0);
+        assert_eq!(tasks[2].node, 1);
+        // Compute op leads the producer's program.
+        assert_eq!(tasks[0].program[0], SimOp::compute(500));
+        assert!(tasks[0].io_op_count() > 0);
+    }
+
+    #[test]
+    fn producers_and_readers() {
+        let run = recorded();
+        let tasks = to_sim_tasks(&run, &Schedule::new());
+        assert_eq!(producers_of(&tasks, "data.h5"), vec![0]);
+        assert_eq!(readers_of(&tasks, "data.h5"), vec![1, 2]);
+        assert!(producers_of(&tasks, "nope.h5").is_empty());
+    }
+
+    #[test]
+    fn file_written_bytes_counts_raw_and_metadata() {
+        let run = recorded();
+        let bytes = file_written_bytes(&run, "data.h5");
+        assert!(
+            bytes >= 128 * 8,
+            "at least the raw payload was written: {bytes}"
+        );
+        assert_eq!(file_written_bytes(&run, "nope.h5"), 0);
+    }
+
+    #[test]
+    fn schedule_assignment_overrides() {
+        let run = recorded();
+        let mut s = Schedule::round_robin(&run, 2);
+        s.assign("c1", 7);
+        assert_eq!(s.node_of("c1"), 7);
+        assert_eq!(s.node_of("unknown"), 0);
+    }
+}

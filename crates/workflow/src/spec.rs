@@ -1,0 +1,257 @@
+//! Workflow specifications: stages of tasks with I/O bodies.
+//!
+//! "Stages represent logical groupings of tasks designed to achieve
+//! distinct milestones within a larger process"; tasks within a stage can
+//! run in parallel, and stages execute in order (the barrier model of
+//! PyFLEXTRKR's nine-stage pipeline and DDMD's four-stage iteration).
+//!
+//! A task's body performs real I/O through the instrumented format library
+//! via [`TaskIo`]; its modeled compute time is carried alongside so the
+//! replay simulation can account for computation between I/O phases.
+
+use dayu_hdf::{H5File, HdfError, Result};
+use dayu_mapper::Mapper;
+use dayu_vfd::MemFs;
+use std::sync::Arc;
+
+/// The I/O environment handed to a task body: file create/open through the
+/// task's profiling mapper over the shared in-memory filesystem.
+pub struct TaskIo<'a> {
+    fs: &'a MemFs,
+    mapper: &'a Mapper,
+}
+
+impl<'a> TaskIo<'a> {
+    /// An I/O environment over `fs`, instrumented by `mapper`. The runner
+    /// builds these automatically; standalone benchmarks construct them
+    /// directly.
+    pub fn new(fs: &'a MemFs, mapper: &'a Mapper) -> Self {
+        Self { fs, mapper }
+    }
+
+    /// Creates (truncating) a file, instrumented end to end.
+    pub fn create(&self, name: &str) -> Result<H5File> {
+        H5File::create(
+            self.mapper.wrap_vfd(self.fs.create(name), name),
+            name,
+            self.mapper.file_options(),
+        )
+    }
+
+    /// Opens an existing file, instrumented end to end.
+    pub fn open(&self, name: &str) -> Result<H5File> {
+        let vfd = self
+            .fs
+            .open_existing(name)
+            .ok_or_else(|| HdfError::NotFound(name.to_owned()))?;
+        H5File::open(
+            self.mapper.wrap_vfd(vfd, name),
+            name,
+            self.mapper.file_options(),
+        )
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.fs.exists(name)
+    }
+
+    /// Names of all files currently in the shared filesystem.
+    pub fn list_files(&self) -> Vec<String> {
+        self.fs.list()
+    }
+}
+
+/// The work a task performs.
+pub type TaskBody = Arc<dyn Fn(&TaskIo) -> Result<()> + Send + Sync>;
+
+/// One task of a workflow.
+#[derive(Clone)]
+pub struct TaskSpec {
+    /// Unique task name.
+    pub name: String,
+    /// Modeled pure-compute time in nanoseconds (charged in the replay
+    /// simulation before the task's I/O).
+    pub compute_ns: u64,
+    /// The task's I/O body.
+    pub body: TaskBody,
+}
+
+impl TaskSpec {
+    /// A task with the given name and body and zero modeled compute.
+    pub fn new(
+        name: impl Into<String>,
+        body: impl Fn(&TaskIo) -> Result<()> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            compute_ns: 0,
+            body: Arc::new(body),
+        }
+    }
+
+    /// Sets the modeled compute time.
+    pub fn with_compute(mut self, nanos: u64) -> Self {
+        self.compute_ns = nanos;
+        self
+    }
+}
+
+/// A stage: tasks that may run in parallel.
+#[derive(Clone)]
+pub struct Stage {
+    /// Stage name (e.g. `"simulation"`).
+    pub name: String,
+    /// The stage's tasks.
+    pub tasks: Vec<TaskSpec>,
+}
+
+/// A staged workflow.
+#[derive(Clone, Default)]
+pub struct WorkflowSpec {
+    /// Workflow name.
+    pub name: String,
+    /// Stages in execution order; stage *i+1* starts after every task of
+    /// stage *i* completes.
+    pub stages: Vec<Stage>,
+}
+
+impl WorkflowSpec {
+    /// An empty workflow.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Appends a stage.
+    pub fn stage(mut self, name: impl Into<String>, tasks: Vec<TaskSpec>) -> Self {
+        self.stages.push(Stage {
+            name: name.into(),
+            tasks,
+        });
+        self
+    }
+
+    /// Total task count.
+    pub fn task_count(&self) -> usize {
+        self.stages.iter().map(|s| s.tasks.len()).sum()
+    }
+
+    /// All task names in stage order.
+    pub fn task_names(&self) -> Vec<String> {
+        self.stages
+            .iter()
+            .flat_map(|s| s.tasks.iter().map(|t| t.name.clone()))
+            .collect()
+    }
+
+    /// The stage index of a task.
+    pub fn stage_of(&self, task: &str) -> Option<usize> {
+        self.stages
+            .iter()
+            .position(|s| s.tasks.iter().any(|t| t.name == task))
+    }
+
+    /// Validates name uniqueness.
+    pub fn validate(&self) -> Result<()> {
+        let names = self.task_names();
+        for (i, n) in names.iter().enumerate() {
+            if names[i + 1..].contains(n) {
+                return Err(HdfError::InvalidArgument(format!(
+                    "duplicate task name {n:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop() -> TaskBody {
+        Arc::new(|_io: &TaskIo| Ok(()))
+    }
+
+    #[test]
+    fn spec_builder_and_queries() {
+        let wf = WorkflowSpec::new("demo")
+            .stage(
+                "s1",
+                vec![
+                    TaskSpec {
+                        name: "a0".into(),
+                        compute_ns: 5,
+                        body: noop(),
+                    },
+                    TaskSpec {
+                        name: "a1".into(),
+                        compute_ns: 5,
+                        body: noop(),
+                    },
+                ],
+            )
+            .stage(
+                "s2",
+                vec![TaskSpec {
+                    name: "b".into(),
+                    compute_ns: 0,
+                    body: noop(),
+                }],
+            );
+        assert_eq!(wf.task_count(), 3);
+        assert_eq!(wf.task_names(), vec!["a0", "a1", "b"]);
+        assert_eq!(wf.stage_of("a1"), Some(0));
+        assert_eq!(wf.stage_of("b"), Some(1));
+        assert_eq!(wf.stage_of("zz"), None);
+        assert!(wf.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let wf = WorkflowSpec::new("dup")
+            .stage("s1", vec![TaskSpec::new("x", |_| Ok(()))])
+            .stage("s2", vec![TaskSpec::new("x", |_| Ok(()))]);
+        assert!(wf.validate().is_err());
+    }
+
+    #[test]
+    fn task_with_compute() {
+        let t = TaskSpec::new("t", |_| Ok(())).with_compute(1_000_000);
+        assert_eq!(t.compute_ns, 1_000_000);
+    }
+
+    #[test]
+    fn task_io_roundtrip() {
+        use dayu_hdf::{DataType, DatasetBuilder};
+        let fs = MemFs::new();
+        let mapper = Mapper::new("wf");
+        mapper.set_task("t");
+        let io = TaskIo::new(&fs, &mapper);
+        assert!(!io.exists("x.h5"));
+        let f = io.create("x.h5").unwrap();
+        let mut ds = f
+            .root()
+            .create_dataset("d", DatasetBuilder::new(DataType::Int { width: 1 }, &[4]))
+            .unwrap();
+        ds.write(&[9; 4]).unwrap();
+        ds.close().unwrap();
+        f.close().unwrap();
+
+        assert!(io.exists("x.h5"));
+        assert_eq!(io.list_files(), vec!["x.h5"]);
+        let f = io.open("x.h5").unwrap();
+        let mut ds = f.root().open_dataset("d").unwrap();
+        assert_eq!(ds.read().unwrap(), vec![9; 4]);
+        ds.close().unwrap();
+        f.close().unwrap();
+
+        assert!(matches!(
+            io.open("missing.h5"),
+            Err(HdfError::NotFound(_))
+        ));
+    }
+}

@@ -1,0 +1,277 @@
+//! Optimization transforms: the moves DaYu's evaluation applies.
+//!
+//! Each transform rewrites a simulation job (tasks + placement) or filters
+//! a trace bundle, implementing one of the optimizations from the paper's
+//! Section VII: co-scheduling producer/consumer chains, placing outputs on
+//! node-local storage, staging shared inputs in (prefetch), staging
+//! finished data out asynchronously, eliminating unused dataset accesses,
+//! and pipelining data-independent tasks.
+
+use crate::replay::{producers_of, readers_of};
+use dayu_sim::cluster::{FileLocation, Placement};
+use dayu_sim::program::{IoDir, SimOp, SimTask};
+use dayu_sim::tiers::TierKind;
+use dayu_trace::store::TraceBundle;
+
+/// Moves `consumer` onto the node where `producer` runs (co-scheduling).
+pub fn co_schedule(tasks: &mut [SimTask], producer: &str, consumer: &str) {
+    let Some(p) = tasks.iter().position(|t| t.name == producer) else {
+        return;
+    };
+    let node = tasks[p].node;
+    if let Some(c) = tasks.iter_mut().find(|t| t.name == consumer) {
+        c.node = node;
+    }
+}
+
+/// Homes every file written by `task` on `tier` local to the task's node.
+pub fn place_outputs_local(
+    tasks: &[SimTask],
+    placement: &mut Placement,
+    task: &str,
+    tier: TierKind,
+) {
+    let Some(t) = tasks.iter().find(|t| t.name == task) else {
+        return;
+    };
+    for op in &t.program {
+        if let SimOp::Io {
+            file,
+            dir: IoDir::Write,
+            ..
+        } = op
+        {
+            placement.place(file.clone(), FileLocation::NodeLocal(t.node, tier));
+        }
+    }
+}
+
+/// Inserts a stage-in (prefetch) task copying `file` to `node`'s `tier`
+/// before its readers run: the copy reads the file from its current
+/// location and writes a node-local replica; reader ops are redirected to
+/// the replica and gain a dependency on the copy. Returns the name of the
+/// staged replica.
+pub fn stage_in(
+    tasks: &mut Vec<SimTask>,
+    placement: &mut Placement,
+    file: &str,
+    bytes: u64,
+    node: usize,
+    tier: TierKind,
+) -> String {
+    let staged = format!("{file}@node{node}");
+    let producers = producers_of(tasks, file);
+    let readers = readers_of(tasks, file);
+
+    let copy_idx = tasks.len();
+    tasks.push(SimTask {
+        name: format!("stage_in:{file}"),
+        node,
+        deps: producers,
+        program: vec![SimOp::read(file, bytes), SimOp::write(staged.clone(), bytes)],
+    });
+    placement.place(staged.clone(), FileLocation::NodeLocal(node, tier));
+
+    for r in readers {
+        for op in &mut tasks[r].program {
+            if let SimOp::Io {
+                file: f,
+                dir: IoDir::Read,
+                ..
+            } = op
+            {
+                if f == file {
+                    *f = staged.clone();
+                }
+            }
+        }
+        if !tasks[r].deps.contains(&copy_idx) {
+            tasks[r].deps.push(copy_idx);
+        }
+    }
+    staged
+}
+
+/// Appends an asynchronous stage-out task that copies `file` back to the
+/// shared tier after its readers finish. Nothing depends on it, so it
+/// overlaps with subsequent stages ("finished data is asynchronously
+/// staged from local storage to shared storage during the startup of the
+/// next iteration").
+pub fn stage_out_async(tasks: &mut Vec<SimTask>, file: &str, bytes: u64, node: usize) {
+    let mut deps = readers_of(tasks, file);
+    deps.extend(producers_of(tasks, file));
+    deps.sort_unstable();
+    deps.dedup();
+    tasks.push(SimTask {
+        name: format!("stage_out:{file}"),
+        node,
+        deps,
+        program: vec![
+            SimOp::read(file, bytes),
+            SimOp::write(format!("{file}@archive"), bytes),
+        ],
+    });
+}
+
+/// Removes all low-level operations a task performed on a data object from
+/// a trace bundle (the "eliminate unused data access" optimization: the
+/// DDMD aggregate task stops touching `contact_map`). Returns how many
+/// records were dropped.
+pub fn drop_object_ops(bundle: &mut TraceBundle, task: &str, object: &str) -> usize {
+    let before = bundle.vfd.len();
+    bundle
+        .vfd
+        .retain(|r| !(r.task.as_str() == task && r.object.as_str() == object));
+    before - bundle.vfd.len()
+}
+
+/// Removes the stage-barrier dependency between two data-independent tasks
+/// so they run in parallel (the DDMD training/inference pipelining).
+/// `second` loses its dependency on `first` but inherits `first`'s own
+/// prerequisites, so it still waits for the data both consume (inference
+/// must not start before the simulations whose output it reads).
+pub fn parallelize(tasks: &mut [SimTask], first: &str, second: &str) {
+    let Some(f) = tasks.iter().position(|t| t.name == first) else {
+        return;
+    };
+    let inherited = tasks[f].deps.clone();
+    if let Some(s) = tasks.iter_mut().find(|t| t.name == second) {
+        s.deps.retain(|&d| d != f);
+        for d in inherited {
+            if !s.deps.contains(&d) {
+                s.deps.push(d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_sim::cluster::Cluster;
+    use dayu_sim::engine::Engine;
+
+    fn chain() -> Vec<SimTask> {
+        vec![
+            SimTask::new("producer")
+                .on_node(1)
+                .with_program(vec![SimOp::write("f.h5", 1 << 20)]),
+            SimTask::new("consumer")
+                .on_node(0)
+                .after(&[0])
+                .with_program(vec![SimOp::read("f.h5", 1 << 20)]),
+        ]
+    }
+
+    #[test]
+    fn co_schedule_moves_consumer() {
+        let mut tasks = chain();
+        co_schedule(&mut tasks, "producer", "consumer");
+        assert_eq!(tasks[1].node, 1);
+        // Unknown names are a no-op.
+        co_schedule(&mut tasks, "nope", "consumer");
+        assert_eq!(tasks[1].node, 1);
+    }
+
+    #[test]
+    fn place_outputs_local_places_written_files() {
+        let tasks = chain();
+        let mut placement = Placement::new();
+        place_outputs_local(&tasks, &mut placement, "producer", TierKind::NvmeSsd);
+        let cluster = Cluster::gpu_cluster(2);
+        assert_eq!(
+            placement.location(&cluster, "f.h5"),
+            FileLocation::NodeLocal(1, TierKind::NvmeSsd)
+        );
+    }
+
+    #[test]
+    fn stage_in_redirects_readers() {
+        let mut tasks = chain();
+        let mut placement = Placement::new();
+        let staged = stage_in(
+            &mut tasks,
+            &mut placement,
+            "f.h5",
+            1 << 20,
+            0,
+            TierKind::NvmeSsd,
+        );
+        assert_eq!(staged, "f.h5@node0");
+        assert_eq!(tasks.len(), 3);
+        let copy = &tasks[2];
+        assert_eq!(copy.deps, vec![0], "copy waits for the producer");
+        // Consumer now reads the replica and depends on the copy.
+        let consumer = &tasks[1];
+        assert!(consumer.deps.contains(&2));
+        assert!(consumer.program.iter().any(|op| matches!(
+            op,
+            SimOp::Io { file, dir: IoDir::Read, .. } if file == "f.h5@node0"
+        )));
+        // And the whole job still simulates cleanly.
+        let cluster = Cluster::gpu_cluster(2);
+        let report = Engine::new(&cluster, &placement).run(&tasks).unwrap();
+        assert_eq!(report.tasks.len(), 3);
+    }
+
+    #[test]
+    fn stage_out_overlaps() {
+        let mut tasks = chain();
+        stage_out_async(&mut tasks, "f.h5", 1 << 20, 1);
+        assert_eq!(tasks.len(), 3);
+        assert_eq!(tasks[2].deps, vec![0, 1]);
+        let cluster = Cluster::gpu_cluster(2);
+        let p = Placement::new();
+        let report = Engine::new(&cluster, &p).run(&tasks).unwrap();
+        // The stage-out runs after the consumer but extends the makespan
+        // only by its own duration (nothing waits on it).
+        assert!(report.tasks[2].start_ns >= report.tasks[1].end_ns);
+    }
+
+    #[test]
+    fn drop_object_ops_filters_bundle() {
+        use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
+        use dayu_trace::time::Timestamp;
+        use dayu_trace::vfd::{AccessType, IoKind, VfdRecord};
+        let mut b = TraceBundle::new("wf");
+        let mk = |task: &str, object: &str| VfdRecord {
+            task: TaskKey::new(task),
+            file: FileKey::new("f"),
+            kind: IoKind::Read,
+            offset: 0,
+            len: 1,
+            access: AccessType::RawData,
+            object: ObjectKey::new(object),
+            start: Timestamp(0),
+            end: Timestamp(1),
+        };
+        b.vfd = vec![
+            mk("agg", "/contact_map"),
+            mk("agg", "/rmsd"),
+            mk("train", "/contact_map"),
+        ];
+        let dropped = drop_object_ops(&mut b, "agg", "/contact_map");
+        assert_eq!(dropped, 1);
+        assert_eq!(b.vfd.len(), 2);
+        assert!(b
+            .vfd
+            .iter()
+            .any(|r| r.task.as_str() == "train" && r.object.as_str() == "/contact_map"));
+    }
+
+    #[test]
+    fn parallelize_removes_dependency() {
+        let mut tasks = vec![
+            SimTask::new("train").with_program(vec![SimOp::compute(100)]),
+            SimTask::new("infer")
+                .after(&[0])
+                .with_program(vec![SimOp::compute(100)]),
+        ];
+        parallelize(&mut tasks, "train", "infer");
+        assert!(tasks[1].deps.is_empty(), "train had no deps to inherit");
+        let cluster = Cluster::gpu_cluster(2);
+        let p = Placement::new();
+        let report = Engine::new(&cluster, &p).run(&tasks).unwrap();
+        assert_eq!(report.makespan_ns, 100, "now fully parallel");
+    }
+}

@@ -1,0 +1,256 @@
+//! The ARLDM image-synthesis workload (paper Section VI-C).
+//!
+//! The Auto-Regressive Latent Diffusion Model workflow stores image and
+//! text data as **1-D arrays of variable-length elements** in HDF5. Its
+//! first stage, `arldm_saveh5`, writes five image datasets (`image0..4`)
+//! and a `text` dataset into `flintstones_out.h5`; training then reads the
+//! image datasets back. The paper's Fig. 8 compares the default
+//! **contiguous** descriptor layout against a **chunked** one, and
+//! Fig. 13c shows chunking cutting write ops (~2×) and improving write
+//! time up to 1.4× for 5–20 GB of >90%-variable-length data.
+
+use crate::util::{payload, varlen};
+use dayu_hdf::{DataType, DatasetBuilder, LayoutKind, Result};
+use dayu_workflow::{TaskIo, TaskSpec, WorkflowSpec};
+
+/// The output file of the data-preparation stage.
+pub const OUTPUT_FILE: &str = "flintstones_out.h5";
+/// Image datasets per story frame.
+pub const IMAGE_DATASETS: usize = 5;
+
+/// Workload parameters. Defaults are laptop-scale; the paper's datasets
+/// are 5–20 GB with >90% variable-length content.
+#[derive(Clone, Debug)]
+pub struct ArldmConfig {
+    /// Number of stories (elements per dataset).
+    pub stories: usize,
+    /// Mean bytes per image element (variable ±50%).
+    pub mean_image_bytes: usize,
+    /// Mean bytes per text element.
+    pub mean_text_bytes: usize,
+    /// Descriptor layout: contiguous (paper default) or chunked (the
+    /// optimization).
+    pub layout: LayoutKind,
+    /// Elements per chunk when chunked.
+    pub chunk_elems: u64,
+    /// Elements written per `write_varlen` call (the application writes
+    /// story-by-story; 1 = per-element writes).
+    pub batch: usize,
+    /// Modeled compute, nanoseconds.
+    pub compute_ns: u64,
+}
+
+impl Default for ArldmConfig {
+    fn default() -> Self {
+        Self {
+            stories: 64,
+            mean_image_bytes: 4 << 10,
+            mean_text_bytes: 256,
+            layout: LayoutKind::Contiguous,
+            chunk_elems: 16,
+            // Stories are written in small batches (a dataloader pattern);
+            // per-element writes would overstate the contiguous layout's
+            // op count relative to HDF5, which coalesces small contiguous
+            // raw writes in its sieve buffer. batch = 8 calibrates the
+            // contiguous-vs-chunked write-op ratio to the paper's ~2x.
+            batch: 8,
+            compute_ns: 1_000_000,
+        }
+    }
+}
+
+impl ArldmConfig {
+    /// Approximate total payload bytes the prep stage writes.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.stories * (IMAGE_DATASETS * self.mean_image_bytes + self.mean_text_bytes)) as u64
+    }
+
+    /// Fraction of the payload that is variable-length (≈ 1.0 here; the
+    /// paper reports >90%).
+    pub fn varlen_fraction(&self) -> f64 {
+        1.0
+    }
+}
+
+fn vl_builder(cfg: &ArldmConfig, n: u64) -> DatasetBuilder {
+    let b = DatasetBuilder::new(DataType::VarLen, &[n]);
+    match cfg.layout {
+        LayoutKind::Chunked => b.chunks(&[cfg.chunk_elems.min(n).max(1)]),
+        other => b.layout(other),
+    }
+}
+
+/// The data-preparation task body: writes the five image datasets and the
+/// text dataset, element-batch by element-batch (the application pattern
+/// that makes descriptor layout matter).
+pub fn save_h5(io: &TaskIo, cfg: &ArldmConfig) -> Result<()> {
+    let n = cfg.stories as u64;
+    let f = io.create(OUTPUT_FILE)?;
+    let root = f.root();
+    for img in 0..IMAGE_DATASETS {
+        let mut ds = root.create_dataset(&format!("image{img}"), vl_builder(cfg, n))?;
+        let mut story = 0usize;
+        while story < cfg.stories {
+            let batch_end = (story + cfg.batch.max(1)).min(cfg.stories);
+            let items: Vec<Vec<u8>> = (story..batch_end)
+                .map(|s| {
+                    let len = varlen(cfg.mean_image_bytes, img as u64, s as u64);
+                    payload(len, (img * 10_000 + s) as u64)
+                })
+                .collect();
+            let refs: Vec<&[u8]> = items.iter().map(|v| v.as_slice()).collect();
+            ds.write_varlen(story as u64, &refs)?;
+            story = batch_end;
+        }
+        ds.close()?;
+    }
+    let mut text = root.create_dataset("text", vl_builder(cfg, n))?;
+    for s in 0..cfg.stories {
+        let len = varlen(cfg.mean_text_bytes, 99, s as u64);
+        let item = payload(len, (90_000 + s) as u64);
+        text.write_varlen(s as u64, &[&item])?;
+    }
+    text.close()?;
+    f.close()
+}
+
+/// The 3-stage ARLDM workflow: data preparation, training (reads the
+/// image datasets), inference (re-reads a subset).
+pub fn workflow(cfg: &ArldmConfig) -> WorkflowSpec {
+    let prep_cfg = cfg.clone();
+    let train_cfg = cfg.clone();
+    let infer_cfg = cfg.clone();
+    WorkflowSpec::new("arldm")
+        .stage(
+            "prepare",
+            vec![TaskSpec::new("arldm_saveh5", move |io: &TaskIo| {
+                save_h5(io, &prep_cfg)
+            })
+            .with_compute(cfg.compute_ns)],
+        )
+        .stage(
+            "training",
+            vec![TaskSpec::new("arldm_train", move |io: &TaskIo| {
+                let f = io.open(OUTPUT_FILE)?;
+                let root = f.root();
+                for img in 0..IMAGE_DATASETS {
+                    let mut ds = root.open_dataset(&format!("image{img}"))?;
+                    ds.read_varlen(0, train_cfg.stories as u64)?;
+                    ds.close()?;
+                }
+                let mut t = root.open_dataset("text")?;
+                t.read_varlen(0, train_cfg.stories as u64)?;
+                t.close()?;
+                f.close()
+            })
+            .with_compute(cfg.compute_ns * 4)],
+        )
+        .stage(
+            "inference",
+            vec![TaskSpec::new("arldm_infer", move |io: &TaskIo| {
+                let f = io.open(OUTPUT_FILE)?;
+                let root = f.root();
+                // Inference samples a subset of stories.
+                let sample = (infer_cfg.stories / 4).max(1) as u64;
+                for img in 0..IMAGE_DATASETS {
+                    let mut ds = root.open_dataset(&format!("image{img}"))?;
+                    ds.read_varlen(0, sample)?;
+                    ds.close()?;
+                }
+                f.close()
+            })
+            .with_compute(cfg.compute_ns)],
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_analyzer::{Analysis, Finding};
+    use dayu_mapper::Mapper;
+    use dayu_trace::vfd::IoKind;
+    use dayu_vfd::MemFs;
+    use dayu_workflow::record;
+
+    fn tiny(layout: LayoutKind) -> ArldmConfig {
+        ArldmConfig {
+            stories: 12,
+            mean_image_bytes: 2048,
+            mean_text_bytes: 128,
+            layout,
+            chunk_elems: 4,
+            batch: 1,
+            compute_ns: 100,
+        }
+    }
+
+    #[test]
+    fn three_stages() {
+        let wf = workflow(&tiny(LayoutKind::Contiguous));
+        assert_eq!(wf.stages.len(), 3);
+        wf.validate().unwrap();
+    }
+
+    #[test]
+    fn round_trip_content_identical_across_layouts() {
+        for layout in [LayoutKind::Contiguous, LayoutKind::Chunked] {
+            let fs = MemFs::new();
+            record(&workflow(&tiny(layout)), &fs).unwrap();
+            assert!(fs.exists(OUTPUT_FILE), "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn contiguous_layout_flagged_for_vl_data() {
+        let fs = MemFs::new();
+        let run = record(&workflow(&tiny(LayoutKind::Contiguous)), &fs).unwrap();
+        let analysis = Analysis::run(&run.bundle);
+        assert!(
+            analysis.findings.iter().any(|f| matches!(
+                f,
+                Finding::ContiguousVarlenDataset { dataset, .. }
+                    if dataset.contains("image0")
+            )),
+            "{:?}",
+            analysis.findings
+        );
+        // Chunked variant is not flagged.
+        let fs = MemFs::new();
+        let run = record(&workflow(&tiny(LayoutKind::Chunked)), &fs).unwrap();
+        let analysis = Analysis::run(&run.bundle);
+        assert!(!analysis
+            .findings
+            .iter()
+            .any(|f| f.category() == "contiguous-varlen-dataset"));
+    }
+
+    /// The headline Fig. 8/13c mechanism: with per-element VL writes, the
+    /// chunked descriptor layout issues substantially fewer write ops than
+    /// contiguous (the chunk cache batches descriptor updates).
+    #[test]
+    fn chunked_vl_halves_write_ops() {
+        let count_writes = |layout: LayoutKind| -> u64 {
+            let fs = MemFs::new();
+            let mapper = Mapper::new("arldm");
+            mapper.set_task("arldm_saveh5");
+            let io = dayu_workflow::TaskIo::new(&fs, &mapper);
+            save_h5(&io, &tiny(layout)).unwrap();
+            let b = mapper.into_bundle();
+            b.vfd.iter().filter(|r| r.kind == IoKind::Write).count() as u64
+        };
+        let contig = count_writes(LayoutKind::Contiguous);
+        let chunked = count_writes(LayoutKind::Chunked);
+        assert!(
+            (chunked as f64) < 0.7 * contig as f64,
+            "chunked should cut write ops: contiguous={contig} chunked={chunked}"
+        );
+    }
+
+    #[test]
+    fn config_accounting() {
+        let cfg = tiny(LayoutKind::Contiguous);
+        let approx = cfg.approx_bytes();
+        assert!(approx > 100_000);
+        assert!((cfg.varlen_fraction() - 1.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,268 @@
+//! Shared plumbing for the overhead benchmarks (Figures 9 and 10).
+//!
+//! Overhead is measured by running the same workload under different
+//! instrumentation modes and comparing wall time against the uninstrumented
+//! baseline. The VOL and VFD profilers can be enabled independently,
+//! matching the paper's separate VOL/VFD overhead series.
+
+use dayu_hdf::{FileOptions, H5File, Result};
+use dayu_mapper::{Mapper, MapperConfig};
+use dayu_trace::store::TraceBundle;
+use dayu_vfd::{FileVfd, MemFs, Vfd};
+use std::path::PathBuf;
+
+/// Which profilers to attach.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instrumentation {
+    /// No DaYu at all: the baseline.
+    None,
+    /// Only the object-level (VOL) profiler.
+    VolOnly,
+    /// Only the low-level (VFD) profiler.
+    VfdOnly,
+    /// Both layers (full Data Semantic Mapper).
+    Full,
+}
+
+impl Instrumentation {
+    /// The mapper configuration for this mode (`None` has no mapper).
+    pub fn mapper_config(self) -> Option<MapperConfig> {
+        match self {
+            Instrumentation::None => None,
+            Instrumentation::VolOnly => Some(MapperConfig {
+                trace_io: false,
+                trace_vol: true,
+                ..Default::default()
+            }),
+            Instrumentation::VfdOnly => Some(MapperConfig {
+                trace_io: true,
+                trace_vol: false,
+                ..Default::default()
+            }),
+            Instrumentation::Full => Some(MapperConfig::default()),
+        }
+    }
+}
+
+/// Where benchmark files live.
+#[derive(Clone, Debug)]
+pub enum Backend {
+    /// Shared in-memory filesystem (fast; relative overheads are
+    /// *overstated* because the baseline I/O is nearly free).
+    Mem(MemFs),
+    /// Real files under the given directory (realistic baseline I/O).
+    Disk(PathBuf),
+}
+
+impl Backend {
+    /// A fresh in-memory backend.
+    pub fn mem() -> Self {
+        Backend::Mem(MemFs::new())
+    }
+
+    /// A per-process temp-dir backend.
+    pub fn temp_dir(tag: &str) -> std::io::Result<Self> {
+        let dir = std::env::temp_dir().join(format!("dayu-bench-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir)?;
+        Ok(Backend::Disk(dir))
+    }
+
+    /// Opens a raw (uninstrumented) driver for `name`.
+    pub fn driver(&self, name: &str, create: bool) -> Result<Box<dyn Vfd>> {
+        match self {
+            Backend::Mem(fs) => Ok(Box::new(if create {
+                fs.create(name)
+            } else {
+                fs.open(name)
+            })),
+            Backend::Disk(dir) => {
+                let path = dir.join(name);
+                Ok(Box::new(if create {
+                    FileVfd::create(path)?
+                } else {
+                    FileVfd::open(path)?
+                }))
+            }
+        }
+    }
+
+    /// Removes benchmark artifacts (best-effort).
+    pub fn cleanup(&self) {
+        if let Backend::Disk(dir) = self {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// A benchmark session: opens instrumented-or-not files uniformly.
+pub struct Session {
+    backend: Backend,
+    mapper: Option<Mapper>,
+}
+
+impl Session {
+    /// A session for the given backend and instrumentation mode.
+    pub fn new(workflow: &str, backend: Backend, instr: Instrumentation) -> Self {
+        let mapper = instr
+            .mapper_config()
+            .map(|cfg| Mapper::with_config(workflow, cfg));
+        Self { backend, mapper }
+    }
+
+    /// Announces the current task when instrumented.
+    pub fn set_task(&self, name: &str) {
+        if let Some(m) = &self.mapper {
+            m.set_task(name);
+        }
+    }
+
+    /// Creates a file through this session's instrumentation.
+    pub fn create(&self, name: &str) -> Result<H5File> {
+        let raw = self.backend.driver(name, true)?;
+        match &self.mapper {
+            Some(m) => H5File::create(m.wrap_vfd(raw, name), name, m.file_options()),
+            None => H5File::create(raw, name, FileOptions::default()),
+        }
+    }
+
+    /// Opens a file through this session's instrumentation.
+    pub fn open(&self, name: &str) -> Result<H5File> {
+        let raw = self.backend.driver(name, false)?;
+        match &self.mapper {
+            Some(m) => H5File::open(m.wrap_vfd(raw, name), name, m.file_options()),
+            None => H5File::open(raw, name, FileOptions::default()),
+        }
+    }
+
+    /// The mapper, when instrumented.
+    pub fn mapper(&self) -> Option<&Mapper> {
+        self.mapper.as_ref()
+    }
+
+    /// Finishes the session, returning the trace bundle when instrumented.
+    pub fn finish(self) -> Option<TraceBundle> {
+        self.backend.cleanup();
+        self.mapper.map(Mapper::into_bundle)
+    }
+}
+
+/// Result of one measured benchmark run.
+#[derive(Clone, Debug)]
+pub struct BenchRun {
+    /// Wall time of the workload body, nanoseconds.
+    pub wall_ns: u64,
+    /// Application bytes moved.
+    pub app_bytes: u64,
+    /// Time the mapper itself spent on the critical path (component-timer
+    /// total), nanoseconds; 0 when uninstrumented. A deterministic
+    /// overhead measure that does not depend on wall-clock noise.
+    pub mapper_self_ns: u64,
+    /// Trace bundle (instrumented runs only).
+    pub bundle: Option<TraceBundle>,
+}
+
+impl BenchRun {
+    /// Relative overhead of this run versus a baseline wall time, as a
+    /// fraction (0.01 = 1%).
+    pub fn overhead_vs(&self, baseline_ns: u64) -> f64 {
+        if baseline_ns == 0 {
+            return 0.0;
+        }
+        (self.wall_ns as f64 - baseline_ns as f64) / baseline_ns as f64
+    }
+
+    /// VOL trace storage bytes (0 when uninstrumented).
+    pub fn vol_storage(&self) -> u64 {
+        self.bundle.as_ref().map_or(0, |b| b.vol_storage_bytes())
+    }
+
+    /// VFD trace storage bytes (0 when uninstrumented).
+    pub fn vfd_storage(&self) -> u64 {
+        self.bundle.as_ref().map_or(0, |b| b.vfd_storage_bytes())
+    }
+
+    /// Mapper self-time as a fraction of the run's wall time.
+    pub fn self_time_fraction(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.mapper_self_ns as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_hdf::{DataType, DatasetBuilder};
+
+    #[test]
+    fn instrumentation_modes_map_to_configs() {
+        assert!(Instrumentation::None.mapper_config().is_none());
+        let vol = Instrumentation::VolOnly.mapper_config().unwrap();
+        assert!(vol.trace_vol && !vol.trace_io);
+        let vfd = Instrumentation::VfdOnly.mapper_config().unwrap();
+        assert!(!vfd.trace_vol && vfd.trace_io);
+        let full = Instrumentation::Full.mapper_config().unwrap();
+        assert!(full.trace_vol && full.trace_io);
+    }
+
+    fn exercise(session: &Session) {
+        session.set_task("bench");
+        let f = session.create("s.h5").unwrap();
+        let mut ds = f
+            .root()
+            .create_dataset("d", DatasetBuilder::new(DataType::Int { width: 8 }, &[32]))
+            .unwrap();
+        ds.write_u64s(&[1; 32]).unwrap();
+        ds.close().unwrap();
+        f.close().unwrap();
+        let f = session.open("s.h5").unwrap();
+        let mut ds = f.root().open_dataset("d").unwrap();
+        assert_eq!(ds.read_u64s().unwrap()[0], 1);
+        ds.close().unwrap();
+        f.close().unwrap();
+    }
+
+    #[test]
+    fn session_mem_uninstrumented() {
+        let s = Session::new("t", Backend::mem(), Instrumentation::None);
+        exercise(&s);
+        assert!(s.mapper().is_none());
+        assert!(s.finish().is_none());
+    }
+
+    #[test]
+    fn session_mem_instrumented_produces_traces() {
+        let s = Session::new("t", Backend::mem(), Instrumentation::Full);
+        exercise(&s);
+        let bundle = s.finish().unwrap();
+        assert!(!bundle.vol.is_empty());
+        assert!(!bundle.vfd.is_empty());
+    }
+
+    #[test]
+    fn session_disk_backend_works() {
+        let backend = Backend::temp_dir("session-test").unwrap();
+        let s = Session::new("t", backend, Instrumentation::VfdOnly);
+        exercise(&s);
+        let bundle = s.finish().unwrap();
+        assert!(bundle.vol.is_empty(), "VOL off");
+        assert!(!bundle.vfd.is_empty());
+    }
+
+    #[test]
+    fn overhead_accounting() {
+        let r = BenchRun {
+            wall_ns: 110,
+            app_bytes: 0,
+            mapper_self_ns: 11,
+            bundle: None,
+        };
+        assert!((r.overhead_vs(100) - 0.10).abs() < 1e-12);
+        assert!((r.self_time_fraction() - 0.1).abs() < 1e-12);
+        assert_eq!(r.overhead_vs(0), 0.0);
+        assert_eq!(r.vol_storage(), 0);
+        assert_eq!(r.vfd_storage(), 0);
+    }
+}

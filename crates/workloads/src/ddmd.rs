@@ -1,0 +1,475 @@
+//! The DeepDriveMD (DDMD) workload (paper Section VI-B).
+//!
+//! An iterative 4-stage pipeline: OpenMM simulation (12 parallel tasks),
+//! aggregation, training, inference. Reproduces the dataflow of Fig. 6/7:
+//!
+//! * each `openmm` task writes an HDF5 file with four **chunked** datasets
+//!   — `contact_map` (largest), `point_cloud`, `fnc`, `rmsd`;
+//! * `aggregate` reads **all** simulated data sequentially and consolidates
+//!   the four datasets plus file metadata into `aggregated.h5` without
+//!   modifying content;
+//! * `training` reads the aggregated file but uses only three datasets —
+//!   it touches `contact_map`'s **metadata only** (the Fig. 7 pop-up) and
+//!   reads one simulation file's `contact_map` directly; it writes ten
+//!   `embeddings-epoch-N` files and re-reads some of them
+//!   (**read-after-write**);
+//! * `inference` reads all simulated data again and writes its own
+//!   `virtual_stage` output — sharing **no** files with training.
+
+use crate::util::{payload, payload_f64};
+use dayu_hdf::{DataType, Dataset, DatasetBuilder, Group, LayoutKind, Result};
+use dayu_workflow::{TaskIo, TaskSpec, WorkflowSpec};
+
+/// The four datasets every OpenMM output carries.
+pub const DATASETS: [&str; 4] = ["contact_map", "point_cloud", "fnc", "rmsd"];
+
+/// Workload parameters. Defaults are laptop-scale; the paper runs 12
+/// simulation tasks per iteration and a 5-iteration pipeline (Fig. 12).
+#[derive(Clone, Debug)]
+pub struct DdmdConfig {
+    /// Parallel OpenMM simulation tasks per iteration (paper: 12).
+    pub sim_tasks: usize,
+    /// Pipeline iterations (paper Fig. 12: 5).
+    pub iterations: usize,
+    /// Side length of the square `contact_map` (bytes = n²).
+    pub contact_map_dim: u64,
+    /// Points in `point_cloud` (bytes = 3 × 8 × n).
+    pub point_cloud_points: u64,
+    /// Elements in `fnc` and `rmsd` (8 bytes each).
+    pub scalar_series_len: u64,
+    /// Storage layout for the datasets (paper observation: all chunked).
+    pub layout: LayoutKind,
+    /// Training epochs → embedding files written (paper: 10).
+    pub epochs: usize,
+    /// Epoch outputs training re-reads (paper: files 5 and 10).
+    pub reread_epochs: Vec<usize>,
+    /// Modeled compute per task, nanoseconds.
+    pub compute_ns: u64,
+}
+
+impl Default for DdmdConfig {
+    fn default() -> Self {
+        Self {
+            sim_tasks: 12,
+            iterations: 1,
+            contact_map_dim: 64,
+            point_cloud_points: 512,
+            scalar_series_len: 128,
+            layout: LayoutKind::Chunked,
+            epochs: 10,
+            reread_epochs: vec![5, 10],
+            compute_ns: 5_000_000,
+        }
+    }
+}
+
+impl DdmdConfig {
+    /// Bytes of one `contact_map`.
+    pub fn contact_map_bytes(&self) -> u64 {
+        self.contact_map_dim * self.contact_map_dim
+    }
+}
+
+/// Simulation output file name for (iteration, task).
+pub fn sim_file(iter: usize, task: usize) -> String {
+    format!("stage{:04}_task{:04}.h5", iter * 4, task)
+}
+
+/// Aggregated file name for an iteration.
+pub fn aggregated_file(iter: usize) -> String {
+    format!("aggregated_{iter:04}.h5")
+}
+
+/// Embedding file name for (iteration, epoch).
+pub fn embedding_file(iter: usize, epoch: usize) -> String {
+    format!("embeddings-epoch-{epoch}-iter{iter:04}.h5")
+}
+
+/// Inference output name for an iteration.
+pub fn inference_file(iter: usize) -> String {
+    format!("virtual_stage{:04}_task0000.h5", iter * 4 + 2)
+}
+
+fn create_four_datasets(
+    root: &Group,
+    cfg: &DdmdConfig,
+    seed: u64,
+) -> Result<()> {
+    let with_layout = |b: DatasetBuilder, chunk: &[u64]| -> DatasetBuilder {
+        match cfg.layout {
+            LayoutKind::Chunked => b.chunks(chunk),
+            other => b.layout(other),
+        }
+    };
+    let mut cm = root.create_dataset(
+        "contact_map",
+        with_layout(
+            DatasetBuilder::new(
+                DataType::Int { width: 1 },
+                &[cfg.contact_map_dim, cfg.contact_map_dim],
+            ),
+            &[cfg.contact_map_dim.div_ceil(4).max(1), cfg.contact_map_dim],
+        ),
+    )?;
+    cm.write(&payload(cfg.contact_map_bytes() as usize, seed))?;
+    cm.close()?;
+
+    let mut pc = root.create_dataset(
+        "point_cloud",
+        with_layout(
+            DatasetBuilder::new(DataType::Float { width: 8 }, &[cfg.point_cloud_points, 3]),
+            &[cfg.point_cloud_points.div_ceil(4).max(1), 3],
+        ),
+    )?;
+    pc.write_f64s(&payload_f64((cfg.point_cloud_points * 3) as usize, seed + 1))?;
+    pc.close()?;
+
+    for (i, name) in ["fnc", "rmsd"].iter().enumerate() {
+        let mut ds = root.create_dataset(
+            name,
+            with_layout(
+                DatasetBuilder::new(DataType::Float { width: 8 }, &[cfg.scalar_series_len]),
+                &[cfg.scalar_series_len.div_ceil(4).max(1)],
+            ),
+        )?;
+        ds.write_f64s(&payload_f64(
+            cfg.scalar_series_len as usize,
+            seed + 2 + i as u64,
+        ))?;
+        ds.close()?;
+    }
+    Ok(())
+}
+
+fn read_dataset_fully(root: &Group, name: &str) -> Result<Vec<u8>> {
+    let mut ds = root.open_dataset(name)?;
+    let data = ds.read()?;
+    ds.close()?;
+    Ok(data)
+}
+
+/// Opens a dataset and closes it without reading content — a metadata-only
+/// touch (the Fig. 7 `contact_map` behaviour).
+fn touch_dataset_metadata(root: &Group, name: &str) -> Result<()> {
+    let mut ds: Dataset = root.open_dataset(name)?;
+    ds.close()
+}
+
+/// Builds the DDMD workflow: `iterations` × (simulation, aggregate,
+/// training, inference) stages.
+pub fn workflow(cfg: &DdmdConfig) -> WorkflowSpec {
+    let mut wf = WorkflowSpec::new("ddmd");
+    for iter in 0..cfg.iterations {
+        // Stage 1: OpenMM simulations.
+        let mut sims = Vec::new();
+        for t in 0..cfg.sim_tasks {
+            let cfg2 = cfg.clone();
+            sims.push(
+                TaskSpec::new(format!("openmm_i{iter}_t{t}"), move |io: &TaskIo| {
+                    let f = io.create(&sim_file(iter, t))?;
+                    create_four_datasets(&f.root(), &cfg2, (iter * 100 + t) as u64)?;
+                    f.close()
+                })
+                .with_compute(cfg.compute_ns * 4),
+            );
+        }
+        wf = wf.stage(format!("simulation_{iter}"), sims);
+
+        // Stage 2: aggregate — reads all sims sequentially, consolidates.
+        {
+            let cfg2 = cfg.clone();
+            wf = wf.stage(
+                format!("aggregate_{iter}"),
+                vec![TaskSpec::new(format!("aggregate_i{iter}"), move |io: &TaskIo| {
+                    let out = io.create(&aggregated_file(iter))?;
+                    let out_root = out.root();
+                    // Pre-create the consolidated datasets sized for all tasks.
+                    let n = cfg2.sim_tasks as u64;
+                    let mut cm_out = out_root.create_dataset(
+                        "contact_map",
+                        DatasetBuilder::new(
+                            DataType::Int { width: 1 },
+                            &[n * cfg2.contact_map_dim, cfg2.contact_map_dim],
+                        )
+                        .chunks(&[cfg2.contact_map_dim, cfg2.contact_map_dim]),
+                    )?;
+                    let mut pc_out = out_root.create_dataset(
+                        "point_cloud",
+                        DatasetBuilder::new(
+                            DataType::Float { width: 8 },
+                            &[n * cfg2.point_cloud_points, 3],
+                        )
+                        .chunks(&[cfg2.point_cloud_points, 3]),
+                    )?;
+                    let mut fnc_out = out_root.create_dataset(
+                        "fnc",
+                        DatasetBuilder::new(
+                            DataType::Float { width: 8 },
+                            &[n * cfg2.scalar_series_len],
+                        )
+                        .chunks(&[cfg2.scalar_series_len]),
+                    )?;
+                    let mut rmsd_out = out_root.create_dataset(
+                        "rmsd",
+                        DatasetBuilder::new(
+                            DataType::Float { width: 8 },
+                            &[n * cfg2.scalar_series_len],
+                        )
+                        .chunks(&[cfg2.scalar_series_len]),
+                    )?;
+                    for t in 0..cfg2.sim_tasks {
+                        let f = io.open(&sim_file(iter, t))?;
+                        let root = f.root();
+                        let cm = read_dataset_fully(&root, "contact_map")?;
+                        cm_out.write_slab(
+                            &dayu_hdf::Selection::slab(
+                                &[t as u64 * cfg2.contact_map_dim, 0],
+                                &[cfg2.contact_map_dim, cfg2.contact_map_dim],
+                            ),
+                            &cm,
+                        )?;
+                        let pc = read_dataset_fully(&root, "point_cloud")?;
+                        pc_out.write_slab(
+                            &dayu_hdf::Selection::slab(
+                                &[t as u64 * cfg2.point_cloud_points, 0],
+                                &[cfg2.point_cloud_points, 3],
+                            ),
+                            &pc,
+                        )?;
+                        let fnc = read_dataset_fully(&root, "fnc")?;
+                        fnc_out.write_slab(
+                            &dayu_hdf::Selection::slab(
+                                &[t as u64 * cfg2.scalar_series_len],
+                                &[cfg2.scalar_series_len],
+                            ),
+                            &fnc,
+                        )?;
+                        let rmsd = read_dataset_fully(&root, "rmsd")?;
+                        rmsd_out.write_slab(
+                            &dayu_hdf::Selection::slab(
+                                &[t as u64 * cfg2.scalar_series_len],
+                                &[cfg2.scalar_series_len],
+                            ),
+                            &rmsd,
+                        )?;
+                        f.close()?;
+                    }
+                    cm_out.close()?;
+                    pc_out.close()?;
+                    fnc_out.close()?;
+                    rmsd_out.close()?;
+                    out.close()
+                })
+                .with_compute(cfg.compute_ns)],
+            );
+        }
+
+        // Stage 3: training — three datasets from the aggregate, metadata-
+        // only touch of contact_map, one sim file's contact_map directly,
+        // ten embedding outputs with re-reads.
+        {
+            let cfg2 = cfg.clone();
+            wf = wf.stage(
+                format!("training_{iter}"),
+                vec![TaskSpec::new(format!("training_i{iter}"), move |io: &TaskIo| {
+                    let f = io.open(&aggregated_file(iter))?;
+                    let root = f.root();
+                    read_dataset_fully(&root, "point_cloud")?;
+                    read_dataset_fully(&root, "fnc")?;
+                    read_dataset_fully(&root, "rmsd")?;
+                    // Fig. 7: contact_map is opened (metadata) but its data
+                    // is never read from the aggregate…
+                    touch_dataset_metadata(&root, "contact_map")?;
+                    f.close()?;
+                    // …instead it comes straight from one simulation output.
+                    let sim = io.open(&sim_file(iter, 0))?;
+                    read_dataset_fully(&sim.root(), "contact_map")?;
+                    sim.close()?;
+
+                    for epoch in 1..=cfg2.epochs {
+                        let e = io.create(&embedding_file(iter, epoch))?;
+                        let mut ds = e.root().create_dataset(
+                            "embedding",
+                            DatasetBuilder::new(
+                                DataType::Float { width: 8 },
+                                &[cfg2.point_cloud_points],
+                            ),
+                        )?;
+                        ds.write_f64s(&payload_f64(
+                            cfg2.point_cloud_points as usize,
+                            (iter * 1000 + epoch) as u64,
+                        ))?;
+                        ds.close()?;
+                        e.close()?;
+                        if cfg2.reread_epochs.contains(&epoch) {
+                            let e = io.open(&embedding_file(iter, epoch))?;
+                            read_dataset_fully(&e.root(), "embedding")?;
+                            e.close()?;
+                        }
+                    }
+                    Ok(())
+                })
+                // Training is long but not the pipeline's critical path
+                // once DaYu pipelines it with inference; simulation (x4)
+                // remains the long pole, as in the real DDMD.
+                .with_compute(cfg.compute_ns * 3)],
+            );
+        }
+
+        // Stage 4: inference — all simulated data again; own output; no
+        // files shared with training.
+        {
+            let cfg2 = cfg.clone();
+            wf = wf.stage(
+                format!("inference_{iter}"),
+                vec![TaskSpec::new(format!("inference_i{iter}"), move |io: &TaskIo| {
+                    for t in 0..cfg2.sim_tasks {
+                        let f = io.open(&sim_file(iter, t))?;
+                        let root = f.root();
+                        for name in DATASETS {
+                            read_dataset_fully(&root, name)?;
+                        }
+                        f.close()?;
+                    }
+                    let out = io.create(&inference_file(iter))?;
+                    let mut ds = out.root().create_dataset(
+                        "outliers",
+                        DatasetBuilder::new(DataType::Int { width: 8 }, &[cfg2.sim_tasks as u64]),
+                    )?;
+                    ds.write_u64s(&vec![0u64; cfg2.sim_tasks])?;
+                    ds.close()?;
+                    out.close()
+                })
+                .with_compute(cfg.compute_ns * 2)],
+            );
+        }
+    }
+    wf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_analyzer::{Analysis, Finding};
+    use dayu_vfd::MemFs;
+    use dayu_workflow::record;
+
+    fn tiny() -> DdmdConfig {
+        DdmdConfig {
+            sim_tasks: 3,
+            iterations: 1,
+            contact_map_dim: 16,
+            point_cloud_points: 32,
+            scalar_series_len: 16,
+            compute_ns: 100,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn four_stages_per_iteration() {
+        let wf = workflow(&DdmdConfig {
+            iterations: 2,
+            ..tiny()
+        });
+        assert_eq!(wf.stages.len(), 8);
+        assert_eq!(wf.stages[0].tasks.len(), 3);
+        assert_eq!(wf.stages[1].tasks.len(), 1);
+        wf.validate().unwrap();
+    }
+
+    #[test]
+    fn reproduces_fig6_fig7_observations() {
+        let fs = MemFs::new();
+        let run = record(&workflow(&tiny()), &fs).unwrap();
+        let analysis = Analysis::run(&run.bundle);
+
+        // Fig. 6 (1): sim outputs are read by both aggregate and inference.
+        assert!(
+            analysis.findings.iter().any(|f| matches!(
+                f,
+                Finding::DataReuse { file, readers }
+                    if file.starts_with("stage0000_task") && readers.len() >= 2
+            )),
+            "simulation outputs reused: {:?}",
+            analysis
+                .findings
+                .iter()
+                .map(|f| f.category())
+                .collect::<Vec<_>>()
+        );
+
+        // Fig. 6 (2): training re-reads embedding files (read-after-write).
+        assert!(analysis.findings.iter().any(|f| matches!(
+            f,
+            Finding::ReadAfterWrite { task, file }
+                if task.starts_with("training") && file.contains("embeddings-epoch-5")
+        )));
+
+        // Fig. 7: the aggregated contact_map is metadata-only for training.
+        assert!(
+            analysis.findings.iter().any(|f| matches!(
+                f,
+                Finding::UnusedDataset { dataset, metadata_only_readers, .. }
+                    if dataset == "aggregated_0000.h5:/contact_map"
+                        && metadata_only_readers.iter().any(|t| t.starts_with("training"))
+            )),
+            "contact_map unused by training: {:?}",
+            analysis.findings
+        );
+
+        // Metadata overhead: chunked layout on small datasets flagged.
+        assert!(analysis
+            .findings
+            .iter()
+            .any(|f| f.category() == "chunked-small-dataset"));
+    }
+
+    #[test]
+    fn training_and_inference_share_no_files() {
+        let fs = MemFs::new();
+        let run = record(&workflow(&tiny()), &fs).unwrap();
+        let files_of = |task_prefix: &str| -> std::collections::BTreeSet<String> {
+            run.bundle
+                .vfd
+                .iter()
+                .filter(|r| r.task.as_str().starts_with(task_prefix))
+                .map(|r| r.file.as_str().to_owned())
+                .collect()
+        };
+        let train = files_of("training");
+        let infer = files_of("inference");
+        assert!(!train.is_empty() && !infer.is_empty());
+        // Only overlap allowed: the sim file training reads contact_map from.
+        let overlap: Vec<&String> = train.intersection(&infer).collect();
+        assert!(
+            overlap.iter().all(|f| f.starts_with("stage0000_task0000")),
+            "training/inference share only sim0: {overlap:?}"
+        );
+    }
+
+    #[test]
+    fn aggregate_preserves_content() {
+        let fs = MemFs::new();
+        record(&workflow(&tiny()), &fs).unwrap();
+        assert!(fs.exists("aggregated_0000.h5"));
+        assert!(fs.exists("virtual_stage0002_task0000.h5"));
+        assert!(fs.exists("embeddings-epoch-10-iter0000.h5"));
+    }
+
+    #[test]
+    fn contiguous_variant_builds_too() {
+        let cfg = DdmdConfig {
+            layout: LayoutKind::Contiguous,
+            ..tiny()
+        };
+        let fs = MemFs::new();
+        let run = record(&workflow(&cfg), &fs).unwrap();
+        // No chunk-index metadata for the sim datasets in contiguous mode.
+        let analysis = Analysis::run(&run.bundle);
+        assert!(!analysis.findings.iter().any(|f| matches!(
+            f,
+            Finding::ChunkedSmallDataset { dataset, .. } if dataset.contains("stage0000")
+        )));
+    }
+}

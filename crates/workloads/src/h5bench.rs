@@ -1,0 +1,188 @@
+//! An h5bench-style parallel I/O benchmark (paper Section VII-B).
+//!
+//! h5bench is "a representative parallel I/O benchmark designed for
+//! large-scale HDF5 workflows": N processes each write and read back large
+//! fixed-length datasets. The paper uses it for the typical-case overhead
+//! figures — Fig. 9a (overhead vs total file size), Fig. 9b (overhead vs
+//! process count at 1 GB per process) and Fig. 10a (component breakdown).
+//! Processes are modeled as rayon threads, file-per-process.
+
+use crate::bench_common::{Backend, BenchRun, Instrumentation, Session};
+use crate::util::payload;
+use dayu_hdf::{DataType, DatasetBuilder, Result};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Benchmark parameters.
+#[derive(Clone, Debug)]
+pub struct H5benchConfig {
+    /// Parallel I/O processes (threads), each with its own file.
+    pub processes: usize,
+    /// Bytes written (and read back) per process.
+    pub bytes_per_process: u64,
+    /// Datasets the per-process payload is split across.
+    pub datasets_per_file: usize,
+    /// Whether to read everything back after writing (h5bench read phase).
+    pub read_back: bool,
+}
+
+impl Default for H5benchConfig {
+    fn default() -> Self {
+        Self {
+            processes: 4,
+            bytes_per_process: 4 << 20,
+            datasets_per_file: 4,
+            read_back: true,
+        }
+    }
+}
+
+impl H5benchConfig {
+    /// Total application bytes moved (writes + optional reads).
+    pub fn app_bytes(&self) -> u64 {
+        let written = self.processes as u64 * self.bytes_per_process;
+        if self.read_back {
+            written * 2
+        } else {
+            written
+        }
+    }
+}
+
+fn one_process(session: &Session, rank: usize, cfg: &H5benchConfig) -> Result<()> {
+    let file = format!("h5bench_rank{rank:04}.h5");
+    let per_ds = (cfg.bytes_per_process / cfg.datasets_per_file as u64).max(8);
+    let elems = per_ds / 8;
+
+    let f = session.create(&file)?;
+    let root = f.root();
+    let data = payload((elems * 8) as usize, rank as u64);
+    for d in 0..cfg.datasets_per_file {
+        let mut ds = root.create_dataset(
+            &format!("dset_{d}"),
+            DatasetBuilder::new(DataType::Float { width: 8 }, &[elems]),
+        )?;
+        ds.write(&data)?;
+        ds.close()?;
+    }
+    f.close()?;
+
+    if cfg.read_back {
+        let f = session.open(&file)?;
+        let root = f.root();
+        for d in 0..cfg.datasets_per_file {
+            let mut ds = root.open_dataset(&format!("dset_{d}"))?;
+            let back = ds.read()?;
+            assert_eq!(back.len() as u64, elems * 8);
+            ds.close()?;
+        }
+        f.close()?;
+    }
+    Ok(())
+}
+
+/// Runs the benchmark under the given instrumentation over the given
+/// backend, returning wall time and (when instrumented) the trace bundle.
+pub fn run(cfg: &H5benchConfig, backend: Backend, instr: Instrumentation) -> Result<BenchRun> {
+    // One session per process: its own mapper context, like a real rank.
+    let sessions: Vec<Session> = (0..cfg.processes)
+        .map(|r| {
+            let s = Session::new("h5bench", backend.clone(), instr);
+            s.set_task(&format!("h5bench_rank{r}"));
+            s
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let results: Vec<Result<()>> = sessions
+        .par_iter()
+        .enumerate()
+        .map(|(rank, session)| one_process(session, rank, cfg))
+        .collect();
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    for r in results {
+        r?;
+    }
+
+    let sessions_self_ns: u64 = sessions
+        .iter()
+        .filter_map(|s| s.mapper().map(|m| m.timers().total_ns()))
+        .sum();
+    let mut bundle = None;
+    for s in sessions {
+        if let Some(b) = s.finish() {
+            match &mut bundle {
+                None => bundle = Some(b),
+                Some(acc) => acc.merge(b),
+            }
+        }
+    }
+    let mapper_self_ns: u64 = sessions_self_ns;
+    Ok(BenchRun {
+        wall_ns,
+        app_bytes: cfg.app_bytes(),
+        mapper_self_ns,
+        bundle,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> H5benchConfig {
+        H5benchConfig {
+            processes: 3,
+            bytes_per_process: 64 << 10,
+            datasets_per_file: 2,
+            read_back: true,
+        }
+    }
+
+    #[test]
+    fn baseline_run_completes() {
+        let r = run(&tiny(), Backend::mem(), Instrumentation::None).unwrap();
+        assert!(r.wall_ns > 0);
+        assert!(r.bundle.is_none());
+        assert_eq!(r.app_bytes, 2 * 3 * (64 << 10));
+    }
+
+    #[test]
+    fn instrumented_run_captures_all_ranks() {
+        let r = run(&tiny(), Backend::mem(), Instrumentation::Full).unwrap();
+        let b = r.bundle.unwrap();
+        assert_eq!(b.meta.task_order.len(), 3);
+        // Every rank contributed object records (2 datasets each).
+        for rank in 0..3 {
+            let task = format!("h5bench_rank{rank}");
+            assert!(
+                b.vol.iter().filter(|v| v.task.as_str() == task).count() >= 2,
+                "rank {rank} records present"
+            );
+        }
+        assert!(b.application_bytes() >= r.app_bytes, "raw + metadata I/O");
+    }
+
+    #[test]
+    fn vfd_storage_scales_with_ops_vol_does_not() {
+        let small = run(&tiny(), Backend::mem(), Instrumentation::Full).unwrap();
+        let mut big_cfg = tiny();
+        big_cfg.datasets_per_file = 8; // 4x the object count & ops
+        let big = run(&big_cfg, Backend::mem(), Instrumentation::Full).unwrap();
+        assert!(big.vfd_storage() > small.vfd_storage());
+        // VOL storage grows with object count but far slower than VFD.
+        let vfd_growth = big.vfd_storage() as f64 / small.vfd_storage() as f64;
+        let vol_growth = big.vol_storage() as f64 / small.vol_storage() as f64;
+        assert!(
+            vol_growth < vfd_growth * 1.5,
+            "vol {vol_growth:.2}x vs vfd {vfd_growth:.2}x"
+        );
+    }
+
+    #[test]
+    fn disk_backend_round_trips() {
+        let backend = Backend::temp_dir("h5bench-test").unwrap();
+        let r = run(&tiny(), backend, Instrumentation::VfdOnly).unwrap();
+        assert!(!r.bundle.unwrap().vfd.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # dayu-workloads
+//!
+//! Workload generators reproducing the applications and benchmarks of the
+//! DaYu paper's evaluation:
+//!
+//! * [`pyflextrkr`] — the nine-stage storm-tracking pipeline (Section
+//!   VI-A; Figures 4, 5, 11, 13a);
+//! * [`ddmd`] — the iterative DeepDriveMD simulation/aggregation/training/
+//!   inference pipeline (Section VI-B; Figures 6, 7, 12, 13b);
+//! * [`arldm`] — the ARLDM variable-length image/text preparation workflow
+//!   (Section VI-C; Figures 8, 13c);
+//! * [`h5bench`] — an h5bench-style parallel I/O benchmark for the
+//!   typical-case overhead study (Figures 9a, 9b, 10a);
+//! * [`corner_case`] — the many-small-datasets worst case (Figures 9c,
+//!   9d, 10b).
+//!
+//! Application workloads build [`dayu_workflow::WorkflowSpec`]s whose task
+//! bodies perform real I/O through the instrumented format library; the
+//! benchmark workloads run directly with selectable instrumentation
+//! ([`bench_common::Instrumentation`]) and backend
+//! ([`bench_common::Backend`]) so profiler overhead can be measured
+//! against an uninstrumented baseline.
+
+pub mod arldm;
+pub mod bench_common;
+pub mod corner_case;
+pub mod ddmd;
+pub mod h5bench;
+pub mod pyflextrkr;
+pub mod util;
+
+pub use bench_common::{Backend, BenchRun, Instrumentation, Session};

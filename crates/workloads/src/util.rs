@@ -1,0 +1,59 @@
+//! Shared helpers for workload generators.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic pseudo-random payload of `n` bytes from a seed. Cheap
+/// (fills from a small PRNG) and reproducible, so workloads generate
+/// identical traces across runs.
+pub fn payload(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = vec![0u8; n];
+    rng.fill(&mut out[..]);
+    out
+}
+
+/// Deterministic pseudo-random `f64`s in `[0, 1)`.
+pub fn payload_f64(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<f64>()).collect()
+}
+
+/// A deterministic variable length around `mean` (±50%), per-element.
+pub fn varlen(mean: usize, seed: u64, index: u64) -> usize {
+    let mut rng = SmallRng::seed_from_u64(seed ^ index.wrapping_mul(0x9E3779B97F4A7C15));
+    if mean <= 1 {
+        return 1;
+    }
+    rng.gen_range(mean / 2..mean + mean / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_is_deterministic_and_seed_sensitive() {
+        assert_eq!(payload(64, 1), payload(64, 1));
+        assert_ne!(payload(64, 1), payload(64, 2));
+        assert_eq!(payload(0, 1).len(), 0);
+    }
+
+    #[test]
+    fn f64_payload() {
+        let v = payload_f64(100, 7);
+        assert_eq!(v, payload_f64(100, 7));
+        assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+
+    #[test]
+    fn varlen_bounds() {
+        for i in 0..100 {
+            let l = varlen(1000, 3, i);
+            assert!((500..1500).contains(&l), "length {l}");
+        }
+        assert_eq!(varlen(1, 0, 0), 1);
+        // Deterministic per index.
+        assert_eq!(varlen(1000, 3, 42), varlen(1000, 3, 42));
+    }
+}

@@ -1,0 +1,53 @@
+//! Automated optimization: the paper's future-work item, closed-loop.
+//!
+//! ```text
+//! cargo run --release --example auto_optimize
+//! ```
+//!
+//! Records the DDMD workflow, lets `dayu_core::auto::optimize` derive and
+//! apply a plan from the analysis with no human input, and prints what was
+//! applied, what remained advisory, and the predicted speedup.
+
+use dayu::prelude::*;
+use dayu_core::auto;
+use dayu_core::workloads::ddmd::{self, DdmdConfig};
+
+fn main() {
+    let cfg = DdmdConfig {
+        sim_tasks: 6,
+        iterations: 2,
+        contact_map_dim: 96,
+        point_cloud_points: 256,
+        scalar_series_len: 64,
+        compute_ns: 20_000_000,
+        ..Default::default()
+    };
+    println!("recording DDMD ({} sims × {} iterations)…", cfg.sim_tasks, cfg.iterations);
+    let fs = MemFs::new();
+    let run = record(&ddmd::workflow(&cfg), &fs).expect("record");
+
+    let cluster = Cluster::gpu_cluster(4);
+    let outcome = auto::optimize(&run, &cluster).expect("auto optimize");
+
+    println!("\napplied automatically ({}):", outcome.applied.len());
+    for a in &outcome.applied {
+        println!("  • {a}");
+    }
+    println!("\nadvisories needing an application re-run ({}):", outcome.advisories.len());
+    for a in outcome.advisories.iter().take(6) {
+        println!("  • {a}");
+    }
+    if outcome.advisories.len() > 6 {
+        println!("  … and {} more", outcome.advisories.len() - 6);
+    }
+
+    println!(
+        "\nbaseline makespan:  {:>9.2} ms",
+        outcome.baseline.makespan_ns as f64 / 1e6
+    );
+    println!(
+        "optimized makespan: {:>9.2} ms",
+        outcome.optimized.makespan_ns as f64 / 1e6
+    );
+    println!("predicted speedup:  {:>9.2}x", outcome.speedup());
+}

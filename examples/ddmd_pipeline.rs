@@ -1,0 +1,74 @@
+//! DeepDriveMD: the simulation + ML pipeline case study (Section VI-B).
+//!
+//! ```text
+//! cargo run --release --example ddmd_pipeline
+//! ```
+//!
+//! Runs the 4-stage DDMD iteration under DaYu, prints the Fig. 6/7
+//! observations — most notably that the training task touches the
+//! aggregated `contact_map` dataset's *metadata only* — and then scores
+//! the paper's four optimizations against the baseline with the replay
+//! simulator (Fig. 12).
+
+use dayu::prelude::*;
+use dayu_bench::{fig12, Scale};
+use dayu_core::workloads::ddmd::{self, DdmdConfig};
+
+fn main() {
+    let cfg = DdmdConfig {
+        sim_tasks: 6,
+        iterations: 1,
+        contact_map_dim: 64,
+        point_cloud_points: 256,
+        scalar_series_len: 64,
+        compute_ns: 1_000_000,
+        ..Default::default()
+    };
+
+    let fs = MemFs::new();
+    let run = record(&ddmd::workflow(&cfg), &fs).expect("record");
+    let analysis = Analysis::run(&run.bundle);
+
+    println!("DDMD observations (Figs. 6–7):");
+    for f in &analysis.findings {
+        match f {
+            Finding::UnusedDataset {
+                dataset,
+                metadata_only_readers,
+                ..
+            } if dataset.contains("contact_map") => {
+                println!(
+                    "  ✔ {dataset} written by aggregate but only its METADATA touched by {:?}",
+                    metadata_only_readers
+                );
+            }
+            Finding::ReadAfterWrite { task, file } if file.contains("embeddings") => {
+                println!("  ✔ {task} re-reads its own {file} (read-after-write reuse)");
+            }
+            Finding::IndependentTasks { first, second } => {
+                println!("  ✔ {first} and {second} share no files → pipelinable");
+            }
+            Finding::ChunkedSmallDataset { dataset, bytes } => {
+                println!("  ✔ {dataset} is chunked at only {bytes} bytes → layout overhead");
+            }
+            _ => {}
+        }
+    }
+
+    // The Fig.-7 pop-up, straight from the SDG.
+    let sdg = &analysis.sdg;
+    if let Some(d) = sdg.find(NodeKind::Dataset, "aggregated_0000.h5:/contact_map") {
+        for (i, e) in sdg.edges.iter().enumerate() {
+            if e.from == d.id && sdg.nodes[e.to].label.starts_with("training") {
+                println!("\nFig. 7 pop-up (contact_map → training):");
+                for line in dayu_core::analyzer::export::edge_popup(sdg, i).lines() {
+                    println!("  {line}");
+                }
+            }
+        }
+    }
+
+    println!("\nscoring baseline vs DaYu-optimized pipeline (Fig. 12, quick scale)…");
+    let fig = fig12::run(Scale::Quick);
+    println!("{}", fig.render());
+}

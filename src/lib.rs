@@ -1,0 +1,7 @@
+//! Umbrella package for the DaYu workspace: hosts the runnable examples in
+//! `examples/` and cross-crate integration tests in `tests/`.
+//!
+//! Use [`dayu_core`] (re-exported here as [`core`]) as the library entry
+//! point.
+pub use dayu_core as core;
+pub use dayu_core::prelude;

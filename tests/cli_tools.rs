@@ -1,0 +1,142 @@
+//! Integration tests for the command-line tools (`dayu-analyze`,
+//! `dayu-h5ls`): write real artifacts to disk, invoke the binaries, check
+//! their output.
+
+use dayu::prelude::*;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin(name: &str) -> PathBuf {
+    // target/debug/<name>, next to the test executable's directory.
+    let mut p = std::env::current_exe().unwrap();
+    p.pop(); // deps/
+    p.pop(); // debug/
+    p.push(name);
+    p
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dayu-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn dayu_h5ls_lists_a_real_file() {
+    let dir = tmp_dir("h5ls");
+    let path = dir.join("sample.h5");
+    {
+        let vfd = dayu_core::vfd::FileVfd::create(&path).unwrap();
+        let f = H5File::create(vfd, "sample.h5", FileOptions::default()).unwrap();
+        let g = f.root().create_group("observations").unwrap();
+        let mut ds = g
+            .create_dataset(
+                "radar",
+                DatasetBuilder::new(DataType::Float { width: 8 }, &[32, 8]).chunks(&[8, 8]),
+            )
+            .unwrap();
+        ds.write_f64s(&vec![1.0; 256]).unwrap();
+        ds.set_attr("station", AttrValue::Str("KOUN".into())).unwrap();
+        ds.close().unwrap();
+        f.close().unwrap();
+    }
+
+    let out = Command::new(bin("dayu-h5ls"))
+        .arg(&path)
+        .args(["--extents", "--attrs"])
+        .output()
+        .expect("run dayu-h5ls");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("observations/"), "{text}");
+    assert!(text.contains("radar"), "{text}");
+    assert!(text.contains("chunked"), "{text}");
+    assert!(text.contains("shape [32, 8]"), "{text}");
+    assert!(text.contains("@station = \"KOUN\""), "{text}");
+    assert!(text.contains("extent ["), "{text}");
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn dayu_h5ls_rejects_garbage() {
+    let dir = tmp_dir("h5ls-bad");
+    let path = dir.join("garbage.h5");
+    std::fs::write(&path, vec![0u8; 256]).unwrap();
+    let out = Command::new(bin("dayu-h5ls")).arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not a valid file"));
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn dayu_analyze_processes_a_trace() {
+    let dir = tmp_dir("analyze");
+    // Produce a trace with a known reuse finding.
+    let fs = MemFs::new();
+    let spec = WorkflowSpec::new("cli_wf")
+        .stage(
+            "w",
+            vec![TaskSpec::new("writer", |io: &TaskIo| {
+                let f = io.create("shared.h5")?;
+                let mut ds = f.root().create_dataset(
+                    "d",
+                    DatasetBuilder::new(DataType::Int { width: 1 }, &[4096]),
+                )?;
+                ds.write(&[7; 4096])?;
+                ds.close()?;
+                f.close()
+            })],
+        )
+        .stage("r", {
+            (0..2)
+                .map(|i| {
+                    TaskSpec::new(format!("reader_{i}"), |io: &TaskIo| {
+                        let f = io.open("shared.h5")?;
+                        f.root().open_dataset("d")?.read()?;
+                        f.close()
+                    })
+                })
+                .collect()
+        });
+    let run = record(&spec, &fs).unwrap();
+    let trace_path = dir.join("trace.jsonl");
+    let mut f = std::fs::File::create(&trace_path).unwrap();
+    run.bundle.write_jsonl(&mut f).unwrap();
+    drop(f);
+
+    let out_dir = dir.join("report");
+    let out = Command::new(bin("dayu-analyze"))
+        .arg(&trace_path)
+        .args(["--regions", "4", "--aggregate", "--out"])
+        .arg(&out_dir)
+        .output()
+        .expect("run dayu-analyze");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("workflow \"cli_wf\""), "{text}");
+    assert!(text.contains("aggregated"), "{text}");
+    assert!(text.contains("data-reuse"), "{text}");
+    assert!(text.contains("recommendations"), "{text}");
+    for name in ["ftg.html", "sdg.html", "ftg.dot", "sdg.json"] {
+        assert!(out_dir.join(name).exists(), "{name} missing");
+    }
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn dayu_analyze_rejects_missing_and_garbage_input() {
+    let out = Command::new(bin("dayu-analyze"))
+        .arg("/nonexistent/trace.jsonl")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let dir = tmp_dir("analyze-bad");
+    let p = dir.join("bad.jsonl");
+    std::fs::write(&p, "this is not json\n").unwrap();
+    let out = Command::new(bin("dayu-analyze")).arg(&p).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
+    std::fs::remove_dir_all(dir).unwrap();
+}

@@ -1,0 +1,211 @@
+//! Cross-crate durability tests of the format substrate: data written
+//! through any driver/instrumentation combination reads back identically
+//! through any other, across open/close cycles and process-like handoffs.
+
+use dayu::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_bytes(rng: &mut SmallRng, n: usize) -> Vec<u8> {
+    let mut v = vec![0u8; n];
+    rng.fill(&mut v[..]);
+    v
+}
+
+#[test]
+fn instrumented_writer_uninstrumented_reader() {
+    let fs = MemFs::new();
+    let mapper = Mapper::new("compat");
+    mapper.set_task("writer");
+    let f = H5File::create(
+        mapper.wrap_vfd(fs.create("x.h5"), "x.h5"),
+        "x.h5",
+        mapper.file_options(),
+    )
+    .unwrap();
+    let mut ds = f
+        .root()
+        .create_dataset(
+            "d",
+            DatasetBuilder::new(DataType::Float { width: 8 }, &[100]).chunks(&[7]),
+        )
+        .unwrap();
+    let vals: Vec<f64> = (0..100).map(|i| i as f64 * 1.5).collect();
+    ds.write_f64s(&vals).unwrap();
+    ds.close().unwrap();
+    f.close().unwrap();
+
+    // Plain reader, no DaYu anywhere.
+    let f = H5File::open(fs.open("x.h5"), "x.h5", FileOptions::default()).unwrap();
+    let mut ds = f.root().open_dataset("d").unwrap();
+    assert_eq!(ds.read_f64s().unwrap(), vals);
+    ds.close().unwrap();
+    f.close().unwrap();
+}
+
+#[test]
+fn disk_backed_files_survive_reopen() {
+    let dir = std::env::temp_dir().join(format!("dayu-durability-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("persist.h5");
+    let mut rng = SmallRng::seed_from_u64(99);
+    let blob = rand_bytes(&mut rng, 64 << 10);
+    {
+        let vfd = dayu_core::vfd::FileVfd::create(&path).unwrap();
+        let f = H5File::create(vfd, "persist.h5", FileOptions::default()).unwrap();
+        let g = f.root().create_group("archive").unwrap();
+        let mut ds = g
+            .create_dataset(
+                "blob",
+                DatasetBuilder::new(DataType::Int { width: 1 }, &[blob.len() as u64])
+                    .chunks(&[9000]),
+            )
+            .unwrap();
+        ds.write(&blob).unwrap();
+        ds.set_attr("checksum", AttrValue::U64(blob.iter().map(|&b| b as u64).sum()))
+            .unwrap();
+        ds.close().unwrap();
+        f.close().unwrap();
+    }
+    {
+        let vfd = dayu_core::vfd::FileVfd::open(&path).unwrap();
+        let f = H5File::open(vfd, "persist.h5", FileOptions::default()).unwrap();
+        let g = f.root().open_group("archive").unwrap();
+        let mut ds = g.open_dataset("blob").unwrap();
+        let back = ds.read().unwrap();
+        assert_eq!(back, blob);
+        assert_eq!(
+            ds.attr("checksum").unwrap(),
+            Some(AttrValue::U64(blob.iter().map(|&b| b as u64).sum()))
+        );
+        ds.close().unwrap();
+        f.close().unwrap();
+    }
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn many_sessions_accumulate_objects() {
+    // A file grown across 10 open/close sessions holds everything.
+    let fs = MemFs::new();
+    for session in 0..10 {
+        let f = if session == 0 {
+            H5File::create(fs.create("grow.h5"), "grow.h5", FileOptions::default()).unwrap()
+        } else {
+            H5File::open(fs.open("grow.h5"), "grow.h5", FileOptions::default()).unwrap()
+        };
+        let mut ds = f
+            .root()
+            .create_dataset(
+                &format!("session_{session}"),
+                DatasetBuilder::new(DataType::Int { width: 8 }, &[16]),
+            )
+            .unwrap();
+        ds.write_u64s(&[session as u64; 16]).unwrap();
+        ds.close().unwrap();
+        f.close().unwrap();
+    }
+    let f = H5File::open(fs.open("grow.h5"), "grow.h5", FileOptions::default()).unwrap();
+    assert_eq!(f.root().list().unwrap().len(), 10);
+    for session in 0..10u64 {
+        let mut ds = f
+            .root()
+            .open_dataset(&format!("session_{session}"))
+            .unwrap();
+        assert_eq!(ds.read_u64s().unwrap(), vec![session; 16]);
+        ds.close().unwrap();
+    }
+    f.close().unwrap();
+}
+
+#[test]
+fn randomized_slab_writes_read_back_exactly() {
+    // Property-style fuzz at the integration level: random slab writes to a
+    // chunked 2-D dataset, shadowed by an in-memory model.
+    let fs = MemFs::new();
+    let f = H5File::create(fs.create("fuzz.h5"), "fuzz.h5", FileOptions::default()).unwrap();
+    let (rows, cols) = (40u64, 50u64);
+    let mut ds = f
+        .root()
+        .create_dataset(
+            "grid",
+            DatasetBuilder::new(DataType::Int { width: 1 }, &[rows, cols]).chunks(&[8, 13]),
+        )
+        .unwrap();
+    let mut model = vec![0u8; (rows * cols) as usize];
+    let mut rng = SmallRng::seed_from_u64(7);
+    for _ in 0..200 {
+        let r0 = rng.gen_range(0..rows);
+        let c0 = rng.gen_range(0..cols);
+        let rn = rng.gen_range(1..=rows - r0);
+        let cn = rng.gen_range(1..=cols - c0);
+        let data = rand_bytes(&mut rng, (rn * cn) as usize);
+        ds.write_slab(&Selection::slab(&[r0, c0], &[rn, cn]), &data)
+            .unwrap();
+        for i in 0..rn {
+            for j in 0..cn {
+                model[((r0 + i) * cols + c0 + j) as usize] =
+                    data[(i * cn + j) as usize];
+            }
+        }
+        // Random verification slab.
+        let vr0 = rng.gen_range(0..rows);
+        let vc0 = rng.gen_range(0..cols);
+        let vrn = rng.gen_range(1..=rows - vr0);
+        let vcn = rng.gen_range(1..=cols - vc0);
+        let got = ds
+            .read_slab(&Selection::slab(&[vr0, vc0], &[vrn, vcn]))
+            .unwrap();
+        for i in 0..vrn {
+            for j in 0..vcn {
+                assert_eq!(
+                    got[(i * vcn + j) as usize],
+                    model[((vr0 + i) * cols + vc0 + j) as usize],
+                    "mismatch at ({},{})",
+                    vr0 + i,
+                    vc0 + j
+                );
+            }
+        }
+    }
+    // Full read after close/reopen matches the model.
+    ds.close().unwrap();
+    f.close().unwrap();
+    let f = H5File::open(fs.open("fuzz.h5"), "fuzz.h5", FileOptions::default()).unwrap();
+    let mut ds = f.root().open_dataset("grid").unwrap();
+    assert_eq!(ds.read().unwrap(), model);
+    ds.close().unwrap();
+    f.close().unwrap();
+}
+
+#[test]
+fn varlen_data_survives_reopen_with_both_layouts() {
+    for chunked in [false, true] {
+        let fs = MemFs::new();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let items: Vec<Vec<u8>> = (0..40)
+            .map(|_| {
+                let n = rng.gen_range(1..3000);
+                rand_bytes(&mut rng, n)
+            })
+            .collect();
+        {
+            let f =
+                H5File::create(fs.create("vl.h5"), "vl.h5", FileOptions::default()).unwrap();
+            let b = DatasetBuilder::new(DataType::VarLen, &[40]);
+            let b = if chunked { b.chunks(&[7]) } else { b };
+            let mut ds = f.root().create_dataset("items", b).unwrap();
+            for (i, item) in items.iter().enumerate() {
+                ds.write_varlen(i as u64, &[item]).unwrap();
+            }
+            ds.close().unwrap();
+            f.close().unwrap();
+        }
+        let f = H5File::open(fs.open("vl.h5"), "vl.h5", FileOptions::default()).unwrap();
+        let mut ds = f.root().open_dataset("items").unwrap();
+        let back = ds.read_varlen(0, 40).unwrap();
+        assert_eq!(back, items, "chunked={chunked}");
+        ds.close().unwrap();
+        f.close().unwrap();
+    }
+}
