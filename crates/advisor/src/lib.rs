@@ -124,17 +124,17 @@ pub fn advise(findings: &[Finding]) -> Vec<Recommendation> {
                     readers.join(", ")
                 ),
             }),
-            Finding::WriteAfterRead { task, file }
-            | Finding::ReadAfterWrite { task, file } => out.push(Recommendation {
-                guideline: Guideline::CustomizedCaching,
-                action: Action::CacheInFastTier {
-                    target: file.clone(),
-                },
-                rationale: format!(
-                    "{task} revisits {file} within its lifetime; intra-task reuse \
+            Finding::WriteAfterRead { task, file } | Finding::ReadAfterWrite { task, file } => out
+                .push(Recommendation {
+                    guideline: Guideline::CustomizedCaching,
+                    action: Action::CacheInFastTier {
+                        target: file.clone(),
+                    },
+                    rationale: format!(
+                        "{task} revisits {file} within its lifetime; intra-task reuse \
                      benefits from memory caching"
-                ),
-            }),
+                    ),
+                }),
             Finding::TimeDependentInput {
                 file,
                 first_access_fraction,
@@ -153,9 +153,7 @@ pub fn advise(findings: &[Finding]) -> Vec<Recommendation> {
             }),
             Finding::DisposableData { file, .. } => out.push(Recommendation {
                 guideline: Guideline::Scheduling,
-                action: Action::StageOut {
-                    file: file.clone(),
-                },
+                action: Action::StageOut { file: file.clone() },
                 rationale: format!(
                     "{file} has at most one consumer; once processed it can move to \
                      slower storage, freeing space for later-stage data"

@@ -276,10 +276,46 @@ mod tests {
         b.push_task(TaskKey::new("producer"));
         b.push_task(TaskKey::new("consumer"));
         b.vfd = vec![
-            rec("producer", "a.h5", "/d1", IoKind::Write, 0, 64, AccessType::Metadata, 0),
-            rec("producer", "a.h5", "/d1", IoKind::Write, 4096, 1000, AccessType::RawData, 10),
-            rec("consumer", "a.h5", "/d1", IoKind::Read, 4096, 1000, AccessType::RawData, 100),
-            rec("consumer", "b.h5", "/d2", IoKind::Write, 0, 500, AccessType::RawData, 200),
+            rec(
+                "producer",
+                "a.h5",
+                "/d1",
+                IoKind::Write,
+                0,
+                64,
+                AccessType::Metadata,
+                0,
+            ),
+            rec(
+                "producer",
+                "a.h5",
+                "/d1",
+                IoKind::Write,
+                4096,
+                1000,
+                AccessType::RawData,
+                10,
+            ),
+            rec(
+                "consumer",
+                "a.h5",
+                "/d1",
+                IoKind::Read,
+                4096,
+                1000,
+                AccessType::RawData,
+                100,
+            ),
+            rec(
+                "consumer",
+                "b.h5",
+                "/d2",
+                IoKind::Write,
+                0,
+                500,
+                AccessType::RawData,
+                200,
+            ),
         ];
         b
     }
@@ -290,7 +326,11 @@ mod tests {
         assert_eq!(g.kind, GraphKind::Ftg);
         assert_eq!(g.nodes_of(NodeKind::Task).count(), 2);
         assert_eq!(g.nodes_of(NodeKind::File).count(), 2);
-        assert_eq!(g.nodes_of(NodeKind::Dataset).count(), 0, "FTG has no dataset layer");
+        assert_eq!(
+            g.nodes_of(NodeKind::Dataset).count(),
+            0,
+            "FTG has no dataset layer"
+        );
 
         // producer → a.h5 (writes, merged), a.h5 → consumer (read),
         // consumer → b.h5 (write).
@@ -362,8 +402,14 @@ mod tests {
         let mut b = sample_bundle();
         // Spread writes to make 2 distinguishable regions in a.h5.
         b.vfd.push(rec(
-            "producer", "a.h5", "/d1",
-            IoKind::Write, 100_000, 1000, AccessType::RawData, 30,
+            "producer",
+            "a.h5",
+            "/d1",
+            IoKind::Write,
+            100_000,
+            1000,
+            AccessType::RawData,
+            30,
         ));
         let g = build_sdg(
             &b,
@@ -383,10 +429,7 @@ mod tests {
         let a = g.find(NodeKind::File, "a.h5").unwrap().id;
         assert!(!g.edges.iter().any(|e| e.from == d1 && e.to == a));
         let region_id = g.nodes_of(NodeKind::AddrRegion).next().unwrap().id;
-        assert!(g
-            .edges
-            .iter()
-            .any(|e| e.from == region_id && e.to == a));
+        assert!(g.edges.iter().any(|e| e.from == region_id && e.to == a));
     }
 
     #[test]

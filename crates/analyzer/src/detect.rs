@@ -254,10 +254,12 @@ fn detect_random_access(bundle: &TraceBundle, cfg: &DetectorConfig, out: &mut Ve
         let frac = a.sequential as f64 / a.ops as f64;
         if frac <= cfg.random_access_max_sequential {
             let label = dataset_label(&key.0, &key.1);
-            if !out.iter().any(|f| matches!(
-                f,
-                Finding::RandomAccessContiguous { dataset, .. } if *dataset == label
-            )) {
+            if !out.iter().any(|f| {
+                matches!(
+                    f,
+                    Finding::RandomAccessContiguous { dataset, .. } if *dataset == label
+                )
+            }) {
                 out.push(Finding::RandomAccessContiguous {
                     dataset: label,
                     sequential_fraction: frac,
@@ -282,13 +284,7 @@ fn detect_file_patterns(ftg: &Graph, cfg: &DetectorConfig, out: &mut Vec<Finding
         let readers: Vec<(&str, Timestamp, Timestamp)> = ftg
             .out_edges(file.id)
             .filter(|e| e.op == Operation::ReadOnly)
-            .map(|e| {
-                (
-                    ftg.nodes[e.to].label.as_str(),
-                    e.stats.first,
-                    e.stats.last,
-                )
-            })
+            .map(|e| (ftg.nodes[e.to].label.as_str(), e.stats.first, e.stats.last))
             .collect();
         let writers: Vec<(&str, Timestamp)> = ftg
             .in_edges(file.id)
@@ -334,11 +330,7 @@ fn detect_file_patterns(ftg: &Graph, cfg: &DetectorConfig, out: &mut Vec<Finding
 
         // Disposable data: ≤1 consumer.
         if readers.len() <= 1 && (!readers.is_empty() || !writers.is_empty()) {
-            let after = readers
-                .iter()
-                .map(|(_, _, l)| *l)
-                .max()
-                .unwrap_or(file.end);
+            let after = readers.iter().map(|(_, _, l)| *l).max().unwrap_or(file.end);
             out.push(Finding::DisposableData {
                 file: file.label.clone(),
                 after,
@@ -381,7 +373,8 @@ fn detect_scattering(
         {
             let key = (rec.file.as_str().to_owned(), rec.object.as_str().to_owned());
             if !bundle.vol.iter().any(|v| {
-                v.file.as_str() == key.0 && v.object.as_str() == key.1
+                v.file.as_str() == key.0
+                    && v.object.as_str() == key.1
                     && v.description.logical_size > 0
             }) {
                 *sizes.get_mut(&key).expect("seeded above") += rec.len;
@@ -633,11 +626,51 @@ mod tests {
             b.push_task(TaskKey::new(t));
         }
         b.vfd = vec![
-            rec("w", "shared.h5", "/d", IoKind::Write, 100, AccessType::RawData, 0),
-            rec("r1", "shared.h5", "/d", IoKind::Read, 100, AccessType::RawData, 10),
-            rec("r2", "shared.h5", "/d", IoKind::Read, 100, AccessType::RawData, 20),
-            rec("w", "single.h5", "/d", IoKind::Write, 100, AccessType::RawData, 5),
-            rec("r1", "single.h5", "/d", IoKind::Read, 100, AccessType::RawData, 30),
+            rec(
+                "w",
+                "shared.h5",
+                "/d",
+                IoKind::Write,
+                100,
+                AccessType::RawData,
+                0,
+            ),
+            rec(
+                "r1",
+                "shared.h5",
+                "/d",
+                IoKind::Read,
+                100,
+                AccessType::RawData,
+                10,
+            ),
+            rec(
+                "r2",
+                "shared.h5",
+                "/d",
+                IoKind::Read,
+                100,
+                AccessType::RawData,
+                20,
+            ),
+            rec(
+                "w",
+                "single.h5",
+                "/d",
+                IoKind::Write,
+                100,
+                AccessType::RawData,
+                5,
+            ),
+            rec(
+                "r1",
+                "single.h5",
+                "/d",
+                IoKind::Read,
+                100,
+                AccessType::RawData,
+                30,
+            ),
         ];
         let f = detect(&b);
         let reuse = f
@@ -661,11 +694,43 @@ mod tests {
         b.push_task(TaskKey::new("raw"));
         b.vfd = vec![
             // war: reads at t=0, writes at t=10.
-            rec("war", "a.h5", "/d", IoKind::Read, 10, AccessType::RawData, 0),
-            rec("war", "a.h5", "/d", IoKind::Write, 10, AccessType::RawData, 10),
+            rec(
+                "war",
+                "a.h5",
+                "/d",
+                IoKind::Read,
+                10,
+                AccessType::RawData,
+                0,
+            ),
+            rec(
+                "war",
+                "a.h5",
+                "/d",
+                IoKind::Write,
+                10,
+                AccessType::RawData,
+                10,
+            ),
             // raw: writes at t=0, reads at t=10.
-            rec("raw", "b.h5", "/d", IoKind::Write, 10, AccessType::RawData, 0),
-            rec("raw", "b.h5", "/d", IoKind::Read, 10, AccessType::RawData, 10),
+            rec(
+                "raw",
+                "b.h5",
+                "/d",
+                IoKind::Write,
+                10,
+                AccessType::RawData,
+                0,
+            ),
+            rec(
+                "raw",
+                "b.h5",
+                "/d",
+                IoKind::Read,
+                10,
+                AccessType::RawData,
+                10,
+            ),
         ];
         let f = detect(&b);
         assert!(f.iter().any(|x| matches!(
@@ -683,9 +748,33 @@ mod tests {
         let mut b = TraceBundle::new("wf");
         b.push_task(TaskKey::new("t"));
         b.vfd = vec![
-            rec("t", "early_in.h5", "/d", IoKind::Read, 10, AccessType::RawData, 0),
-            rec("t", "out.h5", "/d", IoKind::Write, 10, AccessType::RawData, 50),
-            rec("t", "late_in.h5", "/d", IoKind::Read, 10, AccessType::RawData, 90),
+            rec(
+                "t",
+                "early_in.h5",
+                "/d",
+                IoKind::Read,
+                10,
+                AccessType::RawData,
+                0,
+            ),
+            rec(
+                "t",
+                "out.h5",
+                "/d",
+                IoKind::Write,
+                10,
+                AccessType::RawData,
+                50,
+            ),
+            rec(
+                "t",
+                "late_in.h5",
+                "/d",
+                IoKind::Read,
+                10,
+                AccessType::RawData,
+                90,
+            ),
         ];
         let f = detect(&b);
         let late: Vec<&str> = f
@@ -715,7 +804,13 @@ mod tests {
         }
         // One big dataset should not count.
         b.vfd.push(rec(
-            "t", "scatter.h5", "/big", IoKind::Write, 1 << 20, AccessType::RawData, 99,
+            "t",
+            "scatter.h5",
+            "/big",
+            IoKind::Write,
+            1 << 20,
+            AccessType::RawData,
+            99,
         ));
         let f = detect(&b);
         let scatter = f
@@ -740,11 +835,43 @@ mod tests {
         b.push_task(TaskKey::new("agg"));
         b.push_task(TaskKey::new("train"));
         b.vfd = vec![
-            rec("agg", "agg.h5", "/contact_map", IoKind::Write, 1 << 20, AccessType::RawData, 0),
+            rec(
+                "agg",
+                "agg.h5",
+                "/contact_map",
+                IoKind::Write,
+                1 << 20,
+                AccessType::RawData,
+                0,
+            ),
             // Training touches only the dataset's metadata (Fig. 7 pop-up).
-            rec("train", "agg.h5", "/contact_map", IoKind::Read, 512, AccessType::Metadata, 10),
-            rec("agg", "agg.h5", "/rmsd", IoKind::Write, 4096, AccessType::RawData, 1),
-            rec("train", "agg.h5", "/rmsd", IoKind::Read, 4096, AccessType::RawData, 11),
+            rec(
+                "train",
+                "agg.h5",
+                "/contact_map",
+                IoKind::Read,
+                512,
+                AccessType::Metadata,
+                10,
+            ),
+            rec(
+                "agg",
+                "agg.h5",
+                "/rmsd",
+                IoKind::Write,
+                4096,
+                AccessType::RawData,
+                1,
+            ),
+            rec(
+                "train",
+                "agg.h5",
+                "/rmsd",
+                IoKind::Read,
+                4096,
+                AccessType::RawData,
+                11,
+            ),
         ];
         let f = detect(&b);
         let unused = f
@@ -774,12 +901,21 @@ mod tests {
         let mut b = TraceBundle::new("wf");
         b.push_task(TaskKey::new("w"));
         b.vfd = vec![rec(
-            "w", "o.h5", "/orphan", IoKind::Write, 100, AccessType::RawData, 0,
+            "w",
+            "o.h5",
+            "/orphan",
+            IoKind::Write,
+            100,
+            AccessType::RawData,
+            0,
         )];
         let f = detect(&b);
         assert!(f.iter().any(|x| matches!(
             x,
-            Finding::UnusedDataset { never_read: true, .. }
+            Finding::UnusedDataset {
+                never_read: true,
+                ..
+            }
         )));
     }
 
@@ -789,8 +925,24 @@ mod tests {
         b.push_task(TaskKey::new("train"));
         b.push_task(TaskKey::new("infer"));
         b.vfd = vec![
-            rec("train", "model_in.h5", "/d", IoKind::Read, 10, AccessType::RawData, 0),
-            rec("infer", "sim.h5", "/d", IoKind::Read, 10, AccessType::RawData, 5),
+            rec(
+                "train",
+                "model_in.h5",
+                "/d",
+                IoKind::Read,
+                10,
+                AccessType::RawData,
+                0,
+            ),
+            rec(
+                "infer",
+                "sim.h5",
+                "/d",
+                IoKind::Read,
+                10,
+                AccessType::RawData,
+                5,
+            ),
         ];
         let f = detect(&b);
         assert!(f.iter().any(|x| matches!(
@@ -806,11 +958,23 @@ mod tests {
         b.push_task(TaskKey::new("t"));
         for i in 0..20 {
             b.vfd.push(rec(
-                "t", "m.h5", "/d", IoKind::Read, 12, AccessType::Metadata, i,
+                "t",
+                "m.h5",
+                "/d",
+                IoKind::Read,
+                12,
+                AccessType::Metadata,
+                i,
             ));
         }
         b.vfd.push(rec(
-            "t", "m.h5", "/d", IoKind::Read, 4096, AccessType::RawData, 99,
+            "t",
+            "m.h5",
+            "/d",
+            IoKind::Read,
+            4096,
+            AccessType::RawData,
+            99,
         ));
         let f = detect(&b);
         let m = f
@@ -944,10 +1108,42 @@ mod tests {
             b.push_task(TaskKey::new(t));
         }
         b.vfd = vec![
-            rec("s3", "tracks.h5", "/d", IoKind::Write, 100, AccessType::RawData, 0),
-            rec("s4", "tracks.h5", "/d", IoKind::Read, 100, AccessType::RawData, 10),
-            rec("s4", "stats.h5", "/d", IoKind::Write, 100, AccessType::RawData, 20),
-            rec("s5", "stats.h5", "/d", IoKind::Read, 100, AccessType::RawData, 30),
+            rec(
+                "s3",
+                "tracks.h5",
+                "/d",
+                IoKind::Write,
+                100,
+                AccessType::RawData,
+                0,
+            ),
+            rec(
+                "s4",
+                "tracks.h5",
+                "/d",
+                IoKind::Read,
+                100,
+                AccessType::RawData,
+                10,
+            ),
+            rec(
+                "s4",
+                "stats.h5",
+                "/d",
+                IoKind::Write,
+                100,
+                AccessType::RawData,
+                20,
+            ),
+            rec(
+                "s5",
+                "stats.h5",
+                "/d",
+                IoKind::Read,
+                100,
+                AccessType::RawData,
+                30,
+            ),
         ];
         let f = detect(&b);
         let pairs: Vec<(String, String)> = f
@@ -967,12 +1163,26 @@ mod tests {
     fn clean_bundle_produces_no_spurious_findings() {
         let mut b = TraceBundle::new("wf");
         b.push_task(TaskKey::new("solo"));
-        b.vfd = vec![rec(
-            "solo", "big.h5", "/d", IoKind::Write, 8 << 20, AccessType::RawData, 0,
-        ),
-        rec(
-            "solo", "big.h5", "/d", IoKind::Read, 8 << 20, AccessType::RawData, 10,
-        )];
+        b.vfd = vec![
+            rec(
+                "solo",
+                "big.h5",
+                "/d",
+                IoKind::Write,
+                8 << 20,
+                AccessType::RawData,
+                0,
+            ),
+            rec(
+                "solo",
+                "big.h5",
+                "/d",
+                IoKind::Read,
+                8 << 20,
+                AccessType::RawData,
+                10,
+            ),
+        ];
         let f = detect(&b);
         assert!(!has(&f, "small-scattered-datasets"));
         assert!(!has(&f, "metadata-heavy-file"));

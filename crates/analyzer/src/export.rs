@@ -89,7 +89,9 @@ pub fn edge_popup(g: &Graph, edge_idx: usize) -> String {
     let _ = writeln!(
         out,
         "Bandwidth : {}",
-        s.bandwidth().map(human_bandwidth).unwrap_or_else(|| "n/a".into())
+        s.bandwidth()
+            .map(human_bandwidth)
+            .unwrap_or_else(|| "n/a".into())
     );
     out
 }

@@ -382,7 +382,11 @@ mod tests {
         let mut back: Graph = serde_json::from_str(&json).unwrap();
         back.rebuild_index();
         assert_eq!(back, g);
-        assert_eq!(back.node(NodeKind::Task, "t"), t, "index works after rebuild");
+        assert_eq!(
+            back.node(NodeKind::Task, "t"),
+            t,
+            "index works after rebuild"
+        );
     }
 
     #[test]

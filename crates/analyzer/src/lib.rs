@@ -57,18 +57,11 @@ impl Analysis {
         let ftg = build_ftg(bundle);
         let sdg = build_sdg(bundle, sdg_opts);
         let findings = run_detectors(bundle, &ftg, &sdg, det_cfg);
-        Analysis {
-            ftg,
-            sdg,
-            findings,
-        }
+        Analysis { ftg, sdg, findings }
     }
 
     /// Findings of a category.
-    pub fn findings_of<'a>(
-        &'a self,
-        category: &'a str,
-    ) -> impl Iterator<Item = &'a Finding> + 'a {
+    pub fn findings_of<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a Finding> + 'a {
         self.findings
             .iter()
             .filter(move |f| f.category() == category)

@@ -24,7 +24,11 @@ fn big_bundle() -> TraceBundle {
             b.vfd.push(VfdRecord {
                 task: TaskKey::new(format!("task_{t:03}")),
                 file: FileKey::new(&file),
-                kind: if k % 3 == 0 { IoKind::Write } else { IoKind::Read },
+                kind: if k % 3 == 0 {
+                    IoKind::Write
+                } else {
+                    IoKind::Read
+                },
                 offset: k * 4096,
                 len: 4096,
                 access: if k % 4 == 0 {

@@ -14,26 +14,21 @@ fn bench_writes(c: &mut Criterion) {
     for &size in &[4 << 10, 256 << 10, 4 << 20] {
         g.throughput(Throughput::Bytes(size as u64));
         let data = payload(size);
-        g.bench_with_input(
-            BenchmarkId::new("contiguous", size),
-            &data,
-            |b, data| {
-                b.iter(|| {
-                    let f =
-                        H5File::create(MemVfd::new(), "b.h5", FileOptions::default()).unwrap();
-                    let mut ds = f
-                        .root()
-                        .create_dataset(
-                            "d",
-                            DatasetBuilder::new(DataType::Int { width: 1 }, &[data.len() as u64]),
-                        )
-                        .unwrap();
-                    ds.write(data).unwrap();
-                    ds.close().unwrap();
-                    f.close().unwrap();
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("contiguous", size), &data, |b, data| {
+            b.iter(|| {
+                let f = H5File::create(MemVfd::new(), "b.h5", FileOptions::default()).unwrap();
+                let mut ds = f
+                    .root()
+                    .create_dataset(
+                        "d",
+                        DatasetBuilder::new(DataType::Int { width: 1 }, &[data.len() as u64]),
+                    )
+                    .unwrap();
+                ds.write(data).unwrap();
+                ds.close().unwrap();
+                f.close().unwrap();
+            });
+        });
         g.bench_with_input(BenchmarkId::new("chunked", size), &data, |b, data| {
             b.iter(|| {
                 let f = H5File::create(MemVfd::new(), "b.h5", FileOptions::default()).unwrap();

@@ -41,9 +41,7 @@ fn bench_modes(c: &mut Criterion) {
     g.throughput(Throughput::Elements(2 * OPS as u64));
 
     g.bench_function(BenchmarkId::new("baseline", "none"), |b| {
-        b.iter(|| {
-            workload(H5File::create(MemVfd::new(), "m.h5", FileOptions::default()).unwrap())
-        });
+        b.iter(|| workload(H5File::create(MemVfd::new(), "m.h5", FileOptions::default()).unwrap()));
     });
 
     let modes: [(&str, MapperConfig); 3] = [

@@ -47,11 +47,7 @@ fn bench_engine(c: &mut Criterion) {
             BenchmarkId::new("ops", format!("{tasks}x{ops}")),
             &j,
             |b, j| {
-                b.iter(|| {
-                    std::hint::black_box(
-                        Engine::new(&cluster, &placement).run(j).unwrap(),
-                    )
-                });
+                b.iter(|| std::hint::black_box(Engine::new(&cluster, &placement).run(j).unwrap()));
             },
         );
     }

@@ -39,12 +39,8 @@ pub fn attribution_with_channel(connected: bool) -> (usize, usize, usize) {
     } else {
         vol_mapper.file_options()
     };
-    let file = H5File::create(
-        vfd_mapper.wrap_vfd(fs.create("a.h5"), "a.h5"),
-        "a.h5",
-        opts,
-    )
-    .unwrap();
+    let file =
+        H5File::create(vfd_mapper.wrap_vfd(fs.create("a.h5"), "a.h5"), "a.h5", opts).unwrap();
     for d in 0..8 {
         let mut ds = file
             .root()
@@ -62,9 +58,7 @@ pub fn attribution_with_channel(connected: bool) -> (usize, usize, usize) {
     let raw: Vec<_> = bundle
         .vfd
         .iter()
-        .filter(|r| {
-            r.kind.moves_data() && r.access == dayu_trace::vfd::AccessType::RawData
-        })
+        .filter(|r| r.kind.moves_data() && r.access == dayu_trace::vfd::AccessType::RawData)
         .collect();
     let attributed = raw
         .iter()
@@ -178,7 +172,10 @@ mod tests {
             replay_gap > coarse_gap * 1.3,
             "replay {replay_gap:.2}x vs coarse {coarse_gap:.2}x"
         );
-        assert!(coarse_gap < 1.5, "byte totals are near-equal: {coarse_gap:.2}x");
+        assert!(
+            coarse_gap < 1.5,
+            "byte totals are near-equal: {coarse_gap:.2}x"
+        );
     }
 
     #[test]

@@ -10,12 +10,14 @@
 //! Graph figures (3–8) additionally write DOT/JSON/HTML artifacts into the
 //! output directory (default `figures_out/`).
 
-use dayu_bench::{ablation, fig01, fig09, fig10, fig11, fig12, fig13, fig_graphs, tables, FigResult, Scale};
+use dayu_bench::{
+    ablation, fig01, fig09, fig10, fig11, fig12, fig13, fig_graphs, tables, FigResult, Scale,
+};
 use std::path::PathBuf;
 
 const ALL: [&str; 16] = [
-    "table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-    "fig9a", "fig9b", "fig9c", "fig9d", "fig10", "fig11",
+    "table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9a",
+    "fig9b", "fig9c", "fig9d", "fig10", "fig11",
 ];
 // fig12/fig13* are included in `all` too; the const above is only for help text.
 
@@ -45,9 +47,9 @@ fn main() {
     }
     if ids.iter().any(|i| i == "all") {
         ids = [
-            "table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
-            "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10", "fig11", "fig12", "fig13a",
-            "fig13b", "fig13c", "ablation",
+            "table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9a", "fig9b", "fig9c", "fig9d", "fig10", "fig11", "fig12", "fig13a", "fig13b",
+            "fig13c", "ablation",
         ]
         .iter()
         .map(|s| (*s).to_owned())
@@ -85,5 +87,9 @@ fn main() {
         };
         println!("{}", fig.render());
     }
-    eprintln!("regenerated {} artifact(s) in {:.1}s", ids.len(), t0.elapsed().as_secs_f64());
+    eprintln!(
+        "regenerated {} artifact(s) in {:.1}s",
+        ids.len(),
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -103,9 +103,7 @@ pub fn run(scale: Scale) -> FigResult {
     // extents of the two datasets interleave.
     let mut sorted = extents.clone();
     sorted.sort_by_key(|&(_, addr, _)| addr);
-    let interleaved = sorted
-        .windows(2)
-        .any(|w| w[0].0 != w[1].0);
+    let interleaved = sorted.windows(2).any(|w| w[0].0 != w[1].0);
     fig.note(format!(
         "datasets have {} extents each; interleaved in the file: {interleaved} \
          (paper: one dataset's content spreads over many regions)",

@@ -55,7 +55,9 @@ fn h5bench_once(cfg: &H5benchConfig, instr: Instrumentation, tag: usize) -> u64 
 
 fn corner_once(cfg: &CornerCaseConfig, instr: Instrumentation, tag: usize) -> u64 {
     let backend = Backend::temp_dir(&format!("fig9c-{tag}")).expect("tempdir");
-    corner_case::run(cfg, backend, instr).expect("corner").wall_ns
+    corner_case::run(cfg, backend, instr)
+        .expect("corner")
+        .wall_ns
 }
 
 /// Regenerates Fig. 9a: overhead vs total data size.
@@ -67,7 +69,12 @@ pub fn run_9a(scale: Scale) -> FigResult {
     let mut fig = FigResult::new(
         "fig9a",
         "h5bench: mapper runtime overhead vs total file size",
-        &["total_size_MB", "vfd_overhead", "vol_overhead", "mapper_self_time"],
+        &[
+            "total_size_MB",
+            "vfd_overhead",
+            "vol_overhead",
+            "mapper_self_time",
+        ],
     );
     let mut overheads = Vec::new();
     for mb in sizes_mb {
@@ -97,7 +104,12 @@ pub fn run_9a(scale: Scale) -> FigResult {
             .expect("h5bench")
             .self_time_fraction();
         overheads.push((mb, self_frac));
-        fig.row(vec![mb.to_string(), pct(vfd_oh), pct(vol_oh), pct(self_frac)]);
+        fig.row(vec![
+            mb.to_string(),
+            pct(vfd_oh),
+            pct(vol_oh),
+            pct(self_frac),
+        ]);
     }
     if overheads.len() >= 2 {
         let first = overheads.first().expect("nonempty").1;
@@ -160,7 +172,12 @@ pub fn run_9c(scale: Scale) -> FigResult {
     let mut fig = FigResult::new(
         "fig9c",
         "corner case (200 datasets): runtime overhead vs dataset I/O operations",
-        &["dataset_io_ops", "vfd_overhead", "vol_overhead", "mapper_self_time"],
+        &[
+            "dataset_io_ops",
+            "vfd_overhead",
+            "vol_overhead",
+            "mapper_self_time",
+        ],
     );
     for n in reads {
         let cfg = CornerCaseConfig {
@@ -213,8 +230,7 @@ pub fn run_9d(scale: Scale) -> FigResult {
             file_bytes: 8 << 20,
             dataset_reads: n,
         };
-        let run = corner_case::run(&cfg, Backend::mem(), Instrumentation::Full)
-            .expect("corner");
+        let run = corner_case::run(&cfg, Backend::mem(), Instrumentation::Full).expect("corner");
         let vfd = run.vfd_storage();
         let vol = run.vol_storage();
         let app = run.app_bytes.max(1);
@@ -229,7 +245,11 @@ pub fn run_9d(scale: Scale) -> FigResult {
         ]);
     }
     let per_op_spread = vfd_per_op.iter().cloned().fold(0.0_f64, f64::max)
-        / vfd_per_op.iter().cloned().fold(f64::MAX, f64::min).max(1e-9);
+        / vfd_per_op
+            .iter()
+            .cloned()
+            .fold(f64::MAX, f64::min)
+            .max(1e-9);
     fig.note(format!(
         "VFD storage is linear in op count (bytes/op stable within {per_op_spread:.2}x); \
          VOL storage stays near-flat (paper: ~0.2%)"

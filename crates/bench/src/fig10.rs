@@ -41,8 +41,8 @@ fn breakdown_of(mapper: &Mapper) -> Breakdown {
 /// mapper and returns the component breakdown.
 pub fn h5bench_breakdown(total_bytes: usize) -> Breakdown {
     let fs = MemFs::new();
-    let mapper = Mapper::from_config_text("fig10a", "page_size=4096\ntrace_io=on\n")
-        .expect("config");
+    let mapper =
+        Mapper::from_config_text("fig10a", "page_size=4096\ntrace_io=on\n").expect("config");
     mapper.set_task("h5bench");
     let io = TaskIo::new(&fs, &mapper);
     let f = io.create("big.h5").unwrap();
@@ -72,8 +72,8 @@ pub fn h5bench_breakdown(total_bytes: usize) -> Breakdown {
 /// mapper and returns the component breakdown.
 pub fn corner_breakdown(datasets: usize, reads: usize) -> Breakdown {
     let fs = MemFs::new();
-    let mapper = Mapper::from_config_text("fig10b", "page_size=4096\ntrace_io=on\n")
-        .expect("config");
+    let mapper =
+        Mapper::from_config_text("fig10b", "page_size=4096\ntrace_io=on\n").expect("config");
     mapper.set_task("corner");
     let io = TaskIo::new(&fs, &mapper);
     let f = io.create("corner.h5").unwrap();
@@ -89,7 +89,10 @@ pub fn corner_breakdown(datasets: usize, reads: usize) -> Breakdown {
         ds.close().unwrap();
     }
     for i in 0..reads {
-        let mut ds = f.root().open_dataset(&format!("d{:03}", i % datasets)).unwrap();
+        let mut ds = f
+            .root()
+            .open_dataset(&format!("d{:03}", i % datasets))
+            .unwrap();
         ds.read().unwrap();
         ds.close().unwrap();
     }
@@ -109,7 +112,13 @@ pub fn run(scale: Scale) -> FigResult {
     let mut fig = FigResult::new(
         "fig10",
         "Mapper execution-time breakdown (a: h5bench, b: corner case)",
-        &["scenario", "total_ms", "input_parser", "access_tracker", "characteristic_mapper"],
+        &[
+            "scenario",
+            "total_ms",
+            "input_parser",
+            "access_tracker",
+            "characteristic_mapper",
+        ],
     );
     for (name, bd) in [("h5bench (10a)", &a), ("corner case (10b)", &b)] {
         fig.row(vec![

@@ -16,12 +16,8 @@ use dayu_sim::engine::Engine;
 use dayu_sim::program::SimTask;
 use dayu_sim::tiers::TierKind;
 use dayu_vfd::MemFs;
-use dayu_workflow::{
-    file_written_bytes, record, transform, Schedule, to_sim_tasks,
-};
-use dayu_workloads::pyflextrkr::{
-    self, track_file, PyflextrkrConfig,
-};
+use dayu_workflow::{file_written_bytes, record, to_sim_tasks, transform, Schedule};
+use dayu_workloads::pyflextrkr::{self, track_file, PyflextrkrConfig};
 
 /// One configuration's result.
 pub struct PlacementOutcome {
@@ -111,7 +107,9 @@ pub fn run_configuration(cfg: &PyflextrkrConfig, nodes: usize, label: &str) -> P
     // Async stage-out of the stage-5 product.
     let mcs_bytes = file_written_bytes(&run, "mcs.h5").max(1);
     transform::stage_out_async(&mut opt, "mcs.h5", mcs_bytes, 0);
-    let optimized = Engine::new(&cluster, &placement).run(&opt).expect("optimized sim");
+    let optimized = Engine::new(&cluster, &placement)
+        .run(&opt)
+        .expect("optimized sim");
 
     let phase = |report: &dayu_sim::engine::SimReport, name: &str| -> u64 {
         report.task(name).map(|t| t.duration_ns()).unwrap_or(0)

@@ -13,7 +13,7 @@ use dayu_sim::cluster::{Cluster, Placement};
 use dayu_sim::engine::{Engine, SimReport};
 use dayu_sim::tiers::TierKind;
 use dayu_vfd::MemFs;
-use dayu_workflow::{record, transform, to_sim_tasks, RecordedRun, Schedule};
+use dayu_workflow::{record, to_sim_tasks, transform, RecordedRun, Schedule};
 use dayu_workloads::ddmd::{self, DdmdConfig};
 
 /// Result of the baseline/optimized comparison.
@@ -85,11 +85,7 @@ pub fn run_configuration(cfg: &DdmdConfig, nodes: usize) -> PipelineOutcome {
     //     the aggregated file).
     let mut opt_bundle = run.bundle.clone();
     for i in 0..cfg.iterations {
-        transform::drop_object_ops(
-            &mut opt_bundle,
-            &format!("aggregate_i{i}"),
-            "/contact_map",
-        );
+        transform::drop_object_ops(&mut opt_bundle, &format!("aggregate_i{i}"), "/contact_map");
     }
     let opt_run = RecordedRun {
         bundle: opt_bundle,
@@ -191,12 +187,7 @@ pub fn run(scale: Scale) -> FigResult {
         .zip(&out.optimized_iters)
         .enumerate()
     {
-        fig.row(vec![
-            format!("{}", i + 1),
-            ms(b),
-            ms(o),
-            speedup(b, o),
-        ]);
+        fig.row(vec![format!("{}", i + 1), ms(b), ms(o), speedup(b, o)]);
     }
     fig.row(vec![
         "pipeline".into(),

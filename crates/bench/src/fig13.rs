@@ -156,7 +156,13 @@ pub fn run_13a(scale: Scale) -> FigResult {
     let mut fig = FigResult::new(
         "fig13a",
         "PyFLEXTRKR stage-9 I/O time (ms): scattered (baseline) vs consolidated, node-local NVMe",
-        &["dataset_size", "processes", "baseline_ms", "consolidated_ms", "speedup"],
+        &[
+            "dataset_size",
+            "processes",
+            "baseline_ms",
+            "consolidated_ms",
+            "speedup",
+        ],
     );
     let mut speedups = Vec::new();
     for &size in &sizes {
@@ -194,7 +200,11 @@ pub fn ddmd_layout_program(bytes: usize, chunked: bool) -> Vec<SimOp> {
         let n = bytes as u64;
         for name in ["contact_map", "point_cloud", "fnc", "rmsd"] {
             let b = DatasetBuilder::new(DataType::Int { width: 1 }, &[n]);
-            let b = if chunked { b.chunks(&[(n / 8).max(1)]) } else { b };
+            let b = if chunked {
+                b.chunks(&[(n / 8).max(1)])
+            } else {
+                b
+            };
             let mut ds = root.create_dataset(name, b)?;
             ds.write(&payload(bytes, 1))?;
             ds.close()?;
@@ -296,7 +306,13 @@ pub fn run_13c(scale: Scale) -> FigResult {
     let mut fig = FigResult::new(
         "fig13c",
         "ARLDM arldm_saveh5 write time (ms): contiguous (baseline) vs 5/10 chunks, BeeGFS",
-        &["scale", "variant", "time_ms", "write_ops", "speedup_vs_contig"],
+        &[
+            "scale",
+            "variant",
+            "time_ms",
+            "write_ops",
+            "speedup_vs_contig",
+        ],
     );
     let mut best: f64 = 0.0;
     let mut op_ratio: f64 = 0.0;
@@ -422,7 +438,11 @@ mod tests {
 
     #[test]
     fn figures_render() {
-        for fig in [run_13a(Scale::Quick), run_13b(Scale::Quick), run_13c(Scale::Quick)] {
+        for fig in [
+            run_13a(Scale::Quick),
+            run_13b(Scale::Quick),
+            run_13c(Scale::Quick),
+        ] {
             assert!(!fig.rows.is_empty());
             assert!(!fig.notes.is_empty());
             let _ = fig.render();

@@ -77,7 +77,10 @@ pub fn run_fig3(out_dir: &Path, _scale: Scale) -> FigResult {
             sdg.nodes_of(kind).count().to_string(),
         ]);
     }
-    fig.note(format!("artifacts: {}/fig3_sdg.html (+dot, json)", out_dir.display()));
+    fig.note(format!(
+        "artifacts: {}/fig3_sdg.html (+dot, json)",
+        out_dir.display()
+    ));
     fig
 }
 
@@ -229,11 +232,17 @@ pub fn run_fig6(out_dir: &Path, scale: Scale) -> FigResult {
     write_artifacts(out_dir, "fig6", &run.bundle, false);
     let analysis = Analysis::run(&run.bundle);
 
-    let mut fig = FigResult::new("fig6", "DDMD FTG observations", &["observation", "evidence"]);
+    let mut fig = FigResult::new(
+        "fig6",
+        "DDMD FTG observations",
+        &["observation", "evidence"],
+    );
     let sim_readers = analysis
         .findings
         .iter()
-        .filter(|f| matches!(f, Finding::DataReuse { file, .. } if file.starts_with("stage0000_task")))
+        .filter(
+            |f| matches!(f, Finding::DataReuse { file, .. } if file.starts_with("stage0000_task")),
+        )
         .count();
     fig.row(vec![
         "aggregate+inference read all sim outputs (circles 1, 3)".into(),
@@ -279,19 +288,18 @@ pub fn run_fig7(out_dir: &Path, scale: Scale) -> FigResult {
     for (i, e) in sdg.edges.iter().enumerate() {
         if e.from == d.id && sdg.nodes[e.to].label.starts_with("training") {
             fig.row(vec![
-                format!(
-                    "{} → {}",
-                    sdg.nodes[e.from].label, sdg.nodes[e.to].label
-                ),
+                format!("{} → {}", sdg.nodes[e.from].label, sdg.nodes[e.to].label),
                 export::edge_popup(&sdg, i).replace('\n', " | "),
             ]);
         }
     }
     let analysis = Analysis::run(&run.bundle);
-    let unused = analysis.findings.iter().any(|f| matches!(
-        f,
-        Finding::UnusedDataset { dataset, .. } if dataset == "aggregated_0000.h5:/contact_map"
-    ));
+    let unused = analysis.findings.iter().any(|f| {
+        matches!(
+            f,
+            Finding::UnusedDataset { dataset, .. } if dataset == "aggregated_0000.h5:/contact_map"
+        )
+    });
     fig.note(format!(
         "detector flags aggregated contact_map as unused-by-training: {unused} \
          (paper: data access count 0, metadata access count 1)"
@@ -311,10 +319,19 @@ pub fn run_fig8(out_dir: &Path, scale: Scale) -> FigResult {
     let mut fig = FigResult::new(
         "fig8",
         "ARLDM arldm_saveh5 SDG: contiguous (a) vs chunked (b)",
-        &["layout", "datasets", "addr_regions", "write_ops", "file_bytes"],
+        &[
+            "layout",
+            "datasets",
+            "addr_regions",
+            "write_ops",
+            "file_bytes",
+        ],
     );
     let mut write_ops = Vec::new();
-    for (layout, tag) in [(LayoutKind::Contiguous, "fig8a"), (LayoutKind::Chunked, "fig8b")] {
+    for (layout, tag) in [
+        (LayoutKind::Contiguous, "fig8a"),
+        (LayoutKind::Chunked, "fig8b"),
+    ] {
         let cfg = arldm::ArldmConfig {
             stories,
             layout,

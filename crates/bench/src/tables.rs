@@ -48,7 +48,11 @@ pub fn table1(_scale: Scale) -> FigResult {
     );
     fig.row(vec!["1".into(), "Task Name".into(), rec.task.to_string()]);
     fig.row(vec!["2".into(), "File Name".into(), rec.file.to_string()]);
-    fig.row(vec!["3".into(), "Object Name".into(), rec.object.to_string()]);
+    fig.row(vec![
+        "3".into(),
+        "Object Name".into(),
+        rec.object.to_string(),
+    ]);
     fig.row(vec![
         "4".into(),
         "Object Lifetime".into(),

@@ -11,6 +11,7 @@
 
 use dayu_advisor::{advise, Action, Recommendation};
 use dayu_analyzer::Analysis;
+use dayu_lint::verify;
 use dayu_sim::cluster::{Cluster, FileLocation, Placement};
 use dayu_sim::engine::{Engine, SimError, SimReport};
 use dayu_sim::program::SimTask;
@@ -32,6 +33,10 @@ pub struct AutoOutcome {
     /// Advisories that could not be applied mechanically (data-layout
     /// changes requiring application re-runs).
     pub advisories: Vec<String>,
+    /// Transforms the semantics-preservation verifier rejected and rolled
+    /// back (each entry names the transform and the regressions it would
+    /// have introduced).
+    pub rejected: Vec<String>,
     /// The recommendations the plan was derived from.
     pub recommendations: Vec<Recommendation>,
 }
@@ -45,7 +50,11 @@ impl AutoOutcome {
 
 /// The node a task most often ran I/O against (fallback 0).
 fn node_of(tasks: &[SimTask], name: &str) -> usize {
-    tasks.iter().find(|t| t.name == name).map(|t| t.node).unwrap_or(0)
+    tasks
+        .iter()
+        .find(|t| t.name == name)
+        .map(|t| t.node)
+        .unwrap_or(0)
 }
 
 /// Derives and scores an optimized plan for a recorded run on `cluster`.
@@ -60,6 +69,7 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
 
     let mut applied = Vec::new();
     let mut advisories = Vec::new();
+    let mut rejected = Vec::new();
 
     // Phase 1 — trace-level action: eliminate unused dataset accesses
     // before converting to a replay job.
@@ -100,32 +110,38 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
     let mut tasks = to_sim_tasks(&opt_run, &schedule);
     let mut placement = Placement::new();
 
-    // Phase 2 — plan-level actions.
+    // Phase 2 — plan-level actions. Every plan rewrite goes through the
+    // semantics-preservation verifier (`dayu_lint::verify`): a transform
+    // that would introduce a hazard or break a producer→consumer ordering
+    // is rolled back and reported in `rejected` instead of applied.
     let mut staged: HashMap<String, ()> = HashMap::new();
     for rec in &recommendations {
         match &rec.action {
             Action::CoSchedule { producer, consumer } => {
-                transform::co_schedule(&mut tasks, producer, consumer);
-                // The file between them becomes node-local.
-                let node = node_of(&tasks, producer);
-                transform::place_outputs_local(
-                    &tasks,
-                    &mut placement,
-                    producer,
-                    TierKind::NvmeSsd,
-                );
-                applied.push(format!(
-                    "co-scheduled {consumer} with {producer} on node {node}, outputs on local SSD"
-                ));
+                match verify::verified(&mut tasks, "co_schedule", |t| {
+                    transform::co_schedule(t, producer, consumer)
+                }) {
+                    Ok(()) => {
+                        // The file between them becomes node-local.
+                        let node = node_of(&tasks, producer);
+                        transform::place_outputs_local(
+                            &tasks,
+                            &mut placement,
+                            producer,
+                            TierKind::NvmeSsd,
+                        );
+                        applied.push(format!(
+                            "co-scheduled {consumer} with {producer} on node {node}, outputs on local SSD"
+                        ));
+                    }
+                    Err(v) => rejected.push(v.to_string()),
+                }
             }
             Action::CacheInFastTier { target } => {
                 // Home the file on the fastest local tier of its busiest
                 // reader's node.
                 let readers = readers_of(&tasks, target);
-                let node = readers
-                    .first()
-                    .map(|&i| tasks[i].node)
-                    .unwrap_or(0);
+                let node = readers.first().map(|&i| tasks[i].node).unwrap_or(0);
                 placement.place(target.clone(), FileLocation::NodeLocal(node, TierKind::Ram));
                 applied.push(format!("cached {target} in memory on node {node}"));
             }
@@ -152,16 +168,30 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
                     continue;
                 };
                 let node = tasks[first_reader].node;
-                transform::stage_in(&mut tasks, &mut placement, file, bytes, node, TierKind::NvmeSsd);
-                staged.insert(file.clone(), ());
-                applied.push(format!(
-                    "{}prefetched {file} ({bytes} B) to node {node} SSD",
-                    if *delayed { "(delayed) " } else { "" }
-                ));
+                // A rejected stage-in leaves its replica entry in
+                // `placement` (the transform records it before the check);
+                // harmless, since after rollback no task references the
+                // replica file.
+                match verify::verified(&mut tasks, "stage_in", |t| {
+                    transform::stage_in(t, &mut placement, file, bytes, node, TierKind::NvmeSsd)
+                }) {
+                    Ok(_) => {
+                        staged.insert(file.clone(), ());
+                        applied.push(format!(
+                            "{}prefetched {file} ({bytes} B) to node {node} SSD",
+                            if *delayed { "(delayed) " } else { "" }
+                        ));
+                    }
+                    Err(v) => rejected.push(v.to_string()),
+                }
             }
             Action::Parallelize { first, second } => {
-                transform::parallelize(&mut tasks, first, second);
-                applied.push(format!("pipelined {second} with {first}"));
+                match verify::verified(&mut tasks, "parallelize", |t| {
+                    transform::parallelize(t, first, second)
+                }) {
+                    Ok(()) => applied.push(format!("pipelined {second} with {first}")),
+                    Err(v) => rejected.push(v.to_string()),
+                }
             }
             Action::StageOut { file } => {
                 // Only meaningful when the file was placed node-local by an
@@ -172,8 +202,12 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
                         .first()
                         .map(|&i| tasks[i].node)
                         .unwrap_or(0);
-                    transform::stage_out_async(&mut tasks, file, bytes, node);
-                    applied.push(format!("async stage-out of {file}"));
+                    match verify::verified(&mut tasks, "stage_out_async", |t| {
+                        transform::stage_out_async(t, file, bytes, node)
+                    }) {
+                        Ok(()) => applied.push(format!("async stage-out of {file}")),
+                        Err(v) => rejected.push(v.to_string()),
+                    }
                 }
             }
             Action::ChangeLayout { dataset, to } => {
@@ -196,6 +230,7 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
         optimized,
         applied,
         advisories,
+        rejected,
         recommendations,
     })
 }
@@ -239,6 +274,8 @@ mod tests {
             .advisories
             .iter()
             .any(|a| a.contains("layout") || a.contains("consolidate")));
+        // Advisor-derived transforms on a clean run all pass verification.
+        assert!(out.rejected.is_empty(), "{:?}", out.rejected);
     }
 
     #[test]
@@ -263,5 +300,27 @@ mod tests {
             out.speedup(),
             out.applied
         );
+        assert!(out.rejected.is_empty(), "{:?}", out.rejected);
+    }
+
+    #[test]
+    fn illegal_transform_is_rejected_not_applied() {
+        use dayu_sim::program::{SimOp, SimTask};
+
+        // Drive the same gate optimize() uses with a transform that breaks
+        // the producer→consumer order; the plan must be left untouched.
+        let mut tasks = vec![
+            SimTask::new("producer").with_program(vec![SimOp::write("out.h5", 1 << 20)]),
+            SimTask::new("consumer")
+                .after(&[0])
+                .with_program(vec![SimOp::read("out.h5", 1 << 20)]),
+        ];
+        let before = tasks.clone();
+        let err = verify::verified(&mut tasks, "parallelize", |t| {
+            transform::parallelize(t, "producer", "consumer")
+        })
+        .unwrap_err();
+        assert_eq!(tasks, before);
+        assert!(err.to_string().contains("parallelize"), "{err}");
     }
 }

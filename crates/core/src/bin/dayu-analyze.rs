@@ -7,24 +7,84 @@
 //! dayu-analyze trace.jsonl --out report/   # + FTG/SDG html/dot/json
 //! dayu-analyze trace.jsonl --regions 8     # address-region nodes
 //! dayu-analyze trace.jsonl --aggregate     # collapse parallel task groups
+//! dayu-analyze check trace.jsonl           # dataflow-hazard lint (exit 1 on findings)
+//! dayu-analyze check trace.jsonl --inputs a.h5,b.h5   # declared external inputs
 //! ```
 
 use dayu_analyzer::{export, resolution, Analysis, DetectorConfig, SdgOptions};
+use dayu_lint::{analyze_bundle, LintConfig};
 use dayu_trace::TraceBundle;
 use std::io::BufReader;
 use std::path::PathBuf;
 
 fn usage() -> ! {
-    eprintln!("usage: dayu-analyze <trace.jsonl> [--out DIR] [--regions N] [--aggregate]");
+    eprintln!(
+        "usage: dayu-analyze <trace.jsonl> [--out DIR] [--regions N] [--aggregate]\n       dayu-analyze check <trace.jsonl> [--inputs FILE,FILE,...]"
+    );
     std::process::exit(2);
 }
 
+fn load_bundle(input: &PathBuf) -> TraceBundle {
+    let file = std::fs::File::open(input).unwrap_or_else(|e| {
+        eprintln!("cannot open {}: {e}", input.display());
+        std::process::exit(1);
+    });
+    TraceBundle::read_jsonl(BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot parse {}: {e}", input.display());
+        std::process::exit(1);
+    })
+}
+
+/// `dayu-analyze check`: static dataflow-hazard lint over a recorded trace.
+fn check_main(args: Vec<String>) -> ! {
+    let mut input: Option<PathBuf> = None;
+    let mut cfg = LintConfig::default();
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--inputs" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                cfg = LintConfig::with_external_inputs(
+                    list.split(',').filter(|s| !s.is_empty()).map(str::to_owned),
+                );
+            }
+            "-h" | "--help" => usage(),
+            p if input.is_none() => input = Some(PathBuf::from(p)),
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+    let bundle = load_bundle(&input);
+    let report = analyze_bundle(&bundle, &cfg);
+    if report.is_clean() {
+        println!(
+            "workflow {:?}: no dataflow hazards ({} low-level ops checked)",
+            bundle.meta.workflow,
+            bundle.vfd.len()
+        );
+        std::process::exit(0);
+    }
+    println!(
+        "workflow {:?}: {} finding(s)",
+        bundle.meta.workflow,
+        report.len()
+    );
+    for f in &report.findings {
+        println!("  [{}] {f}", f.category());
+    }
+    std::process::exit(1);
+}
+
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("check") {
+        check_main(raw[1..].to_vec());
+    }
     let mut input: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
     let mut regions: u64 = 0;
     let mut aggregate = false;
-    let mut args = std::env::args().skip(1);
+    let mut args = raw.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
@@ -41,15 +101,7 @@ fn main() {
         }
     }
     let Some(input) = input else { usage() };
-
-    let file = std::fs::File::open(&input).unwrap_or_else(|e| {
-        eprintln!("cannot open {}: {e}", input.display());
-        std::process::exit(1);
-    });
-    let bundle = TraceBundle::read_jsonl(BufReader::new(file)).unwrap_or_else(|e| {
-        eprintln!("cannot parse {}: {e}", input.display());
-        std::process::exit(1);
-    });
+    let bundle = load_bundle(&input);
 
     let sdg_opts = SdgOptions {
         include_regions: regions > 0,

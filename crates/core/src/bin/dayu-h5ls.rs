@@ -5,15 +5,17 @@
 //! dayu-h5ls file.h5              # object tree with shapes/layouts
 //! dayu-h5ls file.h5 --extents    # + file extents per dataset (fragmentation)
 //! dayu-h5ls file.h5 --attrs      # + attributes
+//! dayu-h5ls file.h5 --fsck       # structural integrity check first (exit 1 on findings)
 //! ```
 
 use dayu_hdf::{AttrValue, FileOptions, Group, H5File, LayoutKind};
+use dayu_lint::fsck_bytes;
 use dayu_trace::vol::ObjectKind;
 use dayu_vfd::FileVfd;
 use std::path::PathBuf;
 
 fn usage() -> ! {
-    eprintln!("usage: dayu-h5ls <file> [--extents] [--attrs]");
+    eprintln!("usage: dayu-h5ls <file> [--extents] [--attrs] [--fsck]");
     std::process::exit(2);
 }
 
@@ -85,16 +87,36 @@ fn main() {
     let mut path: Option<PathBuf> = None;
     let mut extents = false;
     let mut attrs = false;
+    let mut fsck = false;
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--extents" => extents = true,
             "--attrs" => attrs = true,
+            "--fsck" => fsck = true,
             "-h" | "--help" => usage(),
             p if path.is_none() => path = Some(PathBuf::from(p)),
             _ => usage(),
         }
     }
     let Some(path) = path else { usage() };
+    if fsck {
+        // Run on the raw image before trying to open: a corrupt file may
+        // not survive H5File::open, but fsck still pinpoints the damage.
+        let image = std::fs::read(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let report = fsck_bytes(&image);
+        if report.is_clean() {
+            println!("fsck: clean ({} bytes)", image.len());
+        } else {
+            println!("fsck: {} finding(s)", report.len());
+            for f in &report.findings {
+                println!("  [{}] {f}", f.category());
+            }
+            std::process::exit(1);
+        }
+    }
     let vfd = FileVfd::open(&path).unwrap_or_else(|e| {
         eprintln!("cannot open {}: {e}", path.display());
         std::process::exit(1);
@@ -104,7 +126,11 @@ fn main() {
         eprintln!("not a valid file: {e}");
         std::process::exit(1);
     });
-    println!("{name}  ({} bytes allocated, {} free)", file.eof(), file.free_space());
+    println!(
+        "{name}  ({} bytes allocated, {} free)",
+        file.eof(),
+        file.free_space()
+    );
     println!("/");
     walk(&file.root(), 1, extents, attrs);
     let _ = file.close();

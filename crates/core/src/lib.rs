@@ -16,6 +16,8 @@
 //! * [`analyzer`] — the Workflow Analyzer (FTG/SDG graphs, detectors,
 //!   exporters);
 //! * [`advisor`] — the optimization guideline engine;
+//! * [`lint`] — static analysis: dataflow-hazard linting, transform
+//!   semantics-preservation verification, and a format fsck;
 //! * [`workflow`] — staged workflow execution, trace replay, optimization
 //!   transforms;
 //! * [`sim`] — the cluster/storage discrete-event simulator;
@@ -45,6 +47,7 @@ pub mod auto;
 pub use dayu_advisor as advisor;
 pub use dayu_analyzer as analyzer;
 pub use dayu_hdf as hdf;
+pub use dayu_lint as lint;
 pub use dayu_mapper as mapper;
 pub use dayu_sim as sim;
 pub use dayu_trace as trace;
@@ -64,12 +67,15 @@ use std::path::Path;
 pub mod prelude {
     pub use dayu_advisor::{advise, Action, Guideline, Recommendation};
     pub use dayu_analyzer::{
-        build_ftg, build_sdg, run_detectors, Analysis, DetectorConfig, Finding, Graph,
-        GraphKind, NodeKind, SdgOptions,
+        build_ftg, build_sdg, run_detectors, Analysis, DetectorConfig, Finding, Graph, GraphKind,
+        NodeKind, SdgOptions,
     };
     pub use dayu_hdf::{
         AttrValue, DataType, Dataset, DatasetBuilder, FileOptions, Group, H5File, HdfError,
         LayoutKind, Selection,
+    };
+    pub use dayu_lint::{
+        analyze_bundle, analyze_sim_tasks, fsck_bytes, LintConfig, Report as LintReport,
     };
     pub use dayu_mapper::{Mapper, MapperConfig};
     pub use dayu_sim::{Cluster, Engine, FileLocation, Placement, SimOp, SimTask, TierKind};
@@ -151,11 +157,7 @@ pub fn diagnose(spec: &WorkflowSpec, fs: &MemFs) -> Result<Diagnosis> {
 }
 
 /// [`diagnose`] with explicit SDG options (e.g. address-region nodes).
-pub fn diagnose_with(
-    spec: &WorkflowSpec,
-    fs: &MemFs,
-    sdg_opts: &SdgOptions,
-) -> Result<Diagnosis> {
+pub fn diagnose_with(spec: &WorkflowSpec, fs: &MemFs, sdg_opts: &SdgOptions) -> Result<Diagnosis> {
     let run = dayu_workflow::record(spec, fs)?;
     let analysis = Analysis::run_with(
         &run.bundle,
@@ -203,8 +205,7 @@ mod tests {
     fn artifacts_written_to_disk() {
         let fs = MemFs::new();
         let d = diagnose(&ddmd::workflow(&tiny()), &fs).unwrap();
-        let dir =
-            std::env::temp_dir().join(format!("dayu-core-test-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("dayu-core-test-{}", std::process::id()));
         d.write_artifacts(&dir).unwrap();
         for name in [
             "trace.jsonl",

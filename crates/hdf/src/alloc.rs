@@ -96,9 +96,7 @@ impl Allocator {
             }
             return;
         }
-        let pos = self
-            .free
-            .partition_point(|e| e.addr < addr);
+        let pos = self.free.partition_point(|e| e.addr < addr);
         // Coalesce with predecessor and/or successor.
         let merged_prev = pos > 0 && {
             let p = self.free[pos - 1];

@@ -246,6 +246,32 @@ impl ChunkIndex {
         })
     }
 
+    /// Decodes a raw index block into its `(addr, size)` entries without
+    /// touching storage. Public so external integrity checkers (dayu-lint's
+    /// fsck) can validate an index from raw bytes; rejects blocks whose
+    /// stored count disagrees with the block length.
+    pub fn decode_block(buf: &[u8]) -> Result<Vec<(u64, u32)>> {
+        if (buf.len() as u64) < Self::HEADER {
+            return Err(HdfError::Corrupt("chunk index block too short".into()));
+        }
+        let n = u32::from_le_bytes(buf[0..4].try_into().expect("header")) as u64;
+        if Self::byte_len(n) != buf.len() as u64 {
+            return Err(HdfError::Corrupt(format!(
+                "chunk index holds {n} entries but block is {} bytes",
+                buf.len()
+            )));
+        }
+        let mut entries = Vec::with_capacity(n as usize);
+        for i in 0..n as usize {
+            let off = (Self::HEADER + i as u64 * Self::ENTRY) as usize;
+            entries.push((
+                u64::from_le_bytes(buf[off..off + 8].try_into().expect("entry")),
+                u32::from_le_bytes(buf[off + 8..off + 12].try_into().expect("entry")),
+            ));
+        }
+        Ok(entries)
+    }
+
     /// Opens an existing index block (entries load lazily on first use).
     pub fn open(addr: u64, n: u64) -> Self {
         Self {
@@ -581,6 +607,21 @@ mod tests {
         // Reopen path reads the persisted entries.
         let mut idx2 = ChunkIndex::open(idx.addr, 10);
         assert_eq!(idx2.entry(&mut rf, 3).unwrap(), (4096, 512));
+    }
+
+    #[test]
+    fn decode_block_round_trip_and_validation() {
+        let mut rf = raw();
+        let mut idx = ChunkIndex::create(&mut rf, 3).unwrap();
+        idx.set_entry(&mut rf, 1, 4096, 64).unwrap();
+        idx.flush(&mut rf).unwrap();
+        let buf = rf
+            .read_at(idx.addr, ChunkIndex::byte_len(3), AccessType::Metadata)
+            .unwrap();
+        let entries = ChunkIndex::decode_block(&buf).unwrap();
+        assert_eq!(entries, vec![(0, 0), (4096, 64), (0, 0)]);
+        assert!(ChunkIndex::decode_block(&buf[..2]).is_err());
+        assert!(ChunkIndex::decode_block(&buf[..buf.len() - 1]).is_err());
     }
 
     #[test]

@@ -155,9 +155,7 @@ impl Dataset {
                     let mut core_guard = core.lock();
                     core_guard.check_open()?;
                     let index = ChunkIndex::create(&mut core_guard.rf, grid.chunk_count())?;
-                    let cache_bytes = builder
-                        .cache_bytes
-                        .unwrap_or(core_guard.chunk_cache_bytes);
+                    let cache_bytes = builder.cache_bytes.unwrap_or(core_guard.chunk_cache_bytes);
                     let chunk_bytes = grid.chunk_elements() * esize;
                     let msg = LayoutMessage::Chunked {
                         chunk_dims: dims,
@@ -195,11 +193,7 @@ impl Dataset {
         Ok(ds)
     }
 
-    pub(crate) fn open(
-        core: Arc<Mutex<FileCore>>,
-        parent: &Group,
-        name: &str,
-    ) -> Result<Dataset> {
+    pub(crate) fn open(core: Arc<Mutex<FileCore>>, parent: &Group, name: &str) -> Result<Dataset> {
         let path = parent.make_child_path(name);
         let key = ObjectKey::new(path.clone());
         let ctx = core.lock().ctx.clone();
@@ -217,9 +211,7 @@ impl Dataset {
             .ok_or_else(|| HdfError::Corrupt("dataset without datatype".into()))?;
         let esize = Self::esize(dtype);
         let (layout, chunk, logical) = match &header.layout {
-            Some(LayoutMessage::Compact { data }) => {
-                (LayoutKind::Compact, None, data.len() as u64)
-            }
+            Some(LayoutMessage::Compact { data }) => (LayoutKind::Compact, None, data.len() as u64),
             Some(LayoutMessage::Contiguous { size, .. }) => (LayoutKind::Contiguous, None, *size),
             Some(LayoutMessage::Chunked {
                 chunk_dims,
@@ -400,8 +392,7 @@ impl Dataset {
         for (start, len) in sel.runs(&self.shape) {
             let byte_start = (start * esize) as usize;
             let byte_len = (len * esize) as usize;
-            stored[byte_start..byte_start + byte_len]
-                .copy_from_slice(&data[off..off + byte_len]);
+            stored[byte_start..byte_start + byte_len].copy_from_slice(&data[off..off + byte_len]);
             off += byte_len;
         }
         core.store_header(self.header_addr, &header)
@@ -482,9 +473,9 @@ impl Dataset {
         let mut core = self.core.lock();
         let mut out = Vec::with_capacity(total);
         for (start, len) in sel.runs(&self.shape) {
-            let bytes =
-                core.rf
-                    .read_at(addr + start * esize, len * esize, AccessType::RawData)?;
+            let bytes = core
+                .rf
+                .read_at(addr + start * esize, len * esize, AccessType::RawData)?;
             out.extend_from_slice(&bytes);
         }
         Ok(out)
@@ -565,9 +556,7 @@ impl Dataset {
             // Descriptors through the layout machinery.
             match self.layout {
                 LayoutKind::Compact => self.compact_write(&sel, &descriptors, HeapRef::SIZE),
-                LayoutKind::Contiguous => {
-                    self.contiguous_write(&sel, &descriptors, HeapRef::SIZE)
-                }
+                LayoutKind::Contiguous => self.contiguous_write(&sel, &descriptors, HeapRef::SIZE),
                 LayoutKind::Chunked => self.chunked_write(&sel, &descriptors, HeapRef::SIZE),
             }?;
             // Defer the logical-volume header update to close: one
@@ -785,7 +774,10 @@ mod tests {
         let f = file();
         let mut ds = f
             .root()
-            .create_dataset("d", DatasetBuilder::new(DataType::Int { width: 1 }, &[4, 4]))
+            .create_dataset(
+                "d",
+                DatasetBuilder::new(DataType::Int { width: 1 }, &[4, 4]),
+            )
             .unwrap();
         ds.write(&(0u8..16).collect::<Vec<_>>()).unwrap();
         let slab = ds.read_slab(&Selection::slab(&[1, 1], &[2, 2])).unwrap();
@@ -828,14 +820,12 @@ mod tests {
     fn chunked_data_persists_across_reopen() {
         let fs = MemFs::new();
         {
-            let f =
-                H5File::create(fs.create("c.h5"), "c.h5", FileOptions::default()).unwrap();
+            let f = H5File::create(fs.create("c.h5"), "c.h5", FileOptions::default()).unwrap();
             let mut ds = f
                 .root()
                 .create_dataset(
                     "grid",
-                    DatasetBuilder::new(DataType::Float { width: 8 }, &[10, 10])
-                        .chunks(&[3, 3]),
+                    DatasetBuilder::new(DataType::Float { width: 8 }, &[10, 10]).chunks(&[3, 3]),
                 )
                 .unwrap();
             ds.write_f64s(&(0..100).map(f64::from).collect::<Vec<_>>())
@@ -859,8 +849,7 @@ mod tests {
             .root()
             .create_dataset(
                 "small",
-                DatasetBuilder::new(DataType::Int { width: 2 }, &[10])
-                    .layout(LayoutKind::Compact),
+                DatasetBuilder::new(DataType::Int { width: 2 }, &[10]).layout(LayoutKind::Compact),
             )
             .unwrap();
         ds.write(&[1u8; 20]).unwrap();
@@ -873,8 +862,7 @@ mod tests {
         let f = file();
         match f.root().create_dataset(
             "big",
-            DatasetBuilder::new(DataType::Float { width: 8 }, &[1000])
-                .layout(LayoutKind::Compact),
+            DatasetBuilder::new(DataType::Float { width: 8 }, &[1000]).layout(LayoutKind::Compact),
         ) {
             Err(HdfError::InvalidArgument(_)) => {}
             Err(other) => panic!("unexpected error {other}"),
@@ -939,10 +927,7 @@ mod tests {
             .root()
             .create_dataset("vl", DatasetBuilder::new(DataType::VarLen, &[2]))
             .unwrap();
-        assert!(matches!(
-            ds.write(&[0; 32]),
-            Err(HdfError::TypeMismatch(_))
-        ));
+        assert!(matches!(ds.write(&[0; 32]), Err(HdfError::TypeMismatch(_))));
         assert!(matches!(ds.read(), Err(HdfError::TypeMismatch(_))));
     }
 
@@ -995,10 +980,7 @@ mod tests {
         let f = file();
         let mut contig = f
             .root()
-            .create_dataset(
-                "c",
-                DatasetBuilder::new(DataType::Int { width: 1 }, &[100]),
-            )
+            .create_dataset("c", DatasetBuilder::new(DataType::Int { width: 1 }, &[100]))
             .unwrap();
         assert!(contig.extents().unwrap().is_empty(), "late allocation");
         contig.write(&[1; 100]).unwrap();
@@ -1173,14 +1155,17 @@ mod more_tests {
     fn deep_nesting_persists() {
         let fs = MemFs::new();
         {
-            let f = H5File::create(fs.create("deep.h5"), "deep.h5", FileOptions::default())
-                .unwrap();
+            let f =
+                H5File::create(fs.create("deep.h5"), "deep.h5", FileOptions::default()).unwrap();
             let mut g = f.root().create_group("l0").unwrap();
             for depth in 1..8 {
                 g = g.create_group(&format!("l{depth}")).unwrap();
             }
             let mut ds = g
-                .create_dataset("leaf", DatasetBuilder::new(DataType::Int { width: 2 }, &[4]))
+                .create_dataset(
+                    "leaf",
+                    DatasetBuilder::new(DataType::Int { width: 2 }, &[4]),
+                )
                 .unwrap();
             ds.write(&[1; 8]).unwrap();
             ds.close().unwrap();
@@ -1201,8 +1186,7 @@ mod more_tests {
     fn group_attributes_persist_across_reopen() {
         let fs = MemFs::new();
         {
-            let f =
-                H5File::create(fs.create("ga.h5"), "ga.h5", FileOptions::default()).unwrap();
+            let f = H5File::create(fs.create("ga.h5"), "ga.h5", FileOptions::default()).unwrap();
             let g = f.root().create_group("meta").unwrap();
             g.set_attr("run_id", AttrValue::U64(42)).unwrap();
             g.set_attr("label", AttrValue::Str("calib".into())).unwrap();
@@ -1211,7 +1195,10 @@ mod more_tests {
         let f = H5File::open(fs.open("ga.h5"), "ga.h5", FileOptions::default()).unwrap();
         let g = f.root().open_group("meta").unwrap();
         assert_eq!(g.attr("run_id").unwrap(), Some(AttrValue::U64(42)));
-        assert_eq!(g.attr("label").unwrap(), Some(AttrValue::Str("calib".into())));
+        assert_eq!(
+            g.attr("label").unwrap(),
+            Some(AttrValue::Str("calib".into()))
+        );
         f.close().unwrap();
     }
 
@@ -1219,8 +1206,7 @@ mod more_tests {
     fn mixed_layouts_in_one_file_reopen() {
         let fs = MemFs::new();
         {
-            let f = H5File::create(fs.create("mix.h5"), "mix.h5", FileOptions::default())
-                .unwrap();
+            let f = H5File::create(fs.create("mix.h5"), "mix.h5", FileOptions::default()).unwrap();
             let root = f.root();
             let mut a = root
                 .create_dataset(
@@ -1286,7 +1272,8 @@ mod more_tests {
                 DatasetBuilder::new(DataType::Int { width: 1 }, &[4096]),
             )
             .unwrap();
-        ds.write_slab(&Selection::slab(&[0], &[10]), &[9; 10]).unwrap();
+        ds.write_slab(&Selection::slab(&[0], &[10]), &[9; 10])
+            .unwrap();
         let tail = ds.read_slab(&Selection::slab(&[4000], &[96])).unwrap();
         assert_eq!(tail, vec![0u8; 96], "unwritten region reads as fill");
         let head = ds.read_slab(&Selection::slab(&[0], &[10])).unwrap();

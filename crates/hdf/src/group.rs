@@ -40,7 +40,10 @@ pub(crate) fn encode_table(entries: &[Entry]) -> Vec<u8> {
     e.finish()
 }
 
-pub(crate) fn decode_table(buf: &[u8]) -> Result<Vec<Entry>> {
+/// Decodes an entry-table block into its child entries. Public so external
+/// integrity checkers (dayu-lint's fsck) can walk the hierarchy from raw
+/// bytes without opening the file.
+pub fn decode_table(buf: &[u8]) -> Result<Vec<Entry>> {
     let mut d = Decoder::new(buf);
     let n = d.u32()? as usize;
     let mut out = Vec::with_capacity(n.min(1 << 20));
@@ -416,8 +419,7 @@ mod tests {
     fn groups_persist_across_reopen() {
         let fs = MemFs::new();
         {
-            let f =
-                H5File::create(fs.create("g.h5"), "g.h5", FileOptions::default()).unwrap();
+            let f = H5File::create(fs.create("g.h5"), "g.h5", FileOptions::default()).unwrap();
             f.root().create_group("persisted").unwrap();
             f.close().unwrap();
         }

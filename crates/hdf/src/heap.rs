@@ -300,7 +300,11 @@ mod tests {
         let mut heap = GlobalHeap::new(128);
         let mut refs = Vec::new();
         for i in 0..50u8 {
-            refs.push((i, heap.insert(&mut rf, &vec![i; (i as usize % 37) + 1]).unwrap()));
+            refs.push((
+                i,
+                heap.insert(&mut rf, &vec![i; (i as usize % 37) + 1])
+                    .unwrap(),
+            ));
         }
         heap.flush(&mut rf).unwrap();
         for (i, r) in refs {

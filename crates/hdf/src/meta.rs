@@ -443,9 +443,7 @@ mod tests {
     #[test]
     fn dataset_header_round_trip_all_layouts() {
         let layouts = vec![
-            LayoutMessage::Compact {
-                data: vec![7; 100],
-            },
+            LayoutMessage::Compact { data: vec![7; 100] },
             LayoutMessage::Contiguous {
                 addr: 4096,
                 size: 800,

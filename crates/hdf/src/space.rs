@@ -52,12 +52,7 @@ impl Selection {
                 shape.len()
             )));
         }
-        for (d, ((&off, &cnt), &dim)) in self
-            .offset
-            .iter()
-            .zip(&self.count)
-            .zip(shape)
-            .enumerate()
+        for (d, ((&off, &cnt), &dim)) in self.offset.iter().zip(&self.count).zip(shape).enumerate()
         {
             if off + cnt > dim {
                 return Err(HdfError::InvalidArgument(format!(

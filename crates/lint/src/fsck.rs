@@ -1,0 +1,576 @@
+//! Pass 3 — fsck for `dayu-hdf` files.
+//!
+//! A pure walk over a raw file image (no format-library state, no
+//! repair): decode the superblock, breadth-first every reachable object
+//! header, and *claim* the byte extent of every structure encountered —
+//! header blocks, group entry tables, attribute blocks, contiguous
+//! extents, chunk index blocks, chunk payloads, referenced global-heap
+//! blocks. Checked invariants:
+//!
+//! * superblock decodes and its `eof`/root address are in bounds;
+//! * object headers decode and are internally consistent (groups carry
+//!   no dataset messages and vice versa, chunk grids match dataspaces);
+//! * chunk-index entries lie inside the allocated file;
+//! * variable-length descriptors reference live heap blocks with the
+//!   payload fully inside the file;
+//! * no two claimed extents overlap (an allocator that hands the same
+//!   bytes to two structures silently corrupts whichever flushes last).
+
+use crate::model::{Finding, Report};
+use dayu_hdf::chunk::ChunkIndex;
+use dayu_hdf::group;
+use dayu_hdf::heap::{HeapRef, HEAP_HEADER, HEAP_MAGIC};
+use dayu_hdf::meta::{self, LayoutMessage, ObjectHeader, Superblock};
+use dayu_trace::vol::{DataType, ObjectKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Whether `[addr, addr + len)` escapes `[0, limit)`, treating address
+/// arithmetic overflow as out of bounds (all inputs are untrusted).
+fn out_of_bounds(addr: u64, len: u64, limit: u64) -> bool {
+    addr.checked_add(len).is_none_or(|end| end > limit)
+}
+
+struct Fsck<'a> {
+    image: &'a [u8],
+    /// Allocated end per the superblock, capped at the image length.
+    eof: u64,
+    report: Report,
+    /// Claimed extents: (addr, len, label).
+    claims: Vec<(u64, u64, String)>,
+    /// Referenced heap blocks: address → furthest referenced end.
+    heap_blocks: BTreeMap<u64, u64>,
+}
+
+impl<'a> Fsck<'a> {
+    fn len(&self) -> u64 {
+        self.image.len() as u64
+    }
+
+    fn claim(&mut self, addr: u64, len: u64, label: impl Into<String>) {
+        if len > 0 {
+            self.claims.push((addr, len, label.into()));
+        }
+    }
+
+    /// Borrows from the image, not from `self`, so callers can keep the
+    /// slice across mutating checks.
+    fn slice(&self, addr: u64, len: u64) -> Option<&'a [u8]> {
+        if out_of_bounds(addr, len, self.len()) {
+            return None;
+        }
+        Some(&self.image[addr as usize..(addr + len) as usize])
+    }
+
+    fn header_invalid(&mut self, path: &str, addr: u64, detail: impl Into<String>) {
+        self.report.push(Finding::ObjectHeaderInvalid {
+            path: path.to_owned(),
+            addr,
+            detail: detail.into(),
+        });
+    }
+
+    fn walk(&mut self, root_addr: u64) {
+        let mut visited: BTreeSet<u64> = BTreeSet::new();
+        let mut queue: Vec<(u64, String)> = vec![(root_addr, "/".to_owned())];
+        while let Some((addr, path)) = queue.pop() {
+            if !visited.insert(addr) {
+                continue;
+            }
+            let Some(block) = self.slice(addr, meta::HEADER_BLOCK_SIZE) else {
+                self.header_invalid(&path, addr, "header block beyond end of file");
+                continue;
+            };
+            self.claim(addr, meta::HEADER_BLOCK_SIZE, format!("header {path:?}"));
+            let header = match ObjectHeader::decode(block) {
+                Ok(h) => h,
+                Err(e) => {
+                    self.header_invalid(&path, addr, e.to_string());
+                    continue;
+                }
+            };
+            if header.attr_addr != 0 {
+                self.check_attrs(&path, addr, &header);
+            }
+            match header.kind {
+                ObjectKind::Group => self.check_group(&path, addr, &header, &mut queue),
+                _ => self.check_dataset(&path, addr, &header),
+            }
+        }
+    }
+
+    fn check_attrs(&mut self, path: &str, addr: u64, header: &ObjectHeader) {
+        let Some(buf) = self.slice(header.attr_addr, header.attr_len) else {
+            self.header_invalid(path, addr, "attribute block beyond end of file");
+            return;
+        };
+        self.claim(header.attr_addr, header.attr_len, format!("attrs {path:?}"));
+        if let Err(e) = meta::decode_attrs(buf) {
+            self.header_invalid(path, addr, format!("undecodable attribute block: {e}"));
+        }
+    }
+
+    fn check_group(
+        &mut self,
+        path: &str,
+        addr: u64,
+        header: &ObjectHeader,
+        queue: &mut Vec<(u64, String)>,
+    ) {
+        if header.layout.is_some() || header.dtype.is_some() {
+            self.header_invalid(path, addr, "group header carries dataset messages");
+        }
+        if header.table_addr == 0 {
+            return;
+        }
+        let Some(buf) = self.slice(header.table_addr, header.table_len) else {
+            self.header_invalid(path, addr, "entry table beyond end of file");
+            return;
+        };
+        self.claim(
+            header.table_addr,
+            header.table_len,
+            format!("entry table {path:?}"),
+        );
+        let entries = match group::decode_table(buf) {
+            Ok(e) => e,
+            Err(e) => {
+                self.header_invalid(path, addr, format!("undecodable entry table: {e}"));
+                return;
+            }
+        };
+        for entry in entries {
+            let child = if path == "/" {
+                format!("/{}", entry.name)
+            } else {
+                format!("{path}/{}", entry.name)
+            };
+            if entry.addr == 0 || out_of_bounds(entry.addr, meta::HEADER_BLOCK_SIZE, self.len()) {
+                self.header_invalid(
+                    &child,
+                    entry.addr,
+                    "entry references a header outside the file",
+                );
+            } else {
+                queue.push((entry.addr, child));
+            }
+        }
+    }
+
+    fn check_dataset(&mut self, path: &str, addr: u64, header: &ObjectHeader) {
+        if header.table_addr != 0 || header.table_len != 0 {
+            self.header_invalid(path, addr, "dataset header carries a group entry table");
+        }
+        let varlen = header.dtype == Some(DataType::VarLen);
+        match &header.layout {
+            None => self.header_invalid(path, addr, "dataset without a layout message"),
+            Some(LayoutMessage::Compact { data }) => {
+                if varlen {
+                    self.check_varlen_slots(path, data);
+                }
+            }
+            Some(LayoutMessage::Contiguous { addr: ext, size }) => {
+                // `addr == 0` is late allocation: no data written yet.
+                if *ext == 0 {
+                    return;
+                }
+                if out_of_bounds(*ext, *size, self.eof) {
+                    self.header_invalid(path, addr, "contiguous extent beyond allocated eof");
+                    return;
+                }
+                self.claim(*ext, *size, format!("contiguous {path:?}"));
+                if varlen {
+                    if let Some(buf) = self.slice(*ext, *size) {
+                        self.check_varlen_slots(path, buf);
+                    }
+                }
+            }
+            Some(LayoutMessage::Chunked {
+                chunk_dims,
+                index_addr,
+                index_len,
+            }) => self.check_chunked(
+                path,
+                addr,
+                header,
+                chunk_dims,
+                *index_addr,
+                *index_len,
+                varlen,
+            ),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // decomposed layout message fields
+    fn check_chunked(
+        &mut self,
+        path: &str,
+        addr: u64,
+        header: &ObjectHeader,
+        chunk_dims: &[u64],
+        index_addr: u64,
+        index_len: u64,
+        varlen: bool,
+    ) {
+        if chunk_dims.len() != header.shape.len() {
+            self.header_invalid(path, addr, "chunk rank differs from dataspace rank");
+            return;
+        }
+        if chunk_dims.contains(&0) {
+            self.header_invalid(path, addr, "zero chunk dimension");
+            return;
+        }
+        let expected: u64 = header
+            .shape
+            .iter()
+            .zip(chunk_dims)
+            .map(|(&s, &c)| s.div_ceil(c))
+            .product::<u64>()
+            .max(1);
+        let Some(buf) = self.slice(index_addr, index_len) else {
+            self.header_invalid(path, addr, "chunk index beyond end of file");
+            return;
+        };
+        self.claim(index_addr, index_len, format!("chunk index {path:?}"));
+        let entries = match ChunkIndex::decode_block(buf) {
+            Ok(e) => e,
+            Err(e) => {
+                self.header_invalid(path, addr, format!("undecodable chunk index: {e}"));
+                return;
+            }
+        };
+        if entries.len() as u64 != expected {
+            self.header_invalid(
+                path,
+                addr,
+                format!(
+                    "chunk index holds {} entries, dataspace needs {expected}",
+                    entries.len()
+                ),
+            );
+        }
+        for (ordinal, (chunk_addr, chunk_size)) in entries.into_iter().enumerate() {
+            if chunk_addr == 0 {
+                continue; // unallocated chunk
+            }
+            if out_of_bounds(chunk_addr, chunk_size as u64, self.eof) {
+                self.report.push(Finding::ChunkEntryOutOfBounds {
+                    dataset: path.to_owned(),
+                    ordinal: ordinal as u64,
+                    addr: chunk_addr,
+                    size: chunk_size as u64,
+                    eof: self.eof,
+                });
+                continue;
+            }
+            self.claim(
+                chunk_addr,
+                chunk_size as u64,
+                format!("chunk {ordinal} of {path:?}"),
+            );
+            if varlen {
+                if let Some(buf) = self.slice(chunk_addr, chunk_size as u64) {
+                    self.check_varlen_slots(path, buf);
+                }
+            }
+        }
+    }
+
+    /// Validates every 16-byte variable-length descriptor in a storage
+    /// region (trailing partial slots are structural corruption).
+    fn check_varlen_slots(&mut self, path: &str, storage: &[u8]) {
+        let slot = HeapRef::SIZE as usize;
+        if storage.len() % slot != 0 {
+            self.report.push(Finding::DanglingHeapRef {
+                dataset: path.to_owned(),
+                block_addr: 0,
+                detail: format!(
+                    "var-len storage of {} bytes is not a whole number of descriptors",
+                    storage.len()
+                ),
+            });
+        }
+        for chunk in storage.chunks_exact(slot) {
+            let Ok(href) = HeapRef::decode(chunk) else {
+                continue;
+            };
+            if href.is_null() {
+                continue;
+            }
+            self.check_heap_ref(path, href);
+        }
+    }
+
+    fn check_heap_ref(&mut self, path: &str, href: HeapRef) {
+        let dangling = |detail: &str| Finding::DanglingHeapRef {
+            dataset: path.to_owned(),
+            block_addr: href.block_addr,
+            detail: detail.to_owned(),
+        };
+        let Some(head) = self.slice(href.block_addr, HEAP_HEADER) else {
+            self.report
+                .push(dangling("heap block header beyond end of file"));
+            return;
+        };
+        let magic = u32::from_le_bytes(head[0..4].try_into().expect("header slice"));
+        if magic != HEAP_MAGIC {
+            self.report.push(dangling("no heap block at address"));
+            return;
+        }
+        if (href.offset as u64) < HEAP_HEADER {
+            self.report.push(dangling("payload overlaps heap header"));
+            return;
+        }
+        let span = href.offset as u64 + href.len as u64;
+        if out_of_bounds(href.block_addr, span, self.len()) {
+            self.report.push(dangling("payload beyond end of file"));
+            return;
+        }
+        let end = self.heap_blocks.entry(href.block_addr).or_insert(span);
+        *end = (*end).max(span);
+    }
+
+    /// Sorts all claimed extents by address and flags any byte owned by two
+    /// structures. Tracks the furthest-reaching prior claim so overlaps with
+    /// non-adjacent extents are caught too.
+    fn check_overlaps(&mut self) {
+        let heap: Vec<(u64, u64)> = self.heap_blocks.iter().map(|(&a, &s)| (a, s)).collect();
+        for (addr, span) in heap {
+            self.claim(addr, span, format!("heap block @{addr}"));
+        }
+        self.claims.sort();
+        let mut widest: Option<usize> = None;
+        for i in 0..self.claims.len() {
+            let (addr, len, _) = &self.claims[i];
+            let (addr, end) = (*addr, addr.saturating_add(*len));
+            if let Some(w) = widest {
+                let (w_addr, w_len, w_label) = &self.claims[w];
+                let w_end = w_addr.saturating_add(*w_len);
+                if addr < w_end {
+                    let finding = Finding::OverlappingExtents {
+                        a: w_label.clone(),
+                        a_addr: *w_addr,
+                        a_len: *w_len,
+                        b: self.claims[i].2.clone(),
+                        b_addr: addr,
+                        b_len: *len,
+                    };
+                    self.report.push(finding);
+                }
+                if end > w_end {
+                    widest = Some(i);
+                }
+            } else {
+                widest = Some(i);
+            }
+        }
+    }
+}
+
+/// Checks a raw file image and reports every violated invariant. An empty
+/// report means the file is structurally sound.
+pub fn fsck_bytes(image: &[u8]) -> Report {
+    let mut report = Report::new();
+    if (image.len() as u64) < meta::SUPERBLOCK_SIZE {
+        report.push(Finding::SuperblockInvalid {
+            detail: format!("file is {} bytes, shorter than a superblock", image.len()),
+        });
+        return report;
+    }
+    let sb = match Superblock::decode(&image[..meta::SUPERBLOCK_SIZE as usize]) {
+        Ok(sb) => sb,
+        Err(e) => {
+            report.push(Finding::SuperblockInvalid {
+                detail: e.to_string(),
+            });
+            return report;
+        }
+    };
+    if sb.eof > image.len() as u64 {
+        report.push(Finding::SuperblockInvalid {
+            detail: format!("eof {} beyond file length {}", sb.eof, image.len()),
+        });
+    }
+    if sb.eof < meta::SUPERBLOCK_SIZE {
+        report.push(Finding::SuperblockInvalid {
+            detail: format!("eof {} inside the superblock", sb.eof),
+        });
+    }
+    let mut fsck = Fsck {
+        image,
+        eof: sb.eof.min(image.len() as u64),
+        report,
+        claims: Vec::new(),
+        heap_blocks: BTreeMap::new(),
+    };
+    fsck.claim(0, meta::SUPERBLOCK_SIZE, "superblock");
+    if sb.root_addr == 0 || out_of_bounds(sb.root_addr, meta::HEADER_BLOCK_SIZE, fsck.len()) {
+        fsck.report.push(Finding::SuperblockInvalid {
+            detail: format!("root header address {} outside the file", sb.root_addr),
+        });
+    } else {
+        fsck.walk(sb.root_addr);
+    }
+    fsck.check_overlaps();
+    fsck.report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_hdf::{DataType, DatasetBuilder, FileOptions, H5File, LayoutKind};
+    use dayu_vfd::MemFs;
+
+    /// Builds a representative file (groups, attrs, all three layouts,
+    /// var-len data) and returns its raw image.
+    fn sample_image() -> Vec<u8> {
+        let fs = MemFs::new();
+        let f = H5File::create(fs.create("s.h5"), "s.h5", FileOptions::default()).unwrap();
+        let root = f.root();
+        root.set_attr("run", dayu_hdf::AttrValue::U64(7)).unwrap();
+        let g = root.create_group("grid").unwrap();
+        let mut contiguous = g
+            .create_dataset("c", DatasetBuilder::new(DataType::Int { width: 4 }, &[32]))
+            .unwrap();
+        contiguous.write(&vec![9u8; 128]).unwrap();
+        contiguous.close().unwrap();
+        let mut chunked = g
+            .create_dataset(
+                "k",
+                DatasetBuilder::new(DataType::Int { width: 1 }, &[64]).chunks(&[16]),
+            )
+            .unwrap();
+        chunked.write(&vec![3u8; 64]).unwrap();
+        chunked.close().unwrap();
+        let mut compact = root
+            .create_dataset(
+                "tiny",
+                DatasetBuilder::new(DataType::Int { width: 1 }, &[8]).layout(LayoutKind::Compact),
+            )
+            .unwrap();
+        compact.write(&[1u8; 8]).unwrap();
+        compact.close().unwrap();
+        let mut vl = root
+            .create_dataset("vl", DatasetBuilder::new(DataType::VarLen, &[3]))
+            .unwrap();
+        vl.write_varlen(0, &[b"alpha", b"bee", b"sea"]).unwrap();
+        vl.close().unwrap();
+        f.close().unwrap();
+        fs.snapshot("s.h5").unwrap()
+    }
+
+    /// Finds the chunked dataset `/grid/k` and returns the address of its
+    /// chunk index block.
+    fn chunk_index_addr(image: &[u8]) -> u64 {
+        let sb = Superblock::decode(&image[..meta::SUPERBLOCK_SIZE as usize]).unwrap();
+        let hdr = |addr: u64| {
+            ObjectHeader::decode(&image[addr as usize..(addr + meta::HEADER_BLOCK_SIZE) as usize])
+                .unwrap()
+        };
+        let table = |h: &ObjectHeader| {
+            group::decode_table(
+                &image[h.table_addr as usize..(h.table_addr + h.table_len) as usize],
+            )
+            .unwrap()
+        };
+        let root = hdr(sb.root_addr);
+        let grid = table(&root).into_iter().find(|e| e.name == "grid").unwrap();
+        let k = table(&hdr(grid.addr))
+            .into_iter()
+            .find(|e| e.name == "k")
+            .unwrap();
+        match hdr(k.addr).layout {
+            Some(LayoutMessage::Chunked { index_addr, .. }) => index_addr,
+            other => panic!("expected chunked layout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_file_passes() {
+        let report = fsck_bytes(&sample_image());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn truncated_file_is_superblock_invalid() {
+        let report = fsck_bytes(&[0u8; 10]);
+        assert!(matches!(
+            report.findings[0],
+            Finding::SuperblockInvalid { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_superblock_invalid() {
+        let mut image = sample_image();
+        image[0] = b'X';
+        let report = fsck_bytes(&image);
+        assert!(matches!(
+            report.findings[0],
+            Finding::SuperblockInvalid { .. }
+        ));
+    }
+
+    #[test]
+    fn chunk_entry_beyond_eof_is_flagged() {
+        let mut image = sample_image();
+        let idx = chunk_index_addr(&image) as usize;
+        // Entry 0 starts after the u32 count; point it far past eof.
+        let bogus = image.len() as u64 + 4096;
+        image[idx + 4..idx + 12].copy_from_slice(&bogus.to_le_bytes());
+        let report = fsck_bytes(&image);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| matches!(f, Finding::ChunkEntryOutOfBounds { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn chunk_entry_into_metadata_is_overlap() {
+        let mut image = sample_image();
+        let idx = chunk_index_addr(&image) as usize;
+        let sb = Superblock::decode(&image[..meta::SUPERBLOCK_SIZE as usize]).unwrap();
+        // Point chunk 0 at the root header block: two owners, one extent.
+        image[idx + 4..idx + 12].copy_from_slice(&sb.root_addr.to_le_bytes());
+        let report = fsck_bytes(&image);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| matches!(f, Finding::OverlappingExtents { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn corrupt_header_kind_is_flagged() {
+        let mut image = sample_image();
+        let sb = Superblock::decode(&image[..meta::SUPERBLOCK_SIZE as usize]).unwrap();
+        image[sb.root_addr as usize] = 77;
+        let report = fsck_bytes(&image);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| matches!(f, Finding::ObjectHeaderInvalid { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn eof_beyond_image_is_flagged() {
+        let mut image = sample_image();
+        let huge = (image.len() as u64 + 1000).to_le_bytes();
+        image[20..28].copy_from_slice(&huge); // superblock eof field
+        let report = fsck_bytes(&image);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| matches!(f, Finding::SuperblockInvalid { .. })),
+            "{report}"
+        );
+    }
+}

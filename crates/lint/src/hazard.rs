@@ -1,0 +1,581 @@
+//! Pass 1 — the static dataflow-hazard analyzer.
+//!
+//! DaYu decodes *who* produces and consumes each dataset and *in what
+//! order*; this pass checks that a plan's dependency structure actually
+//! guarantees that order before anything runs. It works on two inputs:
+//!
+//! * **Plans** — `SimTask` sets (replayed traces, possibly rewritten by
+//!   `transform::*`) or `WorkflowSpec`s with declared access sets. Hazards
+//!   are judged against the happens-before relation induced by task
+//!   dependencies: two accesses conflict when neither task is an ancestor
+//!   of the other.
+//! * **Trace bundles** — recorded runs, judged against observed timestamps
+//!   (a bundle has no dependency edges, only what actually happened).
+//!
+//! The detected hazards: write-write races between concurrently
+//! schedulable tasks, reads with no ordered producer (read-before-write),
+//! reads of disposable data after its stage-out task, and references to
+//! files nothing produces.
+
+use crate::model::{Finding, Report};
+use dayu_sim::program::{IoDir, SimOp, SimTask};
+use dayu_trace::store::TraceBundle;
+use dayu_trace::vfd::IoKind;
+use dayu_workflow::WorkflowSpec;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Direction of a declared or extracted dataset access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Access {
+    /// The task reads the file.
+    Read,
+    /// The task writes the file's data.
+    Write,
+}
+
+/// A task as the analyzer sees it: a name, dependency edges, and an
+/// ordered file-access list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanTask {
+    /// Task name.
+    pub name: String,
+    /// Indices of tasks that must finish first.
+    pub deps: Vec<usize>,
+    /// File accesses in program order.
+    pub accesses: Vec<(String, Access)>,
+}
+
+/// Declared access sets for one task of a `WorkflowSpec` (specs carry
+/// opaque I/O closures, so accesses must be declared to lint them).
+#[derive(Clone, Debug, Default)]
+pub struct AccessDecl {
+    /// Files the task reads.
+    pub reads: Vec<String>,
+    /// Files the task writes.
+    pub writes: Vec<String>,
+}
+
+/// Analyzer configuration.
+#[derive(Clone, Debug, Default)]
+pub struct LintConfig {
+    /// Files that exist before the plan starts (inputs produced outside
+    /// it). `None` disables the dangling-file check entirely: any file
+    /// without an in-plan producer is assumed external. `Some(set)` makes
+    /// reads of producer-less files outside the set a
+    /// [`Finding::DanglingFileRef`].
+    pub external_inputs: Option<BTreeSet<String>>,
+}
+
+impl LintConfig {
+    /// A config declaring the complete set of pre-existing input files.
+    pub fn with_external_inputs(files: impl IntoIterator<Item = String>) -> Self {
+        Self {
+            external_inputs: Some(files.into_iter().collect()),
+        }
+    }
+}
+
+/// Extracts the analyzer's view of a replay job. Writes count only when
+/// they move data (metadata-only writes — superblock updates by readers,
+/// say — are structural, not production), matching `producers_of` in the
+/// workflow crate; reads count regardless of access type.
+pub fn plan_from_sim_tasks(tasks: &[SimTask]) -> Vec<PlanTask> {
+    tasks
+        .iter()
+        .map(|t| PlanTask {
+            name: t.name.clone(),
+            deps: t.deps.clone(),
+            accesses: t
+                .program
+                .iter()
+                .filter_map(|op| match op {
+                    SimOp::Io {
+                        file,
+                        dir: IoDir::Read,
+                        ..
+                    } => Some((file.clone(), Access::Read)),
+                    SimOp::Io {
+                        file,
+                        dir: IoDir::Write,
+                        metadata: false,
+                        ..
+                    } => Some((file.clone(), Access::Write)),
+                    _ => None,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Builds the analyzer's view of a staged spec from declared access sets
+/// (`decls` maps task name → declaration; undeclared tasks lint as doing
+/// no I/O). Dependencies are the spec's stage barriers: every task of
+/// stage *i* depends on every task of stage *i-1*.
+pub fn plan_from_spec(spec: &WorkflowSpec, decls: &BTreeMap<String, AccessDecl>) -> Vec<PlanTask> {
+    let mut plan = Vec::with_capacity(spec.task_count());
+    let mut prev_stage: Vec<usize> = Vec::new();
+    for stage in &spec.stages {
+        let start = plan.len();
+        for task in &stage.tasks {
+            let mut accesses = Vec::new();
+            if let Some(decl) = decls.get(&task.name) {
+                for f in &decl.reads {
+                    accesses.push((f.clone(), Access::Read));
+                }
+                for f in &decl.writes {
+                    accesses.push((f.clone(), Access::Write));
+                }
+            }
+            plan.push(PlanTask {
+                name: task.name.clone(),
+                deps: prev_stage.clone(),
+                accesses,
+            });
+        }
+        prev_stage = (start..plan.len()).collect();
+    }
+    plan
+}
+
+/// Transitive-closure ancestor sets: `result[i]` holds every task index
+/// that happens-before task `i`. Out-of-range dependency indices are
+/// ignored (the simulation engine reports those as its own error); cycles
+/// cannot deadlock the walk (visited tasks are never re-entered).
+pub fn ancestors(plan: &[PlanTask]) -> Vec<BTreeSet<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unvisited,
+        InProgress,
+        Done,
+    }
+    fn visit(i: usize, plan: &[PlanTask], state: &mut [State], memo: &mut [BTreeSet<usize>]) {
+        if state[i] != State::Unvisited {
+            return;
+        }
+        state[i] = State::InProgress;
+        let deps = plan[i].deps.clone();
+        let mut anc = BTreeSet::new();
+        for d in deps {
+            if d >= plan.len() || d == i {
+                continue;
+            }
+            visit(d, plan, state, memo);
+            // An in-progress dep means a cycle; its (partial) ancestors
+            // are still sound to merge.
+            anc.insert(d);
+            anc.extend(memo[d].iter().copied());
+        }
+        memo[i] = anc;
+        state[i] = State::Done;
+    }
+
+    let mut state = vec![State::Unvisited; plan.len()];
+    let mut memo = vec![BTreeSet::new(); plan.len()];
+    for i in 0..plan.len() {
+        visit(i, plan, &mut state, &mut memo);
+    }
+    memo
+}
+
+/// Position of the first read and first write of `file` in a task's
+/// access list, if any.
+fn first_access(task: &PlanTask, file: &str) -> (Option<usize>, Option<usize>) {
+    let mut first_read = None;
+    let mut first_write = None;
+    for (pos, (f, access)) in task.accesses.iter().enumerate() {
+        if f != file {
+            continue;
+        }
+        match access {
+            Access::Read if first_read.is_none() => first_read = Some(pos),
+            Access::Write if first_write.is_none() => first_write = Some(pos),
+            _ => {}
+        }
+    }
+    (first_read, first_write)
+}
+
+/// Whether `task` consumes `file`: it reads the file before (or without)
+/// writing it itself. A task that writes first and reads its own output
+/// back is a producer, not a consumer.
+fn consumes(task: &PlanTask, file: &str) -> bool {
+    match first_access(task, file) {
+        (Some(r), Some(w)) => r < w,
+        (Some(_), None) => true,
+        _ => false,
+    }
+}
+
+/// The file a disposal task (`stage_out:<file>` / `drop:<file>`) retires,
+/// if the task is one.
+fn disposed_file(name: &str) -> Option<&str> {
+    name.strip_prefix("stage_out:")
+        .or_else(|| name.strip_prefix("drop:"))
+}
+
+/// Runs the hazard analysis over a plan.
+pub fn analyze_plan(plan: &[PlanTask], cfg: &LintConfig) -> Report {
+    let mut report = Report::new();
+    let anc = ancestors(plan);
+    let ordered = |before: usize, after: usize| anc[after].contains(&before);
+
+    // Per-file writer and reader index lists, in task order.
+    let mut writers: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut readers: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, task) in plan.iter().enumerate() {
+        let mut seen: BTreeSet<(&str, Access)> = BTreeSet::new();
+        for (f, access) in &task.accesses {
+            if !seen.insert((f.as_str(), *access)) {
+                continue;
+            }
+            match access {
+                Access::Write => writers.entry(f.as_str()).or_default().push(i),
+                Access::Read => readers.entry(f.as_str()).or_default().push(i),
+            }
+        }
+    }
+
+    // Write-write races: unordered pairs of distinct writers.
+    for (file, ws) in &writers {
+        for (a_pos, &a) in ws.iter().enumerate() {
+            for &b in &ws[a_pos + 1..] {
+                if !ordered(a, b) && !ordered(b, a) {
+                    let (first, second) = if plan[a].name <= plan[b].name {
+                        (plan[a].name.clone(), plan[b].name.clone())
+                    } else {
+                        (plan[b].name.clone(), plan[a].name.clone())
+                    };
+                    report.push(Finding::WriteWriteRace {
+                        file: (*file).to_owned(),
+                        first,
+                        second,
+                    });
+                }
+            }
+        }
+    }
+
+    // Read-before-write and dangling references.
+    for (file, rs) in &readers {
+        let ws = writers.get(file).map(Vec::as_slice).unwrap_or_default();
+        for &r in rs {
+            if !consumes(&plan[r], file) {
+                continue;
+            }
+            let foreign: Vec<usize> = ws.iter().copied().filter(|&w| w != r).collect();
+            if foreign.is_empty() {
+                if let Some(inputs) = &cfg.external_inputs {
+                    if !inputs.contains(*file) {
+                        report.push(Finding::DanglingFileRef {
+                            file: (*file).to_owned(),
+                            reader: plan[r].name.clone(),
+                        });
+                    }
+                }
+            } else if !foreign.iter().any(|&w| ordered(w, r)) {
+                report.push(Finding::ReadBeforeWrite {
+                    file: (*file).to_owned(),
+                    reader: plan[r].name.clone(),
+                    writers: foreign.iter().map(|&w| plan[w].name.clone()).collect(),
+                });
+            }
+        }
+    }
+
+    // Use-after-dispose: a reader ordered after the file's disposal task.
+    for (d, task) in plan.iter().enumerate() {
+        let Some(file) = disposed_file(&task.name) else {
+            continue;
+        };
+        let Some(rs) = readers.get(file) else {
+            continue;
+        };
+        for &r in rs {
+            if r != d && ordered(d, r) {
+                report.push(Finding::UseAfterDispose {
+                    file: file.to_owned(),
+                    reader: plan[r].name.clone(),
+                    disposer: task.name.clone(),
+                });
+            }
+        }
+    }
+
+    report
+}
+
+/// [`analyze_plan`] over a replay job.
+pub fn analyze_sim_tasks(tasks: &[SimTask], cfg: &LintConfig) -> Report {
+    analyze_plan(&plan_from_sim_tasks(tasks), cfg)
+}
+
+/// [`analyze_plan`] over a staged spec with declared access sets.
+pub fn analyze_spec(
+    spec: &WorkflowSpec,
+    decls: &BTreeMap<String, AccessDecl>,
+    cfg: &LintConfig,
+) -> Report {
+    analyze_plan(&plan_from_spec(spec, decls), cfg)
+}
+
+/// Hazard analysis over a recorded trace bundle. A bundle carries no
+/// dependency edges, so hazards are judged against observed timestamps:
+/// two data writes of the same file from different tasks whose intervals
+/// overlap raced; a task whose first read of a file starts before any
+/// write of it (its own included) read uninitialized data. Disposal
+/// checks are plan-level only — traces record what ran, not what may run.
+pub fn analyze_bundle(bundle: &TraceBundle, cfg: &LintConfig) -> Report {
+    let mut report = Report::new();
+
+    // Per (file, task): write interval [min start, max end] over data
+    // writes, and the earliest read start over all reads.
+    let mut write_span: BTreeMap<(&str, &str), (u64, u64)> = BTreeMap::new();
+    let mut first_read: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+    for r in &bundle.vfd {
+        let key = (r.file.as_str(), r.task.as_str());
+        match r.kind {
+            IoKind::Write => {
+                let span = write_span.entry(key).or_insert((r.start.0, r.end.0));
+                span.0 = span.0.min(r.start.0);
+                span.1 = span.1.max(r.end.0);
+            }
+            IoKind::Read => {
+                let first = first_read.entry(key).or_insert(r.start.0);
+                *first = (*first).min(r.start.0);
+            }
+            _ => {}
+        }
+    }
+
+    // Write-write races: overlapping write intervals on one file.
+    let mut by_file: BTreeMap<&str, Vec<(&str, u64, u64)>> = BTreeMap::new();
+    for (&(file, task), &(start, end)) in &write_span {
+        by_file.entry(file).or_default().push((task, start, end));
+    }
+    for (file, spans) in &by_file {
+        for (a_pos, &(a, a_start, a_end)) in spans.iter().enumerate() {
+            for &(b, b_start, b_end) in &spans[a_pos + 1..] {
+                if a_start < b_end && b_start < a_end {
+                    let (first, second) = if a <= b { (a, b) } else { (b, a) };
+                    report.push(Finding::WriteWriteRace {
+                        file: (*file).to_owned(),
+                        first: first.to_owned(),
+                        second: second.to_owned(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Read-before-write and dangling references.
+    for (&(file, task), &read_start) in &first_read {
+        let file_writers: Vec<&str> = by_file
+            .get(file)
+            .map(|spans| spans.iter().map(|&(t, _, _)| t).collect())
+            .unwrap_or_default();
+        if file_writers.is_empty() {
+            if let Some(inputs) = &cfg.external_inputs {
+                if !inputs.contains(file) {
+                    report.push(Finding::DanglingFileRef {
+                        file: file.to_owned(),
+                        reader: task.to_owned(),
+                    });
+                }
+            }
+            continue;
+        }
+        let initialized = by_file
+            .get(file)
+            .is_some_and(|spans| spans.iter().any(|&(_, start, _)| start <= read_start));
+        if !initialized {
+            report.push(Finding::ReadBeforeWrite {
+                file: file.to_owned(),
+                reader: task.to_owned(),
+                writers: file_writers.iter().map(|&t| t.to_owned()).collect(),
+            });
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_sim::program::SimOp;
+
+    fn task(name: &str, deps: &[usize], program: Vec<SimOp>) -> SimTask {
+        SimTask::new(name).after(deps).with_program(program)
+    }
+
+    #[test]
+    fn ordered_chain_is_clean() {
+        let tasks = vec![
+            task("producer", &[], vec![SimOp::write("f", 10)]),
+            task("consumer", &[0], vec![SimOp::read("f", 10)]),
+        ];
+        assert!(analyze_sim_tasks(&tasks, &LintConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn concurrent_writers_race() {
+        let tasks = vec![
+            task("w1", &[], vec![SimOp::write("shared", 10)]),
+            task("w2", &[], vec![SimOp::write("shared", 10)]),
+        ];
+        let report = analyze_sim_tasks(&tasks, &LintConfig::default());
+        assert_eq!(report.len(), 1);
+        assert!(matches!(
+            &report.findings[0],
+            Finding::WriteWriteRace { file, first, second }
+                if file == "shared" && first == "w1" && second == "w2"
+        ));
+    }
+
+    #[test]
+    fn ordered_writers_do_not_race() {
+        let tasks = vec![
+            task("w1", &[], vec![SimOp::write("shared", 10)]),
+            task("mid", &[0], vec![SimOp::compute(1)]),
+            task("w2", &[1], vec![SimOp::write("shared", 10)]),
+        ];
+        assert!(analyze_sim_tasks(&tasks, &LintConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn unordered_read_is_read_before_write() {
+        let tasks = vec![
+            task("producer", &[], vec![SimOp::write("f", 10)]),
+            task("eager", &[], vec![SimOp::read("f", 10)]),
+        ];
+        let report = analyze_sim_tasks(&tasks, &LintConfig::default());
+        assert_eq!(report.len(), 1);
+        assert!(matches!(
+            &report.findings[0],
+            Finding::ReadBeforeWrite { reader, .. } if reader == "eager"
+        ));
+    }
+
+    #[test]
+    fn self_write_then_read_is_production_not_consumption() {
+        let tasks = vec![task(
+            "scratch",
+            &[],
+            vec![SimOp::write("tmp", 10), SimOp::read("tmp", 10)],
+        )];
+        let cfg = LintConfig::with_external_inputs(Vec::new());
+        assert!(analyze_sim_tasks(&tasks, &cfg).is_clean());
+    }
+
+    #[test]
+    fn dangling_reference_needs_declared_inputs() {
+        let tasks = vec![task("r", &[], vec![SimOp::read("mystery", 10)])];
+        // Without declared inputs, producer-less files are assumed external.
+        assert!(analyze_sim_tasks(&tasks, &LintConfig::default()).is_clean());
+        // With a declared input set that lacks the file, the read dangles.
+        let cfg = LintConfig::with_external_inputs(vec!["known".to_owned()]);
+        let report = analyze_sim_tasks(&tasks, &cfg);
+        assert_eq!(report.len(), 1);
+        assert!(matches!(
+            &report.findings[0],
+            Finding::DanglingFileRef { file, .. } if file == "mystery"
+        ));
+    }
+
+    #[test]
+    fn read_after_stage_out_is_use_after_dispose() {
+        let tasks = vec![
+            task("producer", &[], vec![SimOp::write("f", 10)]),
+            task(
+                "stage_out:f",
+                &[0],
+                vec![SimOp::read("f", 10), SimOp::write("f@archive", 10)],
+            ),
+            task("late", &[1], vec![SimOp::read("f", 10)]),
+        ];
+        let report = analyze_sim_tasks(&tasks, &LintConfig::default());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::UseAfterDispose { reader, .. } if reader == "late")));
+    }
+
+    #[test]
+    fn metadata_writes_do_not_produce() {
+        use dayu_sim::program::IoDir;
+        // A reader that bumps metadata (superblock rewrite) must not count
+        // as a producer racing other readers.
+        let tasks = vec![
+            task("w", &[], vec![SimOp::write("f", 10)]),
+            task(
+                "r1",
+                &[0],
+                vec![SimOp::read("f", 10), SimOp::metadata("f", IoDir::Write, 64)],
+            ),
+            task(
+                "r2",
+                &[0],
+                vec![SimOp::read("f", 10), SimOp::metadata("f", IoDir::Write, 64)],
+            ),
+        ];
+        assert!(analyze_sim_tasks(&tasks, &LintConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn spec_plan_uses_stage_barriers() {
+        use dayu_workflow::TaskSpec;
+        let spec = WorkflowSpec::new("wf")
+            .stage("produce", vec![TaskSpec::new("p", |_| Ok(()))])
+            .stage("consume", vec![TaskSpec::new("c", |_| Ok(()))]);
+        let mut decls = BTreeMap::new();
+        decls.insert(
+            "p".to_owned(),
+            AccessDecl {
+                reads: vec![],
+                writes: vec!["f".to_owned()],
+            },
+        );
+        decls.insert(
+            "c".to_owned(),
+            AccessDecl {
+                reads: vec!["f".to_owned()],
+                writes: vec![],
+            },
+        );
+        assert!(analyze_spec(&spec, &decls, &LintConfig::default()).is_clean());
+
+        // Same accesses within one stage: the barrier no longer orders
+        // them, so the read has no ordered producer.
+        let flat = WorkflowSpec::new("wf").stage(
+            "both",
+            vec![
+                TaskSpec::new("p", |_| Ok(())),
+                TaskSpec::new("c", |_| Ok(())),
+            ],
+        );
+        let report = analyze_spec(&flat, &decls, &LintConfig::default());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::ReadBeforeWrite { .. })));
+    }
+
+    #[test]
+    fn ancestors_handle_cycles_and_bad_indices() {
+        let plan = vec![
+            PlanTask {
+                name: "a".into(),
+                deps: vec![1, 99],
+                accesses: vec![],
+            },
+            PlanTask {
+                name: "b".into(),
+                deps: vec![0],
+                accesses: vec![],
+            },
+        ];
+        let anc = ancestors(&plan);
+        assert!(anc[0].contains(&1));
+        assert!(anc[1].contains(&0));
+    }
+}

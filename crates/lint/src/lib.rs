@@ -1,0 +1,37 @@
+//! # dayu-lint
+//!
+//! Static analysis for the DaYu stack: every pass here runs **without
+//! executing the simulator**, answering "is this workflow / trace / file
+//! safe?" from structure alone. Three passes share one diagnostic model
+//! ([`Finding`] / [`Report`]):
+//!
+//! 1. **Dataflow-hazard analysis** ([`hazard`]) — over a replay plan
+//!    (`SimTask`s), a declared [`WorkflowSpec`](dayu_workflow::WorkflowSpec),
+//!    or a recorded [`TraceBundle`](dayu_trace::TraceBundle): write-write
+//!    races, reads before any ordered producer, reads after stage-out/drop,
+//!    and references to files nothing produces.
+//! 2. **Transform semantics-preservation verification** ([`verify`]) — the
+//!    optimizer's plan rewrites (`dayu_workflow::transform`) are checked to
+//!    introduce no new hazards and break no producer→consumer ordering;
+//!    violating transforms are rolled back. `dayu_core::auto::optimize`
+//!    applies every rewrite through this gate.
+//! 3. **Format fsck** ([`fsck`]) — a structural walk of a raw `dayu-hdf`
+//!    file image: superblock/object-header invariants, chunk-index entries
+//!    inside the allocated file, live global-heap references, and no two
+//!    structures claiming the same bytes.
+//!
+//! CLI entry points: `dayu-analyze check <trace.jsonl>` (pass 1 over a
+//! recorded trace) and `dayu-h5ls --fsck <file>` (pass 3).
+
+pub mod fsck;
+pub mod hazard;
+pub mod model;
+pub mod verify;
+
+pub use fsck::fsck_bytes;
+pub use hazard::{
+    analyze_bundle, analyze_plan, analyze_sim_tasks, analyze_spec, plan_from_sim_tasks,
+    plan_from_spec, Access, AccessDecl, LintConfig, PlanTask,
+};
+pub use model::{Finding, Report};
+pub use verify::{check, snapshot, snapshot_with, verified, PlanSnapshot, SemanticsViolation};

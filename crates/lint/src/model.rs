@@ -1,0 +1,298 @@
+//! The diagnostic model shared by all three passes.
+//!
+//! Mirrors the analyzer's `Finding` idiom: a closed enum of structured
+//! findings, each with a stable kebab-case category for aggregation, plus a
+//! [`Report`] collecting them. Unlike the analyzer's findings (which are
+//! *opportunities*), every lint finding is a defect: a plan, trace or file
+//! exhibiting it is unsafe to run, optimize or read.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One defect surfaced by a lint pass.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Finding {
+    /// Two tasks that may run concurrently both write the same file.
+    WriteWriteRace {
+        /// The contended file.
+        file: String,
+        /// First writer (lexicographically smaller name).
+        first: String,
+        /// Second writer.
+        second: String,
+    },
+    /// A task reads a file that is written somewhere in the plan, but no
+    /// writer is guaranteed to have finished first.
+    ReadBeforeWrite {
+        /// The file read too early.
+        file: String,
+        /// The reading task.
+        reader: String,
+        /// The writers none of which happen-before the reader.
+        writers: Vec<String>,
+    },
+    /// A task reads a file after its stage-out/drop task has run.
+    UseAfterDispose {
+        /// The disposed file.
+        file: String,
+        /// The late reader.
+        reader: String,
+        /// The disposing task (e.g. `stage_out:<file>`).
+        disposer: String,
+    },
+    /// A task reads a file no plan task produces and that is not declared
+    /// as an external input.
+    DanglingFileRef {
+        /// The unknown file.
+        file: String,
+        /// The reading task.
+        reader: String,
+    },
+    /// A transform removed the happens-before edge between a producer and
+    /// a consumer of the same file (reported by the verifier only).
+    OrderingLost {
+        /// The file whose ordering broke.
+        file: String,
+        /// The producing task.
+        producer: String,
+        /// The consuming task that no longer waits for it.
+        consumer: String,
+    },
+    /// The superblock is missing, undecodable or inconsistent.
+    SuperblockInvalid {
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// An object header block is undecodable or internally inconsistent.
+    ObjectHeaderInvalid {
+        /// Path of the object (best effort).
+        path: String,
+        /// Address of the header block.
+        addr: u64,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// Two allocated structures occupy overlapping byte ranges.
+    OverlappingExtents {
+        /// Label of the first structure.
+        a: String,
+        /// First structure's address.
+        a_addr: u64,
+        /// First structure's length.
+        a_len: u64,
+        /// Label of the second structure.
+        b: String,
+        /// Second structure's address.
+        b_addr: u64,
+        /// Second structure's length.
+        b_len: u64,
+    },
+    /// A chunk-index entry points at bytes outside the allocated file.
+    ChunkEntryOutOfBounds {
+        /// Path of the chunked dataset.
+        dataset: String,
+        /// Chunk ordinal within the index.
+        ordinal: u64,
+        /// Recorded chunk address.
+        addr: u64,
+        /// Recorded chunk size.
+        size: u64,
+        /// The file's allocated end.
+        eof: u64,
+    },
+    /// A variable-length descriptor references a missing or truncated
+    /// global-heap block.
+    DanglingHeapRef {
+        /// Path of the dataset holding the descriptor.
+        dataset: String,
+        /// The referenced heap-block address.
+        block_addr: u64,
+        /// What is wrong with the reference.
+        detail: String,
+    },
+}
+
+impl Finding {
+    /// Stable category label for aggregation and CLI output.
+    pub fn category(&self) -> &'static str {
+        match self {
+            Finding::WriteWriteRace { .. } => "write-write-race",
+            Finding::ReadBeforeWrite { .. } => "read-before-write",
+            Finding::UseAfterDispose { .. } => "use-after-dispose",
+            Finding::DanglingFileRef { .. } => "dangling-file-ref",
+            Finding::OrderingLost { .. } => "ordering-lost",
+            Finding::SuperblockInvalid { .. } => "superblock-invalid",
+            Finding::ObjectHeaderInvalid { .. } => "object-header-invalid",
+            Finding::OverlappingExtents { .. } => "overlapping-extents",
+            Finding::ChunkEntryOutOfBounds { .. } => "chunk-out-of-bounds",
+            Finding::DanglingHeapRef { .. } => "dangling-heap-ref",
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::WriteWriteRace {
+                file,
+                first,
+                second,
+            } => write!(
+                f,
+                "tasks {first:?} and {second:?} may write {file:?} concurrently"
+            ),
+            Finding::ReadBeforeWrite {
+                file,
+                reader,
+                writers,
+            } => write!(
+                f,
+                "task {reader:?} reads {file:?} with no ordered producer (written by {writers:?})"
+            ),
+            Finding::UseAfterDispose {
+                file,
+                reader,
+                disposer,
+            } => write!(
+                f,
+                "task {reader:?} reads {file:?} after {disposer:?} disposed of it"
+            ),
+            Finding::DanglingFileRef { file, reader } => write!(
+                f,
+                "task {reader:?} reads {file:?}, which no task produces and no input declares"
+            ),
+            Finding::OrderingLost {
+                file,
+                producer,
+                consumer,
+            } => write!(
+                f,
+                "transform reordered producer {producer:?} past consumer {consumer:?} of {file:?}"
+            ),
+            Finding::SuperblockInvalid { detail } => write!(f, "superblock: {detail}"),
+            Finding::ObjectHeaderInvalid { path, addr, detail } => {
+                write!(f, "object header {path:?} at {addr}: {detail}")
+            }
+            Finding::OverlappingExtents {
+                a,
+                a_addr,
+                a_len,
+                b,
+                b_addr,
+                b_len,
+            } => write!(
+                f,
+                "{a} [{a_addr}, {}) overlaps {b} [{b_addr}, {})",
+                a_addr + a_len,
+                b_addr + b_len
+            ),
+            Finding::ChunkEntryOutOfBounds {
+                dataset,
+                ordinal,
+                addr,
+                size,
+                eof,
+            } => write!(
+                f,
+                "chunk {ordinal} of {dataset:?} at [{addr}, {}) lies beyond eof {eof}",
+                addr + size
+            ),
+            Finding::DanglingHeapRef {
+                dataset,
+                block_addr,
+                detail,
+            } => write!(
+                f,
+                "var-len descriptor in {dataset:?} references heap block {block_addr}: {detail}"
+            ),
+        }
+    }
+}
+
+/// The outcome of a lint pass: zero or more findings.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Defects found, in discovery order.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the pass found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.findings.len()
+    }
+
+    /// Whether the report holds no findings (alias of [`Report::is_clean`]).
+    pub fn is_empty(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, finding: Finding) {
+        self.findings.push(finding);
+    }
+
+    /// Absorbs another report's findings.
+    pub fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return writeln!(f, "clean: 0 findings");
+        }
+        writeln!(f, "{} finding(s):", self.findings.len())?;
+        for finding in &self.findings {
+            writeln!(f, "  [{}] {finding}", finding.category())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_are_stable() {
+        let f = Finding::WriteWriteRace {
+            file: "f".into(),
+            first: "a".into(),
+            second: "b".into(),
+        };
+        assert_eq!(f.category(), "write-write-race");
+        assert!(f.to_string().contains("concurrently"));
+    }
+
+    #[test]
+    fn report_collects_and_displays() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        assert!(r.is_empty());
+        r.push(Finding::SuperblockInvalid {
+            detail: "bad magic".into(),
+        });
+        let mut other = Report::new();
+        other.push(Finding::DanglingFileRef {
+            file: "x".into(),
+            reader: "t".into(),
+        });
+        r.merge(other);
+        assert_eq!(r.len(), 2);
+        let text = r.to_string();
+        assert!(text.contains("superblock-invalid"));
+        assert!(text.contains("dangling-file-ref"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Pass 2 — the transform semantics-preservation verifier.
+//!
+//! The optimization transforms (`dayu_workflow::transform`) rewrite a
+//! replay plan for speed; none of them may rewrite its *meaning*. The
+//! verifier pins that down as two invariants checked across each call:
+//!
+//! 1. **No new hazards** — the hazard report of the rewritten plan must
+//!    not contain findings the original plan did not already have.
+//! 2. **No lost orderings** — every (producer, consumer, file)
+//!    happens-before edge of the original plan must survive, unless the
+//!    transform redirected the consumer away from the file (stage-in
+//!    replicas) or removed one endpoint's access entirely.
+//!
+//! [`verified`] wraps a transform application in snapshot → apply → check
+//! and rolls the plan back when the check fails, so an illegal
+//! `parallelize(producer, consumer)` leaves the plan untouched.
+
+use crate::hazard::{analyze_sim_tasks, ancestors, plan_from_sim_tasks, Access, LintConfig};
+use crate::model::{Finding, Report};
+use dayu_sim::program::SimTask;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The hazard/happens-before state of a plan before a transform runs.
+#[derive(Clone, Debug)]
+pub struct PlanSnapshot {
+    /// Debug-format keys of findings already present before the transform
+    /// (pre-existing defects are not the transform's fault).
+    baseline: BTreeSet<String>,
+    /// Every (producer, consumer, file) ordering the plan guarantees.
+    orderings: BTreeSet<(String, String, String)>,
+    cfg: LintConfig,
+}
+
+fn finding_key(f: &Finding) -> String {
+    format!("{f:?}")
+}
+
+/// All (producer, consumer, file) triples where the producer data-writes
+/// the file, the consumer reads it, and the producer happens-before the
+/// consumer.
+fn orderings(tasks: &[SimTask]) -> BTreeSet<(String, String, String)> {
+    let plan = plan_from_sim_tasks(tasks);
+    let anc = ancestors(&plan);
+    let mut out = BTreeSet::new();
+    for (c, consumer) in plan.iter().enumerate() {
+        let reads: BTreeSet<&str> = consumer
+            .accesses
+            .iter()
+            .filter(|(_, a)| *a == Access::Read)
+            .map(|(f, _)| f.as_str())
+            .collect();
+        if reads.is_empty() {
+            continue;
+        }
+        for &p in &anc[c] {
+            if p == c {
+                continue;
+            }
+            for (f, a) in &plan[p].accesses {
+                if *a == Access::Write && reads.contains(f.as_str()) {
+                    out.insert((plan[p].name.clone(), consumer.name.clone(), f.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn reads_file(tasks: &[SimTask], name: &str, file: &str) -> bool {
+    plan_from_sim_tasks(tasks).iter().any(|t| {
+        t.name == name
+            && t.accesses
+                .iter()
+                .any(|(f, a)| f == file && *a == Access::Read)
+    })
+}
+
+fn writes_file(tasks: &[SimTask], name: &str, file: &str) -> bool {
+    plan_from_sim_tasks(tasks).iter().any(|t| {
+        t.name == name
+            && t.accesses
+                .iter()
+                .any(|(f, a)| f == file && *a == Access::Write)
+    })
+}
+
+/// Snapshots a plan with the default (permissive) hazard config.
+pub fn snapshot(tasks: &[SimTask]) -> PlanSnapshot {
+    snapshot_with(tasks, LintConfig::default())
+}
+
+/// Snapshots a plan with an explicit hazard config.
+pub fn snapshot_with(tasks: &[SimTask], cfg: LintConfig) -> PlanSnapshot {
+    let report = analyze_sim_tasks(tasks, &cfg);
+    PlanSnapshot {
+        baseline: report.findings.iter().map(finding_key).collect(),
+        orderings: orderings(tasks),
+        cfg,
+    }
+}
+
+/// Checks a rewritten plan against its pre-transform snapshot. The report
+/// holds only *regressions*: hazards absent from the baseline, plus an
+/// [`Finding::OrderingLost`] for every broken producer→consumer edge
+/// whose endpoints still access the file.
+pub fn check(snap: &PlanSnapshot, after: &[SimTask]) -> Report {
+    let mut report = analyze_sim_tasks(after, &snap.cfg);
+    report
+        .findings
+        .retain(|f| !snap.baseline.contains(&finding_key(f)));
+
+    let now = orderings(after);
+    for (producer, consumer, file) in snap.orderings.difference(&now) {
+        // A redirected read (stage-in replica) or a removed access is a
+        // legitimate rewrite; a surviving read/write pair without the
+        // edge is a reorder.
+        if reads_file(after, consumer, file) && writes_file(after, producer, file) {
+            report.push(Finding::OrderingLost {
+                file: file.clone(),
+                producer: producer.clone(),
+                consumer: consumer.clone(),
+            });
+        }
+    }
+    report
+}
+
+/// A transform rejected for breaking dataflow semantics.
+#[derive(Clone, Debug)]
+pub struct SemanticsViolation {
+    /// The offending transform (label supplied by the caller).
+    pub transform: String,
+    /// The regressions it would have introduced.
+    pub report: Report,
+}
+
+impl fmt::Display for SemanticsViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transform {:?} breaks dataflow semantics: {}",
+            self.transform,
+            self.report
+                .findings
+                .iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        )
+    }
+}
+
+impl std::error::Error for SemanticsViolation {}
+
+/// Applies a transform under verification: snapshot, apply, check. On
+/// violation the plan is restored to its pre-transform state and the
+/// regressions are returned as the error.
+pub fn verified<R>(
+    tasks: &mut Vec<SimTask>,
+    transform: &str,
+    apply: impl FnOnce(&mut Vec<SimTask>) -> R,
+) -> Result<R, SemanticsViolation> {
+    let snap = snapshot(tasks);
+    let saved = tasks.clone();
+    let out = apply(tasks);
+    let report = check(&snap, tasks);
+    if report.is_clean() {
+        Ok(out)
+    } else {
+        *tasks = saved;
+        Err(SemanticsViolation {
+            transform: transform.to_owned(),
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_sim::cluster::Placement;
+    use dayu_sim::program::SimOp;
+    use dayu_sim::tiers::TierKind;
+    use dayu_workflow::transform;
+
+    fn chain() -> Vec<SimTask> {
+        vec![
+            SimTask::new("producer").with_program(vec![SimOp::write("f.h5", 1 << 20)]),
+            SimTask::new("consumer")
+                .after(&[0])
+                .with_program(vec![SimOp::read("f.h5", 1 << 20)]),
+        ]
+    }
+
+    #[test]
+    fn co_schedule_is_semantics_preserving() {
+        let mut tasks = chain();
+        verified(&mut tasks, "co_schedule", |t| {
+            transform::co_schedule(t, "producer", "consumer")
+        })
+        .unwrap();
+        assert_eq!(tasks[1].node, tasks[0].node);
+    }
+
+    #[test]
+    fn stage_in_is_semantics_preserving() {
+        let mut tasks = chain();
+        let mut placement = Placement::new();
+        let staged = verified(&mut tasks, "stage_in", |t| {
+            transform::stage_in(t, &mut placement, "f.h5", 1 << 20, 0, TierKind::NvmeSsd)
+        })
+        .unwrap();
+        assert_eq!(staged, "f.h5@node0");
+        assert_eq!(tasks.len(), 3);
+    }
+
+    #[test]
+    fn stage_out_is_semantics_preserving() {
+        let mut tasks = chain();
+        verified(&mut tasks, "stage_out_async", |t| {
+            transform::stage_out_async(t, "f.h5", 1 << 20, 0)
+        })
+        .unwrap();
+        assert_eq!(tasks.len(), 3);
+    }
+
+    #[test]
+    fn illegal_parallelize_is_rejected_and_rolled_back() {
+        let mut tasks = chain();
+        let before = tasks.clone();
+        let err = verified(&mut tasks, "parallelize", |t| {
+            transform::parallelize(t, "producer", "consumer")
+        })
+        .unwrap_err();
+        assert_eq!(tasks, before, "plan restored on rejection");
+        assert!(
+            err.report.findings.iter().any(|f| matches!(
+                f,
+                Finding::OrderingLost { .. } | Finding::ReadBeforeWrite { .. }
+            )),
+            "{err}"
+        );
+        assert!(err.to_string().contains("parallelize"));
+    }
+
+    #[test]
+    fn legal_parallelize_is_accepted() {
+        // infer does not read train's output, only the shared input both
+        // wait for — removing the barrier between them is safe.
+        let mut tasks = vec![
+            SimTask::new("sims").with_program(vec![SimOp::write("traj", 100)]),
+            SimTask::new("train")
+                .after(&[0])
+                .with_program(vec![SimOp::read("traj", 100), SimOp::write("model", 10)]),
+            SimTask::new("infer")
+                .after(&[1])
+                .with_program(vec![SimOp::read("traj", 100)]),
+        ];
+        verified(&mut tasks, "parallelize", |t| {
+            transform::parallelize(t, "train", "infer")
+        })
+        .unwrap();
+        assert_eq!(tasks[2].deps, vec![0], "inherited the data dependency");
+    }
+
+    #[test]
+    fn preexisting_hazards_are_not_blamed_on_the_transform() {
+        // The plan already races; a harmless transform must still pass.
+        let mut tasks = vec![
+            SimTask::new("w1").with_program(vec![SimOp::write("shared", 1)]),
+            SimTask::new("w2").with_program(vec![SimOp::write("shared", 1)]),
+        ];
+        verified(&mut tasks, "co_schedule", |t| {
+            transform::co_schedule(t, "w1", "w2")
+        })
+        .unwrap();
+    }
+}

@@ -97,9 +97,13 @@ impl MapperConfig {
                         .parse()
                         .map_err(|_| bad("skip_ops must be an integer"))?
                 }
-                "trace_io" => cfg.trace_io = parse_bool(value).ok_or_else(|| bad("trace_io must be on/off"))?,
+                "trace_io" => {
+                    cfg.trace_io =
+                        parse_bool(value).ok_or_else(|| bad("trace_io must be on/off"))?
+                }
                 "trace_vol" => {
-                    cfg.trace_vol = parse_bool(value).ok_or_else(|| bad("trace_vol must be on/off"))?
+                    cfg.trace_vol =
+                        parse_bool(value).ok_or_else(|| bad("trace_vol must be on/off"))?
                 }
                 _ => return Err(bad("unknown key")),
             }
@@ -151,10 +155,18 @@ mod tests {
     #[test]
     fn parse_bool_variants() {
         for v in ["on", "true", "1", "yes", "ON", "True"] {
-            assert!(MapperConfig::parse(&format!("trace_io={v}")).unwrap().trace_io);
+            assert!(
+                MapperConfig::parse(&format!("trace_io={v}"))
+                    .unwrap()
+                    .trace_io
+            );
         }
         for v in ["off", "false", "0", "no"] {
-            assert!(!MapperConfig::parse(&format!("trace_io={v}")).unwrap().trace_io);
+            assert!(
+                !MapperConfig::parse(&format!("trace_io={v}"))
+                    .unwrap()
+                    .trace_io
+            );
         }
     }
 

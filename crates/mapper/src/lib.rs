@@ -106,18 +106,14 @@ impl Mapper {
 
     /// Parses configuration text through the Input Parser (timed as such)
     /// and builds the mapper.
-    pub fn from_config_text(
-        workflow: impl Into<String>,
-        text: &str,
-    ) -> Result<Self, ConfigError> {
+    pub fn from_config_text(workflow: impl Into<String>, text: &str) -> Result<Self, ConfigError> {
         let timers = Arc::new(ComponentTimers::default());
         let cfg = timers.time(Component::InputParser, || MapperConfig::parse(text))?;
         let mapper = Self::with_config(workflow, cfg);
         // Transplant the parse time into the session's timers.
-        mapper.timers.add(
-            Component::InputParser,
-            timers.get(Component::InputParser),
-        );
+        mapper
+            .timers
+            .add(Component::InputParser, timers.get(Component::InputParser));
         Ok(mapper)
     }
 
@@ -251,9 +247,7 @@ mod tests {
         let raw_writes: Vec<_> = b
             .vfd
             .iter()
-            .filter(|r| {
-                r.access == AccessType::RawData && r.object.as_str() == "/data"
-            })
+            .filter(|r| r.access == AccessType::RawData && r.object.as_str() == "/data")
             .collect();
         assert_eq!(raw_writes.len(), 1, "one contiguous write of 128 bytes");
         assert_eq!(raw_writes[0].len, 128);

@@ -148,11 +148,7 @@ impl MapperState {
 
     /// Per-(task, file) statistics entry, created on demand (the VFD
     /// profiler may see ops before the VOL `file_opened` event).
-    pub(crate) fn file_stats(
-        &mut self,
-        task: &TaskKey,
-        file: &FileKey,
-    ) -> &mut FileRecord {
+    pub(crate) fn file_stats(&mut self, task: &TaskKey, file: &FileKey) -> &mut FileRecord {
         let pos = self
             .live_files
             .iter()
@@ -301,7 +297,10 @@ mod tests {
         assert_eq!(s.live_objects(), 0);
         assert_eq!(s.flushed_vol.len(), 1);
         let rec = &s.flushed_vol[0];
-        assert_eq!(rec.lifetimes, vec![Interval::new(Timestamp(10), Timestamp(20))]);
+        assert_eq!(
+            rec.lifetimes,
+            vec![Interval::new(Timestamp(10), Timestamp(20))]
+        );
         assert_eq!(rec.bytes_written(), 64);
     }
 

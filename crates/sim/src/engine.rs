@@ -203,12 +203,7 @@ impl<'a> Engine<'a> {
                 };
                 let tier = self.cluster.tier(kind);
                 let concurrent = streams.get(&instance).copied().unwrap_or(0) + 1;
-                let mut cost = tier.op_cost_ns(
-                    *dir == IoDir::Write,
-                    *bytes,
-                    *metadata,
-                    concurrent,
-                );
+                let mut cost = tier.op_cost_ns(*dir == IoDir::Write, *bytes, *metadata, concurrent);
                 if remote {
                     cost += self.cluster.network.transfer_cost_ns(*bytes);
                 }
@@ -261,8 +256,7 @@ impl<'a> Engine<'a> {
                 let time = $time;
                 let state = running[tid].as_mut().expect("running");
                 let op = &tasks[tid].program[state.op_idx];
-                let (cost, instance) =
-                    self.op_cost(tasks[tid].node, op, &streams, &mut cache);
+                let (cost, instance) = self.op_cost(tasks[tid].node, op, &streams, &mut cache);
                 if let Some(inst) = instance {
                     *streams.entry(inst).or_insert(0) += 1;
                     state.current_instance = Some(inst);
@@ -312,8 +306,7 @@ impl<'a> Engine<'a> {
         }
 
         while let Some(Reverse((time, _, tid))) = heap.pop() {
-            let is_empty_task =
-                running[tid].as_ref().map(|r| r.op_idx == usize::MAX) == Some(true);
+            let is_empty_task = running[tid].as_ref().map(|r| r.op_idx == usize::MAX) == Some(true);
             if !is_empty_task {
                 // Finish the in-flight op.
                 let inst = running[tid]
@@ -389,9 +382,7 @@ mod tests {
         let p = Placement::new();
         let tasks = vec![SimTask::new("t").with_program(vec![SimOp::write("f", 1 << 20)])];
         let report = Engine::new(&c, &p).run(&tasks).unwrap();
-        let expect = c
-            .tier(TierKind::Beegfs)
-            .op_cost_ns(true, 1 << 20, false, 1);
+        let expect = c.tier(TierKind::Beegfs).op_cost_ns(true, 1 << 20, false, 1);
         assert_eq!(report.tasks[0].io_ns, expect);
         assert_eq!(report.makespan_ns, expect);
         assert_eq!(report.tasks[0].io_bytes, 1 << 20);
@@ -402,13 +393,14 @@ mod tests {
     fn compute_does_not_count_as_io() {
         let c = gpu();
         let p = Placement::new();
-        let tasks = vec![SimTask::new("t").with_program(vec![
-            SimOp::compute(500),
-            SimOp::read("f", 0),
-        ])];
+        let tasks =
+            vec![SimTask::new("t").with_program(vec![SimOp::compute(500), SimOp::read("f", 0)])];
         let r = Engine::new(&c, &p).run(&tasks).unwrap();
         assert_eq!(r.tasks[0].compute_ns, 500);
-        assert!(r.tasks[0].io_ns > 0, "latency still charged for 0-byte read");
+        assert!(
+            r.tasks[0].io_ns > 0,
+            "latency still charged for 0-byte read"
+        );
         assert_eq!(r.total_compute_ns(), 500);
     }
 
@@ -418,8 +410,12 @@ mod tests {
         let p = Placement::new();
         let tasks = vec![
             SimTask::new("a").with_program(vec![SimOp::compute(100)]),
-            SimTask::new("b").after(&[0]).with_program(vec![SimOp::compute(50)]),
-            SimTask::new("c").after(&[0, 1]).with_program(vec![SimOp::compute(10)]),
+            SimTask::new("b")
+                .after(&[0])
+                .with_program(vec![SimOp::compute(50)]),
+            SimTask::new("c")
+                .after(&[0, 1])
+                .with_program(vec![SimOp::compute(10)]),
         ];
         let r = Engine::new(&c, &p).run(&tasks).unwrap();
         assert_eq!(r.tasks[0].start_ns, 0);
@@ -451,10 +447,7 @@ mod tests {
             .unwrap()
             .makespan_ns;
         let tasks: Vec<SimTask> = (0..8)
-            .map(|i| {
-                SimTask::new(format!("t{i}"))
-                    .with_program(vec![SimOp::read("f", 8 << 20)])
-            })
+            .map(|i| SimTask::new(format!("t{i}")).with_program(vec![SimOp::read("f", 8 << 20)]))
             .collect();
         let crowded = Engine::new(&c, &p).run(&tasks).unwrap();
         // Note: all 8 start simultaneously; first computes with streams=1,
@@ -471,7 +464,10 @@ mod tests {
         let c = gpu();
         let mut p = Placement::new();
         for i in 0..4 {
-            p.place(format!("f{i}"), FileLocation::NodeLocal(i, TierKind::NvmeSsd));
+            p.place(
+                format!("f{i}"),
+                FileLocation::NodeLocal(i, TierKind::NvmeSsd),
+            );
         }
         let tasks: Vec<SimTask> = (0..4)
             .map(|i| {
@@ -542,7 +538,9 @@ mod tests {
         let p = Placement::new();
         let tasks = vec![
             SimTask::new("noop"),
-            SimTask::new("next").after(&[0]).with_program(vec![SimOp::compute(5)]),
+            SimTask::new("next")
+                .after(&[0])
+                .with_program(vec![SimOp::compute(5)]),
         ];
         let r = Engine::new(&c, &p).run(&tasks).unwrap();
         assert_eq!(r.tasks[0].duration_ns(), 0);
@@ -564,10 +562,7 @@ mod tests {
             Err(SimError::BadNode { task: 0, node: 99 })
         );
         // 2-cycle.
-        let cyc = vec![
-            SimTask::new("a").after(&[1]),
-            SimTask::new("b").after(&[0]),
-        ];
+        let cyc = vec![SimTask::new("a").after(&[1]), SimTask::new("b").after(&[0])];
         match eng.run(&cyc) {
             Err(SimError::Cycle { stuck }) => assert_eq!(stuck.len(), 2),
             other => panic!("expected cycle, got {other:?}"),
@@ -690,9 +685,8 @@ mod cache_tests {
     use crate::program::{SimOp, SimTask};
 
     fn rereader(times: usize) -> Vec<SimTask> {
-        vec![SimTask::new("reader").with_program(
-            (0..times).map(|_| SimOp::read("hot.h5", 1 << 20)).collect(),
-        )]
+        vec![SimTask::new("reader")
+            .with_program((0..times).map(|_| SimOp::read("hot.h5", 1 << 20)).collect())]
     }
 
     #[test]
@@ -735,14 +729,12 @@ mod cache_tests {
         let p = Placement::new();
         // Two readers on different nodes: each pays its own cold miss.
         let tasks = vec![
-            SimTask::new("r0").on_node(0).with_program(vec![
-                SimOp::read("f", 1 << 20),
-                SimOp::read("f", 1 << 20),
-            ]),
-            SimTask::new("r1").on_node(1).with_program(vec![
-                SimOp::read("f", 1 << 20),
-                SimOp::read("f", 1 << 20),
-            ]),
+            SimTask::new("r0")
+                .on_node(0)
+                .with_program(vec![SimOp::read("f", 1 << 20), SimOp::read("f", 1 << 20)]),
+            SimTask::new("r1")
+                .on_node(1)
+                .with_program(vec![SimOp::read("f", 1 << 20), SimOp::read("f", 1 << 20)]),
         ];
         let r = Engine::new(&c, &p)
             .with_cache(CacheConfig::per_node(64 << 20))

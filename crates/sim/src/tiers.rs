@@ -127,9 +127,12 @@ impl TierModel {
         } else {
             self.latency_ns
         };
-        let latency =
-            base_latency as f64 * (1.0 + self.contention * (streams as f64 - 1.0));
-        let bw = if is_write { self.write_bw } else { self.read_bw };
+        let latency = base_latency as f64 * (1.0 + self.contention * (streams as f64 - 1.0));
+        let bw = if is_write {
+            self.write_bw
+        } else {
+            self.read_bw
+        };
         // Shared tiers split streaming bandwidth between concurrent streams;
         // node-local devices keep full bandwidth (one task per device in
         // these workloads; queue depth absorbs overlap).

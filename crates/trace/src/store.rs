@@ -89,14 +89,22 @@ impl TraceBundle {
     /// Total bytes of application data moved (VFD raw view), used as the
     /// denominator of the storage-overhead figures (Fig. 9d).
     pub fn application_bytes(&self) -> u64 {
-        self.vfd.iter().filter(|r| r.kind.moves_data()).map(|r| r.len).sum()
+        self.vfd
+            .iter()
+            .filter(|r| r.kind.moves_data())
+            .map(|r| r.len)
+            .sum()
     }
 
     /// Serialized size of only the VOL records, in bytes.
     pub fn vol_storage_bytes(&self) -> u64 {
         self.vol
             .iter()
-            .map(|r| serde_json::to_string(r).map(|s| s.len() as u64 + 1).unwrap_or(0))
+            .map(|r| {
+                serde_json::to_string(r)
+                    .map(|s| s.len() as u64 + 1)
+                    .unwrap_or(0)
+            })
             .sum()
     }
 
@@ -106,7 +114,11 @@ impl TraceBundle {
     pub fn vfd_storage_bytes(&self) -> u64 {
         self.vfd
             .iter()
-            .map(|r| serde_json::to_string(r).map(|s| s.len() as u64 + 1).unwrap_or(0))
+            .map(|r| {
+                serde_json::to_string(r)
+                    .map(|s| s.len() as u64 + 1)
+                    .unwrap_or(0)
+            })
             .sum()
     }
 
@@ -168,7 +180,8 @@ impl TraceBundle {
     /// storage accounting and tests).
     pub fn to_jsonl_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::new();
-        self.write_jsonl(&mut buf).expect("Vec<u8> writes are infallible");
+        self.write_jsonl(&mut buf)
+            .expect("Vec<u8> writes are infallible");
         buf
     }
 
@@ -315,7 +328,9 @@ mod proptests {
     use crate::ids::{FileKey, ObjectKey};
     use crate::time::{Interval, Timestamp};
     use crate::vfd::{AccessType, IoKind};
-    use crate::vol::{DataType, LayoutKind, ObjectDescription, ObjectKind, VolAccess, VolAccessKind};
+    use crate::vol::{
+        DataType, LayoutKind, ObjectDescription, ObjectKind, VolAccess, VolAccessKind,
+    };
     use proptest::prelude::*;
 
     fn arb_vfd() -> impl Strategy<Value = VfdRecord> {

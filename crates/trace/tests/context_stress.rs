@@ -1,0 +1,137 @@
+//! Many-thread stress test for `SharedContext` — the paper's shared-memory
+//! VOL→VFD channel must never expose a torn (object, access) pair, and
+//! nested scopes must restore exactly, no matter how many writer and
+//! reader threads hammer one shared handle.
+
+use dayu_trace::vfd::AccessType;
+use dayu_trace::SharedContext;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+const WRITERS: usize = 4;
+const READERS: usize = 4;
+const ITERS: usize = 5_000;
+
+/// Every writer publishes only pairs from this table, so any snapshot a
+/// reader takes must match one row exactly — a mixed row is a torn read.
+const PAIRS: [(&str, AccessType); 4] = [
+    ("/w0/meta", AccessType::Metadata),
+    ("/w0/raw", AccessType::RawData),
+    ("/w1/meta", AccessType::Metadata),
+    ("/w1/raw", AccessType::RawData),
+];
+
+#[test]
+fn snapshots_are_never_torn_under_many_threads() {
+    let ctx = SharedContext::new();
+    ctx.set_task("stress");
+    let stop = AtomicBool::new(false);
+    let observed = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let ctx = ctx.clone();
+            s.spawn(move || {
+                for i in 0..ITERS {
+                    let (object, access) = PAIRS[(w + i) % PAIRS.len()];
+                    // Alternate flat and nested scopes to exercise the
+                    // save/restore stack as well as the fast path.
+                    if i % 3 == 0 {
+                        let (inner, inner_access) = PAIRS[(w + i + 1) % PAIRS.len()];
+                        ctx.enter_object(object, access);
+                        ctx.enter_object(inner, inner_access);
+                        ctx.exit_object();
+                        ctx.exit_object();
+                    } else {
+                        ctx.with_object(object, access, || {});
+                    }
+                }
+            });
+        }
+        let stop = &stop;
+        let observed = &observed;
+        for _ in 0..READERS {
+            let ctx = ctx.clone();
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = ctx.snapshot();
+                    assert_eq!(snap.task.as_ref().map(|t| t.as_str()), Some("stress"));
+                    match (&snap.object, snap.access) {
+                        (None, None) => {}
+                        (Some(o), Some(a)) => {
+                            assert!(
+                                PAIRS.iter().any(|&(po, pa)| po == o.as_str() && pa == a),
+                                "torn pair: ({}, {a:?})",
+                                o.as_str()
+                            );
+                            observed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("half-populated snapshot: {other:?}"),
+                    }
+                }
+            });
+        }
+        // Writers are the first WRITERS spawned handles; once the scope's
+        // writer threads are done, release the readers. Joining happens
+        // implicitly at scope end, so flag completion from a monitor thread.
+        let ctx_done = ctx.clone();
+        s.spawn(move || {
+            // The monitor just waits for quiescence: after every writer
+            // exits all its scopes the object must be None; poll until the
+            // snapshot stays empty, then stop the readers.
+            loop {
+                std::thread::yield_now();
+                if ctx_done.snapshot().object.is_none() {
+                    // Writers may still be mid-loop; give them a moment and
+                    // re-check a few times before declaring quiescence.
+                    if (0..100).all(|_| {
+                        std::thread::yield_now();
+                        ctx_done.snapshot().object.is_none()
+                    }) {
+                        stop.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+        });
+    });
+
+    // After all scopes unwound, the context is back to just the task.
+    let end = ctx.snapshot();
+    assert_eq!(end.task.as_ref().map(|t| t.as_str()), Some("stress"));
+    assert_eq!(end.object, None);
+    assert_eq!(end.access, None);
+}
+
+#[test]
+fn nested_scopes_restore_exactly_while_contended() {
+    // One thread runs a deterministic nest; others churn their own clones
+    // of a *different* context to verify instances do not interfere.
+    let shared = SharedContext::new();
+    let noise = SharedContext::new();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let noise = noise.clone();
+            s.spawn(move || {
+                for _ in 0..ITERS {
+                    noise.with_object("/noise", AccessType::Metadata, || {});
+                }
+            });
+        }
+        let shared = &shared;
+        s.spawn(move || {
+            for _ in 0..ITERS {
+                shared.enter_object("/a", AccessType::RawData);
+                shared.enter_object("/b", AccessType::Metadata);
+                let snap = shared.snapshot();
+                assert_eq!(snap.object.as_ref().map(|o| o.as_str()), Some("/b"));
+                shared.exit_object();
+                let snap = shared.snapshot();
+                assert_eq!(snap.object.as_ref().map(|o| o.as_str()), Some("/a"));
+                assert_eq!(snap.access, Some(AccessType::RawData));
+                shared.exit_object();
+                assert_eq!(shared.snapshot().object, None);
+            }
+        });
+    });
+    assert_eq!(noise.snapshot().object, None);
+}

@@ -44,10 +44,7 @@ impl MemFs {
             let mut files = self.files.write();
             files.entry(name.to_owned()).or_default().clone()
         };
-        MemVfd {
-            image,
-            open: true,
-        }
+        MemVfd { image, open: true }
     }
 
     /// Opens `name` only if it already exists.

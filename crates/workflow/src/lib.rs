@@ -80,12 +80,7 @@ mod tests {
         let mut opt_tasks = baseline_tasks.clone();
         transform::co_schedule(&mut opt_tasks, "producer", "consumer");
         let mut placement = Placement::new();
-        transform::place_outputs_local(
-            &opt_tasks,
-            &mut placement,
-            "producer",
-            TierKind::NvmeSsd,
-        );
+        transform::place_outputs_local(&opt_tasks, &mut placement, "producer", TierKind::NvmeSsd);
         let optimized = Engine::new(&cluster, &placement).run(&opt_tasks).unwrap();
 
         assert!(

@@ -94,9 +94,7 @@ pub fn file_written_bytes(run: &RecordedRun, file: &str) -> u64 {
     run.bundle
         .vfd
         .iter()
-        .filter(|r| {
-            r.file.as_str() == file && r.kind == dayu_trace::vfd::IoKind::Write
-        })
+        .filter(|r| r.file.as_str() == file && r.kind == dayu_trace::vfd::IoKind::Write)
         .map(|r| r.len)
         .sum()
 }
@@ -109,15 +107,17 @@ pub fn producers_of(tasks: &[SimTask], file: &str) -> Vec<usize> {
         .iter()
         .enumerate()
         .filter(|(_, t)| {
-            t.program.iter().any(|op| matches!(
-                op,
-                SimOp::Io {
-                    file: f,
-                    dir: dayu_sim::program::IoDir::Write,
-                    metadata: false,
-                    ..
-                } if f == file
-            ))
+            t.program.iter().any(|op| {
+                matches!(
+                    op,
+                    SimOp::Io {
+                        file: f,
+                        dir: dayu_sim::program::IoDir::Write,
+                        metadata: false,
+                        ..
+                    } if f == file
+                )
+            })
         })
         .map(|(i, _)| i)
         .collect()
@@ -129,10 +129,12 @@ pub fn readers_of(tasks: &[SimTask], file: &str) -> Vec<usize> {
         .iter()
         .enumerate()
         .filter(|(_, t)| {
-            t.program.iter().any(|op| matches!(
-                op,
-                SimOp::Io { file: f, dir: dayu_sim::program::IoDir::Read, .. } if f == file
-            ))
+            t.program.iter().any(|op| {
+                matches!(
+                    op,
+                    SimOp::Io { file: f, dir: dayu_sim::program::IoDir::Read, .. } if f == file
+                )
+            })
         })
         .map(|(i, _)| i)
         .collect()

@@ -52,11 +52,7 @@ pub fn record(spec: &WorkflowSpec, fs: &MemFs) -> Result<RecordedRun> {
 }
 
 /// Records a workflow execution with an explicit mapper configuration.
-pub fn record_with(
-    spec: &WorkflowSpec,
-    fs: &MemFs,
-    cfg: &MapperConfig,
-) -> Result<RecordedRun> {
+pub fn record_with(spec: &WorkflowSpec, fs: &MemFs, cfg: &MapperConfig) -> Result<RecordedRun> {
     spec.validate()?;
     // One clock for the whole run: per-task mappers must stamp events on a
     // common timeline or cross-task ordering (FTG layout, time-dependent
@@ -81,11 +77,8 @@ pub fn record_with(
             .tasks
             .par_iter()
             .map(|t| {
-                let mapper = Mapper::with_config_and_clock(
-                    spec.name.clone(),
-                    cfg.clone(),
-                    clock.clone(),
-                );
+                let mapper =
+                    Mapper::with_config_and_clock(spec.name.clone(), cfg.clone(), clock.clone());
                 mapper.set_task(&t.name);
                 let io = TaskIo::new(fs, &mapper);
                 (t.body)(&io)?;
@@ -197,10 +190,7 @@ mod tests {
             })],
         );
         let fs = MemFs::new();
-        assert!(matches!(
-            record(&spec, &fs),
-            Err(HdfError::NotFound(_))
-        ));
+        assert!(matches!(record(&spec, &fs), Err(HdfError::NotFound(_))));
     }
 
     #[test]
@@ -212,10 +202,9 @@ mod tests {
             let file = format!("out{i}.h5");
             tasks.push(TaskSpec::new(name.clone(), move |io: &TaskIo| {
                 let f = io.create(&file)?;
-                let mut ds = f.root().create_dataset(
-                    "d",
-                    DatasetBuilder::new(DataType::Int { width: 8 }, &[16]),
-                )?;
+                let mut ds = f
+                    .root()
+                    .create_dataset("d", DatasetBuilder::new(DataType::Int { width: 8 }, &[16]))?;
                 ds.write_u64s(&[0; 16])?;
                 ds.close()?;
                 f.close()

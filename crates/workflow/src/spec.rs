@@ -154,8 +154,18 @@ impl WorkflowSpec {
             .position(|s| s.tasks.iter().any(|t| t.name == task))
     }
 
-    /// Validates name uniqueness.
+    /// Validates the spec's structure: task names must be unique across all
+    /// stages, and every stage must hold at least one task (an empty stage
+    /// is a barrier around nothing — always a construction mistake).
     pub fn validate(&self) -> Result<()> {
+        for stage in &self.stages {
+            if stage.tasks.is_empty() {
+                return Err(HdfError::InvalidArgument(format!(
+                    "stage {:?} has no tasks",
+                    stage.name
+                )));
+            }
+        }
         let names = self.task_names();
         for (i, n) in names.iter().enumerate() {
             if names[i + 1..].contains(n) {
@@ -219,6 +229,35 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_names_within_one_stage_rejected() {
+        let wf = WorkflowSpec::new("dup").stage(
+            "s1",
+            vec![
+                TaskSpec::new("x", |_| Ok(())),
+                TaskSpec::new("x", |_| Ok(())),
+            ],
+        );
+        let err = wf.validate().unwrap_err();
+        assert!(err.to_string().contains("duplicate task name"));
+    }
+
+    #[test]
+    fn empty_stage_rejected() {
+        let wf = WorkflowSpec::new("hollow")
+            .stage("s1", vec![TaskSpec::new("x", |_| Ok(()))])
+            .stage("void", vec![]);
+        let err = wf.validate().unwrap_err();
+        assert!(err.to_string().contains("has no tasks"), "{err}");
+    }
+
+    #[test]
+    fn empty_workflow_is_valid() {
+        // No stages at all is fine (a spec under construction); only a
+        // present-but-empty stage is rejected.
+        assert!(WorkflowSpec::new("blank").validate().is_ok());
+    }
+
+    #[test]
     fn task_with_compute() {
         let t = TaskSpec::new("t", |_| Ok(())).with_compute(1_000_000);
         assert_eq!(t.compute_ns, 1_000_000);
@@ -249,9 +288,6 @@ mod tests {
         ds.close().unwrap();
         f.close().unwrap();
 
-        assert!(matches!(
-            io.open("missing.h5"),
-            Err(HdfError::NotFound(_))
-        ));
+        assert!(matches!(io.open("missing.h5"), Err(HdfError::NotFound(_))));
     }
 }

@@ -68,7 +68,10 @@ pub fn stage_in(
         name: format!("stage_in:{file}"),
         node,
         deps: producers,
-        program: vec![SimOp::read(file, bytes), SimOp::write(staged.clone(), bytes)],
+        program: vec![
+            SimOp::read(file, bytes),
+            SimOp::write(staged.clone(), bytes),
+        ],
     });
     placement.place(staged.clone(), FileLocation::NodeLocal(node, tier));
 

@@ -123,10 +123,10 @@ pub fn workflow(cfg: &ArldmConfig) -> WorkflowSpec {
     WorkflowSpec::new("arldm")
         .stage(
             "prepare",
-            vec![TaskSpec::new("arldm_saveh5", move |io: &TaskIo| {
-                save_h5(io, &prep_cfg)
-            })
-            .with_compute(cfg.compute_ns)],
+            vec![
+                TaskSpec::new("arldm_saveh5", move |io: &TaskIo| save_h5(io, &prep_cfg))
+                    .with_compute(cfg.compute_ns),
+            ],
         )
         .stage(
             "training",

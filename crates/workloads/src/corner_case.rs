@@ -39,11 +39,7 @@ impl Default for CornerCaseConfig {
 }
 
 /// Runs the corner case under the given instrumentation.
-pub fn run(
-    cfg: &CornerCaseConfig,
-    backend: Backend,
-    instr: Instrumentation,
-) -> Result<BenchRun> {
+pub fn run(cfg: &CornerCaseConfig, backend: Backend, instr: Instrumentation) -> Result<BenchRun> {
     let session = Session::new("corner_case", backend, instr);
     session.set_task("corner_case");
     let per_ds = (cfg.file_bytes / cfg.datasets as u64).max(8);
@@ -72,10 +68,7 @@ pub fn run(
     let wall_ns = t0.elapsed().as_nanos() as u64;
 
     let app_bytes = cfg.datasets as u64 * per_ds + cfg.dataset_reads as u64 * per_ds;
-    let mapper_self_ns = session
-        .mapper()
-        .map(|m| m.timers().total_ns())
-        .unwrap_or(0);
+    let mapper_self_ns = session.mapper().map(|m| m.timers().total_ns()).unwrap_or(0);
     Ok(BenchRun {
         wall_ns,
         app_bytes,
@@ -171,7 +164,9 @@ mod tests {
             ds.close().unwrap();
         }
         for i in 0..cfg.dataset_reads {
-            let mut ds = root.open_dataset(&format!("d{}", i % cfg.datasets)).unwrap();
+            let mut ds = root
+                .open_dataset(&format!("d{}", i % cfg.datasets))
+                .unwrap();
             ds.read().unwrap();
             ds.close().unwrap();
         }

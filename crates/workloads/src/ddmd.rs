@@ -90,11 +90,7 @@ pub fn inference_file(iter: usize) -> String {
     format!("virtual_stage{:04}_task0000.h5", iter * 4 + 2)
 }
 
-fn create_four_datasets(
-    root: &Group,
-    cfg: &DdmdConfig,
-    seed: u64,
-) -> Result<()> {
+fn create_four_datasets(root: &Group, cfg: &DdmdConfig, seed: u64) -> Result<()> {
     let with_layout = |b: DatasetBuilder, chunk: &[u64]| -> DatasetBuilder {
         match cfg.layout {
             LayoutKind::Chunked => b.chunks(chunk),
@@ -121,7 +117,10 @@ fn create_four_datasets(
             &[cfg.point_cloud_points.div_ceil(4).max(1), 3],
         ),
     )?;
-    pc.write_f64s(&payload_f64((cfg.point_cloud_points * 3) as usize, seed + 1))?;
+    pc.write_f64s(&payload_f64(
+        (cfg.point_cloud_points * 3) as usize,
+        seed + 1,
+    ))?;
     pc.close()?;
 
     for (i, name) in ["fnc", "rmsd"].iter().enumerate() {
@@ -180,87 +179,89 @@ pub fn workflow(cfg: &DdmdConfig) -> WorkflowSpec {
             let cfg2 = cfg.clone();
             wf = wf.stage(
                 format!("aggregate_{iter}"),
-                vec![TaskSpec::new(format!("aggregate_i{iter}"), move |io: &TaskIo| {
-                    let out = io.create(&aggregated_file(iter))?;
-                    let out_root = out.root();
-                    // Pre-create the consolidated datasets sized for all tasks.
-                    let n = cfg2.sim_tasks as u64;
-                    let mut cm_out = out_root.create_dataset(
-                        "contact_map",
-                        DatasetBuilder::new(
-                            DataType::Int { width: 1 },
-                            &[n * cfg2.contact_map_dim, cfg2.contact_map_dim],
-                        )
-                        .chunks(&[cfg2.contact_map_dim, cfg2.contact_map_dim]),
-                    )?;
-                    let mut pc_out = out_root.create_dataset(
-                        "point_cloud",
-                        DatasetBuilder::new(
-                            DataType::Float { width: 8 },
-                            &[n * cfg2.point_cloud_points, 3],
-                        )
-                        .chunks(&[cfg2.point_cloud_points, 3]),
-                    )?;
-                    let mut fnc_out = out_root.create_dataset(
-                        "fnc",
-                        DatasetBuilder::new(
-                            DataType::Float { width: 8 },
-                            &[n * cfg2.scalar_series_len],
-                        )
-                        .chunks(&[cfg2.scalar_series_len]),
-                    )?;
-                    let mut rmsd_out = out_root.create_dataset(
-                        "rmsd",
-                        DatasetBuilder::new(
-                            DataType::Float { width: 8 },
-                            &[n * cfg2.scalar_series_len],
-                        )
-                        .chunks(&[cfg2.scalar_series_len]),
-                    )?;
-                    for t in 0..cfg2.sim_tasks {
-                        let f = io.open(&sim_file(iter, t))?;
-                        let root = f.root();
-                        let cm = read_dataset_fully(&root, "contact_map")?;
-                        cm_out.write_slab(
-                            &dayu_hdf::Selection::slab(
-                                &[t as u64 * cfg2.contact_map_dim, 0],
-                                &[cfg2.contact_map_dim, cfg2.contact_map_dim],
-                            ),
-                            &cm,
+                vec![
+                    TaskSpec::new(format!("aggregate_i{iter}"), move |io: &TaskIo| {
+                        let out = io.create(&aggregated_file(iter))?;
+                        let out_root = out.root();
+                        // Pre-create the consolidated datasets sized for all tasks.
+                        let n = cfg2.sim_tasks as u64;
+                        let mut cm_out = out_root.create_dataset(
+                            "contact_map",
+                            DatasetBuilder::new(
+                                DataType::Int { width: 1 },
+                                &[n * cfg2.contact_map_dim, cfg2.contact_map_dim],
+                            )
+                            .chunks(&[cfg2.contact_map_dim, cfg2.contact_map_dim]),
                         )?;
-                        let pc = read_dataset_fully(&root, "point_cloud")?;
-                        pc_out.write_slab(
-                            &dayu_hdf::Selection::slab(
-                                &[t as u64 * cfg2.point_cloud_points, 0],
-                                &[cfg2.point_cloud_points, 3],
-                            ),
-                            &pc,
+                        let mut pc_out = out_root.create_dataset(
+                            "point_cloud",
+                            DatasetBuilder::new(
+                                DataType::Float { width: 8 },
+                                &[n * cfg2.point_cloud_points, 3],
+                            )
+                            .chunks(&[cfg2.point_cloud_points, 3]),
                         )?;
-                        let fnc = read_dataset_fully(&root, "fnc")?;
-                        fnc_out.write_slab(
-                            &dayu_hdf::Selection::slab(
-                                &[t as u64 * cfg2.scalar_series_len],
-                                &[cfg2.scalar_series_len],
-                            ),
-                            &fnc,
+                        let mut fnc_out = out_root.create_dataset(
+                            "fnc",
+                            DatasetBuilder::new(
+                                DataType::Float { width: 8 },
+                                &[n * cfg2.scalar_series_len],
+                            )
+                            .chunks(&[cfg2.scalar_series_len]),
                         )?;
-                        let rmsd = read_dataset_fully(&root, "rmsd")?;
-                        rmsd_out.write_slab(
-                            &dayu_hdf::Selection::slab(
-                                &[t as u64 * cfg2.scalar_series_len],
-                                &[cfg2.scalar_series_len],
-                            ),
-                            &rmsd,
+                        let mut rmsd_out = out_root.create_dataset(
+                            "rmsd",
+                            DatasetBuilder::new(
+                                DataType::Float { width: 8 },
+                                &[n * cfg2.scalar_series_len],
+                            )
+                            .chunks(&[cfg2.scalar_series_len]),
                         )?;
-                        f.close()?;
-                    }
-                    cm_out.close()?;
-                    pc_out.close()?;
-                    fnc_out.close()?;
-                    rmsd_out.close()?;
-                    out.close()
-                })
-                .with_compute(cfg.compute_ns)],
+                        for t in 0..cfg2.sim_tasks {
+                            let f = io.open(&sim_file(iter, t))?;
+                            let root = f.root();
+                            let cm = read_dataset_fully(&root, "contact_map")?;
+                            cm_out.write_slab(
+                                &dayu_hdf::Selection::slab(
+                                    &[t as u64 * cfg2.contact_map_dim, 0],
+                                    &[cfg2.contact_map_dim, cfg2.contact_map_dim],
+                                ),
+                                &cm,
+                            )?;
+                            let pc = read_dataset_fully(&root, "point_cloud")?;
+                            pc_out.write_slab(
+                                &dayu_hdf::Selection::slab(
+                                    &[t as u64 * cfg2.point_cloud_points, 0],
+                                    &[cfg2.point_cloud_points, 3],
+                                ),
+                                &pc,
+                            )?;
+                            let fnc = read_dataset_fully(&root, "fnc")?;
+                            fnc_out.write_slab(
+                                &dayu_hdf::Selection::slab(
+                                    &[t as u64 * cfg2.scalar_series_len],
+                                    &[cfg2.scalar_series_len],
+                                ),
+                                &fnc,
+                            )?;
+                            let rmsd = read_dataset_fully(&root, "rmsd")?;
+                            rmsd_out.write_slab(
+                                &dayu_hdf::Selection::slab(
+                                    &[t as u64 * cfg2.scalar_series_len],
+                                    &[cfg2.scalar_series_len],
+                                ),
+                                &rmsd,
+                            )?;
+                            f.close()?;
+                        }
+                        cm_out.close()?;
+                        pc_out.close()?;
+                        fnc_out.close()?;
+                        rmsd_out.close()?;
+                        out.close()
+                    })
+                    .with_compute(cfg.compute_ns),
+                ],
             );
         }
 
@@ -271,48 +272,50 @@ pub fn workflow(cfg: &DdmdConfig) -> WorkflowSpec {
             let cfg2 = cfg.clone();
             wf = wf.stage(
                 format!("training_{iter}"),
-                vec![TaskSpec::new(format!("training_i{iter}"), move |io: &TaskIo| {
-                    let f = io.open(&aggregated_file(iter))?;
-                    let root = f.root();
-                    read_dataset_fully(&root, "point_cloud")?;
-                    read_dataset_fully(&root, "fnc")?;
-                    read_dataset_fully(&root, "rmsd")?;
-                    // Fig. 7: contact_map is opened (metadata) but its data
-                    // is never read from the aggregate…
-                    touch_dataset_metadata(&root, "contact_map")?;
-                    f.close()?;
-                    // …instead it comes straight from one simulation output.
-                    let sim = io.open(&sim_file(iter, 0))?;
-                    read_dataset_fully(&sim.root(), "contact_map")?;
-                    sim.close()?;
+                vec![
+                    TaskSpec::new(format!("training_i{iter}"), move |io: &TaskIo| {
+                        let f = io.open(&aggregated_file(iter))?;
+                        let root = f.root();
+                        read_dataset_fully(&root, "point_cloud")?;
+                        read_dataset_fully(&root, "fnc")?;
+                        read_dataset_fully(&root, "rmsd")?;
+                        // Fig. 7: contact_map is opened (metadata) but its data
+                        // is never read from the aggregate…
+                        touch_dataset_metadata(&root, "contact_map")?;
+                        f.close()?;
+                        // …instead it comes straight from one simulation output.
+                        let sim = io.open(&sim_file(iter, 0))?;
+                        read_dataset_fully(&sim.root(), "contact_map")?;
+                        sim.close()?;
 
-                    for epoch in 1..=cfg2.epochs {
-                        let e = io.create(&embedding_file(iter, epoch))?;
-                        let mut ds = e.root().create_dataset(
-                            "embedding",
-                            DatasetBuilder::new(
-                                DataType::Float { width: 8 },
-                                &[cfg2.point_cloud_points],
-                            ),
-                        )?;
-                        ds.write_f64s(&payload_f64(
-                            cfg2.point_cloud_points as usize,
-                            (iter * 1000 + epoch) as u64,
-                        ))?;
-                        ds.close()?;
-                        e.close()?;
-                        if cfg2.reread_epochs.contains(&epoch) {
-                            let e = io.open(&embedding_file(iter, epoch))?;
-                            read_dataset_fully(&e.root(), "embedding")?;
+                        for epoch in 1..=cfg2.epochs {
+                            let e = io.create(&embedding_file(iter, epoch))?;
+                            let mut ds = e.root().create_dataset(
+                                "embedding",
+                                DatasetBuilder::new(
+                                    DataType::Float { width: 8 },
+                                    &[cfg2.point_cloud_points],
+                                ),
+                            )?;
+                            ds.write_f64s(&payload_f64(
+                                cfg2.point_cloud_points as usize,
+                                (iter * 1000 + epoch) as u64,
+                            ))?;
+                            ds.close()?;
                             e.close()?;
+                            if cfg2.reread_epochs.contains(&epoch) {
+                                let e = io.open(&embedding_file(iter, epoch))?;
+                                read_dataset_fully(&e.root(), "embedding")?;
+                                e.close()?;
+                            }
                         }
-                    }
-                    Ok(())
-                })
-                // Training is long but not the pipeline's critical path
-                // once DaYu pipelines it with inference; simulation (x4)
-                // remains the long pole, as in the real DDMD.
-                .with_compute(cfg.compute_ns * 3)],
+                        Ok(())
+                    })
+                    // Training is long but not the pipeline's critical path
+                    // once DaYu pipelines it with inference; simulation (x4)
+                    // remains the long pole, as in the real DDMD.
+                    .with_compute(cfg.compute_ns * 3),
+                ],
             );
         }
 
@@ -322,25 +325,30 @@ pub fn workflow(cfg: &DdmdConfig) -> WorkflowSpec {
             let cfg2 = cfg.clone();
             wf = wf.stage(
                 format!("inference_{iter}"),
-                vec![TaskSpec::new(format!("inference_i{iter}"), move |io: &TaskIo| {
-                    for t in 0..cfg2.sim_tasks {
-                        let f = io.open(&sim_file(iter, t))?;
-                        let root = f.root();
-                        for name in DATASETS {
-                            read_dataset_fully(&root, name)?;
+                vec![
+                    TaskSpec::new(format!("inference_i{iter}"), move |io: &TaskIo| {
+                        for t in 0..cfg2.sim_tasks {
+                            let f = io.open(&sim_file(iter, t))?;
+                            let root = f.root();
+                            for name in DATASETS {
+                                read_dataset_fully(&root, name)?;
+                            }
+                            f.close()?;
                         }
-                        f.close()?;
-                    }
-                    let out = io.create(&inference_file(iter))?;
-                    let mut ds = out.root().create_dataset(
-                        "outliers",
-                        DatasetBuilder::new(DataType::Int { width: 8 }, &[cfg2.sim_tasks as u64]),
-                    )?;
-                    ds.write_u64s(&vec![0u64; cfg2.sim_tasks])?;
-                    ds.close()?;
-                    out.close()
-                })
-                .with_compute(cfg.compute_ns * 2)],
+                        let out = io.create(&inference_file(iter))?;
+                        let mut ds = out.root().create_dataset(
+                            "outliers",
+                            DatasetBuilder::new(
+                                DataType::Int { width: 8 },
+                                &[cfg2.sim_tasks as u64],
+                            ),
+                        )?;
+                        ds.write_u64s(&vec![0u64; cfg2.sim_tasks])?;
+                        ds.close()?;
+                        out.close()
+                    })
+                    .with_compute(cfg.compute_ns * 2),
+                ],
             );
         }
     }

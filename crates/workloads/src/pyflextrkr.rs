@@ -120,7 +120,10 @@ pub fn prepare_inputs(io: &TaskIo, cfg: &PyflextrkrConfig) -> Result<u64> {
         let f = io.create(&input_file(i))?;
         let mut ds = f.root().create_dataset(
             "sensor",
-            DatasetBuilder::new(DataType::Float { width: 8 }, &[(cfg.input_bytes / 8) as u64]),
+            DatasetBuilder::new(
+                DataType::Float { width: 8 },
+                &[(cfg.input_bytes / 8) as u64],
+            ),
         )?;
         ds.write_f64s(&payload_f64(cfg.input_bytes / 8, i as u64))?;
         ds.set_attr("instrument", AttrValue::Str("radar".into()))?;
@@ -131,7 +134,10 @@ pub fn prepare_inputs(io: &TaskIo, cfg: &PyflextrkrConfig) -> Result<u64> {
         let f = io.create(&pf_input_file(i))?;
         let mut ds = f.root().create_dataset(
             "pf",
-            DatasetBuilder::new(DataType::Float { width: 8 }, &[(cfg.input_bytes / 64) as u64]),
+            DatasetBuilder::new(
+                DataType::Float { width: 8 },
+                &[(cfg.input_bytes / 64) as u64],
+            ),
         )?;
         ds.write_f64s(&payload_f64(cfg.input_bytes / 64, 1000 + i as u64))?;
         ds.close()?;
@@ -367,10 +373,7 @@ pub fn workflow(cfg: &PyflextrkrConfig) -> WorkflowSpec {
 /// Writes the initial inputs *without tracing* them, so analysis sees them
 /// as pre-existing pure inputs (no writer task) — how the paper's workflow
 /// encounters its sensor data.
-pub fn prepare_inputs_untraced(
-    fs: &dayu_vfd::MemFs,
-    cfg: &PyflextrkrConfig,
-) -> Result<u64> {
+pub fn prepare_inputs_untraced(fs: &dayu_vfd::MemFs, cfg: &PyflextrkrConfig) -> Result<u64> {
     let mapper = dayu_mapper::Mapper::new("pyflextrkr-inputs");
     let io = TaskIo::new(fs, &mapper);
     let bytes = prepare_inputs(&io, cfg)?;
@@ -538,4 +541,3 @@ mod tests {
         assert!((c2.input_files * c2.input_bytes) as u64 >= 1150 << 20);
     }
 }
-

@@ -32,8 +32,7 @@ fn run_variant(layout: LayoutKind, chunk_elems: u64) -> (TraceBundle, u64) {
         .vfd
         .iter()
         .filter(|r| {
-            r.kind == dayu_core::trace::vfd::IoKind::Write
-                && r.task.as_str() == "arldm_saveh5"
+            r.kind == dayu_core::trace::vfd::IoKind::Write && r.task.as_str() == "arldm_saveh5"
         })
         .count() as u64;
     (run.bundle, writes)
@@ -65,8 +64,10 @@ fn main() {
             .nodes_of(NodeKind::AddrRegion)
             .map(|n| n.label.as_str())
             .collect();
-        println!("{name}: {} datasets spread over regions {regions:?}",
-            sdg.nodes_of(NodeKind::Dataset).count());
+        println!(
+            "{name}: {} datasets spread over regions {regions:?}",
+            sdg.nodes_of(NodeKind::Dataset).count()
+        );
     }
 
     // The advisor's verdict on the contiguous variant.

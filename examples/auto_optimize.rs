@@ -22,7 +22,10 @@ fn main() {
         compute_ns: 20_000_000,
         ..Default::default()
     };
-    println!("recording DDMD ({} sims × {} iterations)…", cfg.sim_tasks, cfg.iterations);
+    println!(
+        "recording DDMD ({} sims × {} iterations)…",
+        cfg.sim_tasks, cfg.iterations
+    );
     let fs = MemFs::new();
     let run = record(&ddmd::workflow(&cfg), &fs).expect("record");
 
@@ -33,7 +36,10 @@ fn main() {
     for a in &outcome.applied {
         println!("  • {a}");
     }
-    println!("\nadvisories needing an application re-run ({}):", outcome.advisories.len());
+    println!(
+        "\nadvisories needing an application re-run ({}):",
+        outcome.advisories.len()
+    );
     for a in outcome.advisories.iter().take(6) {
         println!("  • {a}");
     }

@@ -60,8 +60,7 @@ fn main() {
                 let file = io.open("results.h5")?;
                 let group = file.root().open_group("experiment")?;
                 let mut temps = group.open_dataset("temperature")?;
-                let mean: f64 =
-                    temps.read_f64s()?.iter().sum::<f64>() / (64.0 * 64.0);
+                let mean: f64 = temps.read_f64s()?.iter().sum::<f64>() / (64.0 * 64.0);
                 println!("  [analyzer] mean temperature: {mean:.2} K");
                 temps.close()?;
                 // Partial access: only one row of the velocity grid.
@@ -88,5 +87,8 @@ fn main() {
 
     let out = std::path::Path::new("dayu_quickstart_out");
     diagnosis.write_artifacts(out).expect("artifacts");
-    println!("artifacts written to {}/ (open sdg.html in a browser)", out.display());
+    println!(
+        "artifacts written to {}/ (open sdg.html in a browser)",
+        out.display()
+    );
 }

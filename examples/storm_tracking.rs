@@ -42,13 +42,22 @@ fn main() {
     let analysis = Analysis::run(&run.bundle);
     println!("\nFTG observations (Fig. 4):");
     let count = |cat: &str| analysis.findings_of(cat).count();
-    println!("  data reuse:            {} files read by ≥2 tasks", count("data-reuse"));
+    println!(
+        "  data reuse:            {} files read by ≥2 tasks",
+        count("data-reuse")
+    );
     println!(
         "  write-after-read:      {} (run_gettracks on its output)",
         count("write-after-read") + count("read-after-write")
     );
-    println!("  time-dependent inputs: {} (PF files, needed at stage 6)", count("time-dependent-input"));
-    println!("  disposable data:       {} single-consumer files", count("disposable-data"));
+    println!(
+        "  time-dependent inputs: {} (PF files, needed at stage 6)",
+        count("time-dependent-input")
+    );
+    println!(
+        "  disposable data:       {} single-consumer files",
+        count("disposable-data")
+    );
     println!(
         "  small-dataset scatter: {} files (stage-9 statistics, Fig. 5)",
         count("small-scattered-datasets")

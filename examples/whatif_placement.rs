@@ -61,7 +61,9 @@ fn main() {
     // Plan A: baseline — spread consumers, file on BeeGFS.
     let schedule = Schedule::round_robin(&run, 4);
     let tasks = to_sim_tasks(&run, &schedule);
-    let r = Engine::new(&cluster, &Placement::new()).run(&tasks).unwrap();
+    let r = Engine::new(&cluster, &Placement::new())
+        .run(&tasks)
+        .unwrap();
     results.push(("A: spread + BeeGFS (baseline)".into(), r.makespan_ns));
 
     // Plan B: co-schedule everything on node 0, file still on BeeGFS.
@@ -69,7 +71,9 @@ fn main() {
     for t in &mut b_tasks {
         t.node = 0;
     }
-    let r = Engine::new(&cluster, &Placement::new()).run(&b_tasks).unwrap();
+    let r = Engine::new(&cluster, &Placement::new())
+        .run(&b_tasks)
+        .unwrap();
     results.push(("B: co-scheduled + BeeGFS".into(), r.makespan_ns));
 
     // Plan C: co-schedule + producer output on node-local NVMe.

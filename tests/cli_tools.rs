@@ -37,7 +37,8 @@ fn dayu_h5ls_lists_a_real_file() {
             )
             .unwrap();
         ds.write_f64s(&vec![1.0; 256]).unwrap();
-        ds.set_attr("station", AttrValue::Str("KOUN".into())).unwrap();
+        ds.set_attr("station", AttrValue::Str("KOUN".into()))
+            .unwrap();
         ds.close().unwrap();
         f.close().unwrap();
     }
@@ -47,7 +48,11 @@ fn dayu_h5ls_lists_a_real_file() {
         .args(["--extents", "--attrs"])
         .output()
         .expect("run dayu-h5ls");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("observations/"), "{text}");
     assert!(text.contains("radar"), "{text}");
@@ -112,7 +117,11 @@ fn dayu_analyze_processes_a_trace() {
         .arg(&out_dir)
         .output()
         .expect("run dayu-analyze");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("workflow \"cli_wf\""), "{text}");
     assert!(text.contains("aggregated"), "{text}");
@@ -121,6 +130,168 @@ fn dayu_analyze_processes_a_trace() {
     for name in ["ftg.html", "sdg.html", "ftg.dot", "sdg.json"] {
         assert!(out_dir.join(name).exists(), "{name} missing");
     }
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+/// Walks the raw metadata of an on-disk file to the chunk index of
+/// `observations/radar`, returning the index block's address.
+fn chunk_index_addr(image: &[u8]) -> u64 {
+    use dayu_hdf::meta::{self, LayoutMessage, ObjectHeader, Superblock};
+    let sb = Superblock::decode(&image[..meta::SUPERBLOCK_SIZE as usize]).unwrap();
+    let hdr = |addr: u64| {
+        ObjectHeader::decode(&image[addr as usize..(addr + meta::HEADER_BLOCK_SIZE) as usize])
+            .unwrap()
+    };
+    let table = |h: &ObjectHeader| {
+        dayu_hdf::group::decode_table(
+            &image[h.table_addr as usize..(h.table_addr + h.table_len) as usize],
+        )
+        .unwrap()
+    };
+    let root = hdr(sb.root_addr);
+    let obs = table(&root)
+        .into_iter()
+        .find(|e| e.name == "observations")
+        .unwrap();
+    let radar = table(&hdr(obs.addr))
+        .into_iter()
+        .find(|e| e.name == "radar")
+        .unwrap();
+    match hdr(radar.addr).layout {
+        Some(LayoutMessage::Chunked { index_addr, .. }) => index_addr,
+        other => panic!("expected chunked layout, got {other:?}"),
+    }
+}
+
+#[test]
+fn dayu_h5ls_fsck_catches_corrupted_chunk_index() {
+    let dir = tmp_dir("fsck");
+    let path = dir.join("sample.h5");
+    {
+        let vfd = dayu_core::vfd::FileVfd::create(&path).unwrap();
+        let f = H5File::create(vfd, "sample.h5", FileOptions::default()).unwrap();
+        let g = f.root().create_group("observations").unwrap();
+        let mut ds = g
+            .create_dataset(
+                "radar",
+                DatasetBuilder::new(DataType::Float { width: 8 }, &[32, 8]).chunks(&[8, 8]),
+            )
+            .unwrap();
+        ds.write_f64s(&vec![1.0; 256]).unwrap();
+        ds.close().unwrap();
+        f.close().unwrap();
+    }
+
+    // An intact file passes --fsck and still prints the listing.
+    let out = Command::new(bin("dayu-h5ls"))
+        .arg(&path)
+        .arg("--fsck")
+        .output()
+        .expect("run dayu-h5ls");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fsck: clean"), "{text}");
+    assert!(text.contains("radar"), "{text}");
+
+    // Point the first chunk-index entry far beyond the end of the file.
+    let mut image = std::fs::read(&path).unwrap();
+    let entry = chunk_index_addr(&image) as usize + 4;
+    image[entry..entry + 8].copy_from_slice(&u64::MAX.to_le_bytes()[..8]);
+    std::fs::write(&path, &image).unwrap();
+
+    let out = Command::new(bin("dayu-h5ls"))
+        .arg(&path)
+        .arg("--fsck")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("chunk-out-of-bounds"), "{text}");
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn dayu_analyze_check_passes_clean_trace_and_flags_planted_hazard() {
+    use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
+    use dayu_trace::time::Timestamp;
+    use dayu_trace::vfd::{AccessType, IoKind, VfdRecord};
+
+    let dir = tmp_dir("check");
+
+    // A clean recorded run is hazard-free.
+    let fs = MemFs::new();
+    let spec = WorkflowSpec::new("check_wf")
+        .stage(
+            "w",
+            vec![TaskSpec::new("writer", |io: &TaskIo| {
+                let f = io.create("out.h5")?;
+                let mut ds = f
+                    .root()
+                    .create_dataset("d", DatasetBuilder::new(DataType::Int { width: 1 }, &[512]))?;
+                ds.write(&[3; 512])?;
+                ds.close()?;
+                f.close()
+            })],
+        )
+        .stage(
+            "r",
+            vec![TaskSpec::new("reader", |io: &TaskIo| {
+                let f = io.open("out.h5")?;
+                f.root().open_dataset("d")?.read()?;
+                f.close()
+            })],
+        );
+    let run = record(&spec, &fs).unwrap();
+    let clean_path = dir.join("clean.jsonl");
+    let mut f = std::fs::File::create(&clean_path).unwrap();
+    run.bundle.write_jsonl(&mut f).unwrap();
+    drop(f);
+    let out = Command::new(bin("dayu-analyze"))
+        .args(["check"])
+        .arg(&clean_path)
+        .output()
+        .expect("run dayu-analyze check");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no dataflow hazards"));
+
+    // A trace whose reader observably started before the writer is flagged.
+    let mut bundle = dayu_trace::TraceBundle::new("planted");
+    for (task, kind, start, end) in [
+        ("eager_reader", IoKind::Read, 0u64, 50),
+        ("producer", IoKind::Write, 100, 200),
+    ] {
+        bundle.vfd.push(VfdRecord {
+            task: TaskKey::new(task),
+            file: FileKey::new("data.h5"),
+            kind,
+            offset: 0,
+            len: 1024,
+            access: AccessType::RawData,
+            object: ObjectKey::new("/d"),
+            start: Timestamp(start),
+            end: Timestamp(end),
+        });
+    }
+    let bad_path = dir.join("planted.jsonl");
+    let mut f = std::fs::File::create(&bad_path).unwrap();
+    bundle.write_jsonl(&mut f).unwrap();
+    drop(f);
+    let out = Command::new(bin("dayu-analyze"))
+        .args(["check"])
+        .arg(&bad_path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("read-before-write"), "{text}");
     std::fs::remove_dir_all(dir).unwrap();
 }
 

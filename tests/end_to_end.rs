@@ -2,7 +2,7 @@
 //! analyze, advise, transform, replay — on each of the paper's workflows.
 
 use dayu::prelude::*;
-use dayu_core::workflow::{transform, file_written_bytes};
+use dayu_core::workflow::{file_written_bytes, transform};
 use dayu_core::workloads::{arldm, ddmd, pyflextrkr};
 
 fn ddmd_cfg() -> ddmd::DdmdConfig {
@@ -126,16 +126,18 @@ fn arldm_layout_recommendation_closes_the_loop() {
     let before = record(&arldm::workflow(&cfg(LayoutKind::Contiguous)), &fs).unwrap();
     let analysis = Analysis::run(&before.bundle);
     let recs = advise(&analysis.findings);
-    let wants_chunked = recs.iter().any(|r| {
-        matches!(&r.action, Action::ChangeLayout { to, .. } if to == "chunked")
-    });
+    let wants_chunked = recs
+        .iter()
+        .any(|r| matches!(&r.action, Action::ChangeLayout { to, .. } if to == "chunked"));
     assert!(wants_chunked, "advisor recommends chunking VL data");
 
     let fs = MemFs::new();
     let after = record(&arldm::workflow(&cfg(LayoutKind::Chunked)), &fs).unwrap();
     let analysis_after = Analysis::run(&after.bundle);
     assert_eq!(
-        analysis_after.findings_of("contiguous-varlen-dataset").count(),
+        analysis_after
+            .findings_of("contiguous-varlen-dataset")
+            .count(),
         0,
         "finding resolved after applying the recommendation"
     );
@@ -143,8 +145,7 @@ fn arldm_layout_recommendation_closes_the_loop() {
         b.vfd
             .iter()
             .filter(|r| {
-                r.kind == dayu_core::trace::vfd::IoKind::Write
-                    && r.task.as_str() == "arldm_saveh5"
+                r.kind == dayu_core::trace::vfd::IoKind::Write && r.task.as_str() == "arldm_saveh5"
             })
             .count()
     };
@@ -191,7 +192,14 @@ fn stage_in_transform_composes_with_recorded_traces() {
     let mut tasks = to_sim_tasks(&run, &Schedule::round_robin(&run, 2));
     let mut placement = Placement::new();
     let bytes = file_written_bytes(&run, "shared.h5");
-    transform::stage_in(&mut tasks, &mut placement, "shared.h5", bytes, 0, TierKind::Ram);
+    transform::stage_in(
+        &mut tasks,
+        &mut placement,
+        "shared.h5",
+        bytes,
+        0,
+        TierKind::Ram,
+    );
     let report = Engine::new(&cluster, &placement).run(&tasks).unwrap();
     // The copy ran between the writer and the readers.
     let copy = report.task("stage_in:shared.h5").unwrap();

@@ -23,10 +23,7 @@ fn create_on_dead_device_fails_cleanly() {
     assert!(file.is_err(), "superblock write must fail");
     let bundle = mapper.into_bundle();
     // No data-moving ops were recorded (the open record may exist).
-    assert_eq!(
-        bundle.vfd.iter().filter(|r| r.kind.moves_data()).count(),
-        0
-    );
+    assert_eq!(bundle.vfd.iter().filter(|r| r.kind.moves_data()).count(), 0);
 }
 
 #[test]
@@ -72,10 +69,7 @@ fn transient_fault_is_retryable_at_the_application_level() {
     .expect("creation fits under 12 ops");
     let mut ds = file
         .root()
-        .create_dataset(
-            "d",
-            DatasetBuilder::new(DataType::Int { width: 8 }, &[64]),
-        )
+        .create_dataset("d", DatasetBuilder::new(DataType::Int { width: 8 }, &[64]))
         .unwrap();
     // Enough writes to be certain one crosses the injected op; exactly one
     // fails, and retries succeed.
@@ -104,10 +98,9 @@ fn workflow_task_failure_aborts_the_record_cleanly() {
             "ok",
             vec![TaskSpec::new("producer", |io: &TaskIo| {
                 let f = io.create("good.h5")?;
-                let mut ds = f.root().create_dataset(
-                    "d",
-                    DatasetBuilder::new(DataType::Int { width: 1 }, &[8]),
-                )?;
+                let mut ds = f
+                    .root()
+                    .create_dataset("d", DatasetBuilder::new(DataType::Int { width: 1 }, &[8]))?;
                 ds.write(&[1; 8])?;
                 ds.close()?;
                 f.close()
@@ -126,6 +119,9 @@ fn workflow_task_failure_aborts_the_record_cleanly() {
     assert!(matches!(err, HdfError::NotFound(_)));
     // Stage-1 output survives and is readable.
     let f = H5File::open(fs.open("good.h5"), "good.h5", FileOptions::default()).unwrap();
-    assert_eq!(f.root().open_dataset("d").unwrap().read().unwrap(), vec![1; 8]);
+    assert_eq!(
+        f.root().open_dataset("d").unwrap().read().unwrap(),
+        vec![1; 8]
+    );
     f.close().unwrap();
 }

@@ -62,8 +62,11 @@ fn disk_backed_files_survive_reopen() {
             )
             .unwrap();
         ds.write(&blob).unwrap();
-        ds.set_attr("checksum", AttrValue::U64(blob.iter().map(|&b| b as u64).sum()))
-            .unwrap();
+        ds.set_attr(
+            "checksum",
+            AttrValue::U64(blob.iter().map(|&b| b as u64).sum()),
+        )
+        .unwrap();
         ds.close().unwrap();
         f.close().unwrap();
     }
@@ -144,8 +147,7 @@ fn randomized_slab_writes_read_back_exactly() {
             .unwrap();
         for i in 0..rn {
             for j in 0..cn {
-                model[((r0 + i) * cols + c0 + j) as usize] =
-                    data[(i * cn + j) as usize];
+                model[((r0 + i) * cols + c0 + j) as usize] = data[(i * cn + j) as usize];
             }
         }
         // Random verification slab.
@@ -190,8 +192,7 @@ fn varlen_data_survives_reopen_with_both_layouts() {
             })
             .collect();
         {
-            let f =
-                H5File::create(fs.create("vl.h5"), "vl.h5", FileOptions::default()).unwrap();
+            let f = H5File::create(fs.create("vl.h5"), "vl.h5", FileOptions::default()).unwrap();
             let b = DatasetBuilder::new(DataType::VarLen, &[40]);
             let b = if chunked { b.chunks(&[7]) } else { b };
             let mut ds = f.root().create_dataset("items", b).unwrap();

@@ -4,8 +4,8 @@
 
 use dayu::prelude::*;
 use dayu_bench::{fig11, fig12, fig13, Scale};
-use dayu_core::workloads::{Backend, Instrumentation};
 use dayu_core::workloads::corner_case::{self, CornerCaseConfig};
+use dayu_core::workloads::{Backend, Instrumentation};
 
 /// "Evaluation on scientific workflows demonstrates up to a 3.7x
 /// performance improvement in I/O time for obscure bottlenecks."
@@ -153,7 +153,11 @@ fn analyzer_scales_to_1k_nodes() {
             b.vfd.push(VfdRecord {
                 task: TaskKey::new(format!("task_{t:03}")),
                 file: FileKey::new(format!("file_{:03}.h5", (t * 3 + k) % 300)),
-                kind: if k % 3 == 0 { IoKind::Write } else { IoKind::Read },
+                kind: if k % 3 == 0 {
+                    IoKind::Write
+                } else {
+                    IoKind::Read
+                },
                 offset: k * 4096,
                 len: 4096,
                 access: AccessType::RawData,
@@ -166,7 +170,11 @@ fn analyzer_scales_to_1k_nodes() {
     let t0 = std::time::Instant::now();
     let analysis = Analysis::run(&b);
     let analyze_secs = t0.elapsed().as_secs_f64();
-    assert!(analysis.sdg.nodes.len() > 1000, "{}", analysis.sdg.nodes.len());
+    assert!(
+        analysis.sdg.nodes.len() > 1000,
+        "{}",
+        analysis.sdg.nodes.len()
+    );
     assert!(
         analyze_secs < 15.0,
         "analysis took {analyze_secs:.1}s (paper bound: 15s)"
@@ -176,5 +184,8 @@ fn analyzer_scales_to_1k_nodes() {
     let html = dayu_core::analyzer::export::to_html(&analysis.sdg);
     let html_secs = t0.elapsed().as_secs_f64();
     assert!(html.len() > 10_000);
-    assert!(html_secs < 2.0, "HTML took {html_secs:.1}s (paper bound: 2s)");
+    assert!(
+        html_secs < 2.0,
+        "HTML took {html_secs:.1}s (paper bound: 2s)"
+    );
 }
