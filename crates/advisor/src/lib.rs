@@ -93,6 +93,12 @@ pub enum Action {
         /// The file.
         file: String,
     },
+    /// Re-run a task whose trace is a salvaged fragment before trusting
+    /// recommendations about the data it touches.
+    RerunTask {
+        /// The task to re-run.
+        task: String,
+    },
 }
 
 /// A recommendation: an action, its guideline family, and the rationale
@@ -276,6 +282,15 @@ pub fn advise(findings: &[Finding]) -> Vec<Recommendation> {
                      both on one node turns shared-storage traffic into local I/O"
                 ),
             }),
+            Finding::DegradedTrace { task } => out.push(Recommendation {
+                guideline: Guideline::Scheduling,
+                action: Action::RerunTask { task: task.clone() },
+                rationale: format!(
+                    "{task}'s trace is a salvaged fragment (the task died or \
+                     exhausted its retries); findings about its files are lower \
+                     bounds — re-record before applying optimizations to them"
+                ),
+            }),
         }
     }
     out
@@ -354,9 +369,26 @@ mod tests {
                 consumer: "s4".into(),
                 file: "tracks.h5".into(),
             },
+            Finding::DegradedTrace {
+                task: "crashed".into(),
+            },
         ];
         let recs = advise(&findings);
         assert_eq!(recs.len(), findings.len());
+    }
+
+    #[test]
+    fn degraded_trace_asks_for_a_rerun() {
+        let recs = advise(&[Finding::DegradedTrace {
+            task: "sim_0".into(),
+        }]);
+        assert_eq!(
+            recs[0].action,
+            Action::RerunTask {
+                task: "sim_0".into()
+            }
+        );
+        assert!(recs[0].rationale.contains("salvaged"));
     }
 
     #[test]

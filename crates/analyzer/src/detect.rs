@@ -174,6 +174,14 @@ pub enum Finding {
         /// The file flowing between them.
         file: String,
     },
+    /// A task's trace is a salvaged, truncated fragment (the task died or
+    /// exhausted its retries mid-session). Every graph edge touching it is
+    /// a lower bound, and downstream findings about its files may be
+    /// incomplete — the run should be repeated before acting on them.
+    DegradedTrace {
+        /// The task whose trace was salvaged.
+        task: String,
+    },
 }
 
 impl Finding {
@@ -193,6 +201,7 @@ impl Finding {
             Finding::ContiguousVarlenDataset { .. } => "contiguous-varlen-dataset",
             Finding::RandomAccessContiguous { .. } => "random-access-contiguous",
             Finding::CoSchedulable { .. } => "co-schedulable",
+            Finding::DegradedTrace { .. } => "degraded-trace",
         }
     }
 }
@@ -205,6 +214,13 @@ pub fn run_detectors(
     cfg: &DetectorConfig,
 ) -> Vec<Finding> {
     let mut out = Vec::new();
+    // Degraded traces first: they qualify every other finding (analysis of
+    // a salvaged fragment is a lower bound, not the full dataflow).
+    for t in &bundle.meta.degraded_tasks {
+        out.push(Finding::DegradedTrace {
+            task: t.as_str().to_owned(),
+        });
+    }
     detect_file_patterns(ftg, cfg, &mut out);
     detect_scattering(bundle, sdg, cfg, &mut out);
     detect_unused_datasets(bundle, sdg, &mut out);
@@ -1157,6 +1173,30 @@ mod tests {
             .collect();
         assert!(pairs.contains(&("s3".into(), "s4".into())));
         assert!(pairs.contains(&("s4".into(), "s5".into())));
+    }
+
+    #[test]
+    fn degraded_tasks_are_reported_first() {
+        let mut b = TraceBundle::new("wf");
+        b.push_task(TaskKey::new("lost"));
+        b.vfd = vec![rec(
+            "lost",
+            "part.h5",
+            "/d",
+            IoKind::Write,
+            64,
+            AccessType::RawData,
+            0,
+        )];
+        b.mark_degraded(TaskKey::new("lost"));
+        let f = detect(&b);
+        assert!(matches!(
+            &f[0],
+            Finding::DegradedTrace { task } if task == "lost"
+        ));
+        assert!(has(&f, "degraded-trace"));
+        // An intact bundle never produces the finding.
+        assert!(!has(&detect(&TraceBundle::new("clean")), "degraded-trace"));
     }
 
     #[test]

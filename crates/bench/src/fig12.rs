@@ -92,6 +92,7 @@ pub fn run_configuration(cfg: &DdmdConfig, nodes: usize) -> PipelineOutcome {
         stage_of: run.stage_of.clone(),
         compute_ns: run.compute_ns.clone(),
         stage_names: run.stage_names.clone(),
+        outcomes: run.outcomes.clone(),
     };
     let mut schedule = Schedule::round_robin(&opt_run, nodes);
     // (2) Co-locate aggregate and inference on node 0.

@@ -106,6 +106,7 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
         stage_of: run.stage_of.clone(),
         compute_ns: run.compute_ns.clone(),
         stage_names: run.stage_names.clone(),
+        outcomes: run.outcomes.clone(),
     };
     let mut tasks = to_sim_tasks(&opt_run, &schedule);
     let mut placement = Placement::new();
@@ -221,6 +222,13 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
                 ));
             }
             Action::SkipUnusedDataset { .. } => {} // handled in phase 1
+            Action::RerunTask { task } => {
+                // A salvaged trace fragment under-reports the task's I/O;
+                // optimizing against it would bake the gap into the plan.
+                advisories.push(format!(
+                    "re-record {task} (salvaged trace fragment; plan derived from partial data)"
+                ));
+            }
         }
     }
 

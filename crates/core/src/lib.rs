@@ -80,8 +80,11 @@ pub mod prelude {
     pub use dayu_mapper::{Mapper, MapperConfig};
     pub use dayu_sim::{Cluster, Engine, FileLocation, Placement, SimOp, SimTask, TierKind};
     pub use dayu_trace::{SharedContext, TraceBundle};
-    pub use dayu_vfd::{MemFs, MemVfd, Vfd};
-    pub use dayu_workflow::{record, to_sim_tasks, Schedule, TaskIo, TaskSpec, WorkflowSpec};
+    pub use dayu_vfd::{FaultInjector, FaultSchedule, MemFs, MemVfd, Vfd};
+    pub use dayu_workflow::{
+        record, record_opts, to_sim_tasks, RecordOptions, RetryPolicy, Schedule, TaskIo,
+        TaskOutcome, TaskSpec, WorkflowSpec,
+    };
 }
 
 /// Everything DaYu derives from one profiled workflow execution.

@@ -21,6 +21,10 @@ pub enum HdfError {
     Corrupt(String),
     /// The file or object handle was already closed.
     Closed,
+    /// Several independent sub-operations failed (e.g. more than one task
+    /// of a workflow stage). Each entry is `(label, error message)`; the
+    /// underlying errors are not `Clone`, so they are carried as strings.
+    MultiFailure(Vec<(String, String)>),
 }
 
 impl fmt::Display for HdfError {
@@ -33,6 +37,13 @@ impl fmt::Display for HdfError {
             HdfError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             HdfError::Corrupt(m) => write!(f, "corrupt file structure: {m}"),
             HdfError::Closed => write!(f, "handle already closed"),
+            HdfError::MultiFailure(fails) => {
+                write!(f, "{} operations failed:", fails.len())?;
+                for (label, msg) in fails {
+                    write!(f, " [{label}: {msg}]")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -75,6 +86,14 @@ mod tests {
             .to_string()
             .contains("corrupt"));
         assert!(HdfError::Closed.to_string().contains("closed"));
+        let multi = HdfError::MultiFailure(vec![
+            ("task_a".into(), "boom".into()),
+            ("task_b".into(), "bust".into()),
+        ]);
+        let s = multi.to_string();
+        assert!(s.contains("2 operations failed"), "{s}");
+        assert!(s.contains("task_a: boom"), "{s}");
+        assert!(s.contains("task_b: bust"), "{s}");
         let v: HdfError = VfdError::Closed.into();
         assert!(v.to_string().contains("driver error"));
         use std::error::Error;

@@ -28,6 +28,12 @@ pub struct TraceMeta {
     /// Page size (bytes) used when bucketing file addresses into regions for
     /// SDG address nodes.
     pub page_size: u64,
+    /// Tasks whose trace is truncated: the task died (or exhausted its
+    /// retries) mid-session and its records were salvaged at that point.
+    /// Graphs built from such a bundle are lower bounds, not the full
+    /// dataflow. Absent in pre-salvage traces, hence the serde default.
+    #[serde(default)]
+    pub degraded_tasks: Vec<TaskKey>,
 }
 
 /// All records collected from one workflow execution.
@@ -60,9 +66,28 @@ impl TraceBundle {
                 workflow: workflow.into(),
                 task_order: Vec::new(),
                 page_size: 4096,
+                degraded_tasks: Vec::new(),
             },
             ..Default::default()
         }
+    }
+
+    /// Marks `task` as degraded: its records are a salvaged, truncated
+    /// fragment of the task's real I/O.
+    pub fn mark_degraded(&mut self, task: TaskKey) {
+        if !self.meta.degraded_tasks.contains(&task) {
+            self.meta.degraded_tasks.push(task);
+        }
+    }
+
+    /// Whether `task` was marked degraded.
+    pub fn is_degraded(&self, task: &TaskKey) -> bool {
+        self.meta.degraded_tasks.contains(task)
+    }
+
+    /// Whether any task in the bundle is degraded.
+    pub fn has_degraded_tasks(&self) -> bool {
+        !self.meta.degraded_tasks.is_empty()
     }
 
     /// Appends all records of `other` to this bundle, extending the task
@@ -72,6 +97,11 @@ impl TraceBundle {
         for t in other.meta.task_order {
             if !self.meta.task_order.contains(&t) {
                 self.meta.task_order.push(t);
+            }
+        }
+        for t in other.meta.degraded_tasks {
+            if !self.meta.degraded_tasks.contains(&t) {
+                self.meta.degraded_tasks.push(t);
             }
         }
         self.vol.extend(other.vol);
@@ -161,6 +191,11 @@ impl TraceBundle {
                         for t in m.task_order {
                             if !out.meta.task_order.contains(&t) {
                                 out.meta.task_order.push(t);
+                            }
+                        }
+                        for t in m.degraded_tasks {
+                            if !out.meta.degraded_tasks.contains(&t) {
+                                out.meta.degraded_tasks.push(t);
                             }
                         }
                     } else {
@@ -303,6 +338,48 @@ mod tests {
         });
         let tasks = b.all_tasks();
         assert_eq!(tasks, vec![TaskKey::new("t1"), TaskKey::new("ghost")]);
+    }
+
+    #[test]
+    fn degraded_marks_survive_round_trip_and_merge() {
+        let mut a = bundle();
+        a.mark_degraded(TaskKey::new("t1"));
+        a.mark_degraded(TaskKey::new("t1")); // idempotent
+        assert!(a.is_degraded(&TaskKey::new("t1")));
+        assert!(a.has_degraded_tasks());
+        let back = TraceBundle::read_jsonl(&a.to_jsonl_bytes()[..]).unwrap();
+        assert_eq!(back.meta.degraded_tasks, vec![TaskKey::new("t1")]);
+
+        // Merge unions degraded sets without duplicates.
+        let mut b = bundle();
+        b.meta.task_order = vec![TaskKey::new("t2")];
+        b.mark_degraded(TaskKey::new("t2"));
+        a.merge(b.clone());
+        assert_eq!(
+            a.meta.degraded_tasks,
+            vec![TaskKey::new("t1"), TaskKey::new("t2")]
+        );
+
+        // Concatenated JSONL streams union degraded sets too.
+        let mut first = bundle();
+        first.mark_degraded(TaskKey::new("t1"));
+        let mut bytes = first.to_jsonl_bytes();
+        bytes.extend(b.to_jsonl_bytes());
+        let merged = TraceBundle::read_jsonl(&bytes[..]).unwrap();
+        assert_eq!(
+            merged.meta.degraded_tasks,
+            vec![TaskKey::new("t1"), TaskKey::new("t2")]
+        );
+    }
+
+    #[test]
+    fn pre_salvage_meta_line_still_parses() {
+        // A Meta line written before degraded_tasks existed must decode
+        // (serde default) to an empty set.
+        let line = r#"{"Meta":{"workflow":"old","task_order":[],"page_size":4096}}"#;
+        let back = TraceBundle::read_jsonl(line.as_bytes()).unwrap();
+        assert!(back.meta.degraded_tasks.is_empty());
+        assert_eq!(back.meta.workflow, "old");
     }
 
     #[test]

@@ -1,17 +1,40 @@
-//! Fault-injecting wrapper driver.
+//! Fault-injecting wrapper driver and the seeded chaos engine behind it.
 //!
 //! Profilers sit on the application's critical path; the mapper must not
 //! corrupt traces or deadlock when the underlying storage fails mid-task.
-//! [`FaultyVfd`] injects an `Io` failure on a chosen operation so those
-//! failure paths are testable deterministically.
+//! This module provides two layers:
+//!
+//! * [`FaultPlan`] / [`FaultyVfd::new`] — the original single-shot,
+//!   fully deterministic plan ("fail data-op *n*, optionally stay dead"),
+//!   kept for targeted failure-path tests;
+//! * [`FaultSchedule`] / [`FaultInjector`] — a seeded chaos engine
+//!   supporting probabilistic, transient, sticky (dead-device) and latency
+//!   faults, keyed by operation type and data-op count. One injector is
+//!   shared by every file a task opens (and across retry attempts), so op
+//!   accounting and the RNG stream span the task's whole I/O history.
+//!
+//! **Op accounting.** Only *data-moving* operations — `read`/`write` calls,
+//! whether flagged [`AccessType::RawData`] or [`AccessType::Metadata`] by
+//! the format library — can carry faults, and only **raw-data** ops advance
+//! the fault counter used by [`FaultSchedule::dead_at_op`] and
+//! [`FaultSchedule::transient_ops`] (metadata ops are bookkeeping traffic
+//! whose count depends on format-internal layout decisions, so keying
+//! faults to them makes schedules brittle). Lifecycle operations
+//! (`eof`/`truncate`/`flush`/`close`) always bypass injection. Once a
+//! device is dead, *every* subsequent read/write fails, metadata included.
+//!
+//! Every injected error message carries the schedule seed so a failure seen
+//! in CI can be reproduced exactly with `--chaos-seed`.
 
 use crate::{Result, Vfd, VfdError};
 use dayu_trace::vfd::AccessType;
+use parking_lot::Mutex;
+use std::sync::Arc;
 
-/// When to inject failures.
+/// When to inject failures (legacy single-shot plan).
 #[derive(Clone, Debug)]
 pub struct FaultPlan {
-    /// Fail the nth data-moving operation (0-based). `None` disables
+    /// Fail the nth raw-data operation (0-based). `None` disables
     /// injection.
     pub fail_on_op: Option<u64>,
     /// If `true`, every operation after the first failure also fails
@@ -28,7 +51,7 @@ impl FaultPlan {
         }
     }
 
-    /// Fail permanently starting at data-op `n` (0-based).
+    /// Fail permanently starting at raw-data op `n` (0-based).
     pub fn dead_after(n: u64) -> Self {
         Self {
             fail_on_op: Some(n),
@@ -36,7 +59,7 @@ impl FaultPlan {
         }
     }
 
-    /// Fail only data-op `n` (0-based), then recover.
+    /// Fail only raw-data op `n` (0-based), then recover.
     pub fn transient_at(n: u64) -> Self {
         Self {
             fail_on_op: Some(n),
@@ -45,54 +68,379 @@ impl FaultPlan {
     }
 }
 
-/// Wrapper driver that fails according to a [`FaultPlan`].
-pub struct FaultyVfd<V> {
-    inner: V,
-    plan: FaultPlan,
-    ops_seen: u64,
-    tripped: bool,
+/// A small, dependency-free deterministic RNG (SplitMix64).
+///
+/// Used for probabilistic fault and latency decisions; the whole chaos run
+/// is a pure function of the schedule seed and the per-task op sequence.
+#[derive(Clone, Debug)]
+pub struct ChaosRng {
+    state: u64,
 }
 
-impl<V: Vfd> FaultyVfd<V> {
-    /// Wraps `inner` with the given plan.
-    pub fn new(inner: V, plan: FaultPlan) -> Self {
+impl ChaosRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits of a u64, scaled.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// Deterministic 64-bit FNV-1a over a string — a stable task-name hash
+/// (unlike `DefaultHasher`, whose output may change across Rust releases).
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A seeded, deterministic description of the faults to inject into a
+/// workflow run.
+///
+/// The schedule is global; [`FaultSchedule::injector_for`] derives an
+/// independent RNG stream per task (seed mixed with a stable hash of the
+/// task name), so runs are reproducible regardless of how the scheduler
+/// interleaves tasks across threads.
+#[derive(Clone, Debug)]
+pub struct FaultSchedule {
+    /// Root seed; printed in every injected error for reproduction.
+    pub seed: u64,
+    /// Probability that a raw-data read fails.
+    pub read_fault_prob: f64,
+    /// Probability that a raw-data write fails.
+    pub write_fault_prob: f64,
+    /// If `true`, a probabilistic fault leaves the device dead (every
+    /// later op fails); otherwise probabilistic faults are transient.
+    pub sticky_faults: bool,
+    /// Raw-data op indices (0-based, per task) that fail exactly once.
+    pub transient_ops: Vec<u64>,
+    /// Raw-data op index at which the device dies permanently.
+    pub dead_at_op: Option<u64>,
+    /// The device is dead on arrival: every read/write — metadata
+    /// included — fails from the first op.
+    pub born_dead: bool,
+    /// Probability that a raw-data op is delayed by [`Self::latency_ns`].
+    pub latency_prob: f64,
+    /// Injected delay, nanoseconds of real time.
+    pub latency_ns: u64,
+}
+
+impl Default for FaultSchedule {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl FaultSchedule {
+    /// A schedule with every fault disabled (seed still recorded).
+    pub fn new(seed: u64) -> Self {
         Self {
-            inner,
-            plan,
-            ops_seen: 0,
-            tripped: false,
+            seed,
+            read_fault_prob: 0.0,
+            write_fault_prob: 0.0,
+            sticky_faults: false,
+            transient_ops: Vec::new(),
+            dead_at_op: None,
+            born_dead: false,
+            latency_prob: 0.0,
+            latency_ns: 0,
         }
     }
 
-    /// Number of data-moving ops attempted so far (including failed ones).
-    pub fn ops_seen(&self) -> u64 {
-        self.ops_seen
+    /// The legacy [`FaultPlan`] expressed as a schedule.
+    pub fn from_plan(plan: &FaultPlan, seed: u64) -> Self {
+        let mut s = Self::new(seed);
+        match plan.fail_on_op {
+            Some(n) if plan.sticky => s.dead_at_op = Some(n),
+            Some(n) => s.transient_ops = vec![n],
+            None => {}
+        }
+        s
     }
 
-    fn gate(&mut self) -> Result<()> {
-        let n = self.ops_seen;
-        self.ops_seen += 1;
-        if self.tripped && self.plan.sticky {
-            return Err(VfdError::Io(std::io::Error::other("injected: device dead")));
+    /// Sets the probability that any raw-data op (read or write) fails.
+    pub fn with_fault_prob(mut self, p: f64) -> Self {
+        self.read_fault_prob = p;
+        self.write_fault_prob = p;
+        self
+    }
+
+    /// Sets the raw-data read failure probability.
+    pub fn with_read_fault_prob(mut self, p: f64) -> Self {
+        self.read_fault_prob = p;
+        self
+    }
+
+    /// Sets the raw-data write failure probability.
+    pub fn with_write_fault_prob(mut self, p: f64) -> Self {
+        self.write_fault_prob = p;
+        self
+    }
+
+    /// Makes probabilistic faults kill the device permanently.
+    pub fn sticky(mut self) -> Self {
+        self.sticky_faults = true;
+        self
+    }
+
+    /// Adds a one-shot fault at raw-data op `n` (0-based, per task).
+    pub fn with_transient_at(mut self, n: u64) -> Self {
+        self.transient_ops.push(n);
+        self
+    }
+
+    /// Kills the device permanently at raw-data op `n` (0-based, per task).
+    pub fn with_dead_at(mut self, n: u64) -> Self {
+        self.dead_at_op = Some(n);
+        self
+    }
+
+    /// Makes the device dead on arrival (even metadata ops fail).
+    pub fn dead_on_arrival(mut self) -> Self {
+        self.born_dead = true;
+        self
+    }
+
+    /// Delays each raw-data op by `ns` nanoseconds with probability `p`.
+    pub fn with_latency(mut self, p: f64, ns: u64) -> Self {
+        self.latency_prob = p;
+        self.latency_ns = ns;
+        self
+    }
+
+    /// Whether this schedule can never inject anything.
+    pub fn is_noop(&self) -> bool {
+        self.read_fault_prob <= 0.0
+            && self.write_fault_prob <= 0.0
+            && self.transient_ops.is_empty()
+            && self.dead_at_op.is_none()
+            && !self.born_dead
+            && self.latency_prob <= 0.0
+    }
+
+    /// An injector for `task`, with an RNG stream derived from the
+    /// schedule seed and a stable hash of the task name. Clone the
+    /// returned injector into every file the task opens so op counts and
+    /// the RNG stream span the task's whole history.
+    pub fn injector_for(&self, task: &str) -> FaultInjector {
+        let stream_seed = self.seed ^ fnv1a64(task);
+        FaultInjector {
+            shared: Arc::new(Mutex::new(InjectorState {
+                schedule: self.clone(),
+                task: task.to_owned(),
+                rng: ChaosRng::new(stream_seed),
+                data_ops: 0,
+                meta_ops: 0,
+                faults_injected: 0,
+                dead: self.born_dead,
+            })),
         }
-        if self.plan.fail_on_op == Some(n) {
-            self.tripped = true;
-            return Err(VfdError::Io(std::io::Error::other(format!(
-                "injected fault at op {n}"
-            ))));
+    }
+}
+
+/// Direction of a data-moving op, for per-direction fault probabilities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum IoDir {
+    Read,
+    Write,
+}
+
+struct InjectorState {
+    schedule: FaultSchedule,
+    task: String,
+    rng: ChaosRng,
+    /// Raw-data ops attempted (the counter faults are keyed to).
+    data_ops: u64,
+    /// Metadata read/write ops attempted (excluded from fault keying).
+    meta_ops: u64,
+    faults_injected: u64,
+    dead: bool,
+}
+
+impl InjectorState {
+    fn fault(&mut self, what: &str) -> VfdError {
+        self.faults_injected += 1;
+        VfdError::Io(std::io::Error::other(format!(
+            "injected {what} [task \"{}\", chaos seed {:#018x}]",
+            self.task, self.schedule.seed
+        )))
+    }
+}
+
+/// Shared per-task fault state: op counters, the RNG stream and the
+/// dead-device latch. Cloning shares state (it is an `Arc` internally),
+/// so one injector can back every file a task opens across every retry
+/// attempt — a fault keyed to op *n* fires once per task, not once per
+/// file or per attempt, which is what lets retries make progress.
+#[derive(Clone)]
+pub struct FaultInjector {
+    shared: Arc<Mutex<InjectorState>>,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.shared.lock();
+        write!(
+            f,
+            "FaultInjector(task \"{}\", seed {:#x}, data_ops {}, faults {})",
+            st.task, st.schedule.seed, st.data_ops, st.faults_injected
+        )
+    }
+}
+
+impl FaultInjector {
+    /// An injector that never injects (for plumbing that requires one).
+    pub fn inert() -> Self {
+        FaultSchedule::new(0).injector_for("")
+    }
+
+    /// Raw-data ops attempted so far (including failed ones).
+    pub fn data_ops(&self) -> u64 {
+        self.shared.lock().data_ops
+    }
+
+    /// Metadata read/write ops attempted so far.
+    pub fn meta_ops(&self) -> u64 {
+        self.shared.lock().meta_ops
+    }
+
+    /// Number of faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.shared.lock().faults_injected
+    }
+
+    /// Whether the simulated device is (now) permanently dead.
+    pub fn is_dead(&self) -> bool {
+        self.shared.lock().dead
+    }
+
+    /// The schedule seed (for error reporting).
+    pub fn seed(&self) -> u64 {
+        self.shared.lock().schedule.seed
+    }
+
+    /// Decides the fate of one read/write op. Returns the latency to
+    /// apply (outside the lock) on success.
+    fn decide(&self, dir: IoDir, access: AccessType) -> Result<u64> {
+        let mut st = self.shared.lock();
+        let moves_data = access == AccessType::RawData;
+        if !moves_data {
+            st.meta_ops += 1;
+            if st.dead {
+                return Err(st.fault("metadata op on dead device"));
+            }
+            return Ok(0);
+        }
+        let n = st.data_ops;
+        st.data_ops += 1;
+        if st.dead {
+            return Err(st.fault(&format!("op {n} on dead device")));
+        }
+        if st.schedule.dead_at_op == Some(n) {
+            st.dead = true;
+            return Err(st.fault(&format!("permanent device death at data-op {n}")));
+        }
+        if st.schedule.transient_ops.contains(&n) {
+            return Err(st.fault(&format!("transient fault at data-op {n}")));
+        }
+        let p = match dir {
+            IoDir::Read => st.schedule.read_fault_prob,
+            IoDir::Write => st.schedule.write_fault_prob,
+        };
+        if p > 0.0 && st.rng.chance(p) {
+            if st.schedule.sticky_faults {
+                st.dead = true;
+            }
+            let what = format!(
+                "{} fault at data-op {n}",
+                if dir == IoDir::Read { "read" } else { "write" }
+            );
+            return Err(st.fault(&what));
+        }
+        let latency_prob = st.schedule.latency_prob;
+        if latency_prob > 0.0 && st.rng.chance(latency_prob) {
+            return Ok(st.schedule.latency_ns);
+        }
+        Ok(0)
+    }
+
+    fn gate(&self, dir: IoDir, access: AccessType) -> Result<()> {
+        let delay_ns = self.decide(dir, access)?;
+        if delay_ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(delay_ns));
         }
         Ok(())
     }
 }
 
+/// Wrapper driver that fails according to a [`FaultSchedule`] (or a legacy
+/// [`FaultPlan`] via [`FaultyVfd::new`]).
+pub struct FaultyVfd<V> {
+    inner: V,
+    injector: FaultInjector,
+}
+
+impl<V: Vfd> FaultyVfd<V> {
+    /// Wraps `inner` with the given single-shot plan (seed 0; the plan has
+    /// no probabilistic component, so the seed never matters).
+    pub fn new(inner: V, plan: FaultPlan) -> Self {
+        Self::with_injector(inner, FaultSchedule::from_plan(&plan, 0).injector_for(""))
+    }
+
+    /// Wraps `inner` with a shared injector. Pass clones of one injector
+    /// to every file of a task so faults are keyed to the task's global
+    /// data-op sequence.
+    pub fn with_injector(inner: V, injector: FaultInjector) -> Self {
+        Self { inner, injector }
+    }
+
+    /// Raw-data ops attempted so far across the shared injector
+    /// (including failed ones). Metadata ops are not counted — see the
+    /// module docs for the accounting rules.
+    pub fn ops_seen(&self) -> u64 {
+        self.injector.data_ops()
+    }
+
+    /// Number of faults this wrapper's injector has produced.
+    pub fn faults_injected(&self) -> u64 {
+        self.injector.faults_injected()
+    }
+
+    /// The shared injector (clone to wrap further files of the same task).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+}
+
 impl<V: Vfd> Vfd for FaultyVfd<V> {
     fn read(&mut self, offset: u64, buf: &mut [u8], access: AccessType) -> Result<()> {
-        self.gate()?;
+        self.injector.gate(IoDir::Read, access)?;
         self.inner.read(offset, buf, access)
     }
 
     fn write(&mut self, offset: u64, data: &[u8], access: AccessType) -> Result<()> {
-        self.gate()?;
+        self.injector.gate(IoDir::Write, access)?;
         self.inner.write(offset, data, access)
     }
 
@@ -119,6 +467,7 @@ mod tests {
     use crate::MemVfd;
 
     const RAW: AccessType = AccessType::RawData;
+    const META: AccessType = AccessType::Metadata;
 
     #[test]
     fn no_plan_never_fails() {
@@ -127,6 +476,7 @@ mod tests {
             v.write(i * 4, &[1; 4], RAW).unwrap();
         }
         assert_eq!(v.ops_seen(), 10);
+        assert_eq!(v.faults_injected(), 0);
     }
 
     #[test]
@@ -136,6 +486,7 @@ mod tests {
         assert!(v.write(4, &[1; 4], RAW).is_err());
         v.write(4, &[1; 4], RAW).unwrap();
         assert_eq!(v.eof(), 8);
+        assert_eq!(v.faults_injected(), 1);
     }
 
     #[test]
@@ -146,6 +497,7 @@ mod tests {
         let mut buf = [0u8; 1];
         assert!(v.read(0, &mut buf, RAW).is_err());
         assert_eq!(v.eof(), 0, "no write ever landed");
+        assert_eq!(v.faults_injected(), 3);
     }
 
     #[test]
@@ -154,5 +506,141 @@ mod tests {
         v.truncate(128).unwrap();
         v.flush().unwrap();
         v.close().unwrap();
+    }
+
+    #[test]
+    fn metadata_ops_do_not_advance_fault_counting() {
+        // dead_at_op counts only raw-data ops: interleaved metadata writes
+        // must neither trip the fault early nor delay it.
+        let sched = FaultSchedule::new(7).with_dead_at(2);
+        let mut v = FaultyVfd::with_injector(MemVfd::new(), sched.injector_for("t"));
+        v.write(0, &[0; 4], META).unwrap(); // meta, not counted
+        v.write(0, &[1; 4], RAW).unwrap(); // data-op 0
+        v.write(8, &[0; 4], META).unwrap(); // meta, not counted
+        v.write(4, &[1; 4], RAW).unwrap(); // data-op 1
+        assert!(v.write(8, &[1; 4], RAW).is_err(), "data-op 2 dies");
+        // Once dead, metadata ops fail too.
+        assert!(v.write(0, &[0; 4], META).is_err());
+        assert_eq!(v.ops_seen(), 3, "metadata ops excluded");
+        assert_eq!(v.injector().meta_ops(), 3);
+    }
+
+    #[test]
+    fn born_dead_fails_everything_including_metadata() {
+        let sched = FaultSchedule::new(1).dead_on_arrival();
+        let mut v = FaultyVfd::with_injector(MemVfd::new(), sched.injector_for("t"));
+        assert!(v.write(0, &[0; 4], META).is_err());
+        assert!(v.write(0, &[1; 4], RAW).is_err());
+        let mut buf = [0u8; 1];
+        assert!(v.read(0, &mut buf, RAW).is_err());
+        assert!(v.injector().is_dead());
+    }
+
+    #[test]
+    fn probabilistic_faults_are_seed_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let sched = FaultSchedule::new(seed).with_write_fault_prob(0.3);
+            let mut v = FaultyVfd::with_injector(MemVfd::new(), sched.injector_for("t"));
+            (0..64)
+                .map(|i| v.write(i * 4, &[1; 4], RAW).is_err())
+                .collect()
+        };
+        assert_eq!(run(42), run(42), "same seed, same fault pattern");
+        assert_ne!(run(42), run(43), "different seed, different pattern");
+        assert!(run(42).iter().any(|&f| f), "p=0.3 over 64 ops injects");
+        assert!(!run(42).iter().all(|&f| f), "p=0.3 is not p=1");
+    }
+
+    #[test]
+    fn sticky_probabilistic_fault_kills_the_device() {
+        let sched = FaultSchedule::new(9).with_write_fault_prob(0.5).sticky();
+        let mut v = FaultyVfd::with_injector(MemVfd::new(), sched.injector_for("t"));
+        let mut first_failure = None;
+        for i in 0..64u64 {
+            if v.write(i * 4, &[1; 4], RAW).is_err() {
+                first_failure = Some(i);
+                break;
+            }
+        }
+        let first = first_failure.expect("p=0.5 fails within 64 ops");
+        for i in 0..8u64 {
+            assert!(
+                v.write((first + 1 + i) * 4, &[1; 4], RAW).is_err(),
+                "dead after first sticky fault"
+            );
+        }
+        assert!(v.injector().is_dead());
+    }
+
+    #[test]
+    fn injector_is_shared_across_files() {
+        // Two files of one task share the injector: the data-op counter
+        // spans both, so a fault at op 3 can fire in the second file.
+        let sched = FaultSchedule::new(5).with_transient_at(3);
+        let inj = sched.injector_for("t");
+        let mut a = FaultyVfd::with_injector(MemVfd::new(), inj.clone());
+        let mut b = FaultyVfd::with_injector(MemVfd::new(), inj.clone());
+        a.write(0, &[1; 4], RAW).unwrap(); // op 0
+        a.write(4, &[1; 4], RAW).unwrap(); // op 1
+        b.write(0, &[1; 4], RAW).unwrap(); // op 2
+        assert!(b.write(4, &[1; 4], RAW).is_err(), "op 3 faults in file b");
+        b.write(4, &[1; 4], RAW).unwrap(); // op 4: transient recovered
+        assert_eq!(inj.data_ops(), 5);
+        assert_eq!(inj.faults_injected(), 1);
+    }
+
+    #[test]
+    fn error_message_carries_the_seed() {
+        let sched = FaultSchedule::new(0xdead_beef).with_dead_at(0);
+        let mut v = FaultyVfd::with_injector(MemVfd::new(), sched.injector_for("mytask"));
+        let err = v.write(0, &[1; 4], RAW).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("0x00000000deadbeef"), "{msg}");
+        assert!(msg.contains("mytask"), "{msg}");
+    }
+
+    #[test]
+    fn latency_injection_delays_but_never_fails() {
+        let sched = FaultSchedule::new(3).with_latency(1.0, 1);
+        let mut v = FaultyVfd::with_injector(MemVfd::new(), sched.injector_for("t"));
+        for i in 0..8 {
+            v.write(i * 4, &[1; 4], RAW).unwrap();
+        }
+        assert_eq!(v.faults_injected(), 0);
+        assert_eq!(v.eof(), 32);
+    }
+
+    #[test]
+    fn chaos_rng_is_deterministic_and_not_constant() {
+        let mut a = ChaosRng::new(11);
+        let mut b = ChaosRng::new(11);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+        let mut c = ChaosRng::new(12);
+        for _ in 0..64 {
+            let f = c.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn schedule_noop_detection() {
+        assert!(FaultSchedule::new(99).is_noop());
+        assert!(!FaultSchedule::new(0).with_fault_prob(0.1).is_noop());
+        assert!(!FaultSchedule::new(0).with_dead_at(3).is_noop());
+        assert!(!FaultSchedule::new(0).dead_on_arrival().is_noop());
+        assert!(!FaultSchedule::new(0).with_transient_at(1).is_noop());
+        assert!(!FaultSchedule::new(0).with_latency(0.5, 10).is_noop());
+        assert!(FaultSchedule::from_plan(&FaultPlan::none(), 0).is_noop());
+        assert_eq!(
+            FaultSchedule::from_plan(&FaultPlan::dead_after(4), 0).dead_at_op,
+            Some(4)
+        );
+        assert_eq!(
+            FaultSchedule::from_plan(&FaultPlan::transient_at(2), 0).transient_ops,
+            vec![2]
+        );
     }
 }

@@ -14,7 +14,9 @@
 //!   cycles and across tasks, the substrate for deterministic workflow runs;
 //! * [`FileVfd`] — a real `std::fs::File`, for measuring profiler overhead
 //!   against an actual filesystem;
-//! * [`FaultyVfd`] — fault injection for failure-path tests;
+//! * [`FaultyVfd`] — fault injection for failure-path tests, driven either
+//!   by a single-shot [`FaultPlan`] or by the seeded [`FaultSchedule`]
+//!   chaos engine;
 //! * [`CountingVfd`] — cheap op/byte counters without full tracing.
 
 pub mod counting;
@@ -23,7 +25,7 @@ pub mod file;
 pub mod mem;
 
 pub use counting::{CountingVfd, OpCounters};
-pub use faulty::{FaultPlan, FaultyVfd};
+pub use faulty::{ChaosRng, FaultInjector, FaultPlan, FaultSchedule, FaultyVfd};
 pub use file::FileVfd;
 pub use mem::{MemFs, MemVfd};
 

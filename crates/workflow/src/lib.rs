@@ -6,7 +6,10 @@
 //!    perform real I/O through the instrumented format library;
 //! 2. **Record** it ([`runner::record`]): tasks execute (stage-parallel,
 //!    via rayon) over a shared in-memory filesystem, each under its own
-//!    Data Semantic Mapper session, yielding a workflow-wide trace bundle;
+//!    Data Semantic Mapper session, yielding a workflow-wide trace bundle.
+//!    Recording is fault-tolerant ([`runner::record_opts`]): seeded chaos
+//!    injection, retry with backoff ([`retry::RetryPolicy`]), per-task
+//!    outcomes, and salvage of degraded trace fragments;
 //! 3. **Replay** ([`replay::to_sim_tasks`]): the traced op streams become a
 //!    discrete-event-simulation job with stage-barrier dependencies and a
 //!    [`replay::Schedule`] mapping tasks to cluster nodes;
@@ -16,12 +19,16 @@
 //!    and replay again to quantify the improvement (Figures 11–13).
 
 pub mod replay;
+pub mod retry;
 pub mod runner;
 pub mod spec;
 pub mod transform;
 
 pub use replay::{file_written_bytes, producers_of, readers_of, to_sim_tasks, Schedule};
-pub use runner::{record, record_checked, record_with, RecordedRun};
+pub use retry::RetryPolicy;
+pub use runner::{
+    record, record_checked, record_opts, record_with, RecordOptions, RecordedRun, TaskOutcome,
+};
 pub use spec::{Stage, TaskBody, TaskIo, TaskSpec, WorkflowSpec};
 
 #[cfg(test)]

@@ -6,15 +6,108 @@
 //! process carries its own profiler and per-task traces are joined
 //! afterwards. The result is a workflow-wide [`TraceBundle`] plus the
 //! stage/compute metadata the replay simulation needs.
+//!
+//! The record phase is fault-tolerant ([`record_opts`]): an optional chaos
+//! schedule injects storage faults beneath the profiler, transient failures
+//! are retried per [`RetryPolicy`], and a task that fails permanently still
+//! contributes a salvaged, `degraded`-marked trace fragment so the analyzer
+//! can build a partial FTG/SDG instead of nothing. Every task's fate is
+//! reported as a [`TaskOutcome`]; sibling tasks of a failed task always run
+//! to completion.
 
-use crate::spec::{TaskIo, WorkflowSpec};
+use crate::retry::RetryPolicy;
+use crate::spec::{TaskIo, TaskSpec, WorkflowSpec};
 use dayu_hdf::{HdfError, Result};
 use dayu_mapper::{Mapper, MapperConfig};
+use dayu_trace::ids::TaskKey;
 use dayu_trace::store::TraceBundle;
-use dayu_trace::time::RealClock;
-use dayu_vfd::MemFs;
+use dayu_trace::time::{Clock, RealClock};
+use dayu_vfd::{FaultInjector, FaultSchedule, MemFs};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The fate of one task during recording.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskOutcome {
+    /// Task name.
+    pub task: String,
+    /// Attempts made (1 = succeeded or failed without retry).
+    pub attempts: u32,
+    /// Whether the task failed permanently and its trace was salvaged as a
+    /// truncated fragment.
+    pub degraded: bool,
+    /// The final error message, if the task did not succeed.
+    pub error: Option<String>,
+    /// Faults the chaos engine injected into this task (0 without chaos).
+    pub faults_injected: u64,
+}
+
+impl TaskOutcome {
+    /// Whether the task completed successfully (possibly after retries).
+    pub fn succeeded(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Knobs for the record phase. `Default` reproduces [`record`]'s behaviour
+/// except that transient I/O errors are retried.
+#[derive(Clone)]
+pub struct RecordOptions {
+    /// Mapper (profiler) configuration.
+    pub mapper: MapperConfig,
+    /// Retry policy for failed task bodies.
+    pub retry: RetryPolicy,
+    /// Fault schedule to inject beneath the profiler; `None` (or a no-op
+    /// schedule) records without chaos.
+    pub chaos: Option<FaultSchedule>,
+    /// If `true`, a permanently failed task contributes a truncated,
+    /// `degraded`-marked trace fragment and recording continues; if
+    /// `false`, task failures abort the run with an error naming every
+    /// failed task.
+    pub salvage: bool,
+    /// Trace clock override; `None` uses a fresh [`RealClock`]. Supply a
+    /// `ManualClock` for timestamp-deterministic bundles.
+    pub clock: Option<Arc<dyn Clock>>,
+}
+
+impl Default for RecordOptions {
+    fn default() -> Self {
+        Self {
+            mapper: MapperConfig::default(),
+            retry: RetryPolicy::default(),
+            chaos: None,
+            salvage: true,
+            clock: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for RecordOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordOptions")
+            .field("retry", &self.retry)
+            .field("chaos", &self.chaos)
+            .field("salvage", &self.salvage)
+            .field("clock", &self.clock.as_ref().map(|_| "<override>"))
+            .finish_non_exhaustive()
+    }
+}
+
+impl RecordOptions {
+    /// Options with the given chaos schedule.
+    pub fn with_chaos(mut self, schedule: FaultSchedule) -> Self {
+        self.chaos = Some(schedule);
+        self
+    }
+
+    /// Options with the given retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
 
 /// Output of the record phase.
 pub struct RecordedRun {
@@ -26,6 +119,8 @@ pub struct RecordedRun {
     pub compute_ns: HashMap<String, u64>,
     /// Stage names in order.
     pub stage_names: Vec<String>,
+    /// Per-task outcome, in stage-then-declaration order.
+    pub outcomes: Vec<TaskOutcome>,
 }
 
 impl RecordedRun {
@@ -44,25 +139,169 @@ impl RecordedRun {
     pub fn stage_count(&self) -> usize {
         self.stage_names.len()
     }
+
+    /// Whether any task's trace was salvaged as a degraded fragment.
+    pub fn degraded(&self) -> bool {
+        self.outcomes.iter().any(|o| o.degraded)
+    }
+
+    /// Names of tasks that did not succeed, in outcome order.
+    pub fn failed_tasks(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.succeeded())
+            .map(|o| o.task.as_str())
+            .collect()
+    }
+
+    /// The outcome recorded for `task`.
+    pub fn outcome_of(&self, task: &str) -> Option<&TaskOutcome> {
+        self.outcomes.iter().find(|o| o.task == task)
+    }
 }
 
-/// Records a workflow execution with default mapper configuration.
+/// Records a workflow execution with default mapper configuration. Task
+/// failures abort the run (after the whole stage finishes) with an error
+/// naming every failed task.
 pub fn record(spec: &WorkflowSpec, fs: &MemFs) -> Result<RecordedRun> {
     record_with(spec, fs, &MapperConfig::default())
 }
 
 /// Records a workflow execution with an explicit mapper configuration.
+/// Strict like [`record`]: no chaos, no retries, no salvage — but sibling
+/// tasks of a failed task still complete, and when several tasks fail the
+/// error is a [`HdfError::MultiFailure`] listing all of them (a single
+/// failure propagates the original error unchanged).
 pub fn record_with(spec: &WorkflowSpec, fs: &MemFs, cfg: &MapperConfig) -> Result<RecordedRun> {
+    record_opts(
+        spec,
+        fs,
+        &RecordOptions {
+            mapper: cfg.clone(),
+            retry: RetryPolicy::none(),
+            chaos: None,
+            salvage: false,
+            clock: None,
+        },
+    )
+}
+
+/// One task's result inside a stage: its outcome, its (possibly salvaged)
+/// trace, and the typed error kept for strict propagation.
+struct TaskRun {
+    outcome: TaskOutcome,
+    bundle: Option<TraceBundle>,
+    error: Option<HdfError>,
+}
+
+/// Runs one task body with retries, chaos injection and salvage.
+fn run_task(
+    spec: &WorkflowSpec,
+    fs: &MemFs,
+    opts: &RecordOptions,
+    clock: &Arc<dyn Clock>,
+    t: &TaskSpec,
+) -> TaskRun {
+    // One injector per task, shared across all its files and *all* its
+    // attempts: the data-op counter keeps advancing, so a deterministic
+    // fault keyed to op n fires once and retries make progress.
+    let injector: Option<FaultInjector> = opts
+        .chaos
+        .as_ref()
+        .filter(|s| !s.is_noop())
+        .map(|s| s.injector_for(&t.name));
+    let jitter_seed = opts.chaos.as_ref().map(|s| s.seed).unwrap_or(0);
+    let started = Instant::now();
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        // A fresh mapper per attempt: a failed attempt's records are
+        // discarded rather than double-counted (files are re-created on
+        // retry, so the successful attempt's trace matches a clean run).
+        let mapper =
+            Mapper::with_config_and_clock(spec.name.clone(), opts.mapper.clone(), clock.clone());
+        mapper.set_task(&t.name);
+        let io = match &injector {
+            Some(inj) => TaskIo::with_faults(fs, &mapper, inj.clone()),
+            None => TaskIo::new(fs, &mapper),
+        };
+        let faults_so_far = || injector.as_ref().map(|i| i.faults_injected()).unwrap_or(0);
+        match (t.body)(&io) {
+            Ok(()) => {
+                mapper.clear_task();
+                return TaskRun {
+                    outcome: TaskOutcome {
+                        task: t.name.clone(),
+                        attempts,
+                        degraded: false,
+                        error: None,
+                        faults_injected: faults_so_far(),
+                    },
+                    bundle: Some(mapper.into_bundle()),
+                    error: None,
+                };
+            }
+            Err(e) => {
+                let deadline_hit = opts
+                    .retry
+                    .deadline_ns
+                    .is_some_and(|d| started.elapsed().as_nanos() as u64 >= d);
+                if RetryPolicy::retryable(&e) && attempts < opts.retry.max_attempts && !deadline_hit
+                {
+                    let pause = opts.retry.backoff_ns(attempts, jitter_seed);
+                    if pause > 0 {
+                        std::thread::sleep(std::time::Duration::from_nanos(pause));
+                    }
+                    continue;
+                }
+                // Permanent failure: salvage what the last attempt traced.
+                let bundle = opts.salvage.then(|| {
+                    let mut b = mapper.into_bundle();
+                    b.mark_degraded(TaskKey::new(t.name.as_str()));
+                    b
+                });
+                return TaskRun {
+                    outcome: TaskOutcome {
+                        task: t.name.clone(),
+                        attempts,
+                        degraded: opts.salvage,
+                        error: Some(e.to_string()),
+                        faults_injected: faults_so_far(),
+                    },
+                    bundle,
+                    error: Some(e),
+                };
+            }
+        }
+    }
+}
+
+/// Records a workflow execution with full fault-tolerance control: chaos
+/// injection, retry/backoff, per-task outcomes and trace salvage.
+///
+/// With `opts.salvage` **on** (the default), the run always yields a
+/// `RecordedRun`: permanently failed tasks contribute degraded trace
+/// fragments and later stages still execute (their tasks may fail in turn
+/// — e.g. a consumer of a file its dead producer never wrote — and are
+/// salvaged the same way). With salvage **off**, the first stage with
+/// failures aborts the run after all of its tasks finish: one failure
+/// propagates the original error, several are folded into
+/// [`HdfError::MultiFailure`].
+pub fn record_opts(spec: &WorkflowSpec, fs: &MemFs, opts: &RecordOptions) -> Result<RecordedRun> {
     spec.validate()?;
     // One clock for the whole run: per-task mappers must stamp events on a
     // common timeline or cross-task ordering (FTG layout, time-dependent
     // input detection) is meaningless.
-    let clock = std::sync::Arc::new(RealClock::new());
+    let clock: Arc<dyn Clock> = opts
+        .clock
+        .clone()
+        .unwrap_or_else(|| Arc::new(RealClock::new()));
     let mut bundle = TraceBundle::new(spec.name.clone());
-    bundle.meta.page_size = cfg.page_size;
+    bundle.meta.page_size = opts.mapper.page_size;
     let mut stage_of = HashMap::new();
     let mut compute_ns = HashMap::new();
     let mut stage_names = Vec::new();
+    let mut outcomes: Vec<TaskOutcome> = Vec::new();
 
     for (si, stage) in spec.stages.iter().enumerate() {
         stage_names.push(stage.name.clone());
@@ -72,22 +311,39 @@ pub fn record_with(spec: &WorkflowSpec, fs: &MemFs, cfg: &MapperConfig) -> Resul
         }
         // Stage barrier: tasks inside the stage run in parallel, each with
         // its own mapper session (its own shared context → correct task
-        // attribution under concurrency).
-        let results: Vec<Result<TraceBundle>> = stage
+        // attribution under concurrency). `par_iter` preserves input
+        // order, so outcomes are deterministic regardless of thread
+        // interleaving.
+        let results: Vec<TaskRun> = stage
             .tasks
             .par_iter()
-            .map(|t| {
-                let mapper =
-                    Mapper::with_config_and_clock(spec.name.clone(), cfg.clone(), clock.clone());
-                mapper.set_task(&t.name);
-                let io = TaskIo::new(fs, &mapper);
-                (t.body)(&io)?;
-                mapper.clear_task();
-                Ok(mapper.into_bundle())
-            })
+            .map(|t| run_task(spec, fs, opts, &clock, t))
             .collect();
-        for r in results {
-            bundle.merge(r?);
+
+        let mut errors: Vec<(String, HdfError)> = Vec::new();
+        for run in results {
+            if let Some(b) = run.bundle {
+                bundle.merge(b);
+            }
+            if let Some(e) = run.error {
+                errors.push((run.outcome.task.clone(), e));
+            }
+            outcomes.push(run.outcome);
+        }
+        if !opts.salvage && !errors.is_empty() {
+            // Strict mode: abort before later stages run. A single failure
+            // keeps its typed error (callers match on the variant); several
+            // independent failures become one structured multi-error.
+            return Err(if errors.len() == 1 {
+                errors.pop().expect("len checked").1
+            } else {
+                HdfError::MultiFailure(
+                    errors
+                        .into_iter()
+                        .map(|(task, e)| (task, e.to_string()))
+                        .collect(),
+                )
+            });
         }
     }
     Ok(RecordedRun {
@@ -95,6 +351,7 @@ pub fn record_with(spec: &WorkflowSpec, fs: &MemFs, cfg: &MapperConfig) -> Resul
         stage_of,
         compute_ns,
         stage_names,
+        outcomes,
     })
 }
 
@@ -169,6 +426,14 @@ mod tests {
         assert_eq!(run.stage_names, vec!["produce", "consume"]);
         assert_eq!(run.tasks_of_stage(1), vec!["consumer_0", "consumer_1"]);
         assert_eq!(run.stage_count(), 2);
+        assert!(!run.degraded());
+        assert!(run.failed_tasks().is_empty());
+        assert_eq!(run.outcomes.len(), 3);
+        assert!(run
+            .outcomes
+            .iter()
+            .all(|o| o.succeeded() && o.attempts == 1));
+        assert_eq!(run.outcome_of("producer").unwrap().faults_injected, 0);
 
         // The dataset appears in traces of all three tasks.
         let tasks_touching: std::collections::BTreeSet<&str> = run
@@ -191,6 +456,171 @@ mod tests {
         );
         let fs = MemFs::new();
         assert!(matches!(record(&spec, &fs), Err(HdfError::NotFound(_))));
+    }
+
+    #[test]
+    fn multiple_sibling_failures_are_all_reported() {
+        let spec = WorkflowSpec::new("bad2").stage(
+            "s",
+            vec![
+                TaskSpec::new("ok", |io: &TaskIo| {
+                    let f = io.create("fine.h5")?;
+                    f.close()
+                }),
+                TaskSpec::new("fail_a", |io: &TaskIo| io.open("no_a.h5").map(|_| ())),
+                TaskSpec::new("fail_b", |io: &TaskIo| io.open("no_b.h5").map(|_| ())),
+            ],
+        );
+        let fs = MemFs::new();
+        let err = record(&spec, &fs).unwrap_err();
+        match err {
+            HdfError::MultiFailure(fails) => {
+                let tasks: Vec<&str> = fails.iter().map(|(t, _)| t.as_str()).collect();
+                assert_eq!(tasks, vec!["fail_a", "fail_b"]);
+                assert!(fails.iter().all(|(_, m)| m.contains("not found")));
+            }
+            other => panic!("expected MultiFailure, got {other}"),
+        }
+        // The sibling that succeeded still ran to completion.
+        assert!(fs.exists("fine.h5"));
+    }
+
+    #[test]
+    fn salvage_mode_continues_past_failures() {
+        let spec = WorkflowSpec::new("salvaged")
+            .stage(
+                "s1",
+                vec![
+                    TaskSpec::new("writer", |io: &TaskIo| {
+                        let f = io.create("out.h5")?;
+                        let mut ds = f.root().create_dataset(
+                            "d",
+                            DatasetBuilder::new(DataType::Int { width: 1 }, &[8]),
+                        )?;
+                        ds.write(&[1; 8])?;
+                        ds.close()?;
+                        f.close()
+                    }),
+                    TaskSpec::new("crasher", |io: &TaskIo| io.open("ghost.h5").map(|_| ())),
+                ],
+            )
+            .stage(
+                "s2",
+                vec![TaskSpec::new("reader", |io: &TaskIo| {
+                    let f = io.open("out.h5")?;
+                    let mut ds = f.root().open_dataset("d")?;
+                    ds.read()?;
+                    ds.close()?;
+                    f.close()
+                })],
+            );
+        let fs = MemFs::new();
+        let run = record_opts(&spec, &fs, &RecordOptions::default()).unwrap();
+        assert!(run.degraded());
+        assert_eq!(run.failed_tasks(), vec!["crasher"]);
+        let crash = run.outcome_of("crasher").unwrap();
+        assert!(crash.degraded);
+        assert_eq!(crash.attempts, 1, "NotFound is not retryable");
+        assert!(crash.error.as_deref().unwrap().contains("not found"));
+        // The second stage still ran.
+        assert!(run.outcome_of("reader").unwrap().succeeded());
+        // The salvaged bundle marks exactly the crashed task.
+        assert_eq!(
+            run.bundle.meta.degraded_tasks,
+            vec![TaskKey::new("crasher")]
+        );
+    }
+
+    #[test]
+    fn transient_chaos_fault_is_retried_to_success() {
+        let spec = WorkflowSpec::new("retryable").stage(
+            "s",
+            vec![TaskSpec::new("writer", |io: &TaskIo| {
+                let f = io.create("w.h5")?;
+                let mut ds = f
+                    .root()
+                    .create_dataset("d", DatasetBuilder::new(DataType::Int { width: 8 }, &[64]))?;
+                ds.write_u64s(&[3; 64])?;
+                ds.close()?;
+                f.close()
+            })],
+        );
+        let fs = MemFs::new();
+        let opts = RecordOptions::default()
+            .with_chaos(FaultSchedule::new(5).with_transient_at(2))
+            .with_retry(RetryPolicy::default().with_backoff(0, 0));
+        let run = record_opts(&spec, &fs, &opts).unwrap();
+        let o = run.outcome_of("writer").unwrap();
+        assert!(o.succeeded(), "{:?}", o.error);
+        assert_eq!(o.attempts, 2, "one transient fault, one retry");
+        assert_eq!(o.faults_injected, 1);
+        assert!(!run.degraded());
+        assert!(fs.exists("w.h5"));
+    }
+
+    #[test]
+    fn dead_device_exhausts_retries_and_salvages() {
+        let spec = WorkflowSpec::new("doomed").stage(
+            "s",
+            vec![TaskSpec::new("writer", |io: &TaskIo| {
+                let f = io.create("w.h5")?;
+                let mut ds = f
+                    .root()
+                    .create_dataset("d", DatasetBuilder::new(DataType::Int { width: 8 }, &[64]))?;
+                ds.write_u64s(&[3; 64])?;
+                ds.close()?;
+                f.close()
+            })],
+        );
+        let fs = MemFs::new();
+        let opts = RecordOptions::default()
+            .with_chaos(FaultSchedule::new(5).with_dead_at(1))
+            .with_retry(RetryPolicy::default().attempts(3).with_backoff(0, 0));
+        let run = record_opts(&spec, &fs, &opts).unwrap();
+        let o = run.outcome_of("writer").unwrap();
+        assert!(!o.succeeded());
+        assert_eq!(o.attempts, 3, "all attempts consumed");
+        assert!(o.degraded);
+        assert!(
+            o.error.as_deref().unwrap().contains("chaos seed"),
+            "error carries the seed: {:?}",
+            o.error
+        );
+        assert!(run.bundle.is_degraded(&TaskKey::new("writer")));
+        // The salvaged fragment is well-formed JSONL.
+        let back = TraceBundle::read_jsonl(&run.bundle.to_jsonl_bytes()[..]).unwrap();
+        assert_eq!(back, run.bundle);
+    }
+
+    #[test]
+    fn deadline_stops_retrying() {
+        let spec = WorkflowSpec::new("late").stage(
+            "s",
+            vec![TaskSpec::new("writer", |io: &TaskIo| {
+                let f = io.create("w.h5")?;
+                let mut ds = f
+                    .root()
+                    .create_dataset("d", DatasetBuilder::new(DataType::Int { width: 8 }, &[64]))?;
+                ds.write_u64s(&[3; 64])?;
+                ds.close()?;
+                f.close()
+            })],
+        );
+        let fs = MemFs::new();
+        // The device is permanently dead, every attempt fails; a 0ns
+        // deadline means no retry ever starts.
+        let opts = RecordOptions::default()
+            .with_chaos(FaultSchedule::new(1).with_dead_at(0))
+            .with_retry(
+                RetryPolicy::default()
+                    .attempts(10)
+                    .with_backoff(0, 0)
+                    .with_deadline_ns(0),
+            );
+        let run = record_opts(&spec, &fs, &opts).unwrap();
+        let o = run.outcome_of("writer").unwrap();
+        assert_eq!(o.attempts, 1, "deadline forbids retries");
+        assert!(o.degraded);
     }
 
     #[test]
@@ -226,6 +656,9 @@ mod tests {
             );
         }
         assert_eq!(fs.list().len(), 8);
+        // Outcomes preserve declaration order under parallelism.
+        let names: Vec<&str> = run.outcomes.iter().map(|o| o.task.as_str()).collect();
+        assert_eq!(names, (0..8).map(|i| format!("w{i}")).collect::<Vec<_>>());
     }
 
     #[test]

@@ -11,14 +11,22 @@
 
 use dayu_hdf::{H5File, HdfError, Result};
 use dayu_mapper::Mapper;
-use dayu_vfd::MemFs;
+use dayu_vfd::{FaultInjector, FaultyVfd, MemFs};
 use std::sync::Arc;
 
 /// The I/O environment handed to a task body: file create/open through the
 /// task's profiling mapper over the shared in-memory filesystem.
+///
+/// When built with [`TaskIo::with_faults`], every file the task touches is
+/// additionally wrapped in a [`FaultyVfd`] sharing one chaos injector, so
+/// fault schedules are keyed to the task's global data-op sequence. The
+/// fault layer sits *below* the profiler: the profiler observes injected
+/// failures exactly as it would real device errors, and failed operations
+/// are never recorded (the salvage-consistency invariant).
 pub struct TaskIo<'a> {
     fs: &'a MemFs,
     mapper: &'a Mapper,
+    faults: Option<FaultInjector>,
 }
 
 impl<'a> TaskIo<'a> {
@@ -26,16 +34,41 @@ impl<'a> TaskIo<'a> {
     /// builds these automatically; standalone benchmarks construct them
     /// directly.
     pub fn new(fs: &'a MemFs, mapper: &'a Mapper) -> Self {
-        Self { fs, mapper }
+        Self {
+            fs,
+            mapper,
+            faults: None,
+        }
+    }
+
+    /// Like [`TaskIo::new`], but every file is wrapped in a fault-injecting
+    /// driver sharing `injector` (clones share state, so op accounting
+    /// spans all of the task's files and retry attempts).
+    pub fn with_faults(fs: &'a MemFs, mapper: &'a Mapper, injector: FaultInjector) -> Self {
+        Self {
+            fs,
+            mapper,
+            faults: Some(injector),
+        }
     }
 
     /// Creates (truncating) a file, instrumented end to end.
     pub fn create(&self, name: &str) -> Result<H5File> {
-        H5File::create(
-            self.mapper.wrap_vfd(self.fs.create(name), name),
-            name,
-            self.mapper.file_options(),
-        )
+        match &self.faults {
+            Some(inj) => H5File::create(
+                self.mapper.wrap_vfd(
+                    FaultyVfd::with_injector(self.fs.create(name), inj.clone()),
+                    name,
+                ),
+                name,
+                self.mapper.file_options(),
+            ),
+            None => H5File::create(
+                self.mapper.wrap_vfd(self.fs.create(name), name),
+                name,
+                self.mapper.file_options(),
+            ),
+        }
     }
 
     /// Opens an existing file, instrumented end to end.
@@ -44,11 +77,19 @@ impl<'a> TaskIo<'a> {
             .fs
             .open_existing(name)
             .ok_or_else(|| HdfError::NotFound(name.to_owned()))?;
-        H5File::open(
-            self.mapper.wrap_vfd(vfd, name),
-            name,
-            self.mapper.file_options(),
-        )
+        match &self.faults {
+            Some(inj) => H5File::open(
+                self.mapper
+                    .wrap_vfd(FaultyVfd::with_injector(vfd, inj.clone()), name),
+                name,
+                self.mapper.file_options(),
+            ),
+            None => H5File::open(
+                self.mapper.wrap_vfd(vfd, name),
+                name,
+                self.mapper.file_options(),
+            ),
+        }
     }
 
     /// Whether a file exists.

@@ -54,6 +54,7 @@ fn ddmd_full_loop_baseline_vs_optimized() {
         stage_of: run.stage_of.clone(),
         compute_ns: run.compute_ns.clone(),
         stage_names: run.stage_names.clone(),
+        outcomes: run.outcomes.clone(),
     };
     let mut opt_tasks = to_sim_tasks(&opt_run, &schedule);
     let mut placement = Placement::new();

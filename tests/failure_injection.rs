@@ -1,26 +1,72 @@
 //! Failure-path integration: storage faults under the full stack must
 //! surface as errors (never panics or corruption), and the profiler's
 //! traces must stay consistent — failed operations are not recorded.
+//!
+//! Fault accounting: only raw-data (payload-moving) operations advance the
+//! chaos engine's op counter, so `FaultPlan::dead_after(n)` means "after
+//! `n` payload ops", independent of how much metadata traffic (superblock,
+//! object headers) the format library generates around them. A device that
+//! must refuse even the superblock write is modeled with
+//! [`FaultSchedule::dead_on_arrival`].
 
 use dayu::prelude::*;
-use dayu_core::vfd::{FaultPlan, FaultyVfd, MemFs, MemVfd};
+use dayu_core::vfd::{FaultInjector, FaultPlan, FaultyVfd, MemFs, MemVfd};
 
-fn faulty_file(plan: FaultPlan) -> (Mapper, dayu_core::hdf::Result<H5File>) {
+fn faulty_file(plan: FaultPlan) -> (Mapper, FaultInjector, dayu_core::hdf::Result<H5File>) {
     let mapper = Mapper::new("faulty");
     mapper.set_task("t");
     let inner = FaultyVfd::new(MemVfd::new(), plan);
+    let inj = inner.injector().clone();
     let file = H5File::create(
         mapper.wrap_vfd(inner, "f.h5"),
         "f.h5",
         mapper.file_options(),
     );
-    (mapper, file)
+    (mapper, inj, file)
 }
 
 #[test]
-fn create_on_dead_device_fails_cleanly() {
-    let (mapper, file) = faulty_file(FaultPlan::dead_after(0));
-    assert!(file.is_err(), "superblock write must fail");
+fn data_death_spares_metadata_creation() {
+    // dead_after(0): the very first raw-data op fails, but file creation is
+    // metadata-only traffic and is not counted against the fault schedule.
+    let (mapper, inj, file) = faulty_file(FaultPlan::dead_after(0));
+    let file = file.expect("metadata-only creation survives a data-dead device");
+    assert_eq!(inj.data_ops(), 0, "creation moved no payload bytes");
+    assert!(inj.meta_ops() > 0, "creation did go through the device");
+    let result = (|| -> dayu_core::hdf::Result<()> {
+        let mut ds = file
+            .root()
+            .create_dataset("d", DatasetBuilder::new(DataType::Int { width: 1 }, &[64]))?;
+        ds.write(&[7u8; 64])?;
+        ds.close()
+    })();
+    assert!(
+        result.is_err(),
+        "the first payload op must hit the dead device"
+    );
+    assert!(inj.is_dead());
+    assert!(inj.faults_injected() >= 1);
+    // The failed op was never recorded; what was recorded round-trips.
+    let bundle = mapper.into_bundle();
+    let bytes = bundle.to_jsonl_bytes();
+    assert_eq!(TraceBundle::read_jsonl(&bytes[..]).unwrap(), bundle);
+}
+
+#[test]
+fn born_dead_device_fails_creation() {
+    // dead_on_arrival refuses everything, metadata included: even the
+    // superblock write fails, and the error names the chaos seed.
+    let mapper = Mapper::new("faulty");
+    mapper.set_task("t");
+    let schedule = FaultSchedule::new(0xDEAD).dead_on_arrival();
+    let inner = FaultyVfd::with_injector(MemVfd::new(), schedule.injector_for("t"));
+    let file = H5File::create(
+        mapper.wrap_vfd(inner, "f.h5"),
+        "f.h5",
+        mapper.file_options(),
+    );
+    let err = file.err().expect("superblock write must fail");
+    assert!(err.to_string().contains("chaos seed"), "{err}");
     let bundle = mapper.into_bundle();
     // No data-moving ops were recorded (the open record may exist).
     assert_eq!(bundle.vfd.iter().filter(|r| r.kind.moves_data()).count(), 0);
@@ -28,9 +74,10 @@ fn create_on_dead_device_fails_cleanly() {
 
 #[test]
 fn mid_write_fault_surfaces_and_trace_stays_consistent() {
-    // Let file creation succeed, then kill the device during dataset I/O.
-    let (mapper, file) = faulty_file(FaultPlan::dead_after(20));
-    let file = file.expect("creation survives 20 ops");
+    // Creation and the first 8 chunk writes succeed, then the device dies
+    // mid dataset write (the 64 KiB payload spans 16 chunks of 4 KiB).
+    let (mapper, _inj, file) = faulty_file(FaultPlan::dead_after(8));
+    let file = file.expect("creation is metadata-only and survives");
     let result = (|| -> dayu_core::hdf::Result<()> {
         let mut ds = file.root().create_dataset(
             "d",
@@ -66,13 +113,13 @@ fn transient_fault_is_retryable_at_the_application_level() {
         "f.h5",
         mapper.file_options(),
     )
-    .expect("creation fits under 12 ops");
+    .expect("creation is metadata-only, consumes no counted ops");
     let mut ds = file
         .root()
         .create_dataset("d", DatasetBuilder::new(DataType::Int { width: 8 }, &[64]))
         .unwrap();
     // Enough writes to be certain one crosses the injected op; exactly one
-    // fails, and retries succeed.
+    // (the 13th payload write) fails, and retries succeed.
     let mut failures = 0;
     let mut last_ok = 0u64;
     for attempt in 0..20u64 {
