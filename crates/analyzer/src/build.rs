@@ -10,11 +10,31 @@
 //! including the metadata/raw split and the current-object attribution from
 //! the Characteristic Mapper); object-level (VOL) accesses supply logical
 //! volumes and cover runs where time-sensitive I/O tracing was disabled.
+//!
+//! ## Parallel construction
+//!
+//! Both builders partition the bundle's records by task, build one partial
+//! graph per task, and fold the partials into the final graph sequentially
+//! in task order. Record attribution makes the partials independent (every
+//! record names exactly one task), so the per-task stage parallelizes with
+//! rayon for large traces ([`build_ftg_with`] / [`build_sdg_with`] choose
+//! explicitly; the plain entry points switch at
+//! [`PARALLEL_RECORD_THRESHOLD`]). Because the merge step is sequential and
+//! keyed purely on the deterministic task order — task nodes first, then
+//! each task's partial in within-task record order — the output is
+//! *identical* to the sequential build regardless of thread count.
 
 use crate::graph::{EdgeStats, Graph, GraphKind, NodeKind, Operation};
 use dayu_trace::store::TraceBundle;
-use dayu_trace::vfd::{AccessType, IoKind};
-use dayu_trace::vol::VolAccessKind;
+use dayu_trace::vfd::{AccessType, FileRecord, IoKind, VfdRecord};
+use dayu_trace::vol::{VolAccessKind, VolRecord};
+use dayu_trace::{Symbol, TaskKey};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Record count at which [`build_ftg`]/[`build_sdg`] switch to the rayon
+/// path. Below it, partition + thread hand-off costs more than it saves.
+pub const PARALLEL_RECORD_THRESHOLD: usize = 8192;
 
 /// Options for SDG construction.
 #[derive(Clone, Debug)]
@@ -49,21 +69,95 @@ fn vfd_stats(rec: &dayu_trace::vfd::VfdRecord) -> EdgeStats {
     }
 }
 
-/// Builds the File-Task Graph.
-pub fn build_ftg(bundle: &TraceBundle) -> Graph {
-    let mut g = Graph::new(GraphKind::Ftg, bundle.meta.workflow.clone());
+/// One task's slice of a bundle, in within-task record order.
+struct Partition<'a> {
+    task: TaskKey,
+    vfd: Vec<&'a VfdRecord>,
+    vol: Vec<&'a VolRecord>,
+    files: Vec<&'a FileRecord>,
+}
 
-    // Seed task nodes in execution order so node ids follow the workflow.
-    for task in bundle.all_tasks() {
-        g.node(NodeKind::Task, task.as_str());
+/// Splits the bundle's records by task, in `all_tasks` order (execution
+/// order first, stragglers after). Every record lands in exactly one
+/// partition — `all_tasks` includes every task any record names.
+fn partition(bundle: &TraceBundle) -> Vec<Partition<'_>> {
+    let tasks = bundle.all_tasks();
+    let index: HashMap<Symbol, usize> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.symbol(), i))
+        .collect();
+    let mut parts: Vec<Partition<'_>> = tasks
+        .into_iter()
+        .map(|task| Partition {
+            task,
+            vfd: Vec::new(),
+            vol: Vec::new(),
+            files: Vec::new(),
+        })
+        .collect();
+    for r in &bundle.vfd {
+        parts[index[&r.task.symbol()]].vfd.push(r);
     }
+    for r in &bundle.vol {
+        parts[index[&r.task.symbol()]].vol.push(r);
+    }
+    for r in &bundle.files {
+        parts[index[&r.task.symbol()]].files.push(r);
+    }
+    parts
+}
 
-    for rec in &bundle.vfd {
+/// Folds a per-task partial graph into the final graph: nodes dedup by
+/// `(kind, label)` with spans/volumes merged, edges dedup by
+/// `(from, to, op)` with statistics merged. All the merge operations are
+/// commutative-and-associative min/max/sum, but the fold itself runs
+/// sequentially in task order so node and edge ids come out deterministic.
+fn merge_partial(g: &mut Graph, part: &Graph) {
+    let mut map = Vec::with_capacity(part.nodes.len());
+    for n in &part.nodes {
+        let id = g.node_sym(n.kind, Symbol::intern(&n.label));
+        // Untouched nodes carry the (start=MAX, end=0) sentinel, which is
+        // the identity of the (min, max) fold — merging it is a no-op.
+        g.touch_node(id, n.start, n.end, n.volume);
+        map.push(id);
+    }
+    for e in &part.edges {
+        g.edge(map[e.from], map[e.to], e.op, e.stats.clone());
+    }
+}
+
+/// Runs `build` over every partition — in parallel when asked — and merges
+/// the partials in task order onto `g` (whose task nodes are pre-seeded so
+/// node ids follow the workflow's execution order).
+fn build_partitioned<F>(mut g: Graph, parts: &[Partition<'_>], parallel: bool, build: F) -> Graph
+where
+    F: Fn(&Partition<'_>) -> Graph + Sync,
+{
+    for part in parts {
+        g.node_sym(NodeKind::Task, part.task.symbol());
+    }
+    let partials: Vec<Graph> = if parallel {
+        parts.par_iter().map(&build).collect()
+    } else {
+        parts.iter().map(&build).collect()
+    };
+    for partial in &partials {
+        merge_partial(&mut g, partial);
+    }
+    g.normalize_times();
+    g
+}
+
+fn ftg_partial(part: &Partition<'_>, vfd_empty: bool) -> Graph {
+    let mut g = Graph::new(GraphKind::Ftg, "");
+    let t = g.node_sym(NodeKind::Task, part.task.symbol());
+
+    for rec in &part.vfd {
         if !rec.kind.moves_data() {
             continue;
         }
-        let t = g.node(NodeKind::Task, rec.task.as_str());
-        let f = g.node(NodeKind::File, rec.file.as_str());
+        let f = g.node_sym(NodeKind::File, rec.file.symbol());
         g.touch_node(t, rec.start, rec.end, rec.len);
         g.touch_node(f, rec.start, rec.end, rec.len);
         let stats = vfd_stats(rec);
@@ -75,11 +169,11 @@ pub fn build_ftg(bundle: &TraceBundle) -> Graph {
     }
 
     // Fallback/supplement: per-file statistics cover runs without I/O
-    // tracing (constant-storage mode).
-    if bundle.vfd.is_empty() {
-        for fr in &bundle.files {
-            let t = g.node(NodeKind::Task, fr.task.as_str());
-            let f = g.node(NodeKind::File, fr.file.as_str());
+    // tracing (constant-storage mode). Gated on the *bundle-wide* VFD
+    // count, not this task's, to match the single-pass semantics.
+    if vfd_empty {
+        for fr in &part.files {
+            let f = g.node_sym(NodeKind::File, fr.file.symbol());
             let (start, end) = fr
                 .lifetimes
                 .first()
@@ -118,8 +212,24 @@ pub fn build_ftg(bundle: &TraceBundle) -> Graph {
         }
     }
 
-    g.normalize_times();
     g
+}
+
+/// Builds the File-Task Graph, choosing serial vs parallel by record count.
+pub fn build_ftg(bundle: &TraceBundle) -> Graph {
+    build_ftg_with(
+        bundle,
+        bundle.vfd.len() + bundle.files.len() >= PARALLEL_RECORD_THRESHOLD,
+    )
+}
+
+/// Builds the File-Task Graph with an explicit serial/parallel choice. The
+/// output is identical either way (see the module docs).
+pub fn build_ftg_with(bundle: &TraceBundle, parallel: bool) -> Graph {
+    let parts = partition(bundle);
+    let vfd_empty = bundle.vfd.is_empty();
+    let g = Graph::new(GraphKind::Ftg, bundle.meta.workflow.clone());
+    build_partitioned(g, &parts, parallel, |p| ftg_partial(p, vfd_empty))
 }
 
 /// Label of a dataset node: `file:object` (objects are per-file).
@@ -132,27 +242,40 @@ pub fn region_label(file: &str, lo_page: u64, hi_page: u64) -> String {
     format!("{file}:[{lo_page}-{hi_page})p")
 }
 
-/// Builds the Semantic Dataflow Graph.
-pub fn build_sdg(bundle: &TraceBundle, opts: &SdgOptions) -> Graph {
-    let mut g = Graph::new(GraphKind::Sdg, bundle.meta.workflow.clone());
-    for task in bundle.all_tasks() {
-        g.node(NodeKind::Task, task.as_str());
+/// Interning caches for the SDG's composite labels (`file:object` dataset
+/// labels, `file:[lo-hi)p` region labels), so the per-record hot loop only
+/// formats a label string the first time a distinct one appears.
+#[derive(Default)]
+struct LabelCache {
+    dataset: HashMap<(Symbol, Symbol), Symbol>,
+    region: HashMap<(Symbol, u64, u64), Symbol>,
+}
+
+impl LabelCache {
+    fn dataset(&mut self, file: Symbol, object: Symbol) -> Symbol {
+        *self
+            .dataset
+            .entry((file, object))
+            .or_insert_with(|| Symbol::intern(&dataset_label(file.as_str(), object.as_str())))
     }
 
-    // Region geometry per file: observed extent split into region_count
-    // page-aligned pieces.
-    let page = bundle.meta.page_size.max(1);
-    let mut file_extent: std::collections::HashMap<&str, u64> = Default::default();
-    if opts.include_regions {
-        for rec in &bundle.vfd {
-            if rec.kind.moves_data() {
-                let e = file_extent.entry(rec.file.as_str()).or_default();
-                *e = (*e).max(rec.offset + rec.len);
-            }
-        }
+    fn region(&mut self, file: Symbol, lo: u64, hi: u64) -> Symbol {
+        *self
+            .region
+            .entry((file, lo, hi))
+            .or_insert_with(|| Symbol::intern(&region_label(file.as_str(), lo, hi)))
     }
-    let region_of = |file: &str, offset: u64| -> (u64, u64) {
-        let extent = file_extent.get(file).copied().unwrap_or(0).max(1);
+}
+
+fn sdg_partial(
+    part: &Partition<'_>,
+    opts: &SdgOptions,
+    file_extent: &HashMap<Symbol, u64>,
+    page: u64,
+    vfd_empty: bool,
+) -> Graph {
+    let region_of = |file: Symbol, offset: u64| -> (u64, u64) {
+        let extent = file_extent.get(&file).copied().unwrap_or(0).max(1);
         let total_pages = extent.div_ceil(page);
         let per_region = total_pages.div_ceil(opts.region_count.max(1)).max(1);
         let page_idx = offset / page;
@@ -162,16 +285,19 @@ pub fn build_sdg(bundle: &TraceBundle, opts: &SdgOptions) -> Graph {
         (lo, hi)
     };
 
+    let mut g = Graph::new(GraphKind::Sdg, "");
+    let mut labels = LabelCache::default();
+    let t = g.node_sym(NodeKind::Task, part.task.symbol());
+
     // Low-level truth: edges from attributed VFD records.
-    for rec in &bundle.vfd {
+    for rec in &part.vfd {
         if !rec.kind.moves_data() {
             continue;
         }
-        let t = g.node(NodeKind::Task, rec.task.as_str());
-        let f = g.node(NodeKind::File, rec.file.as_str());
-        let d = g.node(
+        let f = g.node_sym(NodeKind::File, rec.file.symbol());
+        let d = g.node_sym(
             NodeKind::Dataset,
-            &dataset_label(rec.file.as_str(), rec.object.as_str()),
+            labels.dataset(rec.file.symbol(), rec.object.symbol()),
         );
         g.touch_node(t, rec.start, rec.end, rec.len);
         g.touch_node(f, rec.start, rec.end, rec.len);
@@ -183,10 +309,10 @@ pub fn build_sdg(bundle: &TraceBundle, opts: &SdgOptions) -> Graph {
             _ => unreachable!(),
         }
         if opts.include_regions {
-            let (lo, hi) = region_of(rec.file.as_str(), rec.offset);
-            let r = g.node(
+            let (lo, hi) = region_of(rec.file.symbol(), rec.offset);
+            let r = g.node_sym(
                 NodeKind::AddrRegion,
-                &region_label(rec.file.as_str(), lo, hi),
+                labels.region(rec.file.symbol(), lo, hi),
             );
             g.touch_node(r, rec.start, rec.end, rec.len);
             g.edge(d, r, Operation::Structural, stats);
@@ -199,17 +325,16 @@ pub fn build_sdg(bundle: &TraceBundle, opts: &SdgOptions) -> Graph {
     // Semantic layer: object-level accesses (logical volumes, and coverage
     // when I/O tracing was off). Only the logical volume and count are
     // added; low-level splits came from the VFD records above.
-    for rec in &bundle.vol {
+    for rec in &part.vol {
         if rec.accesses.is_empty() {
             continue;
         }
-        let t = g.node(NodeKind::Task, rec.task.as_str());
-        let d = g.node(
+        let d = g.node_sym(
             NodeKind::Dataset,
-            &dataset_label(rec.file.as_str(), rec.object.as_str()),
+            labels.dataset(rec.file.symbol(), rec.object.symbol()),
         );
-        let f = g.node(NodeKind::File, rec.file.as_str());
-        if bundle.vfd.is_empty() {
+        let f = g.node_sym(NodeKind::File, rec.file.symbol());
+        if vfd_empty {
             // No low-level records: this is the only source of edges.
             for a in &rec.accesses {
                 let stats = EdgeStats {
@@ -236,8 +361,42 @@ pub fn build_sdg(bundle: &TraceBundle, opts: &SdgOptions) -> Graph {
         g.touch_node(d, start, end, 0);
     }
 
-    g.normalize_times();
     g
+}
+
+/// Builds the Semantic Dataflow Graph, choosing serial vs parallel by
+/// record count.
+pub fn build_sdg(bundle: &TraceBundle, opts: &SdgOptions) -> Graph {
+    build_sdg_with(
+        bundle,
+        opts,
+        bundle.vfd.len() + bundle.vol.len() >= PARALLEL_RECORD_THRESHOLD,
+    )
+}
+
+/// Builds the Semantic Dataflow Graph with an explicit serial/parallel
+/// choice. The output is identical either way (see the module docs).
+pub fn build_sdg_with(bundle: &TraceBundle, opts: &SdgOptions, parallel: bool) -> Graph {
+    // Region geometry per file — observed extent split into region_count
+    // page-aligned pieces — is a bundle-wide property, computed up front
+    // and shared read-only by every partial build.
+    let page = bundle.meta.page_size.max(1);
+    let mut file_extent: HashMap<Symbol, u64> = HashMap::new();
+    if opts.include_regions {
+        for rec in &bundle.vfd {
+            if rec.kind.moves_data() {
+                let e = file_extent.entry(rec.file.symbol()).or_default();
+                *e = (*e).max(rec.offset + rec.len);
+            }
+        }
+    }
+
+    let parts = partition(bundle);
+    let vfd_empty = bundle.vfd.is_empty();
+    let g = Graph::new(GraphKind::Sdg, bundle.meta.workflow.clone());
+    build_partitioned(g, &parts, parallel, |p| {
+        sdg_partial(p, opts, &file_extent, page, vfd_empty)
+    })
 }
 
 #[cfg(test)]
@@ -467,5 +626,64 @@ mod tests {
         let b = TraceBundle::new("wf");
         assert_eq!(build_ftg(&b).nodes.len(), 0);
         assert_eq!(build_sdg(&b, &SdgOptions::default()).nodes.len(), 0);
+    }
+
+    #[test]
+    fn parallel_build_equals_serial() {
+        let mut b = sample_bundle();
+        // Straggler task (not in task_order) and a degraded-style partial
+        // record mix, to exercise the partition edge cases.
+        b.vfd.push(rec(
+            "straggler",
+            "a.h5",
+            "/d1",
+            IoKind::Read,
+            4096,
+            10,
+            AccessType::RawData,
+            400,
+        ));
+        let opts = SdgOptions {
+            include_regions: true,
+            region_count: 4,
+        };
+        let ftg_serial = build_ftg_with(&b, false);
+        let ftg_parallel = build_ftg_with(&b, true);
+        assert_eq!(ftg_serial, ftg_parallel);
+        let sdg_serial = build_sdg_with(&b, &opts, false);
+        let sdg_parallel = build_sdg_with(&b, &opts, true);
+        assert_eq!(sdg_serial, sdg_parallel);
+        // Bit-identical, not just structurally equal.
+        assert_eq!(
+            serde_json::to_vec(&ftg_serial).unwrap(),
+            serde_json::to_vec(&ftg_parallel).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_vec(&sdg_serial).unwrap(),
+            serde_json::to_vec(&sdg_parallel).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_build_equals_serial_for_file_record_fallback() {
+        let mut b = TraceBundle::new("wf");
+        for i in 0..3u64 {
+            let task = format!("t{i}");
+            b.push_task(TaskKey::new(&task));
+            b.files.push(dayu_trace::vfd::FileRecord {
+                task: TaskKey::new(&task),
+                file: FileKey::new("shared.h5"),
+                lifetimes: vec![dayu_trace::time::Interval::new(
+                    Timestamp(i),
+                    Timestamp(i + 10),
+                )],
+                stats: {
+                    let mut s = dayu_trace::vfd::FileStats::default();
+                    s.record(IoKind::Write, 0, 100 * (i + 1), AccessType::RawData);
+                    s
+                },
+            });
+        }
+        assert_eq!(build_ftg_with(&b, false), build_ftg_with(&b, true));
     }
 }

@@ -8,6 +8,7 @@
 //! horizontally by event end time" (Fig. 3).
 
 use dayu_trace::time::Timestamp;
+use dayu_trace::Symbol;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -43,7 +44,7 @@ pub struct Node {
 }
 
 /// Direction/summary of an edge's accesses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Operation {
     /// Only reads flowed along this edge.
     ReadOnly,
@@ -166,8 +167,14 @@ pub struct Graph {
     pub nodes: Vec<Node>,
     /// Edges.
     pub edges: Vec<Edge>,
+    /// Node lookup keyed by `(kind, interned label)`: lookups hash a
+    /// `(u8, u32)` pair instead of cloning the label string.
     #[serde(skip)]
-    index: HashMap<(NodeKind, String), usize>,
+    index: HashMap<(NodeKind, Symbol), usize>,
+    /// Edge lookup keyed by `(from, to, op)`, replacing the linear scan
+    /// [`Graph::edge`] used to do per insertion.
+    #[serde(skip)]
+    edge_index: HashMap<(usize, usize, Operation), usize>,
 }
 
 impl Graph {
@@ -179,32 +186,39 @@ impl Graph {
             nodes: Vec::new(),
             edges: Vec::new(),
             index: HashMap::new(),
+            edge_index: HashMap::new(),
         }
     }
 
     /// Gets or creates the node of `kind` labelled `label`.
     pub fn node(&mut self, kind: NodeKind, label: &str) -> usize {
-        if let Some(&id) = self.index.get(&(kind, label.to_owned())) {
+        self.node_sym(kind, Symbol::intern(label))
+    }
+
+    /// [`Graph::node`] for an already-interned label — the allocation-free
+    /// hot path the graph builders use (trace keys carry their symbol).
+    pub fn node_sym(&mut self, kind: NodeKind, label: Symbol) -> usize {
+        if let Some(&id) = self.index.get(&(kind, label)) {
             return id;
         }
         let id = self.nodes.len();
         self.nodes.push(Node {
             id,
             kind,
-            label: label.to_owned(),
+            label: label.as_str().to_owned(),
             start: Timestamp(u64::MAX),
             end: Timestamp::ZERO,
             volume: 0,
         });
-        self.index.insert((kind, label.to_owned()), id);
+        self.index.insert((kind, label), id);
         id
     }
 
-    /// Looks up an existing node.
+    /// Looks up an existing node without allocating: a label that was never
+    /// interned anywhere in the process cannot name a node.
     pub fn find(&self, kind: NodeKind, label: &str) -> Option<&Node> {
-        self.index
-            .get(&(kind, label.to_owned()))
-            .map(|&id| &self.nodes[id])
+        let sym = Symbol::lookup(label)?;
+        self.index.get(&(kind, sym)).map(|&id| &self.nodes[id])
     }
 
     /// Expands a node's time span to include `[start, end]` and adds volume.
@@ -217,14 +231,11 @@ impl Graph {
 
     /// Adds (or merges into) the edge `from → to` with the given direction.
     pub fn edge(&mut self, from: usize, to: usize, op: Operation, stats: EdgeStats) {
-        if let Some(e) = self
-            .edges
-            .iter_mut()
-            .find(|e| e.from == from && e.to == to && e.op == op)
-        {
-            e.stats.merge(&stats);
+        if let Some(&i) = self.edge_index.get(&(from, to, op)) {
+            self.edges[i].stats.merge(&stats);
             return;
         }
+        self.edge_index.insert((from, to, op), self.edges.len());
         self.edges.push(Edge {
             from,
             to,
@@ -248,12 +259,19 @@ impl Graph {
         self.nodes.iter().filter(move |n| n.kind == kind)
     }
 
-    /// Rebuilds the label index (needed after deserialization).
+    /// Rebuilds the node and edge indexes (needed after deserialization).
+    /// Labels are interned, not cloned.
     pub fn rebuild_index(&mut self) {
         self.index = self
             .nodes
             .iter()
-            .map(|n| ((n.kind, n.label.clone()), n.id))
+            .map(|n| ((n.kind, Symbol::intern(&n.label)), n.id))
+            .collect();
+        self.edge_index = self
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| ((e.from, e.to, e.op), i))
             .collect();
     }
 
@@ -387,6 +405,58 @@ mod tests {
             t,
             "index works after rebuild"
         );
+    }
+
+    #[test]
+    fn node_sym_and_node_agree() {
+        let mut g = Graph::new(GraphKind::Ftg, "wf");
+        let a = g.node(NodeKind::Task, "sym-agree");
+        let b = g.node_sym(NodeKind::Task, Symbol::intern("sym-agree"));
+        assert_eq!(a, b);
+        assert_eq!(g.nodes.len(), 1);
+    }
+
+    #[test]
+    fn find_never_interned_label_is_none() {
+        let g = Graph::new(GraphKind::Ftg, "wf");
+        assert!(g
+            .find(NodeKind::Task, "graph-label-never-interned-zz")
+            .is_none());
+        assert_eq!(
+            Symbol::lookup("graph-label-never-interned-zz"),
+            None,
+            "find must not intern probe labels"
+        );
+    }
+
+    #[test]
+    fn edges_merge_after_index_rebuild() {
+        let mut g = Graph::new(GraphKind::Ftg, "wf");
+        let t = g.node(NodeKind::Task, "t");
+        let f = g.node(NodeKind::File, "f");
+        g.edge(
+            t,
+            f,
+            Operation::WriteOnly,
+            EdgeStats {
+                access_count: 1,
+                ..Default::default()
+            },
+        );
+        let json = serde_json::to_string(&g).unwrap();
+        let mut back: Graph = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        back.edge(
+            t,
+            f,
+            Operation::WriteOnly,
+            EdgeStats {
+                access_count: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(back.edges.len(), 1, "edge index survives rebuild");
+        assert_eq!(back.edges[0].stats.access_count, 3);
     }
 
     #[test]

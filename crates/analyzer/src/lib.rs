@@ -25,7 +25,7 @@ pub mod export;
 pub mod graph;
 pub mod resolution;
 
-pub use build::{build_ftg, build_sdg, SdgOptions};
+pub use build::{build_ftg, build_ftg_with, build_sdg, build_sdg_with, SdgOptions};
 pub use detect::{run_detectors, DetectorConfig, Finding};
 pub use graph::{Edge, EdgeStats, Graph, GraphKind, Node, NodeKind, Operation};
 

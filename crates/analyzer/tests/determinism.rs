@@ -1,0 +1,104 @@
+//! Parallel graph construction must be *bit-identical* to the sequential
+//! build, whatever rayon pool it runs on: the partials merge sequentially
+//! in task order, so thread scheduling can never leak into node ids, edge
+//! order, or statistics. This is what makes the parallel path safe to
+//! enable by default above the record threshold.
+
+use dayu_analyzer::{build_ftg_with, build_sdg_with, SdgOptions};
+use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
+use dayu_trace::time::Timestamp;
+use dayu_trace::vfd::{AccessType, IoKind, VfdRecord};
+use dayu_trace::TraceBundle;
+
+/// A deliberately messy synthetic workload: many tasks, shared files,
+/// interleaved reads/writes, metadata ops, a straggler task missing from
+/// `task_order`, and a degraded task.
+fn synthetic_bundle(tasks: u64, ops_per_task: u64) -> TraceBundle {
+    let mut b = TraceBundle::new("determinism");
+    for t in 0..tasks {
+        b.push_task(TaskKey::new(format!("task_{t}")));
+    }
+    b.mark_degraded(TaskKey::new("task_0"));
+    let mut clock = 0u64;
+    for t in 0..tasks {
+        let task = TaskKey::new(format!("task_{t}"));
+        for op in 0..ops_per_task {
+            clock += 7;
+            // Files are shared across neighbouring tasks so partials
+            // genuinely overlap at merge time.
+            let file = FileKey::new(format!("file_{}.h5", (t + op) % 5));
+            let object = ObjectKey::new(format!("/group/ds_{}", op % 3));
+            b.vfd.push(VfdRecord {
+                task: task.clone(),
+                file,
+                kind: if op % 3 == 0 {
+                    IoKind::Write
+                } else {
+                    IoKind::Read
+                },
+                offset: (op % 16) * 4096,
+                len: 512 + op,
+                access: if op % 5 == 0 {
+                    AccessType::Metadata
+                } else {
+                    AccessType::RawData
+                },
+                object,
+                start: Timestamp(clock),
+                end: Timestamp(clock + 3),
+            });
+        }
+    }
+    // Straggler task referenced only by records.
+    b.vfd.push(VfdRecord {
+        task: TaskKey::new("straggler"),
+        file: FileKey::new("file_0.h5"),
+        kind: IoKind::Read,
+        offset: 0,
+        len: 64,
+        access: AccessType::RawData,
+        object: ObjectKey::new("/group/ds_0"),
+        start: Timestamp(clock + 10),
+        end: Timestamp(clock + 12),
+    });
+    b
+}
+
+#[test]
+fn parallel_build_is_bit_identical_across_thread_counts() {
+    let bundle = synthetic_bundle(8, 40);
+    let opts = SdgOptions {
+        include_regions: true,
+        region_count: 4,
+    };
+
+    let ftg_serial = serde_json::to_vec(&build_ftg_with(&bundle, false)).unwrap();
+    let sdg_serial = serde_json::to_vec(&build_sdg_with(&bundle, &opts, false)).unwrap();
+
+    for threads in [1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let (ftg, sdg) = pool.install(|| {
+            (
+                serde_json::to_vec(&build_ftg_with(&bundle, true)).unwrap(),
+                serde_json::to_vec(&build_sdg_with(&bundle, &opts, true)).unwrap(),
+            )
+        });
+        assert_eq!(ftg, ftg_serial, "FTG diverged on {threads} thread(s)");
+        assert_eq!(sdg, sdg_serial, "SDG diverged on {threads} thread(s)");
+    }
+}
+
+#[test]
+fn repeated_parallel_builds_are_stable() {
+    // Same-pool repetition: scheduling differences between runs must not
+    // show either.
+    let bundle = synthetic_bundle(4, 25);
+    let first = serde_json::to_vec(&build_ftg_with(&bundle, true)).unwrap();
+    for _ in 0..5 {
+        let again = serde_json::to_vec(&build_ftg_with(&bundle, true)).unwrap();
+        assert_eq!(again, first);
+    }
+}

@@ -1,0 +1,85 @@
+//! `pipeline` — the tracked record → save → load → analyze benchmark.
+//!
+//! ```text
+//! cargo run --release -p dayu-bench --bin pipeline -- [--smoke] [--check]
+//!     [--scale N] [--out PATH]
+//! ```
+//!
+//! Writes `BENCH_pipeline.json` (or `--out PATH`) and prints a short
+//! human-readable summary. `--smoke` runs the quick CI-sized workloads;
+//! `--check` exits non-zero if the binary format is larger or slower than
+//! JSONL on any workload (the CI perf gate).
+
+use dayu_bench::pipeline::{check, report_json, run, PipelineConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        PipelineConfig::smoke()
+    } else {
+        PipelineConfig::full()
+    };
+    let mut do_check = false;
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {}
+            "--check" => do_check = true,
+            "--scale" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cfg.corner_multiplier = n,
+                _ => return usage("--scale needs a positive integer"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let reports = run(&cfg);
+    for r in &reports {
+        println!(
+            "{:<18} {:>8} records  record {:>9.0} ops/s  size {:>5.1}x  save+load {:>5.1}x",
+            r.name,
+            r.records,
+            r.record_ops_per_sec(),
+            r.size_ratio(),
+            r.round_trip_ratio(),
+        );
+    }
+    let doc = report_json(&cfg, &reports);
+    match serde_json::to_string_pretty(&doc) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&out_path, text + "\n") {
+                eprintln!("pipeline: cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {out_path}");
+        }
+        Err(e) => {
+            eprintln!("pipeline: cannot serialize report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if do_check {
+        let failures = check(&reports);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("pipeline check FAILED: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("pipeline check passed: binary ≤ JSONL in size and save+load time");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("pipeline: {err}");
+    eprintln!("usage: pipeline [--smoke] [--check] [--scale N] [--out PATH]");
+    ExitCode::FAILURE
+}

@@ -16,6 +16,7 @@
 //! | [`fig12`]  | Fig. 12 — DDMD pipeline optimization over iterations |
 //! | [`fig13`]  | Fig. 13a–c — data layout optimizations |
 //! | [`ablation`] | design ablations (context channel, replay vs coarse model) |
+//! | [`pipeline`] | tracked record → save → load → analyze benchmark (`BENCH_pipeline.json`) |
 //!
 //! Absolute numbers differ from the paper (the substrate is a simulator,
 //! not the authors' testbed); regenerators aim to reproduce the *shape*:
@@ -29,6 +30,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig_graphs;
+pub mod pipeline;
 pub mod tables;
 
 /// How big to run a regenerator.

@@ -1,0 +1,359 @@
+//! End-to-end pipeline benchmark: **record → save → load → analyze**.
+//!
+//! The other benches time one subsystem each; this one walks a trace through
+//! the whole life cycle the way a real deployment does, in both persistence
+//! formats, and emits a machine-readable `BENCH_pipeline.json` that the CI
+//! perf job tracks over time. Workloads:
+//!
+//! * **corner-case ×N** — the many-small-datasets worst case of Fig. 9c/d,
+//!   scaled up by a read multiplier so the VFD trace dominates;
+//! * **ddmd** — the DeepDriveMD pipeline recorded through the workflow
+//!   runner, a VOL-heavy trace with many tasks and files.
+//!
+//! For every workload the report carries record throughput (ops/sec), and
+//! per-format save time, load time, size and bytes/record, plus the
+//! JSONL/binary ratios the `--check` gate enforces (binary must not be
+//! larger or slower than JSONL).
+
+use crate::Scale;
+use dayu_analyzer::{build_ftg_with, build_sdg_with, Analysis, SdgOptions};
+use dayu_trace::{TraceBundle, TraceFormat};
+use dayu_vfd::MemFs;
+use dayu_workflow::record;
+use dayu_workloads::ddmd::{self, DdmdConfig};
+use dayu_workloads::{corner_case, Backend, Instrumentation};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// Pipeline benchmark parameters.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Run size.
+    pub scale: Scale,
+    /// Corner-case read multiplier (the ×N of the issue): `dataset_reads`
+    /// is `base × n` so the VFD record count grows linearly.
+    pub corner_multiplier: usize,
+}
+
+impl PipelineConfig {
+    /// Quick parameters for tests and the CI smoke job.
+    pub fn smoke() -> Self {
+        Self {
+            scale: Scale::Quick,
+            corner_multiplier: 2,
+        }
+    }
+
+    /// The tracked full-size run.
+    pub fn full() -> Self {
+        Self {
+            scale: Scale::Full,
+            corner_multiplier: 8,
+        }
+    }
+}
+
+/// Timings for one persistence format over one workload's bundle.
+#[derive(Clone, Copy, Debug)]
+pub struct FormatTimings {
+    /// Serialize into an in-memory buffer, nanoseconds.
+    pub save_ns: u64,
+    /// Deserialize back from that buffer, nanoseconds.
+    pub load_ns: u64,
+    /// Encoded size in bytes.
+    pub bytes: u64,
+}
+
+impl FormatTimings {
+    fn measure(bundle: &TraceBundle, format: TraceFormat) -> (Self, TraceBundle) {
+        let mut buf = Vec::with_capacity(1 << 20);
+        let t0 = Instant::now();
+        bundle.save(&mut buf, format).expect("save");
+        let save_ns = t0.elapsed().as_nanos() as u64;
+        let t0 = Instant::now();
+        let reloaded = TraceBundle::load(&buf[..]).expect("load");
+        let load_ns = t0.elapsed().as_nanos() as u64;
+        assert_eq!(
+            &reloaded, bundle,
+            "{format:?} round-trip must be lossless before it is worth timing"
+        );
+        (
+            Self {
+                save_ns,
+                load_ns,
+                bytes: buf.len() as u64,
+            },
+            reloaded,
+        )
+    }
+
+    /// Save + load wall time, nanoseconds.
+    pub fn round_trip_ns(&self) -> u64 {
+        self.save_ns + self.load_ns
+    }
+
+    fn to_json(self, records: u64) -> Value {
+        json!({
+            "save_ns": self.save_ns,
+            "load_ns": self.load_ns,
+            "bytes": self.bytes,
+            "bytes_per_record": if records == 0 { 0.0 } else { self.bytes as f64 / records as f64 },
+        })
+    }
+}
+
+/// One workload's trip through the pipeline.
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Workload id, e.g. `"corner_case_x8"`.
+    pub name: String,
+    /// Total trace records (VFD + VOL + file).
+    pub records: u64,
+    /// Wall time of the record phase, nanoseconds.
+    pub record_ns: u64,
+    /// JSONL persistence timings.
+    pub jsonl: FormatTimings,
+    /// Binary (`.dtb`) persistence timings.
+    pub binary: FormatTimings,
+    /// Serial FTG build, nanoseconds.
+    pub ftg_serial_ns: u64,
+    /// Parallel FTG build, nanoseconds.
+    pub ftg_parallel_ns: u64,
+    /// Parallel SDG build (with regions), nanoseconds.
+    pub sdg_ns: u64,
+    /// Full `Analysis::run` (graphs + detectors), nanoseconds.
+    pub analysis_ns: u64,
+}
+
+impl WorkloadReport {
+    fn from_bundle(name: String, bundle: TraceBundle, record_ns: u64) -> Self {
+        let records = (bundle.vfd.len() + bundle.vol.len() + bundle.files.len()) as u64;
+        let (jsonl, _) = FormatTimings::measure(&bundle, TraceFormat::Jsonl);
+        let (binary, reloaded) = FormatTimings::measure(&bundle, TraceFormat::Binary);
+
+        // Analyze the *reloaded* bundle: that is what a consumer holds.
+        let t0 = Instant::now();
+        let ftg_a = build_ftg_with(&reloaded, false);
+        let ftg_serial_ns = t0.elapsed().as_nanos() as u64;
+        let t0 = Instant::now();
+        let ftg_b = build_ftg_with(&reloaded, true);
+        let ftg_parallel_ns = t0.elapsed().as_nanos() as u64;
+        assert_eq!(ftg_a, ftg_b, "parallel FTG must match serial");
+        let opts = SdgOptions {
+            include_regions: true,
+            region_count: 4,
+        };
+        let t0 = Instant::now();
+        let _sdg = build_sdg_with(&reloaded, &opts, true);
+        let sdg_ns = t0.elapsed().as_nanos() as u64;
+        let t0 = Instant::now();
+        let _analysis = Analysis::run(&reloaded);
+        let analysis_ns = t0.elapsed().as_nanos() as u64;
+
+        Self {
+            name,
+            records,
+            record_ns,
+            jsonl,
+            binary,
+            ftg_serial_ns,
+            ftg_parallel_ns,
+            sdg_ns,
+            analysis_ns,
+        }
+    }
+
+    /// Trace records produced per second of record-phase wall time.
+    pub fn record_ops_per_sec(&self) -> f64 {
+        if self.record_ns == 0 {
+            0.0
+        } else {
+            self.records as f64 * 1e9 / self.record_ns as f64
+        }
+    }
+
+    /// JSONL size divided by binary size (≥ 1 means binary is smaller).
+    pub fn size_ratio(&self) -> f64 {
+        if self.binary.bytes == 0 {
+            0.0
+        } else {
+            self.jsonl.bytes as f64 / self.binary.bytes as f64
+        }
+    }
+
+    /// JSONL save+load divided by binary save+load (≥ 1 means binary is
+    /// faster).
+    pub fn round_trip_ratio(&self) -> f64 {
+        let b = self.binary.round_trip_ns();
+        if b == 0 {
+            0.0
+        } else {
+            self.jsonl.round_trip_ns() as f64 / b as f64
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        json!({
+            "name": self.name,
+            "records": self.records,
+            "record": {
+                "wall_ns": self.record_ns,
+                "ops_per_sec": self.record_ops_per_sec(),
+            },
+            "formats": {
+                "jsonl": self.jsonl.to_json(self.records),
+                "binary": self.binary.to_json(self.records),
+            },
+            "ratios": {
+                "size_jsonl_over_binary": self.size_ratio(),
+                "round_trip_jsonl_over_binary": self.round_trip_ratio(),
+            },
+            "analyze": {
+                "ftg_serial_ns": self.ftg_serial_ns,
+                "ftg_parallel_ns": self.ftg_parallel_ns,
+                "sdg_ns": self.sdg_ns,
+                "analysis_ns": self.analysis_ns,
+            },
+        })
+    }
+}
+
+fn corner_case_bundle(cfg: &PipelineConfig) -> (String, TraceBundle, u64) {
+    let (base, name) = match cfg.scale {
+        Scale::Quick => (
+            corner_case::CornerCaseConfig {
+                datasets: 20,
+                file_bytes: 64 << 10,
+                dataset_reads: 100,
+            },
+            format!("corner_case_x{}", cfg.corner_multiplier),
+        ),
+        Scale::Full => (
+            corner_case::CornerCaseConfig::default(),
+            format!("corner_case_x{}", cfg.corner_multiplier),
+        ),
+    };
+    let scaled = corner_case::CornerCaseConfig {
+        dataset_reads: base.dataset_reads * cfg.corner_multiplier,
+        ..base
+    };
+    let run = corner_case::run(&scaled, Backend::mem(), Instrumentation::Full).expect("workload");
+    let bundle = run.bundle.expect("instrumented run carries a bundle");
+    (name, bundle, run.wall_ns)
+}
+
+fn ddmd_bundle(cfg: &PipelineConfig) -> (String, TraceBundle, u64) {
+    let dcfg = match cfg.scale {
+        Scale::Quick => DdmdConfig {
+            sim_tasks: 4,
+            epochs: 3,
+            reread_epochs: vec![3],
+            ..Default::default()
+        },
+        Scale::Full => DdmdConfig {
+            iterations: 3,
+            ..Default::default()
+        },
+    };
+    let fs = MemFs::new();
+    let t0 = Instant::now();
+    let run = record(&ddmd::workflow(&dcfg), &fs).expect("record ddmd");
+    let record_ns = t0.elapsed().as_nanos() as u64;
+    ("ddmd".to_string(), run.bundle, record_ns)
+}
+
+/// Runs the full pipeline benchmark and returns per-workload reports.
+pub fn run(cfg: &PipelineConfig) -> Vec<WorkloadReport> {
+    let mut out = Vec::new();
+    for (name, bundle, record_ns) in [corner_case_bundle(cfg), ddmd_bundle(cfg)] {
+        out.push(WorkloadReport::from_bundle(name, bundle, record_ns));
+    }
+    out
+}
+
+/// Renders the reports as the tracked `BENCH_pipeline.json` document.
+pub fn report_json(cfg: &PipelineConfig, reports: &[WorkloadReport]) -> Value {
+    json!({
+        "bench": "pipeline",
+        "mode": match cfg.scale { Scale::Quick => "smoke", Scale::Full => "full" },
+        "corner_multiplier": cfg.corner_multiplier,
+        "workloads": reports.iter().map(WorkloadReport::to_json).collect::<Vec<_>>(),
+    })
+}
+
+/// The `--check` gate: binary must round-trip no slower than JSONL and
+/// encode no larger, for every workload. Returns the failures.
+pub fn check(reports: &[WorkloadReport]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in reports {
+        if r.binary.bytes > r.jsonl.bytes {
+            failures.push(format!(
+                "{}: binary is larger than JSONL ({} > {} bytes)",
+                r.name, r.binary.bytes, r.jsonl.bytes
+            ));
+        }
+        if r.binary.round_trip_ns() > r.jsonl.round_trip_ns() {
+            failures.push(format!(
+                "{}: binary save+load slower than JSONL ({} ns > {} ns)",
+                r.name,
+                r.binary.round_trip_ns(),
+                r.jsonl.round_trip_ns()
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_both_workloads() {
+        let cfg = PipelineConfig::smoke();
+        let reports = run(&cfg);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(r.records > 0, "{} recorded nothing", r.name);
+            assert!(r.jsonl.bytes > 0 && r.binary.bytes > 0);
+            assert!(
+                r.binary.bytes < r.jsonl.bytes,
+                "{}: binary {} vs jsonl {}",
+                r.name,
+                r.binary.bytes,
+                r.jsonl.bytes
+            );
+        }
+    }
+
+    #[test]
+    fn report_document_shape() {
+        let cfg = PipelineConfig::smoke();
+        let reports = run(&cfg);
+        let doc = report_json(&cfg, &reports);
+        assert_eq!(doc["bench"], "pipeline");
+        assert_eq!(doc["mode"], "smoke");
+        let ws = doc["workloads"].as_array().unwrap();
+        assert_eq!(ws.len(), 2);
+        for w in ws {
+            assert!(w["formats"]["jsonl"]["bytes_per_record"].as_f64().unwrap() > 0.0);
+            assert!(w["formats"]["binary"]["save_ns"].as_u64().is_some());
+            assert!(w["ratios"]["size_jsonl_over_binary"].as_f64().unwrap() > 1.0);
+            assert!(w["analyze"]["ftg_parallel_ns"].as_u64().is_some());
+        }
+    }
+
+    #[test]
+    fn check_gate_accepts_smoke_sizes_and_flags_regressions() {
+        let cfg = PipelineConfig::smoke();
+        let reports = run(&cfg);
+        // Size must always pass; timing can jitter at smoke scale, so only
+        // assert the failure *messages* are well-formed when present.
+        for f in check(&reports) {
+            assert!(f.contains("slower"), "unexpected failure: {f}");
+        }
+        let mut broken = reports[0].clone();
+        broken.binary.bytes = broken.jsonl.bytes + 1;
+        assert_eq!(check(&[broken]).len(), 1);
+    }
+}

@@ -4,12 +4,15 @@
 //!
 //! ```text
 //! dayu-analyze trace.jsonl                 # summary to stdout
+//! dayu-analyze trace.dtb                   # binary traces auto-detected
+//! dayu-analyze trace.bin --format binary   # ...or forced explicitly
 //! dayu-analyze trace.jsonl --out report/   # + FTG/SDG html/dot/json
 //! dayu-analyze trace.jsonl --regions 8     # address-region nodes
 //! dayu-analyze trace.jsonl --aggregate     # collapse parallel task groups
 //! dayu-analyze check trace.jsonl           # dataflow-hazard lint (exit 1 on findings)
 //! dayu-analyze check trace.jsonl --inputs a.h5,b.h5   # declared external inputs
 //! dayu-analyze record ddmd                 # record a built-in workload, analyze it
+//! dayu-analyze record ddmd --format binary --out run/    # persist as trace.dtb
 //! dayu-analyze record arldm --chaos-seed 7 --retries 3 --fault-rate 0.05 --out run/
 //! ```
 //!
@@ -20,7 +23,7 @@
 
 use dayu_analyzer::{export, resolution, Analysis, DetectorConfig, SdgOptions};
 use dayu_lint::{analyze_bundle, LintConfig};
-use dayu_trace::TraceBundle;
+use dayu_trace::{TraceBundle, TraceFormat};
 use dayu_vfd::{FaultSchedule, MemFs};
 use dayu_workflow::{record_opts, RecordOptions, RetryPolicy, WorkflowSpec};
 use dayu_workloads::{arldm, ddmd, pyflextrkr};
@@ -29,7 +32,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dayu-analyze <trace.jsonl> [--out DIR] [--regions N] [--aggregate]\n       dayu-analyze check <trace.jsonl> [--inputs FILE,FILE,...]\n       dayu-analyze record <ddmd|pyflextrkr|arldm> [--chaos-seed N] [--retries N]\n                           [--fault-rate P] [--dead-at N] [--out DIR]"
+        "usage: dayu-analyze <trace.{{jsonl|dtb}}> [--format jsonl|binary] [--out DIR]\n                           [--regions N] [--aggregate]\n       dayu-analyze check <trace.{{jsonl|dtb}}> [--inputs FILE,FILE,...]\n       dayu-analyze record <ddmd|pyflextrkr|arldm> [--chaos-seed N] [--retries N]\n                           [--fault-rate P] [--dead-at N] [--format jsonl|binary] [--out DIR]"
     );
     std::process::exit(2);
 }
@@ -43,10 +46,12 @@ fn record_main(args: Vec<String>) -> ! {
     let mut retries: u32 = 3;
     let mut fault_rate: f64 = 0.0;
     let mut dead_at: Option<u64> = None;
+    let mut format = TraceFormat::Jsonl;
     let mut args = args.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--format" => format = parse_format(args.next()),
             "--chaos-seed" => {
                 chaos_seed = Some(
                     args.next()
@@ -148,8 +153,9 @@ fn record_main(args: Vec<String>) -> ! {
 
     if let Some(dir) = out {
         std::fs::create_dir_all(&dir).expect("create out dir");
-        let mut f = std::fs::File::create(dir.join("trace.jsonl")).expect("create trace.jsonl");
-        run.bundle.write_jsonl(&mut f).expect("write trace.jsonl");
+        let trace_name = format!("trace.{}", format.extension());
+        let mut f = std::fs::File::create(dir.join(&trace_name)).expect("create trace file");
+        run.bundle.save(&mut f, format).expect("write trace file");
         // Dump every file image the run left behind (including ones a
         // killed or degraded task only partially wrote) so the format fsck
         // (`dayu-h5ls --fsck`) can audit them offline.
@@ -166,15 +172,27 @@ fn record_main(args: Vec<String>) -> ! {
     std::process::exit(if run.degraded() { 3 } else { 0 });
 }
 
-fn load_bundle(input: &PathBuf) -> TraceBundle {
+/// Reads a trace in either persistence format. `forced` pins the decoder;
+/// otherwise the format is sniffed from the first byte ([`TraceFormat::detect`]).
+fn load_bundle(input: &PathBuf, forced: Option<TraceFormat>) -> TraceBundle {
     let file = std::fs::File::open(input).unwrap_or_else(|e| {
         eprintln!("cannot open {}: {e}", input.display());
         std::process::exit(1);
     });
-    TraceBundle::read_jsonl(BufReader::new(file)).unwrap_or_else(|e| {
+    let reader = BufReader::new(file);
+    let parsed = match forced {
+        Some(TraceFormat::Jsonl) => TraceBundle::read_jsonl(reader),
+        Some(TraceFormat::Binary) => TraceBundle::read_binary(reader),
+        None => TraceBundle::load(reader),
+    };
+    parsed.unwrap_or_else(|e| {
         eprintln!("cannot parse {}: {e}", input.display());
         std::process::exit(1);
     })
+}
+
+fn parse_format(v: Option<String>) -> TraceFormat {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
 }
 
 /// `dayu-analyze check`: static dataflow-hazard lint over a recorded trace.
@@ -196,7 +214,7 @@ fn check_main(args: Vec<String>) -> ! {
         }
     }
     let Some(input) = input else { usage() };
-    let bundle = load_bundle(&input);
+    let bundle = load_bundle(&input, None);
     let report = analyze_bundle(&bundle, &cfg);
     if report.is_clean() {
         println!(
@@ -229,6 +247,7 @@ fn main() {
     let mut out: Option<PathBuf> = None;
     let mut regions: u64 = 0;
     let mut aggregate = false;
+    let mut forced: Option<TraceFormat> = None;
     let mut args = raw.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -240,13 +259,14 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--aggregate" => aggregate = true,
+            "--format" => forced = Some(parse_format(args.next())),
             "-h" | "--help" => usage(),
             p if input.is_none() => input = Some(PathBuf::from(p)),
             _ => usage(),
         }
     }
     let Some(input) = input else { usage() };
-    let bundle = load_bundle(&input);
+    let bundle = load_bundle(&input, forced);
 
     let sdg_opts = SdgOptions {
         include_regions: regions > 0,

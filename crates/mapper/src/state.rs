@@ -50,9 +50,10 @@ impl MapperState {
     }
 
     /// Live-or-new VOL entry for an identity triple. Linear scan: the table
-    /// holds only *open* objects of the current tasks, which stays small;
-    /// re-keying with a HashMap would need owned keys per event (allocation
-    /// on the critical path) for no measured win at these sizes.
+    /// holds only *open* objects of the current tasks, which stays small,
+    /// and since keys are interned symbols each probe is three u32 compares
+    /// — a HashMap would add hashing cost for no measured win at these
+    /// sizes.
     pub(crate) fn vol_entry(
         &mut self,
         task: &TaskKey,

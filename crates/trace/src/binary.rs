@@ -1,0 +1,650 @@
+//! The `.dtb` compact binary trace store ("trace store v2").
+//!
+//! JSONL is the bundle's interchange format; `.dtb` is the fast path. A
+//! `.dtb` stream is a sequence of self-contained *sections*, one per
+//! [`TraceBundle`] written — concatenating files produced by separately
+//! profiled tasks merges on read exactly like concatenated JSONL. Each
+//! section is:
+//!
+//! ```text
+//! magic    8 bytes  89 'D' 'T' 'B' 0D 0A 1A <version>
+//! table    varint count, then per string: varint length + UTF-8 bytes
+//! frames   tag byte + frame body, repeated
+//!          01 meta   (workflow id, page_size, task_order, degraded_tasks)
+//!          02 vol    (one VolRecord)
+//!          03 vfd    (one VfdRecord)
+//!          04 file   (one FileRecord)
+//!          00 end of section
+//! ```
+//!
+//! Every integer is an LEB128 varint; every name (task, file, object,
+//! workflow) is a varint index into the section's string table — the
+//! persisted form of the process-wide interner ([`crate::intern`]). The
+//! magic's first byte (0x89, non-ASCII, like PNG's) is what
+//! [`TraceBundle::load`](crate::store::TraceBundle::load) sniffs to
+//! auto-detect the format: JSONL lines always start with `{` or whitespace.
+//!
+//! Unknown versions and truncated frames are `InvalidData` errors: the
+//! format carries no per-frame lengths, so a reader cannot skip content it
+//! does not understand. Bump the version byte for any layout change.
+
+use crate::ids::{FileKey, ObjectKey, TaskKey};
+use crate::intern::Symbol;
+use crate::store::{TraceBundle, TraceMeta};
+use crate::time::{Interval, Timestamp};
+use crate::vfd::{AccessType, FileRecord, FileStats, IoKind, VfdRecord};
+use crate::vol::{
+    DataType, LayoutKind, ObjectDescription, ObjectKind, VolAccess, VolAccessKind, VolRecord,
+};
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+
+/// Section magic; the trailing byte is the format version.
+pub const MAGIC: [u8; 8] = [0x89, b'D', b'T', b'B', 0x0D, 0x0A, 0x1A, 0x01];
+
+const TAG_END: u8 = 0x00;
+const TAG_META: u8 = 0x01;
+const TAG_VOL: u8 = 0x02;
+const TAG_VFD: u8 = 0x03;
+const TAG_FILE: u8 = 0x04;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// ---------------------------------------------------------------- varints
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    let mut buf = [0u8; 10];
+    let mut n = 0;
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        buf[n] = if v == 0 { byte } else { byte | 0x80 };
+        n += 1;
+        if v == 0 {
+            break;
+        }
+    }
+    w.write_all(&buf[..n])
+}
+
+fn read_varint<R: BufRead>(r: &mut R) -> io::Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 63 && b > 1 {
+            return Err(bad("varint overflows u64"));
+        }
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn write_usize<W: Write>(w: &mut W, v: usize) -> io::Result<()> {
+    write_varint(w, v as u64)
+}
+
+fn read_len<R: BufRead>(r: &mut R, what: &str, cap: u64) -> io::Result<usize> {
+    let v = read_varint(r)?;
+    if v > cap {
+        return Err(bad(format!("{what} length {v} exceeds sanity cap {cap}")));
+    }
+    Ok(v as usize)
+}
+
+// ---------------------------------------------------------------- writer
+
+/// Maps process-wide symbols to dense per-section string-table ids.
+struct TableBuilder {
+    ids: HashMap<Symbol, u32>,
+    strings: Vec<&'static str>,
+}
+
+impl TableBuilder {
+    fn new() -> Self {
+        Self {
+            ids: HashMap::new(),
+            strings: Vec::new(),
+        }
+    }
+
+    fn add(&mut self, sym: Symbol) -> u32 {
+        if let Some(&id) = self.ids.get(&sym) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.strings.push(sym.as_str());
+        self.ids.insert(sym, id);
+        id
+    }
+
+    fn id(&self, sym: Symbol) -> u64 {
+        u64::from(self.ids[&sym])
+    }
+}
+
+/// Collects the section string table: every name in the bundle, in first-use
+/// order (workflow name first), deduplicated.
+fn build_table(bundle: &TraceBundle) -> TableBuilder {
+    let mut t = TableBuilder::new();
+    t.add(Symbol::intern(&bundle.meta.workflow));
+    for k in &bundle.meta.task_order {
+        t.add(k.symbol());
+    }
+    for k in &bundle.meta.degraded_tasks {
+        t.add(k.symbol());
+    }
+    for r in &bundle.vol {
+        t.add(r.task.symbol());
+        t.add(r.file.symbol());
+        t.add(r.object.symbol());
+    }
+    for r in &bundle.vfd {
+        t.add(r.task.symbol());
+        t.add(r.file.symbol());
+        t.add(r.object.symbol());
+    }
+    for r in &bundle.files {
+        t.add(r.task.symbol());
+        t.add(r.file.symbol());
+    }
+    t
+}
+
+fn write_intervals<W: Write>(w: &mut W, ivs: &[Interval]) -> io::Result<()> {
+    write_usize(w, ivs.len())?;
+    for iv in ivs {
+        write_varint(w, iv.start.nanos())?;
+        write_varint(w, iv.end.nanos())?;
+    }
+    Ok(())
+}
+
+fn write_dims<W: Write>(w: &mut W, dims: &[u64]) -> io::Result<()> {
+    write_usize(w, dims.len())?;
+    for d in dims {
+        write_varint(w, *d)?;
+    }
+    Ok(())
+}
+
+fn write_vol<W: Write>(w: &mut W, t: &TableBuilder, r: &VolRecord) -> io::Result<()> {
+    w.write_all(&[TAG_VOL])?;
+    write_varint(w, t.id(r.task.symbol()))?;
+    write_varint(w, t.id(r.file.symbol()))?;
+    write_varint(w, t.id(r.object.symbol()))?;
+    let kind = match r.kind {
+        ObjectKind::File => 0u8,
+        ObjectKind::Group => 1,
+        ObjectKind::Dataset => 2,
+        ObjectKind::Attribute => 3,
+    };
+    w.write_all(&[kind])?;
+    write_intervals(w, &r.lifetimes)?;
+    // Description.
+    write_dims(w, &r.description.shape)?;
+    match r.description.dtype {
+        None => w.write_all(&[0])?,
+        Some(DataType::Int { width }) => {
+            w.write_all(&[1])?;
+            write_varint(w, u64::from(width))?;
+        }
+        Some(DataType::Float { width }) => {
+            w.write_all(&[2])?;
+            write_varint(w, u64::from(width))?;
+        }
+        Some(DataType::FixedBytes { len }) => {
+            w.write_all(&[3])?;
+            write_varint(w, u64::from(len))?;
+        }
+        Some(DataType::VarLen) => w.write_all(&[4])?,
+    }
+    write_varint(w, r.description.logical_size)?;
+    let layout = match r.description.layout {
+        None => 0u8,
+        Some(LayoutKind::Compact) => 1,
+        Some(LayoutKind::Contiguous) => 2,
+        Some(LayoutKind::Chunked) => 3,
+    };
+    w.write_all(&[layout])?;
+    write_dims(w, &r.description.chunk_shape)?;
+    // Accesses.
+    write_usize(w, r.accesses.len())?;
+    for a in &r.accesses {
+        let kind = match a.kind {
+            VolAccessKind::Read => 0u8,
+            VolAccessKind::Write => 1,
+        };
+        w.write_all(&[kind])?;
+        write_varint(w, a.count)?;
+        write_varint(w, a.bytes)?;
+        write_dims(w, &a.sel_offset)?;
+        write_dims(w, &a.sel_count)?;
+        write_varint(w, a.at.nanos())?;
+    }
+    Ok(())
+}
+
+fn write_vfd<W: Write>(w: &mut W, t: &TableBuilder, r: &VfdRecord) -> io::Result<()> {
+    w.write_all(&[TAG_VFD])?;
+    write_varint(w, t.id(r.task.symbol()))?;
+    write_varint(w, t.id(r.file.symbol()))?;
+    write_varint(w, t.id(r.object.symbol()))?;
+    let kind = match r.kind {
+        IoKind::Read => 0u8,
+        IoKind::Write => 1,
+        IoKind::Open => 2,
+        IoKind::Close => 3,
+        IoKind::Flush => 4,
+        IoKind::Truncate => 5,
+    };
+    let access = match r.access {
+        AccessType::Metadata => 0u8,
+        AccessType::RawData => 1,
+    };
+    w.write_all(&[kind, access])?;
+    write_varint(w, r.offset)?;
+    write_varint(w, r.len)?;
+    write_varint(w, r.start.nanos())?;
+    // Durations are tiny next to absolute timestamps: delta-encode the end.
+    write_varint(w, r.end.nanos().saturating_sub(r.start.nanos()))?;
+    Ok(())
+}
+
+fn write_file<W: Write>(w: &mut W, t: &TableBuilder, r: &FileRecord) -> io::Result<()> {
+    w.write_all(&[TAG_FILE])?;
+    write_varint(w, t.id(r.task.symbol()))?;
+    write_varint(w, t.id(r.file.symbol()))?;
+    write_intervals(w, &r.lifetimes)?;
+    for v in [
+        r.stats.read_ops,
+        r.stats.write_ops,
+        r.stats.bytes_read,
+        r.stats.bytes_written,
+        r.stats.sequential_ops,
+        r.stats.metadata_ops,
+        r.stats.metadata_bytes,
+        r.stats.max_address,
+    ] {
+        write_varint(w, v)?;
+    }
+    Ok(())
+}
+
+/// Writes one complete `.dtb` section for `bundle`.
+pub fn write_bundle<W: Write>(bundle: &TraceBundle, w: &mut W) -> io::Result<()> {
+    let table = build_table(bundle);
+    w.write_all(&MAGIC)?;
+    write_usize(w, table.strings.len())?;
+    for s in &table.strings {
+        write_usize(w, s.len())?;
+        w.write_all(s.as_bytes())?;
+    }
+    // Meta frame.
+    w.write_all(&[TAG_META])?;
+    write_varint(w, table.id(Symbol::intern(&bundle.meta.workflow)))?;
+    write_varint(w, bundle.meta.page_size)?;
+    write_usize(w, bundle.meta.task_order.len())?;
+    for k in &bundle.meta.task_order {
+        write_varint(w, table.id(k.symbol()))?;
+    }
+    write_usize(w, bundle.meta.degraded_tasks.len())?;
+    for k in &bundle.meta.degraded_tasks {
+        write_varint(w, table.id(k.symbol()))?;
+    }
+    for r in &bundle.vol {
+        write_vol(w, &table, r)?;
+    }
+    for r in &bundle.vfd {
+        write_vfd(w, &table, r)?;
+    }
+    for r in &bundle.files {
+        write_file(w, &table, r)?;
+    }
+    w.write_all(&[TAG_END])
+}
+
+// ---------------------------------------------------------------- reader
+
+/// Per-section string table, re-interned into the process pool on read.
+struct Table {
+    syms: Vec<Symbol>,
+}
+
+impl Table {
+    fn sym<R: BufRead>(&self, r: &mut R) -> io::Result<Symbol> {
+        let id = read_varint(r)?;
+        self.syms
+            .get(id as usize)
+            .copied()
+            .ok_or_else(|| bad(format!("string id {id} out of table range")))
+    }
+}
+
+/// Sanity cap for length-prefixed collections: a corrupt varint must not
+/// drive a multi-gigabyte allocation before the decode fails.
+const LEN_CAP: u64 = 1 << 32;
+
+fn read_intervals<R: BufRead>(r: &mut R) -> io::Result<Vec<Interval>> {
+    let n = read_len(r, "interval list", LEN_CAP)?;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let start = Timestamp(read_varint(r)?);
+        let end = Timestamp(read_varint(r)?);
+        out.push(Interval::new(start, end));
+    }
+    Ok(out)
+}
+
+fn read_dims<R: BufRead>(r: &mut R) -> io::Result<Vec<u64>> {
+    let n = read_len(r, "dimension list", LEN_CAP)?;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(read_varint(r)?);
+    }
+    Ok(out)
+}
+
+fn read_u8<R: BufRead>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_vol<R: BufRead>(r: &mut R, t: &Table) -> io::Result<VolRecord> {
+    let task = TaskKey::from_symbol(t.sym(r)?);
+    let file = FileKey::from_symbol(t.sym(r)?);
+    let object = ObjectKey::from_symbol(t.sym(r)?);
+    let kind = match read_u8(r)? {
+        0 => ObjectKind::File,
+        1 => ObjectKind::Group,
+        2 => ObjectKind::Dataset,
+        3 => ObjectKind::Attribute,
+        other => return Err(bad(format!("bad object kind {other}"))),
+    };
+    let lifetimes = read_intervals(r)?;
+    let shape = read_dims(r)?;
+    let dtype = match read_u8(r)? {
+        0 => None,
+        1 => Some(DataType::Int {
+            width: read_varint(r)? as u8,
+        }),
+        2 => Some(DataType::Float {
+            width: read_varint(r)? as u8,
+        }),
+        3 => Some(DataType::FixedBytes {
+            len: read_varint(r)? as u32,
+        }),
+        4 => Some(DataType::VarLen),
+        other => return Err(bad(format!("bad dtype tag {other}"))),
+    };
+    let logical_size = read_varint(r)?;
+    let layout = match read_u8(r)? {
+        0 => None,
+        1 => Some(LayoutKind::Compact),
+        2 => Some(LayoutKind::Contiguous),
+        3 => Some(LayoutKind::Chunked),
+        other => return Err(bad(format!("bad layout tag {other}"))),
+    };
+    let chunk_shape = read_dims(r)?;
+    let n = read_len(r, "access list", LEN_CAP)?;
+    let mut accesses = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let kind = match read_u8(r)? {
+            0 => VolAccessKind::Read,
+            1 => VolAccessKind::Write,
+            other => return Err(bad(format!("bad access kind {other}"))),
+        };
+        accesses.push(VolAccess {
+            kind,
+            count: read_varint(r)?,
+            bytes: read_varint(r)?,
+            sel_offset: read_dims(r)?,
+            sel_count: read_dims(r)?,
+            at: Timestamp(read_varint(r)?),
+        });
+    }
+    Ok(VolRecord {
+        task,
+        file,
+        object,
+        kind,
+        lifetimes,
+        description: ObjectDescription {
+            shape,
+            dtype,
+            logical_size,
+            layout,
+            chunk_shape,
+        },
+        accesses,
+    })
+}
+
+fn read_vfd<R: BufRead>(r: &mut R, t: &Table) -> io::Result<VfdRecord> {
+    let task = TaskKey::from_symbol(t.sym(r)?);
+    let file = FileKey::from_symbol(t.sym(r)?);
+    let object = ObjectKey::from_symbol(t.sym(r)?);
+    let kind = match read_u8(r)? {
+        0 => IoKind::Read,
+        1 => IoKind::Write,
+        2 => IoKind::Open,
+        3 => IoKind::Close,
+        4 => IoKind::Flush,
+        5 => IoKind::Truncate,
+        other => return Err(bad(format!("bad io kind {other}"))),
+    };
+    let access = match read_u8(r)? {
+        0 => AccessType::Metadata,
+        1 => AccessType::RawData,
+        other => return Err(bad(format!("bad access type {other}"))),
+    };
+    let offset = read_varint(r)?;
+    let len = read_varint(r)?;
+    let start = read_varint(r)?;
+    let dur = read_varint(r)?;
+    Ok(VfdRecord {
+        task,
+        file,
+        object,
+        kind,
+        access,
+        offset,
+        len,
+        start: Timestamp(start),
+        end: Timestamp(start.saturating_add(dur)),
+    })
+}
+
+// `FileStats` keeps its sequentiality cursor private, so the decoder fills
+// the public statistics into a default value (the cursor legitimately
+// resets across persistence, exactly as it does for JSONL's serde(skip)).
+#[allow(clippy::field_reassign_with_default)]
+fn read_file<R: BufRead>(r: &mut R, t: &Table) -> io::Result<FileRecord> {
+    let task = TaskKey::from_symbol(t.sym(r)?);
+    let file = FileKey::from_symbol(t.sym(r)?);
+    let lifetimes = read_intervals(r)?;
+    let mut stats = FileStats::default();
+    stats.read_ops = read_varint(r)?;
+    stats.write_ops = read_varint(r)?;
+    stats.bytes_read = read_varint(r)?;
+    stats.bytes_written = read_varint(r)?;
+    stats.sequential_ops = read_varint(r)?;
+    stats.metadata_ops = read_varint(r)?;
+    stats.metadata_bytes = read_varint(r)?;
+    stats.max_address = read_varint(r)?;
+    Ok(FileRecord {
+        task,
+        file,
+        lifetimes,
+        stats,
+    })
+}
+
+/// Reads a `.dtb` stream into a bundle. Multiple concatenated sections merge
+/// with the same semantics as concatenated JSONL: the first section's
+/// workflow name and page size win, later task orders and degraded sets
+/// extend the first, records append.
+pub fn read_bundles<R: BufRead>(mut r: R) -> io::Result<TraceBundle> {
+    let mut out = TraceBundle::default();
+    let mut saw_meta = false;
+    loop {
+        // Section boundary: clean EOF ends the stream. EOF is detected by
+        // peeking, not by catching `read_exact`'s UnexpectedEof — that would
+        // also swallow a *partial* magic (trailing garbage, or a section cut
+        // mid-header), which must be an error.
+        if r.fill_buf()?.is_empty() {
+            break;
+        }
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic[..7] != MAGIC[..7] {
+            return Err(bad("not a DaYu binary trace (bad magic)"));
+        }
+        if magic[7] != MAGIC[7] {
+            return Err(bad(format!(
+                "unsupported .dtb version {} (this build reads {})",
+                magic[7], MAGIC[7]
+            )));
+        }
+        let n = read_len(&mut r, "string table", LEN_CAP)?;
+        let mut syms = Vec::with_capacity(n.min(65536));
+        let mut scratch = Vec::new();
+        for _ in 0..n {
+            let len = read_len(&mut r, "string", LEN_CAP)?;
+            scratch.resize(len, 0);
+            r.read_exact(&mut scratch)?;
+            let s = std::str::from_utf8(&scratch).map_err(|e| bad(format!("bad utf-8: {e}")))?;
+            syms.push(Symbol::intern(s));
+        }
+        let table = Table { syms };
+        loop {
+            match read_u8(&mut r)? {
+                TAG_END => break,
+                TAG_META => {
+                    let workflow = table.sym(&mut r)?.as_str().to_owned();
+                    let page_size = read_varint(&mut r)?;
+                    let n = read_len(&mut r, "task order", LEN_CAP)?;
+                    let mut task_order = Vec::with_capacity(n.min(65536));
+                    for _ in 0..n {
+                        task_order.push(TaskKey::from_symbol(table.sym(&mut r)?));
+                    }
+                    let n = read_len(&mut r, "degraded set", LEN_CAP)?;
+                    let mut degraded = Vec::with_capacity(n.min(65536));
+                    for _ in 0..n {
+                        degraded.push(TaskKey::from_symbol(table.sym(&mut r)?));
+                    }
+                    if saw_meta {
+                        for t in task_order {
+                            out.push_task(t);
+                        }
+                        for t in degraded {
+                            out.mark_degraded(t);
+                        }
+                    } else {
+                        out.meta = TraceMeta {
+                            workflow,
+                            task_order,
+                            page_size,
+                            degraded_tasks: Vec::new(),
+                        };
+                        for t in degraded {
+                            out.mark_degraded(t);
+                        }
+                        saw_meta = true;
+                    }
+                }
+                TAG_VOL => out.vol.push(read_vol(&mut r, &table)?),
+                TAG_VFD => out.vfd.push(read_vfd(&mut r, &table)?),
+                TAG_FILE => out.files.push(read_file(&mut r, &table)?),
+                other => return Err(bad(format!("unknown frame tag {other:#04x}"))),
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for v in values {
+            write_varint(&mut buf, v).unwrap();
+        }
+        let mut r = &buf[..];
+        for v in values {
+            assert_eq!(read_varint(&mut r).unwrap(), v);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn varint_small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 100).unwrap();
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 11 continuation bytes can encode more than 64 bits.
+        let buf = [0xFFu8; 10];
+        let mut r = &buf[..];
+        assert!(read_varint(&mut r).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_bundles(&b"{\"Meta\":{}}"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = MAGIC.to_vec();
+        bytes[7] = 0x7F;
+        bytes.push(0); // empty table
+        let err = read_bundles(&bytes[..]).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn truncated_section_is_an_error() {
+        let mut b = TraceBundle::new("wf");
+        b.push_task(TaskKey::new("t"));
+        let bytes = b.to_binary_bytes();
+        let cut = &bytes[..bytes.len() - 2];
+        assert!(read_bundles(cut).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_after_a_section_is_an_error() {
+        let mut b = TraceBundle::new("wf");
+        b.push_task(TaskKey::new("t"));
+        let mut bytes = b.to_binary_bytes();
+        // Shorter than a magic header: must not be mistaken for clean EOF.
+        bytes.extend([0xFF; 4]);
+        assert!(read_bundles(&bytes[..]).is_err());
+    }
+}

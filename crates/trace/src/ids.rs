@@ -1,56 +1,116 @@
-//! Lightweight string keys identifying tasks, files and data objects.
+//! Lightweight interned keys identifying tasks, files and data objects.
 //!
 //! DaYu correlates records from two independent profiling layers (VOL and
 //! VFD) and across many tasks of a workflow. Correlation happens by *name*:
 //! the task name supplied by the workflow launcher, the file name, and the
 //! full object path inside the file (e.g. `/group/dataset`). These newtypes
 //! keep the three name spaces from being mixed up.
+//!
+//! Since the overhead overhaul, each key holds a [`Symbol`] — an index into
+//! the process-wide interner — instead of an owned `String`. Cloning a key
+//! (which the VFD profiler does three times per recorded operation) is a
+//! `u32` copy, equality and hashing are integer operations, and `as_str`
+//! resolves through the interner without allocating. The public API is
+//! unchanged: keys still construct from anything string-like, display as
+//! their name, order lexicographically, and serialize as transparent JSON
+//! strings.
 
-use serde::{Deserialize, Serialize};
+use crate::intern::Symbol;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::borrow::Cow;
 use std::fmt;
 
 macro_rules! string_key {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
-        #[derive(
-            Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-        )]
-        #[serde(transparent)]
-        pub struct $name(pub String);
+        #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+        pub struct $name(Symbol);
 
         impl $name {
-            /// Creates a key from anything string-like.
-            pub fn new(s: impl Into<String>) -> Self {
-                Self(s.into())
+            /// Creates a key from anything string-like, interning the name.
+            pub fn new(s: impl AsRef<str>) -> Self {
+                Self(Symbol::intern(s.as_ref()))
             }
 
             /// The underlying name.
-            pub fn as_str(&self) -> &str {
-                &self.0
+            pub fn as_str(&self) -> &'static str {
+                self.0.as_str()
+            }
+
+            /// The interned symbol behind this key (integer identity within
+            /// this process; used by borrow-keyed indexes and the binary
+            /// trace store).
+            pub fn symbol(&self) -> Symbol {
+                self.0
+            }
+
+            /// Wraps an already-interned symbol.
+            pub fn from_symbol(sym: Symbol) -> Self {
+                Self(sym)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self(Symbol::intern(""))
+            }
+        }
+
+        impl PartialOrd for $name {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl Ord for $name {
+            /// Lexicographic by name (symbols themselves order by interning
+            /// time, which would be nondeterministic across runs).
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                if self.0 == other.0 {
+                    std::cmp::Ordering::Equal
+                } else {
+                    self.as_str().cmp(other.as_str())
+                }
             }
         }
 
         impl fmt::Display for $name {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                f.write_str(&self.0)
+                f.write_str(self.as_str())
             }
         }
 
         impl From<&str> for $name {
             fn from(s: &str) -> Self {
-                Self(s.to_owned())
+                Self::new(s)
             }
         }
 
         impl From<String> for $name {
             fn from(s: String) -> Self {
-                Self(s)
+                Self::new(s)
             }
         }
 
         impl AsRef<str> for $name {
             fn as_ref(&self) -> &str {
-                &self.0
+                self.as_str()
+            }
+        }
+
+        impl Serialize for $name {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_str(self.as_str())
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $name {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                // Cow borrows from the input where the format allows
+                // (JSONL lines without escapes), so loading a trace interns
+                // straight from the parse buffer without a transient String.
+                let s: Cow<'de, str> = Deserialize::deserialize(deserializer)?;
+                Ok(Self::new(s))
             }
         }
     };
@@ -77,28 +137,33 @@ string_key!(
 impl ObjectKey {
     /// Object key used for I/O that cannot be attributed to any data object
     /// (e.g. superblock reads before any object is open). Grouped under the
-    /// pseudo-object the paper's SDGs label "File-Metadata".
+    /// pseudo-object the paper's SDGs label "File-Metadata". The symbol is
+    /// cached: this sits on the per-operation record path.
     pub fn file_metadata() -> Self {
-        Self("File-Metadata".to_owned())
+        use std::sync::OnceLock;
+        static FM: OnceLock<Symbol> = OnceLock::new();
+        Self(*FM.get_or_init(|| Symbol::intern("File-Metadata")))
     }
 
     /// Returns the last path component (the object's leaf name).
     pub fn leaf(&self) -> &str {
-        self.0.rsplit('/').next().unwrap_or(&self.0)
+        let s = self.as_str();
+        s.rsplit('/').next().unwrap_or(s)
     }
 
     /// Returns the parent path, or `None` when the key has no `/` separator
     /// or is the root.
     pub fn parent(&self) -> Option<&str> {
-        let idx = self.0.rfind('/')?;
+        let s = self.as_str();
+        let idx = s.rfind('/')?;
         if idx == 0 {
-            if self.0.len() > 1 {
+            if s.len() > 1 {
                 Some("/")
             } else {
                 None
             }
         } else {
-            Some(&self.0[..idx])
+            Some(&s[..idx])
         }
     }
 }
@@ -157,8 +222,28 @@ mod tests {
 
     #[test]
     fn ordering_is_lexicographic() {
-        let a = TaskKey::new("a");
-        let b = TaskKey::new("b");
+        // Intern in reverse order so symbol indices disagree with
+        // lexicographic order — Ord must still compare by name.
+        let b = TaskKey::new("lexico-b");
+        let a = TaskKey::new("lexico-a");
         assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a.clone()), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn clones_share_the_symbol() {
+        let t = TaskKey::new("shared");
+        let c = t.clone();
+        assert_eq!(t.symbol(), c.symbol());
+        assert_eq!(TaskKey::from_symbol(t.symbol()), t);
+    }
+
+    #[test]
+    fn serde_with_escapes_still_interns() {
+        // Escaped JSON forces serde to hand us an owned Cow — both paths
+        // must intern identically.
+        let k: ObjectKey = serde_json::from_str(r#""/abc""#).unwrap();
+        assert_eq!(k, ObjectKey::new("/abc"));
     }
 }

@@ -1,0 +1,177 @@
+//! Process-wide string interner backing the trace key types.
+//!
+//! DaYu's hot path — the VFD profiler constructing a [`crate::vfd::VfdRecord`]
+//! per low-level operation, the shared context publishing the current task
+//! and object, the analyzer deduplicating graph nodes — is dominated by
+//! string traffic over a *tiny* set of distinct names (task names, file
+//! names, object paths). Interning collapses every such name to a
+//! [`Symbol`]: a `u32` index into an append-only process-wide table.
+//! Cloning, hashing and equality become integer operations and the record
+//! hot path stops allocating entirely.
+//!
+//! Interned strings are leaked (`Box::leak`) so `as_str` can hand out
+//! `&'static str` without a lock guard. The table only grows with the number
+//! of *distinct* strings ever interned — bounded by workload vocabulary, not
+//! by operation count — which is the standard trade-off interners like
+//! `ustr` or rustc's symbol table make.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// A handle to an interned string: 4 bytes, `Copy`, integer compare/hash.
+///
+/// Symbols are only meaningful within the current process. Persisting them
+/// requires writing the string table alongside (see the `.dtb` binary trace
+/// store, which embeds a per-file table and re-interns on load). The derived
+/// ordering is *interning order*, not lexicographic — the key newtypes in
+/// [`crate::ids`] provide lexicographic `Ord` by comparing resolved strings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Pool {
+    map: HashMap<&'static str, u32>,
+    table: Vec<&'static str>,
+}
+
+fn pool() -> &'static RwLock<Pool> {
+    static POOL: OnceLock<RwLock<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        RwLock::new(Pool {
+            map: HashMap::new(),
+            table: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s`, returning the same symbol for equal strings forever
+    /// after. Read-lock fast path; the write lock is only taken the first
+    /// time a distinct string is seen.
+    pub fn intern(s: &str) -> Symbol {
+        let p = pool();
+        if let Some(&id) = p.read().map.get(s) {
+            return Symbol(id);
+        }
+        let mut w = p.write();
+        // Double-check: another thread may have interned between locks.
+        if let Some(&id) = w.map.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(w.table.len()).expect("interner table overflow");
+        w.table.push(leaked);
+        w.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Looks up the symbol for `s` without interning: `None` when `s` was
+    /// never interned. Allocation-free probe for read-only lookups
+    /// (e.g. `Graph::find`).
+    pub fn lookup(s: &str) -> Option<Symbol> {
+        pool().read().map.get(s).copied().map(Symbol)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        pool().read().table[self.0 as usize]
+    }
+
+    /// The raw table index (diagnostics; stable within this process only).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Number of distinct strings interned so far (diagnostics / tests).
+    pub fn interned_count() -> usize {
+        pool().read().table.len()
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_string_same_symbol() {
+        let a = Symbol::intern("alpha-test-string");
+        let b = Symbol::intern("alpha-test-string");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "alpha-test-string");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        let a = Symbol::intern("distinct-a");
+        let b = Symbol::intern("distinct-b");
+        assert_ne!(a, b);
+        assert_ne!(a.as_str(), b.as_str());
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        assert_eq!(Symbol::lookup("never-interned-i-promise-xyz"), None);
+        let s = Symbol::intern("looked-up-after-intern");
+        assert_eq!(Symbol::lookup("looked-up-after-intern"), Some(s));
+    }
+
+    #[test]
+    fn symbols_are_stable_under_interleaved_interning() {
+        let a = Symbol::intern("stability-a");
+        for i in 0..100 {
+            Symbol::intern(&format!("stability-filler-{i}"));
+        }
+        let a2 = Symbol::intern("stability-a");
+        assert_eq!(a, a2, "later interning never remaps a symbol");
+        assert_eq!(a2.as_str(), "stability-a");
+    }
+
+    #[test]
+    fn no_collision_across_similar_strings() {
+        // Strings that a weak hash could conflate must stay distinct.
+        let pairs = [
+            ("/group/dataset", "/group/dataset "),
+            ("a.h5", "a.h5\0"),
+            ("task_1", "task_10"),
+            ("", " "),
+        ];
+        for (x, y) in pairs {
+            assert_ne!(Symbol::intern(x), Symbol::intern(y), "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..200)
+                        .map(|i| (i, Symbol::intern(&format!("concurrent-{}", i % 50))))
+                        .map(|(i, s)| {
+                            assert_eq!(s.as_str(), format!("concurrent-{}", i % 50));
+                            let _ = t;
+                            s
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1], "every thread resolved identical symbols");
+        }
+    }
+
+    #[test]
+    fn empty_string_interns() {
+        let e = Symbol::intern("");
+        assert_eq!(e.as_str(), "");
+        assert_eq!(Symbol::intern(""), e);
+    }
+}

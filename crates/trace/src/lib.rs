@@ -22,8 +22,10 @@
 //! the [`store::TraceBundle`] container with JSONL persistence used by the
 //! Workflow Analyzer.
 
+pub mod binary;
 pub mod context;
 pub mod ids;
+pub mod intern;
 pub mod store;
 pub mod time;
 pub mod vfd;
@@ -31,7 +33,8 @@ pub mod vol;
 
 pub use context::SharedContext;
 pub use ids::{FileKey, ObjectKey, TaskKey};
-pub use store::{TraceBundle, TraceMeta};
+pub use intern::Symbol;
+pub use store::{TraceBundle, TraceFormat, TraceMeta};
 pub use time::{Clock, ManualClock, RealClock, Timestamp};
 pub use vfd::{AccessType, FileRecord, IoKind, VfdRecord};
 pub use vol::{ObjectDescription, ObjectKind, VolAccess, VolAccessKind, VolRecord};

@@ -5,15 +5,68 @@
 //! flushed records from every task of a workflow are collected into a
 //! [`TraceBundle`], the interchange format consumed by the Workflow Analyzer.
 //!
-//! Bundles serialize as JSON Lines: one header line, then one line per
-//! record, so traces from long workflows stream without buffering and
-//! bundles from separately-profiled tasks concatenate by appending files.
+//! Bundles serialize in either of two formats with identical semantics:
+//!
+//! * **JSON Lines** — one header line, then one line per record; the
+//!   human-greppable interchange format.
+//! * **`.dtb` binary** ([`crate::binary`], "trace store v2") — varint-framed
+//!   records over a per-file string table; several times smaller and faster.
+//!
+//! Both stream without buffering the whole trace, and bundles from
+//! separately-profiled tasks concatenate by appending files in either
+//! format. [`TraceBundle::load`] sniffs the leading byte and dispatches.
 
 use crate::ids::TaskKey;
 use crate::vfd::{FileRecord, VfdRecord};
 use crate::vol::VolRecord;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::io::{self, BufRead, Write};
+
+/// On-disk encoding of a [`TraceBundle`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line (`trace.jsonl`).
+    #[default]
+    Jsonl,
+    /// Compact varint-framed binary (`trace.dtb`, see [`crate::binary`]).
+    Binary,
+}
+
+impl TraceFormat {
+    /// Detects the format from the first byte of a stream: `.dtb` sections
+    /// open with a 0x89 magic byte, which can never start a JSONL stream
+    /// (lines begin with `{` or whitespace).
+    pub fn detect(first_byte: u8) -> TraceFormat {
+        if first_byte == crate::binary::MAGIC[0] {
+            TraceFormat::Binary
+        } else {
+            TraceFormat::Jsonl
+        }
+    }
+
+    /// Conventional file extension (without the dot).
+    pub fn extension(self) -> &'static str {
+        match self {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Binary => "dtb",
+        }
+    }
+}
+
+impl std::str::FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "jsonl" | "json" => Ok(TraceFormat::Jsonl),
+            "binary" | "dtb" => Ok(TraceFormat::Binary),
+            other => Err(format!(
+                "unknown trace format {other:?} (expected jsonl or binary)"
+            )),
+        }
+    }
+}
 
 /// Bundle-level metadata.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -73,16 +126,18 @@ impl TraceBundle {
     }
 
     /// Marks `task` as degraded: its records are a salvaged, truncated
-    /// fragment of the task's real I/O.
+    /// fragment of the task's real I/O. The set is kept sorted and deduped,
+    /// so marking (and [`Self::is_degraded`]) is a binary search rather than
+    /// the linear `contains` scan it used to be.
     pub fn mark_degraded(&mut self, task: TaskKey) {
-        if !self.meta.degraded_tasks.contains(&task) {
-            self.meta.degraded_tasks.push(task);
+        if let Err(at) = self.meta.degraded_tasks.binary_search(&task) {
+            self.meta.degraded_tasks.insert(at, task);
         }
     }
 
     /// Whether `task` was marked degraded.
     pub fn is_degraded(&self, task: &TaskKey) -> bool {
-        self.meta.degraded_tasks.contains(task)
+        self.meta.degraded_tasks.binary_search(task).is_ok()
     }
 
     /// Whether any task in the bundle is degraded.
@@ -100,9 +155,7 @@ impl TraceBundle {
             }
         }
         for t in other.meta.degraded_tasks {
-            if !self.meta.degraded_tasks.contains(&t) {
-                self.meta.degraded_tasks.push(t);
-            }
+            self.mark_degraded(t);
         }
         self.vol.extend(other.vol);
         self.vfd.extend(other.vfd);
@@ -186,21 +239,24 @@ impl TraceBundle {
             let parsed: Line = serde_json::from_str(&line)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             match parsed {
-                Line::Meta(m) => {
+                Line::Meta(mut m) => {
+                    // Re-mark rather than splice the degraded set: traces
+                    // written by older builds (or hand-edited) may carry it
+                    // unsorted, and every read path must restore the sorted
+                    // invariant mark_degraded relies on.
+                    let degraded = std::mem::take(&mut m.degraded_tasks);
                     if saw_meta {
                         for t in m.task_order {
                             if !out.meta.task_order.contains(&t) {
                                 out.meta.task_order.push(t);
                             }
                         }
-                        for t in m.degraded_tasks {
-                            if !out.meta.degraded_tasks.contains(&t) {
-                                out.meta.degraded_tasks.push(t);
-                            }
-                        }
                     } else {
                         out.meta = m;
                         saw_meta = true;
+                    }
+                    for t in degraded {
+                        out.mark_degraded(t);
                     }
                 }
                 Line::Vol(v) => out.vol.push(v),
@@ -220,12 +276,57 @@ impl TraceBundle {
         buf
     }
 
+    /// Writes the bundle in the compact `.dtb` binary format
+    /// (see [`crate::binary`]). Wrap file writers in a `BufWriter`: the
+    /// encoder emits many small frames.
+    pub fn write_binary<W: Write>(&self, mut w: W) -> io::Result<()> {
+        crate::binary::write_bundle(self, &mut w)
+    }
+
+    /// Reads a bundle from the `.dtb` binary format. Concatenated sections
+    /// merge with the same semantics as concatenated JSONL.
+    pub fn read_binary<R: BufRead>(r: R) -> io::Result<Self> {
+        crate::binary::read_bundles(r)
+    }
+
+    /// Round-trips through the binary encoding into a byte buffer.
+    pub fn to_binary_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.write_binary(&mut buf)
+            .expect("Vec<u8> writes are infallible");
+        buf
+    }
+
+    /// Writes the bundle in the requested format.
+    pub fn save<W: Write>(&self, w: W, format: TraceFormat) -> io::Result<()> {
+        match format {
+            TraceFormat::Jsonl => self.write_jsonl(w),
+            TraceFormat::Binary => self.write_binary(w),
+        }
+    }
+
+    /// Reads a bundle in either format, auto-detected from the first byte
+    /// ([`TraceFormat::detect`]). An empty stream is an empty bundle, as it
+    /// is for JSONL.
+    pub fn load<R: BufRead>(mut r: R) -> io::Result<Self> {
+        let head = r.fill_buf()?;
+        match head.first() {
+            None => Ok(TraceBundle::default()),
+            Some(&b) => match TraceFormat::detect(b) {
+                TraceFormat::Binary => Self::read_binary(r),
+                TraceFormat::Jsonl => Self::read_jsonl(r),
+            },
+        }
+    }
+
     /// All distinct tasks mentioned anywhere in the bundle, in task-order
-    /// first, then any stragglers in record order.
+    /// first, then any stragglers in record order. Dedup is a symbol-keyed
+    /// hash probe, so the scan stays linear in the record count.
     pub fn all_tasks(&self) -> Vec<TaskKey> {
         let mut tasks = self.meta.task_order.clone();
+        let mut seen: HashSet<TaskKey> = tasks.iter().cloned().collect();
         let mut push = |t: &TaskKey| {
-            if !tasks.contains(t) {
+            if seen.insert(t.clone()) {
                 tasks.push(t.clone());
             }
         };
@@ -397,6 +498,76 @@ mod tests {
         let err = TraceBundle::read_jsonl(&b"not json\n"[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
+
+    #[test]
+    fn unsorted_degraded_set_is_normalized_on_read() {
+        let line = r#"{"Meta":{"workflow":"wf","task_order":[],"page_size":4096,"degraded_tasks":["zz","aa","zz"]}}"#;
+        let back = TraceBundle::read_jsonl(line.as_bytes()).unwrap();
+        assert_eq!(
+            back.meta.degraded_tasks,
+            vec![TaskKey::new("aa"), TaskKey::new("zz")]
+        );
+        assert!(back.is_degraded(&TaskKey::new("aa")));
+        assert!(!back.is_degraded(&TaskKey::new("mm")));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let mut b = bundle();
+        b.mark_degraded(TaskKey::new("t1"));
+        let bytes = b.to_binary_bytes();
+        let back = TraceBundle::read_binary(&bytes[..]).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_jsonl() {
+        let b = bundle();
+        assert!(b.to_binary_bytes().len() < b.to_jsonl_bytes().len());
+    }
+
+    #[test]
+    fn concatenated_binary_sections_merge_on_read() {
+        let b1 = bundle();
+        let mut b2 = bundle();
+        b2.meta.task_order = vec![TaskKey::new("t2")];
+        b2.mark_degraded(TaskKey::new("t2"));
+        let mut bytes = b1.to_binary_bytes();
+        bytes.extend(b2.to_binary_bytes());
+        let back = TraceBundle::read_binary(&bytes[..]).unwrap();
+        assert_eq!(back.meta.workflow, "wf");
+        assert_eq!(
+            back.meta.task_order,
+            vec![TaskKey::new("t1"), TaskKey::new("t2")]
+        );
+        assert_eq!(back.meta.degraded_tasks, vec![TaskKey::new("t2")]);
+        assert_eq!(back.vol.len(), 2);
+        assert_eq!(back.vfd.len(), 2);
+        assert_eq!(back.files.len(), 2);
+    }
+
+    #[test]
+    fn load_auto_detects_both_formats() {
+        let b = bundle();
+        let from_jsonl = TraceBundle::load(&b.to_jsonl_bytes()[..]).unwrap();
+        let from_binary = TraceBundle::load(&b.to_binary_bytes()[..]).unwrap();
+        assert_eq!(from_jsonl, b);
+        assert_eq!(from_binary, b);
+        // Empty stream is an empty bundle in both readings.
+        assert_eq!(TraceBundle::load(&b""[..]).unwrap(), TraceBundle::default());
+    }
+
+    #[test]
+    fn format_parsing_and_detection() {
+        use std::str::FromStr;
+        assert_eq!(TraceFormat::from_str("jsonl"), Ok(TraceFormat::Jsonl));
+        assert_eq!(TraceFormat::from_str("binary"), Ok(TraceFormat::Binary));
+        assert_eq!(TraceFormat::from_str("dtb"), Ok(TraceFormat::Binary));
+        assert!(TraceFormat::from_str("csv").is_err());
+        assert_eq!(TraceFormat::detect(b'{'), TraceFormat::Jsonl);
+        assert_eq!(TraceFormat::detect(0x89), TraceFormat::Binary);
+        assert_eq!(TraceFormat::Binary.extension(), "dtb");
+    }
 }
 
 #[cfg(test)]
@@ -495,6 +666,37 @@ mod proptests {
             let bytes = b.to_jsonl_bytes();
             let back = TraceBundle::read_jsonl(&bytes[..]).unwrap();
             prop_assert_eq!(back, b);
+        }
+
+        /// JSONL and binary encodings of an arbitrary bundle — including
+        /// degraded (chaos-salvaged) task sets — decode to identical
+        /// bundles, via both the explicit readers and format-sniffing
+        /// `load`. The binary form is also never larger.
+        #[test]
+        fn jsonl_and_binary_are_equivalent(
+            vfd in prop::collection::vec(arb_vfd(), 0..30),
+            vol in prop::collection::vec(arb_vol(), 0..15),
+            tasks in prop::collection::vec("[a-z]{1,8}", 0..6),
+            degraded_mask in prop::collection::vec(prop::bool::ANY, 6),
+        ) {
+            let mut b = TraceBundle::new("prop-eq");
+            for (i, t) in tasks.iter().enumerate() {
+                b.push_task(TaskKey::new(t));
+                if degraded_mask[i] {
+                    b.mark_degraded(TaskKey::new(t));
+                }
+            }
+            b.vfd = vfd;
+            b.vol = vol;
+            let jsonl = b.to_jsonl_bytes();
+            let binary = b.to_binary_bytes();
+            let via_jsonl = TraceBundle::read_jsonl(&jsonl[..]).unwrap();
+            let via_binary = TraceBundle::read_binary(&binary[..]).unwrap();
+            prop_assert_eq!(&via_jsonl, &b);
+            prop_assert_eq!(&via_binary, &b);
+            prop_assert_eq!(TraceBundle::load(&jsonl[..]).unwrap(), b.clone());
+            prop_assert_eq!(TraceBundle::load(&binary[..]).unwrap(), b);
+            prop_assert!(binary.len() <= jsonl.len());
         }
     }
 }
