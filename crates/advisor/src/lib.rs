@@ -99,6 +99,17 @@ pub enum Action {
         /// The task to re-run.
         task: String,
     },
+    /// Stop materializing a dataset whose bytes the recorded workflow
+    /// never consumes (dead data, or a version fully overwritten before
+    /// any read).
+    ElideDataset {
+        /// File holding the dataset.
+        file: String,
+        /// The dataset to elide.
+        dataset: String,
+        /// Raw bytes the elision saves.
+        bytes: u64,
+    },
 }
 
 /// A recommendation: an action, its guideline family, and the rationale
@@ -296,6 +307,59 @@ pub fn advise(findings: &[Finding]) -> Vec<Recommendation> {
     out
 }
 
+/// Derives recommendations from the linter's lifetime findings: dead
+/// datasets and fully-overwritten-before-read versions are wasted I/O an
+/// in-situ rewrite can elide (guideline III-A.2 — move only the bytes
+/// somebody will read). Race and corruption findings deliberately yield
+/// no recommendation: they are defects to fix, not waste to optimize.
+pub fn advise_lint(report: &dayu_lint::Report) -> Vec<Recommendation> {
+    use dayu_lint::Finding as Lint;
+    let mut out = Vec::new();
+    for f in &report.findings {
+        match f {
+            Lint::DeadDataset {
+                file,
+                dataset,
+                writers,
+                bytes,
+            } => out.push(Recommendation {
+                guideline: Guideline::PartialFileAccess,
+                action: Action::ElideDataset {
+                    file: file.clone(),
+                    dataset: dataset.clone(),
+                    bytes: *bytes,
+                },
+                rationale: format!(
+                    "{dataset} in {file} is written by {} but never read anywhere \
+                     in the recorded workflow; eliding it saves {bytes} bytes of I/O",
+                    writers.join(", ")
+                ),
+            }),
+            Lint::RedundantOverwrite {
+                file,
+                dataset,
+                first,
+                second,
+                bytes,
+            } => out.push(Recommendation {
+                guideline: Guideline::PartialFileAccess,
+                action: Action::ElideDataset {
+                    file: file.clone(),
+                    dataset: dataset.clone(),
+                    bytes: *bytes,
+                },
+                rationale: format!(
+                    "{first}'s version of {dataset} in {file} is fully overwritten \
+                     by {second} before any read; the first write ({bytes} bytes) \
+                     is wasted"
+                ),
+            }),
+            _ => {}
+        }
+    }
+    out
+}
+
 /// Formats recommendations as a plain-text report.
 pub fn report(recs: &[Recommendation]) -> String {
     use std::fmt::Write;
@@ -346,6 +410,7 @@ mod tests {
                 written_by: vec!["agg".into()],
                 metadata_only_readers: vec!["train".into()],
                 never_read: false,
+                bytes: 1 << 16,
             },
             Finding::IndependentTasks {
                 first: "train".into(),
@@ -403,6 +468,7 @@ mod tests {
                 written_by: vec![],
                 metadata_only_readers: vec![],
                 never_read: true,
+                bytes: 0,
             },
             Finding::TimeDependentInput {
                 file: "l".into(),
@@ -480,5 +546,46 @@ mod tests {
     fn empty_findings_empty_recs() {
         assert!(advise(&[]).is_empty());
         assert!(report(&[]).contains("(0)"));
+    }
+
+    #[test]
+    fn lint_waste_findings_become_elisions_and_defects_do_not() {
+        let mut r = dayu_lint::Report::new();
+        r.push(dayu_lint::Finding::DeadDataset {
+            file: "out.h5".into(),
+            dataset: "/debug/residuals".into(),
+            writers: vec!["solver".into()],
+            bytes: 4096,
+        });
+        r.push(dayu_lint::Finding::RedundantOverwrite {
+            file: "out.h5".into(),
+            dataset: "/state".into(),
+            first: "step_0".into(),
+            second: "step_1".into(),
+            bytes: 512,
+        });
+        r.push(dayu_lint::Finding::ExtentRace {
+            file: "out.h5".into(),
+            datasets: vec!["/state".into()],
+            first: "a".into(),
+            second: "b".into(),
+            write_write: true,
+            start: 0,
+            end: 64,
+        });
+        let recs = advise_lint(&r);
+        assert_eq!(recs.len(), 2, "races are defects, not optimizations");
+        assert_eq!(
+            recs[0].action,
+            Action::ElideDataset {
+                file: "out.h5".into(),
+                dataset: "/debug/residuals".into(),
+                bytes: 4096,
+            }
+        );
+        assert!(recs[1].rationale.contains("fully overwritten"));
+        assert!(recs
+            .iter()
+            .all(|r| r.guideline == Guideline::PartialFileAccess));
     }
 }

@@ -118,6 +118,8 @@ pub enum Finding {
         metadata_only_readers: Vec<String>,
         /// Whether no task read it at all.
         never_read: bool,
+        /// Raw bytes written to it — what skipping the dataset saves.
+        bytes: u64,
     },
     /// Two consecutive tasks share no files: parallelizable (DDMD
     /// training/inference).
@@ -434,10 +436,14 @@ fn detect_unused_datasets(bundle: &TraceBundle, sdg: &Graph, out: &mut Vec<Findi
         if d.label.ends_with(":File-Metadata") || group_labels.contains(&d.label) {
             continue;
         }
+        let mut bytes = 0u64;
         let written_by: Vec<String> = sdg
             .in_edges(d.id)
             .filter(|e| e.op == Operation::WriteOnly)
-            .map(|e| sdg.nodes[e.from].label.clone())
+            .map(|e| {
+                bytes += e.stats.data_access_volume;
+                sdg.nodes[e.from].label.clone()
+            })
             .collect();
         if written_by.is_empty() {
             continue;
@@ -458,6 +464,7 @@ fn detect_unused_datasets(bundle: &TraceBundle, sdg: &Graph, out: &mut Vec<Findi
                 written_by,
                 metadata_only_readers: metadata_only,
                 never_read,
+                bytes,
             });
         }
     }

@@ -1,0 +1,79 @@
+//! `lint` — the tracked detector-throughput benchmark.
+//!
+//! ```text
+//! cargo run --release -p dayu-bench --bin lint -- [--smoke] [--check] [--out PATH]
+//! ```
+//!
+//! Synthesizes a clean many-writer trace (≥ 1M records in full mode),
+//! encodes it to `.dtb` and streams it through `analyze_stream`, then
+//! writes `BENCH_lint.json` (or `--out PATH`). `--check` exits non-zero if
+//! the detector reports findings on the race-free trace or needs more than
+//! 2 seconds for a million-record lint (the CI throughput gate).
+
+use dayu_bench::lint::{check, report_json, run, LintBenchConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = if args.iter().any(|a| a == "--smoke") {
+        LintBenchConfig::smoke()
+    } else {
+        LintBenchConfig::full()
+    };
+    let mut do_check = false;
+    let mut out_path = "BENCH_lint.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {}
+            "--check" => do_check = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let report = run(&cfg);
+    println!(
+        "lint: {} records in {:.3} s  ({:.0} records/s, {} findings, {} B .dtb)",
+        report.records,
+        report.lint_ns as f64 / 1e9,
+        report.records_per_sec(),
+        report.findings,
+        report.dtb_bytes,
+    );
+    let doc = report_json(&cfg, &report);
+    match serde_json::to_string_pretty(&doc) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&out_path, text + "\n") {
+                eprintln!("lint: cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {out_path}");
+        }
+        Err(e) => {
+            eprintln!("lint: cannot serialize report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if do_check {
+        let failures = check(&cfg, &report);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("lint check FAILED: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("lint check passed: zero findings, within the 2 s budget");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("lint: {err}");
+    eprintln!("usage: lint [--smoke] [--check] [--out PATH]");
+    ExitCode::FAILURE
+}

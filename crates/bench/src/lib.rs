@@ -17,6 +17,7 @@
 //! | [`fig13`]  | Fig. 13a–c — data layout optimizations |
 //! | [`ablation`] | design ablations (context channel, replay vs coarse model) |
 //! | [`pipeline`] | tracked record → save → load → analyze benchmark (`BENCH_pipeline.json`) |
+//! | [`lint`] | tracked detector-throughput benchmark (`BENCH_lint.json`) |
 //!
 //! Absolute numbers differ from the paper (the substrate is a simulator,
 //! not the authors' testbed); regenerators aim to reproduce the *shape*:
@@ -30,6 +31,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig_graphs;
+pub mod lint;
 pub mod pipeline;
 pub mod tables;
 

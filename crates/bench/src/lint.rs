@@ -1,0 +1,292 @@
+//! Detector-throughput benchmark: **synthesize → encode → stream-lint**.
+//!
+//! The race detector's promise is that it can gate CI: lint a million-record
+//! binary trace in a couple of seconds, streaming, without materializing the
+//! bundle. This bench measures exactly that promise and emits the tracked
+//! `BENCH_lint.json`. The synthetic workload is the detector's worst
+//! honest case — many concurrent writers per stage touching one shared
+//! file with *disjoint* extents (so the interval index does maximal work
+//! and must still report zero findings), plus cross-stage reads that
+//! exercise the happens-before engine.
+
+use crate::Scale;
+use dayu_lint::{analyze_stream, LintConfig};
+use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
+use dayu_trace::store::TraceBundle;
+use dayu_trace::time::Timestamp;
+use dayu_trace::vfd::{AccessType, IoKind, VfdRecord};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// Shape of the synthetic trace.
+#[derive(Clone, Copy, Debug)]
+pub struct LintBenchConfig {
+    /// Run size.
+    pub scale: Scale,
+    /// Stage-barrier count: stages run one after another, tasks within a
+    /// stage are concurrent.
+    pub stages: usize,
+    /// Concurrent tasks per stage.
+    pub tasks_per_stage: usize,
+    /// Extents each task writes into its private region of the shared file.
+    pub writes_per_task: usize,
+    /// Extents each post-first-stage task reads back from the previous
+    /// stage's region (ordered by the stage barrier, so never a race).
+    pub reads_per_task: usize,
+}
+
+impl LintBenchConfig {
+    /// Quick parameters for tests and the CI smoke job.
+    pub fn smoke() -> Self {
+        Self {
+            scale: Scale::Quick,
+            stages: 4,
+            tasks_per_stage: 4,
+            writes_per_task: 64,
+            reads_per_task: 16,
+        }
+    }
+
+    /// The tracked run: ≥ 1M records through the streaming detector.
+    pub fn full() -> Self {
+        Self {
+            scale: Scale::Full,
+            stages: 8,
+            tasks_per_stage: 16,
+            writes_per_task: 8192,
+            reads_per_task: 2048,
+        }
+    }
+
+    /// Total VFD records the generator will emit.
+    pub fn records(&self) -> u64 {
+        let writes = self.stages * self.tasks_per_stage * self.writes_per_task;
+        let reads = self.stages.saturating_sub(1) * self.tasks_per_stage * self.reads_per_task;
+        (writes + reads) as u64
+    }
+}
+
+const EXTENT_LEN: u64 = 4096;
+
+/// Disjoint-by-construction extent for write `op` of `task` in `stage`.
+fn extent(cfg: &LintBenchConfig, stage: usize, task: usize, op: usize) -> u64 {
+    (((stage * cfg.tasks_per_stage + task) * cfg.writes_per_task + op) as u64) * EXTENT_LEN
+}
+
+/// Builds the synthetic bundle: `stages × tasks` concurrent writers into one
+/// shared file, disjoint regions, plus ordered cross-stage read-back.
+pub fn synthetic_bundle(cfg: &LintBenchConfig) -> TraceBundle {
+    let mut bundle = TraceBundle::new("lint_bench");
+    let file = FileKey::new("bench.h5");
+    let names: Vec<Vec<String>> = (0..cfg.stages)
+        .map(|s| {
+            (0..cfg.tasks_per_stage)
+                .map(|t| format!("s{s:02}_writer_{t:02}"))
+                .collect()
+        })
+        .collect();
+    bundle.meta.stages = names
+        .iter()
+        .map(|stage| stage.iter().map(|n| TaskKey::new(n)).collect())
+        .collect();
+
+    for (stage, stage_names) in names.iter().enumerate() {
+        // All of a stage's ops share one time window: tasks within the
+        // stage are observably concurrent, across stages they are ordered.
+        let t0 = (stage as u64) * 1_000_000;
+        for (task, name) in stage_names.iter().enumerate() {
+            let key = TaskKey::new(name);
+            let dataset = ObjectKey::new(format!("/s{stage}/t{task}"));
+            for op in 0..cfg.writes_per_task {
+                bundle.vfd.push(VfdRecord {
+                    task: key.clone(),
+                    file: file.clone(),
+                    kind: IoKind::Write,
+                    offset: extent(cfg, stage, task, op),
+                    len: EXTENT_LEN,
+                    access: AccessType::RawData,
+                    object: dataset.clone(),
+                    start: Timestamp(t0 + op as u64),
+                    end: Timestamp(t0 + op as u64 + 10),
+                });
+            }
+            if stage > 0 {
+                let upstream = ObjectKey::new(format!("/s{}/t{task}", stage - 1));
+                for op in 0..cfg.reads_per_task {
+                    bundle.vfd.push(VfdRecord {
+                        task: key.clone(),
+                        file: file.clone(),
+                        kind: IoKind::Read,
+                        offset: extent(cfg, stage - 1, task, op),
+                        len: EXTENT_LEN,
+                        access: AccessType::RawData,
+                        object: upstream.clone(),
+                        start: Timestamp(t0 + 500_000 + op as u64),
+                        end: Timestamp(t0 + 500_000 + op as u64 + 10),
+                    });
+                }
+            }
+        }
+    }
+    bundle
+}
+
+/// One measured run of the streaming detector.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    /// Trace records streamed through the detector.
+    pub records: u64,
+    /// Encoded `.dtb` size the detector streamed over.
+    pub dtb_bytes: u64,
+    /// Time to synthesize the bundle in memory, nanoseconds.
+    pub build_ns: u64,
+    /// Time to encode the bundle to `.dtb` bytes, nanoseconds.
+    pub encode_ns: u64,
+    /// `analyze_stream` wall time over the encoded bytes, nanoseconds.
+    pub lint_ns: u64,
+    /// Findings the detector reported (must be zero: the workload is clean
+    /// by construction).
+    pub findings: usize,
+}
+
+impl LintReport {
+    /// Records streamed per second of detector wall time.
+    pub fn records_per_sec(&self) -> f64 {
+        if self.lint_ns == 0 {
+            0.0
+        } else {
+            self.records as f64 * 1e9 / self.lint_ns as f64
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        json!({
+            "records": self.records,
+            "dtb_bytes": self.dtb_bytes,
+            "build_ns": self.build_ns,
+            "encode_ns": self.encode_ns,
+            "lint": {
+                "wall_ns": self.lint_ns,
+                "records_per_sec": self.records_per_sec(),
+            },
+            "findings": self.findings,
+        })
+    }
+}
+
+/// Synthesizes, encodes and stream-lints one trace.
+pub fn run(cfg: &LintBenchConfig) -> LintReport {
+    let t0 = Instant::now();
+    let bundle = synthetic_bundle(cfg);
+    let build_ns = t0.elapsed().as_nanos() as u64;
+
+    let t0 = Instant::now();
+    let bytes = bundle.to_binary_bytes();
+    let encode_ns = t0.elapsed().as_nanos() as u64;
+
+    let t0 = Instant::now();
+    let (report, records) =
+        analyze_stream(&bytes[..], &LintConfig::default()).expect("stream lint");
+    let lint_ns = t0.elapsed().as_nanos() as u64;
+
+    assert_eq!(records, cfg.records(), "generator must emit what it claims");
+    LintReport {
+        records,
+        dtb_bytes: bytes.len() as u64,
+        build_ns,
+        encode_ns,
+        lint_ns,
+        findings: report.len(),
+    }
+}
+
+/// Renders the tracked `BENCH_lint.json` document.
+pub fn report_json(cfg: &LintBenchConfig, report: &LintReport) -> Value {
+    json!({
+        "bench": "lint",
+        "mode": match cfg.scale { Scale::Quick => "smoke", Scale::Full => "full" },
+        "shape": {
+            "stages": cfg.stages,
+            "tasks_per_stage": cfg.tasks_per_stage,
+            "writes_per_task": cfg.writes_per_task,
+            "reads_per_task": cfg.reads_per_task,
+        },
+        "detector": report.to_json(),
+    })
+}
+
+/// The `--check` gate: the clean-by-construction trace must produce zero
+/// findings, and a full-size (≥ 1M record) run must lint within 2 seconds.
+pub fn check(cfg: &LintBenchConfig, report: &LintReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    if report.findings != 0 {
+        failures.push(format!(
+            "detector reported {} finding(s) on a race-free trace",
+            report.findings
+        ));
+    }
+    if report.records >= 1_000_000 && report.lint_ns > 2_000_000_000 {
+        failures.push(format!(
+            "linting {} records took {:.2} s (budget 2 s)",
+            report.records,
+            report.lint_ns as f64 / 1e9
+        ));
+    }
+    if matches!(cfg.scale, Scale::Full) && report.records < 1_000_000 {
+        failures.push(format!(
+            "full mode must stream ≥ 1M records, generated only {}",
+            report.records
+        ));
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_lint::analyze_bundle;
+
+    #[test]
+    fn smoke_run_is_clean_and_counts_match() {
+        let cfg = LintBenchConfig::smoke();
+        let r = run(&cfg);
+        assert_eq!(r.records, cfg.records());
+        assert_eq!(r.findings, 0, "synthetic workload must be race-free");
+        assert!(r.dtb_bytes > 0);
+        assert!(check(&cfg, &r).is_empty(), "{:?}", check(&cfg, &r));
+    }
+
+    #[test]
+    fn full_shape_clears_the_million_record_floor() {
+        assert!(LintBenchConfig::full().records() >= 1_000_000);
+    }
+
+    #[test]
+    fn a_planted_collision_is_not_silently_swallowed() {
+        // Re-point one write of stage 0 task 1 at task 0's first extent;
+        // the gate's zero-findings check must then fail.
+        let cfg = LintBenchConfig::smoke();
+        let mut bundle = synthetic_bundle(&cfg);
+        let victim = extent(&cfg, 0, 0, 0);
+        let hit = bundle
+            .vfd
+            .iter_mut()
+            .find(|r| r.task.as_str() == "s00_writer_01" && r.kind == IoKind::Write)
+            .expect("writer op present");
+        hit.offset = victim;
+        let report = analyze_bundle(&bundle, &LintConfig::default());
+        assert!(!report.is_clean(), "planted overlap must surface");
+    }
+
+    #[test]
+    fn report_document_shape() {
+        let cfg = LintBenchConfig::smoke();
+        let r = run(&cfg);
+        let doc = report_json(&cfg, &r);
+        assert_eq!(doc["bench"], "lint");
+        assert_eq!(doc["mode"], "smoke");
+        assert_eq!(doc["detector"]["records"].as_u64().unwrap(), cfg.records());
+        assert!(doc["detector"]["lint"]["records_per_sec"].as_f64().unwrap() > 0.0);
+        assert_eq!(doc["detector"]["findings"], 0);
+    }
+}

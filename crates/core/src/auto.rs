@@ -9,9 +9,9 @@
 //! data itself (layout changes, consolidation) are reported as advisories —
 //! they need a re-run of the producing application.
 
-use dayu_advisor::{advise, Action, Recommendation};
+use dayu_advisor::{advise, advise_lint, Action, Recommendation};
 use dayu_analyzer::Analysis;
-use dayu_lint::verify;
+use dayu_lint::{verify, ExtentCatalog, LintConfig};
 use dayu_sim::cluster::{Cluster, FileLocation, Placement};
 use dayu_sim::engine::{Engine, SimError, SimReport};
 use dayu_sim::program::SimTask;
@@ -60,7 +60,19 @@ fn node_of(tasks: &[SimTask], name: &str) -> usize {
 /// Derives and scores an optimized plan for a recorded run on `cluster`.
 pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, SimError> {
     let analysis = Analysis::run(&run.bundle);
-    let recommendations = advise(&analysis.findings);
+    let mut recommendations = advise(&analysis.findings);
+    // Waste findings from the linter's lifetime pass (dead datasets,
+    // redundant overwrites) become elision recommendations. They stay
+    // advisory here: the linter cannot tell dead data from a final
+    // product nobody reads *within* the recorded window.
+    let lint_report = dayu_lint::analyze_bundle(
+        &run.bundle,
+        &LintConfig {
+            report_dead_data: true,
+            ..LintConfig::default()
+        },
+    );
+    recommendations.extend(advise_lint(&lint_report));
 
     // Baseline.
     let schedule = Schedule::round_robin(run, cluster.nodes);
@@ -114,12 +126,16 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
     // Phase 2 — plan-level actions. Every plan rewrite goes through the
     // semantics-preservation verifier (`dayu_lint::verify`): a transform
     // that would introduce a hazard or break a producer→consumer ordering
-    // is rolled back and reported in `rejected` instead of applied.
+    // is rolled back and reported in `rejected` instead of applied. The
+    // recorded byte extents sharpen the gate in both directions: rewrites
+    // whose tasks provably touch disjoint bytes pass even when they share
+    // a file, and real collisions are rejected as extent races.
+    let catalog = ExtentCatalog::from_bundle(&opt_run.bundle);
     let mut staged: HashMap<String, ()> = HashMap::new();
     for rec in &recommendations {
         match &rec.action {
             Action::CoSchedule { producer, consumer } => {
-                match verify::verified(&mut tasks, "co_schedule", |t| {
+                match verify::verified_with_extents(&mut tasks, "co_schedule", &catalog, |t| {
                     transform::co_schedule(t, producer, consumer)
                 }) {
                     Ok(()) => {
@@ -173,7 +189,7 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
                 // `placement` (the transform records it before the check);
                 // harmless, since after rollback no task references the
                 // replica file.
-                match verify::verified(&mut tasks, "stage_in", |t| {
+                match verify::verified_with_extents(&mut tasks, "stage_in", &catalog, |t| {
                     transform::stage_in(t, &mut placement, file, bytes, node, TierKind::NvmeSsd)
                 }) {
                     Ok(_) => {
@@ -187,7 +203,7 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
                 }
             }
             Action::Parallelize { first, second } => {
-                match verify::verified(&mut tasks, "parallelize", |t| {
+                match verify::verified_with_extents(&mut tasks, "parallelize", &catalog, |t| {
                     transform::parallelize(t, first, second)
                 }) {
                     Ok(()) => applied.push(format!("pipelined {second} with {first}")),
@@ -203,9 +219,12 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
                         .first()
                         .map(|&i| tasks[i].node)
                         .unwrap_or(0);
-                    match verify::verified(&mut tasks, "stage_out_async", |t| {
-                        transform::stage_out_async(t, file, bytes, node)
-                    }) {
+                    match verify::verified_with_extents(
+                        &mut tasks,
+                        "stage_out_async",
+                        &catalog,
+                        |t| transform::stage_out_async(t, file, bytes, node),
+                    ) {
                         Ok(()) => applied.push(format!("async stage-out of {file}")),
                         Err(v) => rejected.push(v.to_string()),
                     }
@@ -222,6 +241,18 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
                 ));
             }
             Action::SkipUnusedDataset { .. } => {} // handled in phase 1
+            Action::ElideDataset {
+                file,
+                dataset,
+                bytes,
+            } => {
+                // Never applied mechanically: within the recorded window a
+                // final product is indistinguishable from dead data.
+                advisories.push(format!(
+                    "elide {file}:{dataset} ({bytes} B written, never read in the \
+                     recorded workflow) — confirm it is not a final product"
+                ));
+            }
             Action::RerunTask { task } => {
                 // A salvaged trace fragment under-reports the task's I/O;
                 // optimizing against it would bake the gap into the plan.

@@ -11,6 +11,9 @@
 //! dayu-analyze trace.jsonl --aggregate     # collapse parallel task groups
 //! dayu-analyze check trace.jsonl           # dataflow-hazard lint (exit 1 on findings)
 //! dayu-analyze check trace.jsonl --inputs a.h5,b.h5   # declared external inputs
+//! dayu-analyze check trace.dtb --json --deny extent-race --deny use-after-close
+//!                                          # CI gate: exit 1 only on denied classes
+//! dayu-analyze check trace.dtb --waste     # also report dead datasets / redundant overwrites
 //! dayu-analyze record ddmd                 # record a built-in workload, analyze it
 //! dayu-analyze record ddmd --format binary --out run/    # persist as trace.dtb
 //! dayu-analyze record arldm --chaos-seed 7 --retries 3 --fault-rate 0.05 --out run/
@@ -22,7 +25,7 @@
 //! status: 0 clean, 3 when the trace is degraded (salvaged fragments).
 
 use dayu_analyzer::{export, resolution, Analysis, DetectorConfig, SdgOptions};
-use dayu_lint::{analyze_bundle, LintConfig};
+use dayu_lint::{analyze_stream, Finding, LintConfig};
 use dayu_trace::{TraceBundle, TraceFormat};
 use dayu_vfd::{FaultSchedule, MemFs};
 use dayu_workflow::{record_opts, RecordOptions, RetryPolicy, WorkflowSpec};
@@ -32,7 +35,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dayu-analyze <trace.{{jsonl|dtb}}> [--format jsonl|binary] [--out DIR]\n                           [--regions N] [--aggregate]\n       dayu-analyze check <trace.{{jsonl|dtb}}> [--inputs FILE,FILE,...]\n       dayu-analyze record <ddmd|pyflextrkr|arldm> [--chaos-seed N] [--retries N]\n                           [--fault-rate P] [--dead-at N] [--format jsonl|binary] [--out DIR]"
+        "usage: dayu-analyze <trace.{{jsonl|dtb}}> [--format jsonl|binary] [--out DIR]\n                           [--regions N] [--aggregate]\n       dayu-analyze check <trace.{{jsonl|dtb}}> [--inputs FILE,FILE,...] [--json]\n                           [--deny CLASS]... [--waste]\n       dayu-analyze record <ddmd|pyflextrkr|arldm> [--chaos-seed N] [--retries N]\n                           [--fault-rate P] [--dead-at N] [--format jsonl|binary] [--out DIR]"
     );
     std::process::exit(2);
 }
@@ -195,18 +198,44 @@ fn parse_format(v: Option<String>) -> TraceFormat {
     v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
 }
 
-/// `dayu-analyze check`: static dataflow-hazard lint over a recorded trace.
+/// `dayu-analyze check`: static dataflow-hazard lint over a recorded
+/// trace, streamed record-by-record in either persistence format (the
+/// checker never materializes the bundle, so multi-gigabyte `.dtb`
+/// traces lint in bounded memory).
+///
+/// Exit codes, designed for CI gating: 0 — no denied findings; 1 — at
+/// least one denied finding (`--deny <class>` restricts which classes
+/// fail the run; no `--deny` denies every class); 2 — usage error,
+/// including an unknown `--deny` class.
 fn check_main(args: Vec<String>) -> ! {
     let mut input: Option<PathBuf> = None;
     let mut cfg = LintConfig::default();
+    let mut json = false;
+    let mut deny: Vec<String> = Vec::new();
     let mut args = args.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--inputs" => {
                 let list = args.next().unwrap_or_else(|| usage());
-                cfg = LintConfig::with_external_inputs(
-                    list.split(',').filter(|s| !s.is_empty()).map(str::to_owned),
+                cfg.external_inputs = Some(
+                    list.split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_owned)
+                        .collect(),
                 );
+            }
+            "--json" => json = true,
+            "--waste" => cfg.report_dead_data = true,
+            "--deny" => {
+                let class = args.next().unwrap_or_else(|| usage());
+                if !Finding::categories().contains(&class.as_str()) {
+                    eprintln!(
+                        "unknown finding class {class:?}; expected one of: {}",
+                        Finding::categories().join(", ")
+                    );
+                    std::process::exit(2);
+                }
+                deny.push(class);
             }
             "-h" | "--help" => usage(),
             p if input.is_none() => input = Some(PathBuf::from(p)),
@@ -214,25 +243,34 @@ fn check_main(args: Vec<String>) -> ! {
         }
     }
     let Some(input) = input else { usage() };
-    let bundle = load_bundle(&input, None);
-    let report = analyze_bundle(&bundle, &cfg);
-    if report.is_clean() {
+    let file = std::fs::File::open(&input).unwrap_or_else(|e| {
+        eprintln!("cannot open {}: {e}", input.display());
+        std::process::exit(1);
+    });
+    let (report, records) = analyze_stream(BufReader::new(file), &cfg).unwrap_or_else(|e| {
+        eprintln!("cannot parse {}: {e}", input.display());
+        std::process::exit(1);
+    });
+    let denied = report.denied(&deny);
+    if json {
+        println!("{}", report.to_json());
+    } else if report.is_clean() {
         println!(
-            "workflow {:?}: no dataflow hazards ({} low-level ops checked)",
-            bundle.meta.workflow,
-            bundle.vfd.len()
+            "{}: no findings ({records} records checked)",
+            input.display()
         );
-        std::process::exit(0);
+    } else {
+        println!(
+            "{}: {} finding(s), {} denied",
+            input.display(),
+            report.len(),
+            denied.len()
+        );
+        for f in &report.findings {
+            println!("  [{}] {f}", f.category());
+        }
     }
-    println!(
-        "workflow {:?}: {} finding(s)",
-        bundle.meta.workflow,
-        report.len()
-    );
-    for f in &report.findings {
-        println!("  [{}] {f}", f.category());
-    }
-    std::process::exit(1);
+    std::process::exit(if denied.is_empty() { 0 } else { 1 });
 }
 
 fn main() {

@@ -75,7 +75,8 @@ pub mod prelude {
         LayoutKind, Selection,
     };
     pub use dayu_lint::{
-        analyze_bundle, analyze_sim_tasks, fsck_bytes, LintConfig, Report as LintReport,
+        analyze_bundle, analyze_sim_tasks, analyze_stream, fsck_bytes, ExtentCatalog,
+        Finding as LintFinding, LintConfig, Report as LintReport, TaskHb,
     };
     pub use dayu_mapper::{Mapper, MapperConfig};
     pub use dayu_sim::{Cluster, Engine, FileLocation, Placement, SimOp, SimTask, TierKind};

@@ -1,0 +1,489 @@
+//! Byte-extent machinery: half-open extents, an interval tree over file
+//! address space, merged extent sets, and the per-(task, file) extent
+//! catalog the verifier consults.
+//!
+//! DaYu's central observation is that the logical-dataset → file-address
+//! translation makes conflicts decidable at *byte* granularity: two tasks
+//! touching one file are only actually in conflict where their address
+//! ranges intersect. Everything in this module works on the VFD layer's
+//! `[offset, offset + len)` ranges; metadata and raw-data accesses are kept
+//! apart by the callers (the race detector only indexes raw data — shared
+//! metadata like the superblock is serialized by the library, not raced).
+
+use dayu_trace::store::TraceBundle;
+use dayu_trace::vfd::AccessType;
+use dayu_trace::{FileKey, IoKind, TaskKey};
+use std::collections::BTreeMap;
+
+/// A half-open byte range `[start, end)` in a file's address space.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Extent {
+    /// First byte covered.
+    pub start: u64,
+    /// One past the last byte covered.
+    pub end: u64,
+}
+
+impl Extent {
+    /// An extent from explicit bounds. `end < start` is normalized to empty.
+    pub fn new(start: u64, end: u64) -> Self {
+        Self {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// The extent of an I/O op at `offset` spanning `len` bytes.
+    pub fn of(offset: u64, len: u64) -> Self {
+        Self {
+            start: offset,
+            end: offset.saturating_add(len),
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the extent covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Whether two extents share at least one byte (empty extents never
+    /// overlap anything).
+    pub fn overlaps(&self, other: &Extent) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
+    }
+
+    /// The shared byte range, if any.
+    pub fn intersection(&self, other: &Extent) -> Option<Extent> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then_some(Extent { start, end })
+    }
+}
+
+/// A static interval tree over byte extents: build once from a batch of
+/// `(extent, value)` pairs, then answer stabbing/overlap queries in
+/// `O(log n + k)`.
+///
+/// Layout: entries sorted by start form an implicit balanced BST (midpoint
+/// recursion); each node is augmented with the maximum `end` in its
+/// subtree, which prunes whole subtrees whose extents all finish before the
+/// query begins.
+#[derive(Clone, Debug)]
+pub struct IntervalTree<T> {
+    items: Vec<(Extent, T)>,
+    max_end: Vec<u64>,
+}
+
+impl<T> IntervalTree<T> {
+    /// Builds the tree. Empty extents are kept but never match a query.
+    pub fn build(mut items: Vec<(Extent, T)>) -> Self {
+        items.sort_by_key(|(e, _)| (e.start, e.end));
+        let mut max_end = vec![0u64; items.len()];
+        fn augment<T>(items: &[(Extent, T)], max_end: &mut [u64], lo: usize, hi: usize) -> u64 {
+            if lo >= hi {
+                return 0;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let mut m = items[mid].0.end;
+            m = m.max(augment(items, max_end, lo, mid));
+            m = m.max(augment(items, max_end, mid + 1, hi));
+            max_end[mid] = m;
+            m
+        }
+        let n = items.len();
+        augment(&items, &mut max_end, 0, n);
+        Self { items, max_end }
+    }
+
+    /// Number of stored extents.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the tree holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Calls `f` for every stored extent overlapping `q`. The references
+    /// handed to `f` borrow from the tree itself, so they may be kept.
+    pub fn for_each_overlap<'a>(&'a self, q: Extent, mut f: impl FnMut(&'a Extent, &'a T)) {
+        self.walk(0, self.items.len(), q, &mut f);
+    }
+
+    fn walk<'a>(&'a self, lo: usize, hi: usize, q: Extent, f: &mut impl FnMut(&'a Extent, &'a T)) {
+        if lo >= hi || q.is_empty() {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        // Every extent in this subtree ends at or before the query start:
+        // nothing here can overlap.
+        if self.max_end[mid] <= q.start {
+            return;
+        }
+        self.walk(lo, mid, q, f);
+        let (e, v) = &self.items[mid];
+        if e.overlaps(&q) {
+            f(e, v);
+        }
+        // Right-subtree starts are all >= this node's start; once that is
+        // past the query end, no right descendant can overlap.
+        if e.start < q.end {
+            self.walk(mid + 1, hi, q, f);
+        }
+    }
+
+    /// First stored extent overlapping `q`, if any.
+    pub fn any_overlap(&self, q: Extent) -> Option<(Extent, &T)> {
+        let mut hit = None;
+        self.for_each_overlap(q, |e, v| {
+            if hit.is_none() {
+                hit = Some((*e, v));
+            }
+        });
+        hit
+    }
+}
+
+/// A set of bytes represented as sorted, disjoint, merged extents — the
+/// coverage a task accumulated over a dataset or file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExtentSet {
+    runs: Vec<Extent>,
+}
+
+impl ExtentSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `e`, merging with any overlapping or adjacent runs.
+    pub fn insert(&mut self, e: Extent) {
+        if e.is_empty() {
+            return;
+        }
+        // First run that could touch e: the last run starting at or before
+        // e.end (runs are sorted by start).
+        let i = self.runs.partition_point(|r| r.end < e.start);
+        if i == self.runs.len() || self.runs[i].start > e.end {
+            self.runs.insert(i, e);
+            return;
+        }
+        let mut merged = e;
+        let mut j = i;
+        while j < self.runs.len() && self.runs[j].start <= merged.end {
+            merged.start = merged.start.min(self.runs[j].start);
+            merged.end = merged.end.max(self.runs[j].end);
+            j += 1;
+        }
+        self.runs.splice(i..j, [merged]);
+    }
+
+    /// The merged runs, sorted by start.
+    pub fn runs(&self) -> &[Extent] {
+        &self.runs
+    }
+
+    /// Whether the set covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total number of bytes covered.
+    pub fn total_len(&self) -> u64 {
+        self.runs.iter().map(Extent::len).sum()
+    }
+
+    /// First byte range shared with `e`, if any.
+    pub fn overlap_with(&self, e: Extent) -> Option<Extent> {
+        let i = self.runs.partition_point(|r| r.end <= e.start);
+        self.runs.get(i).and_then(|r| r.intersection(&e))
+    }
+
+    /// First byte range shared with `other`, if any (two-pointer sweep).
+    pub fn overlap(&self, other: &ExtentSet) -> Option<Extent> {
+        let (mut i, mut j) = (0, 0);
+        while i < self.runs.len() && j < other.runs.len() {
+            if let Some(x) = self.runs[i].intersection(&other.runs[j]) {
+                return Some(x);
+            }
+            if self.runs[i].end <= other.runs[j].end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        None
+    }
+
+    /// Whether every byte of `other` is also covered here.
+    pub fn covers(&self, other: &ExtentSet) -> bool {
+        other.runs.iter().all(|r| {
+            let i = self.runs.partition_point(|s| s.end <= r.start);
+            self.runs
+                .get(i)
+                .is_some_and(|s| s.start <= r.start && r.end <= s.end)
+        })
+    }
+}
+
+/// Raw-data extents one task touched in one file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TaskFileExtents {
+    /// Bytes the task read (raw data only).
+    pub reads: ExtentSet,
+    /// Bytes the task wrote (raw data only).
+    pub writes: ExtentSet,
+}
+
+/// Per-(task, file) raw-data extent coverage extracted from a recorded
+/// trace — the address-level ground truth the transform verifier uses to
+/// prove two tasks a rewrite makes concurrent cannot actually collide.
+///
+/// Metadata accesses are deliberately absent: the library serializes its
+/// own metadata, and indexing it would re-create the whole-file
+/// false-positive class this catalog exists to kill.
+#[derive(Clone, Debug, Default)]
+pub struct ExtentCatalog {
+    map: BTreeMap<TaskKey, BTreeMap<FileKey, TaskFileExtents>>,
+}
+
+impl ExtentCatalog {
+    /// Builds the catalog from every raw-data read/write in `bundle`.
+    pub fn from_bundle(bundle: &TraceBundle) -> Self {
+        let mut cat = Self::default();
+        for r in &bundle.vfd {
+            if r.access != AccessType::RawData {
+                continue;
+            }
+            let e = Extent::of(r.offset, r.len);
+            match r.kind {
+                IoKind::Write => cat.record(&r.task, &r.file, e, true),
+                IoKind::Read => cat.record(&r.task, &r.file, e, false),
+                _ => {}
+            }
+        }
+        cat
+    }
+
+    fn record(&mut self, task: &TaskKey, file: &FileKey, e: Extent, write: bool) {
+        let slot = self
+            .map
+            .entry(task.clone())
+            .or_default()
+            .entry(file.clone())
+            .or_default();
+        if write {
+            slot.writes.insert(e);
+        } else {
+            slot.reads.insert(e);
+        }
+    }
+
+    /// Whether the catalog observed `task` at all. Tasks a transform
+    /// synthesizes (stage-in copies, say) are unknown, and the verifier
+    /// must not treat their extents as empty-and-therefore-safe.
+    pub fn knows(&self, task: &str) -> bool {
+        self.map.contains_key(&TaskKey::new(task))
+    }
+
+    /// The raw extents `task` touched in `file`, if recorded.
+    pub fn extents(&self, task: &str, file: &str) -> Option<&TaskFileExtents> {
+        self.map.get(&TaskKey::new(task))?.get(&FileKey::new(file))
+    }
+
+    /// Byte range where two tasks' accesses to `file` actually collide
+    /// (write-write or write-read in either direction), or `None` when
+    /// their extents are disjoint or either task/file is unknown.
+    pub fn collision(&self, a: &str, b: &str, file: &str) -> Option<Extent> {
+        let xa = self.extents(a, file)?;
+        let xb = self.extents(b, file)?;
+        xa.writes
+            .overlap(&xb.writes)
+            .or_else(|| xa.writes.overlap(&xb.reads))
+            .or_else(|| xa.reads.overlap(&xb.writes))
+    }
+
+    /// Whether both tasks are known and their raw extents on `file` are
+    /// provably disjoint — the certificate that lets the verifier accept a
+    /// rewrite making them concurrent on that file.
+    pub fn provably_disjoint(&self, a: &str, b: &str, file: &str) -> bool {
+        match (self.extents(a, file), self.extents(b, file)) {
+            (Some(xa), Some(xb)) => {
+                xa.writes.overlap(&xb.writes).is_none()
+                    && xa.writes.overlap(&xb.reads).is_none()
+                    && xa.reads.overlap(&xb.writes).is_none()
+            }
+            // A task that never touched the file raw-wise cannot collide
+            // on it — but only if the catalog actually observed the task.
+            (None, _) => self.knows(a) && self.knows(b),
+            (_, None) => self.knows(a) && self.knows(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extent_basics() {
+        let a = Extent::of(10, 10); // [10, 20)
+        let b = Extent::new(15, 25);
+        assert!(a.overlaps(&b));
+        assert_eq!(a.intersection(&b), Some(Extent::new(15, 20)));
+        assert!(!a.overlaps(&Extent::new(20, 30))); // half-open: touching is disjoint
+        assert!(Extent::new(5, 5).is_empty());
+        assert!(!Extent::new(5, 5).overlaps(&a));
+        assert_eq!(Extent::new(9, 3), Extent::new(9, 9)); // normalized
+    }
+
+    #[test]
+    fn extent_set_merges_and_covers() {
+        let mut s = ExtentSet::new();
+        s.insert(Extent::new(0, 10));
+        s.insert(Extent::new(20, 30));
+        s.insert(Extent::new(10, 20)); // bridges the gap
+        assert_eq!(s.runs(), &[Extent::new(0, 30)]);
+        assert_eq!(s.total_len(), 30);
+
+        let mut t = ExtentSet::new();
+        t.insert(Extent::new(5, 12));
+        t.insert(Extent::new(25, 28));
+        assert!(s.covers(&t));
+        assert!(!t.covers(&s));
+        assert_eq!(s.overlap(&t), Some(Extent::new(5, 12)));
+        assert_eq!(
+            s.overlap_with(Extent::new(29, 40)),
+            Some(Extent::new(29, 30))
+        );
+        assert_eq!(s.overlap_with(Extent::new(30, 40)), None);
+    }
+
+    #[test]
+    fn interval_tree_finds_all_overlaps() {
+        let items = vec![
+            (Extent::new(0, 5), "a"),
+            (Extent::new(3, 9), "b"),
+            (Extent::new(10, 12), "c"),
+            (Extent::new(8, 20), "d"),
+            (Extent::new(30, 31), "e"),
+        ];
+        let tree = IntervalTree::build(items);
+        let mut hits = Vec::new();
+        tree.for_each_overlap(Extent::new(4, 11), |_, v| hits.push(*v));
+        hits.sort_unstable();
+        assert_eq!(hits, vec!["a", "b", "c", "d"]);
+        assert!(tree.any_overlap(Extent::new(21, 30)).is_none());
+        assert_eq!(
+            tree.any_overlap(Extent::new(30, 32)).map(|(_, v)| *v),
+            Some("e")
+        );
+        assert!(tree.any_overlap(Extent::new(4, 4)).is_none()); // empty query
+    }
+
+    #[test]
+    fn catalog_separates_metadata_and_judges_disjointness() {
+        use dayu_trace::vfd::VfdRecord;
+        use dayu_trace::{ObjectKey, Timestamp};
+        let mut b = TraceBundle::new("wf");
+        let mut op = |task: &str, kind: IoKind, access: AccessType, offset: u64, len: u64| {
+            b.vfd.push(VfdRecord {
+                task: TaskKey::new(task),
+                file: FileKey::new("f.h5"),
+                kind,
+                offset,
+                len,
+                access,
+                object: ObjectKey::new("/d"),
+                start: Timestamp(0),
+                end: Timestamp(1),
+            });
+        };
+        op("a", IoKind::Write, AccessType::RawData, 0, 100);
+        op("b", IoKind::Write, AccessType::RawData, 100, 100);
+        // Overlapping *metadata* writes must not register.
+        op("a", IoKind::Write, AccessType::Metadata, 0, 8);
+        op("b", IoKind::Write, AccessType::Metadata, 0, 8);
+        op("c", IoKind::Read, AccessType::RawData, 50, 10);
+        let cat = ExtentCatalog::from_bundle(&b);
+        assert!(cat.provably_disjoint("a", "b", "f.h5"));
+        assert!(cat.collision("a", "b", "f.h5").is_none());
+        assert_eq!(cat.collision("a", "c", "f.h5"), Some(Extent::new(50, 60)));
+        assert!(!cat.provably_disjoint("a", "ghost", "f.h5"));
+        assert!(cat.knows("c"));
+        assert!(!cat.knows("ghost"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_extents(n: usize) -> impl Strategy<Value = Vec<Extent>> {
+        prop::collection::vec((0u64..500, 0u64..60), 0..n)
+            .prop_map(|v| v.into_iter().map(|(o, l)| Extent::of(o, l)).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The interval tree reports exactly the overlaps the naive O(n²)
+        /// oracle finds, for arbitrary extents and queries.
+        #[test]
+        fn tree_matches_naive_oracle(
+            items in arb_extents(40),
+            queries in arb_extents(12),
+        ) {
+            let tree = IntervalTree::build(
+                items.iter().copied().enumerate().map(|(i, e)| (e, i)).collect(),
+            );
+            for q in queries {
+                let mut got: Vec<usize> = Vec::new();
+                tree.for_each_overlap(q, |_, &i| got.push(i));
+                got.sort_unstable();
+                let mut want: Vec<usize> = items
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.overlaps(&q))
+                    .map(|(i, _)| i)
+                    .collect();
+                want.sort_unstable();
+                prop_assert_eq!(got, want);
+            }
+        }
+
+        /// ExtentSet coverage equals the union of inserted bytes: membership
+        /// of any probe point matches the naive any-extent-contains check,
+        /// and runs stay sorted, disjoint and non-adjacent.
+        #[test]
+        fn extent_set_matches_union_semantics(
+            items in arb_extents(30),
+            probes in prop::collection::vec(0u64..600, 24),
+        ) {
+            let mut s = ExtentSet::new();
+            for e in &items {
+                s.insert(*e);
+            }
+            for w in s.runs().windows(2) {
+                prop_assert!(w[0].end < w[1].start, "runs must stay disjoint and gapped");
+            }
+            for p in probes {
+                let want = items.iter().any(|e| e.start <= p && p < e.end);
+                let got = s.overlap_with(Extent::new(p, p + 1)).is_some();
+                prop_assert_eq!(got, want, "probe {}", p);
+            }
+            prop_assert_eq!(
+                s.total_len(),
+                s.runs().iter().map(Extent::len).sum::<u64>()
+            );
+        }
+    }
+}

@@ -15,7 +15,13 @@
 //!   payload fully inside the file;
 //! * no two claimed extents overlap (an allocator that hands the same
 //!   bytes to two structures silently corrupts whichever flushes last).
+//!   Claims are indexed in an [`IntervalTree`]; when both owners are
+//!   *raw data of different datasets* the overlap is reported as the
+//!   sharper [`Finding::SharedRawExtent`] naming both datasets, since
+//!   that is exactly the cross-dataset aliasing the extent-race detector
+//!   reasons about at trace level.
 
+use crate::extent::{Extent, IntervalTree};
 use crate::model::{Finding, Report};
 use dayu_hdf::chunk::ChunkIndex;
 use dayu_hdf::group;
@@ -30,13 +36,22 @@ fn out_of_bounds(addr: u64, len: u64, limit: u64) -> bool {
     addr.checked_add(len).is_none_or(|end| end > limit)
 }
 
+/// One claimed byte extent. Raw-data claims remember the owning dataset
+/// so cross-dataset collisions get the sharper finding.
+struct Claim {
+    extent: Extent,
+    label: String,
+    /// `Some(path)` when the bytes store a dataset's raw data
+    /// (contiguous extents and chunk payloads); `None` for metadata.
+    dataset: Option<String>,
+}
+
 struct Fsck<'a> {
     image: &'a [u8],
     /// Allocated end per the superblock, capped at the image length.
     eof: u64,
     report: Report,
-    /// Claimed extents: (addr, len, label).
-    claims: Vec<(u64, u64, String)>,
+    claims: Vec<Claim>,
     /// Referenced heap blocks: address → furthest referenced end.
     heap_blocks: BTreeMap<u64, u64>,
 }
@@ -48,7 +63,22 @@ impl<'a> Fsck<'a> {
 
     fn claim(&mut self, addr: u64, len: u64, label: impl Into<String>) {
         if len > 0 {
-            self.claims.push((addr, len, label.into()));
+            self.claims.push(Claim {
+                extent: Extent::of(addr, len),
+                label: label.into(),
+                dataset: None,
+            });
+        }
+    }
+
+    /// Claims bytes that hold `dataset`'s raw data.
+    fn claim_raw(&mut self, addr: u64, len: u64, label: String, dataset: &str) {
+        if len > 0 {
+            self.claims.push(Claim {
+                extent: Extent::of(addr, len),
+                label,
+                dataset: Some(dataset.to_owned()),
+            });
         }
     }
 
@@ -177,7 +207,7 @@ impl<'a> Fsck<'a> {
                     self.header_invalid(path, addr, "contiguous extent beyond allocated eof");
                     return;
                 }
-                self.claim(*ext, *size, format!("contiguous {path:?}"));
+                self.claim_raw(*ext, *size, format!("contiguous {path:?}"), path);
                 if varlen {
                     if let Some(buf) = self.slice(*ext, *size) {
                         self.check_varlen_slots(path, buf);
@@ -262,10 +292,11 @@ impl<'a> Fsck<'a> {
                 });
                 continue;
             }
-            self.claim(
+            self.claim_raw(
                 chunk_addr,
                 chunk_size as u64,
                 format!("chunk {ordinal} of {path:?}"),
+                path,
             );
             if varlen {
                 if let Some(buf) = self.slice(chunk_addr, chunk_size as u64) {
@@ -329,39 +360,58 @@ impl<'a> Fsck<'a> {
         *end = (*end).max(span);
     }
 
-    /// Sorts all claimed extents by address and flags any byte owned by two
-    /// structures. Tracks the furthest-reaching prior claim so overlaps with
-    /// non-adjacent extents are caught too.
+    /// Indexes every claimed extent in an interval tree and reports each
+    /// overlapping pair exactly once. Raw data of two *different*
+    /// datasets sharing bytes is a [`Finding::SharedRawExtent`]; every
+    /// other collision (metadata involved, or a dataset double-claiming
+    /// its own bytes) stays a generic [`Finding::OverlappingExtents`].
     fn check_overlaps(&mut self) {
         let heap: Vec<(u64, u64)> = self.heap_blocks.iter().map(|(&a, &s)| (a, s)).collect();
         for (addr, span) in heap {
             self.claim(addr, span, format!("heap block @{addr}"));
         }
-        self.claims.sort();
-        let mut widest: Option<usize> = None;
-        for i in 0..self.claims.len() {
-            let (addr, len, _) = &self.claims[i];
-            let (addr, end) = (*addr, addr.saturating_add(*len));
-            if let Some(w) = widest {
-                let (w_addr, w_len, w_label) = &self.claims[w];
-                let w_end = w_addr.saturating_add(*w_len);
-                if addr < w_end {
-                    let finding = Finding::OverlappingExtents {
-                        a: w_label.clone(),
-                        a_addr: *w_addr,
-                        a_len: *w_len,
-                        b: self.claims[i].2.clone(),
-                        b_addr: addr,
-                        b_len: *len,
-                    };
-                    self.report.push(finding);
+        self.claims
+            .sort_by(|a, b| (a.extent, a.label.as_str()).cmp(&(b.extent, b.label.as_str())));
+        let tree = IntervalTree::build(
+            self.claims
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.extent, i))
+                .collect(),
+        );
+        let mut findings = Vec::new();
+        for (i, c) in self.claims.iter().enumerate() {
+            tree.for_each_overlap(c.extent, |_, &j| {
+                if j <= i {
+                    return; // each unordered pair exactly once
                 }
-                if end > w_end {
-                    widest = Some(i);
-                }
-            } else {
-                widest = Some(i);
-            }
+                let other = &self.claims[j];
+                findings.push(match (&c.dataset, &other.dataset) {
+                    (Some(a), Some(b)) if a != b => {
+                        let x = c
+                            .extent
+                            .intersection(&other.extent)
+                            .expect("tree reported an overlap");
+                        Finding::SharedRawExtent {
+                            a_dataset: a.min(b).clone(),
+                            b_dataset: a.max(b).clone(),
+                            start: x.start,
+                            end: x.end,
+                        }
+                    }
+                    _ => Finding::OverlappingExtents {
+                        a: c.label.clone(),
+                        a_addr: c.extent.start,
+                        a_len: c.extent.len(),
+                        b: other.label.clone(),
+                        b_addr: other.extent.start,
+                        b_len: other.extent.len(),
+                    },
+                });
+            });
+        }
+        for f in findings {
+            self.report.push(f);
         }
     }
 }
@@ -523,6 +573,76 @@ mod tests {
                 .findings
                 .iter()
                 .any(|f| matches!(f, Finding::ChunkEntryOutOfBounds { .. })),
+            "{report}"
+        );
+    }
+
+    /// Address of `/grid/c`'s contiguous raw-data extent.
+    fn contiguous_addr(image: &[u8]) -> u64 {
+        let sb = Superblock::decode(&image[..meta::SUPERBLOCK_SIZE as usize]).unwrap();
+        let hdr = |addr: u64| {
+            ObjectHeader::decode(&image[addr as usize..(addr + meta::HEADER_BLOCK_SIZE) as usize])
+                .unwrap()
+        };
+        let table = |h: &ObjectHeader| {
+            group::decode_table(
+                &image[h.table_addr as usize..(h.table_addr + h.table_len) as usize],
+            )
+            .unwrap()
+        };
+        let root = hdr(sb.root_addr);
+        let grid = table(&root).into_iter().find(|e| e.name == "grid").unwrap();
+        let c = table(&hdr(grid.addr))
+            .into_iter()
+            .find(|e| e.name == "c")
+            .unwrap();
+        match hdr(c.addr).layout {
+            Some(LayoutMessage::Contiguous { addr, .. }) => addr,
+            other => panic!("expected contiguous layout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunk_aliasing_another_dataset_is_a_shared_raw_extent() {
+        let mut image = sample_image();
+        let idx = chunk_index_addr(&image) as usize;
+        // Point chunk 0 of /grid/k into /grid/c's contiguous storage: two
+        // datasets now own the same raw bytes.
+        let c_addr = contiguous_addr(&image);
+        image[idx + 4..idx + 12].copy_from_slice(&c_addr.to_le_bytes());
+        let report = fsck_bytes(&image);
+        assert!(
+            report.findings.iter().any(|f| matches!(
+                f,
+                Finding::SharedRawExtent { a_dataset, b_dataset, start, end }
+                    if a_dataset == "/grid/c" && b_dataset == "/grid/k"
+                        && *start == c_addr && *end > c_addr
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn chunk_aliasing_its_own_dataset_stays_a_generic_overlap() {
+        let mut image = sample_image();
+        let idx = chunk_index_addr(&image) as usize;
+        // Point chunk 1 of /grid/k at chunk 0's bytes: same dataset on
+        // both sides, so the sharper cross-dataset finding must not fire.
+        let chunk0 = u64::from_le_bytes(image[idx + 4..idx + 12].try_into().unwrap());
+        image[idx + 16..idx + 24].copy_from_slice(&chunk0.to_le_bytes());
+        let report = fsck_bytes(&image);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| matches!(f, Finding::OverlappingExtents { .. })),
+            "{report}"
+        );
+        assert!(
+            !report
+                .findings
+                .iter()
+                .any(|f| matches!(f, Finding::SharedRawExtent { .. })),
             "{report}"
         );
     }

@@ -1,0 +1,329 @@
+//! The happens-before engine: a partial order over recorded operations.
+//!
+//! Three sources of order compose here, mirroring how the workflow engine
+//! actually schedules work:
+//!
+//! 1. **Stage barriers** — the runner launches stage *i + 1* only after
+//!    every task of stage *i* returned, so any op of an earlier stage
+//!    happens-before any op of a later one. General dependency DAGs are
+//!    supported too ([`TaskHb::from_deps`]).
+//! 2. **Program order** — ops of one task within one attempt are totally
+//!    ordered by their recorded sequence.
+//! 3. **Retry attempts** — a failed attempt fully precedes its retry; ops
+//!    of attempt *k* happen-before ops of attempt *k + 1* of the same task.
+//!
+//! Two ops are **concurrent** iff neither happens-before the other; only
+//! concurrent ops can race. Task-level reachability is a transitive
+//! closure held as one bitset row per task, so op-level queries cost a
+//! couple of integer compares plus one bit test — cheap enough to sit on
+//! the million-op detector path.
+
+use std::collections::HashMap;
+
+/// Position of one recorded op: owning task (dense id), retry attempt,
+/// and program-order sequence within the attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpCtx {
+    /// Dense task id from [`TaskHb`].
+    pub task: usize,
+    /// Retry attempt ordinal (0 for the first attempt; persisted bundles
+    /// only ever hold the surviving attempt).
+    pub attempt: u32,
+    /// Program-order position within the attempt.
+    pub seq: u64,
+}
+
+impl OpCtx {
+    /// An op of the first attempt.
+    pub fn new(task: usize, seq: u64) -> Self {
+        Self {
+            task,
+            attempt: 0,
+            seq,
+        }
+    }
+}
+
+/// Task-level happens-before relation: dense task ids plus one transitive
+/// closure bitset row per task (`reach[b]` bit `a` set ⇔ `a` must finish
+/// before `b` starts).
+#[derive(Clone, Debug, Default)]
+pub struct TaskHb {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    reach: Vec<Vec<u64>>,
+    words: usize,
+}
+
+impl TaskHb {
+    /// Builds the relation from explicit dependency edges: `tasks[i]` is
+    /// `(name, deps)` where each dep is an index of a task that must
+    /// finish first. Out-of-range and self dependencies are ignored;
+    /// cycles cannot deadlock the walk (matching `hazard::ancestors`).
+    pub fn from_deps<S: AsRef<str>>(tasks: &[(S, Vec<usize>)]) -> Self {
+        let n = tasks.len();
+        let words = n.div_ceil(64);
+        let mut hb = Self {
+            names: tasks.iter().map(|(s, _)| s.as_ref().to_owned()).collect(),
+            index: HashMap::with_capacity(n),
+            reach: vec![vec![0u64; words]; n],
+            words,
+        };
+        for (i, name) in hb.names.iter().enumerate() {
+            hb.index.insert(name.clone(), i);
+        }
+
+        #[derive(Clone, Copy, PartialEq)]
+        enum State {
+            Unvisited,
+            InProgress,
+            Done,
+        }
+        fn visit<S: AsRef<str>>(
+            i: usize,
+            tasks: &[(S, Vec<usize>)],
+            state: &mut [State],
+            reach: &mut [Vec<u64>],
+        ) {
+            if state[i] != State::Unvisited {
+                return;
+            }
+            state[i] = State::InProgress;
+            for &d in &tasks[i].1 {
+                if d >= tasks.len() || d == i {
+                    continue;
+                }
+                visit(d, tasks, state, reach);
+                let row_d = reach[d].clone();
+                let row_i = &mut reach[i];
+                for (w, bits) in row_d.into_iter().enumerate() {
+                    row_i[w] |= bits;
+                }
+                row_i[d / 64] |= 1u64 << (d % 64);
+            }
+            state[i] = State::Done;
+        }
+        let mut state = vec![State::Unvisited; n];
+        for i in 0..n {
+            visit(i, tasks, &mut state, &mut hb.reach);
+        }
+        hb
+    }
+
+    /// Builds the relation from barrier-synchronized stages: every task of
+    /// stage *i* depends on every task of stage *i - 1* (transitively, on
+    /// all earlier stages).
+    pub fn from_stages<S: AsRef<str>>(stages: &[Vec<S>]) -> Self {
+        let mut tasks: Vec<(&str, Vec<usize>)> = Vec::new();
+        let mut prev: Vec<usize> = Vec::new();
+        for stage in stages {
+            let start = tasks.len();
+            for name in stage {
+                tasks.push((name.as_ref(), prev.clone()));
+            }
+            prev = (start..tasks.len()).collect();
+        }
+        Self::from_deps(&tasks)
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the relation is over zero tasks.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Dense id of a task by name.
+    pub fn task(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Name of a task by dense id.
+    pub fn name(&self, id: usize) -> &str {
+        &self.names[id]
+    }
+
+    /// Whether task `a` happens-before task `b` (strict: never reflexive).
+    pub fn happens_before(&self, a: usize, b: usize) -> bool {
+        a != b && self.words > 0 && (self.reach[b][a / 64] >> (a % 64)) & 1 == 1
+    }
+
+    /// Whether two distinct tasks are unordered — the precondition for any
+    /// of their ops to race.
+    pub fn concurrent(&self, a: usize, b: usize) -> bool {
+        a != b && !self.happens_before(a, b) && !self.happens_before(b, a)
+    }
+
+    /// Op-level happens-before: program order within an attempt, attempt
+    /// order within a task, task order across tasks.
+    pub fn op_happens_before(&self, a: OpCtx, b: OpCtx) -> bool {
+        if a.task == b.task {
+            a.attempt < b.attempt || (a.attempt == b.attempt && a.seq < b.seq)
+        } else {
+            self.happens_before(a.task, b.task)
+        }
+    }
+
+    /// Whether two ops are concurrent: neither happens-before the other.
+    pub fn ops_concurrent(&self, a: OpCtx, b: OpCtx) -> bool {
+        !self.op_happens_before(a, b) && !self.op_happens_before(b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_barriers_order_across_not_within() {
+        let hb = TaskHb::from_stages(&[vec!["a1", "a2"], vec!["b1"], vec!["c1", "c2"]]);
+        let (a1, a2) = (hb.task("a1").unwrap(), hb.task("a2").unwrap());
+        let b1 = hb.task("b1").unwrap();
+        let c2 = hb.task("c2").unwrap();
+        assert!(hb.happens_before(a1, b1));
+        assert!(hb.happens_before(a1, c2)); // transitive through the barrier
+        assert!(hb.happens_before(b1, c2));
+        assert!(!hb.happens_before(b1, a1));
+        assert!(hb.concurrent(a1, a2));
+        assert!(!hb.concurrent(a1, b1));
+        assert_eq!(hb.name(a1), "a1");
+        assert_eq!(hb.task("ghost"), None);
+    }
+
+    #[test]
+    fn op_order_combines_program_attempt_and_task() {
+        let hb = TaskHb::from_stages(&[vec!["a"], vec!["b"]]);
+        let (a, b) = (hb.task("a").unwrap(), hb.task("b").unwrap());
+        // Program order within one attempt.
+        assert!(hb.op_happens_before(OpCtx::new(a, 0), OpCtx::new(a, 1)));
+        assert!(!hb.op_happens_before(OpCtx::new(a, 1), OpCtx::new(a, 0)));
+        // Attempt boundaries dominate sequence numbers.
+        let retry = OpCtx {
+            task: a,
+            attempt: 1,
+            seq: 0,
+        };
+        assert!(hb.op_happens_before(OpCtx::new(a, 99), retry));
+        // Cross-task order comes from the task relation.
+        assert!(hb.op_happens_before(OpCtx::new(a, 5), OpCtx::new(b, 0)));
+        assert!(!hb.ops_concurrent(OpCtx::new(a, 5), OpCtx::new(b, 0)));
+        // An op is never concurrent with itself-later.
+        assert!(hb.ops_concurrent(OpCtx::new(a, 3), OpCtx::new(a, 3)));
+    }
+
+    #[test]
+    fn dep_dag_diamond() {
+        // d depends on b and c, both depend on a.
+        let tasks = [
+            ("a", vec![]),
+            ("b", vec![0]),
+            ("c", vec![0]),
+            ("d", vec![1, 2]),
+        ];
+        let hb = TaskHb::from_deps(&tasks);
+        assert!(hb.happens_before(0, 3));
+        assert!(hb.concurrent(1, 2));
+        assert!(!hb.happens_before(3, 0));
+        assert!(!hb.happens_before(0, 0));
+    }
+
+    #[test]
+    fn bad_indices_and_empty_are_harmless() {
+        let hb = TaskHb::from_deps(&[("solo", vec![7, 0])]);
+        assert!(!hb.happens_before(0, 0));
+        let empty = TaskHb::from_stages::<&str>(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random DAG: each task's deps point only at lower indices, so the
+    /// graph is acyclic by construction.
+    fn arb_dag() -> impl Strategy<Value = Vec<(String, Vec<usize>)>> {
+        (2usize..12).prop_flat_map(|n| {
+            let deps: Vec<_> = (0..n)
+                .map(|i| prop::collection::vec(0..n.max(2), 0..3.min(i + 1)))
+                .collect();
+            deps.prop_map(move |deps| {
+                deps.into_iter()
+                    .enumerate()
+                    .map(|(i, ds)| {
+                        let ds = ds.into_iter().filter(|&d| d < i).collect();
+                        (format!("t{i}"), ds)
+                    })
+                    .collect()
+            })
+        })
+    }
+
+    /// Random stage partition of up to 10 tasks.
+    fn arb_stages() -> impl Strategy<Value = Vec<Vec<String>>> {
+        prop::collection::vec(1usize..4, 1..5).prop_map(|sizes| {
+            let mut id = 0;
+            sizes
+                .into_iter()
+                .map(|k| {
+                    (0..k)
+                        .map(|_| {
+                            id += 1;
+                            format!("s{id}")
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Happens-before on arbitrary DAGs is irreflexive and transitive,
+        /// and concurrency is symmetric.
+        #[test]
+        fn hb_is_a_strict_partial_order(tasks in arb_dag()) {
+            let hb = TaskHb::from_deps(&tasks);
+            let n = hb.len();
+            for a in 0..n {
+                prop_assert!(!hb.happens_before(a, a), "irreflexive at {}", a);
+                for b in 0..n {
+                    prop_assert_eq!(hb.concurrent(a, b), hb.concurrent(b, a));
+                    for c in 0..n {
+                        if hb.happens_before(a, b) && hb.happens_before(b, c) {
+                            prop_assert!(
+                                hb.happens_before(a, c),
+                                "transitivity broke: {} -> {} -> {}", a, b, c
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        /// On stage DAGs, the closure agrees with plain stage-index
+        /// comparison: ordered iff strictly earlier stage.
+        #[test]
+        fn stage_hb_equals_stage_comparison(stages in arb_stages()) {
+            let hb = TaskHb::from_stages(&stages);
+            let mut stage_of = Vec::new();
+            for (s, stage) in stages.iter().enumerate() {
+                for _ in stage {
+                    stage_of.push(s);
+                }
+            }
+            for a in 0..hb.len() {
+                for b in 0..hb.len() {
+                    let want = a != b && stage_of[a] < stage_of[b];
+                    prop_assert_eq!(hb.happens_before(a, b), want);
+                }
+            }
+        }
+    }
+}

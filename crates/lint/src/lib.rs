@@ -2,14 +2,22 @@
 //!
 //! Static analysis for the DaYu stack: every pass here runs **without
 //! executing the simulator**, answering "is this workflow / trace / file
-//! safe?" from structure alone. Three passes share one diagnostic model
+//! safe?" from structure alone. The passes share one diagnostic model
 //! ([`Finding`] / [`Report`]):
 //!
 //! 1. **Dataflow-hazard analysis** ([`hazard`]) — over a replay plan
 //!    (`SimTask`s), a declared [`WorkflowSpec`](dayu_workflow::WorkflowSpec),
 //!    or a recorded [`TraceBundle`](dayu_trace::TraceBundle): write-write
 //!    races, reads before any ordered producer, reads after stage-out/drop,
-//!    and references to files nothing produces.
+//!    and references to files nothing produces. Recorded traces that carry
+//!    stage membership are judged by the happens-before engine ([`hb`]) at
+//!    byte-extent granularity ([`extent`]): only *concurrent* tasks whose
+//!    raw-data extents overlap race — disjoint-extent parallelism is safe
+//!    by construction and never flagged.
+//! 1b. **Dataset lifetime analysis** ([`lifetime`]) — use-after-close,
+//!    dataset-granularity read-before-write, and (opt-in) dead datasets
+//!    and redundant full overwrites, the waste class the advisor turns
+//!    into elision suggestions.
 //! 2. **Transform semantics-preservation verification** ([`verify`]) — the
 //!    optimizer's plan rewrites (`dayu_workflow::transform`) are checked to
 //!    introduce no new hazards and break no producer→consumer ordering;
@@ -20,18 +28,28 @@
 //!    inside the allocated file, live global-heap references, and no two
 //!    structures claiming the same bytes.
 //!
-//! CLI entry points: `dayu-analyze check <trace.jsonl>` (pass 1 over a
-//! recorded trace) and `dayu-h5ls --fsck <file>` (pass 3).
+//! CLI entry points: `dayu-analyze check <trace.{jsonl,dtb}>` (passes 1 and
+//! 1b over a recorded trace, with `--json` / `--deny <class>` for CI
+//! gating) and `dayu-h5ls --fsck <file>` (pass 3).
 
+pub mod extent;
 pub mod fsck;
 pub mod hazard;
+pub mod hb;
+pub mod lifetime;
 pub mod model;
 pub mod verify;
 
+pub use extent::{Extent, ExtentCatalog, ExtentSet, IntervalTree, TaskFileExtents};
 pub use fsck::fsck_bytes;
 pub use hazard::{
-    analyze_bundle, analyze_plan, analyze_sim_tasks, analyze_spec, plan_from_sim_tasks,
-    plan_from_spec, Access, AccessDecl, LintConfig, PlanTask,
+    analyze_bundle, analyze_plan, analyze_sim_tasks, analyze_spec, analyze_stream,
+    plan_from_sim_tasks, plan_from_spec, Access, AccessDecl, LintConfig, PlanTask, TraceChecker,
 };
+pub use hb::{OpCtx, TaskHb};
+pub use lifetime::LifetimePass;
 pub use model::{Finding, Report};
-pub use verify::{check, snapshot, snapshot_with, verified, PlanSnapshot, SemanticsViolation};
+pub use verify::{
+    check, snapshot, snapshot_with, verified, verified_with_extents, PlanSnapshot,
+    SemanticsViolation,
+};

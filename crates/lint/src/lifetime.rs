@@ -1,0 +1,432 @@
+//! Pass 1b — dataset lifetime analysis.
+//!
+//! Where the hazard pass asks "can these two tasks collide?", this pass
+//! follows each logical dataset through its recorded life and asks whether
+//! the workflow ever *uses* what it paid to store:
+//!
+//! * **Use-after-close** — a task issued data I/O on a file after closing
+//!   it (every open has been balanced by a close). Always a defect.
+//! * **Dataset read-before-write** — a task reads a dataset that other
+//!   tasks write, but no writer is ordered (happens-before) ahead of the
+//!   read. The dataset-granularity refinement of the file-level check.
+//! * **Dead dataset** — written but never read by anyone in the whole
+//!   recorded workflow: storage and I/O an in-situ rewrite could elide
+//!   (surfaced to the advisor as `ElideDataset`).
+//! * **Redundant overwrite** — an ordered later writer re-covered every
+//!   byte of a dataset before any task could have read the first version:
+//!   the first write was wasted I/O.
+//!
+//! The last two are *waste*, not unsafety — final outputs of a workflow
+//! are legitimately never read back — so they are reported only when
+//! [`crate::LintConfig::report_dead_data`] opts in.
+
+use crate::extent::{Extent, ExtentSet};
+use crate::hb::TaskHb;
+use crate::model::{Finding, Report};
+use dayu_trace::vfd::{AccessType, IoKind, VfdRecord};
+use dayu_trace::{FileKey, ObjectKey, TaskKey};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Open/close balance of one (task, file) pair.
+#[derive(Default)]
+struct OpenState {
+    depth: u32,
+    ever_closed: bool,
+}
+
+/// What one task wrote into one dataset.
+#[derive(Default)]
+struct WriterInfo {
+    cover: ExtentSet,
+    first_seq: u64,
+    bytes: u64,
+}
+
+/// Recorded raw-data life of one (file, dataset) pair.
+#[derive(Default)]
+struct ObjState {
+    writers: BTreeMap<TaskKey, WriterInfo>,
+    /// Reader task → sequence of its first raw read.
+    readers: BTreeMap<TaskKey, u64>,
+}
+
+/// Streaming dataset-lifetime analysis. Feed every VFD record through
+/// [`LifetimePass::op`] in trace order, then [`LifetimePass::finish`].
+#[derive(Default)]
+pub struct LifetimePass {
+    open: HashMap<(TaskKey, FileKey), OpenState>,
+    uac_seen: BTreeSet<(TaskKey, FileKey, ObjectKey)>,
+    uac: Vec<Finding>,
+    objects: BTreeMap<(FileKey, ObjectKey), ObjState>,
+}
+
+impl LifetimePass {
+    /// A fresh pass.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one record into the pass. `seq` is the task's program-order
+    /// position of the op (any per-task monotonic counter works).
+    pub fn op(&mut self, r: &VfdRecord, seq: u64) {
+        match r.kind {
+            IoKind::Open => {
+                self.open
+                    .entry((r.task.clone(), r.file.clone()))
+                    .or_default()
+                    .depth += 1;
+            }
+            IoKind::Close => {
+                let st = self
+                    .open
+                    .entry((r.task.clone(), r.file.clone()))
+                    .or_default();
+                st.depth = st.depth.saturating_sub(1);
+                st.ever_closed = true;
+            }
+            k if k.moves_data() => {
+                if let Some(st) = self.open.get(&(r.task.clone(), r.file.clone())) {
+                    if st.depth == 0
+                        && st.ever_closed
+                        && self
+                            .uac_seen
+                            .insert((r.task.clone(), r.file.clone(), r.object.clone()))
+                    {
+                        self.uac.push(Finding::UseAfterClose {
+                            file: r.file.as_str().to_owned(),
+                            task: r.task.as_str().to_owned(),
+                            dataset: r.object.as_str().to_owned(),
+                        });
+                    }
+                }
+                // Dataset bookkeeping tracks raw payload bytes only, and
+                // only when the VOL layer attributed the op to a real
+                // object (unattributed raw I/O carries the File-Metadata
+                // sentinel and has no dataset-level meaning).
+                if r.access == AccessType::RawData && r.object != ObjectKey::file_metadata() {
+                    let obj = self
+                        .objects
+                        .entry((r.file.clone(), r.object.clone()))
+                        .or_default();
+                    match r.kind {
+                        IoKind::Write => {
+                            let w = obj.writers.entry(r.task.clone()).or_insert(WriterInfo {
+                                cover: ExtentSet::new(),
+                                first_seq: seq,
+                                bytes: 0,
+                            });
+                            w.cover.insert(Extent::of(r.offset, r.len));
+                            w.bytes += r.len;
+                        }
+                        IoKind::Read => {
+                            obj.readers.entry(r.task.clone()).or_insert(seq);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Emits the pass's findings. `hb` (when the trace recorded stages)
+    /// enables the order-dependent checks; `report_dead_data` opts into
+    /// the waste class (dead datasets, redundant overwrites).
+    pub fn finish(&self, hb: Option<&TaskHb>, report_dead_data: bool) -> Report {
+        let mut report = Report::new();
+        for f in &self.uac {
+            report.push(f.clone());
+        }
+        for ((file, object), st) in &self.objects {
+            if report_dead_data && !st.writers.is_empty() && st.readers.is_empty() {
+                report.push(Finding::DeadDataset {
+                    file: file.as_str().to_owned(),
+                    dataset: object.as_str().to_owned(),
+                    writers: st.writers.keys().map(|t| t.as_str().to_owned()).collect(),
+                    bytes: st.writers.values().map(|w| w.bytes).sum(),
+                });
+            }
+            let Some(hb) = hb else {
+                continue;
+            };
+            self.read_before_write(hb, file, object, st, &mut report);
+            if report_dead_data {
+                self.redundant_overwrite(hb, file, object, st, &mut report);
+            }
+        }
+        report
+    }
+
+    /// Reads of `object` with no happens-before-ordered producer.
+    fn read_before_write(
+        &self,
+        hb: &TaskHb,
+        file: &FileKey,
+        object: &ObjectKey,
+        st: &ObjState,
+        report: &mut Report,
+    ) {
+        for (reader, &rseq) in &st.readers {
+            // Reading back one's own earlier write is production, not
+            // consumption.
+            if st.writers.get(reader).is_some_and(|w| w.first_seq < rseq) {
+                continue;
+            }
+            let foreign: Vec<&TaskKey> = st.writers.keys().filter(|w| *w != reader).collect();
+            if foreign.is_empty() {
+                continue;
+            }
+            let Some(rid) = hb.task(reader.as_str()) else {
+                // Unstaged reader: order is unknowable, stay silent rather
+                // than guess.
+                continue;
+            };
+            let mut all_known = true;
+            let mut ordered = false;
+            for w in &foreign {
+                match hb.task(w.as_str()) {
+                    None => all_known = false,
+                    Some(wid) => ordered |= hb.happens_before(wid, rid),
+                }
+            }
+            if all_known && !ordered {
+                report.push(Finding::DatasetReadBeforeWrite {
+                    file: file.as_str().to_owned(),
+                    dataset: object.as_str().to_owned(),
+                    reader: reader.as_str().to_owned(),
+                    writers: foreign.iter().map(|w| w.as_str().to_owned()).collect(),
+                });
+            }
+        }
+    }
+
+    /// An ordered later writer fully re-covered the dataset before anyone
+    /// could have read the first version. Provable only when every reader
+    /// is ordered before the first writer; one finding per dataset.
+    fn redundant_overwrite(
+        &self,
+        hb: &TaskHb,
+        file: &FileKey,
+        object: &ObjectKey,
+        st: &ObjState,
+        report: &mut Report,
+    ) {
+        for (a, ai) in &st.writers {
+            let Some(aid) = hb.task(a.as_str()) else {
+                continue;
+            };
+            let unread = st.readers.keys().all(|r| {
+                hb.task(r.as_str())
+                    .is_some_and(|rid| hb.happens_before(rid, aid))
+            });
+            if !unread {
+                continue;
+            }
+            for (b, bi) in &st.writers {
+                if a == b {
+                    continue;
+                }
+                let Some(bid) = hb.task(b.as_str()) else {
+                    continue;
+                };
+                if hb.happens_before(aid, bid) && bi.cover.covers(&ai.cover) {
+                    report.push(Finding::RedundantOverwrite {
+                        file: file.as_str().to_owned(),
+                        dataset: object.as_str().to_owned(),
+                        first: a.as_str().to_owned(),
+                        second: b.as_str().to_owned(),
+                        bytes: ai.cover.total_len(),
+                    });
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_trace::Timestamp;
+
+    fn rec(task: &str, file: &str, kind: IoKind, offset: u64, len: u64, object: &str) -> VfdRecord {
+        VfdRecord {
+            task: TaskKey::new(task),
+            file: FileKey::new(file),
+            kind,
+            offset,
+            len,
+            access: AccessType::RawData,
+            object: ObjectKey::new(object),
+            start: Timestamp(0),
+            end: Timestamp(1),
+        }
+    }
+
+    fn feed(pass: &mut LifetimePass, records: &[VfdRecord]) {
+        let mut seq: HashMap<TaskKey, u64> = HashMap::new();
+        for r in records {
+            let s = seq.entry(r.task.clone()).or_insert(0);
+            pass.op(r, *s);
+            *s += 1;
+        }
+    }
+
+    #[test]
+    fn data_op_after_close_is_flagged_once() {
+        let mut pass = LifetimePass::new();
+        feed(
+            &mut pass,
+            &[
+                rec("t", "f.h5", IoKind::Open, 0, 0, "/d"),
+                rec("t", "f.h5", IoKind::Write, 0, 8, "/d"),
+                rec("t", "f.h5", IoKind::Close, 0, 0, "/d"),
+                rec("t", "f.h5", IoKind::Read, 0, 8, "/d"),
+                rec("t", "f.h5", IoKind::Read, 8, 8, "/d"), // same (task,file,object): dedup
+            ],
+        );
+        let report = pass.finish(None, false);
+        assert_eq!(report.len(), 1, "{report}");
+        assert!(matches!(
+            &report.findings[0],
+            Finding::UseAfterClose { task, .. } if task == "t"
+        ));
+
+        // Reopening clears the state.
+        let mut pass = LifetimePass::new();
+        feed(
+            &mut pass,
+            &[
+                rec("t", "f.h5", IoKind::Open, 0, 0, "/d"),
+                rec("t", "f.h5", IoKind::Close, 0, 0, "/d"),
+                rec("t", "f.h5", IoKind::Open, 0, 0, "/d"),
+                rec("t", "f.h5", IoKind::Read, 0, 8, "/d"),
+            ],
+        );
+        assert!(pass.finish(None, false).is_clean());
+    }
+
+    #[test]
+    fn dead_dataset_is_opt_in_and_reads_anywhere_clear_it() {
+        let mut pass = LifetimePass::new();
+        feed(
+            &mut pass,
+            &[
+                rec("w", "f.h5", IoKind::Write, 0, 64, "/dead"),
+                rec("w", "f.h5", IoKind::Write, 64, 64, "/dead"),
+                rec("w", "f.h5", IoKind::Write, 0, 32, "/live"),
+                rec("r", "f.h5", IoKind::Read, 0, 32, "/live"),
+            ],
+        );
+        assert!(pass.finish(None, false).is_clean());
+        let report = pass.finish(None, true);
+        assert_eq!(report.len(), 1, "{report}");
+        assert!(matches!(
+            &report.findings[0],
+            Finding::DeadDataset { dataset, bytes, .. } if dataset == "/dead" && *bytes == 128
+        ));
+    }
+
+    #[test]
+    fn unordered_dataset_read_is_flagged_ordered_and_self_reads_are_not() {
+        let hb = TaskHb::from_stages(&[vec!["w", "peer"], vec!["late"]]);
+        let mut pass = LifetimePass::new();
+        feed(
+            &mut pass,
+            &[
+                rec("w", "f.h5", IoKind::Write, 0, 64, "/d"),
+                rec("w", "f.h5", IoKind::Read, 0, 64, "/d"), // self read-back
+                rec("peer", "f.h5", IoKind::Read, 0, 64, "/d"), // same stage: unordered
+                rec("late", "f.h5", IoKind::Read, 0, 64, "/d"), // next stage: ordered
+            ],
+        );
+        let report = pass.finish(Some(&hb), false);
+        assert_eq!(report.len(), 1, "{report}");
+        assert!(matches!(
+            &report.findings[0],
+            Finding::DatasetReadBeforeWrite { reader, writers, .. }
+                if reader == "peer" && writers == &["w".to_owned()]
+        ));
+        // Without stage knowledge the check stays silent.
+        assert!(pass.finish(None, false).is_clean());
+    }
+
+    #[test]
+    fn full_ordered_overwrite_of_unread_version_is_redundant() {
+        let hb = TaskHb::from_stages(&[vec!["first"], vec!["second"], vec!["reader"]]);
+        let mut pass = LifetimePass::new();
+        feed(
+            &mut pass,
+            &[
+                rec("first", "f.h5", IoKind::Write, 0, 100, "/d"),
+                rec("second", "f.h5", IoKind::Write, 0, 128, "/d"),
+                rec("reader", "f.h5", IoKind::Read, 0, 128, "/d"),
+            ],
+        );
+        let report = pass.finish(Some(&hb), true);
+        assert!(
+            report.findings.iter().any(|f| matches!(
+                f,
+                Finding::RedundantOverwrite { first, second, bytes, .. }
+                    if first == "first" && second == "second" && *bytes == 100
+            )),
+            "{report}"
+        );
+
+        // A read between the two versions makes the first write useful.
+        let hb = TaskHb::from_stages(&[vec!["first"], vec!["mid_reader"], vec!["second"]]);
+        let mut pass = LifetimePass::new();
+        feed(
+            &mut pass,
+            &[
+                rec("first", "f.h5", IoKind::Write, 0, 100, "/d"),
+                rec("mid_reader", "f.h5", IoKind::Read, 0, 100, "/d"),
+                rec("second", "f.h5", IoKind::Write, 0, 128, "/d"),
+            ],
+        );
+        let report = pass.finish(Some(&hb), true);
+        assert!(
+            !report
+                .findings
+                .iter()
+                .any(|f| matches!(f, Finding::RedundantOverwrite { .. })),
+            "{report}"
+        );
+
+        // A partial overwrite is not redundant either.
+        let hb = TaskHb::from_stages(&[vec!["first"], vec!["second"]]);
+        let mut pass = LifetimePass::new();
+        feed(
+            &mut pass,
+            &[
+                rec("first", "f.h5", IoKind::Write, 0, 100, "/d"),
+                rec("second", "f.h5", IoKind::Write, 0, 50, "/d"),
+            ],
+        );
+        let report = pass.finish(Some(&hb), true);
+        assert!(
+            !report
+                .findings
+                .iter()
+                .any(|f| matches!(f, Finding::RedundantOverwrite { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn unattributed_raw_io_carries_no_dataset_findings() {
+        let mut pass = LifetimePass::new();
+        feed(
+            &mut pass,
+            &[rec(
+                "w",
+                "f.h5",
+                IoKind::Write,
+                0,
+                64,
+                ObjectKey::file_metadata().as_str(),
+            )],
+        );
+        assert!(pass.finish(None, true).is_clean());
+    }
+}

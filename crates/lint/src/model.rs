@@ -110,6 +110,88 @@ pub enum Finding {
         /// What is wrong with the reference.
         detail: String,
     },
+    /// Raw-data storage of two *different* datasets claims the same file
+    /// bytes: writing either dataset silently corrupts the other. More
+    /// specific than [`Finding::OverlappingExtents`], which covers
+    /// metadata-involved or same-dataset collisions.
+    SharedRawExtent {
+        /// Lexicographically smaller of the two dataset paths.
+        a_dataset: String,
+        /// Lexicographically larger of the two dataset paths.
+        b_dataset: String,
+        /// Start of the shared byte range.
+        start: u64,
+        /// End (exclusive) of the shared byte range.
+        end: u64,
+    },
+    /// Two concurrent tasks touched overlapping raw-data byte extents of
+    /// one file, at least one side writing. Disjoint-extent concurrency is
+    /// deliberately *not* a finding — that is the safe chunk-parallel
+    /// pattern the paper encourages.
+    ExtentRace {
+        /// The contended file.
+        file: String,
+        /// Datasets the colliding extents belong to (sorted, deduped).
+        datasets: Vec<String>,
+        /// First offending task (lexicographically smaller name).
+        first: String,
+        /// Second offending task.
+        second: String,
+        /// `true` for write-write, `false` for write-read.
+        write_write: bool,
+        /// Start of the overlapping byte range (widest observed).
+        start: u64,
+        /// End (exclusive) of the overlapping byte range.
+        end: u64,
+    },
+    /// A task issued data I/O on a file after closing it.
+    UseAfterClose {
+        /// The closed file.
+        file: String,
+        /// The offending task.
+        task: String,
+        /// Dataset the late op was attributed to.
+        dataset: String,
+    },
+    /// A dataset somebody wrote but nobody — in the entire recorded
+    /// workflow — ever read: dead data an in-situ rewrite could elide.
+    DeadDataset {
+        /// File holding the dataset.
+        file: String,
+        /// The unread dataset.
+        dataset: String,
+        /// Tasks that wrote it.
+        writers: Vec<String>,
+        /// Raw bytes written to it.
+        bytes: u64,
+    },
+    /// A task reads a dataset that is written in the workflow, but no
+    /// writer is ordered before the read (dataset-granularity
+    /// read-before-write).
+    DatasetReadBeforeWrite {
+        /// File holding the dataset.
+        file: String,
+        /// The dataset read too early.
+        dataset: String,
+        /// The reading task.
+        reader: String,
+        /// The writers none of which happen-before the reader.
+        writers: Vec<String>,
+    },
+    /// An ordered later writer fully re-covered a dataset's bytes before
+    /// anyone read the first version: the first write was wasted I/O.
+    RedundantOverwrite {
+        /// File holding the dataset.
+        file: String,
+        /// The overwritten dataset.
+        dataset: String,
+        /// The task whose write was never consumed.
+        first: String,
+        /// The overwriting task.
+        second: String,
+        /// Bytes of the first write that were re-covered.
+        bytes: u64,
+    },
 }
 
 impl Finding {
@@ -126,7 +208,36 @@ impl Finding {
             Finding::OverlappingExtents { .. } => "overlapping-extents",
             Finding::ChunkEntryOutOfBounds { .. } => "chunk-out-of-bounds",
             Finding::DanglingHeapRef { .. } => "dangling-heap-ref",
+            Finding::SharedRawExtent { .. } => "shared-raw-extent",
+            Finding::ExtentRace { .. } => "extent-race",
+            Finding::UseAfterClose { .. } => "use-after-close",
+            Finding::DeadDataset { .. } => "dead-dataset",
+            Finding::DatasetReadBeforeWrite { .. } => "dataset-read-before-write",
+            Finding::RedundantOverwrite { .. } => "redundant-overwrite",
         }
+    }
+
+    /// Every category label the linter can emit, in a stable order. The
+    /// CLI validates `--deny` arguments against this list.
+    pub fn categories() -> &'static [&'static str] {
+        &[
+            "write-write-race",
+            "read-before-write",
+            "use-after-dispose",
+            "dangling-file-ref",
+            "ordering-lost",
+            "superblock-invalid",
+            "object-header-invalid",
+            "overlapping-extents",
+            "chunk-out-of-bounds",
+            "dangling-heap-ref",
+            "shared-raw-extent",
+            "extent-race",
+            "use-after-close",
+            "dead-dataset",
+            "dataset-read-before-write",
+            "redundant-overwrite",
+        ]
     }
 }
 
@@ -205,6 +316,70 @@ impl fmt::Display for Finding {
                 f,
                 "var-len descriptor in {dataset:?} references heap block {block_addr}: {detail}"
             ),
+            Finding::SharedRawExtent {
+                a_dataset,
+                b_dataset,
+                start,
+                end,
+            } => write!(
+                f,
+                "raw data of {a_dataset:?} and {b_dataset:?} share bytes [{start}, {end})"
+            ),
+            Finding::ExtentRace {
+                file,
+                datasets,
+                first,
+                second,
+                write_write,
+                start,
+                end,
+            } => {
+                let kind = if *write_write {
+                    "both write"
+                } else {
+                    "write/read"
+                };
+                write!(
+                    f,
+                    "tasks {first:?} and {second:?} concurrently {kind} bytes [{start}, {end}) of {file:?} (datasets {datasets:?})"
+                )
+            }
+            Finding::UseAfterClose {
+                file,
+                task,
+                dataset,
+            } => write!(
+                f,
+                "task {task:?} touches {dataset:?} in {file:?} after closing the file"
+            ),
+            Finding::DeadDataset {
+                file,
+                dataset,
+                writers,
+                bytes,
+            } => write!(
+                f,
+                "dataset {dataset:?} in {file:?} ({bytes} B written by {writers:?}) is never read"
+            ),
+            Finding::DatasetReadBeforeWrite {
+                file,
+                dataset,
+                reader,
+                writers,
+            } => write!(
+                f,
+                "task {reader:?} reads {dataset:?} in {file:?} with no ordered producer (written by {writers:?})"
+            ),
+            Finding::RedundantOverwrite {
+                file,
+                dataset,
+                first,
+                second,
+                bytes,
+            } => write!(
+                f,
+                "{second:?} fully overwrites the {bytes} B {first:?} wrote to {dataset:?} in {file:?} before anyone read them"
+            ),
         }
     }
 }
@@ -245,6 +420,58 @@ impl Report {
     /// Absorbs another report's findings.
     pub fn merge(&mut self, other: Report) {
         self.findings.extend(other.findings);
+    }
+
+    /// Findings per category, in stable category order.
+    pub fn counts(&self) -> std::collections::BTreeMap<&'static str, usize> {
+        let mut out = std::collections::BTreeMap::new();
+        for f in &self.findings {
+            *out.entry(f.category()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Findings whose category is in `denied` — the set a CI gate fails
+    /// on. An empty `denied` list denies every category (plain
+    /// `check` semantics).
+    pub fn denied<'a>(&'a self, denied: &[String]) -> Vec<&'a Finding> {
+        self.findings
+            .iter()
+            .filter(|f| denied.is_empty() || denied.iter().any(|d| d == f.category()))
+            .collect()
+    }
+
+    /// Structured machine-readable export: category + human message +
+    /// full structured fields per finding, plus per-category counts.
+    /// Stable field order (serde struct order), suitable for byte-exact
+    /// comparison across trace formats.
+    pub fn to_json(&self) -> String {
+        #[derive(Serialize)]
+        struct JsonFinding<'a> {
+            category: &'static str,
+            message: String,
+            data: &'a Finding,
+        }
+        #[derive(Serialize)]
+        struct JsonReport<'a> {
+            total: usize,
+            counts: std::collections::BTreeMap<&'static str, usize>,
+            findings: Vec<JsonFinding<'a>>,
+        }
+        let doc = JsonReport {
+            total: self.findings.len(),
+            counts: self.counts(),
+            findings: self
+                .findings
+                .iter()
+                .map(|f| JsonFinding {
+                    category: f.category(),
+                    message: f.to_string(),
+                    data: f,
+                })
+                .collect(),
+        };
+        serde_json::to_string_pretty(&doc).expect("report serialization is infallible")
     }
 }
 
@@ -294,5 +521,89 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("superblock-invalid"));
         assert!(text.contains("dangling-file-ref"));
+    }
+
+    #[test]
+    fn every_variant_category_is_listed() {
+        for c in [
+            Finding::ExtentRace {
+                file: "f".into(),
+                datasets: vec!["/d".into()],
+                first: "a".into(),
+                second: "b".into(),
+                write_write: true,
+                start: 0,
+                end: 8,
+            }
+            .category(),
+            Finding::UseAfterClose {
+                file: "f".into(),
+                task: "t".into(),
+                dataset: "/d".into(),
+            }
+            .category(),
+            Finding::DeadDataset {
+                file: "f".into(),
+                dataset: "/d".into(),
+                writers: vec![],
+                bytes: 0,
+            }
+            .category(),
+            Finding::DatasetReadBeforeWrite {
+                file: "f".into(),
+                dataset: "/d".into(),
+                reader: "r".into(),
+                writers: vec![],
+            }
+            .category(),
+            Finding::RedundantOverwrite {
+                file: "f".into(),
+                dataset: "/d".into(),
+                first: "a".into(),
+                second: "b".into(),
+                bytes: 4,
+            }
+            .category(),
+            Finding::SharedRawExtent {
+                a_dataset: "/a".into(),
+                b_dataset: "/b".into(),
+                start: 0,
+                end: 8,
+            }
+            .category(),
+        ] {
+            assert!(Finding::categories().contains(&c), "{c} missing");
+        }
+    }
+
+    #[test]
+    fn counts_deny_and_json_export() {
+        let mut r = Report::new();
+        r.push(Finding::ExtentRace {
+            file: "f".into(),
+            datasets: vec!["/d".into()],
+            first: "a".into(),
+            second: "b".into(),
+            write_write: false,
+            start: 16,
+            end: 32,
+        });
+        r.push(Finding::DeadDataset {
+            file: "f".into(),
+            dataset: "/unused".into(),
+            writers: vec!["a".into()],
+            bytes: 128,
+        });
+        assert_eq!(r.counts().get("extent-race"), Some(&1));
+        assert_eq!(r.denied(&[]).len(), 2);
+        assert_eq!(r.denied(&["extent-race".to_owned()]).len(), 1);
+        assert_eq!(r.denied(&["use-after-close".to_owned()]).len(), 0);
+        let json = r.to_json();
+        assert!(json.contains("\"total\": 2"));
+        assert!(json.contains("\"extent-race\""));
+        assert!(json.contains("\"ExtentRace\""));
+        // Machine-readable and stable: parses back as JSON.
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["counts"]["dead-dataset"], 1);
     }
 }

@@ -14,7 +14,17 @@
 //! [`verified`] wraps a transform application in snapshot → apply → check
 //! and rolls the plan back when the check fails, so an illegal
 //! `parallelize(producer, consumer)` leaves the plan untouched.
+//!
+//! When the snapshot carries an [`ExtentCatalog`] (recorded byte extents
+//! per task and file — see [`verified_with_extents`]), the check gains
+//! address-level precision in both directions: plan-granularity race
+//! regressions between tasks whose recorded extents are provably disjoint
+//! are *discharged* (the rewrite is safe even though both touch the
+//! file), while regressions whose extents really collide are upgraded to
+//! [`Finding::ExtentRace`] with the offending byte range — proof the
+//! rewrite introduces a new extent race.
 
+use crate::extent::ExtentCatalog;
 use crate::hazard::{analyze_sim_tasks, ancestors, plan_from_sim_tasks, Access, LintConfig};
 use crate::model::{Finding, Report};
 use dayu_sim::program::SimTask;
@@ -30,6 +40,17 @@ pub struct PlanSnapshot {
     /// Every (producer, consumer, file) ordering the plan guarantees.
     orderings: BTreeSet<(String, String, String)>,
     cfg: LintConfig,
+    /// Recorded per-(task, file) byte extents, when the plan replays a
+    /// recorded trace. Enables extent-level refinement in [`check`].
+    catalog: Option<ExtentCatalog>,
+}
+
+impl PlanSnapshot {
+    /// Attaches recorded extent ground truth to the snapshot.
+    pub fn with_extents(mut self, catalog: ExtentCatalog) -> Self {
+        self.catalog = Some(catalog);
+        self
+    }
 }
 
 fn finding_key(f: &Finding) -> String {
@@ -97,6 +118,7 @@ pub fn snapshot_with(tasks: &[SimTask], cfg: LintConfig) -> PlanSnapshot {
         baseline: report.findings.iter().map(finding_key).collect(),
         orderings: orderings(tasks),
         cfg,
+        catalog: None,
     }
 }
 
@@ -123,7 +145,83 @@ pub fn check(snap: &PlanSnapshot, after: &[SimTask]) -> Report {
             });
         }
     }
+    if let Some(cat) = &snap.catalog {
+        report = refine_with_extents(report, cat);
+    }
     report
+}
+
+/// Re-judges plan-granularity race regressions against recorded byte
+/// extents: provably disjoint pairs are discharged; pairs whose recorded
+/// extents collide become [`Finding::ExtentRace`] carrying the byte range
+/// (the plan layer knows files, not datasets, so the dataset list stays
+/// empty). Tasks the catalog never observed (transform-synthesized
+/// stage-in/out copies) keep their conservative plan-level finding.
+fn refine_with_extents(report: Report, cat: &ExtentCatalog) -> Report {
+    let mut refined = Report::new();
+    for f in report.findings {
+        match &f {
+            Finding::WriteWriteRace {
+                file,
+                first,
+                second,
+            } => {
+                if cat.provably_disjoint(first, second, file) {
+                    continue;
+                }
+                if let Some(x) = cat.collision(first, second, file) {
+                    refined.push(Finding::ExtentRace {
+                        file: file.clone(),
+                        datasets: Vec::new(),
+                        first: first.clone(),
+                        second: second.clone(),
+                        write_write: true,
+                        start: x.start,
+                        end: x.end,
+                    });
+                    continue;
+                }
+                refined.push(f);
+            }
+            Finding::ReadBeforeWrite {
+                file,
+                reader,
+                writers,
+            } => {
+                if writers
+                    .iter()
+                    .all(|w| cat.provably_disjoint(reader, w, file))
+                {
+                    continue;
+                }
+                refined.push(f);
+            }
+            Finding::OrderingLost {
+                file,
+                producer,
+                consumer,
+            } => {
+                if cat.provably_disjoint(producer, consumer, file) {
+                    continue;
+                }
+                if let Some(x) = cat.collision(producer, consumer, file) {
+                    refined.push(Finding::ExtentRace {
+                        file: file.clone(),
+                        datasets: Vec::new(),
+                        first: producer.clone().min(consumer.clone()),
+                        second: producer.clone().max(consumer.clone()),
+                        write_write: false,
+                        start: x.start,
+                        end: x.end,
+                    });
+                    continue;
+                }
+                refined.push(f);
+            }
+            _ => refined.push(f),
+        }
+    }
+    refined
 }
 
 /// A transform rejected for breaking dataflow semantics.
@@ -162,6 +260,29 @@ pub fn verified<R>(
     apply: impl FnOnce(&mut Vec<SimTask>) -> R,
 ) -> Result<R, SemanticsViolation> {
     let snap = snapshot(tasks);
+    run_verified(snap, tasks, transform, apply)
+}
+
+/// [`verified`], refined by recorded byte extents: a rewrite that makes
+/// two tasks concurrent is accepted when their recorded extents on the
+/// shared file are provably disjoint, and rejected with a
+/// [`Finding::ExtentRace`] when they actually collide.
+pub fn verified_with_extents<R>(
+    tasks: &mut Vec<SimTask>,
+    transform: &str,
+    catalog: &ExtentCatalog,
+    apply: impl FnOnce(&mut Vec<SimTask>) -> R,
+) -> Result<R, SemanticsViolation> {
+    let snap = snapshot(tasks).with_extents(catalog.clone());
+    run_verified(snap, tasks, transform, apply)
+}
+
+fn run_verified<R>(
+    snap: PlanSnapshot,
+    tasks: &mut Vec<SimTask>,
+    transform: &str,
+    apply: impl FnOnce(&mut Vec<SimTask>) -> R,
+) -> Result<R, SemanticsViolation> {
     let saved = tasks.clone();
     let out = apply(tasks);
     let report = check(&snap, tasks);
@@ -262,6 +383,79 @@ mod tests {
         })
         .unwrap();
         assert_eq!(tasks[2].deps, vec![0], "inherited the data dependency");
+    }
+
+    /// A catalog where `producer` wrote and `consumer` read the given
+    /// ranges of `f.h5`.
+    fn catalog(write: (u64, u64), read: (u64, u64)) -> ExtentCatalog {
+        use dayu_trace::vfd::{AccessType, IoKind, VfdRecord};
+        use dayu_trace::{FileKey, ObjectKey, TaskKey, Timestamp};
+        let mut b = dayu_trace::TraceBundle::new("wf");
+        let mut op = |task: &str, kind: IoKind, (offset, len): (u64, u64)| {
+            b.vfd.push(VfdRecord {
+                task: TaskKey::new(task),
+                file: FileKey::new("f.h5"),
+                kind,
+                offset,
+                len,
+                access: AccessType::RawData,
+                object: ObjectKey::new("/d"),
+                start: Timestamp(0),
+                end: Timestamp(1),
+            });
+        };
+        op("producer", IoKind::Write, write);
+        op("consumer", IoKind::Read, read);
+        ExtentCatalog::from_bundle(&b)
+    }
+
+    #[test]
+    fn disjoint_recorded_extents_discharge_a_parallelize() {
+        // Plan-level, producer→consumer on f.h5 looks like a dependency;
+        // the recorded extents show the consumer reads a disjoint region,
+        // so breaking the barrier is provably safe.
+        let mut tasks = chain();
+        let cat = catalog((0, 100), (4096, 100));
+        verified_with_extents(&mut tasks, "parallelize", &cat, |t| {
+            transform::parallelize(t, "producer", "consumer")
+        })
+        .unwrap();
+        assert!(tasks[1].deps.is_empty());
+    }
+
+    #[test]
+    fn colliding_recorded_extents_reject_as_extent_race() {
+        let mut tasks = chain();
+        let before = tasks.clone();
+        let cat = catalog((0, 100), (50, 100));
+        let err = verified_with_extents(&mut tasks, "parallelize", &cat, |t| {
+            transform::parallelize(t, "producer", "consumer")
+        })
+        .unwrap_err();
+        assert_eq!(tasks, before, "plan restored on rejection");
+        assert!(
+            err.report.findings.iter().any(|f| matches!(
+                f,
+                Finding::ExtentRace {
+                    start: 50,
+                    end: 100,
+                    ..
+                }
+            )),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_tasks_keep_the_conservative_plan_verdict() {
+        // The catalog never saw these tasks, so extents prove nothing and
+        // the plan-level rejection must stand.
+        let mut tasks = chain();
+        let cat = ExtentCatalog::default();
+        assert!(verified_with_extents(&mut tasks, "parallelize", &cat, |t| {
+            transform::parallelize(t, "producer", "consumer")
+        })
+        .is_err());
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! workloads pass with zero findings.
 
 use dayu_lint::{
-    analyze_bundle, analyze_sim_tasks, analyze_spec, verified, AccessDecl, Finding, LintConfig,
+    analyze_bundle, analyze_sim_tasks, analyze_spec, analyze_stream, verified, AccessDecl, Finding,
+    LintConfig,
 };
 use dayu_sim::program::{SimOp, SimTask};
 use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
@@ -11,7 +12,7 @@ use dayu_trace::time::Timestamp;
 use dayu_trace::vfd::{AccessType, IoKind, VfdRecord};
 use dayu_vfd::MemFs;
 use dayu_workflow::{record, to_sim_tasks, transform, Schedule, TaskSpec, WorkflowSpec};
-use dayu_workloads::{ddmd, pyflextrkr};
+use dayu_workloads::{arldm, ddmd, pyflextrkr};
 use std::collections::BTreeMap;
 
 fn vfd_op(task: &str, file: &str, kind: IoKind, start: u64, end: u64) -> VfdRecord {
@@ -149,6 +150,126 @@ fn clean_pyflextrkr_run_has_zero_findings() {
     let tasks = to_sim_tasks(&run, &schedule);
     let plan_report = analyze_sim_tasks(&tasks, &LintConfig::default());
     assert!(plan_report.is_clean(), "{plan_report}");
+}
+
+#[test]
+fn clean_arldm_run_has_zero_findings() {
+    let cfg = arldm::ArldmConfig {
+        stories: 8,
+        mean_image_bytes: 512,
+        mean_text_bytes: 64,
+        compute_ns: 10,
+        ..Default::default()
+    };
+    let fs = MemFs::new();
+    let run = record(&arldm::workflow(&cfg), &fs).unwrap();
+
+    let trace_report = analyze_bundle(&run.bundle, &LintConfig::default());
+    assert!(trace_report.is_clean(), "{trace_report}");
+
+    let schedule = Schedule::round_robin(&run, 2);
+    let tasks = to_sim_tasks(&run, &schedule);
+    let plan_report = analyze_sim_tasks(&tasks, &LintConfig::default());
+    assert!(plan_report.is_clean(), "{plan_report}");
+}
+
+#[test]
+fn check_reports_are_byte_identical_across_trace_formats() {
+    // The CI gate records once and lints both persisted formats; the
+    // verdict must not depend on the encoding.
+    let cfg = ddmd::DdmdConfig {
+        sim_tasks: 2,
+        iterations: 1,
+        contact_map_dim: 8,
+        point_cloud_points: 16,
+        scalar_series_len: 8,
+        compute_ns: 10,
+        ..Default::default()
+    };
+    let fs = MemFs::new();
+    let run = record(&ddmd::workflow(&cfg), &fs).unwrap();
+    let lint_cfg = LintConfig {
+        report_dead_data: true, // widest finding surface
+        ..LintConfig::default()
+    };
+    let want = analyze_bundle(&run.bundle, &lint_cfg).to_json();
+    let (from_jsonl, n_jsonl) =
+        analyze_stream(&run.bundle.to_jsonl_bytes()[..], &lint_cfg).unwrap();
+    let (from_binary, n_binary) =
+        analyze_stream(&run.bundle.to_binary_bytes()[..], &lint_cfg).unwrap();
+    assert_eq!(n_jsonl, n_binary, "same records in both encodings");
+    assert_eq!(from_jsonl.to_json(), want);
+    assert_eq!(from_binary.to_json(), want);
+}
+
+/// Deterministic extent generator for the planted-race tests (no RNG
+/// dependency; a multiplicative congruence scrambles the task index).
+fn chunk_extent(seed: u64, task: usize, chunk_bytes: u64) -> u64 {
+    let scrambled = (seed ^ task as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 64;
+    scrambled * chunk_bytes
+}
+
+fn staged_write(task: &str, offset: u64, len: u64, object: &str) -> VfdRecord {
+    VfdRecord {
+        task: TaskKey::new(task),
+        file: FileKey::new("grid.h5"),
+        kind: IoKind::Write,
+        offset,
+        len,
+        access: AccessType::RawData,
+        object: ObjectKey::new(object),
+        start: Timestamp(0),
+        end: Timestamp(100),
+    }
+}
+
+#[test]
+fn planted_overlapping_chunk_writes_are_caught_and_disjoint_ones_are_not() {
+    // One parallel stage of chunk writers, extents drawn from a seeded
+    // scramble. Baseline: all extents distinct → clean. Then plant a race
+    // by pointing task 3 at task 7's chunk: exactly that pair is flagged,
+    // with dataset-level diagnostics.
+    let seed = 0xDA1C;
+    let chunk = 4096u64;
+    let tasks: Vec<String> = (0..16).map(|i| format!("writer_{i:02}")).collect();
+    let mut offsets: Vec<u64> = (0..16).map(|i| chunk_extent(seed, i, chunk)).collect();
+    // The scramble may collide on its own; separate any duplicates first
+    // so the baseline is genuinely disjoint.
+    let mut seen = std::collections::BTreeSet::new();
+    for o in &mut offsets {
+        while !seen.insert(*o) {
+            *o += 64 * chunk;
+        }
+    }
+
+    let build = |offsets: &[u64]| {
+        let mut b = TraceBundle::new("chunked");
+        b.meta.stages = vec![tasks.iter().map(|t| TaskKey::new(t)).collect()];
+        for (i, t) in tasks.iter().enumerate() {
+            b.vfd
+                .push(staged_write(t, offsets[i], chunk, &format!("/chunk/{i}")));
+        }
+        b
+    };
+
+    let clean = analyze_bundle(&build(&offsets), &LintConfig::default());
+    assert!(clean.is_clean(), "disjoint concurrent writes: {clean}");
+
+    let mut racy = offsets.clone();
+    racy[3] = racy[7]; // the planted collision
+    let report = analyze_bundle(&build(&racy), &LintConfig::default());
+    assert_eq!(report.len(), 1, "exactly the planted pair races: {report}");
+    assert!(
+        report.findings.iter().any(|f| matches!(
+            f,
+            Finding::ExtentRace { file, datasets, first, second, write_write: true, .. }
+                if file == "grid.h5"
+                    && first == "writer_03"
+                    && second == "writer_07"
+                    && datasets == &vec!["/chunk/3".to_owned(), "/chunk/7".to_owned()]
+        )),
+        "{report}"
+    );
 }
 
 #[test]

@@ -10,7 +10,8 @@
 //! magic    8 bytes  89 'D' 'T' 'B' 0D 0A 1A <version>
 //! table    varint count, then per string: varint length + UTF-8 bytes
 //! frames   tag byte + frame body, repeated
-//!          01 meta   (workflow id, page_size, task_order, degraded_tasks)
+//!          01 meta   (workflow id, page_size, task_order, degraded_tasks,
+//!                     and from v2 the stage membership lists)
 //!          02 vol    (one VolRecord)
 //!          03 vfd    (one VfdRecord)
 //!          04 file   (one FileRecord)
@@ -30,7 +31,7 @@
 
 use crate::ids::{FileKey, ObjectKey, TaskKey};
 use crate::intern::Symbol;
-use crate::store::{TraceBundle, TraceMeta};
+use crate::store::{RecordSink, TraceBundle, TraceMeta};
 use crate::time::{Interval, Timestamp};
 use crate::vfd::{AccessType, FileRecord, FileStats, IoKind, VfdRecord};
 use crate::vol::{
@@ -39,8 +40,13 @@ use crate::vol::{
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 
-/// Section magic; the trailing byte is the format version.
-pub const MAGIC: [u8; 8] = [0x89, b'D', b'T', b'B', 0x0D, 0x0A, 0x1A, 0x01];
+/// Section magic; the trailing byte is the format version this build
+/// *writes*. The reader additionally accepts [`VERSION_V1`] sections, which
+/// differ only by the absence of stage lists in the meta frame.
+pub const MAGIC: [u8; 8] = [0x89, b'D', b'T', b'B', 0x0D, 0x0A, 0x1A, 0x02];
+
+/// The pre-stage-membership format version, still readable.
+pub const VERSION_V1: u8 = 0x01;
 
 const TAG_END: u8 = 0x00;
 const TAG_META: u8 = 0x01;
@@ -140,6 +146,11 @@ fn build_table(bundle: &TraceBundle) -> TableBuilder {
     }
     for k in &bundle.meta.degraded_tasks {
         t.add(k.symbol());
+    }
+    for stage in &bundle.meta.stages {
+        for k in stage {
+            t.add(k.symbol());
+        }
     }
     for r in &bundle.vol {
         t.add(r.task.symbol());
@@ -298,6 +309,13 @@ pub fn write_bundle<W: Write>(bundle: &TraceBundle, w: &mut W) -> io::Result<()>
     write_usize(w, bundle.meta.degraded_tasks.len())?;
     for k in &bundle.meta.degraded_tasks {
         write_varint(w, table.id(k.symbol()))?;
+    }
+    write_usize(w, bundle.meta.stages.len())?;
+    for stage in &bundle.meta.stages {
+        write_usize(w, stage.len())?;
+        for k in stage {
+            write_varint(w, table.id(k.symbol()))?;
+        }
     }
     for r in &bundle.vol {
         write_vol(w, &table, r)?;
@@ -490,11 +508,18 @@ fn read_file<R: BufRead>(r: &mut R, t: &Table) -> io::Result<FileRecord> {
 
 /// Reads a `.dtb` stream into a bundle. Multiple concatenated sections merge
 /// with the same semantics as concatenated JSONL: the first section's
-/// workflow name and page size win, later task orders and degraded sets
-/// extend the first, records append.
-pub fn read_bundles<R: BufRead>(mut r: R) -> io::Result<TraceBundle> {
-    let mut out = TraceBundle::default();
-    let mut saw_meta = false;
+/// workflow name and page size win, later task orders, degraded sets and
+/// stage lists extend the first, records append.
+pub fn read_bundles<R: BufRead>(r: R) -> io::Result<TraceBundle> {
+    TraceBundle::read_binary(r)
+}
+
+/// Streams a `.dtb` stream into `sink` frame by frame, never holding more
+/// than one record in memory. Section meta frames (including v1 sections,
+/// which carry no stage lists) are delivered through [`RecordSink::meta`];
+/// returns the number of data records delivered.
+pub fn stream_bundles<R: BufRead, S: RecordSink>(mut r: R, sink: &mut S) -> io::Result<u64> {
+    let mut records = 0u64;
     loop {
         // Section boundary: clean EOF ends the stream. EOF is detected by
         // peeking, not by catching `read_exact`'s UnexpectedEof — that would
@@ -508,10 +533,11 @@ pub fn read_bundles<R: BufRead>(mut r: R) -> io::Result<TraceBundle> {
         if magic[..7] != MAGIC[..7] {
             return Err(bad("not a DaYu binary trace (bad magic)"));
         }
-        if magic[7] != MAGIC[7] {
+        let version = magic[7];
+        if version != MAGIC[7] && version != VERSION_V1 {
             return Err(bad(format!(
-                "unsupported .dtb version {} (this build reads {})",
-                magic[7], MAGIC[7]
+                "unsupported .dtb version {version} (this build reads {} and {})",
+                VERSION_V1, MAGIC[7]
             )));
         }
         let n = read_len(&mut r, "string table", LEN_CAP)?;
@@ -537,38 +563,48 @@ pub fn read_bundles<R: BufRead>(mut r: R) -> io::Result<TraceBundle> {
                         task_order.push(TaskKey::from_symbol(table.sym(&mut r)?));
                     }
                     let n = read_len(&mut r, "degraded set", LEN_CAP)?;
-                    let mut degraded = Vec::with_capacity(n.min(65536));
+                    let mut degraded_tasks = Vec::with_capacity(n.min(65536));
                     for _ in 0..n {
-                        degraded.push(TaskKey::from_symbol(table.sym(&mut r)?));
+                        degraded_tasks.push(TaskKey::from_symbol(table.sym(&mut r)?));
                     }
-                    if saw_meta {
-                        for t in task_order {
-                            out.push_task(t);
+                    let mut stages = Vec::new();
+                    if version >= 0x02 {
+                        let n = read_len(&mut r, "stage list", LEN_CAP)?;
+                        stages.reserve(n.min(65536));
+                        for _ in 0..n {
+                            let m = read_len(&mut r, "stage", LEN_CAP)?;
+                            let mut stage = Vec::with_capacity(m.min(65536));
+                            for _ in 0..m {
+                                stage.push(TaskKey::from_symbol(table.sym(&mut r)?));
+                            }
+                            stages.push(stage);
                         }
-                        for t in degraded {
-                            out.mark_degraded(t);
-                        }
-                    } else {
-                        out.meta = TraceMeta {
-                            workflow,
-                            task_order,
-                            page_size,
-                            degraded_tasks: Vec::new(),
-                        };
-                        for t in degraded {
-                            out.mark_degraded(t);
-                        }
-                        saw_meta = true;
                     }
+                    sink.meta(TraceMeta {
+                        workflow,
+                        task_order,
+                        page_size,
+                        degraded_tasks,
+                        stages,
+                    })?;
                 }
-                TAG_VOL => out.vol.push(read_vol(&mut r, &table)?),
-                TAG_VFD => out.vfd.push(read_vfd(&mut r, &table)?),
-                TAG_FILE => out.files.push(read_file(&mut r, &table)?),
+                TAG_VOL => {
+                    records += 1;
+                    sink.vol(read_vol(&mut r, &table)?)?;
+                }
+                TAG_VFD => {
+                    records += 1;
+                    sink.vfd(read_vfd(&mut r, &table)?)?;
+                }
+                TAG_FILE => {
+                    records += 1;
+                    sink.file(read_file(&mut r, &table)?)?;
+                }
                 other => return Err(bad(format!("unknown frame tag {other:#04x}"))),
             }
         }
     }
-    Ok(out)
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -627,6 +663,49 @@ mod tests {
         bytes.push(0); // empty table
         let err = read_bundles(&bytes[..]).unwrap_err();
         assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn v1_sections_read_without_stages() {
+        // A pre-stage-membership section: identical layout minus the stage
+        // lists at the end of the meta frame.
+        let mut bytes = Vec::new();
+        let mut magic = MAGIC;
+        magic[7] = VERSION_V1;
+        bytes.extend_from_slice(&magic);
+        write_usize(&mut bytes, 2).unwrap();
+        for s in ["wf", "t1"] {
+            write_usize(&mut bytes, s.len()).unwrap();
+            bytes.extend_from_slice(s.as_bytes());
+        }
+        bytes.push(TAG_META);
+        write_varint(&mut bytes, 0).unwrap(); // workflow id
+        write_varint(&mut bytes, 4096).unwrap(); // page size
+        write_usize(&mut bytes, 1).unwrap(); // task order
+        write_varint(&mut bytes, 1).unwrap();
+        write_usize(&mut bytes, 0).unwrap(); // degraded set
+        bytes.push(TAG_END);
+        let b = read_bundles(&bytes[..]).unwrap();
+        assert_eq!(b.meta.workflow, "wf");
+        assert_eq!(b.meta.task_order, vec![TaskKey::new("t1")]);
+        assert!(b.meta.stages.is_empty());
+    }
+
+    #[test]
+    fn stages_round_trip_in_v2() {
+        let mut b = TraceBundle::new("wf");
+        b.push_task(TaskKey::new("a"));
+        b.push_task(TaskKey::new("b"));
+        b.meta.stages = vec![
+            vec![TaskKey::new("a")],
+            vec![TaskKey::new("b"), TaskKey::new("c")],
+        ];
+        let bytes = b.to_binary_bytes();
+        assert_eq!(bytes[7], MAGIC[7]);
+        let back = read_bundles(&bytes[..]).unwrap();
+        assert_eq!(back.meta.stages, b.meta.stages);
+        assert_eq!(back.meta.stage_of(&TaskKey::new("c")), Some(1));
+        assert_eq!(back.meta.stage_of(&TaskKey::new("zz")), None);
     }
 
     #[test]

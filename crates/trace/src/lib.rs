@@ -34,7 +34,7 @@ pub mod vol;
 pub use context::SharedContext;
 pub use ids::{FileKey, ObjectKey, TaskKey};
 pub use intern::Symbol;
-pub use store::{TraceBundle, TraceFormat, TraceMeta};
+pub use store::{RecordSink, TraceBundle, TraceFormat, TraceMeta};
 pub use time::{Clock, ManualClock, RealClock, Timestamp};
 pub use vfd::{AccessType, FileRecord, IoKind, VfdRecord};
 pub use vol::{ObjectDescription, ObjectKind, VolAccess, VolAccessKind, VolRecord};

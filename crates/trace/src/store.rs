@@ -87,6 +87,89 @@ pub struct TraceMeta {
     /// dataflow. Absent in pre-salvage traces, hence the serde default.
     #[serde(default)]
     pub degraded_tasks: Vec<TaskKey>,
+    /// Stage membership as recorded by the workflow engine: `stages[i]` lists
+    /// the tasks launched in barrier-synchronized stage `i`. This is the
+    /// ground truth the lint happens-before engine orders cross-task ops
+    /// with; traces written before stages were recorded (serde default:
+    /// empty) carry no cross-task ordering and analyzers must fall back to
+    /// wall-clock heuristics.
+    #[serde(default)]
+    pub stages: Vec<Vec<TaskKey>>,
+}
+
+impl TraceMeta {
+    /// Stage index of `task` per the recorded stage membership, or `None`
+    /// when stages were not recorded or the task is unknown (e.g. appeared
+    /// only in a concatenated fragment).
+    pub fn stage_of(&self, task: &TaskKey) -> Option<usize> {
+        self.stages.iter().position(|stage| stage.contains(task))
+    }
+}
+
+/// Streaming consumer of trace records, fed by [`TraceBundle::stream`] in
+/// on-disk order without materializing the whole bundle. Meta headers arrive
+/// before the records of their section; concatenated streams deliver one
+/// `meta` call per section, and the sink owns the merge policy.
+pub trait RecordSink {
+    /// One section header.
+    fn meta(&mut self, meta: TraceMeta) -> io::Result<()>;
+    /// One object-level (VOL) record.
+    fn vol(&mut self, rec: VolRecord) -> io::Result<()>;
+    /// One I/O-level (VFD) record.
+    fn vfd(&mut self, rec: VfdRecord) -> io::Result<()>;
+    /// One per-(task, file) summary record.
+    fn file(&mut self, rec: FileRecord) -> io::Result<()>;
+}
+
+/// Sink that rebuilds an in-memory [`TraceBundle`], applying the
+/// concatenation merge rules (first section's workflow name and page size
+/// win; later task orders, degraded sets and stages extend the first).
+#[derive(Default)]
+struct Collector {
+    out: TraceBundle,
+    saw_meta: bool,
+}
+
+impl RecordSink for Collector {
+    fn meta(&mut self, mut m: TraceMeta) -> io::Result<()> {
+        // Re-mark rather than splice the degraded set: traces written by
+        // older builds (or hand-edited) may carry it unsorted, and every
+        // read path must restore the sorted invariant mark_degraded
+        // relies on.
+        let degraded = std::mem::take(&mut m.degraded_tasks);
+        if self.saw_meta {
+            for t in m.task_order {
+                if !self.out.meta.task_order.contains(&t) {
+                    self.out.meta.task_order.push(t);
+                }
+            }
+            if self.out.meta.stages.is_empty() {
+                self.out.meta.stages = m.stages;
+            }
+        } else {
+            self.out.meta = m;
+            self.saw_meta = true;
+        }
+        for t in degraded {
+            self.out.mark_degraded(t);
+        }
+        Ok(())
+    }
+
+    fn vol(&mut self, rec: VolRecord) -> io::Result<()> {
+        self.out.vol.push(rec);
+        Ok(())
+    }
+
+    fn vfd(&mut self, rec: VfdRecord) -> io::Result<()> {
+        self.out.vfd.push(rec);
+        Ok(())
+    }
+
+    fn file(&mut self, rec: FileRecord) -> io::Result<()> {
+        self.out.files.push(rec);
+        Ok(())
+    }
 }
 
 /// All records collected from one workflow execution.
@@ -120,6 +203,7 @@ impl TraceBundle {
                 task_order: Vec::new(),
                 page_size: 4096,
                 degraded_tasks: Vec::new(),
+                stages: Vec::new(),
             },
             ..Default::default()
         }
@@ -156,6 +240,9 @@ impl TraceBundle {
         }
         for t in other.meta.degraded_tasks {
             self.mark_degraded(t);
+        }
+        if self.meta.stages.is_empty() {
+            self.meta.stages = other.meta.stages;
         }
         self.vol.extend(other.vol);
         self.vfd.extend(other.vfd);
@@ -229,8 +316,15 @@ impl TraceBundle {
     /// later `Meta` lines extend the task order (first workflow
     /// name/page-size win).
     pub fn read_jsonl<R: BufRead>(r: R) -> io::Result<Self> {
-        let mut out = TraceBundle::default();
-        let mut saw_meta = false;
+        let mut sink = Collector::default();
+        Self::stream_jsonl(r, &mut sink)?;
+        Ok(sink.out)
+    }
+
+    /// Streams a JSONL trace into `sink` one record at a time; returns the
+    /// number of data records (vol + vfd + file) delivered.
+    pub fn stream_jsonl<R: BufRead, S: RecordSink>(r: R, sink: &mut S) -> io::Result<u64> {
+        let mut records = 0u64;
         for line in r.lines() {
             let line = line?;
             if line.trim().is_empty() {
@@ -239,32 +333,37 @@ impl TraceBundle {
             let parsed: Line = serde_json::from_str(&line)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             match parsed {
-                Line::Meta(mut m) => {
-                    // Re-mark rather than splice the degraded set: traces
-                    // written by older builds (or hand-edited) may carry it
-                    // unsorted, and every read path must restore the sorted
-                    // invariant mark_degraded relies on.
-                    let degraded = std::mem::take(&mut m.degraded_tasks);
-                    if saw_meta {
-                        for t in m.task_order {
-                            if !out.meta.task_order.contains(&t) {
-                                out.meta.task_order.push(t);
-                            }
-                        }
-                    } else {
-                        out.meta = m;
-                        saw_meta = true;
-                    }
-                    for t in degraded {
-                        out.mark_degraded(t);
-                    }
+                Line::Meta(m) => sink.meta(m)?,
+                Line::Vol(v) => {
+                    records += 1;
+                    sink.vol(v)?;
                 }
-                Line::Vol(v) => out.vol.push(v),
-                Line::Vfd(v) => out.vfd.push(v),
-                Line::File(f) => out.files.push(f),
+                Line::Vfd(v) => {
+                    records += 1;
+                    sink.vfd(v)?;
+                }
+                Line::File(f) => {
+                    records += 1;
+                    sink.file(f)?;
+                }
             }
         }
-        Ok(out)
+        Ok(records)
+    }
+
+    /// Streams a trace in either format (auto-detected from the first byte)
+    /// into `sink`, without ever materializing a full [`TraceBundle`] —
+    /// the path the lint detector takes over million-record `.dtb` traces.
+    /// Returns the number of data records delivered.
+    pub fn stream<R: BufRead, S: RecordSink>(mut r: R, sink: &mut S) -> io::Result<u64> {
+        let head = r.fill_buf()?;
+        match head.first() {
+            None => Ok(0),
+            Some(&b) => match TraceFormat::detect(b) {
+                TraceFormat::Binary => crate::binary::stream_bundles(r, sink),
+                TraceFormat::Jsonl => Self::stream_jsonl(r, sink),
+            },
+        }
     }
 
     /// Round-trips through the JSONL encoding into a byte buffer (useful for
@@ -286,7 +385,9 @@ impl TraceBundle {
     /// Reads a bundle from the `.dtb` binary format. Concatenated sections
     /// merge with the same semantics as concatenated JSONL.
     pub fn read_binary<R: BufRead>(r: R) -> io::Result<Self> {
-        crate::binary::read_bundles(r)
+        let mut sink = Collector::default();
+        crate::binary::stream_bundles(r, &mut sink)?;
+        Ok(sink.out)
     }
 
     /// Round-trips through the binary encoding into a byte buffer.
@@ -308,15 +409,10 @@ impl TraceBundle {
     /// Reads a bundle in either format, auto-detected from the first byte
     /// ([`TraceFormat::detect`]). An empty stream is an empty bundle, as it
     /// is for JSONL.
-    pub fn load<R: BufRead>(mut r: R) -> io::Result<Self> {
-        let head = r.fill_buf()?;
-        match head.first() {
-            None => Ok(TraceBundle::default()),
-            Some(&b) => match TraceFormat::detect(b) {
-                TraceFormat::Binary => Self::read_binary(r),
-                TraceFormat::Jsonl => Self::read_jsonl(r),
-            },
-        }
+    pub fn load<R: BufRead>(r: R) -> io::Result<Self> {
+        let mut sink = Collector::default();
+        Self::stream(r, &mut sink)?;
+        Ok(sink.out)
     }
 
     /// All distinct tasks mentioned anywhere in the bundle, in task-order
@@ -509,6 +605,52 @@ mod tests {
         );
         assert!(back.is_degraded(&TaskKey::new("aa")));
         assert!(!back.is_degraded(&TaskKey::new("mm")));
+    }
+
+    #[test]
+    fn stages_survive_jsonl_and_merge() {
+        let mut a = bundle();
+        a.meta.stages = vec![vec![TaskKey::new("t1")], vec![TaskKey::new("t2")]];
+        let back = TraceBundle::read_jsonl(&a.to_jsonl_bytes()[..]).unwrap();
+        assert_eq!(back.meta.stages, a.meta.stages);
+        assert_eq!(back.meta.stage_of(&TaskKey::new("t2")), Some(1));
+
+        // Merging a stage-less fragment into a staged bundle keeps the
+        // stages; merging the other way adopts them.
+        let mut plain = bundle();
+        plain.merge(a.clone());
+        assert_eq!(plain.meta.stages, a.meta.stages);
+        a.merge(bundle());
+        assert_eq!(a.meta.stages.len(), 2);
+    }
+
+    #[test]
+    fn stream_counts_records_in_both_formats() {
+        struct Counter(u64);
+        impl RecordSink for Counter {
+            fn meta(&mut self, _: TraceMeta) -> io::Result<()> {
+                Ok(())
+            }
+            fn vol(&mut self, _: VolRecord) -> io::Result<()> {
+                self.0 += 1;
+                Ok(())
+            }
+            fn vfd(&mut self, _: VfdRecord) -> io::Result<()> {
+                self.0 += 1;
+                Ok(())
+            }
+            fn file(&mut self, _: FileRecord) -> io::Result<()> {
+                self.0 += 1;
+                Ok(())
+            }
+        }
+        let b = bundle();
+        for bytes in [b.to_jsonl_bytes(), b.to_binary_bytes()] {
+            let mut sink = Counter(0);
+            let n = TraceBundle::stream(&bytes[..], &mut sink).unwrap();
+            assert_eq!(n, 3);
+            assert_eq!(sink.0, 3);
+        }
     }
 
     #[test]

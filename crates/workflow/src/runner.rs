@@ -298,6 +298,14 @@ pub fn record_opts(spec: &WorkflowSpec, fs: &MemFs, opts: &RecordOptions) -> Res
         .unwrap_or_else(|| Arc::new(RealClock::new()));
     let mut bundle = TraceBundle::new(spec.name.clone());
     bundle.meta.page_size = opts.mapper.page_size;
+    // Persist stage membership into the trace itself: the lint
+    // happens-before engine derives task concurrency from it, so a
+    // recorded bundle stays analyzable without the originating spec.
+    bundle.meta.stages = spec
+        .stages
+        .iter()
+        .map(|s| s.tasks.iter().map(|t| TaskKey::new(&t.name)).collect())
+        .collect();
     let mut stage_of = HashMap::new();
     let mut compute_ns = HashMap::new();
     let mut stage_names = Vec::new();
@@ -425,6 +433,14 @@ mod tests {
         assert_eq!(run.compute_ns["producer"], 1_000);
         assert_eq!(run.stage_names, vec!["produce", "consume"]);
         assert_eq!(run.tasks_of_stage(1), vec!["consumer_0", "consumer_1"]);
+        // Stage membership travels inside the bundle for the lint HB engine.
+        assert_eq!(
+            run.bundle.meta.stages,
+            vec![
+                vec![TaskKey::new("producer")],
+                vec![TaskKey::new("consumer_0"), TaskKey::new("consumer_1")],
+            ]
+        );
         assert_eq!(run.stage_count(), 2);
         assert!(!run.degraded());
         assert!(run.failed_tasks().is_empty());
