@@ -99,6 +99,13 @@ pub enum Action {
         /// The task to re-run.
         task: String,
     },
+    /// Verify (fsck) a task's recovered output files and keep journaled
+    /// durability enabled for them: the task crashed mid-write and its
+    /// retry resumed from journal-recovered state.
+    AuditRecoveredOutputs {
+        /// The task whose retry resumed from recovered files.
+        task: String,
+    },
     /// Stop materializing a dataset whose bytes the recorded workflow
     /// never consumes (dead data, or a version fully overwritten before
     /// any read).
@@ -302,6 +309,16 @@ pub fn advise(findings: &[Finding]) -> Vec<Recommendation> {
                      bounds — re-record before applying optimizations to them"
                 ),
             }),
+            Finding::RecoveredTask { task } => out.push(Recommendation {
+                guideline: Guideline::Scheduling,
+                action: Action::AuditRecoveredOutputs { task: task.clone() },
+                rationale: format!(
+                    "{task} crashed mid-write and its retry resumed from \
+                     journal-recovered files; fsck its outputs and keep \
+                     journaled durability for this stage — its timing also \
+                     includes recovery replay, so treat it as an outlier"
+                ),
+            }),
         }
     }
     out
@@ -437,6 +454,9 @@ mod tests {
             Finding::DegradedTrace {
                 task: "crashed".into(),
             },
+            Finding::RecoveredTask {
+                task: "phoenix".into(),
+            },
         ];
         let recs = advise(&findings);
         assert_eq!(recs.len(), findings.len());
@@ -454,6 +474,20 @@ mod tests {
             }
         );
         assert!(recs[0].rationale.contains("salvaged"));
+    }
+
+    #[test]
+    fn recovered_task_asks_for_an_output_audit() {
+        let recs = advise(&[Finding::RecoveredTask {
+            task: "sim_1".into(),
+        }]);
+        assert_eq!(
+            recs[0].action,
+            Action::AuditRecoveredOutputs {
+                task: "sim_1".into()
+            }
+        );
+        assert!(recs[0].rationale.contains("journal-recovered"));
     }
 
     #[test]

@@ -184,6 +184,16 @@ pub enum Finding {
         /// The task whose trace was salvaged.
         task: String,
     },
+    /// A task crashed mid-write and a retry resumed from journal-recovered
+    /// file state. Unlike [`Finding::DegradedTrace`], the trace describes
+    /// the *successful* attempt, so graphs are complete — but the crash is
+    /// a durability signal: the task's output files depend on the journal
+    /// for integrity, and the timing of the recovered attempt includes
+    /// replay cost.
+    RecoveredTask {
+        /// The task whose retry resumed from recovered state.
+        task: String,
+    },
 }
 
 impl Finding {
@@ -204,6 +214,7 @@ impl Finding {
             Finding::RandomAccessContiguous { .. } => "random-access-contiguous",
             Finding::CoSchedulable { .. } => "co-schedulable",
             Finding::DegradedTrace { .. } => "degraded-trace",
+            Finding::RecoveredTask { .. } => "recovered-task",
         }
     }
 }
@@ -220,6 +231,14 @@ pub fn run_detectors(
     // a salvaged fragment is a lower bound, not the full dataflow).
     for t in &bundle.meta.degraded_tasks {
         out.push(Finding::DegradedTrace {
+            task: t.as_str().to_owned(),
+        });
+    }
+    // Recovered tasks next: their traces are complete (the successful
+    // retry), but the crash-and-replay history matters for durability and
+    // timing interpretation.
+    for t in &bundle.meta.recovered_tasks {
+        out.push(Finding::RecoveredTask {
             task: t.as_str().to_owned(),
         });
     }
@@ -1204,6 +1223,30 @@ mod tests {
         assert!(has(&f, "degraded-trace"));
         // An intact bundle never produces the finding.
         assert!(!has(&detect(&TraceBundle::new("clean")), "degraded-trace"));
+    }
+
+    #[test]
+    fn recovered_tasks_are_reported() {
+        let mut b = TraceBundle::new("wf");
+        b.push_task(TaskKey::new("phoenix"));
+        b.vfd = vec![rec(
+            "phoenix",
+            "out.h5",
+            "/d",
+            IoKind::Write,
+            64,
+            AccessType::RawData,
+            0,
+        )];
+        b.mark_recovered(TaskKey::new("phoenix"));
+        let f = detect(&b);
+        assert!(f.iter().any(|x| matches!(
+            x,
+            Finding::RecoveredTask { task } if task == "phoenix"
+        )));
+        // Recovered is not degraded: the trace is the complete retry.
+        assert!(!has(&f, "degraded-trace"));
+        assert!(!has(&detect(&TraceBundle::new("clean")), "recovered-task"));
     }
 
     #[test]

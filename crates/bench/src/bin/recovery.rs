@@ -1,0 +1,83 @@
+//! `recovery` — the tracked crash-consistency benchmark.
+//!
+//! ```text
+//! cargo run --release -p dayu-bench --bin recovery -- [--smoke] [--check] [--out PATH]
+//! ```
+//!
+//! Times the same per-dataset-commit workload under write-through and
+//! journaled durability, sweeps seeded torn-write crash points over the
+//! journaled run and verifies every recovered image, then writes
+//! `BENCH_recovery.json` (or `--out PATH`). `--check` exits non-zero on
+//! any verification failure, and in full mode additionally gates the
+//! journal overhead at ≤ 10% write-path slowdown.
+
+use dayu_bench::recovery::{check, report_json, run, RecoveryBenchConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = if args.iter().any(|a| a == "--smoke") {
+        RecoveryBenchConfig::smoke()
+    } else {
+        RecoveryBenchConfig::full()
+    };
+    let mut do_check = false;
+    let mut out_path = "BENCH_recovery.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {}
+            "--check" => do_check = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let report = run(&cfg);
+    println!(
+        "recovery: write-through {:.3} ms, journal {:.3} ms (ratio {:.3}); \
+         sweep {} recovered / {} bootstrap / {} unreached, max recover {:.3} ms",
+        report.write_through_ns as f64 / 1e6,
+        report.journal_ns as f64 / 1e6,
+        report.time_ratio(),
+        report.recovered_points,
+        report.bootstrap_points,
+        report.unreached_points,
+        report.max_recover_ns as f64 / 1e6,
+    );
+    let doc = report_json(&cfg, &report);
+    match serde_json::to_string_pretty(&doc) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&out_path, text + "\n") {
+                eprintln!("recovery: cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {out_path}");
+        }
+        Err(e) => {
+            eprintln!("recovery: cannot serialize report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if do_check {
+        let failures = check(&cfg, &report);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("recovery check FAILED: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("recovery check passed: sweep verified, overhead within budget");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("recovery: {err}");
+    eprintln!("usage: recovery [--smoke] [--check] [--out PATH]");
+    ExitCode::FAILURE
+}

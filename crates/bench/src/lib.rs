@@ -18,6 +18,7 @@
 //! | [`ablation`] | design ablations (context channel, replay vs coarse model) |
 //! | [`pipeline`] | tracked record → save → load → analyze benchmark (`BENCH_pipeline.json`) |
 //! | [`lint`] | tracked detector-throughput benchmark (`BENCH_lint.json`) |
+//! | [`recovery`] | tracked journal-overhead + crash-recovery benchmark (`BENCH_recovery.json`) |
 //!
 //! Absolute numbers differ from the paper (the substrate is a simulator,
 //! not the authors' testbed); regenerators aim to reproduce the *shape*:
@@ -33,6 +34,7 @@ pub mod fig13;
 pub mod fig_graphs;
 pub mod lint;
 pub mod pipeline;
+pub mod recovery;
 pub mod tables;
 
 /// How big to run a regenerator.

@@ -1,0 +1,384 @@
+//! Crash-consistency benchmark: **journal overhead + recovery sweep**.
+//!
+//! Two questions the durability contract must answer with numbers:
+//!
+//! 1. *What does the journal cost on the write path?* The same workload
+//!    (N contiguous datasets, one flush per dataset so every commit is an
+//!    epoch) runs under [`Durability::WriteThrough`] and
+//!    [`Durability::Journal`]; min-of-reps wall times give the overhead
+//!    ratio the CI gate holds at ≤ 10% (`--check`, full mode).
+//! 2. *Does recovery actually work, and how fast?* A seeded torn-write
+//!    crash sweep kills the journaled workload at every crash point in a
+//!    window, then times [`recover_bytes`] over each torn image and
+//!    verifies the invariant behind the crash-matrix test: every
+//!    recovered image is fsck-clean and every committed dataset
+//!    round-trips.
+//!
+//! Emits the tracked `BENCH_recovery.json`.
+
+use crate::Scale;
+use dayu_hdf::journal::recover_bytes;
+use dayu_hdf::meta::SUPERBLOCK_SIZE;
+use dayu_hdf::{AccessType, DataType, DatasetBuilder, Durability, FileOptions, H5File, Result};
+use dayu_lint::fsck_bytes;
+use dayu_vfd::{CrashSchedule, CrashVfd, MemFs, Vfd};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// Shape of the write workload and crash sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryBenchConfig {
+    /// Run size.
+    pub scale: Scale,
+    /// Datasets written (one epoch each: flush after every dataset).
+    pub datasets: usize,
+    /// Payload bytes per dataset.
+    pub dataset_bytes: usize,
+    /// Timed repetitions per durability mode (min wins).
+    pub reps: usize,
+    /// Crash points swept (write-op indices `1..=crash_points`).
+    pub crash_points: u64,
+    /// Seed for the torn-write prefixes.
+    pub seed: u64,
+}
+
+impl RecoveryBenchConfig {
+    /// Quick parameters for tests and the CI smoke job.
+    pub fn smoke() -> Self {
+        Self {
+            scale: Scale::Quick,
+            datasets: 16,
+            dataset_bytes: 64 * 1024,
+            reps: 5,
+            crash_points: 24,
+            seed: 0x5eed_da1,
+        }
+    }
+
+    /// The tracked run: enough volume that the overhead ratio is stable.
+    pub fn full() -> Self {
+        Self {
+            scale: Scale::Full,
+            datasets: 256,
+            dataset_bytes: 64 * 1024,
+            reps: 7,
+            crash_points: 96,
+            seed: 0x5eed_da1,
+        }
+    }
+}
+
+/// The deterministic payload of dataset `i` (8-byte words).
+fn pattern(i: usize, words: usize) -> Vec<u64> {
+    (0..words as u64).map(|w| ((i as u64) << 32) | w).collect()
+}
+
+/// Writes the workload through `vfd`: `datasets` contiguous u64 datasets,
+/// flushing after each so every dataset is its own commit epoch. Each raw
+/// extent is written exactly once, so a crash in any later epoch cannot
+/// tear previously committed data (the metadata-only journal's contract).
+fn write_workload<V: Vfd + 'static>(
+    vfd: V,
+    durability: Durability,
+    cfg: &RecoveryBenchConfig,
+) -> Result<()> {
+    let f = H5File::create(
+        vfd,
+        "bench.h5",
+        FileOptions::default().with_durability(durability),
+    )?;
+    let words = cfg.dataset_bytes / 8;
+    for i in 0..cfg.datasets {
+        let mut ds = f.root().create_dataset(
+            &format!("d{i:04}"),
+            DatasetBuilder::new(DataType::Int { width: 8 }, &[words as u64]),
+        )?;
+        ds.write_u64s(&pattern(i, words))?;
+        ds.close()?;
+        f.flush()?;
+    }
+    f.close()
+}
+
+/// Min-of-reps wall time of the workload under `durability`, nanoseconds.
+fn time_workload(durability: Durability, cfg: &RecoveryBenchConfig) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..cfg.reps.max(1) {
+        let fs = MemFs::new();
+        let t0 = Instant::now();
+        write_workload(fs.create("bench.h5"), durability, cfg).expect("workload");
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// Outcome of one crash point in the sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PointOutcome {
+    /// Recovery produced an fsck-clean image and every committed dataset
+    /// round-tripped.
+    Recovered,
+    /// The crash predates the first durable superblock (torn bootstrap):
+    /// there is no committed state to recover, by design.
+    Bootstrap,
+    /// The workload outran the sweep window (no crash fired).
+    NotReached,
+}
+
+/// One measured run: overhead ratio plus the crash sweep.
+#[derive(Clone, Debug)]
+pub struct RecoveryReportDoc {
+    /// Baseline (write-through) wall time, nanoseconds.
+    pub write_through_ns: u64,
+    /// Journaled wall time, nanoseconds.
+    pub journal_ns: u64,
+    /// Crash points that recovered to a clean, verified image.
+    pub recovered_points: u64,
+    /// Crash points that tore the pre-commit bootstrap (no durable state).
+    pub bootstrap_points: u64,
+    /// Crash points the workload finished before reaching.
+    pub unreached_points: u64,
+    /// Worst-case single-image recovery time, nanoseconds.
+    pub max_recover_ns: u64,
+    /// Journal frames replayed across the sweep.
+    pub replayed_frames: u64,
+    /// Verification failures (must be zero).
+    pub failures: Vec<String>,
+}
+
+impl RecoveryReportDoc {
+    /// Journaled wall time over the write-through baseline.
+    pub fn time_ratio(&self) -> f64 {
+        self.journal_ns as f64 / self.write_through_ns.max(1) as f64
+    }
+
+    fn to_json(&self) -> Value {
+        json!({
+            "write_through_ns": self.write_through_ns,
+            "journal_ns": self.journal_ns,
+            "time_ratio": self.time_ratio(),
+            "sweep": {
+                "recovered_points": self.recovered_points,
+                "bootstrap_points": self.bootstrap_points,
+                "unreached_points": self.unreached_points,
+                "max_recover_ns": self.max_recover_ns,
+                "replayed_frames": self.replayed_frames,
+            },
+            "failures": self.failures,
+        })
+    }
+}
+
+/// Crashes the journaled workload at `crash_at`, recovers the torn image,
+/// and verifies the invariant. Returns the outcome plus recovery stats.
+fn sweep_point(
+    cfg: &RecoveryBenchConfig,
+    crash_at: u64,
+    failures: &mut Vec<String>,
+) -> (PointOutcome, u64, u64) {
+    let fs = MemFs::new();
+    let ctrl = CrashSchedule::new(cfg.seed)
+        .with_crash_at(crash_at)
+        .torn()
+        .controller_for("bench");
+    let vfd = CrashVfd::with_controller(fs.create("bench.h5"), ctrl);
+    let outcome = write_workload(vfd, Durability::Journal, cfg);
+    if outcome.is_ok() {
+        return (PointOutcome::NotReached, 0, 0);
+    }
+    let mut image = fs.snapshot("bench.h5").unwrap_or_default();
+    if (image.len() as u64) < SUPERBLOCK_SIZE {
+        return (PointOutcome::Bootstrap, 0, 0);
+    }
+    let t0 = Instant::now();
+    let recovered = recover_bytes(&mut image);
+    let recover_ns = t0.elapsed().as_nanos() as u64;
+    let report = match recovered {
+        Ok((report, _)) => report,
+        // Only the torn gen-1 bootstrap superblock is unrecoverable.
+        Err(_) => return (PointOutcome::Bootstrap, recover_ns, 0),
+    };
+    if !fsck_bytes(&image).is_clean() {
+        failures.push(format!(
+            "crash point {crash_at}: recovered image not fsck-clean"
+        ));
+    }
+    verify_committed(&image, cfg, crash_at, failures);
+    (
+        PointOutcome::Recovered,
+        recover_ns,
+        report.replayed_frames as u64,
+    )
+}
+
+/// Reopens a recovered image and checks every dataset present round-trips
+/// its full committed payload (commits are all-or-nothing: a dataset that
+/// survives recovery must be complete).
+fn verify_committed(
+    image: &[u8],
+    cfg: &RecoveryBenchConfig,
+    crash_at: u64,
+    failures: &mut Vec<String>,
+) {
+    let fs = MemFs::new();
+    {
+        let mut v = fs.create("r.h5");
+        v.write(0, image, AccessType::RawData).expect("stage image");
+    }
+    let f = match H5File::open(fs.open("r.h5"), "r.h5", FileOptions::default()) {
+        Ok(f) => f,
+        Err(e) => {
+            failures.push(format!(
+                "crash point {crash_at}: recovered image does not open: {e}"
+            ));
+            return;
+        }
+    };
+    let words = cfg.dataset_bytes / 8;
+    for (name, _) in f.root().list().unwrap_or_default() {
+        let Some(i) = name.strip_prefix('d').and_then(|s| s.parse::<usize>().ok()) else {
+            continue;
+        };
+        match f.root().open_dataset(&name).and_then(|mut d| d.read_u64s()) {
+            Ok(data) if data == pattern(i, words) => {}
+            Ok(_) => failures.push(format!(
+                "crash point {crash_at}: committed dataset {name} corrupt after recovery"
+            )),
+            Err(e) => failures.push(format!(
+                "crash point {crash_at}: committed dataset {name} unreadable: {e}"
+            )),
+        }
+    }
+    let _ = f.close();
+}
+
+/// Times both durability modes and runs the crash sweep.
+pub fn run(cfg: &RecoveryBenchConfig) -> RecoveryReportDoc {
+    let write_through_ns = time_workload(Durability::WriteThrough, cfg);
+    let journal_ns = time_workload(Durability::Journal, cfg);
+
+    let mut failures = Vec::new();
+    let (mut recovered, mut bootstrap, mut unreached) = (0u64, 0u64, 0u64);
+    let (mut max_recover_ns, mut replayed_frames) = (0u64, 0u64);
+    for crash_at in 1..=cfg.crash_points {
+        let (outcome, ns, frames) = sweep_point(cfg, crash_at, &mut failures);
+        match outcome {
+            PointOutcome::Recovered => recovered += 1,
+            PointOutcome::Bootstrap => bootstrap += 1,
+            PointOutcome::NotReached => unreached += 1,
+        }
+        max_recover_ns = max_recover_ns.max(ns);
+        replayed_frames += frames;
+    }
+    RecoveryReportDoc {
+        write_through_ns,
+        journal_ns,
+        recovered_points: recovered,
+        bootstrap_points: bootstrap,
+        unreached_points: unreached,
+        max_recover_ns,
+        replayed_frames,
+        failures,
+    }
+}
+
+/// Renders the tracked `BENCH_recovery.json` document.
+pub fn report_json(cfg: &RecoveryBenchConfig, report: &RecoveryReportDoc) -> Value {
+    json!({
+        "bench": "recovery",
+        "mode": match cfg.scale { Scale::Quick => "smoke", Scale::Full => "full" },
+        "shape": {
+            "datasets": cfg.datasets,
+            "dataset_bytes": cfg.dataset_bytes,
+            "reps": cfg.reps,
+            "crash_points": cfg.crash_points,
+            "seed": cfg.seed,
+        },
+        "recovery": report.to_json(),
+    })
+}
+
+/// The `--check` gate: the sweep must be correct at every scale, and the
+/// full-size run holds the journal-overhead budget (≤ 10% write-path
+/// slowdown vs the no-journal baseline; smoke volumes are too small for a
+/// stable ratio, so the budget gates full mode only).
+pub fn check(cfg: &RecoveryBenchConfig, report: &RecoveryReportDoc) -> Vec<String> {
+    let mut failures = report.failures.clone();
+    if report.recovered_points == 0 {
+        failures.push("crash sweep never exercised recovery".to_owned());
+    }
+    if matches!(cfg.scale, Scale::Full) && report.time_ratio() > 1.10 {
+        failures.push(format!(
+            "journal overhead {:.1}% exceeds the 10% budget",
+            (report.time_ratio() - 1.0) * 100.0
+        ));
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_recovers_and_verifies() {
+        let cfg = RecoveryBenchConfig::smoke();
+        let r = run(&cfg);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+        assert!(r.recovered_points > 0, "sweep must hit recovery: {r:?}");
+        assert_eq!(
+            r.recovered_points + r.bootstrap_points + r.unreached_points,
+            cfg.crash_points
+        );
+        assert!(r.write_through_ns > 0 && r.journal_ns > 0);
+    }
+
+    #[test]
+    fn report_document_shape() {
+        let cfg = RecoveryBenchConfig::smoke();
+        let r = run(&cfg);
+        let doc = report_json(&cfg, &r);
+        assert_eq!(doc["bench"], "recovery");
+        assert_eq!(doc["mode"], "smoke");
+        assert!(doc["recovery"]["time_ratio"].as_f64().unwrap() > 0.0);
+        assert!(
+            doc["recovery"]["sweep"]["recovered_points"]
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+        assert_eq!(doc["recovery"]["failures"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn check_gates_only_what_it_should() {
+        let cfg = RecoveryBenchConfig::smoke();
+        let good = RecoveryReportDoc {
+            write_through_ns: 100,
+            journal_ns: 300, // 3x — ignored at smoke scale
+            recovered_points: 4,
+            bootstrap_points: 1,
+            unreached_points: 0,
+            max_recover_ns: 10,
+            replayed_frames: 12,
+            failures: Vec::new(),
+        };
+        assert!(check(&cfg, &good).is_empty());
+
+        let full = RecoveryBenchConfig::full();
+        let slow = RecoveryReportDoc {
+            journal_ns: 150,
+            ..good.clone()
+        };
+        assert!(check(&full, &slow).iter().any(|f| f.contains("10% budget")));
+
+        let never = RecoveryReportDoc {
+            recovered_points: 0,
+            journal_ns: 105,
+            ..good
+        };
+        assert!(check(&full, &never)
+            .iter()
+            .any(|f| f.contains("never exercised")));
+    }
+}

@@ -17,17 +17,31 @@
 //! dayu-analyze record ddmd                 # record a built-in workload, analyze it
 //! dayu-analyze record ddmd --format binary --out run/    # persist as trace.dtb
 //! dayu-analyze record arldm --chaos-seed 7 --retries 3 --fault-rate 0.05 --out run/
+//! dayu-analyze record ddmd --crash-seed 11 --crash-at 40 --durability journal --resume
+//!                                          # torn-write crash + journaled recovery resume
 //! ```
 //!
 //! `record` executes one of the paper's workloads under full
-//! instrumentation — optionally under seeded chaos injection with retry —
-//! prints per-task outcomes, and analyzes whatever trace survived. Exit
-//! status: 0 clean, 3 when the trace is degraded (salvaged fragments).
+//! instrumentation — optionally under seeded chaos injection with retry,
+//! or a seeded torn-write power-loss crash — prints per-task outcomes,
+//! audits every surviving file image with fsck, and analyzes whatever
+//! trace survived. Exit status:
+//!
+//! * `0` — every task completed and every file image is fsck-clean
+//!   (tasks that resumed from journal recovery still count as clean:
+//!   their traces are complete and carry a `Recovered` marker);
+//! * `3` — degraded: at least one task exhausted its retries and its
+//!   trace is a salvaged fragment, but every surviving image is intact
+//!   or repairable (`dayu-h5ls --fsck --repair` can rebuild it);
+//! * `4` — unrecoverable corruption: at least one surviving file image
+//!   has no valid superblock slot, so no metadata can be trusted and
+//!   repair cannot rebuild it.
 
 use dayu_analyzer::{export, resolution, Analysis, DetectorConfig, SdgOptions};
-use dayu_lint::{analyze_stream, Finding, LintConfig};
+use dayu_hdf::Durability;
+use dayu_lint::{analyze_stream, fsck_bytes, repair_bytes, Finding, LintConfig};
 use dayu_trace::{TraceBundle, TraceFormat};
-use dayu_vfd::{FaultSchedule, MemFs};
+use dayu_vfd::{CrashSchedule, FaultSchedule, MemFs};
 use dayu_workflow::{record_opts, RecordOptions, RetryPolicy, WorkflowSpec};
 use dayu_workloads::{arldm, ddmd, pyflextrkr};
 use std::io::BufReader;
@@ -35,7 +49,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dayu-analyze <trace.{{jsonl|dtb}}> [--format jsonl|binary] [--out DIR]\n                           [--regions N] [--aggregate]\n       dayu-analyze check <trace.{{jsonl|dtb}}> [--inputs FILE,FILE,...] [--json]\n                           [--deny CLASS]... [--waste]\n       dayu-analyze record <ddmd|pyflextrkr|arldm> [--chaos-seed N] [--retries N]\n                           [--fault-rate P] [--dead-at N] [--format jsonl|binary] [--out DIR]"
+        "usage: dayu-analyze <trace.{{jsonl|dtb}}> [--format jsonl|binary] [--out DIR]\n                           [--regions N] [--aggregate]\n       dayu-analyze check <trace.{{jsonl|dtb}}> [--inputs FILE,FILE,...] [--json]\n                           [--deny CLASS]... [--waste]\n       dayu-analyze record <ddmd|pyflextrkr|arldm> [--chaos-seed N] [--retries N]\n                           [--fault-rate P] [--dead-at N] [--crash-seed N] [--crash-at N]\n                           [--durability journal|write-through] [--resume]\n                           [--format jsonl|binary] [--out DIR]\n       record exits 0 (clean), 3 (degraded trace), 4 (unrecoverable corruption)"
     );
     std::process::exit(2);
 }
@@ -49,6 +63,10 @@ fn record_main(args: Vec<String>) -> ! {
     let mut retries: u32 = 3;
     let mut fault_rate: f64 = 0.0;
     let mut dead_at: Option<u64> = None;
+    let mut crash_seed: Option<u64> = None;
+    let mut crash_at: Option<u64> = None;
+    let mut durability = Durability::default();
+    let mut resume = false;
     let mut format = TraceFormat::Jsonl;
     let mut args = args.into_iter();
     while let Some(a) = args.next() {
@@ -62,6 +80,28 @@ fn record_main(args: Vec<String>) -> ! {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--crash-seed" => {
+                crash_seed = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--crash-at" => {
+                crash_at = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--durability" => {
+                durability = match args.next().as_deref() {
+                    Some("journal") => Durability::Journal,
+                    Some("write-through") => Durability::WriteThrough,
+                    _ => usage(),
+                }
+            }
+            "--resume" => resume = true,
             "--retries" => {
                 retries = args
                     .next()
@@ -113,9 +153,19 @@ fn record_main(args: Vec<String>) -> ! {
         }
         s
     });
+    let crash = crash_seed.map(|seed| {
+        let mut s = CrashSchedule::new(seed).torn();
+        if let Some(op) = crash_at {
+            s = s.with_crash_at(op);
+        }
+        s
+    });
     let opts = RecordOptions {
         retry: RetryPolicy::default().attempts(retries),
         chaos,
+        crash,
+        durability,
+        resume,
         ..RecordOptions::default()
     };
     let run = record_opts(&spec, &fs, &opts).unwrap_or_else(|e| {
@@ -127,19 +177,57 @@ fn record_main(args: Vec<String>) -> ! {
     if let Some(seed) = chaos_seed {
         println!("  chaos seed {seed:#018x}, retries {retries}, fault rate {fault_rate}");
     }
+    if let Some(seed) = crash_seed {
+        println!(
+            "  crash seed {seed:#018x} (torn writes), durability {durability:?}, resume {resume}"
+        );
+    }
     println!(
-        "  {:<24} {:>8} {:>7} {:>9}  error",
-        "task", "attempts", "faults", "degraded"
+        "  {:<24} {:>8} {:>7} {:>9} {:>9}  error",
+        "task", "attempts", "faults", "degraded", "recovered"
     );
     for o in &run.outcomes {
         println!(
-            "  {:<24} {:>8} {:>7} {:>9}  {}",
+            "  {:<24} {:>8} {:>7} {:>9} {:>9}  {}",
             o.task,
             o.attempts,
             o.faults_injected,
             if o.degraded { "yes" } else { "-" },
+            if o.recovered() { "yes" } else { "-" },
             o.error.as_deref().unwrap_or("-"),
         );
+    }
+
+    // Audit every surviving file image: a degraded run's salvage is only
+    // trustworthy if the bytes it points at still parse, and a crashed
+    // run must distinguish repairable torn state from total loss.
+    let mut unrecoverable: Vec<String> = Vec::new();
+    let mut repairable: Vec<String> = Vec::new();
+    let mut names = fs.list();
+    names.sort();
+    for name in &names {
+        let Some(bytes) = fs.snapshot(name) else {
+            continue;
+        };
+        // A created-but-never-written file carries no data to audit.
+        if bytes.is_empty() || fsck_bytes(&bytes).is_clean() {
+            continue;
+        }
+        let mut scratch = bytes.clone();
+        if repair_bytes(&mut scratch).is_clean() {
+            repairable.push(name.clone());
+        } else {
+            unrecoverable.push(name.clone());
+        }
+    }
+    if !repairable.is_empty() || !unrecoverable.is_empty() {
+        println!("\nfile image audit:");
+        for name in &repairable {
+            println!("  {name}: corrupt, repairable (dayu-h5ls --fsck --repair)");
+        }
+        for name in &unrecoverable {
+            println!("  {name}: UNRECOVERABLE (no valid superblock slot)");
+        }
     }
 
     let analysis = Analysis::run(&run.bundle);
@@ -172,7 +260,13 @@ fn record_main(args: Vec<String>) -> ! {
         println!("trace and file images written to {}/", dir.display());
     }
 
-    std::process::exit(if run.degraded() { 3 } else { 0 });
+    std::process::exit(if !unrecoverable.is_empty() {
+        4
+    } else if run.degraded() {
+        3
+    } else {
+        0
+    });
 }
 
 /// Reads a trace in either persistence format. `forced` pins the decoder;

@@ -6,16 +6,17 @@
 //! dayu-h5ls file.h5 --extents    # + file extents per dataset (fragmentation)
 //! dayu-h5ls file.h5 --attrs      # + attributes
 //! dayu-h5ls file.h5 --fsck       # structural integrity check first (exit 1 on findings)
+//! dayu-h5ls file.h5 --fsck --repair  # replay the journal + prune damage, rewrite in place
 //! ```
 
 use dayu_hdf::{AttrValue, FileOptions, Group, H5File, LayoutKind};
-use dayu_lint::fsck_bytes;
+use dayu_lint::{fsck_bytes, repair_bytes};
 use dayu_trace::vol::ObjectKind;
 use dayu_vfd::FileVfd;
 use std::path::PathBuf;
 
 fn usage() -> ! {
-    eprintln!("usage: dayu-h5ls <file> [--extents] [--attrs] [--fsck]");
+    eprintln!("usage: dayu-h5ls <file> [--extents] [--attrs] [--fsck] [--repair]");
     std::process::exit(2);
 }
 
@@ -88,18 +89,38 @@ fn main() {
     let mut extents = false;
     let mut attrs = false;
     let mut fsck = false;
+    let mut repair = false;
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--extents" => extents = true,
             "--attrs" => attrs = true,
             "--fsck" => fsck = true,
+            "--repair" => repair = true,
             "-h" | "--help" => usage(),
             p if path.is_none() => path = Some(PathBuf::from(p)),
             _ => usage(),
         }
     }
     let Some(path) = path else { usage() };
-    if fsck {
+    if repair {
+        // Journal replay + targeted pruning, in place. The repaired image
+        // is only written back when something actually changed.
+        let mut image = std::fs::read(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let report = repair_bytes(&mut image);
+        print!("{report}");
+        if report.modified() {
+            std::fs::write(&path, &image).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            });
+        }
+        if !report.is_clean() {
+            std::process::exit(1);
+        }
+    } else if fsck {
         // Run on the raw image before trying to open: a corrupt file may
         // not survive H5File::open, but fsck still pinpoints the damage.
         let image = std::fs::read(&path).unwrap_or_else(|e| {

@@ -19,6 +19,9 @@ pub enum HdfError {
     InvalidArgument(String),
     /// The bytes on storage do not decode as valid format structures.
     Corrupt(String),
+    /// A metadata block's stored CRC-32 does not match its contents:
+    /// the structure decoded, but the bytes were silently altered.
+    ChecksumMismatch(String),
     /// The file or object handle was already closed.
     Closed,
     /// Several independent sub-operations failed (e.g. more than one task
@@ -36,6 +39,7 @@ impl fmt::Display for HdfError {
             HdfError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
             HdfError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             HdfError::Corrupt(m) => write!(f, "corrupt file structure: {m}"),
+            HdfError::ChecksumMismatch(m) => write!(f, "checksum mismatch: {m}"),
             HdfError::Closed => write!(f, "handle already closed"),
             HdfError::MultiFailure(fails) => {
                 write!(f, "{} operations failed:", fails.len())?;
@@ -85,6 +89,9 @@ mod tests {
         assert!(HdfError::Corrupt("magic".into())
             .to_string()
             .contains("corrupt"));
+        assert!(HdfError::ChecksumMismatch("header".into())
+            .to_string()
+            .contains("checksum mismatch"));
         assert!(HdfError::Closed.to_string().contains("closed"));
         let multi = HdfError::MultiFailure(vec![
             ("task_a".into(), "boom".into()),

@@ -28,7 +28,9 @@ pub struct Entry {
     pub kind: ObjectKind,
 }
 
-pub(crate) fn encode_table(entries: &[Entry]) -> Vec<u8> {
+/// Encodes an entry-table block. Public (like [`decode_table`]) so
+/// external repair tooling can rebuild pruned tables byte-compatibly.
+pub fn encode_table(entries: &[Entry]) -> Vec<u8> {
     let mut e = Encoder::new();
     e.u32(entries.len() as u32);
     for en in entries {
@@ -228,6 +230,29 @@ impl Group {
     /// Opens an existing dataset.
     pub fn open_dataset(&self, name: &str) -> Result<Dataset> {
         Dataset::open(self.core.clone(), self, name)
+    }
+
+    /// Opens `name` if it exists, creating it per `builder` otherwise.
+    ///
+    /// The idempotent form of [`Group::create_dataset`] for resume-aware
+    /// task bodies: a retry that reopens a recovered file finds the
+    /// datasets a previous attempt committed and continues in place.
+    pub fn ensure_dataset(&self, name: &str, builder: DatasetBuilder) -> Result<Dataset> {
+        match self.find_child(name) {
+            Ok(_) => self.open_dataset(name),
+            Err(HdfError::NotFound(_)) => self.create_dataset(name, builder),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Opens child group `name` if it exists, creating it otherwise (the
+    /// idempotent form of [`Group::create_group`]).
+    pub fn ensure_group(&self, name: &str) -> Result<Group> {
+        match self.find_child(name) {
+            Ok(_) => self.open_group(name),
+            Err(HdfError::NotFound(_)) => self.create_group(name),
+            Err(e) => Err(e),
+        }
     }
 
     /// Lists the group's children as `(name, kind)` pairs.
@@ -440,6 +465,23 @@ mod tests {
         assert_eq!(g.attr("version").unwrap(), Some(AttrValue::U64(4)));
         assert_eq!(g.attrs().unwrap().len(), 2);
         assert_eq!(g.attr("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn ensure_helpers_are_idempotent() {
+        use crate::dataset::DatasetBuilder;
+        use dayu_trace::vol::DataType;
+        let f = file();
+        let root = f.root();
+        let g1 = root.ensure_group("sim").unwrap();
+        let g2 = root.ensure_group("sim").unwrap();
+        assert_eq!(g1.path(), g2.path());
+        let b = || DatasetBuilder::new(DataType::Int { width: 8 }, &[2]);
+        let mut d = g1.ensure_dataset("d", b()).unwrap();
+        d.write_u64s(&[3, 4]).unwrap();
+        let mut again = g2.ensure_dataset("d", b()).unwrap();
+        assert_eq!(again.read_u64s().unwrap(), vec![3, 4]);
+        assert_eq!(g1.list().unwrap().len(), 1);
     }
 
     #[test]

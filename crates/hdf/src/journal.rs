@@ -1,0 +1,469 @@
+//! Metadata write-ahead journal and crash recovery.
+//!
+//! A journaled file defers every metadata block write into an in-memory
+//! overlay (see [`crate::raw::RawFile`]) and makes it durable in two
+//! ordered steps: first the pending blocks are appended to an on-disk
+//! journal region as checksummed, LEB128-framed records and a commit
+//! marker is flushed behind them; only then are the blocks applied in
+//! place and the superblock generation advanced. A crash at any point
+//! leaves either the old committed state (torn journal tail, discarded on
+//! recovery) or a fully committed journal that [`recover_image`] replays
+//! idempotently.
+//!
+//! ## Frame format
+//!
+//! Both frame kinds start with a tag byte and the epoch (the generation
+//! the commit will produce) and end with a CRC-32 over every preceding
+//! byte of the frame:
+//!
+//! ```text
+//! block  := 0x01 epoch:varint addr:varint len:varint payload[len] crc32:u32le
+//! commit := 0x02 epoch:varint root:varint eof:varint
+//!           journal_addr:varint journal_cap:varint crc32:u32le
+//! ```
+//!
+//! Varints are unsigned LEB128. A scan stops at the first unknown tag,
+//! checksum failure, truncated frame, or epoch mismatch — everything
+//! after that point is a torn tail and is ignored. The journal head
+//! returns to offset zero after every commit, so at most one epoch is
+//! ever live in the region.
+
+use crate::crc::crc32;
+use crate::error::{HdfError, Result};
+use crate::meta::{Superblock, SUPERBLOCK_REGION, SUPERBLOCK_SIZE};
+
+/// Tag byte of a deferred metadata block write.
+const TAG_BLOCK: u8 = 0x01;
+/// Tag byte of a commit marker.
+const TAG_COMMIT: u8 = 0x02;
+
+/// Default size of the on-disk journal region allocated at create time.
+pub const DEFAULT_JOURNAL_CAPACITY: u64 = 64 * 1024;
+
+/// Write-path durability contract selected in
+/// [`crate::FileOptions::durability`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// Metadata writes go straight to the device, as before this module
+    /// existed. A mid-write crash can tear metadata; fsck can flag but
+    /// not always repair the damage.
+    #[default]
+    WriteThrough,
+    /// Metadata writes are staged and committed through the write-ahead
+    /// journal; every flush/close is all-or-nothing.
+    Journal,
+}
+
+/// What [`recover_image`] (and therefore `H5File::open`) found and did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Superblock generation in effect after recovery.
+    pub generation: u64,
+    /// The newest valid superblock already recorded a clean shutdown;
+    /// nothing was modified.
+    pub was_clean: bool,
+    /// Committed journal frames replayed into the image.
+    pub replayed_frames: usize,
+    /// Payload bytes replayed into the image.
+    pub replayed_bytes: u64,
+    /// Bytes of torn (uncommitted) journal tail that were discarded.
+    pub discarded_bytes: u64,
+    /// Physical bytes beyond the committed end-of-file that were cut off.
+    pub truncated_tail: u64,
+}
+
+impl RecoveryReport {
+    /// Whether the open had to repair anything (unclean shutdown).
+    pub fn performed_recovery(&self) -> bool {
+        !self.was_clean
+    }
+}
+
+/// Appends `v` to `out` as an unsigned LEB128 varint.
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint at `*pos`, advancing it. Returns
+/// `None` on truncation or a varint longer than ten bytes.
+pub(crate) fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes one deferred block write as a journal frame.
+pub fn encode_block_frame(epoch: u64, addr: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.push(TAG_BLOCK);
+    put_varint(&mut out, epoch);
+    put_varint(&mut out, addr);
+    put_varint(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Encodes the commit marker that seals an epoch.
+pub fn encode_commit_marker(
+    epoch: u64,
+    root: u64,
+    eof: u64,
+    journal_addr: u64,
+    journal_cap: u64,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.push(TAG_COMMIT);
+    put_varint(&mut out, epoch);
+    put_varint(&mut out, root);
+    put_varint(&mut out, eof);
+    put_varint(&mut out, journal_addr);
+    put_varint(&mut out, journal_cap);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// A decoded block frame: replay as `image[addr..addr+data.len()] = data`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockFrame {
+    pub addr: u64,
+    pub data: Vec<u8>,
+}
+
+/// A decoded commit marker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitMarker {
+    pub root: u64,
+    pub eof: u64,
+    pub journal_addr: u64,
+    pub journal_cap: u64,
+}
+
+/// Result of scanning a journal region for one expected epoch.
+#[derive(Clone, Debug, Default)]
+pub struct Scan {
+    /// Block frames of the expected epoch, in write order.
+    pub blocks: Vec<BlockFrame>,
+    /// The commit marker sealing the epoch, if it was reached intact.
+    pub commit: Option<CommitMarker>,
+    /// Bytes from the first broken or foreign frame to the region end.
+    pub torn_bytes: u64,
+}
+
+/// Scans `region` for frames of `epoch`. Never panics on any input: a
+/// truncated, corrupt, or stale prefix simply ends the scan and the
+/// remainder is reported as torn.
+pub fn scan_region(region: &[u8], epoch: u64) -> Scan {
+    let mut scan = Scan::default();
+    let mut pos = 0usize;
+    while pos < region.len() {
+        let start = pos;
+        let tag = region[pos];
+        let mut p = pos + 1;
+        if tag != TAG_BLOCK && tag != TAG_COMMIT {
+            scan.torn_bytes = (region.len() - start) as u64;
+            return scan;
+        }
+        let frame = decode_frame(region, tag, start, &mut p, epoch);
+        match frame {
+            Some(Decoded::Block(b)) => {
+                scan.blocks.push(b);
+                pos = p;
+            }
+            Some(Decoded::Commit(m)) => {
+                scan.commit = Some(m);
+                return scan;
+            }
+            None => {
+                scan.torn_bytes = (region.len() - start) as u64;
+                return scan;
+            }
+        }
+    }
+    scan
+}
+
+enum Decoded {
+    Block(BlockFrame),
+    Commit(CommitMarker),
+}
+
+/// Decodes one frame starting at `start` (whose tag is `tag`), advancing
+/// `*p` past it. Returns `None` on truncation, bad CRC, or a foreign
+/// epoch.
+fn decode_frame(
+    region: &[u8],
+    tag: u8,
+    start: usize,
+    p: &mut usize,
+    epoch: u64,
+) -> Option<Decoded> {
+    let e = get_varint(region, p)?;
+    if e != epoch {
+        return None;
+    }
+    let decoded = if tag == TAG_BLOCK {
+        let addr = get_varint(region, p)?;
+        let len = get_varint(region, p)?;
+        let len = usize::try_from(len).ok()?;
+        let end = p.checked_add(len)?;
+        if end > region.len() {
+            return None;
+        }
+        let data = region[*p..end].to_vec();
+        *p = end;
+        Decoded::Block(BlockFrame { addr, data })
+    } else {
+        let root = get_varint(region, p)?;
+        let eof = get_varint(region, p)?;
+        let journal_addr = get_varint(region, p)?;
+        let journal_cap = get_varint(region, p)?;
+        Decoded::Commit(CommitMarker {
+            root,
+            eof,
+            journal_addr,
+            journal_cap,
+        })
+    };
+    let crc_end = p.checked_add(4)?;
+    if crc_end > region.len() {
+        return None;
+    }
+    let stored = u32::from_le_bytes(region[*p..crc_end].try_into().unwrap());
+    if crc32(&region[start..*p]) != stored {
+        return None;
+    }
+    *p = crc_end;
+    Some(decoded)
+}
+
+/// Replays `blocks` into `image`, growing it as needed. Replay is
+/// idempotent: frames are absolute-addressed full overwrites.
+pub fn replay_blocks(image: &mut Vec<u8>, blocks: &[BlockFrame]) -> u64 {
+    let mut bytes = 0u64;
+    for b in blocks {
+        let addr = b.addr as usize;
+        let end = addr.saturating_add(b.data.len());
+        if image.len() < end {
+            image.resize(end, 0);
+        }
+        image[addr..end].copy_from_slice(&b.data);
+        bytes += b.data.len() as u64;
+    }
+    bytes
+}
+
+/// Detects an unclean shutdown in `image` and repairs it in place.
+///
+/// The newest valid superblock slot fixes the last committed generation
+/// `G`. If it is clean, nothing happens. If not, and the file carries a
+/// journal, the region is scanned for epoch `G + 1`: a sealed epoch is
+/// replayed (frames applied, file cut to the committed end-of-file, a
+/// clean generation `G + 1` superblock finalized into its slot); a torn
+/// epoch is discarded (file cut back to the generation-`G` end-of-file,
+/// clean `G + 1` finalized likewise). Unjournaled unclean files are
+/// reported but left untouched — fsck is the tool for those.
+///
+/// Calling this on its own output is a no-op, and a crash *during* the
+/// write-back of a recovered image is itself recoverable: replay is
+/// idempotent and the finalized superblock lands in the other slot.
+pub fn recover_image(image: &mut Vec<u8>) -> Result<RecoveryReport> {
+    let sb = Superblock::decode_region(image)?;
+    if sb.journal_addr == 0 {
+        // Write-through file: no journal to replay. The report only
+        // states whether the shutdown was clean.
+        return Ok(RecoveryReport {
+            generation: sb.generation,
+            was_clean: sb.clean,
+            ..RecoveryReport::default()
+        });
+    }
+    // The clean flag alone cannot gate the scan: a crash between the
+    // commit marker and the superblock write leaves the newest durable
+    // slot clean while a sealed epoch waits in the journal.
+    let mut report = RecoveryReport {
+        generation: sb.generation,
+        was_clean: false,
+        ..RecoveryReport::default()
+    };
+    let epoch = sb.generation + 1;
+    let region = journal_slice(image, &sb);
+    let scan = region.map(|r| scan_region(r, epoch)).unwrap_or_default();
+    if scan.commit.is_none() && sb.clean && image.len() as u64 == sb.eof {
+        // Nothing sealed, cleanly shut down, no uncommitted tail.
+        report.was_clean = true;
+        return Ok(report);
+    }
+    if let Some(marker) = scan.commit {
+        // Sealed epoch: roll forward.
+        report.replayed_frames = scan.blocks.len();
+        report.replayed_bytes = replay_blocks(image, &scan.blocks);
+        let eof = marker.eof.max(SUPERBLOCK_REGION);
+        report.truncated_tail = (image.len() as u64).saturating_sub(eof);
+        image.resize(eof as usize, 0);
+        finalize(
+            image,
+            Superblock {
+                root_addr: marker.root,
+                eof,
+                generation: epoch,
+                clean: true,
+                journal_addr: marker.journal_addr,
+                journal_cap: marker.journal_cap,
+            },
+        );
+        report.generation = epoch;
+    } else {
+        // Torn or empty epoch: roll back to generation G.
+        report.discarded_bytes = scan.torn_bytes;
+        let eof = sb.eof.max(SUPERBLOCK_REGION);
+        report.truncated_tail = (image.len() as u64).saturating_sub(eof);
+        image.resize(eof as usize, 0);
+        finalize(
+            image,
+            Superblock {
+                clean: true,
+                generation: epoch,
+                ..sb
+            },
+        );
+        report.generation = epoch;
+    }
+    Ok(report)
+}
+
+/// The journal region of `image` per `sb`, if its extent is in bounds.
+fn journal_slice<'a>(image: &'a [u8], sb: &Superblock) -> Option<&'a [u8]> {
+    let start = usize::try_from(sb.journal_addr).ok()?;
+    let end = start.checked_add(usize::try_from(sb.journal_cap).ok()?)?;
+    if sb.journal_addr < SUPERBLOCK_REGION || end > image.len() {
+        return None;
+    }
+    Some(&image[start..end])
+}
+
+/// Writes `sb` into the slot its generation selects.
+fn finalize(image: &mut [u8], sb: Superblock) {
+    let slot = Superblock::slot_offset(sb.generation) as usize;
+    image[slot..slot + SUPERBLOCK_SIZE as usize].copy_from_slice(&sb.encode());
+}
+
+/// Convenience for callers that only have bytes: returns the report and
+/// whether the image was modified.
+pub fn recover_bytes(image: &mut Vec<u8>) -> Result<(RecoveryReport, bool)> {
+    let before_len = image.len();
+    let before_crc = crc32(image);
+    let report = recover_image(image)?;
+    let modified = image.len() != before_len || crc32(image) != before_crc;
+    Ok((report, modified))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn varint_round_trip(v: u64) {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), Some(v));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varints_round_trip() {
+        for v in [0, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            varint_round_trip(v);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf[..cut], &mut pos), None);
+        }
+    }
+
+    fn sealed_region(epoch: u64) -> Vec<u8> {
+        let mut region = Vec::new();
+        region.extend_from_slice(&encode_block_frame(epoch, 128, &[7u8; 32]));
+        region.extend_from_slice(&encode_block_frame(epoch, 256, &[9u8; 16]));
+        region.extend_from_slice(&encode_commit_marker(epoch, 128, 512, 0, 0));
+        region
+    }
+
+    #[test]
+    fn scan_reads_back_sealed_epoch() {
+        let region = sealed_region(5);
+        let scan = scan_region(&region, 5);
+        assert_eq!(scan.blocks.len(), 2);
+        assert_eq!(scan.blocks[0].addr, 128);
+        assert_eq!(scan.blocks[1].data, vec![9u8; 16]);
+        let marker = scan.commit.expect("commit marker");
+        assert_eq!((marker.root, marker.eof), (128, 512));
+        assert_eq!(scan.torn_bytes, 0);
+    }
+
+    #[test]
+    fn scan_stops_at_foreign_epoch() {
+        let region = sealed_region(4);
+        let scan = scan_region(&region, 5);
+        assert!(scan.blocks.is_empty());
+        assert!(scan.commit.is_none());
+        assert_eq!(scan.torn_bytes, region.len() as u64);
+    }
+
+    #[test]
+    fn scan_never_panics_on_any_prefix() {
+        let region = sealed_region(3);
+        for cut in 0..=region.len() {
+            let scan = scan_region(&region[..cut], 3);
+            // A cut before the marker loses the commit.
+            if cut < region.len() {
+                assert!(scan.commit.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn scan_rejects_flipped_bit() {
+        let mut region = sealed_region(2);
+        region[5] ^= 0x10;
+        let scan = scan_region(&region, 2);
+        assert!(scan.blocks.is_empty() && scan.commit.is_none());
+    }
+
+    #[test]
+    fn replay_is_idempotent() {
+        let scan = scan_region(&sealed_region(1), 1);
+        let mut a = vec![0u8; 512];
+        replay_blocks(&mut a, &scan.blocks);
+        let mut b = a.clone();
+        replay_blocks(&mut b, &scan.blocks);
+        assert_eq!(a, b);
+    }
+}

@@ -46,12 +46,14 @@
 pub mod alloc;
 pub mod chunk;
 pub mod codec;
+pub mod crc;
 pub mod dataset;
 pub mod error;
 pub mod file;
 pub mod group;
 pub mod heap;
 pub mod hooks;
+pub mod journal;
 pub mod meta;
 pub mod raw;
 pub mod space;
@@ -61,6 +63,7 @@ pub use error::{HdfError, Result};
 pub use file::{FileOptions, H5File};
 pub use group::Group;
 pub use hooks::{HookSet, VolHooks};
+pub use journal::{Durability, RecoveryReport};
 pub use meta::AttrValue;
 pub use space::Selection;
 

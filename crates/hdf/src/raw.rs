@@ -7,14 +7,28 @@
 
 use crate::alloc::Allocator;
 use crate::error::Result;
+use crate::meta::SUPERBLOCK_REGION;
 use dayu_trace::vfd::AccessType;
 use dayu_vfd::Vfd;
+use std::collections::BTreeMap;
 
 /// A driver plus allocator: the substrate for all format structures.
+///
+/// With journaling enabled (see [`crate::journal`]), metadata block
+/// writes above the superblock region are *staged* in an address-keyed
+/// overlay instead of reaching the device; reads consult the overlay
+/// first so the session always observes its own writes. The file layer
+/// drains the overlay at commit time — journal frames first, then the
+/// in-place application. Frees are likewise deferred while journaling so
+/// a block freed mid-epoch (but still referenced by the last committed
+/// generation) cannot be reallocated and clobbered before the commit.
 pub struct RawFile {
     vfd: Box<dyn Vfd>,
     alloc: Allocator,
     writes: u64,
+    journaling: bool,
+    overlay: BTreeMap<u64, Vec<u8>>,
+    pending_frees: Vec<(u64, u64)>,
 }
 
 impl RawFile {
@@ -24,6 +38,9 @@ impl RawFile {
             vfd,
             alloc: Allocator::new(eof),
             writes: 0,
+            journaling: false,
+            overlay: BTreeMap::new(),
+            pending_frees: Vec::new(),
         }
     }
 
@@ -33,21 +50,101 @@ impl RawFile {
         self.writes
     }
 
+    /// Enables or disables metadata write staging.
+    pub fn set_journaling(&mut self, on: bool) {
+        self.journaling = on;
+    }
+
+    /// Whether metadata writes are currently staged.
+    pub fn journaling(&self) -> bool {
+        self.journaling
+    }
+
+    /// Whether any staged writes or deferred frees await a commit.
+    pub fn has_staged_state(&self) -> bool {
+        !self.overlay.is_empty() || !self.pending_frees.is_empty()
+    }
+
+    /// Drains the overlay in address order for journaling and in-place
+    /// application.
+    pub fn take_overlay(&mut self) -> Vec<(u64, Vec<u8>)> {
+        std::mem::take(&mut self.overlay).into_iter().collect()
+    }
+
+    /// Applies the deferred frees to the allocator (commit time only).
+    pub fn apply_pending_frees(&mut self) {
+        for (addr, len) in std::mem::take(&mut self.pending_frees) {
+            self.alloc.free(addr, len);
+        }
+    }
+
+    /// Serves `buf` from the overlay when the staged block containing
+    /// `addr` fully covers the request.
+    fn overlay_read(&self, addr: u64, buf: &mut [u8]) -> bool {
+        if self.overlay.is_empty() {
+            return false;
+        }
+        if let Some((&base, block)) = self.overlay.range(..=addr).next_back() {
+            let off = (addr - base) as usize;
+            if off.saturating_add(buf.len()) <= block.len() {
+                buf.copy_from_slice(&block[off..off + buf.len()]);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Stages a metadata block write. Metadata blocks are written whole,
+    /// so a repeat write to a staged address replaces it and a write
+    /// inside a larger staged block patches it.
+    fn stage(&mut self, addr: u64, data: &[u8]) {
+        if let Some((&base, block)) = self.overlay.range_mut(..=addr).next_back() {
+            let off = (addr - base) as usize;
+            if off.saturating_add(data.len()) <= block.len() {
+                block[off..off + data.len()].copy_from_slice(data);
+                return;
+            }
+            if base == addr {
+                *block = data.to_vec();
+                return;
+            }
+        }
+        self.overlay.insert(addr, data.to_vec());
+    }
+
     /// Reads `len` bytes at `addr`.
     pub fn read_at(&mut self, addr: u64, len: u64, access: AccessType) -> Result<Vec<u8>> {
         let mut buf = vec![0u8; len as usize];
-        self.vfd.read(addr, &mut buf, access)?;
+        self.read_into(addr, &mut buf, access)?;
         Ok(buf)
     }
 
     /// Reads into a caller-provided buffer.
     pub fn read_into(&mut self, addr: u64, buf: &mut [u8], access: AccessType) -> Result<()> {
+        if self.overlay_read(addr, buf) {
+            return Ok(());
+        }
         self.vfd.read(addr, buf, access)?;
         Ok(())
     }
 
-    /// Writes `data` at `addr`.
+    /// Writes `data` at `addr`. While journaling, metadata writes above
+    /// the superblock region are staged until the next commit.
     pub fn write_at(&mut self, addr: u64, data: &[u8], access: AccessType) -> Result<()> {
+        if self.journaling && access == AccessType::Metadata && addr >= SUPERBLOCK_REGION {
+            self.stage(addr, data);
+            self.writes += 1;
+            return Ok(());
+        }
+        self.vfd.write(addr, data, access)?;
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Writes straight to the device, bypassing staging. The commit path
+    /// uses this for journal frames, overlay application, and superblock
+    /// slots — writes whose ordering *is* the durability protocol.
+    pub fn write_direct(&mut self, addr: u64, data: &[u8], access: AccessType) -> Result<()> {
         self.vfd.write(addr, data, access)?;
         self.writes += 1;
         Ok(())
@@ -58,9 +155,14 @@ impl RawFile {
         self.alloc.alloc(len)
     }
 
-    /// Frees `[addr, addr+len)`.
+    /// Frees `[addr, addr+len)` — deferred to the next commit while
+    /// journaling, immediate otherwise.
     pub fn free(&mut self, addr: u64, len: u64) {
-        self.alloc.free(addr, len);
+        if self.journaling {
+            self.pending_frees.push((addr, len));
+        } else {
+            self.alloc.free(addr, len);
+        }
     }
 
     /// Allocates space for `data` and writes it, returning the address.
@@ -78,6 +180,19 @@ impl RawFile {
         if self.vfd.eof() < end {
             self.vfd.truncate(end)?;
         }
+        Ok(())
+    }
+
+    /// The driver's current end-of-file (physical bytes, which can trail
+    /// or exceed the allocator's EOF mid-session).
+    pub fn device_eof(&self) -> u64 {
+        self.vfd.eof()
+    }
+
+    /// Truncates the driver to `end` (recovery write-back shrinks the
+    /// device to the committed end-of-file).
+    pub fn truncate(&mut self, end: u64) -> Result<()> {
+        self.vfd.truncate(end)?;
         Ok(())
     }
 
@@ -154,5 +269,35 @@ mod tests {
         let mut buf = [0u8; 8];
         rf.read_into(addr + 4, &mut buf, RAW).unwrap();
         assert_eq!(buf, [9; 8]);
+    }
+
+    #[test]
+    fn staged_metadata_is_readable_but_not_on_device() {
+        const META: AccessType = AccessType::Metadata;
+        let mut rf = RawFile::new(Box::new(MemVfd::new()), SUPERBLOCK_REGION);
+        rf.set_journaling(true);
+        let addr = rf.alloc_write(&[5; 32], META).unwrap();
+        // The session observes its own staged write...
+        assert_eq!(rf.read_at(addr, 32, META).unwrap(), vec![5; 32]);
+        assert!(rf.has_staged_state());
+        // ...and a repeat write to the same block replaces it.
+        rf.write_at(addr, &[6; 32], META).unwrap();
+        assert_eq!(rf.read_at(addr, 8, META).unwrap(), vec![6; 8]);
+        let staged = rf.take_overlay();
+        assert_eq!(staged, vec![(addr, vec![6; 32])]);
+    }
+
+    #[test]
+    fn journaled_frees_are_deferred_until_applied() {
+        const META: AccessType = AccessType::Metadata;
+        let mut rf = RawFile::new(Box::new(MemVfd::new()), SUPERBLOCK_REGION);
+        rf.set_journaling(true);
+        let a = rf.alloc_write(&[1; 10], META).unwrap();
+        rf.free(a, 10);
+        assert_eq!(rf.free_bytes(), 0, "free is deferred");
+        let b = rf.alloc(4).unwrap();
+        assert_ne!(b, a, "freed block must not be reused before commit");
+        rf.apply_pending_frees();
+        assert_eq!(rf.free_bytes(), 10);
     }
 }

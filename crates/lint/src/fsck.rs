@@ -32,8 +32,15 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Whether `[addr, addr + len)` escapes `[0, limit)`, treating address
 /// arithmetic overflow as out of bounds (all inputs are untrusted).
-fn out_of_bounds(addr: u64, len: u64, limit: u64) -> bool {
+pub(crate) fn out_of_bounds(addr: u64, len: u64, limit: u64) -> bool {
     addr.checked_add(len).is_none_or(|end| end > limit)
+}
+
+/// Whether a superblock slot holds no bytes at all. `create()` writes
+/// generation 1 to slot B only, so a vacant (all-zero) slot is the normal
+/// state of a file that has seen fewer than two commits — not a defect.
+pub fn slot_vacant(slot: &[u8]) -> bool {
+    slot.iter().all(|&b| b == 0)
 }
 
 /// One claimed byte extent. Raw-data claims remember the owning dataset
@@ -422,27 +429,54 @@ pub fn fsck_bytes(image: &[u8]) -> Report {
     let mut report = Report::new();
     if (image.len() as u64) < meta::SUPERBLOCK_SIZE {
         report.push(Finding::SuperblockInvalid {
-            detail: format!("file is {} bytes, shorter than a superblock", image.len()),
+            detail: format!(
+                "file is {} bytes, shorter than a superblock slot",
+                image.len()
+            ),
         });
         return report;
     }
-    let sb = match Superblock::decode(&image[..meta::SUPERBLOCK_SIZE as usize]) {
-        Ok(sb) => sb,
-        Err(e) => {
+    // Inspect both slots of the dual-superblock region: a vacant slot is
+    // normal, a populated slot that fails to decode is a finding. The
+    // newest valid generation governs the walk.
+    let mut best: Option<Superblock> = None;
+    for (name, off) in [("A", 0u64), ("B", meta::SUPERBLOCK_SIZE)] {
+        let Some(slot) = image.get(off as usize..(off + meta::SUPERBLOCK_SIZE) as usize) else {
             report.push(Finding::SuperblockInvalid {
-                detail: e.to_string(),
+                detail: format!("slot {name} truncated by end of file"),
             });
-            return report;
+            continue;
+        };
+        if slot_vacant(slot) {
+            continue;
         }
+        match Superblock::decode(slot) {
+            Ok(sb) => {
+                if best.is_none_or(|b: Superblock| sb.generation > b.generation) {
+                    best = Some(sb);
+                }
+            }
+            Err(e) => report.push(Finding::SuperblockInvalid {
+                detail: format!("slot {name}: {e}"),
+            }),
+        }
+    }
+    let Some(sb) = best else {
+        if report.is_clean() {
+            report.push(Finding::SuperblockInvalid {
+                detail: "no superblock slot is populated".into(),
+            });
+        }
+        return report;
     };
     if sb.eof > image.len() as u64 {
         report.push(Finding::SuperblockInvalid {
             detail: format!("eof {} beyond file length {}", sb.eof, image.len()),
         });
     }
-    if sb.eof < meta::SUPERBLOCK_SIZE {
+    if sb.eof < meta::SUPERBLOCK_REGION {
         report.push(Finding::SuperblockInvalid {
-            detail: format!("eof {} inside the superblock", sb.eof),
+            detail: format!("eof {} inside the superblock region", sb.eof),
         });
     }
     let mut fsck = Fsck {
@@ -452,7 +486,21 @@ pub fn fsck_bytes(image: &[u8]) -> Report {
         claims: Vec::new(),
         heap_blocks: BTreeMap::new(),
     };
-    fsck.claim(0, meta::SUPERBLOCK_SIZE, "superblock");
+    fsck.claim(0, meta::SUPERBLOCK_REGION, "superblock region");
+    if sb.journal_addr != 0 {
+        if out_of_bounds(sb.journal_addr, sb.journal_cap, fsck.len()) {
+            fsck.report.push(Finding::SuperblockInvalid {
+                detail: format!(
+                    "journal region [{}, {}) beyond file length {}",
+                    sb.journal_addr,
+                    sb.journal_addr.saturating_add(sb.journal_cap),
+                    fsck.len()
+                ),
+            });
+        } else {
+            fsck.claim(sb.journal_addr, sb.journal_cap, "journal region");
+        }
+    }
     if sb.root_addr == 0 || out_of_bounds(sb.root_addr, meta::HEADER_BLOCK_SIZE, fsck.len()) {
         fsck.report.push(Finding::SuperblockInvalid {
             detail: format!("root header address {} outside the file", sb.root_addr),
@@ -508,10 +556,24 @@ mod tests {
         fs.snapshot("s.h5").unwrap()
     }
 
+    /// Decodes the live (newest valid) superblock of an image.
+    fn live_sb(image: &[u8]) -> Superblock {
+        Superblock::decode_region(&image[..meta::SUPERBLOCK_REGION as usize]).unwrap()
+    }
+
+    /// Mutates the live superblock and re-signs its slot, so tests can
+    /// poke fields without tripping the slot CRC.
+    fn poke_sb(image: &mut [u8], f: impl FnOnce(&mut Superblock)) {
+        let mut sb = live_sb(image);
+        f(&mut sb);
+        let off = Superblock::slot_offset(sb.generation) as usize;
+        image[off..off + meta::SUPERBLOCK_SIZE as usize].copy_from_slice(&sb.encode());
+    }
+
     /// Finds the chunked dataset `/grid/k` and returns the address of its
     /// chunk index block.
     fn chunk_index_addr(image: &[u8]) -> u64 {
-        let sb = Superblock::decode(&image[..meta::SUPERBLOCK_SIZE as usize]).unwrap();
+        let sb = live_sb(image);
         let hdr = |addr: u64| {
             ObjectHeader::decode(&image[addr as usize..(addr + meta::HEADER_BLOCK_SIZE) as usize])
                 .unwrap()
@@ -579,7 +641,7 @@ mod tests {
 
     /// Address of `/grid/c`'s contiguous raw-data extent.
     fn contiguous_addr(image: &[u8]) -> u64 {
-        let sb = Superblock::decode(&image[..meta::SUPERBLOCK_SIZE as usize]).unwrap();
+        let sb = live_sb(image);
         let hdr = |addr: u64| {
             ObjectHeader::decode(&image[addr as usize..(addr + meta::HEADER_BLOCK_SIZE) as usize])
                 .unwrap()
@@ -651,7 +713,7 @@ mod tests {
     fn chunk_entry_into_metadata_is_overlap() {
         let mut image = sample_image();
         let idx = chunk_index_addr(&image) as usize;
-        let sb = Superblock::decode(&image[..meta::SUPERBLOCK_SIZE as usize]).unwrap();
+        let sb = live_sb(&image);
         // Point chunk 0 at the root header block: two owners, one extent.
         image[idx + 4..idx + 12].copy_from_slice(&sb.root_addr.to_le_bytes());
         let report = fsck_bytes(&image);
@@ -667,7 +729,7 @@ mod tests {
     #[test]
     fn corrupt_header_kind_is_flagged() {
         let mut image = sample_image();
-        let sb = Superblock::decode(&image[..meta::SUPERBLOCK_SIZE as usize]).unwrap();
+        let sb = live_sb(&image);
         image[sb.root_addr as usize] = 77;
         let report = fsck_bytes(&image);
         assert!(
@@ -682,14 +744,88 @@ mod tests {
     #[test]
     fn eof_beyond_image_is_flagged() {
         let mut image = sample_image();
-        let huge = (image.len() as u64 + 1000).to_le_bytes();
-        image[20..28].copy_from_slice(&huge); // superblock eof field
+        let huge = image.len() as u64 + 1000;
+        // Re-signed, so the eof bounds check itself fires (not the CRC).
+        poke_sb(&mut image, |sb| sb.eof = huge);
         let report = fsck_bytes(&image);
         assert!(
             report
                 .findings
                 .iter()
                 .any(|f| matches!(f, Finding::SuperblockInvalid { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn vacant_slot_is_not_a_finding() {
+        // A freshly created file has generation 1 in slot B and a vacant
+        // slot A; fsck must treat vacancy as normal, not as corruption.
+        let fs = MemFs::new();
+        let f = H5File::create(fs.create("v.h5"), "v.h5", FileOptions::default()).unwrap();
+        f.close().unwrap();
+        let image = fs.snapshot("v.h5").unwrap();
+        assert!(
+            super::slot_vacant(&image[..meta::SUPERBLOCK_SIZE as usize]),
+            "slot A of a fresh file should be vacant"
+        );
+        let report = fsck_bytes(&image);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn corrupt_populated_slot_is_flagged_but_walk_continues() {
+        let mut image = sample_image();
+        // Slot A holds the live generation after close; breaking its magic
+        // must surface a finding while the walk falls back to slot B.
+        image[0] = b'X';
+        let report = fsck_bytes(&image);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| matches!(f, Finding::SuperblockInvalid { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn journaled_file_passes_and_claims_its_journal() {
+        use dayu_hdf::Durability;
+        let fs = MemFs::new();
+        let f = H5File::create(
+            fs.create("j.h5"),
+            "j.h5",
+            FileOptions::default().with_durability(Durability::Journal),
+        )
+        .unwrap();
+        let mut ds = f
+            .root()
+            .create_dataset("d", DatasetBuilder::new(DataType::Int { width: 8 }, &[4]))
+            .unwrap();
+        ds.write_u64s(&[1, 2, 3, 4]).unwrap();
+        ds.close().unwrap();
+        f.close().unwrap();
+        let image = fs.snapshot("j.h5").unwrap();
+        let sb = live_sb(&image);
+        assert_ne!(sb.journal_addr, 0, "journaled file records its journal");
+        let report = fsck_bytes(&image);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn journal_region_beyond_file_is_flagged() {
+        let mut image = sample_image();
+        let len = image.len() as u64;
+        poke_sb(&mut image, |sb| {
+            sb.journal_addr = len + 64;
+            sb.journal_cap = 4096;
+        });
+        let report = fsck_bytes(&image);
+        assert!(
+            report.findings.iter().any(
+                |f| matches!(f, Finding::SuperblockInvalid { detail } if detail.contains("journal"))
+            ),
             "{report}"
         );
     }

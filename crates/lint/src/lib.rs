@@ -27,10 +27,13 @@
 //!    file image: superblock/object-header invariants, chunk-index entries
 //!    inside the allocated file, live global-heap references, and no two
 //!    structures claiming the same bytes.
+//! 3b. **Format repair** ([`repair`]) — best-effort in-place reconstruction
+//!    of a damaged image: journal roll-forward/back, superblock surgery,
+//!    then an iterative prune that detaches whatever fsck still flags.
 //!
 //! CLI entry points: `dayu-analyze check <trace.{jsonl,dtb}>` (passes 1 and
 //! 1b over a recorded trace, with `--json` / `--deny <class>` for CI
-//! gating) and `dayu-h5ls --fsck <file>` (pass 3).
+//! gating) and `dayu-h5ls --fsck [--repair] <file>` (passes 3/3b).
 
 pub mod extent;
 pub mod fsck;
@@ -38,6 +41,7 @@ pub mod hazard;
 pub mod hb;
 pub mod lifetime;
 pub mod model;
+pub mod repair;
 pub mod verify;
 
 pub use extent::{Extent, ExtentCatalog, ExtentSet, IntervalTree, TaskFileExtents};
@@ -49,6 +53,7 @@ pub use hazard::{
 pub use hb::{OpCtx, TaskHb};
 pub use lifetime::LifetimePass;
 pub use model::{Finding, Report};
+pub use repair::{repair_bytes, RepairReport};
 pub use verify::{
     check, snapshot, snapshot_with, verified, verified_with_extents, PlanSnapshot,
     SemanticsViolation,

@@ -1,0 +1,864 @@
+//! Pass 3b — `fsck --repair`: best-effort reconstruction of a damaged
+//! `dayu-hdf` image.
+//!
+//! Repair is layered to mirror how damage happens:
+//!
+//! 1. **Journal recovery** — [`dayu_hdf::journal::recover_bytes`] rolls a
+//!    journaled file forward (sealed epoch) or back (torn epoch) to its
+//!    last committed generation. This alone heals every crash the
+//!    write-ahead protocol covers.
+//! 2. **Superblock surgery** — clamp an end-of-file that overruns the
+//!    physical image, drop an out-of-bounds journal region, rebuild a
+//!    missing root group, re-sign the live slot, and clear a populated
+//!    but undecodable sibling slot.
+//! 3. **Iterative prune** — run [`fsck_bytes`], translate each finding
+//!    into the smallest structure drop that removes it (unlink an
+//!    undecodable child, discard an out-of-bounds extent, zero a bogus
+//!    chunk entry, null a dangling heap descriptor), and repeat until the
+//!    image is clean, nothing more can be fixed, or the pass budget runs
+//!    out. Pruning only ever *detaches* data — bytes are never invented —
+//!    so a repaired file is a consistent subset of the damaged one.
+//!
+//! Only one condition is unrecoverable: no superblock slot decodes, which
+//! leaves nothing to anchor the walk.
+
+use crate::fsck::{fsck_bytes, out_of_bounds, slot_vacant};
+use crate::model::{Finding, Report};
+use dayu_hdf::chunk::ChunkIndex;
+use dayu_hdf::group;
+use dayu_hdf::heap::{HeapRef, HEAP_HEADER, HEAP_MAGIC};
+use dayu_hdf::journal;
+use dayu_hdf::meta::{self, LayoutMessage, ObjectHeader, Superblock};
+use dayu_hdf::RecoveryReport;
+use dayu_trace::vol::ObjectKind;
+
+/// Prune iterations before giving up on a still-dirty image.
+const MAX_PASSES: u64 = 8;
+
+/// What a repair run did and what (if anything) it could not fix.
+#[derive(Debug, Default)]
+pub struct RepairReport {
+    /// Journal recovery outcome (phase 1), when a superblock decoded.
+    pub recovery: Option<RecoveryReport>,
+    /// Human-readable log of every mutation, in application order.
+    pub actions: Vec<String>,
+    /// fsck evaluations performed by the prune loop.
+    pub passes: u64,
+    /// Findings still present after the final pass (empty on success).
+    pub remaining: Report,
+    /// No superblock slot decodes: there is nothing to repair from.
+    pub unrecoverable: bool,
+}
+
+impl RepairReport {
+    /// Whether the image is structurally sound after repair.
+    pub fn is_clean(&self) -> bool {
+        !self.unrecoverable && self.remaining.is_clean()
+    }
+
+    /// Whether repair changed the image at all.
+    pub fn modified(&self) -> bool {
+        !self.actions.is_empty()
+    }
+}
+
+impl std::fmt::Display for RepairReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.unrecoverable {
+            return writeln!(f, "unrecoverable: no valid superblock slot");
+        }
+        for a in &self.actions {
+            writeln!(f, "repaired: {a}")?;
+        }
+        if self.is_clean() {
+            writeln!(f, "clean after {} action(s)", self.actions.len())
+        } else {
+            write!(f, "still dirty: {}", self.remaining)
+        }
+    }
+}
+
+/// Repairs `image` in place. See the module docs for the phase order.
+pub fn repair_bytes(image: &mut Vec<u8>) -> RepairReport {
+    let mut rep = RepairReport::default();
+    if (image.len() as u64) < meta::SUPERBLOCK_SIZE {
+        rep.unrecoverable = true;
+        rep.remaining.push(Finding::SuperblockInvalid {
+            detail: format!(
+                "file is {} bytes, shorter than a superblock slot",
+                image.len()
+            ),
+        });
+        return rep;
+    }
+
+    // Phase 1: roll the journal forward or back.
+    match journal::recover_bytes(image) {
+        Ok((report, modified)) => {
+            if modified {
+                rep.actions.push(format!(
+                    "journal recovery: replayed {} frame(s) ({} B), discarded {} torn B, cut {} tail B",
+                    report.replayed_frames,
+                    report.replayed_bytes,
+                    report.discarded_bytes,
+                    report.truncated_tail
+                ));
+            }
+            rep.recovery = Some(report);
+        }
+        Err(e) => {
+            rep.unrecoverable = true;
+            rep.remaining.push(Finding::SuperblockInvalid {
+                detail: format!("no valid superblock slot: {e}"),
+            });
+            return rep;
+        }
+    }
+
+    // Phase 2: superblock surgery.
+    let Ok(mut sb) = Superblock::decode_region(image) else {
+        // recover_bytes just decoded it; only a logic bug lands here.
+        rep.unrecoverable = true;
+        return rep;
+    };
+    let mut sb_changed = false;
+    if (image.len() as u64) < meta::SUPERBLOCK_REGION {
+        image.resize(meta::SUPERBLOCK_REGION as usize, 0);
+        rep.actions
+            .push("zero-padded file to cover the superblock region".into());
+    }
+    if sb.eof > image.len() as u64 {
+        rep.actions.push(format!(
+            "clamped eof {} to file length {}",
+            sb.eof,
+            image.len()
+        ));
+        sb.eof = image.len() as u64;
+        sb_changed = true;
+    }
+    if sb.eof < meta::SUPERBLOCK_REGION {
+        rep.actions.push(format!(
+            "raised eof {} to the end of the superblock region",
+            sb.eof
+        ));
+        sb.eof = meta::SUPERBLOCK_REGION;
+        sb_changed = true;
+    }
+    if sb.journal_addr != 0 && out_of_bounds(sb.journal_addr, sb.journal_cap, image.len() as u64) {
+        rep.actions.push(format!(
+            "dropped out-of-bounds journal region at {}",
+            sb.journal_addr
+        ));
+        sb.journal_addr = 0;
+        sb.journal_cap = 0;
+        sb_changed = true;
+    }
+    if sb.root_addr == 0 || out_of_bounds(sb.root_addr, meta::HEADER_BLOCK_SIZE, sb.eof) {
+        // Rebuild an empty root group just past the superblock region —
+        // or past the journal if it happens to sit there.
+        let mut addr = meta::SUPERBLOCK_REGION;
+        if sb.journal_addr != 0 && addr < sb.journal_addr + sb.journal_cap {
+            let jend = sb.journal_addr + sb.journal_cap;
+            if addr + meta::HEADER_BLOCK_SIZE > sb.journal_addr {
+                addr = jend;
+            }
+        }
+        let need = (addr + meta::HEADER_BLOCK_SIZE) as usize;
+        if image.len() < need {
+            image.resize(need, 0);
+        }
+        if sb.eof < need as u64 {
+            sb.eof = need as u64;
+        }
+        write_header(image, addr, &ObjectHeader::new_group());
+        sb.root_addr = addr;
+        sb_changed = true;
+        rep.actions
+            .push(format!("rebuilt missing root group header at {addr}"));
+    }
+    let off = Superblock::slot_offset(sb.generation) as usize;
+    if sb_changed {
+        image[off..off + meta::SUPERBLOCK_SIZE as usize].copy_from_slice(&sb.encode());
+    }
+    let other = if off == 0 {
+        meta::SUPERBLOCK_SIZE as usize
+    } else {
+        0
+    };
+    let sibling = &image[other..other + meta::SUPERBLOCK_SIZE as usize];
+    if !slot_vacant(sibling) && Superblock::decode(sibling).is_err() {
+        image[other..other + meta::SUPERBLOCK_SIZE as usize].fill(0);
+        rep.actions
+            .push("cleared a populated but undecodable superblock slot".into());
+    }
+
+    // Phase 3: iterative prune until clean, stuck, or out of passes.
+    loop {
+        rep.passes += 1;
+        let findings = fsck_bytes(image);
+        if findings.is_clean() || rep.passes > MAX_PASSES {
+            rep.remaining = findings;
+            return rep;
+        }
+        let before = rep.actions.len();
+        apply_fixes(image, &sb, &findings, &mut rep.actions);
+        if rep.actions.len() == before {
+            rep.remaining = findings;
+            return rep;
+        }
+    }
+}
+
+/// Translates one pass worth of findings into structure drops.
+fn apply_fixes(image: &mut Vec<u8>, sb: &Superblock, report: &Report, actions: &mut Vec<String>) {
+    let mut fixed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for f in &report.findings {
+        match f {
+            Finding::ObjectHeaderInvalid { path, .. } => {
+                if fixed.insert(format!("obj:{path}")) {
+                    fix_object(image, sb, path, actions);
+                }
+            }
+            Finding::ChunkEntryOutOfBounds {
+                dataset, ordinal, ..
+            } => {
+                zero_chunk_entry(image, sb, dataset, *ordinal, actions);
+            }
+            Finding::DanglingHeapRef { dataset, .. } => {
+                if fixed.insert(format!("heap:{dataset}")) {
+                    fix_heap_refs(image, sb, dataset, actions);
+                }
+            }
+            Finding::SharedRawExtent { b_dataset, .. } => {
+                // Two datasets own the same bytes; detach the later path
+                // (the earlier keeps the data, matching allocator intent).
+                if fixed.insert(format!("raw:{b_dataset}")) {
+                    drop_raw_storage(image, sb, b_dataset, actions);
+                }
+            }
+            Finding::OverlappingExtents { a, b, .. } => {
+                if !apply_overlap_fix(image, sb, b, &mut fixed, actions) {
+                    apply_overlap_fix(image, sb, a, &mut fixed, actions);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Extracts the quoted object path from a claim label such as
+/// `chunk 3 of "/grid/k"` or `entry table "/sim"`.
+fn label_owner(label: &str) -> Option<String> {
+    let start = label.find('"')?;
+    let end = label.rfind('"')?;
+    if end <= start {
+        return None;
+    }
+    Some(label[start + 1..end].to_string())
+}
+
+/// Resolves an overlap by detaching the labelled structure: raw-data
+/// claims lose their storage pointers, metadata claims lose the child.
+fn apply_overlap_fix(
+    image: &mut Vec<u8>,
+    sb: &Superblock,
+    label: &str,
+    fixed: &mut std::collections::BTreeSet<String>,
+    actions: &mut Vec<String>,
+) -> bool {
+    let Some(path) = label_owner(label) else {
+        return false;
+    };
+    let raw = label.starts_with("contiguous")
+        || (label.starts_with("chunk ") && !label.starts_with("chunk index"));
+    if !fixed.insert(format!("overlap:{label}")) {
+        return true; // already handled this pass
+    }
+    if raw {
+        drop_raw_storage(image, sb, &path, actions)
+    } else if path != "/" {
+        drop_child(image, sb, &path, actions)
+    } else {
+        false
+    }
+}
+
+fn read_header(image: &[u8], addr: u64) -> Option<ObjectHeader> {
+    if addr == 0 || out_of_bounds(addr, meta::HEADER_BLOCK_SIZE, image.len() as u64) {
+        return None;
+    }
+    ObjectHeader::decode(&image[addr as usize..(addr + meta::HEADER_BLOCK_SIZE) as usize]).ok()
+}
+
+fn write_header(image: &mut [u8], addr: u64, h: &ObjectHeader) -> bool {
+    let Ok(bytes) = h.encode() else {
+        return false;
+    };
+    let start = addr as usize;
+    if start + bytes.len() > image.len() {
+        return false;
+    }
+    image[start..start + bytes.len()].copy_from_slice(&bytes);
+    true
+}
+
+fn table_of(image: &[u8], h: &ObjectHeader) -> Option<Vec<group::Entry>> {
+    if h.table_addr == 0 {
+        return Some(Vec::new());
+    }
+    if out_of_bounds(h.table_addr, h.table_len, image.len() as u64) {
+        return None;
+    }
+    group::decode_table(&image[h.table_addr as usize..(h.table_addr + h.table_len) as usize]).ok()
+}
+
+/// Walks `path` from the root, returning the object's header address.
+fn resolve(image: &[u8], root: u64, path: &str) -> Option<u64> {
+    let mut addr = root;
+    for comp in path.split('/').filter(|c| !c.is_empty()) {
+        let h = read_header(image, addr)?;
+        let entries = table_of(image, &h)?;
+        addr = entries.into_iter().find(|e| e.name == comp)?.addr;
+    }
+    Some(addr)
+}
+
+/// Splits `/a/b/c` into (`/a/b`, `c`); `None` for the root itself.
+fn split_parent(path: &str) -> Option<(String, String)> {
+    let trimmed = path.trim_end_matches('/');
+    if trimmed.is_empty() {
+        return None;
+    }
+    let idx = trimmed.rfind('/')?;
+    let parent = if idx == 0 {
+        "/".to_string()
+    } else {
+        trimmed[..idx].to_string()
+    };
+    Some((parent, trimmed[idx + 1..].to_string()))
+}
+
+/// Unlinks `path` from its parent's entry table (rebuilt in place — it
+/// only ever shrinks). Unlinking the root rebuilds it as an empty group.
+fn drop_child(image: &mut Vec<u8>, sb: &Superblock, path: &str, actions: &mut Vec<String>) -> bool {
+    let Some((parent, leaf)) = split_parent(path) else {
+        if write_header(image, sb.root_addr, &ObjectHeader::new_group()) {
+            actions.push("rebuilt unrepairable root as an empty group".into());
+            return true;
+        }
+        return false;
+    };
+    let Some(paddr) = resolve(image, sb.root_addr, &parent) else {
+        return false;
+    };
+    let Some(mut h) = read_header(image, paddr) else {
+        return false;
+    };
+    let Some(mut entries) = table_of(image, &h) else {
+        return false;
+    };
+    let n = entries.len();
+    entries.retain(|e| e.name != leaf);
+    if entries.len() == n {
+        return false;
+    }
+    if entries.is_empty() {
+        h.table_addr = 0;
+        h.table_len = 0;
+    } else {
+        let bytes = group::encode_table(&entries);
+        let start = h.table_addr as usize;
+        if start + bytes.len() > image.len() {
+            return false;
+        }
+        image[start..start + bytes.len()].copy_from_slice(&bytes);
+        h.table_len = bytes.len() as u64;
+    }
+    if !write_header(image, paddr, &h) {
+        return false;
+    }
+    actions.push(format!("unlinked unrepairable child {path:?}"));
+    true
+}
+
+/// Expected chunk count for a chunked dataset's dataspace.
+fn expected_chunks(shape: &[u64], chunk_dims: &[u64]) -> u64 {
+    shape
+        .iter()
+        .zip(chunk_dims)
+        .map(|(&s, &c)| s.div_ceil(c))
+        .product::<u64>()
+        .max(1)
+}
+
+/// Re-diagnoses the object behind an [`Finding::ObjectHeaderInvalid`] and
+/// applies the narrowest fix; unlinks it when the damage is structural.
+fn fix_object(image: &mut Vec<u8>, sb: &Superblock, path: &str, actions: &mut Vec<String>) -> bool {
+    let addr = if path == "/" {
+        Some(sb.root_addr)
+    } else {
+        resolve(image, sb.root_addr, path)
+    };
+    let Some(addr) = addr else {
+        return drop_child(image, sb, path, actions);
+    };
+    let Some(mut h) = read_header(image, addr) else {
+        return drop_child(image, sb, path, actions);
+    };
+    let len = image.len() as u64;
+    let mut changed = false;
+    if h.attr_addr != 0 {
+        let bad = out_of_bounds(h.attr_addr, h.attr_len, len)
+            || meta::decode_attrs(
+                &image[h.attr_addr as usize..(h.attr_addr + h.attr_len) as usize],
+            )
+            .is_err();
+        if bad {
+            h.attr_addr = 0;
+            h.attr_len = 0;
+            changed = true;
+            actions.push(format!("detached corrupt attribute block of {path:?}"));
+        }
+    }
+    match h.kind {
+        ObjectKind::Group => {
+            if h.layout.is_some() || h.dtype.is_some() || !h.shape.is_empty() {
+                h.layout = None;
+                h.dtype = None;
+                h.shape.clear();
+                changed = true;
+                actions.push(format!("stripped dataset messages from group {path:?}"));
+            }
+            if h.table_addr != 0 && table_of(image, &h).is_none() {
+                h.table_addr = 0;
+                h.table_len = 0;
+                changed = true;
+                actions.push(format!("dropped undecodable entry table of {path:?}"));
+            }
+        }
+        _ => {
+            if h.table_addr != 0 || h.table_len != 0 {
+                h.table_addr = 0;
+                h.table_len = 0;
+                changed = true;
+                actions.push(format!("stripped entry table from dataset {path:?}"));
+            }
+            let sound = match h.layout.clone() {
+                None => false,
+                Some(LayoutMessage::Compact { .. }) => true,
+                Some(LayoutMessage::Contiguous { addr: ext, size }) => {
+                    if ext != 0 && out_of_bounds(ext, size, sb.eof.min(len)) {
+                        h.layout = Some(LayoutMessage::Contiguous { addr: 0, size: 0 });
+                        changed = true;
+                        actions.push(format!(
+                            "discarded out-of-bounds contiguous extent of {path:?}"
+                        ));
+                    }
+                    true
+                }
+                Some(LayoutMessage::Chunked {
+                    chunk_dims,
+                    index_addr,
+                    index_len,
+                }) => {
+                    chunk_dims.len() == h.shape.len()
+                        && !chunk_dims.contains(&0)
+                        && !out_of_bounds(index_addr, index_len, len)
+                        && ChunkIndex::decode_block(
+                            &image[index_addr as usize..(index_addr + index_len) as usize],
+                        )
+                        .is_ok_and(|e| e.len() as u64 == expected_chunks(&h.shape, &chunk_dims))
+                }
+            };
+            if !sound {
+                return drop_child(image, sb, path, actions);
+            }
+        }
+    }
+    if changed {
+        return write_header(image, addr, &h);
+    }
+    // The finding did not match any diagnosis we know how to narrow;
+    // unlink so the prune loop cannot spin without progress.
+    drop_child(image, sb, path, actions)
+}
+
+/// Zeroes chunk entry `ordinal` of `dataset` (0 = unallocated).
+fn zero_chunk_entry(
+    image: &mut Vec<u8>,
+    sb: &Superblock,
+    dataset: &str,
+    ordinal: u64,
+    actions: &mut Vec<String>,
+) -> bool {
+    let Some(addr) = resolve(image, sb.root_addr, dataset) else {
+        return false;
+    };
+    let Some(h) = read_header(image, addr) else {
+        return false;
+    };
+    let Some(LayoutMessage::Chunked {
+        index_addr,
+        index_len,
+        ..
+    }) = h.layout
+    else {
+        return false;
+    };
+    let entry = ChunkIndex::byte_len(1) - ChunkIndex::byte_len(0);
+    let off = index_addr + ChunkIndex::byte_len(ordinal);
+    if out_of_bounds(off, entry, (index_addr + index_len).min(image.len() as u64)) {
+        return false;
+    }
+    image[off as usize..(off + entry) as usize].fill(0);
+    actions.push(format!(
+        "cleared out-of-bounds chunk {ordinal} of {dataset:?}"
+    ));
+    true
+}
+
+/// Detaches all raw storage of `dataset`: contiguous extents become
+/// unallocated, chunk entries are zeroed. Structure survives, data does
+/// not — the only safe answer once two owners dispute the bytes.
+fn drop_raw_storage(
+    image: &mut Vec<u8>,
+    sb: &Superblock,
+    dataset: &str,
+    actions: &mut Vec<String>,
+) -> bool {
+    let Some(addr) = resolve(image, sb.root_addr, dataset) else {
+        return false;
+    };
+    let Some(mut h) = read_header(image, addr) else {
+        return false;
+    };
+    match h.layout.clone() {
+        Some(LayoutMessage::Contiguous { addr: ext, .. }) if ext != 0 => {
+            h.layout = Some(LayoutMessage::Contiguous { addr: 0, size: 0 });
+            if !write_header(image, addr, &h) {
+                return false;
+            }
+        }
+        Some(LayoutMessage::Chunked {
+            index_addr,
+            index_len,
+            ..
+        }) => {
+            let start = (index_addr + ChunkIndex::byte_len(0)) as usize;
+            let end = (index_addr + index_len) as usize;
+            if end > image.len() || start > end {
+                return false;
+            }
+            image[start..end].fill(0);
+        }
+        _ => return false,
+    }
+    actions.push(format!("detached disputed raw storage of {dataset:?}"));
+    true
+}
+
+/// Whether a heap descriptor references a live, in-bounds payload.
+fn heap_ref_ok(image: &[u8], r: &HeapRef) -> bool {
+    let len = image.len() as u64;
+    if out_of_bounds(r.block_addr, HEAP_HEADER, len) {
+        return false;
+    }
+    let head = &image[r.block_addr as usize..r.block_addr as usize + 4];
+    if u32::from_le_bytes(head.try_into().expect("4-byte slice")) != HEAP_MAGIC {
+        return false;
+    }
+    if (r.offset as u64) < HEAP_HEADER {
+        return false;
+    }
+    !out_of_bounds(r.block_addr, r.offset as u64 + r.len as u64, len)
+}
+
+/// Offsets (within `region`) of descriptors that must be nulled.
+fn bad_slots(image: &[u8], region: &[u8]) -> Vec<usize> {
+    let slot = HeapRef::SIZE as usize;
+    let mut out = Vec::new();
+    for (i, chunk) in region.chunks_exact(slot).enumerate() {
+        let Ok(r) = HeapRef::decode(chunk) else {
+            continue;
+        };
+        if !r.is_null() && !heap_ref_ok(image, &r) {
+            out.push(i * slot);
+        }
+    }
+    out
+}
+
+/// Nulls every dangling variable-length descriptor of `dataset` and trims
+/// storage that is not a whole number of descriptors.
+fn fix_heap_refs(
+    image: &mut Vec<u8>,
+    sb: &Superblock,
+    dataset: &str,
+    actions: &mut Vec<String>,
+) -> bool {
+    let Some(addr) = resolve(image, sb.root_addr, dataset) else {
+        return false;
+    };
+    let Some(mut h) = read_header(image, addr) else {
+        return false;
+    };
+    let slot = HeapRef::SIZE;
+    let mut nulled = 0usize;
+    let mut trimmed = false;
+    match h.layout.clone() {
+        Some(LayoutMessage::Compact { mut data }) => {
+            let whole = data.len() - data.len() % slot as usize;
+            if whole != data.len() {
+                data.truncate(whole);
+                trimmed = true;
+            }
+            for off in bad_slots(image, &data) {
+                data[off..off + slot as usize].fill(0);
+                nulled += 1;
+            }
+            if nulled > 0 || trimmed {
+                h.layout = Some(LayoutMessage::Compact { data });
+                if !write_header(image, addr, &h) {
+                    return false;
+                }
+            }
+        }
+        Some(LayoutMessage::Contiguous { addr: ext, size }) if ext != 0 => {
+            let whole = size - size % slot;
+            if whole != size {
+                h.layout = Some(LayoutMessage::Contiguous {
+                    addr: ext,
+                    size: whole,
+                });
+                if !write_header(image, addr, &h) {
+                    return false;
+                }
+                trimmed = true;
+            }
+            if out_of_bounds(ext, whole, image.len() as u64) {
+                return false;
+            }
+            let region = image[ext as usize..(ext + whole) as usize].to_vec();
+            for off in bad_slots(image, &region) {
+                let at = ext as usize + off;
+                image[at..at + slot as usize].fill(0);
+                nulled += 1;
+            }
+        }
+        Some(LayoutMessage::Chunked {
+            index_addr,
+            index_len,
+            ..
+        }) => {
+            if out_of_bounds(index_addr, index_len, image.len() as u64) {
+                return false;
+            }
+            let Ok(entries) = ChunkIndex::decode_block(
+                &image[index_addr as usize..(index_addr + index_len) as usize],
+            ) else {
+                return false;
+            };
+            for (ordinal, (caddr, csize)) in entries.into_iter().enumerate() {
+                if caddr == 0 {
+                    continue;
+                }
+                let whole = csize as u64 - csize as u64 % slot;
+                if whole != csize as u64 {
+                    // Trim the entry's size field to whole descriptors.
+                    let at = (index_addr + ChunkIndex::byte_len(ordinal as u64) + 8) as usize;
+                    if at + 4 <= image.len() {
+                        image[at..at + 4].copy_from_slice(&(whole as u32).to_le_bytes());
+                        trimmed = true;
+                    }
+                }
+                if out_of_bounds(caddr, whole, image.len() as u64) {
+                    continue;
+                }
+                let region = image[caddr as usize..(caddr + whole) as usize].to_vec();
+                for off in bad_slots(image, &region) {
+                    let at = caddr as usize + off;
+                    image[at..at + slot as usize].fill(0);
+                    nulled += 1;
+                }
+            }
+        }
+        _ => return false,
+    }
+    if nulled == 0 && !trimmed {
+        return false;
+    }
+    actions.push(format!(
+        "nulled {nulled} dangling heap descriptor(s) of {dataset:?}"
+    ));
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_hdf::{DataType, DatasetBuilder, FileOptions, H5File};
+    use dayu_vfd::MemFs;
+
+    /// A small two-dataset file (contiguous + chunked + var-len).
+    fn sample_image() -> Vec<u8> {
+        let fs = MemFs::new();
+        let f = H5File::create(fs.create("r.h5"), "r.h5", FileOptions::default()).unwrap();
+        let g = f.root().create_group("g").unwrap();
+        let mut c = g
+            .create_dataset("c", DatasetBuilder::new(DataType::Int { width: 4 }, &[16]))
+            .unwrap();
+        c.write(&vec![7u8; 64]).unwrap();
+        c.close().unwrap();
+        let mut k = g
+            .create_dataset(
+                "k",
+                DatasetBuilder::new(DataType::Int { width: 1 }, &[32]).chunks(&[8]),
+            )
+            .unwrap();
+        k.write(&vec![3u8; 32]).unwrap();
+        k.close().unwrap();
+        let mut vl = f
+            .root()
+            .create_dataset("vl", DatasetBuilder::new(DataType::VarLen, &[2]))
+            .unwrap();
+        vl.write_varlen(0, &[b"hello", b"world"]).unwrap();
+        vl.close().unwrap();
+        f.close().unwrap();
+        fs.snapshot("r.h5").unwrap()
+    }
+
+    fn live_sb(image: &[u8]) -> Superblock {
+        Superblock::decode_region(image).unwrap()
+    }
+
+    #[test]
+    fn clean_file_needs_no_repair() {
+        let mut image = sample_image();
+        let rep = repair_bytes(&mut image);
+        assert!(rep.is_clean(), "{rep}");
+        assert!(
+            !rep.modified(),
+            "actions on a clean file: {:?}",
+            rep.actions
+        );
+    }
+
+    #[test]
+    fn garbage_is_unrecoverable() {
+        let mut image = vec![0u8; 4096];
+        let rep = repair_bytes(&mut image);
+        assert!(rep.unrecoverable);
+        assert!(!rep.is_clean());
+        let mut short = vec![1u8; 10];
+        assert!(repair_bytes(&mut short).unrecoverable);
+    }
+
+    #[test]
+    fn truncated_tail_is_repaired() {
+        let mut image = sample_image();
+        // Lop off the last structure: eof now overruns the image.
+        image.truncate(image.len() - 100);
+        assert!(!fsck_bytes(&image).is_clean());
+        let rep = repair_bytes(&mut image);
+        assert!(rep.is_clean(), "{rep}");
+        assert!(rep.modified());
+        assert!(fsck_bytes(&image).is_clean());
+    }
+
+    #[test]
+    fn corrupt_child_header_is_unlinked() {
+        let mut image = sample_image();
+        let sb = live_sb(&image);
+        let root = read_header(&image, sb.root_addr).unwrap();
+        let entries = table_of(&image, &root).unwrap();
+        let g = entries.iter().find(|e| e.name == "g").unwrap().addr;
+        let gh = read_header(&image, g).unwrap();
+        let c = table_of(&image, &gh)
+            .unwrap()
+            .into_iter()
+            .find(|e| e.name == "c")
+            .unwrap()
+            .addr;
+        image[c as usize..(c + 16) as usize].fill(0xFF);
+        assert!(!fsck_bytes(&image).is_clean());
+        let rep = repair_bytes(&mut image);
+        assert!(rep.is_clean(), "{rep}");
+        // The sibling dataset survived the prune.
+        assert!(resolve(&image, live_sb(&image).root_addr, "/g/k").is_some());
+        assert!(resolve(&image, live_sb(&image).root_addr, "/g/c").is_none());
+    }
+
+    #[test]
+    fn out_of_bounds_chunk_entry_is_cleared() {
+        let mut image = sample_image();
+        let sb = live_sb(&image);
+        let k = resolve(&image, sb.root_addr, "/g/k").unwrap();
+        let h = read_header(&image, k).unwrap();
+        let Some(LayoutMessage::Chunked { index_addr, .. }) = h.layout else {
+            panic!("expected chunked layout");
+        };
+        let e0 = (index_addr + ChunkIndex::byte_len(0)) as usize;
+        let bogus = image.len() as u64 + 4096;
+        image[e0..e0 + 8].copy_from_slice(&bogus.to_le_bytes());
+        assert!(!fsck_bytes(&image).is_clean());
+        let rep = repair_bytes(&mut image);
+        assert!(rep.is_clean(), "{rep}");
+    }
+
+    #[test]
+    fn dangling_heap_ref_is_nulled() {
+        let mut image = sample_image();
+        let sb = live_sb(&image);
+        let vl = resolve(&image, sb.root_addr, "/vl").unwrap();
+        let h = read_header(&image, vl).unwrap();
+        // Smash the heap block the first descriptor points at.
+        let storage = match h.layout {
+            Some(LayoutMessage::Contiguous { addr, .. }) => addr,
+            other => panic!("expected contiguous var-len storage, got {other:?}"),
+        };
+        let href = HeapRef::decode(&image[storage as usize..storage as usize + 16]).unwrap();
+        assert!(!href.is_null());
+        image[href.block_addr as usize] ^= 0xFF; // break the heap magic
+        assert!(!fsck_bytes(&image).is_clean());
+        let rep = repair_bytes(&mut image);
+        assert!(rep.is_clean(), "{rep}");
+        let after = HeapRef::decode(&image[storage as usize..storage as usize + 16]).unwrap();
+        assert!(after.is_null(), "descriptor should be nulled");
+    }
+
+    #[test]
+    fn repair_is_idempotent() {
+        let mut image = sample_image();
+        image.truncate(image.len() - 64);
+        let first = repair_bytes(&mut image);
+        assert!(first.is_clean(), "{first}");
+        let snapshot = image.clone();
+        let second = repair_bytes(&mut image);
+        assert!(second.is_clean());
+        assert!(!second.modified(), "second run acted: {:?}", second.actions);
+        assert_eq!(snapshot, image, "second run changed bytes");
+    }
+
+    #[test]
+    fn corrupt_sibling_slot_is_cleared() {
+        let mut image = sample_image();
+        // Slot B holds the stale generation; scribble over it.
+        image[(meta::SUPERBLOCK_SIZE + 8) as usize] ^= 0xFF;
+        assert!(!fsck_bytes(&image).is_clean());
+        let rep = repair_bytes(&mut image);
+        assert!(rep.is_clean(), "{rep}");
+        assert!(slot_vacant(
+            &image[meta::SUPERBLOCK_SIZE as usize..meta::SUPERBLOCK_REGION as usize]
+        ));
+    }
+
+    #[test]
+    fn split_parent_and_label_owner_parse() {
+        assert_eq!(split_parent("/a/b/c"), Some(("/a/b".into(), "c".into())));
+        assert_eq!(split_parent("/top"), Some(("/".into(), "top".into())));
+        assert_eq!(split_parent("/"), None);
+        assert_eq!(label_owner("chunk 3 of \"/g/k\""), Some("/g/k".into()));
+        assert_eq!(label_owner("entry table \"/\""), Some("/".into()));
+        assert_eq!(label_owner("heap block @123"), None);
+    }
+}

@@ -221,7 +221,7 @@ impl MapperState {
                 workflow: self.workflow,
                 task_order: self.task_order,
                 page_size: self.cfg.page_size,
-                degraded_tasks: Vec::new(),
+                ..Default::default()
             },
             vol: self.flushed_vol,
             vfd: self.vfd,

@@ -41,12 +41,16 @@ use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 
 /// Section magic; the trailing byte is the format version this build
-/// *writes*. The reader additionally accepts [`VERSION_V1`] sections, which
-/// differ only by the absence of stage lists in the meta frame.
-pub const MAGIC: [u8; 8] = [0x89, b'D', b'T', b'B', 0x0D, 0x0A, 0x1A, 0x02];
+/// *writes*. The reader additionally accepts [`VERSION_V1`] and
+/// [`VERSION_V2`] sections, which differ only by the absence of stage lists
+/// (v1) and recovered-task sets (v1, v2) in the meta frame.
+pub const MAGIC: [u8; 8] = [0x89, b'D', b'T', b'B', 0x0D, 0x0A, 0x1A, 0x03];
 
 /// The pre-stage-membership format version, still readable.
 pub const VERSION_V1: u8 = 0x01;
+
+/// The pre-crash-recovery format version, still readable.
+pub const VERSION_V2: u8 = 0x02;
 
 const TAG_END: u8 = 0x00;
 const TAG_META: u8 = 0x01;
@@ -145,6 +149,9 @@ fn build_table(bundle: &TraceBundle) -> TableBuilder {
         t.add(k.symbol());
     }
     for k in &bundle.meta.degraded_tasks {
+        t.add(k.symbol());
+    }
+    for k in &bundle.meta.recovered_tasks {
         t.add(k.symbol());
     }
     for stage in &bundle.meta.stages {
@@ -308,6 +315,10 @@ pub fn write_bundle<W: Write>(bundle: &TraceBundle, w: &mut W) -> io::Result<()>
     }
     write_usize(w, bundle.meta.degraded_tasks.len())?;
     for k in &bundle.meta.degraded_tasks {
+        write_varint(w, table.id(k.symbol()))?;
+    }
+    write_usize(w, bundle.meta.recovered_tasks.len())?;
+    for k in &bundle.meta.recovered_tasks {
         write_varint(w, table.id(k.symbol()))?;
     }
     write_usize(w, bundle.meta.stages.len())?;
@@ -534,10 +545,10 @@ pub fn stream_bundles<R: BufRead, S: RecordSink>(mut r: R, sink: &mut S) -> io::
             return Err(bad("not a DaYu binary trace (bad magic)"));
         }
         let version = magic[7];
-        if version != MAGIC[7] && version != VERSION_V1 {
+        if version != MAGIC[7] && version != VERSION_V1 && version != VERSION_V2 {
             return Err(bad(format!(
-                "unsupported .dtb version {version} (this build reads {} and {})",
-                VERSION_V1, MAGIC[7]
+                "unsupported .dtb version {version} (this build reads {}, {} and {})",
+                VERSION_V1, VERSION_V2, MAGIC[7]
             )));
         }
         let n = read_len(&mut r, "string table", LEN_CAP)?;
@@ -567,6 +578,14 @@ pub fn stream_bundles<R: BufRead, S: RecordSink>(mut r: R, sink: &mut S) -> io::
                     for _ in 0..n {
                         degraded_tasks.push(TaskKey::from_symbol(table.sym(&mut r)?));
                     }
+                    let mut recovered_tasks = Vec::new();
+                    if version >= 0x03 {
+                        let n = read_len(&mut r, "recovered set", LEN_CAP)?;
+                        recovered_tasks.reserve(n.min(65536));
+                        for _ in 0..n {
+                            recovered_tasks.push(TaskKey::from_symbol(table.sym(&mut r)?));
+                        }
+                    }
                     let mut stages = Vec::new();
                     if version >= 0x02 {
                         let n = read_len(&mut r, "stage list", LEN_CAP)?;
@@ -585,6 +604,7 @@ pub fn stream_bundles<R: BufRead, S: RecordSink>(mut r: R, sink: &mut S) -> io::
                         task_order,
                         page_size,
                         degraded_tasks,
+                        recovered_tasks,
                         stages,
                     })?;
                 }
@@ -692,7 +712,51 @@ mod tests {
     }
 
     #[test]
-    fn stages_round_trip_in_v2() {
+    fn v2_sections_read_without_recovered_set() {
+        // A pre-crash-recovery section: degraded set, then stage lists,
+        // no recovered set in between.
+        let mut bytes = Vec::new();
+        let mut magic = MAGIC;
+        magic[7] = VERSION_V2;
+        bytes.extend_from_slice(&magic);
+        write_usize(&mut bytes, 2).unwrap();
+        for s in ["wf", "t1"] {
+            write_usize(&mut bytes, s.len()).unwrap();
+            bytes.extend_from_slice(s.as_bytes());
+        }
+        bytes.push(TAG_META);
+        write_varint(&mut bytes, 0).unwrap(); // workflow id
+        write_varint(&mut bytes, 4096).unwrap(); // page size
+        write_usize(&mut bytes, 1).unwrap(); // task order
+        write_varint(&mut bytes, 1).unwrap();
+        write_usize(&mut bytes, 1).unwrap(); // degraded set
+        write_varint(&mut bytes, 1).unwrap();
+        write_usize(&mut bytes, 1).unwrap(); // one stage...
+        write_usize(&mut bytes, 1).unwrap(); // ...of one task
+        write_varint(&mut bytes, 1).unwrap();
+        bytes.push(TAG_END);
+        let b = read_bundles(&bytes[..]).unwrap();
+        assert!(b.is_degraded(&TaskKey::new("t1")));
+        assert!(b.meta.recovered_tasks.is_empty());
+        assert_eq!(b.meta.stages, vec![vec![TaskKey::new("t1")]]);
+    }
+
+    #[test]
+    fn recovered_set_round_trips_in_v3() {
+        let mut b = TraceBundle::new("wf");
+        b.push_task(TaskKey::new("a"));
+        b.push_task(TaskKey::new("b"));
+        b.mark_recovered(TaskKey::new("a"));
+        let bytes = b.to_binary_bytes();
+        assert_eq!(bytes[7], 0x03);
+        let back = read_bundles(&bytes[..]).unwrap();
+        assert!(back.is_recovered(&TaskKey::new("a")));
+        assert!(!back.is_recovered(&TaskKey::new("b")));
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn stages_round_trip() {
         let mut b = TraceBundle::new("wf");
         b.push_task(TaskKey::new("a"));
         b.push_task(TaskKey::new("b"));

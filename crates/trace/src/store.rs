@@ -87,6 +87,14 @@ pub struct TraceMeta {
     /// dataflow. Absent in pre-salvage traces, hence the serde default.
     #[serde(default)]
     pub degraded_tasks: Vec<TaskKey>,
+    /// Tasks that resumed from crash recovery: a retry attempt reopened a
+    /// journaled file an earlier attempt left unclean and rolled it to its
+    /// last committed state before continuing. Their records describe the
+    /// *successful* attempt over recovered state, so graphs are complete —
+    /// unlike [`TraceMeta::degraded_tasks`] — but timing includes the
+    /// recovery pause. Absent in pre-recovery traces, hence the default.
+    #[serde(default)]
+    pub recovered_tasks: Vec<TaskKey>,
     /// Stage membership as recorded by the workflow engine: `stages[i]` lists
     /// the tasks launched in barrier-synchronized stage `i`. This is the
     /// ground truth the lint happens-before engine orders cross-task ops
@@ -137,6 +145,7 @@ impl RecordSink for Collector {
         // read path must restore the sorted invariant mark_degraded
         // relies on.
         let degraded = std::mem::take(&mut m.degraded_tasks);
+        let recovered = std::mem::take(&mut m.recovered_tasks);
         if self.saw_meta {
             for t in m.task_order {
                 if !self.out.meta.task_order.contains(&t) {
@@ -152,6 +161,9 @@ impl RecordSink for Collector {
         }
         for t in degraded {
             self.out.mark_degraded(t);
+        }
+        for t in recovered {
+            self.out.mark_recovered(t);
         }
         Ok(())
     }
@@ -203,6 +215,7 @@ impl TraceBundle {
                 task_order: Vec::new(),
                 page_size: 4096,
                 degraded_tasks: Vec::new(),
+                recovered_tasks: Vec::new(),
                 stages: Vec::new(),
             },
             ..Default::default()
@@ -229,6 +242,25 @@ impl TraceBundle {
         !self.meta.degraded_tasks.is_empty()
     }
 
+    /// Marks `task` as resumed-from-recovery: one of its attempts reopened
+    /// a crashed journaled file and continued from its committed state.
+    /// Sorted and deduped like the degraded set.
+    pub fn mark_recovered(&mut self, task: TaskKey) {
+        if let Err(at) = self.meta.recovered_tasks.binary_search(&task) {
+            self.meta.recovered_tasks.insert(at, task);
+        }
+    }
+
+    /// Whether `task` was marked as resumed-from-recovery.
+    pub fn is_recovered(&self, task: &TaskKey) -> bool {
+        self.meta.recovered_tasks.binary_search(task).is_ok()
+    }
+
+    /// Whether any task in the bundle resumed from crash recovery.
+    pub fn has_recovered_tasks(&self) -> bool {
+        !self.meta.recovered_tasks.is_empty()
+    }
+
     /// Appends all records of `other` to this bundle, extending the task
     /// order with tasks not yet present. Used to join per-task traces into a
     /// workflow-wide trace.
@@ -240,6 +272,9 @@ impl TraceBundle {
         }
         for t in other.meta.degraded_tasks {
             self.mark_degraded(t);
+        }
+        for t in other.meta.recovered_tasks {
+            self.mark_recovered(t);
         }
         if self.meta.stages.is_empty() {
             self.meta.stages = other.meta.stages;
@@ -567,6 +602,37 @@ mod tests {
             merged.meta.degraded_tasks,
             vec![TaskKey::new("t1"), TaskKey::new("t2")]
         );
+    }
+
+    #[test]
+    fn recovered_marks_survive_round_trip_and_merge() {
+        let mut a = bundle();
+        a.mark_recovered(TaskKey::new("t1"));
+        a.mark_recovered(TaskKey::new("t1")); // idempotent
+        assert!(a.is_recovered(&TaskKey::new("t1")));
+        assert!(a.has_recovered_tasks());
+        let back = TraceBundle::read_jsonl(&a.to_jsonl_bytes()[..]).unwrap();
+        assert_eq!(back.meta.recovered_tasks, vec![TaskKey::new("t1")]);
+
+        // Merge unions recovered sets without duplicates.
+        let mut b = bundle();
+        b.meta.task_order = vec![TaskKey::new("t2")];
+        b.mark_recovered(TaskKey::new("t2"));
+        a.merge(b.clone());
+        assert_eq!(
+            a.meta.recovered_tasks,
+            vec![TaskKey::new("t1"), TaskKey::new("t2")]
+        );
+
+        // Concatenated JSONL streams union recovered sets too, and a Meta
+        // line written before recovered_tasks existed decodes to an empty
+        // set without affecting the union.
+        let mut bytes = b.to_jsonl_bytes();
+        bytes.extend(br#"{"Meta":{"workflow":"old","task_order":[],"page_size":4096}}"#.as_slice());
+        bytes.push(b'\n');
+        let merged = TraceBundle::read_jsonl(&bytes[..]).unwrap();
+        assert_eq!(merged.meta.recovered_tasks, vec![TaskKey::new("t2")]);
+        assert!(!merged.is_recovered(&TaskKey::new("t1")));
     }
 
     #[test]

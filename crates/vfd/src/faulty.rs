@@ -106,7 +106,7 @@ impl ChaosRng {
 
 /// Deterministic 64-bit FNV-1a over a string — a stable task-name hash
 /// (unlike `DefaultHasher`, whose output may change across Rust releases).
-fn fnv1a64(s: &str) -> u64 {
+pub fn fnv1a64(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.as_bytes() {
         h ^= u64::from(*b);

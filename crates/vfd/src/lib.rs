@@ -17,14 +17,18 @@
 //! * [`FaultyVfd`] — fault injection for failure-path tests, driven either
 //!   by a single-shot [`FaultPlan`] or by the seeded [`FaultSchedule`]
 //!   chaos engine;
+//! * [`CrashVfd`] — deterministic process-death simulation (torn writes,
+//!   write-back cache loss) for crash-consistency tests;
 //! * [`CountingVfd`] — cheap op/byte counters without full tracing.
 
 pub mod counting;
+pub mod crash;
 pub mod faulty;
 pub mod file;
 pub mod mem;
 
 pub use counting::{CountingVfd, OpCounters};
+pub use crash::{CrashController, CrashSchedule, CrashVfd};
 pub use faulty::{ChaosRng, FaultInjector, FaultPlan, FaultSchedule, FaultyVfd};
 pub use file::FileVfd;
 pub use mem::{MemFs, MemVfd};

@@ -17,12 +17,12 @@
 
 use crate::retry::RetryPolicy;
 use crate::spec::{TaskIo, TaskSpec, WorkflowSpec};
-use dayu_hdf::{HdfError, Result};
+use dayu_hdf::{Durability, HdfError, Result};
 use dayu_mapper::{Mapper, MapperConfig};
 use dayu_trace::ids::TaskKey;
 use dayu_trace::store::TraceBundle;
 use dayu_trace::time::{Clock, RealClock};
-use dayu_vfd::{FaultInjector, FaultSchedule, MemFs};
+use dayu_vfd::{CrashController, CrashSchedule, FaultInjector, FaultSchedule, MemFs};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -42,12 +42,20 @@ pub struct TaskOutcome {
     pub error: Option<String>,
     /// Faults the chaos engine injected into this task (0 without chaos).
     pub faults_injected: u64,
+    /// Files whose crash recovery this task's attempts performed on
+    /// reopen, in recovery order (empty without crash injection).
+    pub recovered_files: Vec<String>,
 }
 
 impl TaskOutcome {
     /// Whether the task completed successfully (possibly after retries).
     pub fn succeeded(&self) -> bool {
         self.error.is_none()
+    }
+
+    /// Whether any attempt of this task resumed from crash recovery.
+    pub fn recovered(&self) -> bool {
+        !self.recovered_files.is_empty()
     }
 }
 
@@ -62,6 +70,18 @@ pub struct RecordOptions {
     /// Fault schedule to inject beneath the profiler; `None` (or a no-op
     /// schedule) records without chaos.
     pub chaos: Option<FaultSchedule>,
+    /// Crash schedule: deterministically kills each task's I/O at a seeded
+    /// write, tearing or dropping in-flight bytes; `None` (or a no-op
+    /// schedule) records without crash injection.
+    pub crash: Option<CrashSchedule>,
+    /// Durability mode for every file the workflow touches. Crash
+    /// injection without [`Durability::Journal`] loses whatever the torn
+    /// file held — exactly the failure the journal exists to prevent.
+    pub durability: Durability,
+    /// If `true`, retry attempts resume: `create` of a file the previous
+    /// attempt left behind recovers and reopens it instead of restarting
+    /// from scratch (bodies must use the idempotent `ensure_*` helpers).
+    pub resume: bool,
     /// If `true`, a permanently failed task contributes a truncated,
     /// `degraded`-marked trace fragment and recording continues; if
     /// `false`, task failures abort the run with an error naming every
@@ -78,6 +98,9 @@ impl Default for RecordOptions {
             mapper: MapperConfig::default(),
             retry: RetryPolicy::default(),
             chaos: None,
+            crash: None,
+            durability: Durability::default(),
+            resume: false,
             salvage: true,
             clock: None,
         }
@@ -89,6 +112,9 @@ impl std::fmt::Debug for RecordOptions {
         f.debug_struct("RecordOptions")
             .field("retry", &self.retry)
             .field("chaos", &self.chaos)
+            .field("crash", &self.crash)
+            .field("durability", &self.durability)
+            .field("resume", &self.resume)
             .field("salvage", &self.salvage)
             .field("clock", &self.clock.as_ref().map(|_| "<override>"))
             .finish_non_exhaustive()
@@ -99,6 +125,25 @@ impl RecordOptions {
     /// Options with the given chaos schedule.
     pub fn with_chaos(mut self, schedule: FaultSchedule) -> Self {
         self.chaos = Some(schedule);
+        self
+    }
+
+    /// Options with the given crash schedule.
+    pub fn with_crash(mut self, schedule: CrashSchedule) -> Self {
+        self.crash = Some(schedule);
+        self
+    }
+
+    /// Options with the given durability mode.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Options with resume-from-recovery enabled (or disabled) for retry
+    /// attempts.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
         self
     }
 
@@ -145,6 +190,20 @@ impl RecordedRun {
         self.outcomes.iter().any(|o| o.degraded)
     }
 
+    /// Whether any task resumed from crash recovery.
+    pub fn recovered(&self) -> bool {
+        self.outcomes.iter().any(|o| o.recovered())
+    }
+
+    /// Names of tasks that resumed from crash recovery, in outcome order.
+    pub fn recovered_tasks(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.recovered())
+            .map(|o| o.task.as_str())
+            .collect()
+    }
+
     /// Names of tasks that did not succeed, in outcome order.
     pub fn failed_tasks(&self) -> Vec<&str> {
         self.outcomes
@@ -179,9 +238,8 @@ pub fn record_with(spec: &WorkflowSpec, fs: &MemFs, cfg: &MapperConfig) -> Resul
         &RecordOptions {
             mapper: cfg.clone(),
             retry: RetryPolicy::none(),
-            chaos: None,
             salvage: false,
-            clock: None,
+            ..RecordOptions::default()
         },
     )
 }
@@ -210,9 +268,18 @@ fn run_task(
         .as_ref()
         .filter(|s| !s.is_noop())
         .map(|s| s.injector_for(&t.name));
+    // Likewise one crash controller per task: its write counter and
+    // fired-latch span attempts, so the seeded crash strikes exactly once
+    // and a revived retry proceeds past the crash point.
+    let crash: Option<CrashController> = opts
+        .crash
+        .as_ref()
+        .filter(|s| !s.is_noop())
+        .map(|s| s.controller_for(&t.name));
     let jitter_seed = opts.chaos.as_ref().map(|s| s.seed).unwrap_or(0);
     let started = Instant::now();
     let mut attempts = 0u32;
+    let mut recovered_files: Vec<String> = Vec::new();
     loop {
         attempts += 1;
         // A fresh mapper per attempt: a failed attempt's records are
@@ -221,14 +288,32 @@ fn run_task(
         let mapper =
             Mapper::with_config_and_clock(spec.name.clone(), opts.mapper.clone(), clock.clone());
         mapper.set_task(&t.name);
-        let io = match &injector {
+        let mut io = match &injector {
             Some(inj) => TaskIo::with_faults(fs, &mapper, inj.clone()),
             None => TaskIo::new(fs, &mapper),
         };
+        if let Some(c) = &crash {
+            io = io.with_crash(c.clone());
+        }
+        // Resume applies to *retry* attempts only: the first attempt of a
+        // task creates its outputs from scratch like any clean run.
+        io = io
+            .with_durability(opts.durability)
+            .with_resume(opts.resume && attempts > 1);
         let faults_so_far = || injector.as_ref().map(|i| i.faults_injected()).unwrap_or(0);
-        match (t.body)(&io) {
+        let result = (t.body)(&io);
+        for (file, _) in io.recoveries() {
+            if !recovered_files.contains(&file) {
+                recovered_files.push(file);
+            }
+        }
+        match result {
             Ok(()) => {
                 mapper.clear_task();
+                let mut bundle = mapper.into_bundle();
+                if !recovered_files.is_empty() {
+                    bundle.mark_recovered(TaskKey::new(t.name.as_str()));
+                }
                 return TaskRun {
                     outcome: TaskOutcome {
                         task: t.name.clone(),
@@ -236,8 +321,9 @@ fn run_task(
                         degraded: false,
                         error: None,
                         faults_injected: faults_so_far(),
+                        recovered_files,
                     },
-                    bundle: Some(mapper.into_bundle()),
+                    bundle: Some(bundle),
                     error: None,
                 };
             }
@@ -248,6 +334,11 @@ fn run_task(
                     .is_some_and(|d| started.elapsed().as_nanos() as u64 >= d);
                 if RetryPolicy::retryable(&e) && attempts < opts.retry.max_attempts && !deadline_hit
                 {
+                    // A crashed "machine" rejects all I/O until revived;
+                    // the fired-latch stays set, so the retry runs clean.
+                    if let Some(c) = &crash {
+                        c.revive();
+                    }
                     let pause = opts.retry.backoff_ns(attempts, jitter_seed);
                     if pause > 0 {
                         std::thread::sleep(std::time::Duration::from_nanos(pause));
@@ -258,6 +349,9 @@ fn run_task(
                 let bundle = opts.salvage.then(|| {
                     let mut b = mapper.into_bundle();
                     b.mark_degraded(TaskKey::new(t.name.as_str()));
+                    if !recovered_files.is_empty() {
+                        b.mark_recovered(TaskKey::new(t.name.as_str()));
+                    }
                     b
                 });
                 return TaskRun {
@@ -267,6 +361,7 @@ fn run_task(
                         degraded: opts.salvage,
                         error: Some(e.to_string()),
                         faults_injected: faults_so_far(),
+                        recovered_files,
                     },
                     bundle,
                     error: Some(e),
@@ -637,6 +732,69 @@ mod tests {
         let o = run.outcome_of("writer").unwrap();
         assert_eq!(o.attempts, 1, "deadline forbids retries");
         assert!(o.degraded);
+    }
+
+    #[test]
+    fn crashed_task_resumes_from_recovery() {
+        use dayu_vfd::CrashSchedule;
+        // Sweep the crash point across the task's whole write sequence.
+        // Invariant at every point: the run completes, and the final file
+        // holds both datasets with the right bytes — whether the retry
+        // resumed from a recovered image or restarted from scratch.
+        let body = |io: &TaskIo| {
+            let f = io.create("c.h5")?;
+            let mut a = f
+                .root()
+                .ensure_dataset("a", DatasetBuilder::new(DataType::Int { width: 8 }, &[32]))?;
+            a.write_u64s(&[7; 32])?;
+            a.close()?;
+            f.flush()?; // commit point: "a" is durable from here on
+            let mut b = f
+                .root()
+                .ensure_dataset("b", DatasetBuilder::new(DataType::Int { width: 8 }, &[32]))?;
+            b.write_u64s(&[9; 32])?;
+            b.close()?;
+            f.close()
+        };
+        let mut any_recovered = false;
+        for crash_at in 1..24 {
+            let spec = WorkflowSpec::new("crashy").stage("s", vec![TaskSpec::new("writer", body)]);
+            let fs = MemFs::new();
+            let opts = RecordOptions::default()
+                .with_crash(CrashSchedule::new(11).with_crash_at(crash_at).torn())
+                .with_durability(dayu_hdf::Durability::Journal)
+                .with_resume(true)
+                .with_retry(RetryPolicy::default().attempts(3).with_backoff(0, 0));
+            let run = record_opts(&spec, &fs, &opts).unwrap();
+            let o = run.outcome_of("writer").unwrap();
+            assert!(o.succeeded(), "crash@{crash_at}: {:?}", o.error);
+            assert!(o.attempts <= 2, "crash fires at most once");
+            any_recovered |= o.recovered();
+            if o.recovered() {
+                assert_eq!(o.recovered_files, vec!["c.h5".to_string()]);
+                assert!(run.recovered());
+                assert_eq!(run.recovered_tasks(), vec!["writer"]);
+                assert!(run.bundle.is_recovered(&TaskKey::new("writer")));
+            }
+            // Committed data round-trips regardless of the crash point.
+            let f = dayu_hdf::H5File::open(
+                fs.open_existing("c.h5").unwrap(),
+                "c.h5",
+                Default::default(),
+            )
+            .unwrap();
+            let mut a = f.root().open_dataset("a").unwrap();
+            assert_eq!(a.read_u64s().unwrap(), vec![7; 32], "crash@{crash_at}");
+            a.close().unwrap();
+            let mut b = f.root().open_dataset("b").unwrap();
+            assert_eq!(b.read_u64s().unwrap(), vec![9; 32], "crash@{crash_at}");
+            b.close().unwrap();
+            f.close().unwrap();
+        }
+        assert!(
+            any_recovered,
+            "at least one crash point must exercise resume-from-recovery"
+        );
     }
 
     #[test]

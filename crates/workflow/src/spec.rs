@@ -9,24 +9,38 @@
 //! via [`TaskIo`]; its modeled compute time is carried alongside so the
 //! replay simulation can account for computation between I/O phases.
 
-use dayu_hdf::{H5File, HdfError, Result};
+use dayu_hdf::{Durability, FileOptions, H5File, HdfError, RecoveryReport, Result};
 use dayu_mapper::Mapper;
-use dayu_vfd::{FaultInjector, FaultyVfd, MemFs};
-use std::sync::Arc;
+use dayu_vfd::{CrashController, CrashVfd, FaultInjector, FaultyVfd, MemFs, Vfd, VfdError};
+use std::sync::{Arc, Mutex};
 
 /// The I/O environment handed to a task body: file create/open through the
 /// task's profiling mapper over the shared in-memory filesystem.
 ///
 /// When built with [`TaskIo::with_faults`], every file the task touches is
 /// additionally wrapped in a [`FaultyVfd`] sharing one chaos injector, so
-/// fault schedules are keyed to the task's global data-op sequence. The
-/// fault layer sits *below* the profiler: the profiler observes injected
-/// failures exactly as it would real device errors, and failed operations
-/// are never recorded (the salvage-consistency invariant).
+/// fault schedules are keyed to the task's global data-op sequence. A
+/// [`TaskIo::with_crash`] controller adds a [`CrashVfd`] beneath the fault
+/// layer, modelling process death at the storage device. Both injection
+/// layers sit *below* the profiler: the profiler observes injected failures
+/// exactly as it would real device errors, and failed operations are never
+/// recorded (the salvage-consistency invariant).
+///
+/// In resume mode ([`TaskIo::with_resume`]) a `create` of a file that
+/// already exists reopens it instead — running crash recovery on a
+/// journaled image — so a retried task continues from whatever its dead
+/// predecessor committed rather than starting over. Bodies that want to be
+/// resumable must use idempotent object helpers
+/// ([`ensure_group`](dayu_hdf::Group::ensure_group) /
+/// [`ensure_dataset`](dayu_hdf::Group::ensure_dataset)).
 pub struct TaskIo<'a> {
     fs: &'a MemFs,
     mapper: &'a Mapper,
     faults: Option<FaultInjector>,
+    crash: Option<CrashController>,
+    durability: Durability,
+    resume: bool,
+    recoveries: Mutex<Vec<(String, RecoveryReport)>>,
 }
 
 impl<'a> TaskIo<'a> {
@@ -38,6 +52,10 @@ impl<'a> TaskIo<'a> {
             fs,
             mapper,
             faults: None,
+            crash: None,
+            durability: Durability::default(),
+            resume: false,
+            recoveries: Mutex::new(Vec::new()),
         }
     }
 
@@ -45,51 +63,97 @@ impl<'a> TaskIo<'a> {
     /// driver sharing `injector` (clones share state, so op accounting
     /// spans all of the task's files and retry attempts).
     pub fn with_faults(fs: &'a MemFs, mapper: &'a Mapper, injector: FaultInjector) -> Self {
-        Self {
-            fs,
-            mapper,
-            faults: Some(injector),
-        }
+        let mut io = Self::new(fs, mapper);
+        io.faults = Some(injector);
+        io
     }
 
-    /// Creates (truncating) a file, instrumented end to end.
+    /// Adds a crash controller: every file is additionally wrapped in a
+    /// [`CrashVfd`] sharing `controller`, so a seeded crash point counts
+    /// writes across all of the task's files.
+    pub fn with_crash(mut self, controller: CrashController) -> Self {
+        self.crash = Some(controller);
+        self
+    }
+
+    /// Sets the durability mode files are created/opened with (journaled
+    /// files survive crash points and are recovered on reopen).
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Enables resume mode: `create` of an existing file reopens (and
+    /// recovers) it instead of truncating.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Stacks the injection layers under the profiler: memory file →
+    /// crash device → fault injector → profiling wrapper.
+    fn stack<V: Vfd + 'static>(&self, vfd: V) -> Box<dyn Vfd> {
+        let mut v: Box<dyn Vfd> = Box::new(vfd);
+        if let Some(c) = &self.crash {
+            v = Box::new(CrashVfd::with_controller(v, c.clone()));
+        }
+        if let Some(inj) = &self.faults {
+            v = Box::new(FaultyVfd::with_injector(v, inj.clone()));
+        }
+        v
+    }
+
+    fn options(&self) -> FileOptions {
+        self.mapper.file_options().with_durability(self.durability)
+    }
+
+    /// Creates a file, instrumented end to end. In resume mode an existing
+    /// file is recovered and reopened instead of truncated; only if its
+    /// structure is beyond recovery does the task start it over.
     pub fn create(&self, name: &str) -> Result<H5File> {
-        match &self.faults {
-            Some(inj) => H5File::create(
-                self.mapper.wrap_vfd(
-                    FaultyVfd::with_injector(self.fs.create(name), inj.clone()),
-                    name,
-                ),
-                name,
-                self.mapper.file_options(),
-            ),
-            None => H5File::create(
-                self.mapper.wrap_vfd(self.fs.create(name), name),
-                name,
-                self.mapper.file_options(),
-            ),
+        if self.resume && self.fs.exists(name) {
+            match self.open(name) {
+                Ok(f) => return Ok(f),
+                // Environmental failures propagate (the retry loop owns
+                // them); structural damage — a torn, empty or corrupt
+                // image beyond recovery — falls through to re-create.
+                Err(HdfError::Vfd(VfdError::Io(e))) => return Err(HdfError::Vfd(VfdError::Io(e))),
+                Err(_) => {}
+            }
         }
+        H5File::create(
+            self.mapper.wrap_vfd(self.stack(self.fs.create(name)), name),
+            name,
+            self.options(),
+        )
     }
 
-    /// Opens an existing file, instrumented end to end.
+    /// Opens an existing file, instrumented end to end. A journaled file
+    /// that missed its clean shutdown is recovered here; the recovery is
+    /// remembered and surfaced through [`TaskIo::recoveries`].
     pub fn open(&self, name: &str) -> Result<H5File> {
         let vfd = self
             .fs
             .open_existing(name)
             .ok_or_else(|| HdfError::NotFound(name.to_owned()))?;
-        match &self.faults {
-            Some(inj) => H5File::open(
-                self.mapper
-                    .wrap_vfd(FaultyVfd::with_injector(vfd, inj.clone()), name),
-                name,
-                self.mapper.file_options(),
-            ),
-            None => H5File::open(
-                self.mapper.wrap_vfd(vfd, name),
-                name,
-                self.mapper.file_options(),
-            ),
+        let (file, report) = H5File::open_reporting(
+            self.mapper.wrap_vfd(self.stack(vfd), name),
+            name,
+            self.options(),
+        )?;
+        if report.performed_recovery() {
+            self.recoveries
+                .lock()
+                .expect("recoveries lock")
+                .push((name.to_owned(), report));
         }
+        Ok(file)
+    }
+
+    /// Crash recoveries performed by opens so far: `(file, report)` in
+    /// open order.
+    pub fn recoveries(&self) -> Vec<(String, RecoveryReport)> {
+        self.recoveries.lock().expect("recoveries lock").clone()
     }
 
     /// Whether a file exists.

@@ -295,6 +295,164 @@ fn dayu_analyze_check_passes_clean_trace_and_flags_planted_hazard() {
     std::fs::remove_dir_all(dir).unwrap();
 }
 
+/// `dayu-analyze record` exit-code contract: 0 — clean run; 3 — degraded
+/// trace but every surviving image intact or repairable; 4 — at least one
+/// image is beyond recovery (no valid superblock slot).
+#[test]
+fn dayu_analyze_record_exit_codes_track_damage() {
+    // Clean run: exit 0.
+    let out = Command::new(bin("dayu-analyze"))
+        .args(["record", "ddmd"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A device dead from the first raw-data op with no retry budget:
+    // every task fails, but each image is either empty (skipped by the
+    // audit) or carries the intact superblock written before death —
+    // degraded trace, repairable images, exit 3.
+    let out = Command::new(bin("dayu-analyze"))
+        .args([
+            "record",
+            "ddmd",
+            "--chaos-seed",
+            "1",
+            "--dead-at",
+            "0",
+            "--retries",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("degraded"), "{text}");
+
+    // A torn crash at write-op 1 lands mid-superblock during file
+    // bootstrap (write 0 is the root header, write 1 the first
+    // superblock), so neither slot ever becomes valid: unrecoverable
+    // corruption, exit 4.
+    let out = Command::new(bin("dayu-analyze"))
+        .args([
+            "record",
+            "ddmd",
+            "--crash-seed",
+            "1",
+            "--crash-at",
+            "1",
+            "--retries",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("UNRECOVERABLE"), "{text}");
+}
+
+/// `dayu-h5ls --fsck --repair` rolls a torn journaled image forward to a
+/// clean state in place.
+#[test]
+fn dayu_h5ls_repair_heals_a_torn_journaled_image() {
+    use dayu_core::vfd::{CrashSchedule, CrashVfd, MemFs, Vfd};
+
+    // Stages `image` into a fresh in-memory file and reads dataset "a".
+    fn read_a(image: &[u8]) -> Option<Vec<u64>> {
+        let mem = MemFs::new();
+        let mut v = mem.create("x.h5");
+        v.write(0, image, dayu_core::trace::AccessType::RawData)
+            .ok()?;
+        let f = H5File::open(mem.open_existing("x.h5")?, "x.h5", FileOptions::default()).ok()?;
+        let mut a = f.root().open_dataset("a").ok()?;
+        let data = a.read_u64s().ok()?;
+        a.close().ok()?;
+        f.close().ok()?;
+        Some(data)
+    }
+    let dir = tmp_dir("h5ls-repair");
+    let path = dir.join("torn.h5");
+
+    // Build a torn image: journaled file, two commit epochs, crash swept
+    // past bootstrap (write 0/1) until a point leaves the image dirty
+    // but with its superblock intact.
+    let torn_image = |crash_at: u64| -> Vec<u8> {
+        let fs = MemFs::new();
+        let ctrl = CrashSchedule::new(11)
+            .with_crash_at(crash_at)
+            .torn()
+            .controller_for("t");
+        let vfd = CrashVfd::with_controller(fs.create("torn.h5"), ctrl);
+        let opts = FileOptions::default().with_durability(dayu_core::hdf::Durability::Journal);
+        let body = || -> dayu_core::hdf::Result<()> {
+            let f = H5File::create(vfd, "torn.h5", opts)?;
+            let mut a = f
+                .root()
+                .create_dataset("a", DatasetBuilder::new(DataType::Int { width: 8 }, &[32]))?;
+            a.write_u64s(&[7; 32])?;
+            a.close()?;
+            f.flush()?;
+            let mut b = f
+                .root()
+                .create_dataset("b", DatasetBuilder::new(DataType::Int { width: 8 }, &[32]))?;
+            b.write_u64s(&[9; 32])?;
+            b.close()?;
+            f.close()
+        };
+        let _ = body();
+        fs.snapshot("torn.h5").unwrap()
+    };
+    // Pick a point whose image is dirty *and* post-dates the first
+    // commit (so repair must preserve the committed dataset "a").
+    let image = (2..64)
+        .map(torn_image)
+        .find(|img| {
+            if fsck_bytes(img).is_clean() {
+                return false;
+            }
+            let mut scratch = img.clone();
+            dayu_core::lint::repair_bytes(&mut scratch).is_clean()
+                && read_a(&scratch).as_deref() == Some(&[7u64; 32][..])
+        })
+        .expect("some crash point must leave a dirty image with 'a' committed");
+    std::fs::write(&path, &image).unwrap();
+
+    let out = Command::new(bin("dayu-h5ls"))
+        .arg(&path)
+        .args(["--fsck", "--repair"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("clean after"), "{text}");
+
+    // The repair persisted: the image on disk is now fsck-clean and the
+    // committed dataset survived.
+    let healed = std::fs::read(&path).unwrap();
+    assert!(fsck_bytes(&healed).is_clean());
+    assert_eq!(read_a(&healed).as_deref(), Some(&[7u64; 32][..]));
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
 #[test]
 fn dayu_analyze_rejects_missing_and_garbage_input() {
     let out = Command::new(bin("dayu-analyze"))
