@@ -106,6 +106,15 @@ pub enum Action {
         /// The task whose retry resumed from recovered files.
         task: String,
     },
+    /// Reconcile a task's declared I/O contract with its recorded
+    /// behaviour: either the declaration or the task is wrong, and every
+    /// proof discharged from that contract is suspect until they agree.
+    AuditContract {
+        /// The task whose contract and trace disagree.
+        task: String,
+        /// Dataset label (`file:path`) where they diverge.
+        dataset: String,
+    },
     /// Stop materializing a dataset whose bytes the recorded workflow
     /// never consumes (dead data, or a version fully overwritten before
     /// any read).
@@ -371,6 +380,35 @@ pub fn advise_lint(report: &dayu_lint::Report) -> Vec<Recommendation> {
                      is wasted"
                 ),
             }),
+            Lint::ContractViolation {
+                task,
+                file,
+                dataset,
+                access,
+                start,
+                end,
+                undeclared,
+            } => out.push(Recommendation {
+                guideline: Guideline::PartialFileAccess,
+                action: Action::AuditContract {
+                    task: task.clone(),
+                    dataset: format!("{file}:{dataset}"),
+                },
+                rationale: if *undeclared {
+                    format!(
+                        "{task} {access}s bytes [{start}, {end}) of {dataset} in {file} \
+                         outside its declared contract; widen the declaration or fix \
+                         the task — until they agree, proofs discharged from this \
+                         contract are unsound"
+                    )
+                } else {
+                    format!(
+                        "{task} declares a {access} of {dataset} in {file} it never \
+                         performs; dropping the clause tightens what the static \
+                         passes must assume"
+                    )
+                },
+            }),
             _ => {}
         }
     }
@@ -621,5 +659,39 @@ mod tests {
         assert!(recs
             .iter()
             .all(|r| r.guideline == Guideline::PartialFileAccess));
+    }
+
+    #[test]
+    fn contract_violations_become_audit_actions() {
+        let mut r = dayu_lint::Report::new();
+        r.push(dayu_lint::Finding::ContractViolation {
+            task: "writer_0".into(),
+            file: "shared.h5".into(),
+            dataset: "/raw".into(),
+            access: "write".into(),
+            start: 4096,
+            end: 4160,
+            undeclared: true,
+        });
+        r.push(dayu_lint::Finding::ContractViolation {
+            task: "reader".into(),
+            file: "shared.h5".into(),
+            dataset: "/aux".into(),
+            access: "read".into(),
+            start: 0,
+            end: 0,
+            undeclared: false,
+        });
+        let recs = advise_lint(&r);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(
+            recs[0].action,
+            Action::AuditContract {
+                task: "writer_0".into(),
+                dataset: "shared.h5:/raw".into(),
+            }
+        );
+        assert!(recs[0].rationale.contains("outside its declared contract"));
+        assert!(recs[1].rationale.contains("never"));
     }
 }

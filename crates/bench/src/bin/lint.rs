@@ -6,9 +6,13 @@
 //!
 //! Synthesizes a clean many-writer trace (≥ 1M records in full mode),
 //! encodes it to `.dtb` and streams it through `analyze_stream`, then
+//! times the symbolic-contract passes over a mirrored spec — the pre-run
+//! static footprint analysis and the streaming conformance sweep — and
 //! writes `BENCH_lint.json` (or `--out PATH`). `--check` exits non-zero if
-//! the detector reports findings on the race-free trace or needs more than
-//! 2 seconds for a million-record lint (the CI throughput gate).
+//! any pass reports findings on the clean-by-construction workload, the
+//! race lint or conformance sweep needs more than 2 seconds for a
+//! million-record trace, or the static pass exceeds 200 ms (the CI
+//! throughput gates).
 
 use dayu_bench::lint::{check, report_json, run, LintBenchConfig};
 use std::process::ExitCode;
@@ -43,6 +47,14 @@ fn main() -> ExitCode {
         report.records_per_sec(),
         report.findings,
         report.dtb_bytes,
+    );
+    println!(
+        "contracts: static pass {:.3} ms ({} findings), conformance sweep {:.3} s  ({:.0} records/s, {} findings)",
+        report.contracts_ns as f64 / 1e6,
+        report.contract_findings,
+        report.conformance_ns as f64 / 1e9,
+        report.conformance_records_per_sec(),
+        report.conformance_findings,
     );
     let doc = report_json(&cfg, &report);
     match serde_json::to_string_pretty(&doc) {

@@ -10,11 +10,12 @@
 //! exercise the happens-before engine.
 
 use crate::Scale;
-use dayu_lint::{analyze_stream, LintConfig};
+use dayu_lint::{analyze_contracts, analyze_stream, check_conformance_stream, LintConfig};
 use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
 use dayu_trace::store::TraceBundle;
 use dayu_trace::time::Timestamp;
 use dayu_trace::vfd::{AccessType, IoKind, VfdRecord};
+use dayu_workflow::{AffineExpr, IoContract, SymExtent, TaskSpec, WorkflowSpec};
 use serde_json::{json, Value};
 use std::time::Instant;
 
@@ -87,7 +88,7 @@ pub fn synthetic_bundle(cfg: &LintBenchConfig) -> TraceBundle {
         .collect();
     bundle.meta.stages = names
         .iter()
-        .map(|stage| stage.iter().map(|n| TaskKey::new(n)).collect())
+        .map(|stage| stage.iter().map(TaskKey::new).collect())
         .collect();
 
     for (stage, stage_names) in names.iter().enumerate() {
@@ -131,6 +132,40 @@ pub fn synthetic_bundle(cfg: &LintBenchConfig) -> TraceBundle {
     bundle
 }
 
+/// Workflow spec mirroring [`synthetic_bundle`] task for task, every task
+/// carrying a symbolic [`IoContract`]. Extents are declared through bound
+/// affine expressions (not pre-folded constants) so the static pass and
+/// the conformance checker both pay the full hull-computation cost.
+pub fn contract_spec(cfg: &LintBenchConfig) -> WorkflowSpec {
+    let mut spec = WorkflowSpec::new("lint_bench");
+    let n = AffineExpr::var("n");
+    let r = AffineExpr::var("r");
+    for stage in 0..cfg.stages {
+        let tasks = (0..cfg.tasks_per_stage)
+            .map(|task| {
+                let mut c = IoContract::new()
+                    .bind("n", cfg.writes_per_task as i64)
+                    .bind("r", cfg.reads_per_task as i64)
+                    .writes(
+                        "bench.h5",
+                        format!("/s{stage}/t{task}"),
+                        SymExtent::span(0, n.clone() * EXTENT_LEN as i64),
+                    );
+                if stage > 0 {
+                    c = c.reads(
+                        "bench.h5",
+                        format!("/s{}/t{task}", stage - 1),
+                        SymExtent::span(0, r.clone() * EXTENT_LEN as i64),
+                    );
+                }
+                TaskSpec::new(format!("s{stage:02}_writer_{task:02}"), |_| Ok(())).with_contract(c)
+            })
+            .collect();
+        spec = spec.stage(format!("stage_{stage}"), tasks);
+    }
+    spec
+}
+
 /// One measured run of the streaming detector.
 #[derive(Clone, Debug)]
 pub struct LintReport {
@@ -147,6 +182,18 @@ pub struct LintReport {
     /// Findings the detector reported (must be zero: the workload is clean
     /// by construction).
     pub findings: usize,
+    /// `analyze_contracts` wall time over the mirrored spec, nanoseconds —
+    /// the pre-run static pass, which never looks at the trace.
+    pub contracts_ns: u64,
+    /// Static contract findings (must be zero: disjoint by construction).
+    pub contract_findings: usize,
+    /// `check_conformance_stream` wall time over the encoded bytes,
+    /// nanoseconds.
+    pub conformance_ns: u64,
+    /// Raw-data records the conformance sweep inspected.
+    pub conformance_records: u64,
+    /// Conformance findings (must be zero: the spec mirrors the trace).
+    pub conformance_findings: usize,
 }
 
 impl LintReport {
@@ -156,6 +203,15 @@ impl LintReport {
             0.0
         } else {
             self.records as f64 * 1e9 / self.lint_ns as f64
+        }
+    }
+
+    /// Records streamed per second of conformance wall time.
+    pub fn conformance_records_per_sec(&self) -> f64 {
+        if self.conformance_ns == 0 {
+            0.0
+        } else {
+            self.records as f64 * 1e9 / self.conformance_ns as f64
         }
     }
 
@@ -170,6 +226,13 @@ impl LintReport {
                 "records_per_sec": self.records_per_sec(),
             },
             "findings": self.findings,
+            "contracts": {
+                "static_wall_ns": self.contracts_ns,
+                "static_findings": self.contract_findings,
+                "conformance_wall_ns": self.conformance_ns,
+                "conformance_records_per_sec": self.conformance_records_per_sec(),
+                "conformance_findings": self.conformance_findings,
+            },
         })
     }
 }
@@ -189,6 +252,16 @@ pub fn run(cfg: &LintBenchConfig) -> LintReport {
         analyze_stream(&bytes[..], &LintConfig::default()).expect("stream lint");
     let lint_ns = t0.elapsed().as_nanos() as u64;
 
+    let spec = contract_spec(cfg);
+    let t0 = Instant::now();
+    let contract_report = analyze_contracts(&spec, &LintConfig::default());
+    let contracts_ns = t0.elapsed().as_nanos() as u64;
+
+    let t0 = Instant::now();
+    let (conf_report, conf_records) =
+        check_conformance_stream(&bytes[..], &spec).expect("stream conformance");
+    let conformance_ns = t0.elapsed().as_nanos() as u64;
+
     assert_eq!(records, cfg.records(), "generator must emit what it claims");
     LintReport {
         records,
@@ -197,6 +270,11 @@ pub fn run(cfg: &LintBenchConfig) -> LintReport {
         encode_ns,
         lint_ns,
         findings: report.len(),
+        contracts_ns,
+        contract_findings: contract_report.len(),
+        conformance_ns,
+        conformance_records: conf_records,
+        conformance_findings: conf_report.len(),
     }
 }
 
@@ -216,7 +294,10 @@ pub fn report_json(cfg: &LintBenchConfig, report: &LintReport) -> Value {
 }
 
 /// The `--check` gate: the clean-by-construction trace must produce zero
-/// findings, and a full-size (≥ 1M record) run must lint within 2 seconds.
+/// findings (race, static contract, and conformance), a full-size
+/// (≥ 1M record) run must lint *and* conformance-sweep within 2 seconds
+/// each, and the pre-run static pass — spec-sized, never touching the
+/// trace — must finish well under that, inside 200 ms.
 pub fn check(cfg: &LintBenchConfig, report: &LintReport) -> Vec<String> {
     let mut failures = Vec::new();
     if report.findings != 0 {
@@ -225,11 +306,36 @@ pub fn check(cfg: &LintBenchConfig, report: &LintReport) -> Vec<String> {
             report.findings
         ));
     }
+    if report.contract_findings != 0 {
+        failures.push(format!(
+            "static contract pass reported {} finding(s) on disjoint declarations",
+            report.contract_findings
+        ));
+    }
+    if report.conformance_findings != 0 {
+        failures.push(format!(
+            "conformance reported {} finding(s) on a trace its spec mirrors",
+            report.conformance_findings
+        ));
+    }
     if report.records >= 1_000_000 && report.lint_ns > 2_000_000_000 {
         failures.push(format!(
             "linting {} records took {:.2} s (budget 2 s)",
             report.records,
             report.lint_ns as f64 / 1e9
+        ));
+    }
+    if report.records >= 1_000_000 && report.conformance_ns > 2_000_000_000 {
+        failures.push(format!(
+            "conformance over {} records took {:.2} s (budget 2 s)",
+            report.records,
+            report.conformance_ns as f64 / 1e9
+        ));
+    }
+    if report.contracts_ns > 200_000_000 {
+        failures.push(format!(
+            "static contract pass took {:.0} ms (budget 200 ms)",
+            report.contracts_ns as f64 / 1e6
         ));
     }
     if matches!(cfg.scale, Scale::Full) && report.records < 1_000_000 {
@@ -288,5 +394,50 @@ mod tests {
         assert_eq!(doc["detector"]["records"].as_u64().unwrap(), cfg.records());
         assert!(doc["detector"]["lint"]["records_per_sec"].as_f64().unwrap() > 0.0);
         assert_eq!(doc["detector"]["findings"], 0);
+        assert_eq!(doc["detector"]["contracts"]["static_findings"], 0);
+        assert_eq!(doc["detector"]["contracts"]["conformance_findings"], 0);
+    }
+
+    #[test]
+    fn contract_spec_mirrors_the_trace() {
+        // Every synthetic task carries a contract, the static pass proves
+        // the declarations clean, and a replayed trace conforms to them
+        // record for record.
+        let cfg = LintBenchConfig::smoke();
+        let spec = contract_spec(&cfg);
+        assert_eq!(spec.task_count(), cfg.stages * cfg.tasks_per_stage);
+        assert!(spec
+            .stages
+            .iter()
+            .flat_map(|s| &s.tasks)
+            .all(|t| t.contract.is_some()));
+        let r = run(&cfg);
+        assert_eq!(r.contract_findings, 0);
+        assert_eq!(r.conformance_findings, 0);
+        assert!(r.conformance_records > 0);
+    }
+
+    #[test]
+    fn a_planted_spill_fails_the_conformance_gate() {
+        // Stretch the first writer's *last* write one extent past its
+        // declared footprint: the static pass still sees clean
+        // declarations, but the conformance sweep must flag the spill.
+        let cfg = LintBenchConfig::smoke();
+        let mut bundle = synthetic_bundle(&cfg);
+        let hit = bundle
+            .vfd
+            .iter_mut()
+            .filter(|r| r.task.as_str() == "s00_writer_00" && r.kind == IoKind::Write)
+            .max_by_key(|r| r.offset)
+            .expect("writer op present");
+        hit.len += EXTENT_LEN;
+        let bytes = bundle.to_binary_bytes();
+        let spec = contract_spec(&cfg);
+        assert!(analyze_contracts(&spec, &LintConfig::default()).is_clean());
+        let (report, _) = check_conformance_stream(&bytes[..], &spec).expect("stream");
+        assert!(
+            !report.is_clean(),
+            "spill past the declared footprint must surface"
+        );
     }
 }

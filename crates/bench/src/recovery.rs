@@ -51,7 +51,7 @@ impl RecoveryBenchConfig {
             dataset_bytes: 64 * 1024,
             reps: 5,
             crash_points: 24,
-            seed: 0x5eed_da1,
+            seed: 0x05ee_dda1,
         }
     }
 
@@ -63,7 +63,7 @@ impl RecoveryBenchConfig {
             dataset_bytes: 64 * 1024,
             reps: 7,
             crash_points: 96,
-            seed: 0x5eed_da1,
+            seed: 0x05ee_dda1,
         }
     }
 }

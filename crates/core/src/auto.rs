@@ -11,7 +11,7 @@
 
 use dayu_advisor::{advise, advise_lint, Action, Recommendation};
 use dayu_analyzer::Analysis;
-use dayu_lint::{verify, ExtentCatalog, LintConfig};
+use dayu_lint::{verify, ContractCatalog, ExtentCatalog, LintConfig};
 use dayu_sim::cluster::{Cluster, FileLocation, Placement};
 use dayu_sim::engine::{Engine, SimError, SimReport};
 use dayu_sim::program::SimTask;
@@ -59,6 +59,19 @@ fn node_of(tasks: &[SimTask], name: &str) -> usize {
 
 /// Derives and scores an optimized plan for a recorded run on `cluster`.
 pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, SimError> {
+    optimize_with_contracts(run, cluster, None)
+}
+
+/// [`optimize`] with declared contract footprints: every plan rewrite is
+/// gated by the declarations *first* (a `parallelize` between tasks whose
+/// declared extents are provably disjoint is discharged with no recorded
+/// extents at all), falling back to the recorded-extent oracle for tasks
+/// the contracts do not cover.
+pub fn optimize_with_contracts(
+    run: &RecordedRun,
+    cluster: &Cluster,
+    contracts: Option<&ContractCatalog>,
+) -> Result<AutoOutcome, SimError> {
     let analysis = Analysis::run(&run.bundle);
     let mut recommendations = advise(&analysis.findings);
     // Waste findings from the linter's lifetime pass (dead datasets,
@@ -135,9 +148,13 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
     for rec in &recommendations {
         match &rec.action {
             Action::CoSchedule { producer, consumer } => {
-                match verify::verified_with_extents(&mut tasks, "co_schedule", &catalog, |t| {
-                    transform::co_schedule(t, producer, consumer)
-                }) {
+                match verify::verified_with_oracles(
+                    &mut tasks,
+                    "co_schedule",
+                    contracts,
+                    Some(&catalog),
+                    |t| transform::co_schedule(t, producer, consumer),
+                ) {
                     Ok(()) => {
                         // The file between them becomes node-local.
                         let node = node_of(&tasks, producer);
@@ -189,9 +206,15 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
                 // `placement` (the transform records it before the check);
                 // harmless, since after rollback no task references the
                 // replica file.
-                match verify::verified_with_extents(&mut tasks, "stage_in", &catalog, |t| {
-                    transform::stage_in(t, &mut placement, file, bytes, node, TierKind::NvmeSsd)
-                }) {
+                match verify::verified_with_oracles(
+                    &mut tasks,
+                    "stage_in",
+                    contracts,
+                    Some(&catalog),
+                    |t| {
+                        transform::stage_in(t, &mut placement, file, bytes, node, TierKind::NvmeSsd)
+                    },
+                ) {
                     Ok(_) => {
                         staged.insert(file.clone(), ());
                         applied.push(format!(
@@ -203,9 +226,13 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
                 }
             }
             Action::Parallelize { first, second } => {
-                match verify::verified_with_extents(&mut tasks, "parallelize", &catalog, |t| {
-                    transform::parallelize(t, first, second)
-                }) {
+                match verify::verified_with_oracles(
+                    &mut tasks,
+                    "parallelize",
+                    contracts,
+                    Some(&catalog),
+                    |t| transform::parallelize(t, first, second),
+                ) {
                     Ok(()) => applied.push(format!("pipelined {second} with {first}")),
                     Err(v) => rejected.push(v.to_string()),
                 }
@@ -219,10 +246,11 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
                         .first()
                         .map(|&i| tasks[i].node)
                         .unwrap_or(0);
-                    match verify::verified_with_extents(
+                    match verify::verified_with_oracles(
                         &mut tasks,
                         "stage_out_async",
-                        &catalog,
+                        contracts,
+                        Some(&catalog),
                         |t| transform::stage_out_async(t, file, bytes, node),
                     ) {
                         Ok(()) => applied.push(format!("async stage-out of {file}")),
@@ -251,6 +279,25 @@ pub fn optimize(run: &RecordedRun, cluster: &Cluster) -> Result<AutoOutcome, Sim
                 advisories.push(format!(
                     "elide {file}:{dataset} ({bytes} B written, never read in the \
                      recorded workflow) — confirm it is not a final product"
+                ));
+            }
+            Action::AuditRecoveredOutputs { task } => {
+                // Crash-recovered outputs are already fsck'd by the runner;
+                // the plan-level response is advisory: keep journaled
+                // durability and treat the task's timing as an outlier.
+                advisories.push(format!(
+                    "audit {task}'s recovered outputs (retry resumed from \
+                     journal-recovered files); keep journaled durability for its stage"
+                ));
+            }
+            Action::AuditContract { task, dataset } => {
+                // A contract the trace contradicts poisons every proof
+                // discharged from it; plans keep working off recorded
+                // extents, so the response is advisory.
+                advisories.push(format!(
+                    "audit {task}'s I/O contract for {dataset} (trace and declaration \
+                     disagree); until they are reconciled, symbolic proofs involving \
+                     {task} are unsound"
                 ));
             }
             Action::RerunTask { task } => {

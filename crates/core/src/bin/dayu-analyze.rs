@@ -14,6 +14,11 @@
 //! dayu-analyze check trace.dtb --json --deny extent-race --deny use-after-close
 //!                                          # CI gate: exit 1 only on denied classes
 //! dayu-analyze check trace.dtb --waste     # also report dead datasets / redundant overwrites
+//! dayu-analyze check --contracts ddmd      # static contract pass alone: prove/refute the
+//!                                          # declared footprints, no trace needed
+//! dayu-analyze check trace.jsonl --contracts ddmd --deny contract-violation
+//!                                          # + replay the trace against the declared
+//!                                          # contracts (out-of-footprint I/O, waste)
 //! dayu-analyze record ddmd                 # record a built-in workload, analyze it
 //! dayu-analyze record ddmd --format binary --out run/    # persist as trace.dtb
 //! dayu-analyze record arldm --chaos-seed 7 --retries 3 --fault-rate 0.05 --out run/
@@ -39,7 +44,10 @@
 
 use dayu_analyzer::{export, resolution, Analysis, DetectorConfig, SdgOptions};
 use dayu_hdf::Durability;
-use dayu_lint::{analyze_stream, fsck_bytes, repair_bytes, Finding, LintConfig};
+use dayu_lint::{
+    analyze_contracts, analyze_stream, check_conformance_stream, fsck_bytes, repair_bytes, Finding,
+    LintConfig,
+};
 use dayu_trace::{TraceBundle, TraceFormat};
 use dayu_vfd::{CrashSchedule, FaultSchedule, MemFs};
 use dayu_workflow::{record_opts, RecordOptions, RetryPolicy, WorkflowSpec};
@@ -49,7 +57,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dayu-analyze <trace.{{jsonl|dtb}}> [--format jsonl|binary] [--out DIR]\n                           [--regions N] [--aggregate]\n       dayu-analyze check <trace.{{jsonl|dtb}}> [--inputs FILE,FILE,...] [--json]\n                           [--deny CLASS]... [--waste]\n       dayu-analyze record <ddmd|pyflextrkr|arldm> [--chaos-seed N] [--retries N]\n                           [--fault-rate P] [--dead-at N] [--crash-seed N] [--crash-at N]\n                           [--durability journal|write-through] [--resume]\n                           [--format jsonl|binary] [--out DIR]\n       record exits 0 (clean), 3 (degraded trace), 4 (unrecoverable corruption)"
+        "usage: dayu-analyze <trace.{{jsonl|dtb}}> [--format jsonl|binary] [--out DIR]\n                           [--regions N] [--aggregate]\n       dayu-analyze check [<trace.{{jsonl|dtb}}>] [--inputs FILE,FILE,...] [--json]\n                           [--deny CLASS]... [--waste]\n                           [--contracts <ddmd|pyflextrkr|arldm>]\n                           (a trace, --contracts, or both; --contracts alone runs\n                            the static footprint pass, with a trace it also checks\n                            conformance)\n       dayu-analyze record <ddmd|pyflextrkr|arldm> [--chaos-seed N] [--retries N]\n                           [--fault-rate P] [--dead-at N] [--crash-seed N] [--crash-at N]\n                           [--durability journal|write-through] [--resume]\n                           [--format jsonl|binary] [--out DIR]\n       record exits 0 (clean), 3 (degraded trace), 4 (unrecoverable corruption)"
     );
     std::process::exit(2);
 }
@@ -129,22 +137,14 @@ fn record_main(args: Vec<String>) -> ! {
     let Some(workload) = workload else { usage() };
 
     let fs = MemFs::new();
-    let spec: WorkflowSpec = match workload.as_str() {
-        "ddmd" => ddmd::workflow(&ddmd::DdmdConfig::default()),
-        "pyflextrkr" => {
-            let cfg = pyflextrkr::PyflextrkrConfig::default();
-            pyflextrkr::prepare_inputs_untraced(&fs, &cfg).unwrap_or_else(|e| {
+    if workload == "pyflextrkr" {
+        pyflextrkr::prepare_inputs_untraced(&fs, &pyflextrkr::PyflextrkrConfig::default())
+            .unwrap_or_else(|e| {
                 eprintln!("cannot prepare pyflextrkr inputs: {e}");
                 std::process::exit(1);
             });
-            pyflextrkr::workflow(&cfg)
-        }
-        "arldm" => arldm::workflow(&arldm::ArldmConfig::default()),
-        other => {
-            eprintln!("unknown workload {other:?} (expected ddmd, pyflextrkr or arldm)");
-            usage()
-        }
-    };
+    }
+    let spec: WorkflowSpec = workload_spec(&workload);
 
     let chaos = chaos_seed.map(|seed| {
         let mut s = FaultSchedule::new(seed).with_fault_prob(fault_rate);
@@ -269,6 +269,21 @@ fn record_main(args: Vec<String>) -> ! {
     });
 }
 
+/// Builds a bundled workload's spec, contracts included. The same specs
+/// `record` executes, so a recorded trace lines up with the contracts
+/// task-for-task.
+fn workload_spec(name: &str) -> WorkflowSpec {
+    match name {
+        "ddmd" => ddmd::workflow(&ddmd::DdmdConfig::default()),
+        "pyflextrkr" => pyflextrkr::workflow(&pyflextrkr::PyflextrkrConfig::default()),
+        "arldm" => arldm::workflow(&arldm::ArldmConfig::default()),
+        other => {
+            eprintln!("unknown workload {other:?} (expected ddmd, pyflextrkr or arldm)");
+            usage()
+        }
+    }
+}
+
 /// Reads a trace in either persistence format. `forced` pins the decoder;
 /// otherwise the format is sniffed from the first byte ([`TraceFormat::detect`]).
 fn load_bundle(input: &PathBuf, forced: Option<TraceFormat>) -> TraceBundle {
@@ -297,6 +312,13 @@ fn parse_format(v: Option<String>) -> TraceFormat {
 /// checker never materializes the bundle, so multi-gigabyte `.dtb`
 /// traces lint in bounded memory).
 ///
+/// `--contracts <workload>` adds the symbolic passes: the static
+/// footprint analysis always runs (it needs no trace — `check
+/// --contracts ddmd` with no input proves or refutes the declared
+/// partition by itself), and when a trace is given it is also replayed
+/// against the contracts for conformance (out-of-footprint I/O,
+/// declared-but-never-touched waste).
+///
 /// Exit codes, designed for CI gating: 0 — no denied findings; 1 — at
 /// least one denied finding (`--deny <class>` restricts which classes
 /// fail the run; no `--deny` denies every class); 2 — usage error,
@@ -306,6 +328,7 @@ fn check_main(args: Vec<String>) -> ! {
     let mut cfg = LintConfig::default();
     let mut json = false;
     let mut deny: Vec<String> = Vec::new();
+    let mut contracts: Option<String> = None;
     let mut args = args.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -320,6 +343,7 @@ fn check_main(args: Vec<String>) -> ! {
             }
             "--json" => json = true,
             "--waste" => cfg.report_dead_data = true,
+            "--contracts" => contracts = Some(args.next().unwrap_or_else(|| usage())),
             "--deny" => {
                 let class = args.next().unwrap_or_else(|| usage());
                 if !Finding::categories().contains(&class.as_str()) {
@@ -336,27 +360,57 @@ fn check_main(args: Vec<String>) -> ! {
             _ => usage(),
         }
     }
-    let Some(input) = input else { usage() };
-    let file = std::fs::File::open(&input).unwrap_or_else(|e| {
-        eprintln!("cannot open {}: {e}", input.display());
-        std::process::exit(1);
-    });
-    let (report, records) = analyze_stream(BufReader::new(file), &cfg).unwrap_or_else(|e| {
-        eprintln!("cannot parse {}: {e}", input.display());
-        std::process::exit(1);
-    });
+    let spec = contracts.as_deref().map(workload_spec);
+    if input.is_none() && spec.is_none() {
+        usage()
+    }
+
+    let mut report = dayu_lint::Report::new();
+    let mut records = 0u64;
+    // Static contract pass: spec + happens-before alone, before any trace.
+    if let Some(spec) = &spec {
+        report
+            .findings
+            .extend(analyze_contracts(spec, &cfg).findings);
+    }
+    if let Some(input) = &input {
+        let open = || {
+            std::fs::File::open(input).unwrap_or_else(|e| {
+                eprintln!("cannot open {}: {e}", input.display());
+                std::process::exit(1);
+            })
+        };
+        let (hazards, n) = analyze_stream(BufReader::new(open()), &cfg).unwrap_or_else(|e| {
+            eprintln!("cannot parse {}: {e}", input.display());
+            std::process::exit(1);
+        });
+        records = n;
+        report.findings.extend(hazards.findings);
+        // Conformance: replay the same trace against the declarations.
+        if let Some(spec) = &spec {
+            let (conf, _) =
+                check_conformance_stream(BufReader::new(open()), spec).unwrap_or_else(|e| {
+                    eprintln!("cannot parse {}: {e}", input.display());
+                    std::process::exit(1);
+                });
+            report.findings.extend(conf.findings);
+        }
+    }
+
     let denied = report.denied(&deny);
+    let source = match (&input, &contracts) {
+        (Some(p), Some(w)) => format!("{} + contracts:{w}", p.display()),
+        (Some(p), None) => p.display().to_string(),
+        (None, Some(w)) => format!("contracts:{w} (static only)"),
+        (None, None) => unreachable!(),
+    };
     if json {
         println!("{}", report.to_json());
     } else if report.is_clean() {
-        println!(
-            "{}: no findings ({records} records checked)",
-            input.display()
-        );
+        println!("{source}: no findings ({records} records checked)");
     } else {
         println!(
-            "{}: {} finding(s), {} denied",
-            input.display(),
+            "{source}: {} finding(s), {} denied",
             report.len(),
             denied.len()
         );

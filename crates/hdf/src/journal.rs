@@ -29,7 +29,7 @@
 //! ever live in the region.
 
 use crate::crc::crc32;
-use crate::error::{HdfError, Result};
+use crate::error::Result;
 use crate::meta::{Superblock, SUPERBLOCK_REGION, SUPERBLOCK_SIZE};
 
 /// Tag byte of a deferred metadata block write.

@@ -231,6 +231,36 @@ impl ExtentSet {
                 .is_some_and(|s| s.start <= r.start && r.end <= s.end)
         })
     }
+
+    /// Bytes of `self` that `cover` does not cover, as maximal runs in
+    /// ascending order. Empty iff `cover.covers(self)`.
+    pub fn subtract(&self, cover: &ExtentSet) -> Vec<Extent> {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for r in &self.runs {
+            let mut cursor = r.start;
+            while j < cover.runs.len() && cover.runs[j].end <= cursor {
+                j += 1;
+            }
+            let mut k = j;
+            while cursor < r.end {
+                match cover.runs.get(k) {
+                    Some(c) if c.start < r.end => {
+                        if c.start > cursor {
+                            out.push(Extent::new(cursor, c.start));
+                        }
+                        cursor = cursor.max(c.end);
+                        k += 1;
+                    }
+                    _ => {
+                        out.push(Extent::new(cursor, r.end));
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Raw-data extents one task touched in one file.

@@ -317,7 +317,7 @@ impl<'a> Fsck<'a> {
     /// region (trailing partial slots are structural corruption).
     fn check_varlen_slots(&mut self, path: &str, storage: &[u8]) {
         let slot = HeapRef::SIZE as usize;
-        if storage.len() % slot != 0 {
+        if !storage.len().is_multiple_of(slot) {
             self.report.push(Finding::DanglingHeapRef {
                 dataset: path.to_owned(),
                 block_addr: 0,

@@ -14,7 +14,7 @@
 //!    byte-extent granularity ([`extent`]): only *concurrent* tasks whose
 //!    raw-data extents overlap race — disjoint-extent parallelism is safe
 //!    by construction and never flagged.
-//! 1b. **Dataset lifetime analysis** ([`lifetime`]) — use-after-close,
+//!    1b. **Dataset lifetime analysis** ([`lifetime`]) — use-after-close,
 //!    dataset-granularity read-before-write, and (opt-in) dead datasets
 //!    and redundant full overwrites, the waste class the advisor turns
 //!    into elision suggestions.
@@ -27,14 +27,26 @@
 //!    file image: superblock/object-header invariants, chunk-index entries
 //!    inside the allocated file, live global-heap references, and no two
 //!    structures claiming the same bytes.
-//! 3b. **Format repair** ([`repair`]) — best-effort in-place reconstruction
+//!    3b. **Format repair** ([`repair`]) — best-effort in-place reconstruction
 //!    of a damaged image: journal roll-forward/back, superblock surgery,
 //!    then an iterative prune that detaches whatever fsck still flags.
+//! 4. **Symbolic contract passes** ([`symbolic`], [`contract`]) — declared
+//!    [`IoContract`](dayu_workflow::IoContract) footprints compiled to a
+//!    hull algebra ([`ContractCatalog`]). Statically ([`analyze_contracts`])
+//!    they prove or refute extent races, read-before-write and
+//!    use-after-dispose from the spec alone — before any VFD is opened;
+//!    dynamically ([`ConformanceChecker`]) a recorded trace is replayed
+//!    against them to flag out-of-footprint I/O and never-exercised
+//!    declarations. The contract catalog exposes the same disjointness
+//!    oracle as the recorded [`ExtentCatalog`], so the transform verifier
+//!    can discharge a `parallelize` from semantics alone.
 //!
 //! CLI entry points: `dayu-analyze check <trace.{jsonl,dtb}>` (passes 1 and
 //! 1b over a recorded trace, with `--json` / `--deny <class>` for CI
-//! gating) and `dayu-h5ls --fsck [--repair] <file>` (passes 3/3b).
+//! gating, plus `--contracts <workload>` for passes 4) and
+//! `dayu-h5ls --fsck [--repair] <file>` (passes 3/3b).
 
+pub mod contract;
 pub mod extent;
 pub mod fsck;
 pub mod hazard;
@@ -42,8 +54,12 @@ pub mod hb;
 pub mod lifetime;
 pub mod model;
 pub mod repair;
+pub mod symbolic;
 pub mod verify;
 
+pub use contract::{
+    analyze_contracts, check_conformance, check_conformance_stream, ConformanceChecker,
+};
 pub use extent::{Extent, ExtentCatalog, ExtentSet, IntervalTree, TaskFileExtents};
 pub use fsck::fsck_bytes;
 pub use hazard::{
@@ -52,9 +68,10 @@ pub use hazard::{
 };
 pub use hb::{OpCtx, TaskHb};
 pub use lifetime::LifetimePass;
-pub use model::{Finding, Report};
+pub use model::{Finding, FindingKey, Report};
 pub use repair::{repair_bytes, RepairReport};
+pub use symbolic::{ContractCatalog, FootprintOracle, SymCollision, SymFootprint};
 pub use verify::{
-    check, snapshot, snapshot_with, verified, verified_with_extents, PlanSnapshot,
-    SemanticsViolation,
+    check, snapshot, snapshot_with, verified, verified_with_contracts, verified_with_extents,
+    verified_with_oracles, PlanSnapshot, SemanticsViolation,
 };

@@ -192,6 +192,45 @@ pub enum Finding {
         /// Bytes of the first write that were re-covered.
         bytes: u64,
     },
+    /// A recorded run disagreed with a task's declared I/O contract:
+    /// either the task touched bytes outside its declared footprint
+    /// (`undeclared: true`) or a declared clause was never exercised at
+    /// all (`undeclared: false` — declared-but-untouched waste).
+    ContractViolation {
+        /// The offending task.
+        task: String,
+        /// File the disagreement is about.
+        file: String,
+        /// Dataset within the file.
+        dataset: String,
+        /// `"read"` or `"write"`.
+        access: String,
+        /// Start of the disputed logical byte range.
+        start: u64,
+        /// End (exclusive) of the disputed logical byte range.
+        end: u64,
+        /// `true` when the trace touched bytes the contract never
+        /// declared; `false` when the contract declared bytes the trace
+        /// never touched.
+        undeclared: bool,
+    },
+}
+
+/// Structural identity of a finding: category plus the fields that pin it
+/// to a specific defect site, with free-text details (messages, byte
+/// counts that vary run to run) left out. The verifier diffs reports by
+/// key, so two findings describing the same defect compare equal even if
+/// incidental fields differ.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FindingKey {
+    /// The finding's stable category label.
+    pub category: &'static str,
+    /// Identity fields in variant-specific order (file/task/dataset names).
+    pub parts: Vec<String>,
+    /// Byte span when the variant carries one, else `(0, 0)`.
+    pub span: (u64, u64),
+    /// Variant-specific flag (`write_write`, `undeclared`), else `false`.
+    pub flag: bool,
 }
 
 impl Finding {
@@ -214,6 +253,142 @@ impl Finding {
             Finding::DeadDataset { .. } => "dead-dataset",
             Finding::DatasetReadBeforeWrite { .. } => "dataset-read-before-write",
             Finding::RedundantOverwrite { .. } => "redundant-overwrite",
+            Finding::ContractViolation { .. } => "contract-violation",
+        }
+    }
+
+    /// Structural identity key (see [`FindingKey`]). Replaces the old
+    /// `format!("{self:?}")` keys, which changed meaning whenever a field
+    /// was renamed or a derive reordered output.
+    pub fn key(&self) -> FindingKey {
+        let mut parts: Vec<String> = Vec::new();
+        let mut span = (0u64, 0u64);
+        let mut flag = false;
+        match self {
+            Finding::WriteWriteRace {
+                file,
+                first,
+                second,
+            } => parts.extend([file.clone(), first.clone(), second.clone()]),
+            Finding::ReadBeforeWrite {
+                file,
+                reader,
+                writers,
+            } => {
+                parts.extend([file.clone(), reader.clone()]);
+                let mut w = writers.clone();
+                w.sort_unstable();
+                parts.extend(w);
+            }
+            Finding::UseAfterDispose {
+                file,
+                reader,
+                disposer,
+            } => parts.extend([file.clone(), reader.clone(), disposer.clone()]),
+            Finding::DanglingFileRef { file, reader } => {
+                parts.extend([file.clone(), reader.clone()]);
+            }
+            Finding::OrderingLost {
+                file,
+                producer,
+                consumer,
+            } => parts.extend([file.clone(), producer.clone(), consumer.clone()]),
+            Finding::SuperblockInvalid { detail } => parts.push(detail.clone()),
+            Finding::ObjectHeaderInvalid { path, addr, detail } => {
+                parts.extend([path.clone(), detail.clone()]);
+                span = (*addr, 0);
+            }
+            Finding::OverlappingExtents {
+                a,
+                a_addr,
+                b,
+                b_addr,
+                ..
+            } => {
+                parts.extend([a.clone(), b.clone()]);
+                span = (*a_addr, *b_addr);
+            }
+            Finding::ChunkEntryOutOfBounds {
+                dataset,
+                ordinal,
+                addr,
+                size,
+                ..
+            } => {
+                parts.extend([dataset.clone(), ordinal.to_string()]);
+                span = (*addr, addr.saturating_add(*size));
+            }
+            Finding::DanglingHeapRef {
+                dataset,
+                block_addr,
+                detail,
+            } => {
+                parts.extend([dataset.clone(), detail.clone()]);
+                span = (*block_addr, 0);
+            }
+            Finding::SharedRawExtent {
+                a_dataset,
+                b_dataset,
+                start,
+                end,
+            } => {
+                parts.extend([a_dataset.clone(), b_dataset.clone()]);
+                span = (*start, *end);
+            }
+            Finding::ExtentRace {
+                file,
+                datasets,
+                first,
+                second,
+                write_write,
+                start,
+                end,
+            } => {
+                parts.extend([file.clone(), first.clone(), second.clone()]);
+                parts.extend(datasets.iter().cloned());
+                span = (*start, *end);
+                flag = *write_write;
+            }
+            Finding::UseAfterClose {
+                file,
+                task,
+                dataset,
+            } => parts.extend([file.clone(), task.clone(), dataset.clone()]),
+            Finding::DeadDataset { file, dataset, .. } => {
+                parts.extend([file.clone(), dataset.clone()]);
+            }
+            Finding::DatasetReadBeforeWrite {
+                file,
+                dataset,
+                reader,
+                ..
+            } => parts.extend([file.clone(), dataset.clone(), reader.clone()]),
+            Finding::RedundantOverwrite {
+                file,
+                dataset,
+                first,
+                second,
+                ..
+            } => parts.extend([file.clone(), dataset.clone(), first.clone(), second.clone()]),
+            Finding::ContractViolation {
+                task,
+                file,
+                dataset,
+                access,
+                start,
+                end,
+                undeclared,
+            } => {
+                parts.extend([task.clone(), file.clone(), dataset.clone(), access.clone()]);
+                span = (*start, *end);
+                flag = *undeclared;
+            }
+        }
+        FindingKey {
+            category: self.category(),
+            parts,
+            span,
+            flag,
         }
     }
 
@@ -237,6 +412,7 @@ impl Finding {
             "dead-dataset",
             "dataset-read-before-write",
             "redundant-overwrite",
+            "contract-violation",
         ]
     }
 }
@@ -380,6 +556,27 @@ impl fmt::Display for Finding {
                 f,
                 "{second:?} fully overwrites the {bytes} B {first:?} wrote to {dataset:?} in {file:?} before anyone read them"
             ),
+            Finding::ContractViolation {
+                task,
+                file,
+                dataset,
+                access,
+                start,
+                end,
+                undeclared,
+            } => {
+                if *undeclared {
+                    write!(
+                        f,
+                        "task {task:?} {access}s bytes [{start}, {end}) of {dataset:?} in {file:?} outside its declared contract"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "task {task:?} declares a {access} of [{start}, {end}) of {dataset:?} in {file:?} but never touched it"
+                    )
+                }
+            }
         }
     }
 }
@@ -571,9 +768,77 @@ mod tests {
                 end: 8,
             }
             .category(),
+            Finding::ContractViolation {
+                task: "t".into(),
+                file: "f".into(),
+                dataset: "/d".into(),
+                access: "write".into(),
+                start: 0,
+                end: 8,
+                undeclared: true,
+            }
+            .category(),
         ] {
             assert!(Finding::categories().contains(&c), "{c} missing");
         }
+    }
+
+    #[test]
+    fn structural_keys_ignore_detail_fields() {
+        let a = Finding::DeadDataset {
+            file: "f".into(),
+            dataset: "/d".into(),
+            writers: vec!["w1".into()],
+            bytes: 100,
+        };
+        let b = Finding::DeadDataset {
+            file: "f".into(),
+            dataset: "/d".into(),
+            writers: vec!["w2".into(), "w3".into()],
+            bytes: 999,
+        };
+        assert_eq!(a.key(), b.key(), "same defect site, different detail");
+        let c = Finding::DeadDataset {
+            file: "f".into(),
+            dataset: "/other".into(),
+            writers: vec![],
+            bytes: 0,
+        };
+        assert_ne!(a.key(), c.key());
+        // Cross-variant keys never collide even with identical parts.
+        let race = Finding::WriteWriteRace {
+            file: "f".into(),
+            first: "/d".into(),
+            second: "x".into(),
+        };
+        assert_ne!(a.key().category, race.key().category);
+    }
+
+    #[test]
+    fn contract_violation_displays_both_directions() {
+        let undeclared = Finding::ContractViolation {
+            task: "t".into(),
+            file: "f.h5".into(),
+            dataset: "/raw".into(),
+            access: "write".into(),
+            start: 4096,
+            end: 8192,
+            undeclared: true,
+        };
+        assert!(undeclared
+            .to_string()
+            .contains("outside its declared contract"));
+        let waste = Finding::ContractViolation {
+            task: "t".into(),
+            file: "f.h5".into(),
+            dataset: "/raw".into(),
+            access: "read".into(),
+            start: 0,
+            end: 4096,
+            undeclared: false,
+        };
+        assert!(waste.to_string().contains("never touched"));
+        assert_ne!(undeclared.key(), waste.key());
     }
 
     #[test]

@@ -210,34 +210,31 @@ pub fn repair_bytes(image: &mut Vec<u8>) -> RepairReport {
 }
 
 /// Translates one pass worth of findings into structure drops.
-fn apply_fixes(image: &mut Vec<u8>, sb: &Superblock, report: &Report, actions: &mut Vec<String>) {
+fn apply_fixes(image: &mut [u8], sb: &Superblock, report: &Report, actions: &mut Vec<String>) {
     let mut fixed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     for f in &report.findings {
         match f {
-            Finding::ObjectHeaderInvalid { path, .. } => {
-                if fixed.insert(format!("obj:{path}")) {
-                    fix_object(image, sb, path, actions);
-                }
+            Finding::ObjectHeaderInvalid { path, .. } if fixed.insert(format!("obj:{path}")) => {
+                fix_object(image, sb, path, actions);
             }
             Finding::ChunkEntryOutOfBounds {
                 dataset, ordinal, ..
             } => {
                 zero_chunk_entry(image, sb, dataset, *ordinal, actions);
             }
-            Finding::DanglingHeapRef { dataset, .. } => {
-                if fixed.insert(format!("heap:{dataset}")) {
-                    fix_heap_refs(image, sb, dataset, actions);
-                }
+            Finding::DanglingHeapRef { dataset, .. } if fixed.insert(format!("heap:{dataset}")) => {
+                fix_heap_refs(image, sb, dataset, actions);
             }
-            Finding::SharedRawExtent { b_dataset, .. } => {
-                // Two datasets own the same bytes; detach the later path
-                // (the earlier keeps the data, matching allocator intent).
-                if fixed.insert(format!("raw:{b_dataset}")) {
-                    drop_raw_storage(image, sb, b_dataset, actions);
-                }
+            // Two datasets own the same bytes; detach the later path
+            // (the earlier keeps the data, matching allocator intent).
+            Finding::SharedRawExtent { b_dataset, .. }
+                if fixed.insert(format!("raw:{b_dataset}")) =>
+            {
+                drop_raw_storage(image, sb, b_dataset, actions);
             }
             Finding::OverlappingExtents { a, b, .. } => {
-                if !apply_overlap_fix(image, sb, b, &mut fixed, actions) {
+                let dropped_b = apply_overlap_fix(image, sb, b, &mut fixed, actions);
+                if !dropped_b {
                     apply_overlap_fix(image, sb, a, &mut fixed, actions);
                 }
             }
@@ -260,7 +257,7 @@ fn label_owner(label: &str) -> Option<String> {
 /// Resolves an overlap by detaching the labelled structure: raw-data
 /// claims lose their storage pointers, metadata claims lose the child.
 fn apply_overlap_fix(
-    image: &mut Vec<u8>,
+    image: &mut [u8],
     sb: &Superblock,
     label: &str,
     fixed: &mut std::collections::BTreeSet<String>,
@@ -340,7 +337,7 @@ fn split_parent(path: &str) -> Option<(String, String)> {
 
 /// Unlinks `path` from its parent's entry table (rebuilt in place — it
 /// only ever shrinks). Unlinking the root rebuilds it as an empty group.
-fn drop_child(image: &mut Vec<u8>, sb: &Superblock, path: &str, actions: &mut Vec<String>) -> bool {
+fn drop_child(image: &mut [u8], sb: &Superblock, path: &str, actions: &mut Vec<String>) -> bool {
     let Some((parent, leaf)) = split_parent(path) else {
         if write_header(image, sb.root_addr, &ObjectHeader::new_group()) {
             actions.push("rebuilt unrepairable root as an empty group".into());
@@ -393,7 +390,7 @@ fn expected_chunks(shape: &[u64], chunk_dims: &[u64]) -> u64 {
 
 /// Re-diagnoses the object behind an [`Finding::ObjectHeaderInvalid`] and
 /// applies the narrowest fix; unlinks it when the damage is structural.
-fn fix_object(image: &mut Vec<u8>, sb: &Superblock, path: &str, actions: &mut Vec<String>) -> bool {
+fn fix_object(image: &mut [u8], sb: &Superblock, path: &str, actions: &mut Vec<String>) -> bool {
     let addr = if path == "/" {
         Some(sb.root_addr)
     } else {
@@ -485,7 +482,7 @@ fn fix_object(image: &mut Vec<u8>, sb: &Superblock, path: &str, actions: &mut Ve
 
 /// Zeroes chunk entry `ordinal` of `dataset` (0 = unallocated).
 fn zero_chunk_entry(
-    image: &mut Vec<u8>,
+    image: &mut [u8],
     sb: &Superblock,
     dataset: &str,
     ordinal: u64,
@@ -521,7 +518,7 @@ fn zero_chunk_entry(
 /// unallocated, chunk entries are zeroed. Structure survives, data does
 /// not — the only safe answer once two owners dispute the bytes.
 fn drop_raw_storage(
-    image: &mut Vec<u8>,
+    image: &mut [u8],
     sb: &Superblock,
     dataset: &str,
     actions: &mut Vec<String>,
@@ -591,7 +588,7 @@ fn bad_slots(image: &[u8], region: &[u8]) -> Vec<usize> {
 /// Nulls every dangling variable-length descriptor of `dataset` and trims
 /// storage that is not a whole number of descriptors.
 fn fix_heap_refs(
-    image: &mut Vec<u8>,
+    image: &mut [u8],
     sb: &Superblock,
     dataset: &str,
     actions: &mut Vec<String>,

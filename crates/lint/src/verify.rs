@@ -15,18 +15,23 @@
 //! and rolls the plan back when the check fails, so an illegal
 //! `parallelize(producer, consumer)` leaves the plan untouched.
 //!
-//! When the snapshot carries an [`ExtentCatalog`] (recorded byte extents
-//! per task and file — see [`verified_with_extents`]), the check gains
+//! When the snapshot carries a footprint oracle, the check gains
 //! address-level precision in both directions: plan-granularity race
-//! regressions between tasks whose recorded extents are provably disjoint
+//! regressions between tasks whose footprints are provably disjoint
 //! are *discharged* (the rewrite is safe even though both touch the
-//! file), while regressions whose extents really collide are upgraded to
-//! [`Finding::ExtentRace`] with the offending byte range — proof the
-//! rewrite introduces a new extent race.
+//! file), while regressions whose footprints really collide are upgraded
+//! to [`Finding::ExtentRace`] with the offending byte range — proof the
+//! rewrite introduces a new extent race. Two oracles exist: the recorded
+//! [`ExtentCatalog`] (dynamics — see [`verified_with_extents`]) and the
+//! declared [`ContractCatalog`](crate::symbolic::ContractCatalog)
+//! (semantics — see [`verified_with_contracts`], which needs no recorded
+//! trace at all). A snapshot may carry both; contracts are consulted
+//! first, recorded extents settle whatever the declarations left open.
 
 use crate::extent::ExtentCatalog;
 use crate::hazard::{analyze_sim_tasks, ancestors, plan_from_sim_tasks, Access, LintConfig};
-use crate::model::{Finding, Report};
+use crate::model::{Finding, FindingKey, Report};
+use crate::symbolic::{ContractCatalog, FootprintOracle};
 use dayu_sim::program::SimTask;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -34,15 +39,19 @@ use std::fmt;
 /// The hazard/happens-before state of a plan before a transform runs.
 #[derive(Clone, Debug)]
 pub struct PlanSnapshot {
-    /// Debug-format keys of findings already present before the transform
+    /// Structural keys of findings already present before the transform
     /// (pre-existing defects are not the transform's fault).
-    baseline: BTreeSet<String>,
+    baseline: BTreeSet<FindingKey>,
     /// Every (producer, consumer, file) ordering the plan guarantees.
     orderings: BTreeSet<(String, String, String)>,
     cfg: LintConfig,
     /// Recorded per-(task, file) byte extents, when the plan replays a
     /// recorded trace. Enables extent-level refinement in [`check`].
     catalog: Option<ExtentCatalog>,
+    /// Declared contract footprints, when the workflow spec carries
+    /// [`IoContract`](dayu_workflow::IoContract)s. Consulted before the
+    /// recorded catalog.
+    contracts: Option<ContractCatalog>,
 }
 
 impl PlanSnapshot {
@@ -51,10 +60,12 @@ impl PlanSnapshot {
         self.catalog = Some(catalog);
         self
     }
-}
 
-fn finding_key(f: &Finding) -> String {
-    format!("{f:?}")
+    /// Attaches declared contract footprints to the snapshot.
+    pub fn with_contracts(mut self, contracts: ContractCatalog) -> Self {
+        self.contracts = Some(contracts);
+        self
+    }
 }
 
 /// All (producer, consumer, file) triples where the producer data-writes
@@ -115,10 +126,11 @@ pub fn snapshot(tasks: &[SimTask]) -> PlanSnapshot {
 pub fn snapshot_with(tasks: &[SimTask], cfg: LintConfig) -> PlanSnapshot {
     let report = analyze_sim_tasks(tasks, &cfg);
     PlanSnapshot {
-        baseline: report.findings.iter().map(finding_key).collect(),
+        baseline: report.findings.iter().map(Finding::key).collect(),
         orderings: orderings(tasks),
         cfg,
         catalog: None,
+        contracts: None,
     }
 }
 
@@ -130,7 +142,7 @@ pub fn check(snap: &PlanSnapshot, after: &[SimTask]) -> Report {
     let mut report = analyze_sim_tasks(after, &snap.cfg);
     report
         .findings
-        .retain(|f| !snap.baseline.contains(&finding_key(f)));
+        .retain(|f| !snap.baseline.contains(&f.key()));
 
     let now = orderings(after);
     for (producer, consumer, file) in snap.orderings.difference(&now) {
@@ -145,19 +157,25 @@ pub fn check(snap: &PlanSnapshot, after: &[SimTask]) -> Report {
             });
         }
     }
+    // Semantics first, dynamics second: declarations discharge what they
+    // can, recorded extents settle the rest.
+    if let Some(contracts) = &snap.contracts {
+        report = refine_with_oracle(report, contracts);
+    }
     if let Some(cat) = &snap.catalog {
-        report = refine_with_extents(report, cat);
+        report = refine_with_oracle(report, cat);
     }
     report
 }
 
-/// Re-judges plan-granularity race regressions against recorded byte
-/// extents: provably disjoint pairs are discharged; pairs whose recorded
-/// extents collide become [`Finding::ExtentRace`] carrying the byte range
-/// (the plan layer knows files, not datasets, so the dataset list stays
-/// empty). Tasks the catalog never observed (transform-synthesized
-/// stage-in/out copies) keep their conservative plan-level finding.
-fn refine_with_extents(report: Report, cat: &ExtentCatalog) -> Report {
+/// Re-judges plan-granularity race regressions against a footprint
+/// oracle — recorded byte extents or declared contract hulls: provably
+/// disjoint pairs are discharged; pairs whose footprints collide become
+/// [`Finding::ExtentRace`] carrying the byte range (the plan layer knows
+/// files, not datasets, so the dataset list stays empty). Tasks the
+/// oracle never saw (transform-synthesized stage-in/out copies,
+/// undeclared tasks) keep their conservative plan-level finding.
+fn refine_with_oracle(report: Report, cat: &dyn FootprintOracle) -> Report {
     let mut refined = Report::new();
     for f in report.findings {
         match &f {
@@ -274,6 +292,40 @@ pub fn verified_with_extents<R>(
     apply: impl FnOnce(&mut Vec<SimTask>) -> R,
 ) -> Result<R, SemanticsViolation> {
     let snap = snapshot(tasks).with_extents(catalog.clone());
+    run_verified(snap, tasks, transform, apply)
+}
+
+/// [`verified`], refined by *declared* contract footprints alone: a
+/// rewrite that makes two tasks concurrent is accepted when their
+/// declared extents on the shared file are provably disjoint — no
+/// recorded trace required. The static half of the paper's
+/// semantics+dynamics split.
+pub fn verified_with_contracts<R>(
+    tasks: &mut Vec<SimTask>,
+    transform: &str,
+    contracts: &ContractCatalog,
+    apply: impl FnOnce(&mut Vec<SimTask>) -> R,
+) -> Result<R, SemanticsViolation> {
+    let snap = snapshot(tasks).with_contracts(contracts.clone());
+    run_verified(snap, tasks, transform, apply)
+}
+
+/// [`verified`] with both oracles: declared contracts are consulted
+/// first, recorded extents second. Either may be absent.
+pub fn verified_with_oracles<R>(
+    tasks: &mut Vec<SimTask>,
+    transform: &str,
+    contracts: Option<&ContractCatalog>,
+    catalog: Option<&ExtentCatalog>,
+    apply: impl FnOnce(&mut Vec<SimTask>) -> R,
+) -> Result<R, SemanticsViolation> {
+    let mut snap = snapshot(tasks);
+    if let Some(c) = contracts {
+        snap = snap.with_contracts(c.clone());
+    }
+    if let Some(c) = catalog {
+        snap = snap.with_extents(c.clone());
+    }
     run_verified(snap, tasks, transform, apply)
 }
 
@@ -444,6 +496,83 @@ mod tests {
             )),
             "{err}"
         );
+    }
+
+    /// A contract catalog where `producer` declares writes of one span
+    /// and `consumer` declares reads of another, on `f.h5:/d`.
+    fn contracts(write: (u64, u64), read: (u64, u64)) -> ContractCatalog {
+        use dayu_workflow::contract::{IoContract, SymExtent};
+        use dayu_workflow::spec::TaskSpec;
+        use dayu_workflow::WorkflowSpec;
+        let spec =
+            WorkflowSpec::new("wf")
+                .stage(
+                    "p",
+                    vec![TaskSpec::new("producer", |_| Ok(())).with_contract(
+                        IoContract::new().writes("f.h5", "/d", SymExtent::bytes(write.0, write.1)),
+                    )],
+                )
+                .stage(
+                    "c",
+                    vec![TaskSpec::new("consumer", |_| Ok(())).with_contract(
+                        IoContract::new().reads("f.h5", "/d", SymExtent::bytes(read.0, read.1)),
+                    )],
+                );
+        ContractCatalog::from_spec(&spec)
+    }
+
+    #[test]
+    fn disjoint_declared_contracts_discharge_a_parallelize() {
+        // No trace was ever recorded — the declarations alone prove the
+        // consumer reads a region the producer never writes.
+        let mut tasks = chain();
+        let cat = contracts((0, 100), (4096, 4196));
+        verified_with_contracts(&mut tasks, "parallelize", &cat, |t| {
+            transform::parallelize(t, "producer", "consumer")
+        })
+        .unwrap();
+        assert!(tasks[1].deps.is_empty());
+    }
+
+    #[test]
+    fn colliding_declared_contracts_reject_as_extent_race() {
+        let mut tasks = chain();
+        let before = tasks.clone();
+        let cat = contracts((0, 100), (50, 150));
+        let err = verified_with_contracts(&mut tasks, "parallelize", &cat, |t| {
+            transform::parallelize(t, "producer", "consumer")
+        })
+        .unwrap_err();
+        assert_eq!(tasks, before, "plan restored on rejection");
+        assert!(
+            err.report.findings.iter().any(|f| matches!(
+                f,
+                Finding::ExtentRace {
+                    start: 50,
+                    end: 100,
+                    ..
+                }
+            )),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn contracts_first_then_recorded_extents() {
+        // Contracts are silent about these tasks; the recorded catalog
+        // must still discharge the rewrite.
+        let mut tasks = chain();
+        let declared = ContractCatalog::default();
+        let recorded = catalog((0, 100), (4096, 100));
+        verified_with_oracles(
+            &mut tasks,
+            "parallelize",
+            Some(&declared),
+            Some(&recorded),
+            |t| transform::parallelize(t, "producer", "consumer"),
+        )
+        .unwrap();
+        assert!(tasks[1].deps.is_empty());
     }
 
     #[test]

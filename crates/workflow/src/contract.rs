@@ -1,0 +1,427 @@
+//! Symbolic I/O contracts: declared task footprints.
+//!
+//! DaYu's thesis is that workflow optimization needs both *dynamics* (what
+//! a run actually did — the recorded trace) and *semantics* (what tasks
+//! intend to do). An [`IoContract`] is the semantics half: a set of
+//! `(file, dataset, access mode, symbolic extent)` clauses attached to a
+//! [`TaskSpec`](crate::spec::TaskSpec), where extents are affine
+//! expressions over named parameters (task index, chunk size, …) with
+//! declared domains. `dayu-lint` consumes contracts two ways:
+//!
+//! * **statically** — combining declared footprints with the stage
+//!   happens-before to prove or refute races before any VFD is opened;
+//! * **dynamically** — replaying a recorded trace against the contracts
+//!   to flag out-of-footprint I/O and declared-but-never-touched waste.
+//!
+//! The canonical chunk-parallel declaration reads like the math:
+//!
+//! ```
+//! use dayu_workflow::contract::{AffineExpr, IoContract, SymExtent};
+//! const CHUNK: i64 = 4096;
+//! let i = AffineExpr::var("i");
+//! let contract = IoContract::new()
+//!     .bind("i", 3) // this task is writer #3
+//!     .writes("shared.h5", "/raw", SymExtent::span(i.clone() * CHUNK, (i + 1) * CHUNK));
+//! assert!(contract.clauses.len() == 1);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// An affine expression `base + Σ coeffᵢ·paramᵢ` over named integer
+/// parameters. Kept normalized: terms sorted by parameter name, zero
+/// coefficients dropped.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AffineExpr {
+    /// Constant term.
+    pub base: i64,
+    /// `(parameter name, coefficient)`, sorted, no zero coefficients.
+    pub terms: Vec<(String, i64)>,
+}
+
+impl AffineExpr {
+    /// The constant expression `v`.
+    pub fn constant(v: i64) -> Self {
+        Self {
+            base: v,
+            terms: Vec::new(),
+        }
+    }
+
+    /// The expression `1·name`.
+    pub fn var(name: impl Into<String>) -> Self {
+        Self {
+            base: 0,
+            terms: vec![(name.into(), 1)],
+        }
+    }
+
+    /// Whether the expression has no parameter terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates under a concrete parameter valuation. Parameters missing
+    /// from `env` evaluate as 0.
+    pub fn eval(&self, env: &BTreeMap<String, i64>) -> i64 {
+        let mut v = self.base;
+        for (name, coeff) in &self.terms {
+            v = v.saturating_add(coeff.saturating_mul(env.get(name).copied().unwrap_or(0)));
+        }
+        v
+    }
+
+    fn normalize(mut self) -> Self {
+        self.terms.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut merged: Vec<(String, i64)> = Vec::with_capacity(self.terms.len());
+        for (name, coeff) in self.terms {
+            match merged.last_mut() {
+                Some((last, c)) if *last == name => *c = c.saturating_add(coeff),
+                _ => merged.push((name, coeff)),
+            }
+        }
+        merged.retain(|(_, c)| *c != 0);
+        self.terms = merged;
+        self
+    }
+}
+
+impl Add for AffineExpr {
+    type Output = AffineExpr;
+    fn add(mut self, rhs: AffineExpr) -> AffineExpr {
+        self.base = self.base.saturating_add(rhs.base);
+        self.terms.extend(rhs.terms);
+        self.normalize()
+    }
+}
+
+impl Add<i64> for AffineExpr {
+    type Output = AffineExpr;
+    fn add(mut self, rhs: i64) -> AffineExpr {
+        self.base = self.base.saturating_add(rhs);
+        self
+    }
+}
+
+impl Sub for AffineExpr {
+    type Output = AffineExpr;
+    fn sub(mut self, rhs: AffineExpr) -> AffineExpr {
+        self.base = self.base.saturating_sub(rhs.base);
+        self.terms
+            .extend(rhs.terms.into_iter().map(|(n, c)| (n, c.saturating_neg())));
+        self.normalize()
+    }
+}
+
+impl Sub<i64> for AffineExpr {
+    type Output = AffineExpr;
+    fn sub(mut self, rhs: i64) -> AffineExpr {
+        self.base = self.base.saturating_sub(rhs);
+        self
+    }
+}
+
+impl Mul<i64> for AffineExpr {
+    type Output = AffineExpr;
+    fn mul(mut self, rhs: i64) -> AffineExpr {
+        self.base = self.base.saturating_mul(rhs);
+        for (_, c) in &mut self.terms {
+            *c = c.saturating_mul(rhs);
+        }
+        self.normalize()
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        for (name, coeff) in &self.terms {
+            if wrote {
+                write!(f, " + ")?;
+            }
+            if *coeff == 1 {
+                write!(f, "{name}")?;
+            } else {
+                write!(f, "{coeff}*{name}")?;
+            }
+            wrote = true;
+        }
+        if self.base != 0 || !wrote {
+            if wrote {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}", self.base)?;
+        }
+        Ok(())
+    }
+}
+
+/// Inclusive domain of a contract parameter. `lo == hi` is an exact
+/// binding (the common case: a task knows its own index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParamDomain {
+    /// Smallest value the parameter can take.
+    pub lo: i64,
+    /// Largest value the parameter can take.
+    pub hi: i64,
+}
+
+impl ParamDomain {
+    /// An exact binding.
+    pub fn exact(v: i64) -> Self {
+        Self { lo: v, hi: v }
+    }
+
+    /// An inclusive range.
+    pub fn range(lo: i64, hi: i64) -> Self {
+        Self { lo, hi }
+    }
+}
+
+/// A symbolic byte extent of one dataset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SymExtent {
+    /// ⊤ — the whole dataset, wherever its bytes live. The honest
+    /// declaration for chunked or variable-length datasets whose physical
+    /// layout interleaves, and for tasks that touch everything.
+    All,
+    /// The half-open dataset-relative byte range `[start, end)`.
+    Span {
+        /// First byte touched.
+        start: AffineExpr,
+        /// One past the last byte touched.
+        end: AffineExpr,
+    },
+}
+
+impl SymExtent {
+    /// The whole dataset (⊤).
+    pub fn all() -> Self {
+        SymExtent::All
+    }
+
+    /// A symbolic half-open span.
+    pub fn span(start: impl Into<AffineExpr>, end: impl Into<AffineExpr>) -> Self {
+        SymExtent::Span {
+            start: start.into(),
+            end: end.into(),
+        }
+    }
+
+    /// A concrete half-open span.
+    pub fn bytes(start: u64, end: u64) -> Self {
+        SymExtent::span(
+            AffineExpr::constant(start.min(i64::MAX as u64) as i64),
+            AffineExpr::constant(end.min(i64::MAX as u64) as i64),
+        )
+    }
+}
+
+impl From<AffineExpr> for SymExtent {
+    /// Degenerate single-point start (rarely useful; spans are built with
+    /// [`SymExtent::span`]).
+    fn from(e: AffineExpr) -> Self {
+        SymExtent::Span {
+            start: e.clone(),
+            end: e + 1,
+        }
+    }
+}
+
+impl From<i64> for AffineExpr {
+    fn from(v: i64) -> Self {
+        AffineExpr::constant(v)
+    }
+}
+
+impl fmt::Display for SymExtent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymExtent::All => write!(f, "[*]"),
+            SymExtent::Span { start, end } => write!(f, "[{start} .. {end})"),
+        }
+    }
+}
+
+/// Declared access direction of a clause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessMode {
+    /// The task reads the extent.
+    Read,
+    /// The task writes the extent.
+    Write,
+}
+
+/// One declared access: `mode extent` of `dataset` in `file`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContractClause {
+    /// File the access targets.
+    pub file: String,
+    /// Dataset path within the file (e.g. `"/raw"`).
+    pub dataset: String,
+    /// Read or write.
+    pub mode: AccessMode,
+    /// Symbolic byte extent, dataset-relative.
+    pub extent: SymExtent,
+}
+
+/// A task's declared I/O footprint: parameter bindings plus access
+/// clauses (and optionally files the task disposes of).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IoContract {
+    /// Parameter domains the clause extents range over.
+    pub params: BTreeMap<String, ParamDomain>,
+    /// Declared accesses.
+    pub clauses: Vec<ContractClause>,
+    /// Files this task drops / stages out; later accesses by
+    /// happens-after tasks are use-after-close defects.
+    pub disposes: Vec<String>,
+}
+
+impl IoContract {
+    /// An empty contract (declares nothing; add clauses with the builder).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds a parameter to an exact value.
+    pub fn bind(mut self, name: impl Into<String>, v: i64) -> Self {
+        self.params.insert(name.into(), ParamDomain::exact(v));
+        self
+    }
+
+    /// Binds a parameter to an inclusive range.
+    pub fn bind_range(mut self, name: impl Into<String>, lo: i64, hi: i64) -> Self {
+        self.params.insert(name.into(), ParamDomain::range(lo, hi));
+        self
+    }
+
+    /// Declares a read of `extent` of `dataset` in `file`.
+    pub fn reads(
+        mut self,
+        file: impl Into<String>,
+        dataset: impl Into<String>,
+        extent: SymExtent,
+    ) -> Self {
+        self.clauses.push(ContractClause {
+            file: file.into(),
+            dataset: dataset.into(),
+            mode: AccessMode::Read,
+            extent,
+        });
+        self
+    }
+
+    /// Declares a whole-dataset read.
+    pub fn reads_all(self, file: impl Into<String>, dataset: impl Into<String>) -> Self {
+        self.reads(file, dataset, SymExtent::all())
+    }
+
+    /// Declares a write of `extent` of `dataset` in `file`.
+    pub fn writes(
+        mut self,
+        file: impl Into<String>,
+        dataset: impl Into<String>,
+        extent: SymExtent,
+    ) -> Self {
+        self.clauses.push(ContractClause {
+            file: file.into(),
+            dataset: dataset.into(),
+            mode: AccessMode::Write,
+            extent,
+        });
+        self
+    }
+
+    /// Declares a whole-dataset write.
+    pub fn writes_all(self, file: impl Into<String>, dataset: impl Into<String>) -> Self {
+        self.writes(file, dataset, SymExtent::all())
+    }
+
+    /// Declares that this task disposes of `file`.
+    pub fn disposes(mut self, file: impl Into<String>) -> Self {
+        self.disposes.push(file.into());
+        self
+    }
+
+    /// Whether the contract declares nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty() && self.disposes.is_empty()
+    }
+
+    /// Files named by any clause or disposal, deduped, sorted.
+    pub fn files(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .clauses
+            .iter()
+            .map(|c| c.file.as_str())
+            .chain(self.disposes.iter().map(String::as_str))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_normalization_merges_and_drops_zeros() {
+        let i = AffineExpr::var("i");
+        let e = i.clone() * 4 + i.clone() * -4 + 7;
+        assert!(e.is_constant());
+        assert_eq!(e.base, 7);
+        let e2 = i.clone() * 3 + AffineExpr::var("j") + i * 2;
+        assert_eq!(
+            e2.terms,
+            vec![("i".to_owned(), 5), ("j".to_owned(), 1)],
+            "sorted and merged"
+        );
+    }
+
+    #[test]
+    fn eval_under_valuation() {
+        let chunk = 4096;
+        let i = AffineExpr::var("i");
+        let start = i.clone() * chunk;
+        let end = (i + 1) * chunk;
+        let env: BTreeMap<String, i64> = [("i".to_owned(), 3)].into();
+        assert_eq!(start.eval(&env), 3 * chunk);
+        assert_eq!(end.eval(&env), 4 * chunk);
+        // Missing parameters read as zero.
+        assert_eq!(start.eval(&BTreeMap::new()), 0);
+    }
+
+    #[test]
+    fn builder_collects_clauses_params_and_disposals() {
+        let i = AffineExpr::var("i");
+        let c = IoContract::new()
+            .bind("i", 2)
+            .bind_range("epoch", 1, 8)
+            .writes(
+                "a.h5",
+                "/raw",
+                SymExtent::span(i.clone() * 10, (i + 1) * 10),
+            )
+            .reads_all("b.h5", "/in")
+            .disposes("scratch.h5");
+        assert_eq!(c.clauses.len(), 2);
+        assert_eq!(c.params["i"], ParamDomain::exact(2));
+        assert_eq!(c.params["epoch"], ParamDomain::range(1, 8));
+        assert_eq!(c.files(), vec!["a.h5", "b.h5", "scratch.h5"]);
+        assert!(!c.is_empty());
+        assert!(IoContract::new().is_empty());
+    }
+
+    #[test]
+    fn display_reads_like_the_math() {
+        let i = AffineExpr::var("i");
+        let s = SymExtent::span(i.clone() * 4096, (i + 1) * 4096);
+        assert_eq!(s.to_string(), "[4096*i .. 4096*i + 4096)");
+        assert_eq!(SymExtent::all().to_string(), "[*]");
+        assert_eq!(AffineExpr::constant(0).to_string(), "0");
+    }
+}

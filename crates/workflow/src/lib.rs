@@ -18,18 +18,20 @@
 //!    prefetch, async stage-out, unused-access elimination, pipelining —
 //!    and replay again to quantify the improvement (Figures 11–13).
 
+pub mod contract;
 pub mod replay;
 pub mod retry;
 pub mod runner;
 pub mod spec;
 pub mod transform;
 
+pub use contract::{AccessMode, AffineExpr, ContractClause, IoContract, ParamDomain, SymExtent};
 pub use replay::{file_written_bytes, producers_of, readers_of, to_sim_tasks, Schedule};
 pub use retry::RetryPolicy;
 pub use runner::{
     record, record_checked, record_opts, record_with, RecordOptions, RecordedRun, TaskOutcome,
 };
-pub use spec::{Stage, TaskBody, TaskIo, TaskSpec, WorkflowSpec};
+pub use spec::{Stage, TaskBody, TaskIndex, TaskIo, TaskSpec, WorkflowSpec};
 
 #[cfg(test)]
 mod tests {

@@ -155,6 +155,7 @@ impl RecordOptions {
 }
 
 /// Output of the record phase.
+#[derive(Debug)]
 pub struct RecordedRun {
     /// Merged traces of all tasks, task order following stage order.
     pub bundle: TraceBundle,
@@ -401,17 +402,23 @@ pub fn record_opts(spec: &WorkflowSpec, fs: &MemFs, opts: &RecordOptions) -> Res
         .iter()
         .map(|s| s.tasks.iter().map(|t| TaskKey::new(&t.name)).collect())
         .collect();
-    let mut stage_of = HashMap::new();
-    let mut compute_ns = HashMap::new();
-    let mut stage_names = Vec::new();
-    let mut outcomes: Vec<TaskOutcome> = Vec::new();
-
-    for (si, stage) in spec.stages.iter().enumerate() {
-        stage_names.push(stage.name.clone());
+    // One indexed pass over the spec yields every per-task lookup table
+    // the run needs; the stage loop below no longer rescans task lists.
+    let index = spec.index();
+    let mut stage_of = HashMap::with_capacity(index.len());
+    let mut compute_ns = HashMap::with_capacity(index.len());
+    for stage in &spec.stages {
         for t in &stage.tasks {
+            let (si, _) = index.position(&t.name).expect("validated spec task");
             stage_of.insert(t.name.clone(), si);
             compute_ns.insert(t.name.clone(), t.compute_ns);
         }
+    }
+    let mut stage_names = Vec::new();
+    let mut outcomes: Vec<TaskOutcome> = Vec::new();
+
+    for stage in spec.stages.iter() {
+        stage_names.push(stage.name.clone());
         // Stage barrier: tasks inside the stage run in parallel, each with
         // its own mapper session (its own shared context → correct task
         // attribution under concurrency). `par_iter` preserves input

@@ -9,9 +9,11 @@
 //! via [`TaskIo`]; its modeled compute time is carried alongside so the
 //! replay simulation can account for computation between I/O phases.
 
+use crate::contract::IoContract;
 use dayu_hdf::{Durability, FileOptions, H5File, HdfError, RecoveryReport, Result};
 use dayu_mapper::Mapper;
 use dayu_vfd::{CrashController, CrashVfd, FaultInjector, FaultyVfd, MemFs, Vfd, VfdError};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// The I/O environment handed to a task body: file create/open through the
@@ -180,6 +182,10 @@ pub struct TaskSpec {
     pub compute_ns: u64,
     /// The task's I/O body.
     pub body: TaskBody,
+    /// Declared symbolic I/O footprint, when the task carries one. `None`
+    /// is the conservative ⊤: the static contract passes assume nothing
+    /// and prove nothing about the task.
+    pub contract: Option<IoContract>,
 }
 
 impl TaskSpec {
@@ -192,12 +198,19 @@ impl TaskSpec {
             name: name.into(),
             compute_ns: 0,
             body: Arc::new(body),
+            contract: None,
         }
     }
 
     /// Sets the modeled compute time.
     pub fn with_compute(mut self, nanos: u64) -> Self {
         self.compute_ns = nanos;
+        self
+    }
+
+    /// Attaches a declared I/O footprint.
+    pub fn with_contract(mut self, contract: IoContract) -> Self {
+        self.contract = Some(contract);
         self
     }
 }
@@ -252,11 +265,19 @@ impl WorkflowSpec {
             .collect()
     }
 
-    /// The stage index of a task.
+    /// The stage index of a task. Linear scan — callers resolving many
+    /// names should build a [`WorkflowSpec::index`] once instead.
     pub fn stage_of(&self, task: &str) -> Option<usize> {
         self.stages
             .iter()
             .position(|s| s.tasks.iter().any(|t| t.name == task))
+    }
+
+    /// A name→(stage, task) lookup index over this spec, built in one
+    /// pass. The runner and the lint passes resolve every task name
+    /// through this instead of per-call linear scans.
+    pub fn index(&self) -> TaskIndex<'_> {
+        TaskIndex::new(self)
     }
 
     /// Validates the spec's structure: task names must be unique across all
@@ -283,6 +304,53 @@ impl WorkflowSpec {
     }
 }
 
+/// A name→(stage index, task index) lookup over a [`WorkflowSpec`],
+/// built once ([`WorkflowSpec::index`]) and then O(1) per query. On a
+/// spec with duplicate task names (rejected by
+/// [`WorkflowSpec::validate`]) the first occurrence wins.
+pub struct TaskIndex<'a> {
+    spec: &'a WorkflowSpec,
+    map: HashMap<&'a str, (usize, usize)>,
+}
+
+impl<'a> TaskIndex<'a> {
+    fn new(spec: &'a WorkflowSpec) -> Self {
+        let mut map = HashMap::with_capacity(spec.task_count());
+        for (s, stage) in spec.stages.iter().enumerate() {
+            for (t, task) in stage.tasks.iter().enumerate() {
+                map.entry(task.name.as_str()).or_insert((s, t));
+            }
+        }
+        Self { spec, map }
+    }
+
+    /// `(stage index, index within the stage)` of a task.
+    pub fn position(&self, task: &str) -> Option<(usize, usize)> {
+        self.map.get(task).copied()
+    }
+
+    /// The stage index of a task.
+    pub fn stage_of(&self, task: &str) -> Option<usize> {
+        self.position(task).map(|(s, _)| s)
+    }
+
+    /// The spec entry of a task.
+    pub fn get(&self, task: &str) -> Option<&'a TaskSpec> {
+        self.position(task)
+            .map(|(s, t)| &self.spec.stages[s].tasks[t])
+    }
+
+    /// Number of indexed tasks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the spec holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,11 +369,13 @@ mod tests {
                         name: "a0".into(),
                         compute_ns: 5,
                         body: noop(),
+                        contract: None,
                     },
                     TaskSpec {
                         name: "a1".into(),
                         compute_ns: 5,
                         body: noop(),
+                        contract: None,
                     },
                 ],
             )
@@ -315,6 +385,7 @@ mod tests {
                     name: "b".into(),
                     compute_ns: 0,
                     body: noop(),
+                    contract: None,
                 }],
             );
         assert_eq!(wf.task_count(), 3);
@@ -323,6 +394,39 @@ mod tests {
         assert_eq!(wf.stage_of("b"), Some(1));
         assert_eq!(wf.stage_of("zz"), None);
         assert!(wf.validate().is_ok());
+    }
+
+    #[test]
+    fn index_agrees_with_linear_lookup() {
+        let wf = WorkflowSpec::new("idx")
+            .stage(
+                "s1",
+                vec![
+                    TaskSpec::new("a0", |_| Ok(())),
+                    TaskSpec::new("a1", |_| Ok(())),
+                ],
+            )
+            .stage("s2", vec![TaskSpec::new("b", |_| Ok(()))]);
+        let idx = wf.index();
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.is_empty());
+        for name in ["a0", "a1", "b"] {
+            assert_eq!(idx.stage_of(name), wf.stage_of(name), "{name}");
+        }
+        assert_eq!(idx.position("a1"), Some((0, 1)));
+        assert_eq!(idx.get("b").map(|t| t.name.as_str()), Some("b"));
+        assert_eq!(idx.stage_of("zz"), None);
+        assert!(idx.get("zz").is_none());
+    }
+
+    #[test]
+    fn contract_attaches_to_a_task() {
+        use crate::contract::IoContract;
+        let t = TaskSpec::new("t", |_| Ok(()))
+            .with_contract(IoContract::new().writes_all("out.h5", "/d"));
+        let c = t.contract.expect("contract attached");
+        assert_eq!(c.clauses.len(), 1);
+        assert!(TaskSpec::new("bare", |_| Ok(())).contract.is_none());
     }
 
     #[test]

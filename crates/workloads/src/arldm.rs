@@ -11,7 +11,7 @@
 
 use crate::util::{payload, varlen};
 use dayu_hdf::{DataType, DatasetBuilder, LayoutKind, Result};
-use dayu_workflow::{TaskIo, TaskSpec, WorkflowSpec};
+use dayu_workflow::{IoContract, TaskIo, TaskSpec, WorkflowSpec};
 
 /// The output file of the data-preparation stage.
 pub const OUTPUT_FILE: &str = "flintstones_out.h5";
@@ -114,18 +114,38 @@ pub fn save_h5(io: &TaskIo, cfg: &ArldmConfig) -> Result<()> {
     f.close()
 }
 
+/// All six dataset paths of the prep output, `/image0..4` plus `/text`.
+fn all_datasets() -> Vec<String> {
+    (0..IMAGE_DATASETS)
+        .map(|img| format!("/image{img}"))
+        .chain(std::iter::once("/text".to_owned()))
+        .collect()
+}
+
 /// The 3-stage ARLDM workflow: data preparation, training (reads the
-/// image datasets), inference (re-reads a subset).
+/// image datasets), inference (re-reads a subset). Contracts declare
+/// whole-dataset (⊤) extents throughout: variable-length elements make
+/// byte offsets unknowable before a run, which is exactly what ⊤ is for.
 pub fn workflow(cfg: &ArldmConfig) -> WorkflowSpec {
     let prep_cfg = cfg.clone();
     let train_cfg = cfg.clone();
     let infer_cfg = cfg.clone();
+    let prep_contract = all_datasets()
+        .into_iter()
+        .fold(IoContract::new(), |c, ds| c.writes_all(OUTPUT_FILE, ds));
+    let train_contract = all_datasets()
+        .into_iter()
+        .fold(IoContract::new(), |c, ds| c.reads_all(OUTPUT_FILE, ds));
+    let infer_contract = (0..IMAGE_DATASETS).fold(IoContract::new(), |c, img| {
+        c.reads_all(OUTPUT_FILE, format!("/image{img}"))
+    });
     WorkflowSpec::new("arldm")
         .stage(
             "prepare",
             vec![
                 TaskSpec::new("arldm_saveh5", move |io: &TaskIo| save_h5(io, &prep_cfg))
-                    .with_compute(cfg.compute_ns),
+                    .with_compute(cfg.compute_ns)
+                    .with_contract(prep_contract),
             ],
         )
         .stage(
@@ -143,7 +163,8 @@ pub fn workflow(cfg: &ArldmConfig) -> WorkflowSpec {
                 t.close()?;
                 f.close()
             })
-            .with_compute(cfg.compute_ns * 4)],
+            .with_compute(cfg.compute_ns * 4)
+            .with_contract(train_contract)],
         )
         .stage(
             "inference",
@@ -159,7 +180,8 @@ pub fn workflow(cfg: &ArldmConfig) -> WorkflowSpec {
                 }
                 f.close()
             })
-            .with_compute(cfg.compute_ns)],
+            .with_compute(cfg.compute_ns)
+            .with_contract(infer_contract)],
         )
 }
 
@@ -244,6 +266,24 @@ mod tests {
             (chunked as f64) < 0.7 * contig as f64,
             "chunked should cut write ops: contiguous={contig} chunked={chunked}"
         );
+    }
+
+    #[test]
+    fn contracts_cover_every_task_and_conform() {
+        for layout in [LayoutKind::Contiguous, LayoutKind::Chunked] {
+            let wf = workflow(&tiny(layout));
+            for stage in &wf.stages {
+                for task in &stage.tasks {
+                    assert!(task.contract.is_some(), "{} has no contract", task.name);
+                }
+            }
+            let report = dayu_lint::analyze_contracts(&wf, &dayu_lint::LintConfig::default());
+            assert!(report.is_clean(), "{layout:?}: {:?}", report.findings);
+            let fs = MemFs::new();
+            let run = record(&wf, &fs).unwrap();
+            let report = dayu_lint::check_conformance(&run.bundle, &wf);
+            assert!(report.is_clean(), "{layout:?}: {:?}", report.findings);
+        }
     }
 
     #[test]

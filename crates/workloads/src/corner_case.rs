@@ -12,7 +12,8 @@
 
 use crate::bench_common::{Backend, BenchRun, Instrumentation, Session};
 use crate::util::payload;
-use dayu_hdf::{DataType, DatasetBuilder, Result};
+use dayu_hdf::{DataType, DatasetBuilder, LayoutKind, Result, Selection};
+use dayu_workflow::{AffineExpr, IoContract, SymExtent, TaskIo, TaskSpec, WorkflowSpec};
 use std::time::Instant;
 
 /// Benchmark parameters.
@@ -75,6 +76,108 @@ pub fn run(cfg: &CornerCaseConfig, backend: Backend, instr: Instrumentation) -> 
         mapper_self_ns,
         bundle: session.finish(),
     })
+}
+
+// ---------------------------------------------------------------------------
+// Contract corner-case workflows
+//
+// Tiny `WorkflowSpec` generators exercising the symbolic-contract passes:
+// a stage of parallel writers each claiming an affine chunk
+// `[i·CHUNK, (i+1)·CHUNK)` of one shared contiguous dataset. Three
+// variants:
+//
+// * [`partitioned_workflow`] — declarations and bodies agree, chunks are
+//   disjoint: statically provable safe, conformance-clean;
+// * [`racy_workflow`] — declared chunks overlap by `overlap` bytes:
+//   `analyze_contracts` refutes the partition before any VFD is opened;
+// * [`violating_workflow`] — declarations are disjoint (statically clean)
+//   but writer 0's body spills `spill` bytes past its declared chunk:
+//   only trace conformance catches the lie.
+
+/// Shared file all chunk writers target.
+pub const SHARED_FILE: &str = "partition.h5";
+/// The one dataset they partition (dataset path, as traced).
+pub const SHARED_DATASET: &str = "/chunks";
+/// Bytes per writer chunk.
+pub const CHUNK_BYTES: u64 = 4096;
+
+/// Writer `i`'s declared footprint: `[i·CHUNK, i·CHUNK + declared_len)`
+/// of the shared dataset, written as affine math over the bound index.
+fn chunk_contract(writer: usize, declared_len: u64) -> IoContract {
+    let i = AffineExpr::var("i");
+    IoContract::new().bind("i", writer as i64).writes(
+        SHARED_FILE,
+        SHARED_DATASET,
+        SymExtent::span(
+            i.clone() * CHUNK_BYTES as i64,
+            i * CHUNK_BYTES as i64 + declared_len as i64,
+        ),
+    )
+}
+
+/// A writer task that writes `write_len` bytes at its chunk start while
+/// *declaring* `declared_len` — the two diverge in the violating variant.
+fn chunk_writer(writer: usize, write_len: u64, declared_len: u64) -> TaskSpec {
+    TaskSpec::new(format!("chunk_writer_{writer}"), move |io: &TaskIo| {
+        let f = io.open(SHARED_FILE)?;
+        let mut ds = f.root().open_dataset("chunks")?;
+        let data = payload(write_len as usize, writer as u64);
+        ds.write_slab(
+            &Selection::slab(&[writer as u64 * CHUNK_BYTES], &[write_len]),
+            &data,
+        )?;
+        ds.close()?;
+        f.close()
+    })
+    .with_contract(chunk_contract(writer, declared_len))
+}
+
+fn chunk_stages(writers: usize, write_len: u64, declared_len: u64) -> WorkflowSpec {
+    let setup = TaskSpec::new("chunk_setup", move |io: &TaskIo| {
+        let f = io.create(SHARED_FILE)?;
+        let mut ds = f.root().create_dataset(
+            "chunks",
+            DatasetBuilder::new(DataType::Int { width: 1 }, &[writers as u64 * CHUNK_BYTES])
+                .layout(LayoutKind::Contiguous),
+        )?;
+        ds.write(&vec![0u8; writers * CHUNK_BYTES as usize])?;
+        ds.close()?;
+        f.close()
+    })
+    .with_contract(IoContract::new().writes_all(SHARED_FILE, SHARED_DATASET));
+    let tasks = (0..writers)
+        .map(|w| {
+            // Only writer 0 diverges from its declaration; the rest stay
+            // honest so the violating variant plants exactly one lie.
+            let len = if w == 0 { write_len } else { CHUNK_BYTES };
+            chunk_writer(w, len, declared_len)
+        })
+        .collect();
+    WorkflowSpec::new("chunk_partition")
+        .stage("setup", vec![setup])
+        .stage("writers", tasks)
+}
+
+/// Disjoint chunk partition: statically provable safe and
+/// conformance-clean. The `parallelize` transform can be discharged from
+/// these contracts alone, with no recorded trace.
+pub fn partitioned_workflow(writers: usize) -> WorkflowSpec {
+    chunk_stages(writers, CHUNK_BYTES, CHUNK_BYTES)
+}
+
+/// Declared chunks overlap by `overlap` bytes: `analyze_contracts`
+/// reports the extent race before any run. Bodies stay inside their own
+/// chunk, so a recorded trace still conforms.
+pub fn racy_workflow(writers: usize, overlap: u64) -> WorkflowSpec {
+    chunk_stages(writers, CHUNK_BYTES, CHUNK_BYTES + overlap)
+}
+
+/// Disjoint declarations (statically clean) but writer 0 spills `spill`
+/// bytes into writer 1's chunk — the planted lie only trace conformance
+/// can catch.
+pub fn violating_workflow(writers: usize, spill: u64) -> WorkflowSpec {
+    assert!(writers >= 2 && spill <= CHUNK_BYTES / 2);
+    chunk_stages(writers, CHUNK_BYTES + spill, CHUNK_BYTES)
 }
 
 #[cfg(test)]
@@ -142,6 +245,64 @@ mod tests {
         let b = r.bundle.unwrap();
         assert_eq!(b.vol.len(), 20);
         assert!(b.vfd.is_empty());
+    }
+
+    #[test]
+    fn partitioned_contracts_prove_safety_and_conform() {
+        let wf = partitioned_workflow(4);
+        let report = dayu_lint::analyze_contracts(&wf, &dayu_lint::LintConfig::default());
+        assert!(report.is_clean(), "{:?}", report.findings);
+        let fs = dayu_vfd::MemFs::new();
+        let run = dayu_workflow::record(&wf, &fs).unwrap();
+        let report = dayu_lint::check_conformance(&run.bundle, &wf);
+        assert!(report.is_clean(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn racy_contracts_caught_statically_without_a_run() {
+        let wf = racy_workflow(4, 64);
+        let report = dayu_lint::analyze_contracts(&wf, &dayu_lint::LintConfig::default());
+        assert!(
+            report.findings.iter().any(|f| matches!(
+                f,
+                dayu_lint::Finding::ExtentRace { file, write_write, .. }
+                    if file == SHARED_FILE && *write_write
+            )),
+            "overlapping declarations race: {:?}",
+            report.findings
+        );
+        // The bodies stay inside their own chunks, so the recorded trace
+        // still conforms to what was declared.
+        let fs = dayu_vfd::MemFs::new();
+        let run = dayu_workflow::record(&wf, &fs).unwrap();
+        let report = dayu_lint::check_conformance(&run.bundle, &wf);
+        assert!(report.is_clean(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn violating_workflow_caught_only_by_conformance() {
+        let wf = violating_workflow(3, 512);
+        // Declarations are a clean partition: the static pass passes.
+        let report = dayu_lint::analyze_contracts(&wf, &dayu_lint::LintConfig::default());
+        assert!(report.is_clean(), "{:?}", report.findings);
+        // …but the recorded run exposes writer 0's spill past its chunk.
+        let fs = dayu_vfd::MemFs::new();
+        let run = dayu_workflow::record(&wf, &fs).unwrap();
+        let report = dayu_lint::check_conformance(&run.bundle, &wf);
+        assert!(
+            report.findings.iter().any(|f| matches!(
+                f,
+                dayu_lint::Finding::ContractViolation { task, file, dataset, undeclared, start, end, .. }
+                    if task == "chunk_writer_0"
+                        && file == SHARED_FILE
+                        && dataset == SHARED_DATASET
+                        && *undeclared
+                        && *start == CHUNK_BYTES
+                        && *end == CHUNK_BYTES + 512
+            )),
+            "spill flagged: {:?}",
+            report.findings
+        );
     }
 
     #[test]

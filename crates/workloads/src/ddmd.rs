@@ -18,7 +18,7 @@
 
 use crate::util::{payload, payload_f64};
 use dayu_hdf::{DataType, Dataset, DatasetBuilder, Group, LayoutKind, Result};
-use dayu_workflow::{TaskIo, TaskSpec, WorkflowSpec};
+use dayu_workflow::{IoContract, TaskIo, TaskSpec, WorkflowSpec};
 
 /// The four datasets every OpenMM output carries.
 pub const DATASETS: [&str; 4] = ["contact_map", "point_cloud", "fnc", "rmsd"];
@@ -154,8 +154,67 @@ fn touch_dataset_metadata(root: &Group, name: &str) -> Result<()> {
     ds.close()
 }
 
+/// Declared footprint of one `openmm` task: full writes of the four
+/// datasets in its own simulation file. Extents are ⊤ (whole dataset)
+/// because the chunked layout interleaves physical bytes.
+fn openmm_contract(iter: usize, t: usize) -> IoContract {
+    let mut c = IoContract::new();
+    for name in DATASETS {
+        c = c.writes_all(sim_file(iter, t), format!("/{name}"));
+    }
+    c
+}
+
+/// Declared footprint of the `aggregate` task: full reads of every
+/// simulation output, full writes of the consolidated datasets.
+fn aggregate_contract(cfg: &DdmdConfig, iter: usize) -> IoContract {
+    let mut c = IoContract::new();
+    for t in 0..cfg.sim_tasks {
+        for name in DATASETS {
+            c = c.reads_all(sim_file(iter, t), format!("/{name}"));
+        }
+    }
+    for name in DATASETS {
+        c = c.writes_all(aggregated_file(iter), format!("/{name}"));
+    }
+    c
+}
+
+/// Declared footprint of the `training` task. Deliberately omits the
+/// aggregated `contact_map`: training only touches its metadata (the
+/// Fig. 7 pop-up), and a declared-but-never-read clause would be flagged
+/// as waste by conformance — the omission *is* the semantics.
+fn training_contract(cfg: &DdmdConfig, iter: usize) -> IoContract {
+    let mut c = IoContract::new()
+        .reads_all(aggregated_file(iter), "/point_cloud")
+        .reads_all(aggregated_file(iter), "/fnc")
+        .reads_all(aggregated_file(iter), "/rmsd")
+        .reads_all(sim_file(iter, 0), "/contact_map");
+    for epoch in 1..=cfg.epochs {
+        c = c.writes_all(embedding_file(iter, epoch), "/embedding");
+        if cfg.reread_epochs.contains(&epoch) {
+            c = c.reads_all(embedding_file(iter, epoch), "/embedding");
+        }
+    }
+    c
+}
+
+/// Declared footprint of the `inference` task: full reads of every
+/// simulation output plus its own outlier list.
+fn inference_contract(cfg: &DdmdConfig, iter: usize) -> IoContract {
+    let mut c = IoContract::new();
+    for t in 0..cfg.sim_tasks {
+        for name in DATASETS {
+            c = c.reads_all(sim_file(iter, t), format!("/{name}"));
+        }
+    }
+    c.writes_all(inference_file(iter), "/outliers")
+}
+
 /// Builds the DDMD workflow: `iterations` × (simulation, aggregate,
-/// training, inference) stages.
+/// training, inference) stages. Every task carries an [`IoContract`]
+/// declaring its footprint, so `dayu-lint` can prove stage safety before
+/// a run and audit conformance after one.
 pub fn workflow(cfg: &DdmdConfig) -> WorkflowSpec {
     let mut wf = WorkflowSpec::new("ddmd");
     for iter in 0..cfg.iterations {
@@ -169,7 +228,8 @@ pub fn workflow(cfg: &DdmdConfig) -> WorkflowSpec {
                     create_four_datasets(&f.root(), &cfg2, (iter * 100 + t) as u64)?;
                     f.close()
                 })
-                .with_compute(cfg.compute_ns * 4),
+                .with_compute(cfg.compute_ns * 4)
+                .with_contract(openmm_contract(iter, t)),
             );
         }
         wf = wf.stage(format!("simulation_{iter}"), sims);
@@ -260,7 +320,8 @@ pub fn workflow(cfg: &DdmdConfig) -> WorkflowSpec {
                         rmsd_out.close()?;
                         out.close()
                     })
-                    .with_compute(cfg.compute_ns),
+                    .with_compute(cfg.compute_ns)
+                    .with_contract(aggregate_contract(cfg, iter)),
                 ],
             );
         }
@@ -314,7 +375,8 @@ pub fn workflow(cfg: &DdmdConfig) -> WorkflowSpec {
                     // Training is long but not the pipeline's critical path
                     // once DaYu pipelines it with inference; simulation (x4)
                     // remains the long pole, as in the real DDMD.
-                    .with_compute(cfg.compute_ns * 3),
+                    .with_compute(cfg.compute_ns * 3)
+                    .with_contract(training_contract(cfg, iter)),
                 ],
             );
         }
@@ -347,7 +409,8 @@ pub fn workflow(cfg: &DdmdConfig) -> WorkflowSpec {
                         ds.close()?;
                         out.close()
                     })
-                    .with_compute(cfg.compute_ns * 2),
+                    .with_compute(cfg.compute_ns * 2)
+                    .with_contract(inference_contract(cfg, iter)),
                 ],
             );
         }
@@ -463,6 +526,27 @@ mod tests {
         assert!(fs.exists("aggregated_0000.h5"));
         assert!(fs.exists("virtual_stage0002_task0000.h5"));
         assert!(fs.exists("embeddings-epoch-10-iter0000.h5"));
+    }
+
+    #[test]
+    fn contracts_cover_every_task_and_conform() {
+        let cfg = tiny();
+        let wf = workflow(&cfg);
+        for stage in &wf.stages {
+            for task in &stage.tasks {
+                assert!(task.contract.is_some(), "{} has no contract", task.name);
+            }
+        }
+        // Statically clean: declared footprints plus stage order prove the
+        // pipeline race-free before any VFD is opened.
+        let report = dayu_lint::analyze_contracts(&wf, &dayu_lint::LintConfig::default());
+        assert!(report.is_clean(), "{:?}", report.findings);
+        // Dynamically clean: the recorded run stays inside every declared
+        // clause and exercises each one (no out-of-footprint I/O, no waste).
+        let fs = MemFs::new();
+        let run = record(&wf, &fs).unwrap();
+        let report = dayu_lint::check_conformance(&run.bundle, &wf);
+        assert!(report.is_clean(), "{:?}", report.findings);
     }
 
     #[test]

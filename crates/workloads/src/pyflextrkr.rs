@@ -23,7 +23,7 @@
 
 use crate::util::{payload, payload_f64};
 use dayu_hdf::{AttrValue, DataType, DatasetBuilder, Result};
-use dayu_workflow::{TaskIo, TaskSpec, WorkflowSpec};
+use dayu_workflow::{IoContract, TaskIo, TaskSpec, WorkflowSpec};
 
 /// Workload parameters. Defaults are a laptop-scale rendition of the
 /// paper's Configuration 1 (C1: 170 MB input, 48 processes, 2 nodes);
@@ -187,7 +187,12 @@ pub fn workflow(cfg: &PyflextrkrConfig) -> WorkflowSpec {
                 feat[0] = raw[0];
                 write_blob(io, &feature_file(i), "features", &feat)
             })
-            .with_compute(cfg.compute_ns),
+            .with_compute(cfg.compute_ns)
+            .with_contract(
+                IoContract::new()
+                    .reads_all(input_file(i), "/sensor")
+                    .writes_all(feature_file(i), "/features"),
+            ),
         );
     }
     wf = wf.stage("idfeature", s1);
@@ -203,7 +208,12 @@ pub fn workflow(cfg: &PyflextrkrConfig) -> WorkflowSpec {
                 track[0] = feat[0];
                 write_blob(io, &track_file(i), "tracks", &track)
             })
-            .with_compute(cfg.compute_ns),
+            .with_compute(cfg.compute_ns)
+            .with_contract(
+                IoContract::new()
+                    .reads_all(feature_file(i), "/features")
+                    .writes_all(track_file(i), "/tracks"),
+            ),
         );
     }
     wf = wf.stage("tracksingle", s2);
@@ -236,7 +246,16 @@ pub fn workflow(cfg: &PyflextrkrConfig) -> WorkflowSpec {
                 ds.close()?;
                 f.close()
             })
-            .with_compute(cfg.compute_ns * 2)],
+            .with_compute(cfg.compute_ns * 2)
+            .with_contract({
+                let mut c = IoContract::new();
+                for i in 0..cfg.input_files {
+                    c = c.reads_all(track_file(i), "/tracks");
+                }
+                // Write-after-read on its own output: both directions declared.
+                c.writes_all("tracks_numbers.h5", "/linked")
+                    .reads_all("tracks_numbers.h5", "/linked")
+            })],
         );
     }
 
@@ -257,7 +276,15 @@ pub fn workflow(cfg: &PyflextrkrConfig) -> WorkflowSpec {
                     &payload(cfg2.feature_bytes, 0x5717),
                 )
             })
-            .with_compute(cfg.compute_ns * 2)],
+            .with_compute(cfg.compute_ns * 2)
+            .with_contract({
+                let mut c = IoContract::new();
+                for i in 0..cfg.input_files {
+                    c = c.reads_all(track_file(i), "/tracks");
+                }
+                c.reads_all("tracks_numbers.h5", "/linked")
+                    .writes_all("trackstats.h5", "/stats")
+            })],
         );
     }
 
@@ -270,7 +297,12 @@ pub fn workflow(cfg: &PyflextrkrConfig) -> WorkflowSpec {
                 read_whole(io, "trackstats.h5", "stats")?;
                 write_blob(io, "mcs.h5", "mcs", &payload(cfg2.feature_bytes / 2, 0x3C5))
             })
-            .with_compute(cfg.compute_ns)],
+            .with_compute(cfg.compute_ns)
+            .with_contract(
+                IoContract::new()
+                    .reads_all("trackstats.h5", "/stats")
+                    .writes_all("mcs.h5", "/mcs"),
+            )],
         );
     }
 
@@ -291,7 +323,14 @@ pub fn workflow(cfg: &PyflextrkrConfig) -> WorkflowSpec {
                     &payload(cfg2.feature_bytes / 2, 0x6A1),
                 )
             })
-            .with_compute(cfg.compute_ns)],
+            .with_compute(cfg.compute_ns)
+            .with_contract({
+                let mut c = IoContract::new().reads_all("mcs.h5", "/mcs");
+                for i in 0..cfg.input_files {
+                    c = c.reads_all(pf_input_file(i), "/pf");
+                }
+                c.writes_all("mcs_pf.h5", "/matched")
+            })],
         );
     }
 
@@ -309,7 +348,12 @@ pub fn workflow(cfg: &PyflextrkrConfig) -> WorkflowSpec {
                     &payload(cfg2.feature_bytes / 2, 0x7B2),
                 )
             })
-            .with_compute(cfg.compute_ns)],
+            .with_compute(cfg.compute_ns)
+            .with_contract(
+                IoContract::new()
+                    .reads_all("mcs_pf.h5", "/matched")
+                    .writes_all("robust_mcs.h5", "/robust"),
+            )],
         );
     }
 
@@ -328,7 +372,13 @@ pub fn workflow(cfg: &PyflextrkrConfig) -> WorkflowSpec {
                     &payload(cfg2.feature_bytes / 4, 0x800 + i as u64),
                 )
             })
-            .with_compute(cfg.compute_ns),
+            .with_compute(cfg.compute_ns)
+            .with_contract(
+                IoContract::new()
+                    .reads_all(feature_file(i), "/features")
+                    .reads_all("robust_mcs.h5", "/robust")
+                    .writes_all(format!("mcsmap_{i:04}.h5"), "/map"),
+            ),
         );
     }
     wf = wf.stage("mapfeature", s8);
@@ -363,7 +413,17 @@ pub fn workflow(cfg: &PyflextrkrConfig) -> WorkflowSpec {
                 }
                 f.close()
             })
-            .with_compute(cfg.compute_ns)],
+            .with_compute(cfg.compute_ns)
+            .with_contract({
+                let mut c = IoContract::new().reads_all("robust_mcs.h5", "/robust");
+                for d in 0..cfg.small_datasets {
+                    c = c.writes_all("speed_stats.h5", format!("/speed_{d:03}"));
+                    if cfg.small_dataset_accesses > 1 {
+                        c = c.reads_all("speed_stats.h5", format!("/speed_{d:03}"));
+                    }
+                }
+                c
+            })],
         );
     }
 
@@ -392,6 +452,15 @@ pub fn workflow_with_inputs(cfg: &PyflextrkrConfig) -> WorkflowSpec {
         "inputs",
         vec![TaskSpec::new("prepare_inputs", move |io: &TaskIo| {
             prepare_inputs(io, &cfg2).map(|_| ())
+        })
+        .with_contract({
+            let mut c = IoContract::new();
+            for i in 0..cfg.input_files {
+                c = c
+                    .writes_all(input_file(i), "/sensor")
+                    .writes_all(pf_input_file(i), "/pf");
+            }
+            c
         })],
     );
     for stage in workflow(cfg).stages {
@@ -529,6 +598,23 @@ mod tests {
             meta > data,
             "small-dataset churn is metadata-dominated: {meta} metadata vs {data} data"
         );
+    }
+
+    #[test]
+    fn contracts_cover_every_task_and_conform() {
+        let cfg = tiny();
+        let wf = workflow_with_inputs(&cfg);
+        for stage in &wf.stages {
+            for task in &stage.tasks {
+                assert!(task.contract.is_some(), "{} has no contract", task.name);
+            }
+        }
+        let report = dayu_lint::analyze_contracts(&wf, &dayu_lint::LintConfig::default());
+        assert!(report.is_clean(), "{:?}", report.findings);
+        let fs = MemFs::new();
+        let run = record(&wf, &fs).unwrap();
+        let report = dayu_lint::check_conformance(&run.bundle, &wf);
+        assert!(report.is_clean(), "{:?}", report.findings);
     }
 
     #[test]
