@@ -115,6 +115,15 @@ pub enum Action {
         /// Dataset label (`file:path`) where they diverge.
         dataset: String,
     },
+    /// Two recordings of the same workload disagree: investigate the
+    /// first divergent event and the upstream state feeding it before
+    /// trusting either run's analysis or optimization plan.
+    InvestigateDivergence {
+        /// Task whose stream diverges first.
+        task: String,
+        /// Index of the divergent event within that task's stream.
+        event_index: usize,
+    },
     /// Stop materializing a dataset whose bytes the recorded workflow
     /// never consumes (dead data, or a version fully overwritten before
     /// any read).
@@ -328,6 +337,35 @@ pub fn advise(findings: &[Finding]) -> Vec<Recommendation> {
                      includes recovery replay, so treat it as an outlier"
                 ),
             }),
+            Finding::ReplayDivergence {
+                task,
+                event_index,
+                expected,
+                actual,
+                ancestor_tasks,
+                ..
+            } => out.push(Recommendation {
+                guideline: Guideline::Scheduling,
+                action: Action::InvestigateDivergence {
+                    task: task.clone(),
+                    event_index: *event_index,
+                },
+                rationale: format!(
+                    "{task} diverges from the reference run at event {event_index} \
+                     (recorded {expected}, observed {actual}); {} — neither run's \
+                     findings are trustworthy until the cause is pinned down",
+                    if ancestor_tasks.is_empty() {
+                        "it has no upstream producers, so the cause is local to the \
+                         task or its environment"
+                            .to_owned()
+                    } else {
+                        format!(
+                            "check its upstream producers ({}) for nondeterminism first",
+                            ancestor_tasks.join(", ")
+                        )
+                    }
+                ),
+            }),
         }
     }
     out
@@ -495,9 +533,46 @@ mod tests {
             Finding::RecoveredTask {
                 task: "phoenix".into(),
             },
+            Finding::ReplayDivergence {
+                task: "sim_2".into(),
+                event_index: 17,
+                expected: "Write out.h5:/d [0, 64) (RawData)".into(),
+                actual: "<end of stream>".into(),
+                ancestor_tasks: vec!["sim_1".into()],
+                ancestor_datasets: vec!["in.h5:/d".into()],
+            },
         ];
         let recs = advise(&findings);
         assert_eq!(recs.len(), findings.len());
+    }
+
+    #[test]
+    fn divergence_asks_for_an_investigation() {
+        let recs = advise(&[Finding::ReplayDivergence {
+            task: "sim_2".into(),
+            event_index: 17,
+            expected: "a".into(),
+            actual: "b".into(),
+            ancestor_tasks: vec!["sim_1".into()],
+            ancestor_datasets: vec![],
+        }]);
+        assert_eq!(
+            recs[0].action,
+            Action::InvestigateDivergence {
+                task: "sim_2".into(),
+                event_index: 17,
+            }
+        );
+        assert!(recs[0].rationale.contains("sim_1"));
+        let no_upstream = advise(&[Finding::ReplayDivergence {
+            task: "src".into(),
+            event_index: 0,
+            expected: "a".into(),
+            actual: "b".into(),
+            ancestor_tasks: vec![],
+            ancestor_datasets: vec![],
+        }]);
+        assert!(no_upstream[0].rationale.contains("no upstream"));
     }
 
     #[test]

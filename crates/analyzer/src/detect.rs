@@ -194,6 +194,26 @@ pub enum Finding {
         /// The task whose retry resumed from recovered state.
         task: String,
     },
+    /// Two recordings of the same workload diverge: nondeterminism, an
+    /// environment change, or a perturbed schedule steered a task off the
+    /// reference run's operation stream. Produced by the diff engine
+    /// ([`crate::diff::diff_traces`]), not by the single-trace detectors —
+    /// the ancestor lists come from the reference run's SDG and bound
+    /// where the cause can hide.
+    ReplayDivergence {
+        /// Task whose stream diverges first.
+        task: String,
+        /// Index of the divergent event within that task's stream.
+        event_index: usize,
+        /// The reference run's event (`"<end of stream>"` if it had none).
+        expected: String,
+        /// The compared run's event at the same index.
+        actual: String,
+        /// Upstream tasks feeding the divergent task, per the SDG.
+        ancestor_tasks: Vec<String>,
+        /// Datasets on the backward path (`file:path` labels).
+        ancestor_datasets: Vec<String>,
+    },
 }
 
 impl Finding {
@@ -215,6 +235,7 @@ impl Finding {
             Finding::CoSchedulable { .. } => "co-schedulable",
             Finding::DegradedTrace { .. } => "degraded-trace",
             Finding::RecoveredTask { .. } => "recovered-task",
+            Finding::ReplayDivergence { .. } => "replay-divergence",
         }
     }
 }

@@ -21,12 +21,16 @@
 
 pub mod build;
 pub mod detect;
+pub mod diff;
 pub mod export;
 pub mod graph;
 pub mod resolution;
 
 pub use build::{build_ftg, build_ftg_with, build_sdg, build_sdg_with, SdgOptions};
 pub use detect::{run_detectors, DetectorConfig, Finding};
+pub use diff::{
+    diff_traces, divergence_findings, BundleDiff, CausalAncestors, DiffEvent, FirstDivergence,
+};
 pub use graph::{Edge, EdgeStats, Graph, GraphKind, Node, NodeKind, Operation};
 
 use dayu_trace::store::TraceBundle;

@@ -1,0 +1,87 @@
+//! `replay` — the tracked record → pack → verify → unpack → replay benchmark.
+//!
+//! ```text
+//! cargo run --release -p dayu-bench --bin replay -- [--smoke] [--check]
+//!     [--repeats N] [--out PATH]
+//! ```
+//!
+//! Writes `BENCH_replay.json` (or `--out PATH`) and prints a short
+//! human-readable summary. `--smoke` runs the quick CI-sized workloads;
+//! `--check` exits non-zero if any replay fails to validate or costs more
+//! than the 25% overhead budget over a plain record (the CI replay gate).
+
+use dayu_bench::replay::{check, report_json, run, ReplayConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        ReplayConfig::smoke()
+    } else {
+        ReplayConfig::full()
+    };
+    let mut do_check = false;
+    let mut out_path = "BENCH_replay.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {}
+            "--check" => do_check = true,
+            "--repeats" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cfg.repeats = n,
+                _ => return usage("--repeats needs a positive integer"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let reports = run(&cfg);
+    for r in &reports {
+        println!(
+            "{:<8} {:>7} vfd ops  replay {:>+6.1}%  bundle {:>7} B  pack {:>8.1} MB/s  unpack {:>8.1} MB/s  {}",
+            r.name,
+            r.vfd_records,
+            r.replay_overhead() * 100.0,
+            r.bundle_bytes,
+            r.pack_bytes_per_sec() / 1e6,
+            r.unpack_bytes_per_sec() / 1e6,
+            if r.validated { "validated" } else { "DIVERGED" },
+        );
+    }
+    let doc = report_json(&cfg, &reports);
+    match serde_json::to_string_pretty(&doc) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&out_path, text + "\n") {
+                eprintln!("replay: cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {out_path}");
+        }
+        Err(e) => {
+            eprintln!("replay: cannot serialize report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if do_check {
+        let failures = check(&reports);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("replay check FAILED: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("replay check passed: all replays validated within the overhead budget");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("replay: {err}");
+    eprintln!("usage: replay [--smoke] [--check] [--repeats N] [--out PATH]");
+    ExitCode::FAILURE
+}

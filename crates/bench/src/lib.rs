@@ -19,6 +19,7 @@
 //! | [`pipeline`] | tracked record → save → load → analyze benchmark (`BENCH_pipeline.json`) |
 //! | [`lint`] | tracked detector-throughput benchmark (`BENCH_lint.json`) |
 //! | [`recovery`] | tracked journal-overhead + crash-recovery benchmark (`BENCH_recovery.json`) |
+//! | [`replay`] | tracked bundle pack/unpack + validated-replay-overhead benchmark (`BENCH_replay.json`) |
 //!
 //! Absolute numbers differ from the paper (the substrate is a simulator,
 //! not the authors' testbed); regenerators aim to reproduce the *shape*:
@@ -35,6 +36,7 @@ pub mod fig_graphs;
 pub mod lint;
 pub mod pipeline;
 pub mod recovery;
+pub mod replay;
 pub mod tables;
 
 /// How big to run a regenerator.

@@ -1,0 +1,320 @@
+//! Replay-bundle benchmark: **record → pack → verify → unpack → replay**.
+//!
+//! The replay engine earns its keep only if cross-checking a run costs
+//! little more than recording it: a failed CI job re-runs under validation
+//! by default, so the overhead must stay in the noise. This bench times,
+//! per workload:
+//!
+//! * plain recording (the baseline everything is measured against);
+//! * packing the run into a `.drb` artifact, and the artifact's size;
+//! * hash-chain verification and full unpacking of that artifact;
+//! * a validated replay ([`replay_bundle`]) of the bundle.
+//!
+//! The `--check` gate enforces that every replay validates with zero
+//! divergences and that validated replay costs at most **25%** more wall
+//! time than plain recording. Each phase is run [`ReplayConfig::repeats`]
+//! times and the *minimum* is kept, so scheduler noise does not fail CI.
+
+use crate::Scale;
+use dayu_vfd::MemFs;
+use dayu_workflow::{record_opts, record_to_bundle, replay_bundle, RecordOptions, ReplayBundle};
+use dayu_workloads::arldm::{self, ArldmConfig};
+use dayu_workloads::ddmd::{self, DdmdConfig};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// Replay benchmark parameters.
+#[derive(Clone, Debug)]
+pub struct ReplayConfig {
+    /// Run size.
+    pub scale: Scale,
+    /// Times each phase is repeated; the minimum wall time is reported.
+    pub repeats: usize,
+}
+
+impl ReplayConfig {
+    /// Quick parameters for tests and the CI smoke job.
+    pub fn smoke() -> Self {
+        Self {
+            scale: Scale::Quick,
+            repeats: 3,
+        }
+    }
+
+    /// The tracked full-size run.
+    pub fn full() -> Self {
+        Self {
+            scale: Scale::Full,
+            repeats: 5,
+        }
+    }
+}
+
+/// The replay-overhead budget the `--check` gate enforces.
+pub const MAX_REPLAY_OVERHEAD: f64 = 0.25;
+
+/// One workload's trip through record → pack → verify → unpack → replay.
+#[derive(Clone, Debug)]
+pub struct ReplayReportRow {
+    /// Workload id, e.g. `"ddmd"`.
+    pub name: String,
+    /// VFD records in the recorded trace (the op stream the replay checks).
+    pub vfd_records: u64,
+    /// Plain record wall time, nanoseconds (min over repeats).
+    pub record_ns: u64,
+    /// Validated replay wall time, nanoseconds (min over repeats).
+    pub replay_ns: u64,
+    /// `.drb` artifact size in bytes.
+    pub bundle_bytes: u64,
+    /// Pack (serialize + hash) wall time, nanoseconds (min over repeats).
+    pub pack_ns: u64,
+    /// Hash-chain verification wall time, nanoseconds (min over repeats).
+    pub verify_ns: u64,
+    /// Full unpack (parse + decode) wall time, nanoseconds (min over repeats).
+    pub unpack_ns: u64,
+    /// Whether every replay validated with zero divergences.
+    pub validated: bool,
+}
+
+impl ReplayReportRow {
+    /// Fractional extra wall time of a validated replay over a plain
+    /// record: `0.0` means free, `0.25` means a quarter slower.
+    pub fn replay_overhead(&self) -> f64 {
+        if self.record_ns == 0 {
+            return 0.0;
+        }
+        (self.replay_ns as f64 - self.record_ns as f64).max(0.0) / self.record_ns as f64
+    }
+
+    /// Pack throughput, bytes per second.
+    pub fn pack_bytes_per_sec(&self) -> f64 {
+        throughput(self.bundle_bytes, self.pack_ns)
+    }
+
+    /// Unpack throughput, bytes per second.
+    pub fn unpack_bytes_per_sec(&self) -> f64 {
+        throughput(self.bundle_bytes, self.unpack_ns)
+    }
+
+    fn to_json(&self) -> Value {
+        json!({
+            "name": self.name,
+            "vfd_records": self.vfd_records,
+            "record_ns": self.record_ns,
+            "replay_ns": self.replay_ns,
+            "replay_overhead": self.replay_overhead(),
+            "validated": self.validated,
+            "bundle": {
+                "bytes": self.bundle_bytes,
+                "pack_ns": self.pack_ns,
+                "pack_bytes_per_sec": self.pack_bytes_per_sec(),
+                "verify_ns": self.verify_ns,
+                "unpack_ns": self.unpack_ns,
+                "unpack_bytes_per_sec": self.unpack_bytes_per_sec(),
+            },
+        })
+    }
+}
+
+fn throughput(bytes: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        0.0
+    } else {
+        bytes as f64 * 1e9 / ns as f64
+    }
+}
+
+fn min_over<R>(repeats: usize, mut f: impl FnMut() -> R) -> (u64, R) {
+    let mut best_ns = u64::MAX;
+    let mut best = None;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        let r = f();
+        let ns = t0.elapsed().as_nanos() as u64;
+        if ns < best_ns {
+            best_ns = ns;
+            best = Some(r);
+        }
+    }
+    (best_ns, best.expect("at least one repeat"))
+}
+
+fn workloads(cfg: &ReplayConfig) -> Vec<(String, dayu_workflow::WorkflowSpec)> {
+    let dcfg = match cfg.scale {
+        Scale::Quick => DdmdConfig {
+            sim_tasks: 4,
+            epochs: 3,
+            reread_epochs: vec![3],
+            ..Default::default()
+        },
+        Scale::Full => DdmdConfig {
+            iterations: 3,
+            ..Default::default()
+        },
+    };
+    let acfg = match cfg.scale {
+        Scale::Quick => ArldmConfig {
+            stories: 16,
+            mean_image_bytes: 4 << 10,
+            mean_text_bytes: 256,
+            chunk_elems: 8,
+            batch: 4,
+            ..Default::default()
+        },
+        Scale::Full => ArldmConfig::default(),
+    };
+    vec![
+        ("ddmd".to_string(), ddmd::workflow(&dcfg)),
+        ("arldm".to_string(), arldm::workflow(&acfg)),
+    ]
+}
+
+fn bench_workload(
+    name: String,
+    spec: &dayu_workflow::WorkflowSpec,
+    cfg: &ReplayConfig,
+) -> ReplayReportRow {
+    let opts = RecordOptions::default();
+
+    // Baseline: plain recording, no bundle, no validator.
+    let (record_ns, _) = min_over(cfg.repeats, || {
+        let fs = MemFs::new();
+        record_opts(spec, &fs, &opts).expect("plain record")
+    });
+
+    // The bundle everything downstream consumes.
+    let fs = MemFs::new();
+    let (run, bundle) =
+        record_to_bundle(spec, &fs, &opts, "bench", "dayu-bench", false).expect("record to bundle");
+    let vfd_records = run.bundle.vfd.len() as u64;
+
+    let (pack_ns, bytes) = min_over(cfg.repeats, || bundle.to_bytes());
+    let bundle_bytes = bytes.len() as u64;
+    let (verify_ns, _) = min_over(cfg.repeats, || {
+        ReplayBundle::verify_bytes(&bytes).expect("fresh bundle verifies")
+    });
+    let (unpack_ns, unpacked) = min_over(cfg.repeats, || {
+        ReplayBundle::from_bytes(&bytes).expect("fresh bundle parses")
+    });
+
+    // Validated replay: re-execute under the cross-checking driver stack.
+    let mut validated = true;
+    let (replay_ns, _) = min_over(cfg.repeats, || {
+        let fs = MemFs::new();
+        let report = replay_bundle(&unpacked, spec, &fs).expect("replay");
+        validated &= report.op_checked && report.validated();
+        report
+    });
+
+    ReplayReportRow {
+        name,
+        vfd_records,
+        record_ns,
+        replay_ns,
+        bundle_bytes,
+        pack_ns,
+        verify_ns,
+        unpack_ns,
+        validated,
+    }
+}
+
+/// Runs the replay benchmark and returns per-workload reports.
+pub fn run(cfg: &ReplayConfig) -> Vec<ReplayReportRow> {
+    workloads(cfg)
+        .into_iter()
+        .map(|(name, spec)| bench_workload(name, &spec, cfg))
+        .collect()
+}
+
+/// Renders the reports as the tracked `BENCH_replay.json` document.
+pub fn report_json(cfg: &ReplayConfig, reports: &[ReplayReportRow]) -> Value {
+    json!({
+        "bench": "replay",
+        "mode": match cfg.scale { Scale::Quick => "smoke", Scale::Full => "full" },
+        "repeats": cfg.repeats,
+        "max_replay_overhead": MAX_REPLAY_OVERHEAD,
+        "workloads": reports.iter().map(ReplayReportRow::to_json).collect::<Vec<_>>(),
+    })
+}
+
+/// The `--check` gate: every replay must validate with zero divergences
+/// and cost at most [`MAX_REPLAY_OVERHEAD`] more than a plain record.
+/// Returns the failures.
+pub fn check(reports: &[ReplayReportRow]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in reports {
+        if !r.validated {
+            failures.push(format!("{}: replay did not validate", r.name));
+        }
+        if r.replay_overhead() > MAX_REPLAY_OVERHEAD {
+            failures.push(format!(
+                "{}: validated replay costs {:.1}% over plain record (budget {:.0}%)",
+                r.name,
+                r.replay_overhead() * 100.0,
+                MAX_REPLAY_OVERHEAD * 100.0
+            ));
+        }
+        if r.bundle_bytes == 0 || (r.pack_ns == 0 && r.unpack_ns == 0) {
+            failures.push(format!("{}: empty or untimed bundle", r.name));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_replays_validated() {
+        let cfg = ReplayConfig::smoke();
+        let reports = run(&cfg);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(r.vfd_records > 0, "{} recorded nothing", r.name);
+            assert!(r.validated, "{} replay did not validate", r.name);
+            assert!(r.bundle_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn report_document_shape() {
+        let cfg = ReplayConfig::smoke();
+        let reports = run(&cfg);
+        let doc = report_json(&cfg, &reports);
+        assert_eq!(doc["bench"], "replay");
+        assert_eq!(doc["mode"], "smoke");
+        let ws = doc["workloads"].as_array().unwrap();
+        assert_eq!(ws.len(), 2);
+        for w in ws {
+            assert!(w["validated"].as_bool().unwrap());
+            assert!(w["bundle"]["bytes"].as_u64().unwrap() > 0);
+            assert!(w["replay_overhead"].as_f64().is_some());
+        }
+    }
+
+    #[test]
+    fn check_gate_flags_divergence_and_overhead() {
+        let ok = ReplayReportRow {
+            name: "ok".into(),
+            vfd_records: 10,
+            record_ns: 1_000,
+            replay_ns: 1_100,
+            bundle_bytes: 64,
+            pack_ns: 10,
+            verify_ns: 10,
+            unpack_ns: 10,
+            validated: true,
+        };
+        assert!(check(&[ok.clone()]).is_empty());
+        let mut diverged = ok.clone();
+        diverged.validated = false;
+        assert_eq!(check(&[diverged]).len(), 1);
+        let mut slow = ok;
+        slow.replay_ns = 2_000;
+        let failures = check(&[slow]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("budget"));
+    }
+}

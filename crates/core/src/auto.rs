@@ -307,6 +307,14 @@ pub fn optimize_with_contracts(
                     "re-record {task} (salvaged trace fragment; plan derived from partial data)"
                 ));
             }
+            Action::InvestigateDivergence { task, event_index } => {
+                // Two recordings disagree: the trace this plan was derived
+                // from may not describe what the workload actually does.
+                advisories.push(format!(
+                    "investigate {task}'s divergence at event {event_index} before \
+                     trusting this plan (cross-run traces disagree)"
+                ));
+            }
         }
     }
 

@@ -24,6 +24,10 @@
 //! dayu-analyze record arldm --chaos-seed 7 --retries 3 --fault-rate 0.05 --out run/
 //! dayu-analyze record ddmd --crash-seed 11 --crash-at 40 --durability journal --resume
 //!                                          # torn-write crash + journaled recovery resume
+//! dayu-analyze record ddmd --bundle run.drb    # + self-contained replay bundle
+//! dayu-analyze bundle verify run.drb       # hash-chain check, no re-execution
+//! dayu-analyze replay run.drb              # re-execute + cross-check op-by-op
+//! dayu-analyze diff a.drb b.drb [--json]   # first divergent event + SDG ancestors
 //! ```
 //!
 //! `record` executes one of the paper's workloads under full
@@ -41,6 +45,14 @@
 //! * `4` — unrecoverable corruption: at least one surviving file image
 //!   has no valid superblock slot, so no metadata can be trusted and
 //!   repair cannot rebuild it.
+//!
+//! On the failure exits (3/4) `record` automatically emits a replay
+//! bundle and prints the exact command line that reproduces the run —
+//! same seeds, schedule and durability — so the failure travels as one
+//! artifact. `replay` re-executes a bundle under a cross-checking driver
+//! stack (exit 0: validated, 5: diverged); `diff` compares two bundles
+//! and names the first divergent event plus its SDG causal ancestors
+//! (exit 0: identical, 1: diverged).
 
 use dayu_analyzer::{export, resolution, Analysis, DetectorConfig, SdgOptions};
 use dayu_hdf::Durability;
@@ -50,14 +62,17 @@ use dayu_lint::{
 };
 use dayu_trace::{TraceBundle, TraceFormat};
 use dayu_vfd::{CrashSchedule, FaultSchedule, MemFs};
-use dayu_workflow::{record_opts, RecordOptions, RetryPolicy, WorkflowSpec};
+use dayu_workflow::{
+    record_to_bundle, replay_bundle, with_manual_clock, RecordOptions, ReplayBundle, RetryPolicy,
+    WorkflowSpec,
+};
 use dayu_workloads::{arldm, ddmd, pyflextrkr};
 use std::io::BufReader;
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dayu-analyze <trace.{{jsonl|dtb}}> [--format jsonl|binary] [--out DIR]\n                           [--regions N] [--aggregate]\n       dayu-analyze check [<trace.{{jsonl|dtb}}>] [--inputs FILE,FILE,...] [--json]\n                           [--deny CLASS]... [--waste]\n                           [--contracts <ddmd|pyflextrkr|arldm>]\n                           (a trace, --contracts, or both; --contracts alone runs\n                            the static footprint pass, with a trace it also checks\n                            conformance)\n       dayu-analyze record <ddmd|pyflextrkr|arldm> [--chaos-seed N] [--retries N]\n                           [--fault-rate P] [--dead-at N] [--crash-seed N] [--crash-at N]\n                           [--durability journal|write-through] [--resume]\n                           [--format jsonl|binary] [--out DIR]\n       record exits 0 (clean), 3 (degraded trace), 4 (unrecoverable corruption)"
+        "usage: dayu-analyze <trace.{{jsonl|dtb}}> [--format jsonl|binary] [--out DIR]\n                           [--regions N] [--aggregate]\n       dayu-analyze check [<trace.{{jsonl|dtb}}>] [--inputs FILE,FILE,...] [--json]\n                           [--deny CLASS]... [--waste]\n                           [--contracts <ddmd|pyflextrkr|arldm>]\n                           (a trace, --contracts, or both; --contracts alone runs\n                            the static footprint pass, with a trace it also checks\n                            conformance)\n       dayu-analyze record <ddmd|pyflextrkr|arldm> [--chaos-seed N] [--retries N]\n                           [--fault-rate P] [--dead-at N] [--crash-seed N] [--crash-at N]\n                           [--durability journal|write-through] [--resume]\n                           [--manual-clock] [--bundle FILE.drb]\n                           [--format jsonl|binary] [--out DIR]\n       record exits 0 (clean), 3 (degraded trace), 4 (unrecoverable corruption);\n       on 3/4 a replay bundle is auto-emitted with the reproduction command\n       dayu-analyze bundle verify <run.drb>    # hash-chain check, no re-execution\n       dayu-analyze replay <run.drb>           # re-execute + cross-check (exit 5: diverged)\n       dayu-analyze diff <a.drb> <b.drb> [--json]   # first divergence + SDG ancestors"
     );
     std::process::exit(2);
 }
@@ -75,11 +90,15 @@ fn record_main(args: Vec<String>) -> ! {
     let mut crash_at: Option<u64> = None;
     let mut durability = Durability::default();
     let mut resume = false;
+    let mut manual_clock = false;
+    let mut bundle_path: Option<PathBuf> = None;
     let mut format = TraceFormat::Jsonl;
     let mut args = args.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--bundle" => bundle_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--manual-clock" => manual_clock = true,
             "--format" => format = parse_format(args.next()),
             "--chaos-seed" => {
                 chaos_seed = Some(
@@ -160,7 +179,7 @@ fn record_main(args: Vec<String>) -> ! {
         }
         s
     });
-    let opts = RecordOptions {
+    let mut opts = RecordOptions {
         retry: RetryPolicy::default().attempts(retries),
         chaos,
         crash,
@@ -168,7 +187,56 @@ fn record_main(args: Vec<String>) -> ! {
         resume,
         ..RecordOptions::default()
     };
-    let run = record_opts(&spec, &fs, &opts).unwrap_or_else(|e| {
+    if manual_clock {
+        opts = with_manual_clock(opts);
+    }
+
+    // The flag string doubles as the bundle's params field and (with the
+    // workload and a bundle path) the exact reproduction command line.
+    let mut flags: Vec<String> = Vec::new();
+    if let Some(seed) = chaos_seed {
+        flags.push(format!("--chaos-seed {seed}"));
+        if fault_rate != 0.0 {
+            flags.push(format!("--fault-rate {fault_rate}"));
+        }
+        if let Some(op) = dead_at {
+            flags.push(format!("--dead-at {op}"));
+        }
+    }
+    if let Some(seed) = crash_seed {
+        flags.push(format!("--crash-seed {seed}"));
+        if let Some(op) = crash_at {
+            flags.push(format!("--crash-at {op}"));
+        }
+    }
+    if retries != 3 {
+        flags.push(format!("--retries {retries}"));
+    }
+    if durability != Durability::default() {
+        flags.push("--durability journal".into());
+    }
+    if resume {
+        flags.push("--resume".into());
+    }
+    if manual_clock {
+        flags.push("--manual-clock".into());
+    }
+    let flags = flags.join(" ");
+    let params = if flags.is_empty() {
+        "default".to_owned()
+    } else {
+        flags.clone()
+    };
+
+    let (run, drb) = record_to_bundle(
+        &spec,
+        &fs,
+        &opts,
+        params,
+        env!("CARGO_PKG_VERSION"),
+        manual_clock,
+    )
+    .unwrap_or_else(|e| {
         eprintln!("record failed: {e}");
         std::process::exit(1);
     });
@@ -242,8 +310,8 @@ fn record_main(args: Vec<String>) -> ! {
     );
     println!("\n{}", dayu_advisor::report(&recommendations));
 
-    if let Some(dir) = out {
-        std::fs::create_dir_all(&dir).expect("create out dir");
+    if let Some(dir) = &out {
+        std::fs::create_dir_all(dir).expect("create out dir");
         let trace_name = format!("trace.{}", format.extension());
         let mut f = std::fs::File::create(dir.join(&trace_name)).expect("create trace file");
         run.bundle.save(&mut f, format).expect("write trace file");
@@ -260,13 +328,39 @@ fn record_main(args: Vec<String>) -> ! {
         println!("trace and file images written to {}/", dir.display());
     }
 
-    std::process::exit(if !unrecoverable.is_empty() {
+    let code = if !unrecoverable.is_empty() {
         4
     } else if run.degraded() {
         3
     } else {
         0
+    };
+
+    // A failure exit always leaves a bundle behind: the degraded or
+    // corrupt run travels as one self-contained, replayable artifact.
+    let emit_path = bundle_path.or_else(|| {
+        (code != 0).then(|| match &out {
+            Some(dir) => dir.join("failure.drb"),
+            None => PathBuf::from(format!("{workload}-failure.drb")),
+        })
     });
+    if let Some(path) = emit_path {
+        drb.write_file(&path).unwrap_or_else(|e| {
+            eprintln!("cannot write bundle {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("\nreplay bundle written to {}", path.display());
+        if code != 0 {
+            let sep = if flags.is_empty() { "" } else { " " };
+            println!(
+                "reproduce with:\n  dayu-analyze record {workload}{sep}{flags} --bundle {}",
+                path.display()
+            );
+            println!("  dayu-analyze replay {}", path.display());
+        }
+    }
+
+    std::process::exit(code);
 }
 
 /// Builds a bundled workload's spec, contracts included. The same specs
@@ -421,6 +515,152 @@ fn check_main(args: Vec<String>) -> ! {
     std::process::exit(if denied.is_empty() { 0 } else { 1 });
 }
 
+/// Loads a replay bundle, turning every failure mode — missing file,
+/// torn section, hash mismatch, malformed manifest — into a structured
+/// one-line error instead of a panic.
+fn load_drb(path: &PathBuf) -> ReplayBundle {
+    ReplayBundle::read_file(path).unwrap_or_else(|e| {
+        eprintln!("cannot load bundle {}: {e}", path.display());
+        std::process::exit(1);
+    })
+}
+
+/// `dayu-analyze bundle verify`: checks the section hash chain without
+/// decoding or re-executing anything. Exit 0: intact; 1: rejected (with
+/// the offending section named); 2: usage.
+fn bundle_main(args: Vec<String>) -> ! {
+    let [cmd, path] = args.as_slice() else {
+        usage()
+    };
+    if cmd != "verify" {
+        usage();
+    }
+    let path = PathBuf::from(path);
+    match ReplayBundle::verify_file(&path) {
+        Ok(report) => {
+            println!("{}: bundle intact", path.display());
+            for s in &report.sections {
+                println!(
+                    "  {:<24} {:>10} bytes  sha256:{}",
+                    s.name, s.bytes, s.digest
+                );
+            }
+            println!("  chain: {}", report.chain);
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{}: bundle verification failed: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `dayu-analyze replay`: re-executes a bundle's workload under the
+/// cross-checking driver stack and reports the verdict. Exit 0:
+/// validated; 5: diverged or mismatched; 1: bundle unreadable.
+fn replay_main(args: Vec<String>) -> ! {
+    let [path] = args.as_slice() else { usage() };
+    let path = PathBuf::from(path);
+    let bundle = load_drb(&path);
+    let m = &bundle.manifest;
+    println!(
+        "replaying {} (workload {}, params {:?}, recorded by v{})",
+        path.display(),
+        m.workload,
+        m.params,
+        m.tool_version
+    );
+    let spec = workload_spec(&m.workload);
+    let fs = MemFs::new();
+    let report = replay_bundle(&bundle, &spec, &fs).unwrap_or_else(|e| {
+        eprintln!("replay failed: {e}");
+        std::process::exit(1);
+    });
+    if !report.op_checked {
+        println!("  (sampled recording: op-by-op checking disabled, outcomes/images only)");
+    }
+    if report.validated() {
+        println!(
+            "replay validated: {} task(s), {} recorded op(s), zero divergences",
+            report.run.outcomes.len(),
+            bundle.trace.vfd.len()
+        );
+        std::process::exit(0);
+    }
+    if let Some(d) = &report.divergence {
+        println!("OP DIVERGENCE: {d}");
+    }
+    for m in &report.mismatches {
+        println!("MISMATCH: {m}");
+    }
+    std::process::exit(5);
+}
+
+/// `dayu-analyze diff`: compares two bundles' recorded operation streams
+/// and reports the first divergent event with its causal SDG ancestors.
+/// Exit 0: operationally identical; 1: diverged; 2: usage.
+fn diff_main(args: Vec<String>) -> ! {
+    let mut json = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "-h" | "--help" => usage(),
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+    let [pa, pb] = paths.as_slice() else { usage() };
+    let (a, b) = (load_drb(pa), load_drb(pb));
+    let diff = dayu_analyzer::diff_traces(&a.trace, &b.trace);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&diff).expect("serialize diff")
+        );
+        std::process::exit(i32::from(!diff.is_empty()));
+    }
+    println!(
+        "diff {} ({}) vs {} ({})",
+        pa.display(),
+        diff.workload_a,
+        pb.display(),
+        diff.workload_b
+    );
+    if diff.is_empty() {
+        println!("  operation streams identical (timestamps ignored)");
+        std::process::exit(0);
+    }
+    if let Some(first) = &diff.first {
+        println!("first divergence: {}", first.detail);
+        if !first.ancestors.is_empty() {
+            println!(
+                "  causal ancestors (SDG walk over run A):\n    tasks:    {}\n    datasets: {}\n    files:    {}",
+                first.ancestors.tasks.join(", "),
+                first.ancestors.datasets.join(", "),
+                first.ancestors.files.join(", ")
+            );
+        } else {
+            println!("  no upstream producers: the cause is local to the task");
+        }
+    }
+    if !diff.diverged_tasks.is_empty() {
+        println!("diverged tasks: {}", diff.diverged_tasks.join(", "));
+    }
+    if !diff.only_in_a.is_empty() {
+        println!("tasks only in run A: {}", diff.only_in_a.join(", "));
+    }
+    if !diff.only_in_b.is_empty() {
+        println!("tasks only in run B: {}", diff.only_in_b.join(", "));
+    }
+    if let Some(finding) = diff.finding() {
+        let recs = dayu_advisor::advise(&[finding]);
+        if !recs.is_empty() {
+            println!("\n{}", dayu_advisor::report(&recs));
+        }
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("check") {
@@ -428,6 +668,15 @@ fn main() {
     }
     if raw.first().map(String::as_str) == Some("record") {
         record_main(raw[1..].to_vec());
+    }
+    if raw.first().map(String::as_str) == Some("bundle") {
+        bundle_main(raw[1..].to_vec());
+    }
+    if raw.first().map(String::as_str) == Some("replay") {
+        replay_main(raw[1..].to_vec());
+    }
+    if raw.first().map(String::as_str) == Some("diff") {
+        diff_main(raw[1..].to_vec());
     }
     let mut input: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;

@@ -67,8 +67,8 @@ use std::path::Path;
 pub mod prelude {
     pub use dayu_advisor::{advise, Action, Guideline, Recommendation};
     pub use dayu_analyzer::{
-        build_ftg, build_sdg, run_detectors, Analysis, DetectorConfig, Finding, Graph, GraphKind,
-        NodeKind, SdgOptions,
+        build_ftg, build_sdg, diff_traces, run_detectors, Analysis, BundleDiff, DetectorConfig,
+        Finding, FirstDivergence, Graph, GraphKind, NodeKind, SdgOptions,
     };
     pub use dayu_hdf::{
         AttrValue, DataType, Dataset, DatasetBuilder, FileOptions, Group, H5File, HdfError,
@@ -81,10 +81,13 @@ pub mod prelude {
     pub use dayu_mapper::{Mapper, MapperConfig};
     pub use dayu_sim::{Cluster, Engine, FileLocation, Placement, SimOp, SimTask, TierKind};
     pub use dayu_trace::{SharedContext, TraceBundle};
-    pub use dayu_vfd::{FaultInjector, FaultSchedule, MemFs, MemVfd, Vfd};
+    pub use dayu_vfd::{
+        FaultInjector, FaultSchedule, MemFs, MemVfd, ReplayDivergence, ReplayValidator, Vfd,
+    };
     pub use dayu_workflow::{
-        record, record_opts, to_sim_tasks, RecordOptions, RetryPolicy, Schedule, TaskIo,
-        TaskOutcome, TaskSpec, WorkflowSpec,
+        record, record_opts, record_to_bundle, replay_bundle, to_sim_tasks, BundleError,
+        RecordOptions, ReplayBundle, ReplayReport, RetryPolicy, Schedule, TaskIo, TaskOutcome,
+        TaskSpec, WorkflowSpec,
     };
 }
 

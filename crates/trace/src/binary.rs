@@ -31,7 +31,7 @@
 
 use crate::ids::{FileKey, ObjectKey, TaskKey};
 use crate::intern::Symbol;
-use crate::store::{RecordSink, TraceBundle, TraceMeta};
+use crate::store::{RecordSink, TraceBundle, TraceMeta, TraceOrigin};
 use crate::time::{Interval, Timestamp};
 use crate::vfd::{AccessType, FileRecord, FileStats, IoKind, VfdRecord};
 use crate::vol::{
@@ -41,16 +41,20 @@ use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 
 /// Section magic; the trailing byte is the format version this build
-/// *writes*. The reader additionally accepts [`VERSION_V1`] and
-/// [`VERSION_V2`] sections, which differ only by the absence of stage lists
-/// (v1) and recovered-task sets (v1, v2) in the meta frame.
-pub const MAGIC: [u8; 8] = [0x89, b'D', b'T', b'B', 0x0D, 0x0A, 0x1A, 0x03];
+/// *writes*. The reader additionally accepts [`VERSION_V1`] through
+/// [`VERSION_V3`] sections, which differ only by the absence of stage lists
+/// (v1), recovered-task sets (v1, v2) and trace provenance (v1–v3) in the
+/// meta frame.
+pub const MAGIC: [u8; 8] = [0x89, b'D', b'T', b'B', 0x0D, 0x0A, 0x1A, 0x04];
 
 /// The pre-stage-membership format version, still readable.
 pub const VERSION_V1: u8 = 0x01;
 
 /// The pre-crash-recovery format version, still readable.
 pub const VERSION_V2: u8 = 0x02;
+
+/// The pre-provenance format version, still readable.
+pub const VERSION_V3: u8 = 0x03;
 
 const TAG_END: u8 = 0x00;
 const TAG_META: u8 = 0x01;
@@ -158,6 +162,11 @@ fn build_table(bundle: &TraceBundle) -> TableBuilder {
         for k in stage {
             t.add(k.symbol());
         }
+    }
+    if let Some(origin) = &bundle.meta.origin {
+        t.add(Symbol::intern(&origin.workload));
+        t.add(Symbol::intern(&origin.params));
+        t.add(Symbol::intern(&origin.tool_version));
     }
     for r in &bundle.vol {
         t.add(r.task.symbol());
@@ -326,6 +335,15 @@ pub fn write_bundle<W: Write>(bundle: &TraceBundle, w: &mut W) -> io::Result<()>
         write_usize(w, stage.len())?;
         for k in stage {
             write_varint(w, table.id(k.symbol()))?;
+        }
+    }
+    match &bundle.meta.origin {
+        None => w.write_all(&[0])?,
+        Some(origin) => {
+            w.write_all(&[1])?;
+            write_varint(w, table.id(Symbol::intern(&origin.workload)))?;
+            write_varint(w, table.id(Symbol::intern(&origin.params)))?;
+            write_varint(w, table.id(Symbol::intern(&origin.tool_version)))?;
         }
     }
     for r in &bundle.vol {
@@ -545,10 +563,10 @@ pub fn stream_bundles<R: BufRead, S: RecordSink>(mut r: R, sink: &mut S) -> io::
             return Err(bad("not a DaYu binary trace (bad magic)"));
         }
         let version = magic[7];
-        if version != MAGIC[7] && version != VERSION_V1 && version != VERSION_V2 {
+        if !(VERSION_V1..=MAGIC[7]).contains(&version) {
             return Err(bad(format!(
-                "unsupported .dtb version {version} (this build reads {}, {} and {})",
-                VERSION_V1, VERSION_V2, MAGIC[7]
+                "unsupported .dtb version {version} (this build reads {} through {})",
+                VERSION_V1, MAGIC[7]
             )));
         }
         let n = read_len(&mut r, "string table", LEN_CAP)?;
@@ -599,6 +617,20 @@ pub fn stream_bundles<R: BufRead, S: RecordSink>(mut r: R, sink: &mut S) -> io::
                             stages.push(stage);
                         }
                     }
+                    let mut origin = None;
+                    if version >= 0x04 {
+                        match read_u8(&mut r)? {
+                            0 => {}
+                            1 => {
+                                origin = Some(TraceOrigin {
+                                    workload: table.sym(&mut r)?.as_str().to_owned(),
+                                    params: table.sym(&mut r)?.as_str().to_owned(),
+                                    tool_version: table.sym(&mut r)?.as_str().to_owned(),
+                                });
+                            }
+                            other => return Err(bad(format!("bad origin presence byte {other}"))),
+                        }
+                    }
                     sink.meta(TraceMeta {
                         workflow,
                         task_order,
@@ -606,6 +638,7 @@ pub fn stream_bundles<R: BufRead, S: RecordSink>(mut r: R, sink: &mut S) -> io::
                         degraded_tasks,
                         recovered_tasks,
                         stages,
+                        origin,
                     })?;
                 }
                 TAG_VOL => {
@@ -742,16 +775,59 @@ mod tests {
     }
 
     #[test]
-    fn recovered_set_round_trips_in_v3() {
+    fn recovered_set_round_trips() {
         let mut b = TraceBundle::new("wf");
         b.push_task(TaskKey::new("a"));
         b.push_task(TaskKey::new("b"));
         b.mark_recovered(TaskKey::new("a"));
         let bytes = b.to_binary_bytes();
-        assert_eq!(bytes[7], 0x03);
+        assert_eq!(bytes[7], MAGIC[7]);
         let back = read_bundles(&bytes[..]).unwrap();
         assert!(back.is_recovered(&TaskKey::new("a")));
         assert!(!back.is_recovered(&TaskKey::new("b")));
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn v3_sections_read_without_origin() {
+        // A pre-provenance section: recovered set and stage lists, no
+        // origin presence byte at the end of the meta frame.
+        let mut bytes = Vec::new();
+        let mut magic = MAGIC;
+        magic[7] = VERSION_V3;
+        bytes.extend_from_slice(&magic);
+        write_usize(&mut bytes, 2).unwrap();
+        for s in ["wf", "t1"] {
+            write_usize(&mut bytes, s.len()).unwrap();
+            bytes.extend_from_slice(s.as_bytes());
+        }
+        bytes.push(TAG_META);
+        write_varint(&mut bytes, 0).unwrap(); // workflow id
+        write_varint(&mut bytes, 4096).unwrap(); // page size
+        write_usize(&mut bytes, 1).unwrap(); // task order
+        write_varint(&mut bytes, 1).unwrap();
+        write_usize(&mut bytes, 0).unwrap(); // degraded set
+        write_usize(&mut bytes, 1).unwrap(); // recovered set
+        write_varint(&mut bytes, 1).unwrap();
+        write_usize(&mut bytes, 0).unwrap(); // stage lists
+        bytes.push(TAG_END);
+        let b = read_bundles(&bytes[..]).unwrap();
+        assert!(b.is_recovered(&TaskKey::new("t1")));
+        assert!(b.meta.origin.is_none());
+    }
+
+    #[test]
+    fn origin_round_trips() {
+        let mut b = TraceBundle::new("wf");
+        b.push_task(TaskKey::new("t1"));
+        b.meta.origin = Some(TraceOrigin {
+            workload: "ddmd".into(),
+            params: "default".into(),
+            tool_version: "0.1.0".into(),
+        });
+        let bytes = b.to_binary_bytes();
+        let back = read_bundles(&bytes[..]).unwrap();
+        assert_eq!(back.meta.origin, b.meta.origin);
         assert_eq!(back, b);
     }
 

@@ -26,15 +26,18 @@ pub mod binary;
 pub mod context;
 pub mod ids;
 pub mod intern;
+pub mod sha256;
 pub mod store;
 pub mod time;
 pub mod vfd;
 pub mod vol;
+pub mod wire;
 
 pub use context::SharedContext;
 pub use ids::{FileKey, ObjectKey, TaskKey};
 pub use intern::Symbol;
-pub use store::{RecordSink, TraceBundle, TraceFormat, TraceMeta};
+pub use sha256::{sha256, Sha256};
+pub use store::{RecordSink, TraceBundle, TraceFormat, TraceMeta, TraceOrigin};
 pub use time::{Clock, ManualClock, RealClock, Timestamp};
 pub use vfd::{AccessType, FileRecord, IoKind, VfdRecord};
 pub use vol::{ObjectDescription, ObjectKind, VolAccess, VolAccessKind, VolRecord};

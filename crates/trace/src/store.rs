@@ -103,6 +103,26 @@ pub struct TraceMeta {
     /// wall-clock heuristics.
     #[serde(default)]
     pub stages: Vec<Vec<TaskKey>>,
+    /// Provenance: which workload (and parameterization) the recording tool
+    /// ran, and which tool version produced the trace. Until replay bundles
+    /// existed only the CLI knew this; a trace that outlives its invocation
+    /// needs it to be reproducible. Traces written before provenance existed
+    /// (serde default: `None`) normalize to an absent origin on read in both
+    /// JSONL and `.dtb`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub origin: Option<TraceOrigin>,
+}
+
+/// Provenance of a trace: what produced it and from which inputs.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceOrigin {
+    /// Workload identifier the recorder executed (e.g. `ddmd`).
+    pub workload: String,
+    /// Human-readable parameterization of the workload (`default` for the
+    /// bundled configurations, otherwise a `key=value` list).
+    pub params: String,
+    /// Version of the tool that wrote the trace (Cargo package version).
+    pub tool_version: String,
 }
 
 impl TraceMeta {
@@ -154,6 +174,9 @@ impl RecordSink for Collector {
             }
             if self.out.meta.stages.is_empty() {
                 self.out.meta.stages = m.stages;
+            }
+            if self.out.meta.origin.is_none() {
+                self.out.meta.origin = m.origin;
             }
         } else {
             self.out.meta = m;
@@ -217,6 +240,7 @@ impl TraceBundle {
                 degraded_tasks: Vec::new(),
                 recovered_tasks: Vec::new(),
                 stages: Vec::new(),
+                origin: None,
             },
             ..Default::default()
         }
@@ -278,6 +302,9 @@ impl TraceBundle {
         }
         if self.meta.stages.is_empty() {
             self.meta.stages = other.meta.stages;
+        }
+        if self.meta.origin.is_none() {
+            self.meta.origin = other.meta.origin;
         }
         self.vol.extend(other.vol);
         self.vfd.extend(other.vfd);
@@ -643,6 +670,30 @@ mod tests {
         let back = TraceBundle::read_jsonl(line.as_bytes()).unwrap();
         assert!(back.meta.degraded_tasks.is_empty());
         assert_eq!(back.meta.workflow, "old");
+    }
+
+    #[test]
+    fn origin_survives_jsonl_and_legacy_lines_default_to_none() {
+        let mut b = bundle();
+        b.meta.origin = Some(TraceOrigin {
+            workload: "ddmd".into(),
+            params: "default".into(),
+            tool_version: "0.1.0".into(),
+        });
+        let back = TraceBundle::read_jsonl(&b.to_jsonl_bytes()[..]).unwrap();
+        assert_eq!(back.meta.origin, b.meta.origin);
+
+        // A Meta line written before provenance existed decodes to None.
+        let line = r#"{"Meta":{"workflow":"old","task_order":[],"page_size":4096}}"#;
+        let old = TraceBundle::read_jsonl(line.as_bytes()).unwrap();
+        assert!(old.meta.origin.is_none());
+
+        // Concatenation: the first origin wins; a later origin fills a gap.
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.push(b'\n');
+        bytes.extend(b.to_jsonl_bytes());
+        let merged = TraceBundle::read_jsonl(&bytes[..]).unwrap();
+        assert_eq!(merged.meta.origin, b.meta.origin);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Shared binary wire-format primitives.
+//!
+//! The `.dtb` trace store ([`crate::binary`]) and the `.drb` replay bundle
+//! (in `dayu-workflow`) both serialize with the same little machinery:
+//! LEB128 varints, length-prefixed byte strings, and bit-exact floats. The
+//! trace store predates this module and keeps its private copies; new
+//! formats should build on these public helpers so every consumer enforces
+//! the same sanity caps and error texts.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound accepted for any length field — guards torn or hostile
+/// inputs from driving huge allocations before a checksum can catch them.
+pub const LEN_CAP: u64 = 1 << 32;
+
+/// An `InvalidData` error with a formatted message.
+pub fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes `v` as an LEB128 varint (1–10 bytes).
+pub fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    let mut buf = [0u8; 10];
+    let mut n = 0;
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        buf[n] = if v == 0 { byte } else { byte | 0x80 };
+        n += 1;
+        if v == 0 {
+            break;
+        }
+    }
+    w.write_all(&buf[..n])
+}
+
+/// Reads an LEB128 varint, rejecting encodings that overflow `u64`.
+pub fn read_varint<R: BufRead>(r: &mut R) -> io::Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 63 && b > 1 {
+            return Err(bad("varint overflows u64"));
+        }
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads a varint length field, rejecting values above `cap`.
+pub fn read_len<R: BufRead>(r: &mut R, what: &str, cap: u64) -> io::Result<usize> {
+    let v = read_varint(r)?;
+    if v > cap {
+        return Err(bad(format!("{what} length {v} exceeds sanity cap {cap}")));
+    }
+    Ok(v as usize)
+}
+
+/// Writes a single byte.
+pub fn write_u8<W: Write>(w: &mut W, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+/// Reads a single byte.
+pub fn read_u8<R: BufRead>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+/// Writes a length-prefixed byte string.
+pub fn write_bytes<W: Write>(w: &mut W, data: &[u8]) -> io::Result<()> {
+    write_varint(w, data.len() as u64)?;
+    w.write_all(data)
+}
+
+/// Reads a length-prefixed byte string (capped at [`LEN_CAP`]).
+pub fn read_bytes<R: BufRead>(r: &mut R, what: &str) -> io::Result<Vec<u8>> {
+    let len = read_len(r, what, LEN_CAP)?;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Writes a length-prefixed UTF-8 string.
+pub fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    write_bytes(w, s.as_bytes())
+}
+
+/// Reads a length-prefixed UTF-8 string, rejecting invalid UTF-8.
+pub fn read_str<R: BufRead>(r: &mut R, what: &str) -> io::Result<String> {
+    let bytes = read_bytes(r, what)?;
+    String::from_utf8(bytes).map_err(|_| bad(format!("{what} is not valid UTF-8")))
+}
+
+/// Writes an `f64` bit-exactly (IEEE-754 little-endian), so replaying a
+/// manifest reconstructs the same probabilities to the last ulp.
+pub fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_bits().to_le_bytes())
+}
+
+/// Reads an `f64` written by [`write_f64`].
+pub fn read_f64<R: BufRead>(r: &mut R) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_bits(u64::from_le_bytes(b)))
+}
+
+/// Writes `Some(v)` as `1` + varint, `None` as `0`.
+pub fn write_opt_varint<W: Write>(w: &mut W, v: Option<u64>) -> io::Result<()> {
+    match v {
+        Some(v) => {
+            write_u8(w, 1)?;
+            write_varint(w, v)
+        }
+        None => write_u8(w, 0),
+    }
+}
+
+/// Reads an optional varint written by [`write_opt_varint`].
+pub fn read_opt_varint<R: BufRead>(r: &mut R, what: &str) -> io::Result<Option<u64>> {
+    match read_u8(r)? {
+        0 => Ok(None),
+        1 => Ok(Some(read_varint(r)?)),
+        other => Err(bad(format!("{what}: bad option tag {other:#04x}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip_varint(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v).unwrap();
+        read_varint(&mut Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn varint_round_trips_extremes() {
+        for v in [0, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            assert_eq!(round_trip_varint(v), v);
+        }
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 10 continuation bytes followed by a high terminal byte overflows.
+        let buf = [0xFFu8, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        assert!(read_varint(&mut Cursor::new(buf.to_vec())).is_err());
+    }
+
+    #[test]
+    fn strings_and_bytes_round_trip() {
+        let mut buf = Vec::new();
+        write_str(&mut buf, "héllo/世界").unwrap();
+        write_bytes(&mut buf, &[0, 255, 7]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_str(&mut r, "s").unwrap(), "héllo/世界");
+        assert_eq!(read_bytes(&mut r, "b").unwrap(), vec![0, 255, 7]);
+    }
+
+    #[test]
+    fn invalid_utf8_rejected_with_context() {
+        let mut buf = Vec::new();
+        write_bytes(&mut buf, &[0xFF, 0xFE]).unwrap();
+        let err = read_str(&mut Cursor::new(buf), "workload name").unwrap_err();
+        assert!(err.to_string().contains("workload name"));
+    }
+
+    #[test]
+    fn length_cap_enforced() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, LEN_CAP + 1).unwrap();
+        let err = read_len(&mut Cursor::new(buf), "section", LEN_CAP).unwrap_err();
+        assert!(err.to_string().contains("sanity cap"));
+    }
+
+    #[test]
+    fn f64_bit_exact() {
+        for v in [0.0, -0.0, 0.1, f64::MIN_POSITIVE, f64::NAN, f64::INFINITY] {
+            let mut buf = Vec::new();
+            write_f64(&mut buf, v).unwrap();
+            let back = read_f64(&mut Cursor::new(buf)).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits());
+        }
+    }
+
+    #[test]
+    fn optional_varint_round_trips() {
+        for v in [None, Some(0), Some(u64::MAX)] {
+            let mut buf = Vec::new();
+            write_opt_varint(&mut buf, v).unwrap();
+            assert_eq!(read_opt_varint(&mut Cursor::new(buf), "x").unwrap(), v);
+        }
+        let err = read_opt_varint(&mut Cursor::new(vec![9u8]), "crash_at").unwrap_err();
+        assert!(err.to_string().contains("crash_at"));
+    }
+}

@@ -199,14 +199,16 @@ impl CrashController {
         Ok(())
     }
 
-    /// Counts one write op and decides its fate.
+    /// Counts one write op and decides its fate. Writes aimed at a dead
+    /// machine still count as seen — `writes_seen` reports every attempt
+    /// the task made, not just the ones the device accepted.
     fn decide_write(&self, len: usize) -> Result<WriteDecision> {
         let mut st = self.shared.lock();
+        let n = st.writes;
+        st.writes += 1;
         if st.crashed {
             return Err(st.error("write on dead machine"));
         }
-        let n = st.writes;
-        st.writes += 1;
         if !st.fired && st.schedule.crash_at_write == Some(n) {
             st.fired = true;
             st.crashed = true;

@@ -26,12 +26,14 @@ pub mod crash;
 pub mod faulty;
 pub mod file;
 pub mod mem;
+pub mod replay;
 
 pub use counting::{CountingVfd, OpCounters};
 pub use crash::{CrashController, CrashSchedule, CrashVfd};
 pub use faulty::{ChaosRng, FaultInjector, FaultPlan, FaultSchedule, FaultyVfd};
 pub use file::FileVfd;
 pub use mem::{MemFs, MemVfd};
+pub use replay::{ReplayDivergence, ReplayEvent, ReplaySession, ReplayValidator, ReplayVfd};
 
 use dayu_trace::vfd::AccessType;
 use std::fmt;

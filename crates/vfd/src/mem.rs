@@ -89,6 +89,14 @@ impl MemFs {
         files.values().map(|img| img.lock().len() as u64).sum()
     }
 
+    /// Installs `bytes` as the full content of `name`, creating or
+    /// replacing it. Replay engines use this to reconstruct a filesystem
+    /// from bundled images before re-executing a workload.
+    pub fn restore(&self, name: &str, bytes: Vec<u8>) {
+        let image: Image = Arc::new(Mutex::new(bytes));
+        self.files.write().insert(name.to_owned(), image);
+    }
+
     /// Reads an entire file's bytes (test/diagnostic convenience).
     pub fn snapshot(&self, name: &str) -> Option<Vec<u8>> {
         let img = self.files.read().get(name)?.clone();

@@ -1,0 +1,495 @@
+//! Replay-validating driver: cross-checks live I/O against a recorded stream.
+//!
+//! Deterministic replay re-executes a workload with the exact seeds, retry
+//! policy and durability of a recorded run. The [`ReplayVfd`] sits directly
+//! beneath the profiler in the driver stack and, as each operation
+//! *succeeds*, matches it against the next expected [`ReplayEvent`] of the
+//! task's recorded stream. The first mismatch is latched as a structured
+//! [`ReplayDivergence`] and surfaced as an I/O error, so a drifting replay
+//! fails fast at the first divergent operation instead of silently
+//! producing a subtly different trace.
+//!
+//! Failed operations pass through unmatched: the profiler never records
+//! failed ops (the salvage-consistency invariant), so the recorded stream
+//! contains only successes and a correct replay consumes it exactly.
+//!
+//! Retry interplay: a recorded trace keeps only the *final* attempt's
+//! records (earlier attempts' mapper sessions are discarded), and in resume
+//! mode a retried attempt performs different I/O than a first attempt
+//! (open-plus-recovery instead of create). The validator therefore only
+//! cross-checks
+//! ops during the attempt number the recorded run succeeded (or gave up)
+//! on; earlier attempts are validated implicitly by the seeded fault/crash
+//! layers and the final outcome comparison.
+
+use crate::{Result, Vfd, VfdError};
+use dayu_trace::vfd::{AccessType, IoKind};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+
+/// One observable driver-level operation, as the validator compares them:
+/// timestamps and object attribution are deliberately absent (timing is
+/// environment-dependent; attribution happens above this layer).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayEvent {
+    /// File the op targeted.
+    pub file: String,
+    /// Operation verb.
+    pub kind: IoKind,
+    /// Byte offset (0 for lifecycle ops).
+    pub offset: u64,
+    /// Bytes moved (0 for lifecycle ops).
+    pub len: u64,
+    /// Metadata vs raw data.
+    pub access: AccessType,
+}
+
+impl fmt::Display for ReplayEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} {}@{}+{} ({:?})",
+            self.kind, self.file, self.offset, self.len, self.access
+        )
+    }
+}
+
+/// The first point where a replay stopped matching its recording.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayDivergence {
+    /// Task whose stream diverged.
+    pub task: String,
+    /// Index into the task's expected event stream where the mismatch
+    /// occurred (also the count of successfully matched events).
+    pub event_index: usize,
+    /// What the recording says should have happened next (`None`: the
+    /// recorded stream was already exhausted).
+    pub expected: Option<ReplayEvent>,
+    /// What the replay actually did (`None`: the replay ended with
+    /// recorded events still unconsumed).
+    pub actual: Option<ReplayEvent>,
+    /// Human-readable explanation of the mismatch.
+    pub detail: String,
+}
+
+impl fmt::Display for ReplayDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task \"{}\" diverged at event {}: expected {}, got {} ({})",
+            self.task,
+            self.event_index,
+            self.expected
+                .as_ref()
+                .map_or_else(|| "<end of recording>".to_owned(), |e| e.to_string()),
+            self.actual
+                .as_ref()
+                .map_or_else(|| "<no op>".to_owned(), |e| e.to_string()),
+            self.detail
+        )
+    }
+}
+
+struct TaskStream {
+    /// The recorded (final-attempt) event stream, lifecycle `Open`s
+    /// excluded — the profiler emits those at construction, beneath which
+    /// this layer never sees a driver call.
+    expected: Vec<ReplayEvent>,
+    cursor: usize,
+    /// The attempt number the recorded run ended on; only this attempt is
+    /// cross-checked op-by-op.
+    final_attempt: u32,
+    /// Whether the current attempt is being cross-checked.
+    checking: bool,
+}
+
+/// Shared cross-check state for one replayed run: per-task expected
+/// streams, per-task cursors, and a first-divergence latch.
+#[derive(Default)]
+pub struct ReplayValidator {
+    tasks: Mutex<HashMap<String, TaskStream>>,
+    divergence: Mutex<Option<ReplayDivergence>>,
+}
+
+impl ReplayValidator {
+    /// An empty validator; populate with [`ReplayValidator::expect_task`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `task`'s recorded stream and the attempt number its
+    /// recording ended on. `Open` events are filtered out here so callers
+    /// can pass the raw recorded sequence.
+    pub fn expect_task(&self, task: &str, events: Vec<ReplayEvent>, final_attempt: u32) {
+        let expected: Vec<ReplayEvent> = events
+            .into_iter()
+            .filter(|e| e.kind != IoKind::Open)
+            .collect();
+        self.tasks.lock().insert(
+            task.to_owned(),
+            TaskStream {
+                expected,
+                cursor: 0,
+                final_attempt: final_attempt.max(1),
+                checking: false,
+            },
+        );
+    }
+
+    /// Marks the start of `attempt` (1-based) for `task`: resets the
+    /// cursor and decides whether this attempt is cross-checked. An
+    /// attempt beyond the recorded count is itself a divergence (the
+    /// replay is retrying where the recording did not).
+    pub fn begin_attempt(&self, task: &str, attempt: u32) {
+        let mut tasks = self.tasks.lock();
+        let Some(s) = tasks.get_mut(task) else {
+            return;
+        };
+        s.cursor = 0;
+        if self.divergence.lock().is_some() {
+            // Already diverged somewhere: let the rest of the run proceed
+            // unchecked so the workload still completes.
+            s.checking = false;
+            return;
+        }
+        s.checking = attempt == s.final_attempt;
+        if attempt > s.final_attempt {
+            s.checking = false;
+            let idx = s.cursor;
+            drop(tasks);
+            self.latch(ReplayDivergence {
+                task: task.to_owned(),
+                event_index: idx,
+                expected: None,
+                actual: None,
+                detail: format!(
+                    "replay needed attempt {attempt} but the recording \
+                     finished on attempt {}",
+                    attempt - 1
+                ),
+            });
+        }
+    }
+
+    /// Marks `task` finished. A successful checked task must have consumed
+    /// its whole expected stream; leftovers are a divergence.
+    pub fn finish_task(&self, task: &str, succeeded: bool) {
+        let mut tasks = self.tasks.lock();
+        let Some(s) = tasks.get_mut(task) else {
+            return;
+        };
+        if !(s.checking && succeeded) || s.cursor >= s.expected.len() {
+            return;
+        }
+        let d = ReplayDivergence {
+            task: task.to_owned(),
+            event_index: s.cursor,
+            expected: Some(s.expected[s.cursor].clone()),
+            actual: None,
+            detail: format!(
+                "replay finished with {} recorded event(s) unconsumed",
+                s.expected.len() - s.cursor
+            ),
+        };
+        drop(tasks);
+        self.latch(d);
+    }
+
+    /// The first divergence observed, if any.
+    pub fn divergence(&self) -> Option<ReplayDivergence> {
+        self.divergence.lock().clone()
+    }
+
+    fn latch(&self, d: ReplayDivergence) {
+        let mut slot = self.divergence.lock();
+        if slot.is_none() {
+            *slot = Some(d);
+        }
+    }
+
+    /// Called by [`ReplayVfd`] after each *successful* inner operation.
+    /// Returns an error (and latches the divergence) on mismatch.
+    fn observe(&self, task: &str, actual: ReplayEvent) -> Result<()> {
+        let mut tasks = self.tasks.lock();
+        let Some(s) = tasks.get_mut(task) else {
+            return Ok(());
+        };
+        if !s.checking {
+            return Ok(());
+        }
+        let idx = s.cursor;
+        let expected = s.expected.get(idx).cloned();
+        match &expected {
+            Some(e) if *e == actual => {
+                s.cursor += 1;
+                Ok(())
+            }
+            _ => {
+                s.checking = false;
+                let d = ReplayDivergence {
+                    task: task.to_owned(),
+                    event_index: idx,
+                    detail: match &expected {
+                        Some(_) => "operation does not match the recording".to_owned(),
+                        None => "replay performed more operations than recorded".to_owned(),
+                    },
+                    expected,
+                    actual: Some(actual),
+                };
+                drop(tasks);
+                let msg = d.to_string();
+                self.latch(d);
+                Err(VfdError::Io(io::Error::other(format!(
+                    "replay divergence: {msg}"
+                ))))
+            }
+        }
+    }
+}
+
+/// Per-task handle tying a driver stack to the shared validator.
+#[derive(Clone)]
+pub struct ReplaySession {
+    validator: Arc<ReplayValidator>,
+    task: String,
+}
+
+impl ReplaySession {
+    /// A session for `task` against `validator`.
+    pub fn new(validator: Arc<ReplayValidator>, task: impl Into<String>) -> Self {
+        Self {
+            validator,
+            task: task.into(),
+        }
+    }
+
+    /// The underlying shared validator.
+    pub fn validator(&self) -> &Arc<ReplayValidator> {
+        &self.validator
+    }
+
+    /// The task this session validates.
+    pub fn task(&self) -> &str {
+        &self.task
+    }
+}
+
+/// Driver wrapper that forwards to `inner` and, on success, cross-checks
+/// the operation against the recorded stream (see module docs).
+pub struct ReplayVfd<V> {
+    inner: V,
+    session: ReplaySession,
+    file: String,
+}
+
+impl<V: Vfd> ReplayVfd<V> {
+    /// Wraps `inner` (serving `file`) in replay validation.
+    pub fn new(inner: V, session: ReplaySession, file: impl Into<String>) -> Self {
+        Self {
+            inner,
+            session,
+            file: file.into(),
+        }
+    }
+
+    fn event(&self, kind: IoKind, offset: u64, len: u64, access: AccessType) -> ReplayEvent {
+        ReplayEvent {
+            file: self.file.clone(),
+            kind,
+            offset,
+            len,
+            access,
+        }
+    }
+
+    fn observe(&self, ev: ReplayEvent) -> Result<()> {
+        self.session.validator.observe(&self.session.task, ev)
+    }
+}
+
+impl<V: Vfd> Vfd for ReplayVfd<V> {
+    fn read(&mut self, offset: u64, buf: &mut [u8], access: AccessType) -> Result<()> {
+        self.inner.read(offset, buf, access)?;
+        self.observe(self.event(IoKind::Read, offset, buf.len() as u64, access))
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8], access: AccessType) -> Result<()> {
+        self.inner.write(offset, data, access)?;
+        self.observe(self.event(IoKind::Write, offset, data.len() as u64, access))
+    }
+
+    fn eof(&self) -> u64 {
+        self.inner.eof()
+    }
+
+    fn truncate(&mut self, eof: u64) -> Result<()> {
+        self.inner.truncate(eof)?;
+        self.observe(self.event(IoKind::Truncate, 0, 0, AccessType::Metadata))
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.inner.flush()?;
+        self.observe(self.event(IoKind::Flush, 0, 0, AccessType::Metadata))
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.inner.close()?;
+        self.observe(self.event(IoKind::Close, 0, 0, AccessType::Metadata))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemVfd;
+
+    fn ev(file: &str, kind: IoKind, offset: u64, len: u64, access: AccessType) -> ReplayEvent {
+        ReplayEvent {
+            file: file.to_owned(),
+            kind,
+            offset,
+            len,
+            access,
+        }
+    }
+
+    fn checked_session(events: Vec<ReplayEvent>) -> (Arc<ReplayValidator>, ReplaySession) {
+        let v = Arc::new(ReplayValidator::new());
+        v.expect_task("t", events, 1);
+        v.begin_attempt("t", 1);
+        (v.clone(), ReplaySession::new(v, "t"))
+    }
+
+    #[test]
+    fn matching_stream_validates_cleanly() {
+        let (v, sess) = checked_session(vec![
+            ev("f", IoKind::Write, 0, 3, AccessType::RawData),
+            ev("f", IoKind::Read, 0, 3, AccessType::RawData),
+            ev("f", IoKind::Close, 0, 0, AccessType::Metadata),
+        ]);
+        let mut r = ReplayVfd::new(MemVfd::new(), sess, "f");
+        r.write(0, b"abc", AccessType::RawData).unwrap();
+        let mut buf = [0u8; 3];
+        r.read(0, &mut buf, AccessType::RawData).unwrap();
+        r.close().unwrap();
+        v.finish_task("t", true);
+        assert_eq!(v.divergence(), None);
+    }
+
+    #[test]
+    fn open_events_filtered_from_expectation() {
+        let (v, sess) = checked_session(vec![
+            ev("f", IoKind::Open, 0, 0, AccessType::Metadata),
+            ev("f", IoKind::Write, 0, 1, AccessType::RawData),
+        ]);
+        let mut r = ReplayVfd::new(MemVfd::new(), sess, "f");
+        r.write(0, b"x", AccessType::RawData).unwrap();
+        v.finish_task("t", true);
+        assert_eq!(v.divergence(), None);
+    }
+
+    #[test]
+    fn mismatching_offset_diverges_with_detail() {
+        let (v, sess) = checked_session(vec![ev("f", IoKind::Write, 0, 1, AccessType::RawData)]);
+        let mut r = ReplayVfd::new(MemVfd::new(), sess, "f");
+        r.write(0, b"x", AccessType::Metadata).unwrap_err();
+        let d = v.divergence().expect("divergence latched");
+        assert_eq!(d.task, "t");
+        assert_eq!(d.event_index, 0);
+        assert_eq!(
+            d.expected,
+            Some(ev("f", IoKind::Write, 0, 1, AccessType::RawData))
+        );
+        assert_eq!(
+            d.actual,
+            Some(ev("f", IoKind::Write, 0, 1, AccessType::Metadata))
+        );
+    }
+
+    #[test]
+    fn extra_op_past_end_diverges() {
+        let (v, sess) = checked_session(vec![]);
+        let mut r = ReplayVfd::new(MemVfd::new(), sess, "f");
+        r.write(0, b"x", AccessType::RawData).unwrap_err();
+        let d = v.divergence().unwrap();
+        assert_eq!(d.expected, None);
+        assert!(d.detail.contains("more operations"));
+    }
+
+    #[test]
+    fn unconsumed_events_on_success_diverge() {
+        let (v, sess) = checked_session(vec![
+            ev("f", IoKind::Write, 0, 1, AccessType::RawData),
+            ev("f", IoKind::Write, 1, 1, AccessType::RawData),
+        ]);
+        let mut r = ReplayVfd::new(MemVfd::new(), sess, "f");
+        r.write(0, b"x", AccessType::RawData).unwrap();
+        v.finish_task("t", true);
+        let d = v.divergence().unwrap();
+        assert_eq!(d.event_index, 1);
+        assert!(d.detail.contains("unconsumed"));
+    }
+
+    #[test]
+    fn failed_ops_pass_through_unmatched() {
+        let (v, sess) = checked_session(vec![ev("f", IoKind::Read, 0, 4, AccessType::RawData)]);
+        let mut r = ReplayVfd::new(MemVfd::new(), sess, "f");
+        // Out-of-bounds read fails in the inner driver; not matched.
+        let mut buf = [0u8; 4];
+        r.read(100, &mut buf, AccessType::RawData).unwrap_err();
+        assert_eq!(v.divergence(), None, "failed op must not consume events");
+    }
+
+    #[test]
+    fn only_final_attempt_checked_and_extra_attempts_diverge() {
+        let v = Arc::new(ReplayValidator::new());
+        v.expect_task(
+            "t",
+            vec![ev("f", IoKind::Write, 0, 1, AccessType::RawData)],
+            2,
+        );
+        // Attempt 1: unchecked, arbitrary ops fine.
+        v.begin_attempt("t", 1);
+        let sess = ReplaySession::new(v.clone(), "t");
+        let mut r = ReplayVfd::new(MemVfd::new(), sess.clone(), "f");
+        r.write(5, b"zz", AccessType::Metadata).unwrap();
+        assert_eq!(v.divergence(), None);
+        // Attempt 2 (the recorded final): checked.
+        v.begin_attempt("t", 2);
+        let mut r = ReplayVfd::new(MemVfd::new(), sess, "f");
+        r.write(0, b"x", AccessType::RawData).unwrap();
+        v.finish_task("t", true);
+        assert_eq!(v.divergence(), None);
+        // Attempt 3 exceeds the recording: divergence.
+        v.begin_attempt("t", 3);
+        let d = v.divergence().unwrap();
+        assert!(d.detail.contains("attempt 3"));
+    }
+
+    #[test]
+    fn unknown_tasks_pass_through() {
+        let v = Arc::new(ReplayValidator::new());
+        let sess = ReplaySession::new(v.clone(), "nobody");
+        let mut r = ReplayVfd::new(MemVfd::new(), sess, "f");
+        r.write(0, b"x", AccessType::RawData).unwrap();
+        v.begin_attempt("nobody", 1);
+        v.finish_task("nobody", true);
+        assert_eq!(v.divergence(), None);
+    }
+
+    #[test]
+    fn first_divergence_wins() {
+        let (v, sess) = checked_session(vec![ev("f", IoKind::Write, 0, 1, AccessType::RawData)]);
+        let mut r = ReplayVfd::new(MemVfd::new(), sess, "f");
+        r.write(9, b"x", AccessType::RawData).unwrap_err();
+        let first = v.divergence().unwrap();
+        // A later attempt restarts unchecked; the latch is stable.
+        v.begin_attempt("t", 1);
+        let mut buf = [0u8; 1];
+        let _ = r.read(0, &mut buf, AccessType::RawData);
+        assert_eq!(v.divergence(), Some(first));
+    }
+}

@@ -18,15 +18,19 @@
 //!    prefetch, async stage-out, unused-access elimination, pipelining —
 //!    and replay again to quantify the improvement (Figures 11–13).
 
+pub mod bundle;
 pub mod contract;
 pub mod replay;
+pub mod rerun;
 pub mod retry;
 pub mod runner;
 pub mod spec;
 pub mod transform;
 
+pub use bundle::{BundleError, BundleManifest, ReplayBundle, SectionInfo, VerifyReport};
 pub use contract::{AccessMode, AffineExpr, ContractClause, IoContract, ParamDomain, SymExtent};
 pub use replay::{file_written_bytes, producers_of, readers_of, to_sim_tasks, Schedule};
+pub use rerun::{record_to_bundle, replay_bundle, with_manual_clock, ReplayReport};
 pub use retry::RetryPolicy;
 pub use runner::{
     record, record_checked, record_opts, record_with, RecordOptions, RecordedRun, TaskOutcome,

@@ -22,7 +22,10 @@ use dayu_mapper::{Mapper, MapperConfig};
 use dayu_trace::ids::TaskKey;
 use dayu_trace::store::TraceBundle;
 use dayu_trace::time::{Clock, RealClock};
-use dayu_vfd::{CrashController, CrashSchedule, FaultInjector, FaultSchedule, MemFs};
+use dayu_vfd::{
+    CrashController, CrashSchedule, FaultInjector, FaultSchedule, MemFs, ReplaySession,
+    ReplayValidator,
+};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -90,6 +93,11 @@ pub struct RecordOptions {
     /// Trace clock override; `None` uses a fresh [`RealClock`]. Supply a
     /// `ManualClock` for timestamp-deterministic bundles.
     pub clock: Option<Arc<dyn Clock>>,
+    /// Replay validator: when present, every task's driver stack gains a
+    /// [`dayu_vfd::ReplayVfd`] cross-checking live operations against the
+    /// recorded streams the validator holds. Populated by the replay
+    /// engine; plain recording leaves it `None`.
+    pub replay: Option<Arc<ReplayValidator>>,
 }
 
 impl Default for RecordOptions {
@@ -103,6 +111,7 @@ impl Default for RecordOptions {
             resume: false,
             salvage: true,
             clock: None,
+            replay: None,
         }
     }
 }
@@ -117,6 +126,7 @@ impl std::fmt::Debug for RecordOptions {
             .field("resume", &self.resume)
             .field("salvage", &self.salvage)
             .field("clock", &self.clock.as_ref().map(|_| "<override>"))
+            .field("replay", &self.replay.as_ref().map(|_| "<validator>"))
             .finish_non_exhaustive()
     }
 }
@@ -150,6 +160,12 @@ impl RecordOptions {
     /// Options with the given retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Options with a replay validator attached to every task's stack.
+    pub fn with_replay_validator(mut self, validator: Arc<ReplayValidator>) -> Self {
+        self.replay = Some(validator);
         self
     }
 }
@@ -296,6 +312,10 @@ fn run_task(
         if let Some(c) = &crash {
             io = io.with_crash(c.clone());
         }
+        if let Some(v) = &opts.replay {
+            v.begin_attempt(&t.name, attempts);
+            io = io.with_replay(ReplaySession::new(v.clone(), t.name.as_str()));
+        }
         // Resume applies to *retry* attempts only: the first attempt of a
         // task creates its outputs from scratch like any clean run.
         io = io
@@ -310,6 +330,9 @@ fn run_task(
         }
         match result {
             Ok(()) => {
+                if let Some(v) = &opts.replay {
+                    v.finish_task(&t.name, true);
+                }
                 mapper.clear_task();
                 let mut bundle = mapper.into_bundle();
                 if !recovered_files.is_empty() {
@@ -347,6 +370,9 @@ fn run_task(
                     continue;
                 }
                 // Permanent failure: salvage what the last attempt traced.
+                if let Some(v) = &opts.replay {
+                    v.finish_task(&t.name, false);
+                }
                 let bundle = opts.salvage.then(|| {
                     let mut b = mapper.into_bundle();
                     b.mark_degraded(TaskKey::new(t.name.as_str()));
@@ -664,8 +690,11 @@ mod tests {
             })],
         );
         let fs = MemFs::new();
+        // The body performs exactly one raw-data op (the 512-byte dataset
+        // write is a single VFD write), so the transient fault keys to
+        // data-op 0.
         let opts = RecordOptions::default()
-            .with_chaos(FaultSchedule::new(5).with_transient_at(2))
+            .with_chaos(FaultSchedule::new(5).with_transient_at(0))
             .with_retry(RetryPolicy::default().with_backoff(0, 0));
         let run = record_opts(&spec, &fs, &opts).unwrap();
         let o = run.outcome_of("writer").unwrap();
@@ -692,7 +721,7 @@ mod tests {
         );
         let fs = MemFs::new();
         let opts = RecordOptions::default()
-            .with_chaos(FaultSchedule::new(5).with_dead_at(1))
+            .with_chaos(FaultSchedule::new(5).with_dead_at(0))
             .with_retry(RetryPolicy::default().attempts(3).with_backoff(0, 0));
         let run = record_opts(&spec, &fs, &opts).unwrap();
         let o = run.outcome_of("writer").unwrap();

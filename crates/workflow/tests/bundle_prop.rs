@@ -1,0 +1,139 @@
+//! Replay-bundle container properties.
+//!
+//! The `.drb` container carries the only copy of a failed run's evidence,
+//! so its integrity story must hold for *arbitrary* contents and
+//! *arbitrary* corruption, not just the cases the unit tests picked:
+//!
+//! 1. **Round-trip fixpoint** — any bundle survives
+//!    serialize → parse → serialize byte-identically, whatever manifest
+//!    scalars, seeds and image payloads it carries;
+//! 2. **Tamper evidence** — flipping any single byte anywhere in the
+//!    artifact makes verification fail with a structured error (never a
+//!    panic, never a silent pass);
+//! 3. **Torn tails** — truncating the artifact at any byte boundary is
+//!    detected the same way.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use dayu_hdf::Durability;
+use dayu_trace::TraceBundle;
+use dayu_vfd::{CrashSchedule, FaultSchedule, MemFs};
+use dayu_workflow::{BundleManifest, RecordOptions, ReplayBundle, RetryPolicy, TaskOutcome};
+
+/// A bundle whose every varying field is driven by the inputs: chaos and
+/// crash seeds, retry shape, durability, flags, outcome list, and the
+/// initial/final image payloads.
+#[allow(clippy::too_many_arguments)]
+fn build(
+    chaos_seed: u64,
+    fault_prob: f64,
+    crash_at: u64,
+    attempts: u32,
+    journal: bool,
+    resume: bool,
+    params: String,
+    payload: Vec<u8>,
+) -> ReplayBundle {
+    let opts = RecordOptions::default()
+        .with_chaos(
+            FaultSchedule::new(chaos_seed)
+                .with_fault_prob(fault_prob)
+                .with_transient_at(crash_at % 7),
+        )
+        .with_crash(
+            CrashSchedule::new(chaos_seed ^ 0x9E37)
+                .with_crash_at(crash_at)
+                .torn(),
+        )
+        .with_retry(
+            RetryPolicy::default()
+                .attempts(attempts.max(1))
+                .with_backoff(0, 0),
+        )
+        .with_durability(if journal {
+            Durability::Journal
+        } else {
+            Durability::WriteThrough
+        })
+        .with_resume(resume);
+    let outcomes = vec![TaskOutcome {
+        task: "producer".into(),
+        attempts: attempts.max(1),
+        degraded: false,
+        error: None,
+        faults_injected: u64::from(fault_prob > 0.0),
+        recovered_files: if resume {
+            vec!["out.h5".into()]
+        } else {
+            vec![]
+        },
+    }];
+    let manifest = BundleManifest::new("prop-wf", params, "0.0.0-prop", &opts, false, outcomes);
+    let mut initial = BTreeMap::new();
+    initial.insert("in.h5".to_owned(), payload.clone());
+    let fs = MemFs::new();
+    fs.restore("out.h5", payload);
+    ReplayBundle::pack(manifest, TraceBundle::new("prop-wf"), initial, &fs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// serialize → parse → serialize is a byte-level fixpoint for any
+    /// combination of manifest scalars and payload bytes.
+    #[test]
+    fn round_trip_is_byte_fixpoint(
+        chaos_seed in any::<u64>(),
+        fault_prob in 0.0f64..1.0,
+        crash_at in 0u64..100,
+        attempts in 1u32..6,
+        journal in any::<bool>(),
+        resume in any::<bool>(),
+        params in "[a-z=,0-9]{0,24}",
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let bundle = build(
+            chaos_seed, fault_prob, crash_at, attempts, journal, resume, params, payload,
+        );
+        let bytes = bundle.to_bytes();
+        ReplayBundle::verify_bytes(&bytes).expect("fresh bundle verifies");
+        let back = ReplayBundle::from_bytes(&bytes).expect("fresh bundle parses");
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    /// Any single flipped byte is caught: verification and parsing both
+    /// return structured errors, and neither panics.
+    #[test]
+    fn every_single_byte_flip_is_detected(
+        seed in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        flip_pos in any::<u64>(),
+        flip_bit in 0u8..8,
+    ) {
+        let bundle = build(seed, 0.5, 3, 2, true, true, "p=1".into(), payload);
+        let mut bytes = bundle.to_bytes();
+        let pos = (flip_pos % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << flip_bit;
+        prop_assert!(
+            ReplayBundle::verify_bytes(&bytes).is_err(),
+            "flip at byte {pos} bit {flip_bit} went unnoticed"
+        );
+        prop_assert!(ReplayBundle::from_bytes(&bytes).is_err());
+    }
+
+    /// Any truncation — down to the empty artifact — yields a structured
+    /// error, never a panic and never a false pass.
+    #[test]
+    fn every_truncation_is_detected(
+        seed in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        cut in any::<u64>(),
+    ) {
+        let bundle = build(seed, 0.0, 0, 1, false, false, String::new(), payload);
+        let bytes = bundle.to_bytes();
+        let cut = (cut % bytes.len() as u64) as usize; // strictly less than len
+        prop_assert!(ReplayBundle::verify_bytes(&bytes[..cut]).is_err());
+        prop_assert!(ReplayBundle::from_bytes(&bytes[..cut]).is_err());
+    }
+}
