@@ -1,0 +1,94 @@
+//! `io` — the tracked scalar-vs-batched I/O engine benchmark.
+//!
+//! ```text
+//! cargo run --release -p dayu-bench --bin io -- [--smoke] [--check]
+//!     [--repeats N] [--out PATH]
+//! ```
+//!
+//! Writes `BENCH_io.json` (or `--out PATH`) and prints a short
+//! human-readable summary. `--smoke` runs the quick CI-sized sweep;
+//! `--check` exits non-zero if any configuration returned corrupt bytes or
+//! the batched+coalesced mem-driver sweep falls under the 3x streaming
+//! speedup gate (the CI io gate).
+
+use dayu_bench::io::{check, report_json, run, speedup, IoConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        IoConfig::smoke()
+    } else {
+        IoConfig::full()
+    };
+    let mut do_check = false;
+    let mut out_path = "BENCH_io.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {}
+            "--check" => do_check = true,
+            "--repeats" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cfg.repeats = n,
+                _ => return usage("--repeats needs a positive integer"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let rows = run(&cfg);
+    for r in &rows {
+        println!(
+            "{:<5} {:<11} write {:>8.1} MB/s  read {:>8.1} MB/s  stream {:>8.1} MB/s  {}",
+            r.driver,
+            r.engine,
+            r.write_bytes_per_sec() / 1e6,
+            r.read_bytes_per_sec() / 1e6,
+            r.streaming_bytes_per_sec() / 1e6,
+            if r.verified { "verified" } else { "CORRUPT" },
+        );
+    }
+    for driver in ["mem", "file"] {
+        for engine in ["batched", "batched-nc"] {
+            if let Some(s) = speedup(&rows, driver, engine) {
+                println!("{driver}/{engine} streaming speedup over scalar: {s:.2}x");
+            }
+        }
+    }
+    let doc = report_json(&cfg, &rows);
+    match serde_json::to_string_pretty(&doc) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&out_path, text + "\n") {
+                eprintln!("io: cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {out_path}");
+        }
+        Err(e) => {
+            eprintln!("io: cannot serialize report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if do_check {
+        let failures = check(&rows);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("io check FAILED: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("io check passed: bytes verified, batched sweep over the speedup gate");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("io: {err}");
+    eprintln!("usage: io [--smoke] [--check] [--repeats N] [--out PATH]");
+    ExitCode::FAILURE
+}

@@ -20,6 +20,7 @@
 //! | [`lint`] | tracked detector-throughput benchmark (`BENCH_lint.json`) |
 //! | [`recovery`] | tracked journal-overhead + crash-recovery benchmark (`BENCH_recovery.json`) |
 //! | [`replay`] | tracked bundle pack/unpack + validated-replay-overhead benchmark (`BENCH_replay.json`) |
+//! | [`io`] | tracked scalar-vs-batched I/O engine benchmark (`BENCH_io.json`) |
 //!
 //! Absolute numbers differ from the paper (the substrate is a simulator,
 //! not the authors' testbed); regenerators aim to reproduce the *shape*:
@@ -33,6 +34,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig_graphs;
+pub mod io;
 pub mod lint;
 pub mod pipeline;
 pub mod recovery;

@@ -307,7 +307,7 @@ mod tests {
             unpack_ns: 10,
             validated: true,
         };
-        assert!(check(&[ok.clone()]).is_empty());
+        assert!(check(std::slice::from_ref(&ok)).is_empty());
         let mut diverged = ok.clone();
         diverged.validated = false;
         assert_eq!(check(&[diverged]).len(), 1);

@@ -61,7 +61,7 @@ use dayu_lint::{
     LintConfig,
 };
 use dayu_trace::{TraceBundle, TraceFormat};
-use dayu_vfd::{CrashSchedule, FaultSchedule, MemFs};
+use dayu_vfd::{CrashSchedule, FaultSchedule, IoEngineConfig, IoEngineMode, MemFs};
 use dayu_workflow::{
     record_to_bundle, replay_bundle, with_manual_clock, RecordOptions, ReplayBundle, RetryPolicy,
     WorkflowSpec,
@@ -72,7 +72,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dayu-analyze <trace.{{jsonl|dtb}}> [--format jsonl|binary] [--out DIR]\n                           [--regions N] [--aggregate]\n       dayu-analyze check [<trace.{{jsonl|dtb}}>] [--inputs FILE,FILE,...] [--json]\n                           [--deny CLASS]... [--waste]\n                           [--contracts <ddmd|pyflextrkr|arldm>]\n                           (a trace, --contracts, or both; --contracts alone runs\n                            the static footprint pass, with a trace it also checks\n                            conformance)\n       dayu-analyze record <ddmd|pyflextrkr|arldm> [--chaos-seed N] [--retries N]\n                           [--fault-rate P] [--dead-at N] [--crash-seed N] [--crash-at N]\n                           [--durability journal|write-through] [--resume]\n                           [--manual-clock] [--bundle FILE.drb]\n                           [--format jsonl|binary] [--out DIR]\n       record exits 0 (clean), 3 (degraded trace), 4 (unrecoverable corruption);\n       on 3/4 a replay bundle is auto-emitted with the reproduction command\n       dayu-analyze bundle verify <run.drb>    # hash-chain check, no re-execution\n       dayu-analyze replay <run.drb>           # re-execute + cross-check (exit 5: diverged)\n       dayu-analyze diff <a.drb> <b.drb> [--json]   # first divergence + SDG ancestors"
+        "usage: dayu-analyze <trace.{{jsonl|dtb}}> [--format jsonl|binary] [--out DIR]\n                           [--regions N] [--aggregate]\n       dayu-analyze check [<trace.{{jsonl|dtb}}>] [--inputs FILE,FILE,...] [--json]\n                           [--deny CLASS]... [--waste]\n                           [--contracts <ddmd|pyflextrkr|arldm>]\n                           (a trace, --contracts, or both; --contracts alone runs\n                            the static footprint pass, with a trace it also checks\n                            conformance)\n       dayu-analyze record <ddmd|pyflextrkr|arldm> [--chaos-seed N] [--retries N]\n                           [--fault-rate P] [--dead-at N] [--crash-seed N] [--crash-at N]\n                           [--durability journal|write-through] [--resume]\n                           [--io-engine scalar|batched] [--queue-depth N]\n                           [--readahead N] [--no-coalesce]\n                           [--manual-clock] [--bundle FILE.drb]\n                           [--format jsonl|binary] [--out DIR]\n       record exits 0 (clean), 3 (degraded trace), 4 (unrecoverable corruption);\n       on 3/4 a replay bundle is auto-emitted with the reproduction command\n       dayu-analyze bundle verify <run.drb>    # hash-chain check, no re-execution\n       dayu-analyze replay <run.drb>           # re-execute + cross-check (exit 5: diverged)\n       dayu-analyze diff <a.drb> <b.drb> [--json]   # first divergence + SDG ancestors"
     );
     std::process::exit(2);
 }
@@ -90,6 +90,7 @@ fn record_main(args: Vec<String>) -> ! {
     let mut crash_at: Option<u64> = None;
     let mut durability = Durability::default();
     let mut resume = false;
+    let mut io_engine = IoEngineConfig::default();
     let mut manual_clock = false;
     let mut bundle_path: Option<PathBuf> = None;
     let mut format = TraceFormat::Jsonl;
@@ -129,6 +130,28 @@ fn record_main(args: Vec<String>) -> ! {
                 }
             }
             "--resume" => resume = true,
+            "--io-engine" => {
+                io_engine.mode = match args.next().as_deref() {
+                    Some("scalar") => IoEngineMode::Scalar,
+                    Some("batched") => IoEngineMode::Batched,
+                    _ => usage(),
+                }
+            }
+            "--queue-depth" => {
+                let depth: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                io_engine = io_engine.with_queue_depth(depth);
+            }
+            "--readahead" => {
+                let chunks: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                io_engine = io_engine.with_readahead(chunks);
+            }
+            "--no-coalesce" => io_engine = io_engine.with_coalesce(false),
             "--retries" => {
                 retries = args
                     .next()
@@ -185,6 +208,7 @@ fn record_main(args: Vec<String>) -> ! {
         crash,
         durability,
         resume,
+        io_engine,
         ..RecordOptions::default()
     };
     if manual_clock {
@@ -217,6 +241,19 @@ fn record_main(args: Vec<String>) -> ! {
     }
     if resume {
         flags.push("--resume".into());
+    }
+    if io_engine.is_batched() {
+        flags.push("--io-engine batched".into());
+        let defaults = IoEngineConfig::batched();
+        if io_engine.queue_depth != defaults.queue_depth {
+            flags.push(format!("--queue-depth {}", io_engine.queue_depth));
+        }
+        if io_engine.readahead_chunks != defaults.readahead_chunks {
+            flags.push(format!("--readahead {}", io_engine.readahead_chunks));
+        }
+        if !io_engine.coalesce {
+            flags.push("--no-coalesce".into());
+        }
     }
     if manual_clock {
         flags.push("--manual-clock".into());

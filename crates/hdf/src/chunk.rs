@@ -370,6 +370,23 @@ impl ChunkCache {
         }
     }
 
+    /// Bytes per cached chunk.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunk_bytes
+    }
+
+    /// Capacity in whole chunks (at least one).
+    pub fn capacity_chunks(&self) -> u64 {
+        (self.capacity_bytes / self.chunk_bytes).max(1)
+    }
+
+    /// Whether no chunks are resident. The batched sweep planner only
+    /// engages on an empty cache, where the scalar path's eviction order
+    /// is provably ascending.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
     fn touch(&mut self, ord: u64) {
         self.tick += 1;
         if let Some(c) = self.map.get_mut(&ord) {

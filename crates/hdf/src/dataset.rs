@@ -19,6 +19,7 @@ use crate::space::{element_count, Selection};
 use dayu_trace::ids::ObjectKey;
 use dayu_trace::vfd::AccessType;
 use dayu_trace::vol::{DataType, LayoutKind, ObjectDescription, ObjectKind, VolAccessKind};
+use dayu_vfd::{BatchOp, BatchOpKind, IoEngineConfig};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -485,6 +486,10 @@ impl Dataset {
         let state = self.chunk.as_mut().expect("chunked dataset has state");
         let mut core = self.core.lock();
         core.check_open()?;
+        let engine = core.io_engine;
+        if engine.is_batched() && batched_write_ready(&mut core, state, sel, &self.shape)? {
+            return batched_sweep_write(&mut core, state, sel, data, esize, &engine);
+        }
         for (ord, local, buf) in state.grid.intersect(sel) {
             let chunk = state
                 .cache
@@ -507,6 +512,11 @@ impl Dataset {
         let mut core = self.core.lock();
         core.check_open()?;
         let mut out = vec![0u8; (sel.element_count() * esize) as usize];
+        let engine = core.io_engine;
+        if engine.is_batched() && batched_read_ready(state, sel, &self.shape) {
+            batched_sweep_read(&mut core, state, sel, &mut out, esize, &engine)?;
+            return Ok(out);
+        }
         for (ord, local, buf) in state.grid.intersect(sel) {
             let chunk = state
                 .cache
@@ -740,6 +750,262 @@ impl Drop for Dataset {
             let _ = self.close();
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Batched chunk-sweep planners.
+//
+// The fast paths below reorganize a full-dataspace chunk sweep into batch
+// submissions while preserving the *trace-equivalence contract*: one logical
+// raw-data record per chunk extent, in exactly the order and at exactly the
+// addresses the scalar cache path would produce. The key observation is that
+// for a whole-dataspace sweep over a cold cache, the scalar path is fully
+// deterministic — writes allocate and write back chunks `0..n-k` ascending as
+// evictions fire (k = cache capacity in chunks) and leave the last `k` dirty
+// in cache; reads load allocated chunks ascending and end with the last `k`
+// resident. The planners reproduce that exact schedule, so any subsequent
+// operation (more I/O, flush at close, crash replay) observes identical
+// device and cache state.
+
+/// Whether a chunked write can take the batched sweep fast path: the
+/// selection covers the whole dataspace, the cache holds nothing whose
+/// eviction order could interleave, the sweep overflows the cache (otherwise
+/// scalar issues no device ops at all mid-sweep), and every chunk is still
+/// unallocated so batched allocation order matches scalar eviction order.
+fn batched_write_ready(
+    core: &mut FileCore,
+    state: &mut ChunkState,
+    sel: &Selection,
+    shape: &[u64],
+) -> Result<bool> {
+    let n = state.grid.chunk_count();
+    if !sel.is_all(shape) || !state.cache.is_empty() || n <= state.cache.capacity_chunks() {
+        return Ok(false);
+    }
+    // The entry scan loads the index on first use — the same single metadata
+    // read the scalar path's first chunk_mut would issue at this point.
+    for ord in 0..n {
+        if state.index.entry(&mut core.rf, ord)?.0 != 0 {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Whether a chunked read can take the batched sweep fast path (same shape
+/// conditions as the write side; allocation state is handled per chunk —
+/// holes read as fill without touching the device, exactly like scalar).
+fn batched_read_ready(state: &ChunkState, sel: &Selection, shape: &[u64]) -> bool {
+    sel.is_all(shape)
+        && state.cache.is_empty()
+        && state.grid.chunk_count() > state.cache.capacity_chunks()
+}
+
+/// Full-sweep batched write. The first `n - k` chunks — those scalar
+/// eviction would write back mid-sweep — are allocated ascending and issued
+/// as coalesced batch ops; the final `k` chunks go through the cache exactly
+/// as the scalar path, so the end-of-sweep cache state (last `k` chunks
+/// dirty, flushed ascending at close) is identical.
+fn batched_sweep_write(
+    core: &mut FileCore,
+    state: &mut ChunkState,
+    sel: &Selection,
+    data: &[u8],
+    esize: u64,
+    engine: &IoEngineConfig,
+) -> Result<()> {
+    let n = state.grid.chunk_count();
+    let direct = n - state.cache.capacity_chunks();
+    let chunk_bytes = state.cache.chunk_bytes() as usize;
+    let parts = state.grid.intersect(sel);
+    debug_assert_eq!(parts.len() as u64, n, "full selection covers every chunk");
+
+    let mut batch: Vec<BatchOp> = Vec::with_capacity(engine.queue_depth);
+    for (i, (ord, local, buf)) in parts.iter().enumerate() {
+        if (i as u64) >= direct {
+            break;
+        }
+        let addr = core.rf.alloc(chunk_bytes as u64)?;
+        state
+            .index
+            .set_entry(&mut core.rf, *ord, addr, chunk_bytes as u32)?;
+        let coalesce = engine.coalesce
+            && batch.last().is_some_and(|op| {
+                op.end() == addr && op.len() + chunk_bytes as u64 <= engine.max_coalesced_bytes
+            });
+        if !coalesce {
+            if batch.len() >= engine.queue_depth {
+                core.rf.submit_raw_batch(&mut batch)?;
+                batch.clear();
+            }
+            batch.push(BatchOp {
+                tag: *ord,
+                kind: BatchOpKind::Write,
+                offset: addr,
+                access: AccessType::RawData,
+                buf: Vec::with_capacity(chunk_bytes),
+                segments: Vec::new(),
+            });
+        }
+        let op = batch.last_mut().expect("an op was just ensured");
+        let seg_start = op.buf.len();
+        op.buf.resize(seg_start + chunk_bytes, 0);
+        op.segments.push(chunk_bytes as u64);
+        copy_slab(
+            data,
+            &sel.count,
+            buf,
+            &mut op.buf[seg_start..],
+            &state.grid.chunk_dims,
+            local,
+            esize,
+        );
+        state.cache.stores += 1;
+    }
+    if !batch.is_empty() {
+        core.rf.submit_raw_batch(&mut batch)?;
+    }
+    for (ord, local, buf) in parts.iter().skip(direct as usize) {
+        let chunk = state
+            .cache
+            .chunk_mut(&mut core.rf, &mut state.index, *ord, true)?;
+        copy_slab(
+            data,
+            &sel.count,
+            buf,
+            chunk,
+            &state.grid.chunk_dims,
+            local,
+            esize,
+        );
+    }
+    Ok(())
+}
+
+/// Shared context for scattering completed read segments into the output
+/// slab (kept in a struct so the drain helper stays under control).
+struct ReadScatter<'a> {
+    parts: &'a [(u64, Selection, Selection)],
+    chunk_dims: &'a [u64],
+    sel_count: &'a [u64],
+    esize: u64,
+}
+
+/// Submits the pending read batch and scatters each completed segment into
+/// `out` via the part (chunk) it was enqueued for.
+fn drain_read_batch(
+    core: &mut FileCore,
+    batch: &mut Vec<BatchOp>,
+    op_parts: &mut Vec<Vec<usize>>,
+    ctx: &ReadScatter<'_>,
+    out: &mut [u8],
+) -> Result<()> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    core.rf.submit_raw_batch(batch)?;
+    for (op, parts_idx) in batch.iter().zip(op_parts.iter()) {
+        for ((_, range), &pi) in op.segment_ranges().zip(parts_idx.iter()) {
+            let (_, local, buf) = &ctx.parts[pi];
+            copy_slab(
+                &op.buf[range],
+                ctx.chunk_dims,
+                local,
+                out,
+                ctx.sel_count,
+                buf,
+                ctx.esize,
+            );
+        }
+    }
+    batch.clear();
+    op_parts.clear();
+    Ok(())
+}
+
+/// Full-sweep batched read with readahead. The first `n - k` chunks are
+/// enqueued speculatively in windows of `readahead_chunks` (coalescing
+/// adjacent extents), bypassing the cache — scalar would evict them again
+/// before the sweep ends anyway. The final `k` chunks load through the cache
+/// so the sweep leaves the same chunks resident as the scalar path.
+fn batched_sweep_read(
+    core: &mut FileCore,
+    state: &mut ChunkState,
+    sel: &Selection,
+    out: &mut [u8],
+    esize: u64,
+    engine: &IoEngineConfig,
+) -> Result<()> {
+    let n = state.grid.chunk_count();
+    let direct = n - state.cache.capacity_chunks();
+    let chunk_bytes = state.cache.chunk_bytes() as usize;
+    let parts = state.grid.intersect(sel);
+    debug_assert_eq!(parts.len() as u64, n, "full selection covers every chunk");
+
+    let window = engine.readahead_chunks.max(1);
+    let mut batch: Vec<BatchOp> = Vec::new();
+    // Per batch op, the part index backing each of its segments.
+    let mut op_parts: Vec<Vec<usize>> = Vec::new();
+    let mut enqueued = 0u64;
+    let scatter = ReadScatter {
+        parts: &parts,
+        chunk_dims: &state.grid.chunk_dims,
+        sel_count: &sel.count,
+        esize,
+    };
+    for (i, (ord, _, _)) in parts.iter().enumerate() {
+        if (i as u64) >= direct {
+            break;
+        }
+        let (addr, _) = state.index.entry(&mut core.rf, *ord)?;
+        if addr == 0 {
+            continue; // hole: fill value (zeros) without touching the device
+        }
+        state.cache.loads += 1;
+        let coalesce = engine.coalesce
+            && batch.last().is_some_and(|op| {
+                op.end() == addr && op.len() + chunk_bytes as u64 <= engine.max_coalesced_bytes
+            });
+        if coalesce {
+            let op = batch.last_mut().expect("coalesce implies an op");
+            op.append_read_segment(chunk_bytes as u64);
+            op_parts.last_mut().expect("parallel to batch").push(i);
+        } else {
+            if batch.len() >= engine.queue_depth {
+                drain_read_batch(core, &mut batch, &mut op_parts, &scatter, out)?;
+                enqueued = 0;
+            }
+            batch.push(BatchOp::read(
+                *ord,
+                addr,
+                chunk_bytes as u64,
+                AccessType::RawData,
+            ));
+            op_parts.push(vec![i]);
+        }
+        enqueued += 1;
+        if enqueued >= window {
+            drain_read_batch(core, &mut batch, &mut op_parts, &scatter, out)?;
+            enqueued = 0;
+        }
+    }
+    // Drain before the cached tail so device reads stay in ascending order.
+    drain_read_batch(core, &mut batch, &mut op_parts, &scatter, out)?;
+    for (ord, local, buf) in parts.iter().skip(direct as usize) {
+        let chunk = state
+            .cache
+            .chunk_mut(&mut core.rf, &mut state.index, *ord, false)?;
+        copy_slab(
+            chunk,
+            &state.grid.chunk_dims,
+            local,
+            out,
+            &sel.count,
+            buf,
+            esize,
+        );
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1258,6 +1524,121 @@ mod more_tests {
         assert_eq!(items[1], b"bee");
         v.close().unwrap();
         f.close().unwrap();
+    }
+
+    #[test]
+    fn batched_sweep_matches_scalar_bytes_and_extents() {
+        use dayu_vfd::IoEngineConfig;
+        // 16 chunks of 32 bytes against a 4-chunk cache: the sweep overflows
+        // the cache, so the batched fast path engages for 12 direct chunks.
+        let build = || {
+            DatasetBuilder::new(DataType::Int { width: 1 }, &[64, 8])
+                .chunks(&[4, 8])
+                .cache_bytes(128)
+        };
+        let data: Vec<u8> = (0..512u32).map(|i| (i * 7 % 251) as u8).collect();
+
+        let scalar_f = H5File::create(MemVfd::new(), "s.h5", FileOptions::default()).unwrap();
+        let mut scalar = scalar_f.root().create_dataset("d", build()).unwrap();
+        scalar.write(&data).unwrap();
+
+        let opts = FileOptions::default().with_io_engine(IoEngineConfig::batched());
+        let batched_f = H5File::create(MemVfd::new(), "b.h5", opts).unwrap();
+        let mut batched = batched_f.root().create_dataset("d", build()).unwrap();
+        batched.write(&data).unwrap();
+
+        assert_eq!(batched.read().unwrap(), data);
+        assert_eq!(scalar.read().unwrap(), data);
+        // Identical allocation schedule: extent-for-extent equal addresses.
+        assert_eq!(scalar.extents().unwrap(), batched.extents().unwrap());
+    }
+
+    #[test]
+    fn batched_file_reopens_under_scalar_engine() {
+        use dayu_vfd::IoEngineConfig;
+        let fs = MemFs::new();
+        let data: Vec<u8> = (0..512u32).map(|i| (i % 239) as u8).collect();
+        {
+            let opts = FileOptions::default().with_io_engine(
+                IoEngineConfig::batched()
+                    .with_queue_depth(3)
+                    .with_readahead(2),
+            );
+            let f = H5File::create(fs.create("x.h5"), "x.h5", opts).unwrap();
+            let mut ds = f
+                .root()
+                .create_dataset(
+                    "d",
+                    DatasetBuilder::new(DataType::Int { width: 1 }, &[512])
+                        .chunks(&[32])
+                        .cache_bytes(64),
+                )
+                .unwrap();
+            ds.write(&data).unwrap();
+            ds.close().unwrap();
+            f.close().unwrap();
+        }
+        let f = H5File::open(fs.open("x.h5"), "x.h5", FileOptions::default()).unwrap();
+        let mut ds = f.root().open_dataset("d").unwrap();
+        assert_eq!(ds.read().unwrap(), data);
+        ds.close().unwrap();
+        f.close().unwrap();
+    }
+
+    #[test]
+    fn batched_read_without_coalescing_round_trips() {
+        use dayu_vfd::IoEngineConfig;
+        let fs = MemFs::new();
+        let data: Vec<u8> = (0..1024u32).map(|i| (i * 13 % 241) as u8).collect();
+        {
+            let f = H5File::create(fs.create("y.h5"), "y.h5", FileOptions::default()).unwrap();
+            let mut ds = f
+                .root()
+                .create_dataset(
+                    "d",
+                    DatasetBuilder::new(DataType::Int { width: 1 }, &[1024])
+                        .chunks(&[32])
+                        .cache_bytes(96),
+                )
+                .unwrap();
+            ds.write(&data).unwrap();
+            ds.close().unwrap();
+            f.close().unwrap();
+        }
+        let opts = FileOptions::default().with_io_engine(
+            IoEngineConfig::batched()
+                .with_coalesce(false)
+                .with_readahead(4),
+        );
+        let f = H5File::open(fs.open("y.h5"), "y.h5", opts).unwrap();
+        let mut ds = f.root().open_dataset("d").unwrap();
+        assert_eq!(ds.read().unwrap(), data);
+        ds.close().unwrap();
+        f.close().unwrap();
+    }
+
+    #[test]
+    fn batched_read_of_unwritten_chunks_is_fill() {
+        use dayu_vfd::IoEngineConfig;
+        let opts = FileOptions::default().with_io_engine(IoEngineConfig::batched());
+        let f = H5File::create(MemVfd::new(), "z.h5", opts).unwrap();
+        let mut ds = f
+            .root()
+            .create_dataset(
+                "d",
+                DatasetBuilder::new(DataType::Int { width: 1 }, &[256])
+                    .chunks(&[16])
+                    .cache_bytes(32),
+            )
+            .unwrap();
+        // All chunks are holes: the read fast path must not touch the device.
+        assert_eq!(ds.read().unwrap(), vec![0u8; 256]);
+        // Partial writes fall back to the scalar path and still interoperate.
+        ds.write_slab(&Selection::slab(&[100], &[20]), &[7; 20])
+            .unwrap();
+        let back = ds.read().unwrap();
+        assert_eq!(&back[100..120], &[7u8; 20]);
+        assert_eq!(&back[..100], &vec![0u8; 100][..]);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use dayu_trace::context::SharedContext;
 use dayu_trace::ids::FileKey;
 use dayu_trace::time::{Clock, RealClock, Timestamp};
 use dayu_trace::vfd::AccessType;
-use dayu_vfd::Vfd;
+use dayu_vfd::{IoEngineConfig, Vfd};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -49,6 +49,9 @@ pub struct FileOptions {
     /// Capacity of the journal region reserved at create time (journaled
     /// files only); the journal relocates itself if a commit outgrows it.
     pub journal_capacity: u64,
+    /// How chunk sweeps dispatch their raw-data I/O: one scalar op per
+    /// extent, or planned submission batches with coalescing and readahead.
+    pub io_engine: IoEngineConfig,
 }
 
 impl Default for FileOptions {
@@ -61,6 +64,7 @@ impl Default for FileOptions {
             chunk_cache_bytes: crate::chunk::DEFAULT_CACHE_BYTES,
             durability: Durability::WriteThrough,
             journal_capacity: DEFAULT_JOURNAL_CAPACITY,
+            io_engine: IoEngineConfig::default(),
         }
     }
 }
@@ -69,6 +73,12 @@ impl FileOptions {
     /// Selects the durability contract for files this options set creates.
     pub fn with_durability(mut self, d: Durability) -> Self {
         self.durability = d;
+        self
+    }
+
+    /// Selects the I/O engine for chunk-sweep dispatch.
+    pub fn with_io_engine(mut self, engine: IoEngineConfig) -> Self {
+        self.io_engine = engine;
         self
     }
 }
@@ -81,6 +91,7 @@ impl std::fmt::Debug for FileOptions {
             .field("chunk_cache_bytes", &self.chunk_cache_bytes)
             .field("durability", &self.durability)
             .field("journal_capacity", &self.journal_capacity)
+            .field("io_engine", &self.io_engine)
             .finish()
     }
 }
@@ -94,6 +105,7 @@ pub(crate) struct FileCore {
     pub(crate) ctx: SharedContext,
     pub(crate) clock: Arc<dyn Clock>,
     pub(crate) chunk_cache_bytes: u64,
+    pub(crate) io_engine: IoEngineConfig,
     header_cache: HashMap<u64, ObjectHeader>,
     root_addr: u64,
     open: bool,
@@ -292,6 +304,7 @@ impl H5File {
             ctx: opts.context,
             clock: opts.clock,
             chunk_cache_bytes: opts.chunk_cache_bytes,
+            io_engine: opts.io_engine,
             header_cache: HashMap::new(),
             root_addr: 0,
             open: true,
@@ -373,6 +386,7 @@ impl H5File {
             ctx: opts.context,
             clock: opts.clock,
             chunk_cache_bytes: opts.chunk_cache_bytes,
+            io_engine: opts.io_engine,
             header_cache: HashMap::new(),
             root_addr: sb.root_addr,
             open: true,

@@ -9,7 +9,7 @@ use crate::alloc::Allocator;
 use crate::error::Result;
 use crate::meta::SUPERBLOCK_REGION;
 use dayu_trace::vfd::AccessType;
-use dayu_vfd::Vfd;
+use dayu_vfd::{BatchOp, BatchOpKind, Vfd};
 use std::collections::BTreeMap;
 
 /// A driver plus allocator: the substrate for all format structures.
@@ -148,6 +148,38 @@ impl RawFile {
         self.vfd.write(addr, data, access)?;
         self.writes += 1;
         Ok(())
+    }
+
+    /// Submits a batch of raw-data operations straight to the driver.
+    ///
+    /// Only [`AccessType::RawData`] ops are legal here: metadata writes may
+    /// need journal staging, which the batch path deliberately bypasses
+    /// (the overlay never holds raw-data blocks, so staged state cannot
+    /// shadow these extents). Write counting matches the scalar path: one
+    /// count per completed logical segment. Fail-fast like the driver —
+    /// the first errored op aborts the batch and is returned.
+    pub fn submit_raw_batch(&mut self, batch: &mut [BatchOp]) -> Result<()> {
+        debug_assert!(batch.iter().all(|op| op.access == AccessType::RawData));
+        let completions = self.vfd.submit(batch);
+        let mut failed = None;
+        for (op, c) in batch.iter().zip(completions) {
+            let done = if c.result.is_ok() {
+                op.segments.len() as u64
+            } else {
+                c.segments_done
+            };
+            if op.kind == BatchOpKind::Write {
+                self.writes += done;
+            }
+            if let Err(e) = c.result {
+                failed = Some(e);
+                break;
+            }
+        }
+        match failed {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
     }
 
     /// Allocates `len` bytes of file space.

@@ -529,7 +529,7 @@ mod tests {
         let mut contiguous = g
             .create_dataset("c", DatasetBuilder::new(DataType::Int { width: 4 }, &[32]))
             .unwrap();
-        contiguous.write(&vec![9u8; 128]).unwrap();
+        contiguous.write(&[9u8; 128]).unwrap();
         contiguous.close().unwrap();
         let mut chunked = g
             .create_dataset(
@@ -537,7 +537,7 @@ mod tests {
                 DatasetBuilder::new(DataType::Int { width: 1 }, &[64]).chunks(&[16]),
             )
             .unwrap();
-        chunked.write(&vec![3u8; 64]).unwrap();
+        chunked.write(&[3u8; 64]).unwrap();
         chunked.close().unwrap();
         let mut compact = root
             .create_dataset(

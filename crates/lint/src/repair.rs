@@ -704,7 +704,7 @@ mod tests {
         let mut c = g
             .create_dataset("c", DatasetBuilder::new(DataType::Int { width: 4 }, &[16]))
             .unwrap();
-        c.write(&vec![7u8; 64]).unwrap();
+        c.write(&[7u8; 64]).unwrap();
         c.close().unwrap();
         let mut k = g
             .create_dataset(
@@ -712,7 +712,7 @@ mod tests {
                 DatasetBuilder::new(DataType::Int { width: 1 }, &[32]).chunks(&[8]),
             )
             .unwrap();
-        k.write(&vec![3u8; 32]).unwrap();
+        k.write(&[3u8; 32]).unwrap();
         k.close().unwrap();
         let mut vl = f
             .root()

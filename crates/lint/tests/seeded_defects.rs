@@ -244,7 +244,7 @@ fn planted_overlapping_chunk_writes_are_caught_and_disjoint_ones_are_not() {
 
     let build = |offsets: &[u64]| {
         let mut b = TraceBundle::new("chunked");
-        b.meta.stages = vec![tasks.iter().map(|t| TaskKey::new(t)).collect()];
+        b.meta.stages = vec![tasks.iter().map(TaskKey::new).collect()];
         for (i, t) in tasks.iter().enumerate() {
             b.vfd
                 .push(staged_write(t, offsets[i], chunk, &format!("/chunk/{i}")));

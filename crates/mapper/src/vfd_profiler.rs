@@ -16,7 +16,7 @@ use dayu_trace::context::SharedContext;
 use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
 use dayu_trace::time::Clock;
 use dayu_trace::vfd::{AccessType, IoKind, VfdRecord};
-use dayu_vfd::Vfd;
+use dayu_vfd::{BatchCompletion, BatchOp, BatchOpKind, Vfd};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -138,6 +138,33 @@ impl<V: Vfd> Vfd for ProfilingVfd<V> {
         let end = self.clock.now();
         self.record_data_op(IoKind::Write, offset, data.len() as u64, access, start, end);
         Ok(())
+    }
+
+    /// Batched submissions forward to the inner driver (so native batch
+    /// dispatch is reached), then unfold into the same per-segment records
+    /// the scalar path would emit — one logical record per raw extent, with
+    /// batch-level timestamps bracketing the whole submission. Segments of a
+    /// failed op beyond its completed prefix are not recorded, matching the
+    /// scalar "failed ops are invisible" rule.
+    fn submit(&mut self, batch: &mut [BatchOp]) -> Vec<BatchCompletion> {
+        let start = self.clock.now();
+        let completions = self.inner.submit(batch);
+        let end = self.clock.now();
+        for (op, c) in batch.iter().zip(completions.iter()) {
+            let done = if c.result.is_ok() {
+                op.segments.len()
+            } else {
+                c.segments_done as usize
+            };
+            let kind = match op.kind {
+                BatchOpKind::Read => IoKind::Read,
+                BatchOpKind::Write => IoKind::Write,
+            };
+            for (seg_offset, range) in op.segment_ranges().take(done) {
+                self.record_data_op(kind, seg_offset, range.len() as u64, op.access, start, end);
+            }
+        }
+        completions
     }
 
     fn eof(&self) -> u64 {
@@ -277,6 +304,62 @@ mod tests {
             kinds,
             vec![IoKind::Open, IoKind::Flush, IoKind::Truncate, IoKind::Close]
         );
+    }
+
+    #[test]
+    fn batched_submit_records_one_record_per_segment() {
+        let (mut p, state, _) = setup(MapperConfig::default());
+        p.ctx.enter_object("/dset", AccessType::RawData);
+        // One coalesced write op carrying three 8-byte segments, then a
+        // coalesced read of the first two back.
+        let mut w = BatchOp::write(0, 0, vec![1; 8], AccessType::RawData);
+        w.append_write_segment(&[2; 8]);
+        w.append_write_segment(&[3; 8]);
+        let mut r = BatchOp::read(1, 0, 8, AccessType::RawData);
+        r.append_read_segment(8);
+        let mut batch = vec![w, r];
+        let completions = p.submit(&mut batch);
+        assert!(completions.iter().all(|c| c.result.is_ok()));
+        p.ctx.exit_object();
+
+        let s = state.lock();
+        let data: Vec<&VfdRecord> = s.vfd.iter().filter(|r| r.kind.moves_data()).collect();
+        assert_eq!(data.len(), 5, "3 write segments + 2 read segments");
+        let offsets: Vec<(IoKind, u64, u64)> =
+            data.iter().map(|r| (r.kind, r.offset, r.len)).collect();
+        assert_eq!(
+            offsets,
+            vec![
+                (IoKind::Write, 0, 8),
+                (IoKind::Write, 8, 8),
+                (IoKind::Write, 16, 8),
+                (IoKind::Read, 0, 8),
+                (IoKind::Read, 8, 8),
+            ]
+        );
+        assert!(data.iter().all(|r| r.object == ObjectKey::new("/dset")));
+        drop(s);
+        let mut s = state.lock();
+        let rec = s.file_stats(&TaskKey::new("t0"), &FileKey::new("f.h5"));
+        assert_eq!(rec.stats.write_ops, 3);
+        assert_eq!(rec.stats.read_ops, 2);
+    }
+
+    #[test]
+    fn batched_submit_failed_op_segments_are_invisible() {
+        let (mut p, state, _) = setup(MapperConfig::default());
+        // Read past EOF fails; the write op before it completes.
+        let mut batch = vec![
+            BatchOp::write(0, 0, vec![9; 16], AccessType::RawData),
+            BatchOp::read(1, 1 << 20, 8, AccessType::RawData),
+        ];
+        let completions = p.submit(&mut batch);
+        assert!(completions[0].result.is_ok());
+        assert!(completions[1].result.is_err());
+        let s = state.lock();
+        let data: Vec<&VfdRecord> = s.vfd.iter().filter(|r| r.kind.moves_data()).collect();
+        assert_eq!(data.len(), 1, "only the completed write is recorded");
+        assert_eq!(data[0].kind, IoKind::Write);
     }
 
     #[test]

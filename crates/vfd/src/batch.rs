@@ -1,0 +1,326 @@
+//! Batched submission/completion I/O: the io_uring-style path under [`Vfd`].
+//!
+//! A [`BatchOp`] describes one *physical* operation — a contiguous device
+//! extent read or written in a single driver call — composed of one or more
+//! *logical segments*, the raw extents the format layer coalesced into it.
+//! Submitting a slice of ops through [`Vfd::submit`] returns one
+//! [`BatchCompletion`] per attempted op with its own error.
+//!
+//! Two execution strategies coexist behind the same call:
+//!
+//! * **Native** drivers ([`MemVfd`](crate::MemVfd), [`FileVfd`](crate::FileVfd))
+//!   override `submit` and dispatch each physical op in one step — a single
+//!   image-lock per batch for the memory driver, a single positional syscall
+//!   per coalesced op for the file driver.
+//! * Every other driver inherits the **scalar fallback**
+//!   ([`submit_scalar`]), which decomposes each op back into per-segment
+//!   `read`/`write` calls. The fault-injection, crash and replay wrappers
+//!   deliberately rely on this: a batch flowing through them produces
+//!   *exactly* the scalar op sequence, so seeded chaos schedules, crash
+//!   points and replay cross-checks line up op-for-op with a scalar run.
+//!
+//! Submission is **fail-fast**: the first op that errors terminates the
+//! batch, and ops after it are not attempted (their completions are absent
+//! from the returned vector). This mirrors the scalar loop, which stops at
+//! the first failed call — the property the trace-equivalence contract in
+//! DESIGN.md depends on.
+
+use crate::{Result, Vfd};
+use dayu_trace::vfd::AccessType;
+
+/// Direction of a batched operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchOpKind {
+    /// Transfer device bytes into the op's buffer.
+    Read,
+    /// Transfer the op's buffer onto the device.
+    Write,
+}
+
+/// One physical operation in a submission batch: a contiguous device extent
+/// plus the logical segments coalesced into it.
+#[derive(Debug)]
+pub struct BatchOp {
+    /// Caller-chosen tag echoed in the matching [`BatchCompletion`].
+    pub tag: u64,
+    /// Read or write.
+    pub kind: BatchOpKind,
+    /// Device offset of the op's first byte.
+    pub offset: u64,
+    /// Metadata / raw-data classification, uniform across the op.
+    pub access: AccessType,
+    /// The transfer buffer: source bytes for a write, destination (pre-sized
+    /// to the transfer length) for a read. After a *failed* read op the
+    /// buffer contents are unspecified.
+    pub buf: Vec<u8>,
+    /// Byte length of each logical segment, in device order. Segments tile
+    /// `buf` exactly: their sum equals `buf.len()`.
+    pub segments: Vec<u64>,
+}
+
+impl BatchOp {
+    /// A single-segment read of `len` bytes at `offset`.
+    pub fn read(tag: u64, offset: u64, len: u64, access: AccessType) -> Self {
+        Self {
+            tag,
+            kind: BatchOpKind::Read,
+            offset,
+            access,
+            buf: vec![0u8; len as usize],
+            segments: vec![len],
+        }
+    }
+
+    /// A single-segment write of `data` at `offset`.
+    pub fn write(tag: u64, offset: u64, data: Vec<u8>, access: AccessType) -> Self {
+        let len = data.len() as u64;
+        Self {
+            tag,
+            kind: BatchOpKind::Write,
+            offset,
+            access,
+            buf: data,
+            segments: vec![len],
+        }
+    }
+
+    /// Coalesces `data` onto the end of a write op. The caller guarantees
+    /// the new segment is device-adjacent (it starts at [`BatchOp::end`]).
+    pub fn append_write_segment(&mut self, data: &[u8]) {
+        debug_assert_eq!(self.kind, BatchOpKind::Write);
+        self.buf.extend_from_slice(data);
+        self.segments.push(data.len() as u64);
+    }
+
+    /// Coalesces a `len`-byte device-adjacent segment onto the end of a
+    /// read op, growing the destination buffer.
+    pub fn append_read_segment(&mut self, len: u64) {
+        debug_assert_eq!(self.kind, BatchOpKind::Read);
+        self.buf.resize(self.buf.len() + len as usize, 0);
+        self.segments.push(len);
+    }
+
+    /// Total transfer length in bytes.
+    pub fn len(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Whether the op transfers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One past the op's last device byte.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len()
+    }
+
+    /// Iterates `(device_offset, buffer_range)` per logical segment.
+    pub fn segment_ranges(&self) -> impl Iterator<Item = (u64, std::ops::Range<usize>)> + '_ {
+        let mut dev = self.offset;
+        let mut cursor = 0usize;
+        self.segments.iter().map(move |&len| {
+            let item = (dev, cursor..cursor + len as usize);
+            dev += len;
+            cursor += len as usize;
+            item
+        })
+    }
+}
+
+/// Per-op outcome of a submission.
+#[derive(Debug)]
+pub struct BatchCompletion {
+    /// The submitted op's tag.
+    pub tag: u64,
+    /// Leading logical segments fully transferred before any failure. A
+    /// native driver that fails an op whole may conservatively report `0`.
+    pub segments_done: u64,
+    /// The op's own result.
+    pub result: Result<()>,
+}
+
+/// How the format layer dispatches chunk-sweep I/O.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IoEngineMode {
+    /// One synchronous `read`/`write` per raw extent (the historical path).
+    #[default]
+    Scalar,
+    /// Plan sweeps as submission batches with coalescing and readahead.
+    Batched,
+}
+
+/// Knobs for the batched I/O engine, threaded from `RecordOptions` through
+/// `FileOptions` into the chunk-sweep planner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoEngineConfig {
+    /// Scalar or batched dispatch.
+    pub mode: IoEngineMode,
+    /// Maximum ops per submission round.
+    pub queue_depth: usize,
+    /// Whether adjacent raw extents merge into one physical op.
+    pub coalesce: bool,
+    /// Cap on a single coalesced op's transfer length.
+    pub max_coalesced_bytes: u64,
+    /// Chunk payloads speculatively enqueued per round during a sequential
+    /// dataset scan. Readahead never crosses a request boundary.
+    pub readahead_chunks: u64,
+}
+
+impl Default for IoEngineConfig {
+    fn default() -> Self {
+        Self {
+            mode: IoEngineMode::Scalar,
+            queue_depth: 64,
+            coalesce: true,
+            max_coalesced_bytes: 1 << 20,
+            readahead_chunks: 32,
+        }
+    }
+}
+
+impl IoEngineConfig {
+    /// The batched engine with default knobs.
+    pub fn batched() -> Self {
+        Self {
+            mode: IoEngineMode::Batched,
+            ..Self::default()
+        }
+    }
+
+    /// Whether batched dispatch is selected.
+    pub fn is_batched(&self) -> bool {
+        self.mode == IoEngineMode::Batched
+    }
+
+    /// Sets the submission queue depth (clamped to at least 1).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Enables or disables extent coalescing.
+    pub fn with_coalesce(mut self, coalesce: bool) -> Self {
+        self.coalesce = coalesce;
+        self
+    }
+
+    /// Sets the sequential-scan readahead window, in chunks.
+    pub fn with_readahead(mut self, chunks: u64) -> Self {
+        self.readahead_chunks = chunks;
+        self
+    }
+}
+
+/// The scalar fallback: decomposes each op into per-segment `read`/`write`
+/// calls on `vfd`, failing fast at the first errored segment. This is the
+/// default [`Vfd::submit`] body, and the semantic baseline every native
+/// override must be byte- and stream-equivalent to.
+pub fn submit_scalar<V: Vfd + ?Sized>(vfd: &mut V, batch: &mut [BatchOp]) -> Vec<BatchCompletion> {
+    let mut completions = Vec::with_capacity(batch.len());
+    for op in batch.iter_mut() {
+        let mut done = 0u64;
+        let mut result = Ok(());
+        let mut dev = op.offset;
+        let mut cursor = 0usize;
+        for &seg in &op.segments {
+            let seg = seg as usize;
+            let r = match op.kind {
+                BatchOpKind::Read => vfd.read(dev, &mut op.buf[cursor..cursor + seg], op.access),
+                BatchOpKind::Write => vfd.write(dev, &op.buf[cursor..cursor + seg], op.access),
+            };
+            match r {
+                Ok(()) => {
+                    done += 1;
+                    dev += seg as u64;
+                    cursor += seg;
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        let failed = result.is_err();
+        completions.push(BatchCompletion {
+            tag: op.tag,
+            segments_done: done,
+            result,
+        });
+        if failed {
+            break;
+        }
+    }
+    completions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemVfd, VfdError};
+
+    const RAW: AccessType = AccessType::RawData;
+
+    #[test]
+    fn op_builders_and_segment_ranges() {
+        let mut op = BatchOp::write(7, 100, vec![1, 2, 3], RAW);
+        op.append_write_segment(&[4, 5]);
+        assert_eq!(op.len(), 5);
+        assert_eq!(op.end(), 105);
+        assert_eq!(op.segments, vec![3, 2]);
+        let ranges: Vec<_> = op.segment_ranges().collect();
+        assert_eq!(ranges, vec![(100, 0..3), (103, 3..5)]);
+
+        let mut rd = BatchOp::read(1, 0, 4, RAW);
+        rd.append_read_segment(4);
+        assert_eq!(rd.buf.len(), 8);
+        assert!(!rd.is_empty());
+    }
+
+    #[test]
+    fn scalar_fallback_round_trips_multi_segment_ops() {
+        let mut v = MemVfd::new();
+        let mut batch = vec![BatchOp::write(0, 0, b"hello world".to_vec(), RAW)];
+        batch[0].segments = vec![5, 6];
+        let done = submit_scalar(&mut v, &mut batch);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].result.is_ok());
+        assert_eq!(done[0].segments_done, 2);
+
+        let mut rd = vec![BatchOp::read(9, 0, 11, RAW)];
+        let done = submit_scalar(&mut v, &mut rd);
+        assert_eq!(done[0].tag, 9);
+        assert!(done[0].result.is_ok());
+        assert_eq!(&rd[0].buf, b"hello world");
+    }
+
+    #[test]
+    fn scalar_fallback_fails_fast() {
+        let mut v = MemVfd::with_bytes(vec![0u8; 4]);
+        // Op 0 reads in bounds, op 1 reads past EOF, op 2 is never attempted.
+        let mut batch = vec![
+            BatchOp::read(0, 0, 4, RAW),
+            BatchOp::read(1, 2, 4, RAW),
+            BatchOp::read(2, 0, 1, RAW),
+        ];
+        let done = submit_scalar(&mut v, &mut batch);
+        assert_eq!(done.len(), 2, "batch stops at the first failed op");
+        assert!(done[0].result.is_ok());
+        assert!(matches!(done[1].result, Err(VfdError::OutOfBounds { .. })));
+        assert_eq!(done[1].segments_done, 0);
+    }
+
+    #[test]
+    fn engine_config_builders() {
+        let cfg = IoEngineConfig::default();
+        assert!(!cfg.is_batched());
+        let b = IoEngineConfig::batched()
+            .with_queue_depth(0)
+            .with_coalesce(false)
+            .with_readahead(8);
+        assert!(b.is_batched());
+        assert_eq!(b.queue_depth, 1, "queue depth clamps to 1");
+        assert!(!b.coalesce);
+        assert_eq!(b.readahead_chunks, 8);
+    }
+}

@@ -5,11 +5,19 @@
 //! operations by 2x"). [`CountingVfd`] provides those counters without the
 //! cost or storage of full tracing — also the mechanism behind the
 //! "turn off I/O tracing" configuration whose storage overhead is constant.
+//!
+//! Latency is tracked by **sampling**, not per-op timing: clocking every
+//! operation would itself dominate sub-microsecond memory-driver ops and
+//! blow the paper's <0.2% profiling-overhead budget. A seeded 1-in-N
+//! [`LatencySampler`] decides *before* each op whether it will be timed, so
+//! unsampled ops pay only one LCG step and sampled runs are reproducible.
 
+use crate::batch::{BatchCompletion, BatchOp, BatchOpKind};
 use crate::{Result, Vfd};
 use dayu_trace::vfd::AccessType;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Shared, thread-safe operation counters.
 #[derive(Debug, Default)]
@@ -26,6 +34,10 @@ pub struct OpCounters {
     pub metadata_ops: AtomicU64,
     /// Bytes moved by metadata operations.
     pub metadata_bytes: AtomicU64,
+    /// Latency observations taken (sampled ops and batch submissions).
+    pub latency_samples: AtomicU64,
+    /// Total nanoseconds across those observations.
+    pub latency_sampled_ns: AtomicU64,
 }
 
 impl OpCounters {
@@ -49,6 +61,16 @@ impl OpCounters {
         self.total_ops() - self.metadata_ops.load(Ordering::Relaxed)
     }
 
+    /// Mean latency over the sampled observations, or `None` if nothing
+    /// was sampled.
+    pub fn mean_sampled_latency_ns(&self) -> Option<u64> {
+        let n = self.latency_samples.load(Ordering::Relaxed);
+        if n == 0 {
+            return None;
+        }
+        Some(self.latency_sampled_ns.load(Ordering::Relaxed) / n)
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&self) {
         self.reads.store(0, Ordering::Relaxed);
@@ -57,6 +79,61 @@ impl OpCounters {
         self.bytes_written.store(0, Ordering::Relaxed);
         self.metadata_ops.store(0, Ordering::Relaxed);
         self.metadata_bytes.store(0, Ordering::Relaxed);
+        self.latency_samples.store(0, Ordering::Relaxed);
+        self.latency_sampled_ns.store(0, Ordering::Relaxed);
+    }
+
+    fn record(&self, kind: BatchOpKind, len: u64, access: AccessType) {
+        match kind {
+            BatchOpKind::Read => {
+                self.reads.fetch_add(1, Ordering::Relaxed);
+                self.bytes_read.fetch_add(len, Ordering::Relaxed);
+            }
+            BatchOpKind::Write => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                self.bytes_written.fetch_add(len, Ordering::Relaxed);
+            }
+        }
+        if access == AccessType::Metadata {
+            self.metadata_ops.fetch_add(1, Ordering::Relaxed);
+            self.metadata_bytes.fetch_add(len, Ordering::Relaxed);
+        }
+    }
+
+    fn record_latency(&self, ns: u64) {
+        self.latency_samples.fetch_add(1, Ordering::Relaxed);
+        self.latency_sampled_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+/// Seeded 1-in-N sampling decision: a multiplicative LCG keyed by `seed`
+/// makes the sampled op set reproducible across runs while staying cheap
+/// enough (one multiply-add per op) to leave unsampled ops untimed.
+#[derive(Debug)]
+pub struct LatencySampler {
+    every: u64,
+    state: u64,
+}
+
+impl LatencySampler {
+    /// Samples roughly 1 in `every` ops (`every` clamps to at least 1,
+    /// where every op is timed), deterministically from `seed`.
+    pub fn new(every: u64, seed: u64) -> Self {
+        Self {
+            every: every.max(1),
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Decides whether the next op is timed. Called once per op, before it
+    /// runs, so the decision cannot depend on the op's own duration.
+    pub fn should_sample(&mut self) -> bool {
+        // Knuth's MMIX LCG constants; the high bits feed the modulus.
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.state >> 33).is_multiple_of(self.every)
     }
 }
 
@@ -64,12 +141,32 @@ impl OpCounters {
 pub struct CountingVfd<V> {
     inner: V,
     counters: Arc<OpCounters>,
+    sampler: Option<LatencySampler>,
 }
 
 impl<V: Vfd> CountingVfd<V> {
-    /// Wraps `inner`, accumulating into `counters`.
+    /// Wraps `inner`, accumulating into `counters`. No latency sampling.
     pub fn new(inner: V, counters: Arc<OpCounters>) -> Self {
-        Self { inner, counters }
+        Self {
+            inner,
+            counters,
+            sampler: None,
+        }
+    }
+
+    /// Wraps `inner` with seeded 1-in-`every` latency sampling on top of
+    /// the op/byte counters.
+    pub fn with_latency_sampling(
+        inner: V,
+        counters: Arc<OpCounters>,
+        every: u64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            inner,
+            counters,
+            sampler: Some(LatencySampler::new(every, seed)),
+        }
     }
 
     /// The shared counters.
@@ -81,36 +178,34 @@ impl<V: Vfd> CountingVfd<V> {
     pub fn into_inner(self) -> V {
         self.inner
     }
+
+    fn timed<T>(&mut self, f: impl FnOnce(&mut V) -> Result<T>) -> Result<T> {
+        let timed = match &mut self.sampler {
+            Some(s) => s.should_sample(),
+            None => false,
+        };
+        if !timed {
+            return f(&mut self.inner);
+        }
+        let t0 = Instant::now();
+        let r = f(&mut self.inner);
+        self.counters.record_latency(t0.elapsed().as_nanos() as u64);
+        r
+    }
 }
 
 impl<V: Vfd> Vfd for CountingVfd<V> {
     fn read(&mut self, offset: u64, buf: &mut [u8], access: AccessType) -> Result<()> {
-        self.inner.read(offset, buf, access)?;
-        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.timed(|inner| inner.read(offset, buf, access))?;
         self.counters
-            .bytes_read
-            .fetch_add(buf.len() as u64, Ordering::Relaxed);
-        if access == AccessType::Metadata {
-            self.counters.metadata_ops.fetch_add(1, Ordering::Relaxed);
-            self.counters
-                .metadata_bytes
-                .fetch_add(buf.len() as u64, Ordering::Relaxed);
-        }
+            .record(BatchOpKind::Read, buf.len() as u64, access);
         Ok(())
     }
 
     fn write(&mut self, offset: u64, data: &[u8], access: AccessType) -> Result<()> {
-        self.inner.write(offset, data, access)?;
-        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        self.timed(|inner| inner.write(offset, data, access))?;
         self.counters
-            .bytes_written
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
-        if access == AccessType::Metadata {
-            self.counters.metadata_ops.fetch_add(1, Ordering::Relaxed);
-            self.counters
-                .metadata_bytes
-                .fetch_add(data.len() as u64, Ordering::Relaxed);
-        }
+            .record(BatchOpKind::Write, data.len() as u64, access);
         Ok(())
     }
 
@@ -128,6 +223,33 @@ impl<V: Vfd> Vfd for CountingVfd<V> {
 
     fn close(&mut self) -> Result<()> {
         self.inner.close()
+    }
+
+    /// Forwards the batch to the inner driver (so native dispatch is kept),
+    /// then counts one op per completed logical segment — the same totals a
+    /// scalar decomposition would have produced. A sampled batch records one
+    /// whole-round latency observation.
+    fn submit(&mut self, batch: &mut [BatchOp]) -> Vec<BatchCompletion> {
+        let timed = match &mut self.sampler {
+            Some(s) => s.should_sample(),
+            None => false,
+        };
+        let t0 = timed.then(Instant::now);
+        let completions = self.inner.submit(batch);
+        if let Some(t0) = t0 {
+            self.counters.record_latency(t0.elapsed().as_nanos() as u64);
+        }
+        for (op, c) in batch.iter().zip(&completions) {
+            let done = if c.result.is_ok() {
+                op.segments.len()
+            } else {
+                c.segments_done as usize
+            };
+            for &seg in op.segments.iter().take(done) {
+                self.counters.record(op.kind, seg, op.access);
+            }
+        }
+        completions
     }
 }
 
@@ -166,11 +288,13 @@ mod tests {
     #[test]
     fn reset_zeroes_everything() {
         let counters = OpCounters::shared();
-        let mut v = CountingVfd::new(MemVfd::new(), counters.clone());
+        let mut v = CountingVfd::with_latency_sampling(MemVfd::new(), counters.clone(), 1, 42);
         v.write(0, &[0; 8], AccessType::RawData).unwrap();
+        assert!(counters.latency_samples.load(Ordering::Relaxed) > 0);
         counters.reset();
         assert_eq!(counters.total_ops(), 0);
         assert_eq!(counters.total_bytes(), 0);
+        assert_eq!(counters.mean_sampled_latency_ns(), None);
     }
 
     #[test]
@@ -182,5 +306,76 @@ mod tests {
         assert_eq!(v.eof(), 2);
         let inner = v.into_inner();
         assert_eq!(inner.eof(), 2);
+    }
+
+    #[test]
+    fn sampling_is_one_in_n_and_seeded() {
+        let count = |every: u64, seed: u64, ops: usize| {
+            let mut s = LatencySampler::new(every, seed);
+            (0..ops).filter(|_| s.should_sample()).count()
+        };
+        // Deterministic for a fixed seed.
+        assert_eq!(count(64, 7, 10_000), count(64, 7, 10_000));
+        // Roughly 1-in-N: within 3x of the expectation over 10k ops.
+        let hits = count(64, 7, 10_000);
+        assert!(
+            (50..=500).contains(&hits),
+            "expected ~156 samples at 1/64 over 10k ops, got {hits}"
+        );
+        // Different seeds sample different op sets (with overwhelming
+        // probability at least one of the first 10k decisions differs).
+        let a: Vec<bool> = {
+            let mut s = LatencySampler::new(8, 1);
+            (0..10_000).map(|_| s.should_sample()).collect()
+        };
+        let b: Vec<bool> = {
+            let mut s = LatencySampler::new(8, 2);
+            (0..10_000).map(|_| s.should_sample()).collect()
+        };
+        assert_ne!(a, b);
+        // every == 0 clamps to "sample everything".
+        assert_eq!(count(0, 3, 100), 100);
+    }
+
+    #[test]
+    fn sampled_latency_accumulates() {
+        let counters = OpCounters::shared();
+        let mut v = CountingVfd::with_latency_sampling(MemVfd::new(), counters.clone(), 2, 11);
+        for i in 0..100u64 {
+            v.write(i * 8, &[0; 8], AccessType::RawData).unwrap();
+        }
+        let n = counters.latency_samples.load(Ordering::Relaxed);
+        assert!(n > 0, "1-in-2 sampling over 100 ops must fire");
+        assert!(n < 100, "not every op should be timed");
+        assert!(counters.mean_sampled_latency_ns().is_some());
+    }
+
+    #[test]
+    fn batch_counts_match_scalar_counts() {
+        let scalar = OpCounters::shared();
+        let mut s = CountingVfd::new(MemVfd::new(), scalar.clone());
+        s.write(0, &[1; 16], AccessType::RawData).unwrap();
+        s.write(16, &[2; 16], AccessType::RawData).unwrap();
+        let mut buf = [0u8; 32];
+        s.read(0, &mut buf, AccessType::RawData).unwrap();
+
+        let batched = OpCounters::shared();
+        let mut b = CountingVfd::new(MemVfd::new(), batched.clone());
+        let mut w = BatchOp::write(0, 0, vec![1; 16], AccessType::RawData);
+        w.append_write_segment(&[2; 16]);
+        let done = b.submit(&mut [w]);
+        assert!(done[0].result.is_ok());
+        let mut r = BatchOp::read(1, 0, 32, AccessType::RawData);
+        r.segments = vec![32];
+        let done = b.submit(&mut [r]);
+        assert!(done[0].result.is_ok());
+
+        assert_eq!(scalar.writes.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            scalar.writes.load(Ordering::Relaxed),
+            batched.writes.load(Ordering::Relaxed),
+            "one count per logical segment"
+        );
+        assert_eq!(scalar.total_bytes(), batched.total_bytes());
     }
 }

@@ -4,12 +4,44 @@
 //! profiler against actual `pread`/`pwrite` syscalls keeps the baseline
 //! honest — against a pure in-memory driver the relative overhead of
 //! tracing would be wildly overstated.
+//!
+//! On Unix every transfer is a single positional `pread`/`pwrite`
+//! (`read_at`/`write_at`), so the scalar path costs one syscall per op
+//! instead of a seek + transfer pair, and a coalesced batch op costs one
+//! syscall regardless of how many logical segments it carries.
 
+use crate::batch::{BatchCompletion, BatchOp, BatchOpKind};
 use crate::{Result, Vfd, VfdError};
 use dayu_trace::vfd::AccessType;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::Write;
 use std::path::Path;
+
+#[cfg(unix)]
+fn pread(file: &mut File, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(unix)]
+fn pwrite(file: &mut File, offset: u64, data: &[u8]) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(data, offset)
+}
+
+#[cfg(not(unix))]
+fn pread(file: &mut File, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    file.seek(SeekFrom::Start(offset))?;
+    file.read_exact(buf)
+}
+
+#[cfg(not(unix))]
+fn pwrite(file: &mut File, offset: u64, data: &[u8]) -> std::io::Result<()> {
+    use std::io::{Seek, SeekFrom};
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(data)
+}
 
 /// Driver over a real file.
 pub struct FileVfd {
@@ -58,15 +90,13 @@ impl Vfd for FileVfd {
             });
         }
         let f = self.file()?;
-        f.seek(SeekFrom::Start(offset))?;
-        f.read_exact(buf)?;
+        pread(f, offset, buf)?;
         Ok(())
     }
 
     fn write(&mut self, offset: u64, data: &[u8], _access: AccessType) -> Result<()> {
         let f = self.file()?;
-        f.seek(SeekFrom::Start(offset))?;
-        f.write_all(data)?;
+        pwrite(f, offset, data)?;
         self.eof = self.eof.max(offset + data.len() as u64);
         Ok(())
     }
@@ -92,6 +122,56 @@ impl Vfd for FileVfd {
             return Err(VfdError::Closed);
         }
         Ok(())
+    }
+
+    /// Native batch dispatch: one positional syscall per physical op, so a
+    /// coalesced op transfers all its segments in a single `pread`/`pwrite`.
+    fn submit(&mut self, batch: &mut [BatchOp]) -> Vec<BatchCompletion> {
+        let mut completions = Vec::with_capacity(batch.len());
+        let eof_before = self.eof;
+        let file = match self.file() {
+            Ok(f) => f,
+            Err(e) => {
+                if let Some(op) = batch.first() {
+                    completions.push(BatchCompletion {
+                        tag: op.tag,
+                        segments_done: 0,
+                        result: Err(e),
+                    });
+                }
+                return completions;
+            }
+        };
+        let mut eof = eof_before;
+        for op in batch.iter_mut() {
+            let result = match op.kind {
+                BatchOpKind::Read => {
+                    if op.end() > eof {
+                        Err(VfdError::OutOfBounds {
+                            offset: op.offset,
+                            len: op.len(),
+                            eof,
+                        })
+                    } else {
+                        pread(file, op.offset, &mut op.buf).map_err(VfdError::from)
+                    }
+                }
+                BatchOpKind::Write => pwrite(file, op.offset, &op.buf)
+                    .map(|()| eof = eof.max(op.end()))
+                    .map_err(VfdError::from),
+            };
+            let failed = result.is_err();
+            completions.push(BatchCompletion {
+                tag: op.tag,
+                segments_done: if failed { 0 } else { op.segments.len() as u64 },
+                result,
+            });
+            if failed {
+                break;
+            }
+        }
+        self.eof = eof;
+        completions
     }
 }
 
@@ -172,5 +252,30 @@ mod tests {
             Err(other) => panic!("unexpected error {other}"),
             Ok(_) => panic!("open of a missing file succeeded"),
         }
+    }
+
+    #[test]
+    fn native_batch_coalesced_round_trip() {
+        let path = tmp("batch");
+        let mut v = FileVfd::create(&path).unwrap();
+        let mut w = BatchOp::write(0, 0, b"alpha".to_vec(), RAW);
+        w.append_write_segment(b"beta");
+        let done = v.submit(&mut [w]);
+        assert!(done[0].result.is_ok());
+        assert_eq!(done[0].segments_done, 2);
+        assert_eq!(v.eof(), 9);
+
+        let mut batch = [BatchOp::read(1, 0, 9, RAW), BatchOp::read(2, 5, 9, RAW)];
+        let done = v.submit(&mut batch);
+        assert_eq!(done.len(), 2, "stops at the out-of-bounds read");
+        assert_eq!(&batch[0].buf, b"alphabeta");
+        assert!(matches!(
+            done[1].result,
+            Err(VfdError::OutOfBounds { eof: 9, .. })
+        ));
+        v.close().unwrap();
+        let done = v.submit(&mut [BatchOp::read(3, 0, 1, RAW)]);
+        assert!(matches!(done[0].result, Err(VfdError::Closed)));
+        std::fs::remove_file(path).unwrap();
     }
 }

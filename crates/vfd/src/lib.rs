@@ -20,7 +20,13 @@
 //! * [`CrashVfd`] — deterministic process-death simulation (torn writes,
 //!   write-back cache loss) for crash-consistency tests;
 //! * [`CountingVfd`] — cheap op/byte counters without full tracing.
+//!
+//! Beyond the scalar calls, [`Vfd::submit`] dispatches whole batches of
+//! tagged operations ([`batch`]): native drivers serve a batch in one step,
+//! everything else falls back to a scalar decomposition that preserves the
+//! per-extent op stream exactly.
 
+pub mod batch;
 pub mod counting;
 pub mod crash;
 pub mod faulty;
@@ -28,7 +34,8 @@ pub mod file;
 pub mod mem;
 pub mod replay;
 
-pub use counting::{CountingVfd, OpCounters};
+pub use batch::{BatchCompletion, BatchOp, BatchOpKind, IoEngineConfig, IoEngineMode};
+pub use counting::{CountingVfd, LatencySampler, OpCounters};
 pub use crash::{CrashController, CrashSchedule, CrashVfd};
 pub use faulty::{ChaosRng, FaultInjector, FaultPlan, FaultSchedule, FaultyVfd};
 pub use file::FileVfd;
@@ -121,6 +128,16 @@ pub trait Vfd: Send {
     fn close(&mut self) -> Result<()> {
         Ok(())
     }
+
+    /// Submits a batch of operations, returning one completion per attempted
+    /// op. The default decomposes each op into per-segment scalar
+    /// `read`/`write` calls and fails fast at the first error (see
+    /// [`batch::submit_scalar`]); native drivers override this to dispatch
+    /// each physical op in one step. Overrides must stay byte- and
+    /// stream-equivalent to the fallback.
+    fn submit(&mut self, batch: &mut [BatchOp]) -> Vec<BatchCompletion> {
+        batch::submit_scalar(self, batch)
+    }
 }
 
 /// Blanket forwarding so `Box<dyn Vfd>` is itself a `Vfd` (lets wrappers and
@@ -143,6 +160,11 @@ impl Vfd for Box<dyn Vfd> {
     }
     fn close(&mut self) -> Result<()> {
         (**self).close()
+    }
+    // Forwarded explicitly so a native override behind the box is reached
+    // (the default body would decompose to scalar calls instead).
+    fn submit(&mut self, batch: &mut [BatchOp]) -> Vec<BatchCompletion> {
+        (**self).submit(batch)
     }
 }
 

@@ -7,6 +7,7 @@
 //! exactly the bytes its producer wrote — the substrate on which DaYu's
 //! cross-task dataset mappings are exercised.
 
+use crate::batch::{BatchCompletion, BatchOp, BatchOpKind};
 use crate::{Result, Vfd, VfdError};
 use dayu_trace::vfd::AccessType;
 use parking_lot::{Mutex, RwLock};
@@ -186,6 +187,61 @@ impl Vfd for MemVfd {
         self.open = false;
         Ok(())
     }
+
+    /// Native batch dispatch: the image lock is taken once for the whole
+    /// batch and each physical op is served with a single copy, instead of
+    /// one lock + copy per logical segment.
+    fn submit(&mut self, batch: &mut [BatchOp]) -> Vec<BatchCompletion> {
+        let mut completions = Vec::with_capacity(batch.len());
+        if let Err(e) = self.check_open() {
+            if let Some(op) = batch.first() {
+                completions.push(BatchCompletion {
+                    tag: op.tag,
+                    segments_done: 0,
+                    result: Err(e),
+                });
+            }
+            return completions;
+        }
+        let mut image = self.image.lock();
+        for op in batch.iter_mut() {
+            let result = match op.kind {
+                BatchOpKind::Read => {
+                    let eof = image.len() as u64;
+                    if op.end() > eof {
+                        Err(VfdError::OutOfBounds {
+                            offset: op.offset,
+                            len: op.len(),
+                            eof,
+                        })
+                    } else {
+                        let start = op.offset as usize;
+                        let end = start + op.buf.len();
+                        op.buf.copy_from_slice(&image[start..end]);
+                        Ok(())
+                    }
+                }
+                BatchOpKind::Write => {
+                    let end = op.end() as usize;
+                    if end > image.len() {
+                        image.resize(end, 0);
+                    }
+                    image[op.offset as usize..end].copy_from_slice(&op.buf);
+                    Ok(())
+                }
+            };
+            let failed = result.is_err();
+            completions.push(BatchCompletion {
+                tag: op.tag,
+                segments_done: if failed { 0 } else { op.segments.len() as u64 },
+                result,
+            });
+            if failed {
+                break;
+            }
+        }
+        completions
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +360,41 @@ mod tests {
         let mut buf = [0u8; 1];
         h.read(0, &mut buf, RAW).unwrap();
         assert_eq!(&buf, b"z");
+    }
+
+    #[test]
+    fn native_batch_round_trips_and_fails_fast() {
+        let mut v = MemVfd::new();
+        let mut w = BatchOp::write(0, 0, b"abcd".to_vec(), RAW);
+        w.append_write_segment(b"efgh");
+        let done = v.submit(&mut [w]);
+        assert!(done[0].result.is_ok());
+        assert_eq!(done[0].segments_done, 2);
+        assert_eq!(v.eof(), 8);
+
+        let mut batch = [
+            BatchOp::read(1, 0, 8, RAW),
+            BatchOp::read(2, 6, 8, RAW),
+            BatchOp::read(3, 0, 1, RAW),
+        ];
+        let done = v.submit(&mut batch);
+        assert_eq!(done.len(), 2, "stops at the out-of-bounds read");
+        assert_eq!(&batch[0].buf, b"abcdefgh");
+        assert!(matches!(
+            done[1].result,
+            Err(VfdError::OutOfBounds { eof: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn closed_driver_fails_the_batch() {
+        let mut v = MemVfd::new();
+        v.close().unwrap();
+        let done = v.submit(&mut [BatchOp::read(5, 0, 1, RAW)]);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 5);
+        assert!(matches!(done[0].result, Err(VfdError::Closed)));
+        assert!(v.submit(&mut []).is_empty());
     }
 
     #[test]

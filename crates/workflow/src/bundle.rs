@@ -32,7 +32,7 @@ use dayu_trace::sha256::{hex, Digest, Sha256};
 use dayu_trace::store::TraceBundle;
 use dayu_trace::time::{Clock, ManualClock};
 use dayu_trace::wire;
-use dayu_vfd::{CrashSchedule, FaultSchedule, MemFs};
+use dayu_vfd::{CrashSchedule, FaultSchedule, IoEngineConfig, IoEngineMode, MemFs};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Cursor, Read, Write};
@@ -159,6 +159,9 @@ pub struct BundleManifest {
     /// Whether the recording ran under a [`ManualClock`] (timestamps are
     /// then reproducible and a replay can be byte-identical).
     pub manual_clock: bool,
+    /// I/O engine configuration of the recording (manifest layout v2;
+    /// bundles written before the batched engine decode as scalar).
+    pub io_engine: IoEngineConfig,
     /// Per-task fates of the recorded run.
     pub outcomes: Vec<TaskOutcome>,
 }
@@ -187,6 +190,7 @@ impl BundleManifest {
             resume: opts.resume,
             salvage: opts.salvage,
             manual_clock,
+            io_engine: opts.io_engine,
             outcomes,
         }
     }
@@ -206,6 +210,7 @@ impl BundleManifest {
                 .manual_clock
                 .then(|| Arc::new(ManualClock::new()) as Arc<dyn Clock>),
             replay: None,
+            io_engine: self.io_engine,
         }
     }
 
@@ -218,7 +223,9 @@ impl BundleManifest {
     fn encode(&self) -> Vec<u8> {
         let mut w = Vec::new();
         let out = &mut w;
-        wire::write_u8(out, 1).expect("vec write"); // manifest layout version
+        // Layout v2 appends the I/O engine block after `manual_clock`;
+        // decode still accepts v1 (pre-batched-engine bundles → scalar).
+        wire::write_u8(out, 2).expect("vec write"); // manifest layout version
         wire::write_str(out, &self.workload).expect("vec write");
         wire::write_str(out, &self.params).expect("vec write");
         wire::write_str(out, &self.tool_version).expect("vec write");
@@ -271,6 +278,18 @@ impl BundleManifest {
         write_bool(out, self.resume);
         write_bool(out, self.salvage);
         write_bool(out, self.manual_clock);
+        wire::write_u8(
+            out,
+            match self.io_engine.mode {
+                IoEngineMode::Scalar => 0,
+                IoEngineMode::Batched => 1,
+            },
+        )
+        .expect("vec write");
+        wire::write_varint(out, self.io_engine.queue_depth as u64).expect("vec write");
+        write_bool(out, self.io_engine.coalesce);
+        wire::write_varint(out, self.io_engine.max_coalesced_bytes).expect("vec write");
+        wire::write_varint(out, self.io_engine.readahead_chunks).expect("vec write");
         wire::write_varint(out, self.outcomes.len() as u64).expect("vec write");
         for o in &self.outcomes {
             wire::write_str(out, &o.task).expect("vec write");
@@ -296,7 +315,7 @@ impl BundleManifest {
         let r = &mut Cursor::new(payload);
         let ctx = |e: io::Error| map_section_err("manifest", e);
         let layout = wire::read_u8(r).map_err(ctx)?;
-        if layout != 1 {
+        if layout != 1 && layout != 2 {
             return Err(malformed(
                 "manifest",
                 format!("unknown manifest layout version {layout}"),
@@ -366,6 +385,31 @@ impl BundleManifest {
         let resume = read_bool(r, "resume")?;
         let salvage = read_bool(r, "salvage")?;
         let manual_clock = read_bool(r, "manual_clock")?;
+        let io_engine = if layout >= 2 {
+            let mode = match wire::read_u8(r).map_err(ctx)? {
+                0 => IoEngineMode::Scalar,
+                1 => IoEngineMode::Batched,
+                other => {
+                    return Err(malformed(
+                        "manifest",
+                        format!("unknown io engine mode {other}"),
+                    ))
+                }
+            };
+            let queue_depth = wire::read_varint(r).map_err(ctx)? as usize;
+            let coalesce = read_bool(r, "io_engine.coalesce")?;
+            let max_coalesced_bytes = wire::read_varint(r).map_err(ctx)?;
+            let readahead_chunks = wire::read_varint(r).map_err(ctx)?;
+            IoEngineConfig {
+                mode,
+                queue_depth: queue_depth.max(1),
+                coalesce,
+                max_coalesced_bytes,
+                readahead_chunks,
+            }
+        } else {
+            IoEngineConfig::default()
+        };
         let n = wire::read_len(r, "outcomes", 1 << 24).map_err(ctx)?;
         let mut outcomes = Vec::with_capacity(n.min(1024));
         for _ in 0..n {
@@ -413,6 +457,7 @@ impl BundleManifest {
             resume,
             salvage,
             manual_clock,
+            io_engine,
             outcomes,
         })
     }

@@ -23,8 +23,8 @@ use dayu_trace::ids::TaskKey;
 use dayu_trace::store::TraceBundle;
 use dayu_trace::time::{Clock, RealClock};
 use dayu_vfd::{
-    CrashController, CrashSchedule, FaultInjector, FaultSchedule, MemFs, ReplaySession,
-    ReplayValidator,
+    CrashController, CrashSchedule, FaultInjector, FaultSchedule, IoEngineConfig, MemFs,
+    ReplaySession, ReplayValidator,
 };
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -98,6 +98,11 @@ pub struct RecordOptions {
     /// recorded streams the validator holds. Populated by the replay
     /// engine; plain recording leaves it `None`.
     pub replay: Option<Arc<ReplayValidator>>,
+    /// I/O engine configuration for every file the workflow touches.
+    /// Batched mode plans whole-dataspace chunk sweeps as coalesced batch
+    /// submissions with readahead; the recorded trace streams are
+    /// contractually identical to scalar mode.
+    pub io_engine: IoEngineConfig,
 }
 
 impl Default for RecordOptions {
@@ -112,6 +117,7 @@ impl Default for RecordOptions {
             salvage: true,
             clock: None,
             replay: None,
+            io_engine: IoEngineConfig::default(),
         }
     }
 }
@@ -127,6 +133,7 @@ impl std::fmt::Debug for RecordOptions {
             .field("salvage", &self.salvage)
             .field("clock", &self.clock.as_ref().map(|_| "<override>"))
             .field("replay", &self.replay.as_ref().map(|_| "<validator>"))
+            .field("io_engine", &self.io_engine)
             .finish_non_exhaustive()
     }
 }
@@ -166,6 +173,12 @@ impl RecordOptions {
     /// Options with a replay validator attached to every task's stack.
     pub fn with_replay_validator(mut self, validator: Arc<ReplayValidator>) -> Self {
         self.replay = Some(validator);
+        self
+    }
+
+    /// Options with the given I/O engine configuration.
+    pub fn with_io_engine(mut self, engine: IoEngineConfig) -> Self {
+        self.io_engine = engine;
         self
     }
 }
@@ -320,6 +333,7 @@ fn run_task(
         // task creates its outputs from scratch like any clean run.
         io = io
             .with_durability(opts.durability)
+            .with_io_engine(opts.io_engine)
             .with_resume(opts.resume && attempts > 1);
         let faults_so_far = || injector.as_ref().map(|i| i.faults_injected()).unwrap_or(0);
         let result = (t.body)(&io);

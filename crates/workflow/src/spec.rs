@@ -13,8 +13,8 @@ use crate::contract::IoContract;
 use dayu_hdf::{Durability, FileOptions, H5File, HdfError, RecoveryReport, Result};
 use dayu_mapper::Mapper;
 use dayu_vfd::{
-    CrashController, CrashVfd, FaultInjector, FaultyVfd, MemFs, ReplaySession, ReplayVfd, Vfd,
-    VfdError,
+    CrashController, CrashVfd, FaultInjector, FaultyVfd, IoEngineConfig, MemFs, ReplaySession,
+    ReplayVfd, Vfd, VfdError,
 };
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -44,6 +44,7 @@ pub struct TaskIo<'a> {
     faults: Option<FaultInjector>,
     crash: Option<CrashController>,
     durability: Durability,
+    io_engine: IoEngineConfig,
     resume: bool,
     replay: Option<ReplaySession>,
     recoveries: Mutex<Vec<(String, RecoveryReport)>>,
@@ -60,6 +61,7 @@ impl<'a> TaskIo<'a> {
             faults: None,
             crash: None,
             durability: Durability::default(),
+            io_engine: IoEngineConfig::default(),
             resume: false,
             replay: None,
             recoveries: Mutex::new(Vec::new()),
@@ -87,6 +89,14 @@ impl<'a> TaskIo<'a> {
     /// files survive crash points and are recovered on reopen).
     pub fn with_durability(mut self, durability: Durability) -> Self {
         self.durability = durability;
+        self
+    }
+
+    /// Sets the I/O engine configuration files are created/opened with
+    /// (batched mode turns whole-dataspace chunk sweeps into coalesced
+    /// batch submissions with readahead).
+    pub fn with_io_engine(mut self, engine: IoEngineConfig) -> Self {
+        self.io_engine = engine;
         self
     }
 
@@ -124,7 +134,10 @@ impl<'a> TaskIo<'a> {
     }
 
     fn options(&self) -> FileOptions {
-        self.mapper.file_options().with_durability(self.durability)
+        self.mapper
+            .file_options()
+            .with_durability(self.durability)
+            .with_io_engine(self.io_engine)
     }
 
     /// Creates a file, instrumented end to end. In resume mode an existing

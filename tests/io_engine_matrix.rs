@@ -1,0 +1,373 @@
+//! I/O engine matrix: the batched submission/completion engine must be
+//! *invisible* everywhere except wall time. For every failure shape the
+//! recorder supports, a run under `--io-engine batched` must produce:
+//!
+//! * a low-level op stream element-identical to the scalar run's (same
+//!   kind, file, offset, length, access class and responsible object, in
+//!   the same order — timestamps aside),
+//! * the same task outcomes and byte-identical final file images,
+//! * a `.drb` bundle that round-trips, replays validated, and restores the
+//!   engine configuration from its manifest,
+//! * scalar-equal `CountingVfd` totals for arbitrary chunk geometry.
+//!
+//! The sweep workload is sized to actually engage the batched fast paths:
+//! a full-selection write and read of a chunked dataset with far more
+//! chunks than the chunk cache holds.
+
+use dayu::prelude::*;
+use dayu_core::hdf::Durability;
+use dayu_core::trace::ManualClock;
+use dayu_core::vfd::{CountingVfd, CrashSchedule, IoEngineConfig, OpCounters};
+use dayu_core::workflow::RecordedRun;
+use proptest::prelude::*;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Sweep geometry: 64 chunks against an 8-chunk cache, so both the write
+/// and the read sweep overflow the cache and the batched planner engages.
+const SWEEP_BYTES: u64 = 64 << 10;
+const SWEEP_CHUNK: u64 = 1 << 10;
+const SWEEP_CACHE: u64 = 8 << 10;
+
+fn payload() -> Vec<u8> {
+    (0..SWEEP_BYTES).map(|i| (i * 37 % 241) as u8).collect()
+}
+
+/// Producer writes the chunked sweep dataset; consumer reads it back cold
+/// and checks every byte.
+fn sweep_workload() -> (WorkflowSpec, MemFs) {
+    let fs = MemFs::new();
+    let spec = WorkflowSpec::new("io-engine-matrix")
+        .stage(
+            "produce",
+            vec![TaskSpec::new("producer", |io: &TaskIo| {
+                let f = io.create("sweep.h5")?;
+                let mut ds = f.root().create_dataset(
+                    "x",
+                    DatasetBuilder::new(DataType::Int { width: 1 }, &[SWEEP_BYTES])
+                        .chunks(&[SWEEP_CHUNK])
+                        .cache_bytes(SWEEP_CACHE),
+                )?;
+                ds.write(&payload())?;
+                ds.close()?;
+                f.close()
+            })],
+        )
+        .stage(
+            "consume",
+            vec![TaskSpec::new("consumer", |io: &TaskIo| {
+                let f = io.open("sweep.h5")?;
+                let mut ds = f.root().open_dataset("x")?;
+                let back = ds.read()?;
+                assert_eq!(back, payload(), "consumer read corrupt bytes");
+                ds.close()?;
+                f.close()
+            })],
+        );
+    (spec, fs)
+}
+
+/// The failure shapes the matrix sweeps (fixed seeds, zero backoff).
+fn scenarios() -> Vec<(&'static str, RecordOptions)> {
+    vec![
+        ("clean", RecordOptions::default()),
+        (
+            "transient-chaos",
+            RecordOptions::default()
+                .with_chaos(FaultSchedule::new(5).with_transient_at(3))
+                .with_retry(RetryPolicy::default().with_backoff(0, 0)),
+        ),
+        (
+            "crash-journal-resume",
+            RecordOptions::default()
+                .with_crash(CrashSchedule::new(11).with_crash_at(6).torn())
+                .with_durability(Durability::Journal)
+                .with_resume(true)
+                .with_retry(RetryPolicy::default().attempts(3).with_backoff(0, 0)),
+        ),
+    ]
+}
+
+/// The batched engine configurations compared against scalar.
+fn engines() -> Vec<(&'static str, IoEngineConfig)> {
+    vec![
+        ("batched", IoEngineConfig::batched()),
+        ("batched-nc", IoEngineConfig::batched().with_coalesce(false)),
+        (
+            "batched-qd2-ra3",
+            IoEngineConfig::batched()
+                .with_queue_depth(2)
+                .with_readahead(3),
+        ),
+    ]
+}
+
+fn manual(opts: RecordOptions) -> RecordOptions {
+    RecordOptions {
+        clock: Some(Arc::new(ManualClock::new())),
+        ..opts
+    }
+}
+
+/// Records the sweep workload and returns the run plus the final image.
+fn record_sweep(opts: RecordOptions) -> (RecordedRun, Vec<u8>) {
+    let (spec, fs) = sweep_workload();
+    let run = record_opts(&spec, &fs, &manual(opts)).expect("record sweep");
+    let image = fs.snapshot("sweep.h5").unwrap_or_default();
+    (run, image)
+}
+
+/// The timestamp-free projection of the low-level op stream.
+fn stream(bundle: &TraceBundle) -> Vec<String> {
+    bundle
+        .vfd
+        .iter()
+        .map(|r| {
+            format!(
+                "{:?}|{:?}|{:?}|{}|{}|{:?}|{:?}",
+                r.task, r.file, r.kind, r.offset, r.len, r.access, r.object
+            )
+        })
+        .collect()
+}
+
+fn outcomes(run: &RecordedRun) -> Vec<String> {
+    run.outcomes.iter().map(|o| format!("{o:?}")).collect()
+}
+
+#[test]
+fn batched_streams_match_scalar_across_failure_shapes() {
+    for (scenario, base) in scenarios() {
+        let (scalar_run, scalar_image) = record_sweep(base.clone());
+        assert!(
+            !scalar_run.bundle.vfd.is_empty(),
+            "{scenario}: scalar run recorded nothing"
+        );
+        for (ename, engine) in engines() {
+            let (run, image) = record_sweep(base.clone().with_io_engine(engine));
+            assert_eq!(
+                stream(&scalar_run.bundle),
+                stream(&run.bundle),
+                "{scenario}/{ename}: op stream diverged from scalar"
+            );
+            assert_eq!(
+                outcomes(&scalar_run),
+                outcomes(&run),
+                "{scenario}/{ename}: task outcomes diverged"
+            );
+            assert_eq!(
+                scalar_image, image,
+                "{scenario}/{ename}: final image differs from scalar"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_bundles_round_trip_and_replay_validated() {
+    for (scenario, base) in scenarios() {
+        let opts = manual(base.with_io_engine(IoEngineConfig::batched()));
+        let (spec, fs) = sweep_workload();
+        let (_, bundle) = record_to_bundle(
+            &spec,
+            &fs,
+            &opts,
+            format!("scenario={scenario}"),
+            "io-engine-matrix",
+            true,
+        )
+        .unwrap_or_else(|e| panic!("{scenario}: record failed: {e}"));
+        assert_eq!(
+            bundle.manifest.io_engine,
+            IoEngineConfig::batched(),
+            "{scenario}: manifest dropped the engine config"
+        );
+
+        // The container round-trips losslessly, manifest included.
+        let bytes = bundle.to_bytes();
+        ReplayBundle::verify_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("{scenario}: verify failed: {e}"));
+        let back = ReplayBundle::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("{scenario}: parse failed: {e}"));
+        assert_eq!(back.to_bytes(), bytes, "{scenario}: not a fixpoint");
+        assert_eq!(back.manifest.io_engine, IoEngineConfig::batched());
+
+        // Replay re-runs under the restored batched engine and must
+        // reproduce the recording bit-for-bit.
+        let (spec2, fs2) = sweep_workload();
+        let report = replay_bundle(&back, &spec2, &fs2)
+            .unwrap_or_else(|e| panic!("{scenario}: replay failed: {e}"));
+        assert!(report.op_checked, "{scenario}: sampled recording?");
+        assert!(
+            report.validated(),
+            "{scenario}: divergence={:?} mismatches={:?}",
+            report.divergence,
+            report.mismatches
+        );
+        assert_eq!(
+            report.run.bundle.to_binary_bytes(),
+            bundle.trace.to_binary_bytes(),
+            "{scenario}: replayed trace differs from recording"
+        );
+    }
+}
+
+/// Writes and reads a chunked dataset directly through a counting driver,
+/// returning the totals and the read-back bytes.
+fn counted_sweep(engine: IoEngineConfig, chunk: u64, total: u64) -> ([u64; 6], Vec<u8>) {
+    let fs = MemFs::new();
+    let counters = OpCounters::shared();
+    let data: Vec<u8> = (0..total).map(|i| (i * 131 % 251) as u8).collect();
+    {
+        let vfd = CountingVfd::new(fs.create("c.h5"), counters.clone());
+        let f = H5File::create(vfd, "c.h5", FileOptions::default().with_io_engine(engine))
+            .expect("create");
+        let mut ds = f
+            .root()
+            .create_dataset(
+                "x",
+                DatasetBuilder::new(DataType::Int { width: 1 }, &[total])
+                    .chunks(&[chunk])
+                    .cache_bytes(SWEEP_CACHE),
+            )
+            .expect("dataset");
+        ds.write(&data).expect("write");
+        ds.close().expect("close dataset");
+        f.close().expect("close file");
+    }
+    let vfd = CountingVfd::new(fs.open("c.h5"), counters.clone());
+    let f = H5File::open(vfd, "c.h5", FileOptions::default().with_io_engine(engine)).expect("open");
+    let mut ds = f.root().open_dataset("x").expect("open dataset");
+    let back = ds.read().expect("read");
+    let totals = [
+        counters.reads.load(Ordering::Relaxed),
+        counters.writes.load(Ordering::Relaxed),
+        counters.bytes_read.load(Ordering::Relaxed),
+        counters.bytes_written.load(Ordering::Relaxed),
+        counters.metadata_ops.load(Ordering::Relaxed),
+        counters.metadata_bytes.load(Ordering::Relaxed),
+    ];
+    (totals, back)
+}
+
+/// Deterministic sweep of the same properties the proptests below explore:
+/// a fixed grid of seeds, fault/crash points, queue depths, readahead
+/// windows and chunk geometries that always runs, so the property bodies
+/// are exercised even where the proptest runner is unavailable.
+#[test]
+fn representative_cases_hold_the_properties() {
+    for (seed, fault_at, qd, ra) in [(0, 0, 1, 0), (5, 3, 2, 4), (17, 29, 8, 1)] {
+        let base = RecordOptions::default()
+            .with_chaos(FaultSchedule::new(seed).with_transient_at(fault_at))
+            .with_retry(RetryPolicy::default().with_backoff(0, 0));
+        let engine = IoEngineConfig::batched()
+            .with_queue_depth(qd)
+            .with_readahead(ra);
+        let (scalar_run, scalar_image) = record_sweep(base.clone());
+        let (run, image) = record_sweep(base.with_io_engine(engine));
+        assert_eq!(
+            stream(&scalar_run.bundle),
+            stream(&run.bundle),
+            "chaos seed={seed} fault_at={fault_at} qd={qd} ra={ra}"
+        );
+        assert_eq!(outcomes(&scalar_run), outcomes(&run));
+        assert_eq!(scalar_image, image);
+    }
+    for (seed, crash_at) in [(3, 1), (11, 6), (23, 39)] {
+        let base = RecordOptions::default()
+            .with_crash(CrashSchedule::new(seed).with_crash_at(crash_at).torn())
+            .with_durability(Durability::Journal)
+            .with_resume(true)
+            .with_retry(RetryPolicy::default().attempts(3).with_backoff(0, 0));
+        let (scalar_run, scalar_image) = record_sweep(base.clone());
+        let (run, image) = record_sweep(base.with_io_engine(IoEngineConfig::batched()));
+        assert_eq!(
+            stream(&scalar_run.bundle),
+            stream(&run.bundle),
+            "crash seed={seed} crash_at={crash_at}"
+        );
+        assert_eq!(scalar_image, image);
+    }
+    for (chunk, chunks, qd, ra, coalesce) in [
+        (64, 9, 1, 0, true),
+        (256, 20, 3, 4, false),
+        (1024, 32, 8, 2, true),
+    ] {
+        let total = chunk * chunks + chunk / 2;
+        let engine = IoEngineConfig::batched()
+            .with_queue_depth(qd)
+            .with_readahead(ra)
+            .with_coalesce(coalesce);
+        let (scalar_totals, scalar_back) = counted_sweep(IoEngineConfig::default(), chunk, total);
+        let (totals, back) = counted_sweep(engine, chunk, total);
+        assert_eq!(
+            scalar_totals, totals,
+            "chunk={chunk} chunks={chunks} qd={qd} ra={ra} coalesce={coalesce}"
+        );
+        assert_eq!(scalar_back, back);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary chaos seeds and fault points: the batched run's op stream,
+    /// outcomes and final image stay element-identical to scalar.
+    #[test]
+    fn chaos_seeds_preserve_stream_identity(
+        seed in 0u64..64,
+        fault_at in 0u64..48,
+        qd in 1usize..9,
+        ra in 0u64..5,
+    ) {
+        let base = RecordOptions::default()
+            .with_chaos(FaultSchedule::new(seed).with_transient_at(fault_at))
+            .with_retry(RetryPolicy::default().with_backoff(0, 0));
+        let engine = IoEngineConfig::batched()
+            .with_queue_depth(qd)
+            .with_readahead(ra);
+        let (scalar_run, scalar_image) = record_sweep(base.clone());
+        let (run, image) = record_sweep(base.with_io_engine(engine));
+        prop_assert_eq!(stream(&scalar_run.bundle), stream(&run.bundle));
+        prop_assert_eq!(outcomes(&scalar_run), outcomes(&run));
+        prop_assert_eq!(scalar_image, image);
+    }
+
+    /// Arbitrary crash points under journaled durability: both engines
+    /// crash, recover and resume into the same stream and image.
+    #[test]
+    fn crash_points_preserve_stream_identity(seed in 0u64..32, crash_at in 1u64..40) {
+        let base = RecordOptions::default()
+            .with_crash(CrashSchedule::new(seed).with_crash_at(crash_at).torn())
+            .with_durability(Durability::Journal)
+            .with_resume(true)
+            .with_retry(RetryPolicy::default().attempts(3).with_backoff(0, 0));
+        let (scalar_run, scalar_image) = record_sweep(base.clone());
+        let (run, image) = record_sweep(base.with_io_engine(IoEngineConfig::batched()));
+        prop_assert_eq!(stream(&scalar_run.bundle), stream(&run.bundle));
+        prop_assert_eq!(scalar_image, image);
+    }
+
+    /// Arbitrary chunk geometry, queue depth and readahead: batched writes
+    /// and reads move exactly the bytes scalar moves, op for op, and the
+    /// read-back bytes are identical.
+    #[test]
+    fn counters_and_bytes_match_scalar_for_any_geometry(
+        chunk_pow in 6u32..11,
+        chunks in 9u64..33,
+        qd in 1usize..9,
+        ra in 0u64..5,
+        coalesce in proptest::bool::ANY,
+    ) {
+        let chunk = 1u64 << chunk_pow;
+        let total = chunk * chunks + chunk / 2; // ragged tail chunk
+        let engine = IoEngineConfig::batched()
+            .with_queue_depth(qd)
+            .with_readahead(ra)
+            .with_coalesce(coalesce);
+        let (scalar_totals, scalar_back) = counted_sweep(IoEngineConfig::default(), chunk, total);
+        let (totals, back) = counted_sweep(engine, chunk, total);
+        prop_assert_eq!(scalar_totals, totals);
+        prop_assert_eq!(scalar_back, back);
+    }
+}
