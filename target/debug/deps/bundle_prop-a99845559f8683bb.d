@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bundle_prop-a99845559f8683bb.d: crates/workflow/tests/bundle_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbundle_prop-a99845559f8683bb.rmeta: crates/workflow/tests/bundle_prop.rs Cargo.toml
+
+crates/workflow/tests/bundle_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bundle_prop-db2c7f76f96a54ee.d: crates/workflow/tests/bundle_prop.rs
+
+/root/repo/target/debug/deps/bundle_prop-db2c7f76f96a54ee: crates/workflow/tests/bundle_prop.rs
+
+crates/workflow/tests/bundle_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_matrix-be7943326d9cf7fc.d: tests/chaos_matrix.rs
+
+/root/repo/target/debug/deps/chaos_matrix-be7943326d9cf7fc: tests/chaos_matrix.rs
+
+tests/chaos_matrix.rs:

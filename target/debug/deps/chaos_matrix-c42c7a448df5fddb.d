@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_matrix-c42c7a448df5fddb.d: tests/chaos_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_matrix-c42c7a448df5fddb.rmeta: tests/chaos_matrix.rs Cargo.toml
+
+tests/chaos_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cli_tools-4c4ed291eced1c3b.d: tests/cli_tools.rs
+
+/root/repo/target/debug/deps/cli_tools-4c4ed291eced1c3b: tests/cli_tools.rs
+
+tests/cli_tools.rs:

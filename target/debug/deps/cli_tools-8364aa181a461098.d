@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cli_tools-8364aa181a461098.d: tests/cli_tools.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_tools-8364aa181a461098.rmeta: tests/cli_tools.rs Cargo.toml
+
+tests/cli_tools.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

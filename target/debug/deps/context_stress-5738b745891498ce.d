@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/context_stress-5738b745891498ce.d: crates/trace/tests/context_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontext_stress-5738b745891498ce.rmeta: crates/trace/tests/context_stress.rs Cargo.toml
+
+crates/trace/tests/context_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

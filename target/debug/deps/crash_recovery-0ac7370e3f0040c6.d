@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_recovery-0ac7370e3f0040c6.d: tests/crash_recovery.rs
+
+/root/repo/target/debug/deps/crash_recovery-0ac7370e3f0040c6: tests/crash_recovery.rs
+
+tests/crash_recovery.rs:

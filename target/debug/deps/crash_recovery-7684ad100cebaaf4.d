@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_recovery-7684ad100cebaaf4.d: tests/crash_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_recovery-7684ad100cebaaf4.rmeta: tests/crash_recovery.rs Cargo.toml
+
+tests/crash_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

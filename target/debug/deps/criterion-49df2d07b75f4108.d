@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-49df2d07b75f4108.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-49df2d07b75f4108.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-49df2d07b75f4108.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

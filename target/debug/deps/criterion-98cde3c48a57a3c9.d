@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-98cde3c48a57a3c9.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-98cde3c48a57a3c9.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dayu-2bf644beadaae2a8.d: src/lib.rs
+
+/root/repo/target/debug/deps/dayu-2bf644beadaae2a8: src/lib.rs
+
+src/lib.rs:

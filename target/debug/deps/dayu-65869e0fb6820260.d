@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dayu-65869e0fb6820260.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu-65869e0fb6820260.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dayu-d29eec0f86af005c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdayu-d29eec0f86af005c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdayu-d29eec0f86af005c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dayu-f9124d52e0b2c695.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu-f9124d52e0b2c695.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

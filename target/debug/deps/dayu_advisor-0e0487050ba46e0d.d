@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dayu_advisor-0e0487050ba46e0d.d: crates/advisor/src/lib.rs
+
+/root/repo/target/debug/deps/libdayu_advisor-0e0487050ba46e0d.rlib: crates/advisor/src/lib.rs
+
+/root/repo/target/debug/deps/libdayu_advisor-0e0487050ba46e0d.rmeta: crates/advisor/src/lib.rs
+
+crates/advisor/src/lib.rs:

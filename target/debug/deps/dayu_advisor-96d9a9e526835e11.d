@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dayu_advisor-96d9a9e526835e11.d: crates/advisor/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_advisor-96d9a9e526835e11.rmeta: crates/advisor/src/lib.rs Cargo.toml
+
+crates/advisor/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

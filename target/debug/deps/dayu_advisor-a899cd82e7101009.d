@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dayu_advisor-a899cd82e7101009.d: crates/advisor/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_advisor-a899cd82e7101009.rmeta: crates/advisor/src/lib.rs Cargo.toml
+
+crates/advisor/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

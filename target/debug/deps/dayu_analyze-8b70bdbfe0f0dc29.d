@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dayu_analyze-8b70bdbfe0f0dc29.d: crates/core/src/bin/dayu-analyze.rs
+
+/root/repo/target/debug/deps/dayu_analyze-8b70bdbfe0f0dc29: crates/core/src/bin/dayu-analyze.rs
+
+crates/core/src/bin/dayu-analyze.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dayu_analyze-d070ca43e61e4cc3.d: crates/core/src/bin/dayu-analyze.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_analyze-d070ca43e61e4cc3.rmeta: crates/core/src/bin/dayu-analyze.rs Cargo.toml
+
+crates/core/src/bin/dayu-analyze.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dayu_analyze-d3f37f263134a5bf.d: crates/core/src/bin/dayu-analyze.rs
+
+/root/repo/target/debug/deps/dayu_analyze-d3f37f263134a5bf: crates/core/src/bin/dayu-analyze.rs
+
+crates/core/src/bin/dayu-analyze.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dayu_analyzer-585f431d407584f2.d: crates/analyzer/src/lib.rs crates/analyzer/src/build.rs crates/analyzer/src/detect.rs crates/analyzer/src/diff.rs crates/analyzer/src/export.rs crates/analyzer/src/graph.rs crates/analyzer/src/resolution.rs
+
+/root/repo/target/debug/deps/libdayu_analyzer-585f431d407584f2.rlib: crates/analyzer/src/lib.rs crates/analyzer/src/build.rs crates/analyzer/src/detect.rs crates/analyzer/src/diff.rs crates/analyzer/src/export.rs crates/analyzer/src/graph.rs crates/analyzer/src/resolution.rs
+
+/root/repo/target/debug/deps/libdayu_analyzer-585f431d407584f2.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/build.rs crates/analyzer/src/detect.rs crates/analyzer/src/diff.rs crates/analyzer/src/export.rs crates/analyzer/src/graph.rs crates/analyzer/src/resolution.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/build.rs:
+crates/analyzer/src/detect.rs:
+crates/analyzer/src/diff.rs:
+crates/analyzer/src/export.rs:
+crates/analyzer/src/graph.rs:
+crates/analyzer/src/resolution.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dayu_analyzer-d15b4bd7b4518471.d: crates/analyzer/src/lib.rs crates/analyzer/src/build.rs crates/analyzer/src/detect.rs crates/analyzer/src/diff.rs crates/analyzer/src/export.rs crates/analyzer/src/graph.rs crates/analyzer/src/resolution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_analyzer-d15b4bd7b4518471.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/build.rs crates/analyzer/src/detect.rs crates/analyzer/src/diff.rs crates/analyzer/src/export.rs crates/analyzer/src/graph.rs crates/analyzer/src/resolution.rs Cargo.toml
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/build.rs:
+crates/analyzer/src/detect.rs:
+crates/analyzer/src/diff.rs:
+crates/analyzer/src/export.rs:
+crates/analyzer/src/graph.rs:
+crates/analyzer/src/resolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/dayu_bench-967b244636654e9d.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig01.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig_graphs.rs crates/bench/src/io.rs crates/bench/src/lint.rs crates/bench/src/pipeline.rs crates/bench/src/recovery.rs crates/bench/src/replay.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_bench-967b244636654e9d.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig01.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig_graphs.rs crates/bench/src/io.rs crates/bench/src/lint.rs crates/bench/src/pipeline.rs crates/bench/src/recovery.rs crates/bench/src/replay.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig01.rs:
+crates/bench/src/fig09.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig13.rs:
+crates/bench/src/fig_graphs.rs:
+crates/bench/src/io.rs:
+crates/bench/src/lint.rs:
+crates/bench/src/pipeline.rs:
+crates/bench/src/recovery.rs:
+crates/bench/src/replay.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/dayu_bench-fcb73e32e18d5bc2.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig01.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig_graphs.rs crates/bench/src/io.rs crates/bench/src/lint.rs crates/bench/src/pipeline.rs crates/bench/src/recovery.rs crates/bench/src/replay.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libdayu_bench-fcb73e32e18d5bc2.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig01.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig_graphs.rs crates/bench/src/io.rs crates/bench/src/lint.rs crates/bench/src/pipeline.rs crates/bench/src/recovery.rs crates/bench/src/replay.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libdayu_bench-fcb73e32e18d5bc2.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig01.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig_graphs.rs crates/bench/src/io.rs crates/bench/src/lint.rs crates/bench/src/pipeline.rs crates/bench/src/recovery.rs crates/bench/src/replay.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig01.rs:
+crates/bench/src/fig09.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig13.rs:
+crates/bench/src/fig_graphs.rs:
+crates/bench/src/io.rs:
+crates/bench/src/lint.rs:
+crates/bench/src/pipeline.rs:
+crates/bench/src/recovery.rs:
+crates/bench/src/replay.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dayu_core-9d6f193cdd3b566a.d: crates/core/src/lib.rs crates/core/src/auto.rs
+
+/root/repo/target/debug/deps/libdayu_core-9d6f193cdd3b566a.rlib: crates/core/src/lib.rs crates/core/src/auto.rs
+
+/root/repo/target/debug/deps/libdayu_core-9d6f193cdd3b566a.rmeta: crates/core/src/lib.rs crates/core/src/auto.rs
+
+crates/core/src/lib.rs:
+crates/core/src/auto.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dayu_core-f39b0771b15a8c6b.d: crates/core/src/lib.rs crates/core/src/auto.rs
+
+/root/repo/target/debug/deps/dayu_core-f39b0771b15a8c6b: crates/core/src/lib.rs crates/core/src/auto.rs
+
+crates/core/src/lib.rs:
+crates/core/src/auto.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dayu_core-ff8b4f56360865e1.d: crates/core/src/lib.rs crates/core/src/auto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_core-ff8b4f56360865e1.rmeta: crates/core/src/lib.rs crates/core/src/auto.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/auto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

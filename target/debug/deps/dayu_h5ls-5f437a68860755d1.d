@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dayu_h5ls-5f437a68860755d1.d: crates/core/src/bin/dayu-h5ls.rs
+
+/root/repo/target/debug/deps/dayu_h5ls-5f437a68860755d1: crates/core/src/bin/dayu-h5ls.rs
+
+crates/core/src/bin/dayu-h5ls.rs:

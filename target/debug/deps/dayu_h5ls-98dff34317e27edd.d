@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dayu_h5ls-98dff34317e27edd.d: crates/core/src/bin/dayu-h5ls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_h5ls-98dff34317e27edd.rmeta: crates/core/src/bin/dayu-h5ls.rs Cargo.toml
+
+crates/core/src/bin/dayu-h5ls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

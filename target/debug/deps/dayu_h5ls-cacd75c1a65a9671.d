@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dayu_h5ls-cacd75c1a65a9671.d: crates/core/src/bin/dayu-h5ls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_h5ls-cacd75c1a65a9671.rmeta: crates/core/src/bin/dayu-h5ls.rs Cargo.toml
+
+crates/core/src/bin/dayu-h5ls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/dayu_hdf-39d7b18b539538b1.d: crates/hdf/src/lib.rs crates/hdf/src/alloc.rs crates/hdf/src/chunk.rs crates/hdf/src/codec.rs crates/hdf/src/crc.rs crates/hdf/src/dataset.rs crates/hdf/src/error.rs crates/hdf/src/file.rs crates/hdf/src/group.rs crates/hdf/src/heap.rs crates/hdf/src/hooks.rs crates/hdf/src/journal.rs crates/hdf/src/meta.rs crates/hdf/src/raw.rs crates/hdf/src/space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_hdf-39d7b18b539538b1.rmeta: crates/hdf/src/lib.rs crates/hdf/src/alloc.rs crates/hdf/src/chunk.rs crates/hdf/src/codec.rs crates/hdf/src/crc.rs crates/hdf/src/dataset.rs crates/hdf/src/error.rs crates/hdf/src/file.rs crates/hdf/src/group.rs crates/hdf/src/heap.rs crates/hdf/src/hooks.rs crates/hdf/src/journal.rs crates/hdf/src/meta.rs crates/hdf/src/raw.rs crates/hdf/src/space.rs Cargo.toml
+
+crates/hdf/src/lib.rs:
+crates/hdf/src/alloc.rs:
+crates/hdf/src/chunk.rs:
+crates/hdf/src/codec.rs:
+crates/hdf/src/crc.rs:
+crates/hdf/src/dataset.rs:
+crates/hdf/src/error.rs:
+crates/hdf/src/file.rs:
+crates/hdf/src/group.rs:
+crates/hdf/src/heap.rs:
+crates/hdf/src/hooks.rs:
+crates/hdf/src/journal.rs:
+crates/hdf/src/meta.rs:
+crates/hdf/src/raw.rs:
+crates/hdf/src/space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/dayu_hdf-90544163e1e1aa5a.d: crates/hdf/src/lib.rs crates/hdf/src/alloc.rs crates/hdf/src/chunk.rs crates/hdf/src/codec.rs crates/hdf/src/crc.rs crates/hdf/src/dataset.rs crates/hdf/src/error.rs crates/hdf/src/file.rs crates/hdf/src/group.rs crates/hdf/src/heap.rs crates/hdf/src/hooks.rs crates/hdf/src/journal.rs crates/hdf/src/meta.rs crates/hdf/src/raw.rs crates/hdf/src/space.rs
+
+/root/repo/target/debug/deps/libdayu_hdf-90544163e1e1aa5a.rlib: crates/hdf/src/lib.rs crates/hdf/src/alloc.rs crates/hdf/src/chunk.rs crates/hdf/src/codec.rs crates/hdf/src/crc.rs crates/hdf/src/dataset.rs crates/hdf/src/error.rs crates/hdf/src/file.rs crates/hdf/src/group.rs crates/hdf/src/heap.rs crates/hdf/src/hooks.rs crates/hdf/src/journal.rs crates/hdf/src/meta.rs crates/hdf/src/raw.rs crates/hdf/src/space.rs
+
+/root/repo/target/debug/deps/libdayu_hdf-90544163e1e1aa5a.rmeta: crates/hdf/src/lib.rs crates/hdf/src/alloc.rs crates/hdf/src/chunk.rs crates/hdf/src/codec.rs crates/hdf/src/crc.rs crates/hdf/src/dataset.rs crates/hdf/src/error.rs crates/hdf/src/file.rs crates/hdf/src/group.rs crates/hdf/src/heap.rs crates/hdf/src/hooks.rs crates/hdf/src/journal.rs crates/hdf/src/meta.rs crates/hdf/src/raw.rs crates/hdf/src/space.rs
+
+crates/hdf/src/lib.rs:
+crates/hdf/src/alloc.rs:
+crates/hdf/src/chunk.rs:
+crates/hdf/src/codec.rs:
+crates/hdf/src/crc.rs:
+crates/hdf/src/dataset.rs:
+crates/hdf/src/error.rs:
+crates/hdf/src/file.rs:
+crates/hdf/src/group.rs:
+crates/hdf/src/heap.rs:
+crates/hdf/src/hooks.rs:
+crates/hdf/src/journal.rs:
+crates/hdf/src/meta.rs:
+crates/hdf/src/raw.rs:
+crates/hdf/src/space.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dayu_lint-6e8311d7197dc8a6.d: crates/lint/src/lib.rs crates/lint/src/contract.rs crates/lint/src/extent.rs crates/lint/src/fsck.rs crates/lint/src/hazard.rs crates/lint/src/hb.rs crates/lint/src/lifetime.rs crates/lint/src/model.rs crates/lint/src/repair.rs crates/lint/src/symbolic.rs crates/lint/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_lint-6e8311d7197dc8a6.rmeta: crates/lint/src/lib.rs crates/lint/src/contract.rs crates/lint/src/extent.rs crates/lint/src/fsck.rs crates/lint/src/hazard.rs crates/lint/src/hb.rs crates/lint/src/lifetime.rs crates/lint/src/model.rs crates/lint/src/repair.rs crates/lint/src/symbolic.rs crates/lint/src/verify.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+crates/lint/src/contract.rs:
+crates/lint/src/extent.rs:
+crates/lint/src/fsck.rs:
+crates/lint/src/hazard.rs:
+crates/lint/src/hb.rs:
+crates/lint/src/lifetime.rs:
+crates/lint/src/model.rs:
+crates/lint/src/repair.rs:
+crates/lint/src/symbolic.rs:
+crates/lint/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dayu_lint-86a1c776326d203f.d: crates/lint/src/lib.rs crates/lint/src/contract.rs crates/lint/src/extent.rs crates/lint/src/fsck.rs crates/lint/src/hazard.rs crates/lint/src/hb.rs crates/lint/src/lifetime.rs crates/lint/src/model.rs crates/lint/src/repair.rs crates/lint/src/symbolic.rs crates/lint/src/verify.rs
+
+/root/repo/target/debug/deps/libdayu_lint-86a1c776326d203f.rlib: crates/lint/src/lib.rs crates/lint/src/contract.rs crates/lint/src/extent.rs crates/lint/src/fsck.rs crates/lint/src/hazard.rs crates/lint/src/hb.rs crates/lint/src/lifetime.rs crates/lint/src/model.rs crates/lint/src/repair.rs crates/lint/src/symbolic.rs crates/lint/src/verify.rs
+
+/root/repo/target/debug/deps/libdayu_lint-86a1c776326d203f.rmeta: crates/lint/src/lib.rs crates/lint/src/contract.rs crates/lint/src/extent.rs crates/lint/src/fsck.rs crates/lint/src/hazard.rs crates/lint/src/hb.rs crates/lint/src/lifetime.rs crates/lint/src/model.rs crates/lint/src/repair.rs crates/lint/src/symbolic.rs crates/lint/src/verify.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/contract.rs:
+crates/lint/src/extent.rs:
+crates/lint/src/fsck.rs:
+crates/lint/src/hazard.rs:
+crates/lint/src/hb.rs:
+crates/lint/src/lifetime.rs:
+crates/lint/src/model.rs:
+crates/lint/src/repair.rs:
+crates/lint/src/symbolic.rs:
+crates/lint/src/verify.rs:

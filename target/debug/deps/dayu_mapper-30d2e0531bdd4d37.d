@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dayu_mapper-30d2e0531bdd4d37.d: crates/mapper/src/lib.rs crates/mapper/src/config.rs crates/mapper/src/state.rs crates/mapper/src/timers.rs crates/mapper/src/vfd_profiler.rs crates/mapper/src/vol_profiler.rs
+
+/root/repo/target/debug/deps/libdayu_mapper-30d2e0531bdd4d37.rlib: crates/mapper/src/lib.rs crates/mapper/src/config.rs crates/mapper/src/state.rs crates/mapper/src/timers.rs crates/mapper/src/vfd_profiler.rs crates/mapper/src/vol_profiler.rs
+
+/root/repo/target/debug/deps/libdayu_mapper-30d2e0531bdd4d37.rmeta: crates/mapper/src/lib.rs crates/mapper/src/config.rs crates/mapper/src/state.rs crates/mapper/src/timers.rs crates/mapper/src/vfd_profiler.rs crates/mapper/src/vol_profiler.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/config.rs:
+crates/mapper/src/state.rs:
+crates/mapper/src/timers.rs:
+crates/mapper/src/vfd_profiler.rs:
+crates/mapper/src/vol_profiler.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dayu_mapper-5cd85aff25cd97a1.d: crates/mapper/src/lib.rs crates/mapper/src/config.rs crates/mapper/src/state.rs crates/mapper/src/timers.rs crates/mapper/src/vfd_profiler.rs crates/mapper/src/vol_profiler.rs
+
+/root/repo/target/debug/deps/dayu_mapper-5cd85aff25cd97a1: crates/mapper/src/lib.rs crates/mapper/src/config.rs crates/mapper/src/state.rs crates/mapper/src/timers.rs crates/mapper/src/vfd_profiler.rs crates/mapper/src/vol_profiler.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/config.rs:
+crates/mapper/src/state.rs:
+crates/mapper/src/timers.rs:
+crates/mapper/src/vfd_profiler.rs:
+crates/mapper/src/vol_profiler.rs:

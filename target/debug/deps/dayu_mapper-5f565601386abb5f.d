@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dayu_mapper-5f565601386abb5f.d: crates/mapper/src/lib.rs crates/mapper/src/config.rs crates/mapper/src/state.rs crates/mapper/src/timers.rs crates/mapper/src/vfd_profiler.rs crates/mapper/src/vol_profiler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_mapper-5f565601386abb5f.rmeta: crates/mapper/src/lib.rs crates/mapper/src/config.rs crates/mapper/src/state.rs crates/mapper/src/timers.rs crates/mapper/src/vfd_profiler.rs crates/mapper/src/vol_profiler.rs Cargo.toml
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/config.rs:
+crates/mapper/src/state.rs:
+crates/mapper/src/timers.rs:
+crates/mapper/src/vfd_profiler.rs:
+crates/mapper/src/vol_profiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

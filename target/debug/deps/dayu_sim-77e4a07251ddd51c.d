@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dayu_sim-77e4a07251ddd51c.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/program.rs crates/sim/src/tiers.rs
+
+/root/repo/target/debug/deps/libdayu_sim-77e4a07251ddd51c.rlib: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/program.rs crates/sim/src/tiers.rs
+
+/root/repo/target/debug/deps/libdayu_sim-77e4a07251ddd51c.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/program.rs crates/sim/src/tiers.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/program.rs:
+crates/sim/src/tiers.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dayu_sim-b3a40418e4be64e4.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/program.rs crates/sim/src/tiers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_sim-b3a40418e4be64e4.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/program.rs crates/sim/src/tiers.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/program.rs:
+crates/sim/src/tiers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dayu_trace-677aaf5bb18ee2a1.d: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/context.rs crates/trace/src/ids.rs crates/trace/src/intern.rs crates/trace/src/sha256.rs crates/trace/src/store.rs crates/trace/src/time.rs crates/trace/src/vfd.rs crates/trace/src/vol.rs crates/trace/src/wire.rs
+
+/root/repo/target/debug/deps/libdayu_trace-677aaf5bb18ee2a1.rlib: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/context.rs crates/trace/src/ids.rs crates/trace/src/intern.rs crates/trace/src/sha256.rs crates/trace/src/store.rs crates/trace/src/time.rs crates/trace/src/vfd.rs crates/trace/src/vol.rs crates/trace/src/wire.rs
+
+/root/repo/target/debug/deps/libdayu_trace-677aaf5bb18ee2a1.rmeta: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/context.rs crates/trace/src/ids.rs crates/trace/src/intern.rs crates/trace/src/sha256.rs crates/trace/src/store.rs crates/trace/src/time.rs crates/trace/src/vfd.rs crates/trace/src/vol.rs crates/trace/src/wire.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/binary.rs:
+crates/trace/src/context.rs:
+crates/trace/src/ids.rs:
+crates/trace/src/intern.rs:
+crates/trace/src/sha256.rs:
+crates/trace/src/store.rs:
+crates/trace/src/time.rs:
+crates/trace/src/vfd.rs:
+crates/trace/src/vol.rs:
+crates/trace/src/wire.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dayu_trace-afbef8cbffdcce28.d: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/context.rs crates/trace/src/ids.rs crates/trace/src/intern.rs crates/trace/src/sha256.rs crates/trace/src/store.rs crates/trace/src/time.rs crates/trace/src/vfd.rs crates/trace/src/vol.rs crates/trace/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_trace-afbef8cbffdcce28.rmeta: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/context.rs crates/trace/src/ids.rs crates/trace/src/intern.rs crates/trace/src/sha256.rs crates/trace/src/store.rs crates/trace/src/time.rs crates/trace/src/vfd.rs crates/trace/src/vol.rs crates/trace/src/wire.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/binary.rs:
+crates/trace/src/context.rs:
+crates/trace/src/ids.rs:
+crates/trace/src/intern.rs:
+crates/trace/src/sha256.rs:
+crates/trace/src/store.rs:
+crates/trace/src/time.rs:
+crates/trace/src/vfd.rs:
+crates/trace/src/vol.rs:
+crates/trace/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

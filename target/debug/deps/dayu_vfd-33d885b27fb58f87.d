@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dayu_vfd-33d885b27fb58f87.d: crates/vfd/src/lib.rs crates/vfd/src/batch.rs crates/vfd/src/counting.rs crates/vfd/src/crash.rs crates/vfd/src/faulty.rs crates/vfd/src/file.rs crates/vfd/src/mem.rs crates/vfd/src/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_vfd-33d885b27fb58f87.rmeta: crates/vfd/src/lib.rs crates/vfd/src/batch.rs crates/vfd/src/counting.rs crates/vfd/src/crash.rs crates/vfd/src/faulty.rs crates/vfd/src/file.rs crates/vfd/src/mem.rs crates/vfd/src/replay.rs Cargo.toml
+
+crates/vfd/src/lib.rs:
+crates/vfd/src/batch.rs:
+crates/vfd/src/counting.rs:
+crates/vfd/src/crash.rs:
+crates/vfd/src/faulty.rs:
+crates/vfd/src/file.rs:
+crates/vfd/src/mem.rs:
+crates/vfd/src/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

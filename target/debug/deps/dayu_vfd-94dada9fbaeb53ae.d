@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dayu_vfd-94dada9fbaeb53ae.d: crates/vfd/src/lib.rs crates/vfd/src/batch.rs crates/vfd/src/counting.rs crates/vfd/src/crash.rs crates/vfd/src/faulty.rs crates/vfd/src/file.rs crates/vfd/src/mem.rs crates/vfd/src/replay.rs
+
+/root/repo/target/debug/deps/dayu_vfd-94dada9fbaeb53ae: crates/vfd/src/lib.rs crates/vfd/src/batch.rs crates/vfd/src/counting.rs crates/vfd/src/crash.rs crates/vfd/src/faulty.rs crates/vfd/src/file.rs crates/vfd/src/mem.rs crates/vfd/src/replay.rs
+
+crates/vfd/src/lib.rs:
+crates/vfd/src/batch.rs:
+crates/vfd/src/counting.rs:
+crates/vfd/src/crash.rs:
+crates/vfd/src/faulty.rs:
+crates/vfd/src/file.rs:
+crates/vfd/src/mem.rs:
+crates/vfd/src/replay.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dayu_vfd-cd3e39b2ccc3ec58.d: crates/vfd/src/lib.rs crates/vfd/src/batch.rs crates/vfd/src/counting.rs crates/vfd/src/crash.rs crates/vfd/src/faulty.rs crates/vfd/src/file.rs crates/vfd/src/mem.rs crates/vfd/src/replay.rs
+
+/root/repo/target/debug/deps/libdayu_vfd-cd3e39b2ccc3ec58.rlib: crates/vfd/src/lib.rs crates/vfd/src/batch.rs crates/vfd/src/counting.rs crates/vfd/src/crash.rs crates/vfd/src/faulty.rs crates/vfd/src/file.rs crates/vfd/src/mem.rs crates/vfd/src/replay.rs
+
+/root/repo/target/debug/deps/libdayu_vfd-cd3e39b2ccc3ec58.rmeta: crates/vfd/src/lib.rs crates/vfd/src/batch.rs crates/vfd/src/counting.rs crates/vfd/src/crash.rs crates/vfd/src/faulty.rs crates/vfd/src/file.rs crates/vfd/src/mem.rs crates/vfd/src/replay.rs
+
+crates/vfd/src/lib.rs:
+crates/vfd/src/batch.rs:
+crates/vfd/src/counting.rs:
+crates/vfd/src/crash.rs:
+crates/vfd/src/faulty.rs:
+crates/vfd/src/file.rs:
+crates/vfd/src/mem.rs:
+crates/vfd/src/replay.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dayu_vfd-e779041ab03b2919.d: crates/vfd/src/lib.rs crates/vfd/src/batch.rs crates/vfd/src/counting.rs crates/vfd/src/crash.rs crates/vfd/src/faulty.rs crates/vfd/src/file.rs crates/vfd/src/mem.rs crates/vfd/src/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_vfd-e779041ab03b2919.rmeta: crates/vfd/src/lib.rs crates/vfd/src/batch.rs crates/vfd/src/counting.rs crates/vfd/src/crash.rs crates/vfd/src/faulty.rs crates/vfd/src/file.rs crates/vfd/src/mem.rs crates/vfd/src/replay.rs Cargo.toml
+
+crates/vfd/src/lib.rs:
+crates/vfd/src/batch.rs:
+crates/vfd/src/counting.rs:
+crates/vfd/src/crash.rs:
+crates/vfd/src/faulty.rs:
+crates/vfd/src/file.rs:
+crates/vfd/src/mem.rs:
+crates/vfd/src/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dayu_workflow-2e36376559cf4c6f.d: crates/workflow/src/lib.rs crates/workflow/src/bundle.rs crates/workflow/src/contract.rs crates/workflow/src/replay.rs crates/workflow/src/rerun.rs crates/workflow/src/retry.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs crates/workflow/src/transform.rs
+
+/root/repo/target/debug/deps/dayu_workflow-2e36376559cf4c6f: crates/workflow/src/lib.rs crates/workflow/src/bundle.rs crates/workflow/src/contract.rs crates/workflow/src/replay.rs crates/workflow/src/rerun.rs crates/workflow/src/retry.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs crates/workflow/src/transform.rs
+
+crates/workflow/src/lib.rs:
+crates/workflow/src/bundle.rs:
+crates/workflow/src/contract.rs:
+crates/workflow/src/replay.rs:
+crates/workflow/src/rerun.rs:
+crates/workflow/src/retry.rs:
+crates/workflow/src/runner.rs:
+crates/workflow/src/spec.rs:
+crates/workflow/src/transform.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dayu_workflow-6b0459819e11f6e2.d: crates/workflow/src/lib.rs crates/workflow/src/bundle.rs crates/workflow/src/contract.rs crates/workflow/src/replay.rs crates/workflow/src/rerun.rs crates/workflow/src/retry.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs crates/workflow/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_workflow-6b0459819e11f6e2.rmeta: crates/workflow/src/lib.rs crates/workflow/src/bundle.rs crates/workflow/src/contract.rs crates/workflow/src/replay.rs crates/workflow/src/rerun.rs crates/workflow/src/retry.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs crates/workflow/src/transform.rs Cargo.toml
+
+crates/workflow/src/lib.rs:
+crates/workflow/src/bundle.rs:
+crates/workflow/src/contract.rs:
+crates/workflow/src/replay.rs:
+crates/workflow/src/rerun.rs:
+crates/workflow/src/retry.rs:
+crates/workflow/src/runner.rs:
+crates/workflow/src/spec.rs:
+crates/workflow/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

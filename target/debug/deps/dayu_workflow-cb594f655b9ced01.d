@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dayu_workflow-cb594f655b9ced01.d: crates/workflow/src/lib.rs crates/workflow/src/bundle.rs crates/workflow/src/contract.rs crates/workflow/src/replay.rs crates/workflow/src/rerun.rs crates/workflow/src/retry.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs crates/workflow/src/transform.rs
+
+/root/repo/target/debug/deps/libdayu_workflow-cb594f655b9ced01.rlib: crates/workflow/src/lib.rs crates/workflow/src/bundle.rs crates/workflow/src/contract.rs crates/workflow/src/replay.rs crates/workflow/src/rerun.rs crates/workflow/src/retry.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs crates/workflow/src/transform.rs
+
+/root/repo/target/debug/deps/libdayu_workflow-cb594f655b9ced01.rmeta: crates/workflow/src/lib.rs crates/workflow/src/bundle.rs crates/workflow/src/contract.rs crates/workflow/src/replay.rs crates/workflow/src/rerun.rs crates/workflow/src/retry.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs crates/workflow/src/transform.rs
+
+crates/workflow/src/lib.rs:
+crates/workflow/src/bundle.rs:
+crates/workflow/src/contract.rs:
+crates/workflow/src/replay.rs:
+crates/workflow/src/rerun.rs:
+crates/workflow/src/retry.rs:
+crates/workflow/src/runner.rs:
+crates/workflow/src/spec.rs:
+crates/workflow/src/transform.rs:

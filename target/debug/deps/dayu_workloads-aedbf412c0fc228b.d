@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dayu_workloads-aedbf412c0fc228b.d: crates/workloads/src/lib.rs crates/workloads/src/arldm.rs crates/workloads/src/bench_common.rs crates/workloads/src/corner_case.rs crates/workloads/src/ddmd.rs crates/workloads/src/h5bench.rs crates/workloads/src/pyflextrkr.rs crates/workloads/src/util.rs
+
+/root/repo/target/debug/deps/libdayu_workloads-aedbf412c0fc228b.rlib: crates/workloads/src/lib.rs crates/workloads/src/arldm.rs crates/workloads/src/bench_common.rs crates/workloads/src/corner_case.rs crates/workloads/src/ddmd.rs crates/workloads/src/h5bench.rs crates/workloads/src/pyflextrkr.rs crates/workloads/src/util.rs
+
+/root/repo/target/debug/deps/libdayu_workloads-aedbf412c0fc228b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/arldm.rs crates/workloads/src/bench_common.rs crates/workloads/src/corner_case.rs crates/workloads/src/ddmd.rs crates/workloads/src/h5bench.rs crates/workloads/src/pyflextrkr.rs crates/workloads/src/util.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arldm.rs:
+crates/workloads/src/bench_common.rs:
+crates/workloads/src/corner_case.rs:
+crates/workloads/src/ddmd.rs:
+crates/workloads/src/h5bench.rs:
+crates/workloads/src/pyflextrkr.rs:
+crates/workloads/src/util.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dayu_workloads-e282f7467ae88740.d: crates/workloads/src/lib.rs crates/workloads/src/arldm.rs crates/workloads/src/bench_common.rs crates/workloads/src/corner_case.rs crates/workloads/src/ddmd.rs crates/workloads/src/h5bench.rs crates/workloads/src/pyflextrkr.rs crates/workloads/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdayu_workloads-e282f7467ae88740.rmeta: crates/workloads/src/lib.rs crates/workloads/src/arldm.rs crates/workloads/src/bench_common.rs crates/workloads/src/corner_case.rs crates/workloads/src/ddmd.rs crates/workloads/src/h5bench.rs crates/workloads/src/pyflextrkr.rs crates/workloads/src/util.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arldm.rs:
+crates/workloads/src/bench_common.rs:
+crates/workloads/src/corner_case.rs:
+crates/workloads/src/ddmd.rs:
+crates/workloads/src/h5bench.rs:
+crates/workloads/src/pyflextrkr.rs:
+crates/workloads/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

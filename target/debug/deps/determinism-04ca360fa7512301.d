@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-04ca360fa7512301.d: crates/analyzer/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-04ca360fa7512301.rmeta: crates/analyzer/tests/determinism.rs Cargo.toml
+
+crates/analyzer/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

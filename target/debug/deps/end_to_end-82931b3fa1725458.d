@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-82931b3fa1725458.d: tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-82931b3fa1725458.rmeta: tests/end_to_end.rs Cargo.toml
+
+tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

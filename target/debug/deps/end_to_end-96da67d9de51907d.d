@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-96da67d9de51907d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-96da67d9de51907d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-aaa3e4516390e137.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-aaa3e4516390e137: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-097960da2c927454.d: crates/bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-097960da2c927454.rmeta: crates/bench/src/bin/figures.rs Cargo.toml
+
+crates/bench/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-47413caf4f21fb60.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-47413caf4f21fb60: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

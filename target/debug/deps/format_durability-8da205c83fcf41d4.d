@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/format_durability-8da205c83fcf41d4.d: tests/format_durability.rs
+
+/root/repo/target/debug/deps/format_durability-8da205c83fcf41d4: tests/format_durability.rs
+
+tests/format_durability.rs:

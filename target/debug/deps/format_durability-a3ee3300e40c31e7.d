@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/format_durability-a3ee3300e40c31e7.d: tests/format_durability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libformat_durability-a3ee3300e40c31e7.rmeta: tests/format_durability.rs Cargo.toml
+
+tests/format_durability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

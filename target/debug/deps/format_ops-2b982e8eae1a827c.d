@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/format_ops-2b982e8eae1a827c.d: crates/bench/benches/format_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libformat_ops-2b982e8eae1a827c.rmeta: crates/bench/benches/format_ops.rs Cargo.toml
+
+crates/bench/benches/format_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

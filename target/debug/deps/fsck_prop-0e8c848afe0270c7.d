@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fsck_prop-0e8c848afe0270c7.d: crates/lint/tests/fsck_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfsck_prop-0e8c848afe0270c7.rmeta: crates/lint/tests/fsck_prop.rs Cargo.toml
+
+crates/lint/tests/fsck_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

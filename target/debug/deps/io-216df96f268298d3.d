@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io-216df96f268298d3.d: crates/bench/src/bin/io.rs
+
+/root/repo/target/debug/deps/io-216df96f268298d3: crates/bench/src/bin/io.rs
+
+crates/bench/src/bin/io.rs:

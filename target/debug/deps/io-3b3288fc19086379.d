@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/io-3b3288fc19086379.d: crates/bench/src/bin/io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libio-3b3288fc19086379.rmeta: crates/bench/src/bin/io.rs Cargo.toml
+
+crates/bench/src/bin/io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/io-ed9d13cc4b4b40d3.d: crates/bench/src/bin/io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libio-ed9d13cc4b4b40d3.rmeta: crates/bench/src/bin/io.rs Cargo.toml
+
+crates/bench/src/bin/io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/io_engine_matrix-0a91dd478bbe3f80.d: tests/io_engine_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libio_engine_matrix-0a91dd478bbe3f80.rmeta: tests/io_engine_matrix.rs Cargo.toml
+
+tests/io_engine_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_engine_matrix-e35794656edf89f1.d: tests/io_engine_matrix.rs
+
+/root/repo/target/debug/deps/io_engine_matrix-e35794656edf89f1: tests/io_engine_matrix.rs
+
+tests/io_engine_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/journal_prop-6b363d6338ef7314.d: crates/hdf/tests/journal_prop.rs
+
+/root/repo/target/debug/deps/journal_prop-6b363d6338ef7314: crates/hdf/tests/journal_prop.rs
+
+crates/hdf/tests/journal_prop.rs:

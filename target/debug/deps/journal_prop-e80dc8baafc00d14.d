@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/journal_prop-e80dc8baafc00d14.d: crates/hdf/tests/journal_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjournal_prop-e80dc8baafc00d14.rmeta: crates/hdf/tests/journal_prop.rs Cargo.toml
+
+crates/hdf/tests/journal_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lint-35298ccd3547f7bf.d: crates/bench/src/bin/lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint-35298ccd3547f7bf.rmeta: crates/bench/src/bin/lint.rs Cargo.toml
+
+crates/bench/src/bin/lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lint-4befffe946c8f9be.d: crates/bench/src/bin/lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint-4befffe946c8f9be.rmeta: crates/bench/src/bin/lint.rs Cargo.toml
+
+crates/bench/src/bin/lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

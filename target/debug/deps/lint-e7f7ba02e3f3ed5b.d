@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lint-e7f7ba02e3f3ed5b.d: crates/bench/src/bin/lint.rs
+
+/root/repo/target/debug/deps/lint-e7f7ba02e3f3ed5b: crates/bench/src/bin/lint.rs
+
+crates/bench/src/bin/lint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapper_overhead-4020fbb91c12f4db.d: crates/bench/benches/mapper_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapper_overhead-4020fbb91c12f4db.rmeta: crates/bench/benches/mapper_overhead.rs Cargo.toml
+
+crates/bench/benches/mapper_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-44d070c215566907.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-44d070c215566907: tests/paper_claims.rs
+
+tests/paper_claims.rs:

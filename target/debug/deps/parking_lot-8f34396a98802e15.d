@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-8f34396a98802e15.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-8f34396a98802e15.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-8f34396a98802e15.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

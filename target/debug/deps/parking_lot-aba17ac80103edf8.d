@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-aba17ac80103edf8.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-aba17ac80103edf8.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-d8cd033ce90b410a.d: crates/bench/src/bin/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-d8cd033ce90b410a: crates/bench/src/bin/pipeline.rs
+
+crates/bench/src/bin/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-e14978d960bc6d83.d: crates/bench/src/bin/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-e14978d960bc6d83.rmeta: crates/bench/src/bin/pipeline.rs Cargo.toml
+
+crates/bench/src/bin/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

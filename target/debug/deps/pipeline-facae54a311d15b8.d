@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-facae54a311d15b8.d: crates/bench/src/bin/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-facae54a311d15b8.rmeta: crates/bench/src/bin/pipeline.rs Cargo.toml
+
+crates/bench/src/bin/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

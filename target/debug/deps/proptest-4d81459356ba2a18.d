@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-4d81459356ba2a18.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-4d81459356ba2a18.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-4d81459356ba2a18.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-ad126dd73efa8aa4.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ad126dd73efa8aa4.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-41bdb952abe100dc.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-41bdb952abe100dc.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

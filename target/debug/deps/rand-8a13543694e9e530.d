@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-8a13543694e9e530.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8a13543694e9e530.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8a13543694e9e530.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

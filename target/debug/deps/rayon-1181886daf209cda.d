@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-1181886daf209cda.d: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-1181886daf209cda.rlib: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-1181886daf209cda.rmeta: /tmp/stubs/rayon/src/lib.rs
+
+/tmp/stubs/rayon/src/lib.rs:

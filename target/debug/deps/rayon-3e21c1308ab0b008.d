@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-3e21c1308ab0b008.d: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-3e21c1308ab0b008.rmeta: /tmp/stubs/rayon/src/lib.rs
+
+/tmp/stubs/rayon/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-b41bab0c62873be8.d: crates/bench/src/bin/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-b41bab0c62873be8.rmeta: crates/bench/src/bin/recovery.rs Cargo.toml
+
+crates/bench/src/bin/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-e63574edf3cf6f73.d: crates/bench/src/bin/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-e63574edf3cf6f73.rmeta: crates/bench/src/bin/recovery.rs Cargo.toml
+
+crates/bench/src/bin/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-fa2610fe2c38546c.d: crates/bench/src/bin/recovery.rs
+
+/root/repo/target/debug/deps/recovery-fa2610fe2c38546c: crates/bench/src/bin/recovery.rs
+
+crates/bench/src/bin/recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replay-34952862584b6eda.d: crates/bench/src/bin/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplay-34952862584b6eda.rmeta: crates/bench/src/bin/replay.rs Cargo.toml
+
+crates/bench/src/bin/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replay-a123d50e4ebf4274.d: crates/bench/src/bin/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplay-a123d50e4ebf4274.rmeta: crates/bench/src/bin/replay.rs Cargo.toml
+
+crates/bench/src/bin/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

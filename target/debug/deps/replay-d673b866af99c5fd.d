@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay-d673b866af99c5fd.d: crates/bench/src/bin/replay.rs
+
+/root/repo/target/debug/deps/replay-d673b866af99c5fd: crates/bench/src/bin/replay.rs
+
+crates/bench/src/bin/replay.rs:

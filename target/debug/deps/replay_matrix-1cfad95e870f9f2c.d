@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay_matrix-1cfad95e870f9f2c.d: tests/replay_matrix.rs
+
+/root/repo/target/debug/deps/replay_matrix-1cfad95e870f9f2c: tests/replay_matrix.rs
+
+tests/replay_matrix.rs:

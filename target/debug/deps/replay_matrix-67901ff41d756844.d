@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replay_matrix-67901ff41d756844.d: tests/replay_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplay_matrix-67901ff41d756844.rmeta: tests/replay_matrix.rs Cargo.toml
+
+tests/replay_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

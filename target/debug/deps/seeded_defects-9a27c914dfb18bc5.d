@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/seeded_defects-9a27c914dfb18bc5.d: crates/lint/tests/seeded_defects.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseeded_defects-9a27c914dfb18bc5.rmeta: crates/lint/tests/seeded_defects.rs Cargo.toml
+
+crates/lint/tests/seeded_defects.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

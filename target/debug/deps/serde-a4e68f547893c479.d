@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-a4e68f547893c479.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a4e68f547893c479.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a4e68f547893c479.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-eb31b316609e87af.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-eb31b316609e87af.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

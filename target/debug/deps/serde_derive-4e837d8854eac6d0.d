@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-4e837d8854eac6d0.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-4e837d8854eac6d0.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-95cdb4b499e6ef75.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-95cdb4b499e6ef75.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

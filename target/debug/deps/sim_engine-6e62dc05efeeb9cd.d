@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_engine-6e62dc05efeeb9cd.d: crates/bench/benches/sim_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_engine-6e62dc05efeeb9cd.rmeta: crates/bench/benches/sim_engine.rs Cargo.toml
+
+crates/bench/benches/sim_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/symbolic_contracts-4e72971b332dd605.d: tests/symbolic_contracts.rs
+
+/root/repo/target/debug/deps/symbolic_contracts-4e72971b332dd605: tests/symbolic_contracts.rs
+
+tests/symbolic_contracts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/symbolic_contracts-5a2d2689a0abbf40.d: tests/symbolic_contracts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsymbolic_contracts-5a2d2689a0abbf40.rmeta: tests/symbolic_contracts.rs Cargo.toml
+
+tests/symbolic_contracts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/arldm_layout-121a8c126df7d8c7.d: examples/arldm_layout.rs
+
+/root/repo/target/debug/examples/arldm_layout-121a8c126df7d8c7: examples/arldm_layout.rs
+
+examples/arldm_layout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/auto_optimize-f7e9ac9365232c95.d: examples/auto_optimize.rs
+
+/root/repo/target/debug/examples/auto_optimize-f7e9ac9365232c95: examples/auto_optimize.rs
+
+examples/auto_optimize.rs:

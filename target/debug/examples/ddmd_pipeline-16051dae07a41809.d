@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ddmd_pipeline-16051dae07a41809.d: examples/ddmd_pipeline.rs
+
+/root/repo/target/debug/examples/ddmd_pipeline-16051dae07a41809: examples/ddmd_pipeline.rs
+
+examples/ddmd_pipeline.rs:

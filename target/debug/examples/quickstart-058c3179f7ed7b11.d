@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-058c3179f7ed7b11.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-058c3179f7ed7b11: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/storm_tracking-f3cf780b8d8b2610.d: examples/storm_tracking.rs
+
+/root/repo/target/debug/examples/storm_tracking-f3cf780b8d8b2610: examples/storm_tracking.rs
+
+examples/storm_tracking.rs:

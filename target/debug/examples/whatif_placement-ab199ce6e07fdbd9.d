@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whatif_placement-ab199ce6e07fdbd9.d: examples/whatif_placement.rs
+
+/root/repo/target/debug/examples/whatif_placement-ab199ce6e07fdbd9: examples/whatif_placement.rs
+
+examples/whatif_placement.rs:

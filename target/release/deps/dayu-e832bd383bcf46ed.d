@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dayu-e832bd383bcf46ed.d: src/lib.rs
+
+/root/repo/target/release/deps/libdayu-e832bd383bcf46ed.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdayu-e832bd383bcf46ed.rmeta: src/lib.rs
+
+src/lib.rs:

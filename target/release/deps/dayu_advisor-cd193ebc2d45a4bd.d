@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dayu_advisor-cd193ebc2d45a4bd.d: crates/advisor/src/lib.rs
+
+/root/repo/target/release/deps/libdayu_advisor-cd193ebc2d45a4bd.rlib: crates/advisor/src/lib.rs
+
+/root/repo/target/release/deps/libdayu_advisor-cd193ebc2d45a4bd.rmeta: crates/advisor/src/lib.rs
+
+crates/advisor/src/lib.rs:

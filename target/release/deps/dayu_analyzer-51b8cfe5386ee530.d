@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dayu_analyzer-51b8cfe5386ee530.d: crates/analyzer/src/lib.rs crates/analyzer/src/build.rs crates/analyzer/src/detect.rs crates/analyzer/src/diff.rs crates/analyzer/src/export.rs crates/analyzer/src/graph.rs crates/analyzer/src/resolution.rs
+
+/root/repo/target/release/deps/libdayu_analyzer-51b8cfe5386ee530.rlib: crates/analyzer/src/lib.rs crates/analyzer/src/build.rs crates/analyzer/src/detect.rs crates/analyzer/src/diff.rs crates/analyzer/src/export.rs crates/analyzer/src/graph.rs crates/analyzer/src/resolution.rs
+
+/root/repo/target/release/deps/libdayu_analyzer-51b8cfe5386ee530.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/build.rs crates/analyzer/src/detect.rs crates/analyzer/src/diff.rs crates/analyzer/src/export.rs crates/analyzer/src/graph.rs crates/analyzer/src/resolution.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/build.rs:
+crates/analyzer/src/detect.rs:
+crates/analyzer/src/diff.rs:
+crates/analyzer/src/export.rs:
+crates/analyzer/src/graph.rs:
+crates/analyzer/src/resolution.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dayu_core-8a5b3acfed523f05.d: crates/core/src/lib.rs crates/core/src/auto.rs
+
+/root/repo/target/release/deps/libdayu_core-8a5b3acfed523f05.rlib: crates/core/src/lib.rs crates/core/src/auto.rs
+
+/root/repo/target/release/deps/libdayu_core-8a5b3acfed523f05.rmeta: crates/core/src/lib.rs crates/core/src/auto.rs
+
+crates/core/src/lib.rs:
+crates/core/src/auto.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/dayu_hdf-dac847751b2f11ab.d: crates/hdf/src/lib.rs crates/hdf/src/alloc.rs crates/hdf/src/chunk.rs crates/hdf/src/codec.rs crates/hdf/src/crc.rs crates/hdf/src/dataset.rs crates/hdf/src/error.rs crates/hdf/src/file.rs crates/hdf/src/group.rs crates/hdf/src/heap.rs crates/hdf/src/hooks.rs crates/hdf/src/journal.rs crates/hdf/src/meta.rs crates/hdf/src/raw.rs crates/hdf/src/space.rs
+
+/root/repo/target/release/deps/libdayu_hdf-dac847751b2f11ab.rlib: crates/hdf/src/lib.rs crates/hdf/src/alloc.rs crates/hdf/src/chunk.rs crates/hdf/src/codec.rs crates/hdf/src/crc.rs crates/hdf/src/dataset.rs crates/hdf/src/error.rs crates/hdf/src/file.rs crates/hdf/src/group.rs crates/hdf/src/heap.rs crates/hdf/src/hooks.rs crates/hdf/src/journal.rs crates/hdf/src/meta.rs crates/hdf/src/raw.rs crates/hdf/src/space.rs
+
+/root/repo/target/release/deps/libdayu_hdf-dac847751b2f11ab.rmeta: crates/hdf/src/lib.rs crates/hdf/src/alloc.rs crates/hdf/src/chunk.rs crates/hdf/src/codec.rs crates/hdf/src/crc.rs crates/hdf/src/dataset.rs crates/hdf/src/error.rs crates/hdf/src/file.rs crates/hdf/src/group.rs crates/hdf/src/heap.rs crates/hdf/src/hooks.rs crates/hdf/src/journal.rs crates/hdf/src/meta.rs crates/hdf/src/raw.rs crates/hdf/src/space.rs
+
+crates/hdf/src/lib.rs:
+crates/hdf/src/alloc.rs:
+crates/hdf/src/chunk.rs:
+crates/hdf/src/codec.rs:
+crates/hdf/src/crc.rs:
+crates/hdf/src/dataset.rs:
+crates/hdf/src/error.rs:
+crates/hdf/src/file.rs:
+crates/hdf/src/group.rs:
+crates/hdf/src/heap.rs:
+crates/hdf/src/hooks.rs:
+crates/hdf/src/journal.rs:
+crates/hdf/src/meta.rs:
+crates/hdf/src/raw.rs:
+crates/hdf/src/space.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dayu_lint-081380ad8845f3ed.d: crates/lint/src/lib.rs crates/lint/src/contract.rs crates/lint/src/extent.rs crates/lint/src/fsck.rs crates/lint/src/hazard.rs crates/lint/src/hb.rs crates/lint/src/lifetime.rs crates/lint/src/model.rs crates/lint/src/repair.rs crates/lint/src/symbolic.rs crates/lint/src/verify.rs
+
+/root/repo/target/release/deps/libdayu_lint-081380ad8845f3ed.rlib: crates/lint/src/lib.rs crates/lint/src/contract.rs crates/lint/src/extent.rs crates/lint/src/fsck.rs crates/lint/src/hazard.rs crates/lint/src/hb.rs crates/lint/src/lifetime.rs crates/lint/src/model.rs crates/lint/src/repair.rs crates/lint/src/symbolic.rs crates/lint/src/verify.rs
+
+/root/repo/target/release/deps/libdayu_lint-081380ad8845f3ed.rmeta: crates/lint/src/lib.rs crates/lint/src/contract.rs crates/lint/src/extent.rs crates/lint/src/fsck.rs crates/lint/src/hazard.rs crates/lint/src/hb.rs crates/lint/src/lifetime.rs crates/lint/src/model.rs crates/lint/src/repair.rs crates/lint/src/symbolic.rs crates/lint/src/verify.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/contract.rs:
+crates/lint/src/extent.rs:
+crates/lint/src/fsck.rs:
+crates/lint/src/hazard.rs:
+crates/lint/src/hb.rs:
+crates/lint/src/lifetime.rs:
+crates/lint/src/model.rs:
+crates/lint/src/repair.rs:
+crates/lint/src/symbolic.rs:
+crates/lint/src/verify.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dayu_mapper-7bc28a48c5008346.d: crates/mapper/src/lib.rs crates/mapper/src/config.rs crates/mapper/src/state.rs crates/mapper/src/timers.rs crates/mapper/src/vfd_profiler.rs crates/mapper/src/vol_profiler.rs
+
+/root/repo/target/release/deps/libdayu_mapper-7bc28a48c5008346.rlib: crates/mapper/src/lib.rs crates/mapper/src/config.rs crates/mapper/src/state.rs crates/mapper/src/timers.rs crates/mapper/src/vfd_profiler.rs crates/mapper/src/vol_profiler.rs
+
+/root/repo/target/release/deps/libdayu_mapper-7bc28a48c5008346.rmeta: crates/mapper/src/lib.rs crates/mapper/src/config.rs crates/mapper/src/state.rs crates/mapper/src/timers.rs crates/mapper/src/vfd_profiler.rs crates/mapper/src/vol_profiler.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/config.rs:
+crates/mapper/src/state.rs:
+crates/mapper/src/timers.rs:
+crates/mapper/src/vfd_profiler.rs:
+crates/mapper/src/vol_profiler.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dayu_sim-6950a2fe53ffef1c.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/program.rs crates/sim/src/tiers.rs
+
+/root/repo/target/release/deps/libdayu_sim-6950a2fe53ffef1c.rlib: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/program.rs crates/sim/src/tiers.rs
+
+/root/repo/target/release/deps/libdayu_sim-6950a2fe53ffef1c.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/program.rs crates/sim/src/tiers.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/program.rs:
+crates/sim/src/tiers.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dayu_trace-0c91fbe9a2ea7163.d: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/context.rs crates/trace/src/ids.rs crates/trace/src/intern.rs crates/trace/src/sha256.rs crates/trace/src/store.rs crates/trace/src/time.rs crates/trace/src/vfd.rs crates/trace/src/vol.rs crates/trace/src/wire.rs
+
+/root/repo/target/release/deps/libdayu_trace-0c91fbe9a2ea7163.rlib: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/context.rs crates/trace/src/ids.rs crates/trace/src/intern.rs crates/trace/src/sha256.rs crates/trace/src/store.rs crates/trace/src/time.rs crates/trace/src/vfd.rs crates/trace/src/vol.rs crates/trace/src/wire.rs
+
+/root/repo/target/release/deps/libdayu_trace-0c91fbe9a2ea7163.rmeta: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/context.rs crates/trace/src/ids.rs crates/trace/src/intern.rs crates/trace/src/sha256.rs crates/trace/src/store.rs crates/trace/src/time.rs crates/trace/src/vfd.rs crates/trace/src/vol.rs crates/trace/src/wire.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/binary.rs:
+crates/trace/src/context.rs:
+crates/trace/src/ids.rs:
+crates/trace/src/intern.rs:
+crates/trace/src/sha256.rs:
+crates/trace/src/store.rs:
+crates/trace/src/time.rs:
+crates/trace/src/vfd.rs:
+crates/trace/src/vol.rs:
+crates/trace/src/wire.rs:

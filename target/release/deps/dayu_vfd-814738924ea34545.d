@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dayu_vfd-814738924ea34545.d: crates/vfd/src/lib.rs crates/vfd/src/batch.rs crates/vfd/src/counting.rs crates/vfd/src/crash.rs crates/vfd/src/faulty.rs crates/vfd/src/file.rs crates/vfd/src/mem.rs crates/vfd/src/replay.rs
+
+/root/repo/target/release/deps/libdayu_vfd-814738924ea34545.rlib: crates/vfd/src/lib.rs crates/vfd/src/batch.rs crates/vfd/src/counting.rs crates/vfd/src/crash.rs crates/vfd/src/faulty.rs crates/vfd/src/file.rs crates/vfd/src/mem.rs crates/vfd/src/replay.rs
+
+/root/repo/target/release/deps/libdayu_vfd-814738924ea34545.rmeta: crates/vfd/src/lib.rs crates/vfd/src/batch.rs crates/vfd/src/counting.rs crates/vfd/src/crash.rs crates/vfd/src/faulty.rs crates/vfd/src/file.rs crates/vfd/src/mem.rs crates/vfd/src/replay.rs
+
+crates/vfd/src/lib.rs:
+crates/vfd/src/batch.rs:
+crates/vfd/src/counting.rs:
+crates/vfd/src/crash.rs:
+crates/vfd/src/faulty.rs:
+crates/vfd/src/file.rs:
+crates/vfd/src/mem.rs:
+crates/vfd/src/replay.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dayu_workflow-000bf9f1cf2c6050.d: crates/workflow/src/lib.rs crates/workflow/src/bundle.rs crates/workflow/src/contract.rs crates/workflow/src/replay.rs crates/workflow/src/rerun.rs crates/workflow/src/retry.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs crates/workflow/src/transform.rs
+
+/root/repo/target/release/deps/libdayu_workflow-000bf9f1cf2c6050.rlib: crates/workflow/src/lib.rs crates/workflow/src/bundle.rs crates/workflow/src/contract.rs crates/workflow/src/replay.rs crates/workflow/src/rerun.rs crates/workflow/src/retry.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs crates/workflow/src/transform.rs
+
+/root/repo/target/release/deps/libdayu_workflow-000bf9f1cf2c6050.rmeta: crates/workflow/src/lib.rs crates/workflow/src/bundle.rs crates/workflow/src/contract.rs crates/workflow/src/replay.rs crates/workflow/src/rerun.rs crates/workflow/src/retry.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs crates/workflow/src/transform.rs
+
+crates/workflow/src/lib.rs:
+crates/workflow/src/bundle.rs:
+crates/workflow/src/contract.rs:
+crates/workflow/src/replay.rs:
+crates/workflow/src/rerun.rs:
+crates/workflow/src/retry.rs:
+crates/workflow/src/runner.rs:
+crates/workflow/src/spec.rs:
+crates/workflow/src/transform.rs:

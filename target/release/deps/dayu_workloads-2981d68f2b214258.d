@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dayu_workloads-2981d68f2b214258.d: crates/workloads/src/lib.rs crates/workloads/src/arldm.rs crates/workloads/src/bench_common.rs crates/workloads/src/corner_case.rs crates/workloads/src/ddmd.rs crates/workloads/src/h5bench.rs crates/workloads/src/pyflextrkr.rs crates/workloads/src/util.rs
+
+/root/repo/target/release/deps/libdayu_workloads-2981d68f2b214258.rlib: crates/workloads/src/lib.rs crates/workloads/src/arldm.rs crates/workloads/src/bench_common.rs crates/workloads/src/corner_case.rs crates/workloads/src/ddmd.rs crates/workloads/src/h5bench.rs crates/workloads/src/pyflextrkr.rs crates/workloads/src/util.rs
+
+/root/repo/target/release/deps/libdayu_workloads-2981d68f2b214258.rmeta: crates/workloads/src/lib.rs crates/workloads/src/arldm.rs crates/workloads/src/bench_common.rs crates/workloads/src/corner_case.rs crates/workloads/src/ddmd.rs crates/workloads/src/h5bench.rs crates/workloads/src/pyflextrkr.rs crates/workloads/src/util.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arldm.rs:
+crates/workloads/src/bench_common.rs:
+crates/workloads/src/corner_case.rs:
+crates/workloads/src/ddmd.rs:
+crates/workloads/src/h5bench.rs:
+crates/workloads/src/pyflextrkr.rs:
+crates/workloads/src/util.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/io-b5c693f8ad485773.d: crates/bench/src/bin/io.rs
+
+/root/repo/target/release/deps/io-b5c693f8ad485773: crates/bench/src/bin/io.rs
+
+crates/bench/src/bin/io.rs:

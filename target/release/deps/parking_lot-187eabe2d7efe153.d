@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-187eabe2d7efe153.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-187eabe2d7efe153.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-187eabe2d7efe153.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-4edc17586abe6ba0.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4edc17586abe6ba0.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4edc17586abe6ba0.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

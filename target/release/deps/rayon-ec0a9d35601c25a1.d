@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-ec0a9d35601c25a1.d: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-ec0a9d35601c25a1.rlib: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-ec0a9d35601c25a1.rmeta: /tmp/stubs/rayon/src/lib.rs
+
+/tmp/stubs/rayon/src/lib.rs:

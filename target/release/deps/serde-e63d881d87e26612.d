@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-e63d881d87e26612.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e63d881d87e26612.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e63d881d87e26612.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-eed7d1fcc6df9de9.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-eed7d1fcc6df9de9.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-a5ceefdcb0fa4927.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-a5ceefdcb0fa4927.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-a5ceefdcb0fa4927.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:
