@@ -283,6 +283,54 @@ impl Graph {
             }
         }
     }
+
+    /// Node ids in a stable topological order: Kahn's algorithm with a
+    /// min-id frontier, so equal-rank nodes always come out in id order and
+    /// two structurally identical graphs yield the same sequence. Every node
+    /// appears exactly once; if the graph has a cycle (recorded SDGs can —
+    /// a task that reads a dataset back after writing it produces edges in
+    /// both directions), the smallest-id node still waiting is released,
+    /// which breaks the cycle deterministically instead of dropping nodes.
+    pub fn topo_order(&self) -> Vec<usize> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        let mut out = vec![Vec::new(); n];
+        for e in &self.edges {
+            if e.from == e.to {
+                continue; // self-loops never gate release
+            }
+            indegree[e.to] += 1;
+            out[e.from].push(e.to);
+        }
+        let mut ready: BinaryHeap<Reverse<usize>> = (0..n)
+            .filter(|&id| indegree[id] == 0)
+            .map(Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        let mut done = vec![false; n];
+        while order.len() < n {
+            let id = match ready.pop() {
+                Some(Reverse(id)) if !done[id] => id,
+                Some(_) => continue,
+                // Cycle: release the smallest-id node not yet emitted.
+                None => (0..n).find(|&id| !done[id]).expect("node remains"),
+            };
+            done[id] = true;
+            order.push(id);
+            for &to in &out[id] {
+                if !done[to] {
+                    indegree[to] = indegree[to].saturating_sub(1);
+                    if indegree[to] == 0 {
+                        ready.push(Reverse(to));
+                    }
+                }
+            }
+        }
+        order
+    }
 }
 
 impl PartialEq for Graph {
@@ -457,6 +505,45 @@ mod tests {
         );
         assert_eq!(back.edges.len(), 1, "edge index survives rebuild");
         assert_eq!(back.edges[0].stats.access_count, 3);
+    }
+
+    #[test]
+    fn topo_order_is_stable_and_complete() {
+        let mut g = Graph::new(GraphKind::Sdg, "wf");
+        let a = g.node(NodeKind::Task, "a");
+        let d = g.node(NodeKind::Dataset, "f:/d");
+        let b = g.node(NodeKind::Task, "b");
+        let c = g.node(NodeKind::Task, "c");
+        g.edge(a, d, Operation::WriteOnly, EdgeStats::default());
+        g.edge(d, b, Operation::ReadOnly, EdgeStats::default());
+        g.edge(d, c, Operation::ReadOnly, EdgeStats::default());
+        let order = g.topo_order();
+        assert_eq!(order.len(), g.nodes.len());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; order.len()];
+            for (i, &id) in order.iter().enumerate() {
+                p[id] = i;
+            }
+            p
+        };
+        assert!(pos[a] < pos[d] && pos[d] < pos[b] && pos[d] < pos[c]);
+        // b and c are peers: the min-id tie-break puts b first.
+        assert!(pos[b] < pos[c]);
+        assert_eq!(order, g.topo_order(), "deterministic across calls");
+    }
+
+    #[test]
+    fn topo_order_survives_cycles() {
+        let mut g = Graph::new(GraphKind::Sdg, "wf");
+        let t = g.node(NodeKind::Task, "t");
+        let d = g.node(NodeKind::Dataset, "f:/d");
+        // Write-then-read-back: edges both ways form a 2-cycle.
+        g.edge(t, d, Operation::WriteOnly, EdgeStats::default());
+        g.edge(d, t, Operation::ReadOnly, EdgeStats::default());
+        g.edge(t, t, Operation::ReadWrite, EdgeStats::default());
+        let order = g.topo_order();
+        assert_eq!(order.len(), 2, "every node emitted exactly once");
+        assert_eq!(order, vec![t, d], "min-id node breaks the cycle");
     }
 
     #[test]

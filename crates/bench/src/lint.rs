@@ -10,7 +10,10 @@
 //! exercise the happens-before engine.
 
 use crate::Scale;
-use dayu_lint::{analyze_contracts, analyze_stream, check_conformance_stream, LintConfig};
+use dayu_lint::{
+    analyze_contracts, analyze_stream, check_conformance_stream, cost_model, CostConfig,
+    LintConfig, StaticPrediction,
+};
 use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
 use dayu_trace::store::TraceBundle;
 use dayu_trace::time::Timestamp;
@@ -194,6 +197,12 @@ pub struct LintReport {
     pub conformance_records: u64,
     /// Conformance findings (must be zero: the spec mirrors the trace).
     pub conformance_findings: usize,
+    /// Static dataflow prediction wall time (sSDG/sFTG construction plus
+    /// the abstract cost model), nanoseconds — also spec-sized, pre-run.
+    pub predict_ns: u64,
+    /// Predicted critical-path bytes of the mirrored spec (must be
+    /// non-zero: every stage moves data).
+    pub predict_cp_bytes: u64,
 }
 
 impl LintReport {
@@ -233,6 +242,10 @@ impl LintReport {
                 "conformance_records_per_sec": self.conformance_records_per_sec(),
                 "conformance_findings": self.conformance_findings,
             },
+            "predict": {
+                "wall_ns": self.predict_ns,
+                "critical_path_bytes": self.predict_cp_bytes,
+            },
         })
     }
 }
@@ -262,6 +275,11 @@ pub fn run(cfg: &LintBenchConfig) -> LintReport {
         check_conformance_stream(&bytes[..], &spec).expect("stream conformance");
     let conformance_ns = t0.elapsed().as_nanos() as u64;
 
+    let t0 = Instant::now();
+    let pred = StaticPrediction::from_spec(&spec);
+    let costs = cost_model(&pred, &CostConfig::default());
+    let predict_ns = t0.elapsed().as_nanos() as u64;
+
     assert_eq!(records, cfg.records(), "generator must emit what it claims");
     LintReport {
         records,
@@ -275,6 +293,8 @@ pub fn run(cfg: &LintBenchConfig) -> LintReport {
         conformance_ns,
         conformance_records: conf_records,
         conformance_findings: conf_report.len(),
+        predict_ns,
+        predict_cp_bytes: costs.critical_path_bytes,
     }
 }
 
@@ -296,8 +316,10 @@ pub fn report_json(cfg: &LintBenchConfig, report: &LintReport) -> Value {
 /// The `--check` gate: the clean-by-construction trace must produce zero
 /// findings (race, static contract, and conformance), a full-size
 /// (≥ 1M record) run must lint *and* conformance-sweep within 2 seconds
-/// each, and the pre-run static pass — spec-sized, never touching the
-/// trace — must finish well under that, inside 200 ms.
+/// each, and the pre-run spec-sized passes — which never touch the
+/// trace — must finish well under that: the static contract pass inside
+/// 200 ms, the static dataflow prediction (graphs + cost model) inside
+/// 300 ms.
 pub fn check(cfg: &LintBenchConfig, report: &LintReport) -> Vec<String> {
     let mut failures = Vec::new();
     if report.findings != 0 {
@@ -337,6 +359,15 @@ pub fn check(cfg: &LintBenchConfig, report: &LintReport) -> Vec<String> {
             "static contract pass took {:.0} ms (budget 200 ms)",
             report.contracts_ns as f64 / 1e6
         ));
+    }
+    if report.predict_ns > 300_000_000 {
+        failures.push(format!(
+            "static dataflow prediction took {:.0} ms (budget 300 ms)",
+            report.predict_ns as f64 / 1e6
+        ));
+    }
+    if report.predict_cp_bytes == 0 {
+        failures.push("predicted critical path is empty on a data-moving spec".into());
     }
     if matches!(cfg.scale, Scale::Full) && report.records < 1_000_000 {
         failures.push(format!(
@@ -396,6 +427,31 @@ mod tests {
         assert_eq!(doc["detector"]["findings"], 0);
         assert_eq!(doc["detector"]["contracts"]["static_findings"], 0);
         assert_eq!(doc["detector"]["contracts"]["conformance_findings"], 0);
+        assert!(doc["detector"]["predict"]["wall_ns"].as_u64().is_some());
+        assert!(
+            doc["detector"]["predict"]["critical_path_bytes"]
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+    }
+
+    #[test]
+    fn prediction_of_the_mirrored_spec_is_sound() {
+        // The spec mirrors the synthetic trace task for task, so the
+        // predicted sSDG must contain the recorded one edge for edge.
+        let cfg = LintBenchConfig::smoke();
+        let bundle = synthetic_bundle(&cfg);
+        let spec = contract_spec(&cfg);
+        let sdg = dayu_analyzer::Analysis::run(&bundle).sdg;
+        let cmp = StaticPrediction::from_spec(&spec).compare(&sdg);
+        assert!(
+            cmp.is_sound(),
+            "{} missing, {} mismatched\n{}",
+            cmp.missing,
+            cmp.mismatched,
+            cmp.report
+        );
     }
 
     #[test]

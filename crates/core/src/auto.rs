@@ -11,7 +11,7 @@
 
 use dayu_advisor::{advise, advise_lint, Action, Recommendation};
 use dayu_analyzer::Analysis;
-use dayu_lint::{verify, ContractCatalog, ExtentCatalog, LintConfig};
+use dayu_lint::{plan_critical_path_bytes, verify, ContractCatalog, ExtentCatalog, LintConfig};
 use dayu_sim::cluster::{Cluster, FileLocation, Placement};
 use dayu_sim::engine::{Engine, SimError, SimReport};
 use dayu_sim::program::SimTask;
@@ -39,6 +39,16 @@ pub struct AutoOutcome {
     pub rejected: Vec<String>,
     /// The recommendations the plan was derived from.
     pub recommendations: Vec<Recommendation>,
+    /// Predicted critical-path bytes (abstract cost model, engine-blind)
+    /// of the baseline replay plan.
+    pub predicted_baseline_cp_bytes: u64,
+    /// Predicted critical-path bytes of the final optimized plan.
+    pub predicted_plan_cp_bytes: u64,
+    /// One line per cost-scored candidate action: the predicted
+    /// critical-path bytes of the plan with that rewrite applied. Phase-2
+    /// application order follows these scores (cheapest predicted path
+    /// first), not the advisor's emission order.
+    pub plan_scores: Vec<String>,
 }
 
 impl AutoOutcome {
@@ -55,6 +65,104 @@ fn node_of(tasks: &[SimTask], name: &str) -> usize {
         .find(|t| t.name == name)
         .map(|t| t.node)
         .unwrap_or(0)
+}
+
+/// Bytes the run moved for `file`: what was written, or — for pure inputs
+/// written before tracing began — what was read.
+fn traced_file_bytes(run: &RecordedRun, file: &str) -> u64 {
+    file_written_bytes(run, file).max(
+        run.bundle
+            .vfd
+            .iter()
+            .filter(|r| r.file.as_str() == file && r.kind == IoKind::Read)
+            .map(|r| r.len)
+            .sum(),
+    )
+}
+
+/// Predicted critical-path bytes of `tasks` with `f` applied to a scratch
+/// copy; the real plan is untouched.
+fn scored<R>(tasks: &[SimTask], f: impl FnOnce(&mut Vec<SimTask>) -> R) -> u64 {
+    let mut scratch = tasks.to_vec();
+    f(&mut scratch);
+    plan_critical_path_bytes(&scratch).0
+}
+
+/// Scores a candidate action by re-running the abstract cost model on the
+/// transformed plan: `(label, predicted critical-path bytes)`. `None` for
+/// actions with no mechanical plan rewrite to score (advisories, phase-1
+/// trace edits, pure placement hints).
+fn score_action(tasks: &[SimTask], run: &RecordedRun, action: &Action) -> Option<(String, u64)> {
+    match action {
+        Action::Parallelize { first, second } => Some((
+            format!("parallelize {second} with {first}"),
+            scored(tasks, |t| transform::parallelize(t, first, second)),
+        )),
+        Action::CoSchedule { producer, consumer } => Some((
+            format!("co-schedule {consumer} with {producer}"),
+            scored(tasks, |t| transform::co_schedule(t, producer, consumer)),
+        )),
+        Action::PrefetchToNodeLocal { file, .. } => {
+            let bytes = traced_file_bytes(run, file);
+            if bytes == 0 {
+                return None;
+            }
+            Some((
+                format!("prefetch {file}"),
+                scored(tasks, |t| {
+                    let node = readers_of(t, file).first().map(|&i| t[i].node)?;
+                    let mut scratch_placement = Placement::new();
+                    transform::stage_in(
+                        t,
+                        &mut scratch_placement,
+                        file,
+                        bytes,
+                        node,
+                        TierKind::NvmeSsd,
+                    );
+                    Some(())
+                }),
+            ))
+        }
+        Action::StageOut { file } => {
+            let bytes = file_written_bytes(run, file);
+            if bytes == 0 {
+                return None;
+            }
+            Some((
+                format!("stage-out {file}"),
+                scored(tasks, |t| {
+                    let node = readers_of(t, file).first().map(|&i| t[i].node).unwrap_or(0);
+                    transform::stage_out_async(t, file, bytes, node);
+                }),
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Applies an ordering rewrite through two gates: the abstract cost model
+/// first — a rewrite whose transformed plan predicts *more* critical-path
+/// bytes is rejected before any semantics check (`parallelize` makes the
+/// second task inherit the first's prerequisites, which lengthens the
+/// weighted path when the advisor mispairs tasks) — then the
+/// semantics-preservation verifier.
+fn cp_gated<R>(
+    tasks: &mut Vec<SimTask>,
+    label: &str,
+    contracts: Option<&ContractCatalog>,
+    catalog: &ExtentCatalog,
+    f: impl Fn(&mut Vec<SimTask>) -> R,
+) -> Result<R, String> {
+    let before = plan_critical_path_bytes(tasks).0;
+    let after = scored(tasks, &f);
+    if after > before {
+        return Err(format!(
+            "{label}: predicted critical-path bytes regress ({before} -> {after} B)"
+        ));
+    }
+    verify::verified_with_oracles(tasks, label, contracts, Some(catalog), f)
+        .map_err(|v| v.to_string())
 }
 
 /// Derives and scores an optimized plan for a recorded run on `cluster`.
@@ -145,16 +253,39 @@ pub fn optimize_with_contracts(
     // a file, and real collisions are rejected as extent races.
     let catalog = ExtentCatalog::from_bundle(&opt_run.bundle);
     let mut staged: HashMap<String, ()> = HashMap::new();
-    for rec in &recommendations {
+
+    // Rank the candidates before applying any of them: re-run the abstract
+    // cost model (`plan_critical_path_bytes`) on each mechanical rewrite
+    // applied to a scratch copy of the plan, and walk phase 2 cheapest
+    // predicted critical path first. Unscorable actions keep the advisor's
+    // emission order at a neutral score, and ties stay stable.
+    let predicted_baseline_cp_bytes = plan_critical_path_bytes(&baseline_tasks).0;
+    let start_cp = plan_critical_path_bytes(&tasks).0;
+    let mut plan_scores = Vec::new();
+    let mut order: Vec<(usize, u64)> = recommendations
+        .iter()
+        .enumerate()
+        .map(
+            |(i, rec)| match score_action(&tasks, &opt_run, &rec.action) {
+                Some((label, cp)) => {
+                    plan_scores.push(format!(
+                        "{label}: predicted critical path {start_cp} -> {cp} B"
+                    ));
+                    (i, cp)
+                }
+                None => (i, start_cp),
+            },
+        )
+        .collect();
+    order.sort_by_key(|&(_, cp)| cp);
+
+    for &(idx, _) in &order {
+        let rec = &recommendations[idx];
         match &rec.action {
             Action::CoSchedule { producer, consumer } => {
-                match verify::verified_with_oracles(
-                    &mut tasks,
-                    "co_schedule",
-                    contracts,
-                    Some(&catalog),
-                    |t| transform::co_schedule(t, producer, consumer),
-                ) {
+                match cp_gated(&mut tasks, "co_schedule", contracts, &catalog, |t| {
+                    transform::co_schedule(t, producer, consumer)
+                }) {
                     Ok(()) => {
                         // The file between them becomes node-local.
                         let node = node_of(&tasks, producer);
@@ -168,7 +299,7 @@ pub fn optimize_with_contracts(
                             "co-scheduled {consumer} with {producer} on node {node}, outputs on local SSD"
                         ));
                     }
-                    Err(v) => rejected.push(v.to_string()),
+                    Err(v) => rejected.push(v),
                 }
             }
             Action::CacheInFastTier { target } => {
@@ -226,15 +357,11 @@ pub fn optimize_with_contracts(
                 }
             }
             Action::Parallelize { first, second } => {
-                match verify::verified_with_oracles(
-                    &mut tasks,
-                    "parallelize",
-                    contracts,
-                    Some(&catalog),
-                    |t| transform::parallelize(t, first, second),
-                ) {
+                match cp_gated(&mut tasks, "parallelize", contracts, &catalog, |t| {
+                    transform::parallelize(t, first, second)
+                }) {
                     Ok(()) => applied.push(format!("pipelined {second} with {first}")),
-                    Err(v) => rejected.push(v.to_string()),
+                    Err(v) => rejected.push(v),
                 }
             }
             Action::StageOut { file } => {
@@ -275,10 +402,37 @@ pub fn optimize_with_contracts(
                 bytes,
             } => {
                 // Never applied mechanically: within the recorded window a
-                // final product is indistinguishable from dead data.
+                // final product is indistinguishable from dead data. The
+                // cost model still prices the hypothetical so a human can
+                // rank which elisions are worth confirming.
+                let mut elided = opt_run.bundle.clone();
+                let touchers: Vec<String> = elided
+                    .vfd
+                    .iter()
+                    .filter(|r| r.file.as_str() == file && r.object.as_str() == dataset)
+                    .map(|r| r.task.as_str().to_owned())
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                for t in &touchers {
+                    transform::drop_object_ops(&mut elided, t, dataset);
+                }
+                let elided_run = RecordedRun {
+                    bundle: elided,
+                    stage_of: opt_run.stage_of.clone(),
+                    compute_ns: opt_run.compute_ns.clone(),
+                    stage_names: opt_run.stage_names.clone(),
+                    outcomes: opt_run.outcomes.clone(),
+                };
+                let elided_cp = plan_critical_path_bytes(&to_sim_tasks(&elided_run, &schedule)).0;
+                let cur_cp = plan_critical_path_bytes(&tasks).0;
+                plan_scores.push(format!(
+                    "elide {file}:{dataset}: predicted critical path {cur_cp} -> {elided_cp} B"
+                ));
                 advisories.push(format!(
                     "elide {file}:{dataset} ({bytes} B written, never read in the \
-                     recorded workflow) — confirm it is not a final product"
+                     recorded workflow; would take the predicted critical path \
+                     from {cur_cp} to {elided_cp} B) — confirm it is not a final product"
                 ));
             }
             Action::AuditRecoveredOutputs { task } => {
@@ -319,6 +473,7 @@ pub fn optimize_with_contracts(
     }
 
     let optimized = Engine::new(cluster, &placement).run(&tasks)?;
+    let predicted_plan_cp_bytes = plan_critical_path_bytes(&tasks).0;
     Ok(AutoOutcome {
         baseline,
         optimized,
@@ -326,6 +481,9 @@ pub fn optimize_with_contracts(
         advisories,
         rejected,
         recommendations,
+        predicted_baseline_cp_bytes,
+        predicted_plan_cp_bytes,
+        plan_scores,
     })
 }
 
@@ -370,6 +528,16 @@ mod tests {
             .any(|a| a.contains("layout") || a.contains("consolidate")));
         // Advisor-derived transforms on a clean run all pass verification.
         assert!(out.rejected.is_empty(), "{:?}", out.rejected);
+        // The abstract cost model priced the baseline and the candidates.
+        assert!(out.predicted_baseline_cp_bytes > 0);
+        assert!(out.predicted_plan_cp_bytes > 0);
+        assert!(
+            out.plan_scores
+                .iter()
+                .all(|s| s.contains("predicted critical path")),
+            "{:?}",
+            out.plan_scores
+        );
     }
 
     #[test]
@@ -416,5 +584,31 @@ mod tests {
         .unwrap_err();
         assert_eq!(tasks, before);
         assert!(err.to_string().contains("parallelize"), "{err}");
+    }
+
+    #[test]
+    fn cost_model_rejects_cp_regressing_parallelize() {
+        use dayu_sim::program::{SimOp, SimTask};
+
+        // "first" sits downstream of a heavy producer; "second" is an
+        // independent writer whose own path is the critical one. The
+        // parallelize rewrite makes `second` inherit `first`'s heavy
+        // prerequisite, lengthening the byte-weighted critical path — the
+        // cost model rejects the plan before the semantics verifier runs.
+        let mut tasks = vec![
+            SimTask::new("heavy").with_program(vec![SimOp::write("big.h5", 1 << 20)]),
+            SimTask::new("first")
+                .after(&[0])
+                .with_program(vec![SimOp::read("big.h5", 1 << 20)]),
+            SimTask::new("second").with_program(vec![SimOp::write("out.h5", 3 << 20)]),
+        ];
+        let before = tasks.clone();
+        let catalog = ExtentCatalog::default();
+        let err = cp_gated(&mut tasks, "parallelize", None, &catalog, |t| {
+            transform::parallelize(t, "first", "second")
+        })
+        .unwrap_err();
+        assert!(err.contains("critical-path bytes regress"), "{err}");
+        assert_eq!(tasks, before, "plan untouched after cost rejection");
     }
 }

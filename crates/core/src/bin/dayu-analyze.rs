@@ -16,6 +16,12 @@
 //! dayu-analyze check trace.dtb --waste     # also report dead datasets / redundant overwrites
 //! dayu-analyze check --contracts ddmd      # static contract pass alone: prove/refute the
 //!                                          # declared footprints, no trace needed
+//! dayu-analyze predict ddmd                # contract-derived sSDG/sFTG + abstract cost
+//!                                          # model: per-stage bytes/ops, critical path
+//! dayu-analyze predict ddmd --io-engine batched    # op counts under coalescing
+//! dayu-analyze predict ddmd --compare run/trace.jsonl --deny incomplete-contract
+//!                                          # CI gate: recorded SDG must be contained in
+//!                                          # the prediction (exit 1 on contract holes)
 //! dayu-analyze check trace.jsonl --contracts ddmd --deny contract-violation
 //!                                          # + replay the trace against the declared
 //!                                          # contracts (out-of-footprint I/O, waste)
@@ -57,8 +63,8 @@
 use dayu_analyzer::{export, resolution, Analysis, DetectorConfig, SdgOptions};
 use dayu_hdf::Durability;
 use dayu_lint::{
-    analyze_contracts, analyze_stream, check_conformance_stream, fsck_bytes, repair_bytes, Finding,
-    LintConfig,
+    analyze_contracts, analyze_stream, check_conformance_stream, cost_model, fsck_bytes,
+    repair_bytes, CostConfig, Finding, LintConfig, StaticPrediction,
 };
 use dayu_trace::{TraceBundle, TraceFormat};
 use dayu_vfd::{CrashSchedule, FaultSchedule, IoEngineConfig, IoEngineMode, MemFs};
@@ -72,7 +78,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dayu-analyze <trace.{{jsonl|dtb}}> [--format jsonl|binary] [--out DIR]\n                           [--regions N] [--aggregate]\n       dayu-analyze check [<trace.{{jsonl|dtb}}>] [--inputs FILE,FILE,...] [--json]\n                           [--deny CLASS]... [--waste]\n                           [--contracts <ddmd|pyflextrkr|arldm>]\n                           (a trace, --contracts, or both; --contracts alone runs\n                            the static footprint pass, with a trace it also checks\n                            conformance)\n       dayu-analyze record <ddmd|pyflextrkr|arldm> [--chaos-seed N] [--retries N]\n                           [--fault-rate P] [--dead-at N] [--crash-seed N] [--crash-at N]\n                           [--durability journal|write-through] [--resume]\n                           [--io-engine scalar|batched] [--queue-depth N]\n                           [--readahead N] [--no-coalesce]\n                           [--manual-clock] [--bundle FILE.drb]\n                           [--format jsonl|binary] [--out DIR]\n       record exits 0 (clean), 3 (degraded trace), 4 (unrecoverable corruption);\n       on 3/4 a replay bundle is auto-emitted with the reproduction command\n       dayu-analyze bundle verify <run.drb>    # hash-chain check, no re-execution\n       dayu-analyze replay <run.drb>           # re-execute + cross-check (exit 5: diverged)\n       dayu-analyze diff <a.drb> <b.drb> [--json]   # first divergence + SDG ancestors"
+        "usage: dayu-analyze <trace.{{jsonl|dtb}}> [--format jsonl|binary] [--out DIR]\n                           [--regions N] [--aggregate]\n       dayu-analyze check [<trace.{{jsonl|dtb}}>] [--inputs FILE,FILE,...] [--json]\n                           [--deny CLASS]... [--waste]\n                           [--contracts <ddmd|pyflextrkr|arldm>]\n                           (a trace, --contracts, or both; --contracts alone runs\n                            the static footprint pass, with a trace it also checks\n                            conformance)\n       dayu-analyze predict <ddmd|pyflextrkr|arldm> [--json] [--io-engine scalar|batched]\n                           [--compare <trace.{{jsonl|dtb}}>] [--deny CLASS]...\n                           (contract-derived static sSDG/sFTG + abstract cost model;\n                            --compare validates a recorded trace against the prediction,\n                            unpredicted raw edges are incomplete-contract findings)\n       dayu-analyze record <ddmd|pyflextrkr|arldm> [--chaos-seed N] [--retries N]\n                           [--fault-rate P] [--dead-at N] [--crash-seed N] [--crash-at N]\n                           [--durability journal|write-through] [--resume]\n                           [--io-engine scalar|batched] [--queue-depth N]\n                           [--readahead N] [--no-coalesce]\n                           [--manual-clock] [--bundle FILE.drb]\n                           [--format jsonl|binary] [--out DIR]\n       record exits 0 (clean), 3 (degraded trace), 4 (unrecoverable corruption);\n       on 3/4 a replay bundle is auto-emitted with the reproduction command\n       dayu-analyze bundle verify <run.drb>    # hash-chain check, no re-execution\n       dayu-analyze replay <run.drb>           # re-execute + cross-check (exit 5: diverged)\n       dayu-analyze diff <a.drb> <b.drb> [--json]   # first divergence + SDG ancestors"
     );
     std::process::exit(2);
 }
@@ -552,6 +558,188 @@ fn check_main(args: Vec<String>) -> ! {
     std::process::exit(if denied.is_empty() { 0 } else { 1 });
 }
 
+/// `dayu-analyze predict`: static dataflow prediction — abstract
+/// interpretation of the workload's declared contracts builds the sSDG
+/// and sFTG without opening a single VFD, and the abstract cost model
+/// prices every task, stage and the symbolic critical path under the
+/// chosen I/O engine.
+///
+/// `--compare <trace>` additionally builds the *recorded* SDG from a
+/// trace of the same workload and checks containment: every recorded
+/// raw-data edge must have a static counterpart. A recorded edge the
+/// contracts never predict is an `incomplete-contract` finding (a hole in
+/// the declaration); a recorded task the spec does not know is a
+/// `graph-mismatch`. Exit codes mirror `check`: 0 — no denied findings;
+/// 1 — at least one denied finding; 2 — usage error.
+fn predict_main(args: Vec<String>) -> ! {
+    let mut workload: Option<String> = None;
+    let mut compare: Option<PathBuf> = None;
+    let mut json = false;
+    let mut deny: Vec<String> = Vec::new();
+    let mut cost_cfg = CostConfig::default();
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--compare" => compare = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--io-engine" => {
+                cost_cfg.engine = match args.next().as_deref() {
+                    Some("scalar") => IoEngineConfig::default(),
+                    Some("batched") => IoEngineConfig::batched(),
+                    _ => usage(),
+                }
+            }
+            "--deny" => {
+                let class = args.next().unwrap_or_else(|| usage());
+                if !Finding::categories().contains(&class.as_str()) {
+                    eprintln!(
+                        "unknown finding class {class:?}; expected one of: {}",
+                        Finding::categories().join(", ")
+                    );
+                    std::process::exit(2);
+                }
+                deny.push(class);
+            }
+            "-h" | "--help" => usage(),
+            w if workload.is_none() => workload = Some(w.to_owned()),
+            _ => usage(),
+        }
+    }
+    let Some(workload) = workload else { usage() };
+    let spec = workload_spec(&workload);
+    let pred = StaticPrediction::from_spec(&spec);
+    let costs = cost_model(&pred, &cost_cfg);
+
+    let comparison = compare.as_ref().map(|path| {
+        let bundle = load_bundle(path, None);
+        let analysis = Analysis::run(&bundle);
+        pred.compare(&analysis.sdg)
+    });
+
+    if json {
+        #[derive(serde::Serialize)]
+        struct CompareJson {
+            matched: usize,
+            missing: usize,
+            extra: usize,
+            mismatched: usize,
+            precision: f64,
+            recall: f64,
+            findings: Vec<String>,
+        }
+        #[derive(serde::Serialize)]
+        struct PredictJson<'a> {
+            workflow: &'a str,
+            cost: &'a dayu_lint::CostReport,
+            flows: &'a [dayu_lint::PredictedFlow],
+            live_ranges: &'a [dayu_lint::LiveRange],
+            compare: Option<CompareJson>,
+        }
+        let out = PredictJson {
+            workflow: &workload,
+            cost: &costs,
+            flows: &pred.flows,
+            live_ranges: &pred.live_ranges,
+            compare: comparison.as_ref().map(|c| CompareJson {
+                matched: c.matched,
+                missing: c.missing,
+                extra: c.extra,
+                mismatched: c.mismatched,
+                precision: c.precision(),
+                recall: c.recall(),
+                findings: c
+                    .report
+                    .findings
+                    .iter()
+                    .map(|f| format!("[{}] {f}", f.category()))
+                    .collect(),
+            }),
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serialize prediction")
+        );
+    } else {
+        let contracted = pred.tasks.iter().filter(|t| t.contracted).count();
+        println!(
+            "workflow {workload}: {} task(s) over {} stage(s); contracts cover {contracted}/{}",
+            pred.tasks.len(),
+            pred.stage_names.len(),
+            pred.tasks.len()
+        );
+        println!(
+            "sSDG: {} nodes / {} edges;  sFTG: {} nodes / {} edges;  flows: {};  live ranges: {}",
+            pred.sdg.nodes.len(),
+            pred.sdg.edges.len(),
+            pred.ftg.nodes.len(),
+            pred.ftg.edges.len(),
+            pred.flows.len(),
+            pred.live_ranges.len()
+        );
+        println!(
+            "\npredicted cost ({} engine, {} B requests, {} B cache):",
+            if cost_cfg.engine.is_batched() {
+                "batched"
+            } else {
+                "scalar"
+            },
+            cost_cfg.request_bytes,
+            cost_cfg.cache_bytes
+        );
+        println!(
+            "  {:<20} {:>5} {:>12} {:>12} {:>7} {:>12}  heaviest task",
+            "stage", "tasks", "read B", "written B", "ops", "working set"
+        );
+        for s in &costs.stages {
+            println!(
+                "  {:<20} {:>5} {:>12} {:>12} {:>7} {:>12}{} {} ({} B)",
+                s.stage,
+                s.tasks,
+                s.bytes_read,
+                s.bytes_written,
+                s.ops,
+                s.working_set,
+                if s.over_cache { "!" } else { " " },
+                s.critical_task,
+                s.critical_bytes
+            );
+        }
+        println!(
+            "  total: {} B moved in {} predicted op(s)",
+            costs.total_bytes, costs.total_ops
+        );
+        println!(
+            "critical path ({} B): {}",
+            costs.critical_path_bytes,
+            costs.critical_path.join(" -> ")
+        );
+        if let (Some(c), Some(path)) = (&comparison, &compare) {
+            println!(
+                "\ncompare vs {}: {} matched, {} missing, {} extra, {} mismatched \
+                 (precision {:.2}, recall {:.2})",
+                path.display(),
+                c.matched,
+                c.missing,
+                c.extra,
+                c.mismatched,
+                c.precision(),
+                c.recall()
+            );
+            for f in &c.report.findings {
+                println!("  [{}] {f}", f.category());
+            }
+            if c.is_sound() {
+                println!("  prediction sound: every recorded raw-data edge was predicted");
+            }
+        }
+    }
+
+    let denied = comparison
+        .map(|c| c.report.denied(&deny).len())
+        .unwrap_or(0);
+    std::process::exit(if denied == 0 { 0 } else { 1 });
+}
+
 /// Loads a replay bundle, turning every failure mode — missing file,
 /// torn section, hash mismatch, malformed manifest — into a structured
 /// one-line error instead of a panic.
@@ -702,6 +890,9 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("check") {
         check_main(raw[1..].to_vec());
+    }
+    if raw.first().map(String::as_str) == Some("predict") {
+        predict_main(raw[1..].to_vec());
     }
     if raw.first().map(String::as_str) == Some("record") {
         record_main(raw[1..].to_vec());

@@ -1,0 +1,466 @@
+//! Abstract I/O cost analysis over a [`StaticPrediction`].
+//!
+//! [`cost_model`] annotates the static graphs with the numbers an
+//! optimizer wants *before any byte is written*: per-task and per-stage
+//! predicted bytes moved, physical op counts under the configured
+//! [`IoEngineConfig`] (one coalesced submission can absorb many scalar
+//! requests), per-stage dataset working sets against a cache capacity,
+//! and the **symbolic critical path** — the heaviest producer→consumer
+//! chain through the sSDG, walked over the graph's stable
+//! [`topo_order`](dayu_analyzer::graph::Graph::topo_order).
+//!
+//! The same longest-path walk is exposed over an arbitrary simulator DAG
+//! as [`plan_critical_path_bytes`], which is how `dayu_core::auto`
+//! scores a transformed plan: re-run the walk on the rewritten task
+//! list, compare predicted critical-path bytes, and rank or reject the
+//! candidate — the static half of the what-if plan search.
+
+use crate::static_graph::StaticPrediction;
+use dayu_analyzer::graph::NodeKind;
+use dayu_sim::SimTask;
+use dayu_vfd::IoEngineConfig;
+use std::collections::HashMap;
+
+/// Knobs of the abstract cost model.
+#[derive(Clone, Debug)]
+pub struct CostConfig {
+    /// The I/O engine the plan would run under: scalar mode issues one
+    /// request per [`request_bytes`](CostConfig::request_bytes), batched
+    /// mode coalesces a contiguous run up to `max_coalesced_bytes` per
+    /// physical op.
+    pub engine: IoEngineConfig,
+    /// Assumed application request granularity for scalar dispatch.
+    pub request_bytes: u64,
+    /// Per-node cache capacity the per-stage working sets are judged
+    /// against (`0` disables the working-set verdicts).
+    pub cache_bytes: u64,
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        Self {
+            engine: IoEngineConfig::default(),
+            request_bytes: 64 << 10,
+            cache_bytes: 64 << 20,
+        }
+    }
+}
+
+impl CostConfig {
+    /// Physical ops needed to move one contiguous `len`-byte run.
+    pub fn ops_for_run(&self, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let unit = if self.engine.is_batched() && self.engine.coalesce {
+            self.engine.max_coalesced_bytes.max(1)
+        } else {
+            self.request_bytes.max(1)
+        };
+        len.div_ceil(unit)
+    }
+}
+
+/// Predicted cost of one task.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct TaskCost {
+    /// Task name.
+    pub task: String,
+    /// Stage index.
+    pub stage: usize,
+    /// Predicted raw bytes read.
+    pub bytes_read: u64,
+    /// Predicted raw bytes written.
+    pub bytes_written: u64,
+    /// Predicted physical op count under the configured engine.
+    pub ops: u64,
+    /// Modeled compute time.
+    pub compute_ns: u64,
+}
+
+impl TaskCost {
+    /// Total predicted bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+/// Predicted cost of one stage (its tasks may run in parallel).
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct StageCost {
+    /// Stage name.
+    pub stage: String,
+    /// Task count.
+    pub tasks: usize,
+    /// Sum of the stage's predicted reads.
+    pub bytes_read: u64,
+    /// Sum of the stage's predicted writes.
+    pub bytes_written: u64,
+    /// Sum of the stage's predicted physical ops.
+    pub ops: u64,
+    /// The stage's heaviest task (most predicted bytes).
+    pub critical_task: String,
+    /// That task's predicted bytes.
+    pub critical_bytes: u64,
+    /// Bytes of datasets live during this stage.
+    pub working_set: u64,
+    /// Whether the working set exceeds the configured cache capacity.
+    pub over_cache: bool,
+}
+
+/// The full cost annotation of a static prediction.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct CostReport {
+    /// Workflow name.
+    pub workflow: String,
+    /// Per-task costs, in stage order.
+    pub tasks: Vec<TaskCost>,
+    /// Per-stage costs, in execution order.
+    pub stages: Vec<StageCost>,
+    /// Total predicted bytes moved by the whole plan.
+    pub total_bytes: u64,
+    /// Total predicted physical ops.
+    pub total_ops: u64,
+    /// Predicted bytes along the heaviest dependent chain of the sSDG.
+    pub critical_path_bytes: u64,
+    /// Task names along that chain, in execution order.
+    pub critical_path: Vec<String>,
+}
+
+impl CostReport {
+    /// The cost entry of one task.
+    pub fn task(&self, name: &str) -> Option<&TaskCost> {
+        self.tasks.iter().find(|t| t.task == name)
+    }
+}
+
+/// Runs the abstract cost model over a prediction.
+pub fn cost_model(pred: &StaticPrediction, cfg: &CostConfig) -> CostReport {
+    let tasks: Vec<TaskCost> = pred
+        .tasks
+        .iter()
+        .map(|t| {
+            let ops = t
+                .accesses
+                .iter()
+                .flat_map(|a| a.read_runs.iter().chain(a.write_runs.iter()))
+                .map(|r| cfg.ops_for_run(r.len()))
+                .sum();
+            TaskCost {
+                task: t.name.clone(),
+                stage: t.stage,
+                bytes_read: t.bytes_read(),
+                bytes_written: t.bytes_written(),
+                ops,
+                compute_ns: t.compute_ns,
+            }
+        })
+        .collect();
+
+    let stages: Vec<StageCost> = pred
+        .stage_names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let members: Vec<&TaskCost> = tasks.iter().filter(|t| t.stage == i).collect();
+            let critical = members.iter().max_by_key(|t| t.total_bytes());
+            let working_set = pred
+                .live_ranges
+                .iter()
+                .filter(|l| l.born <= i && i <= l.dies)
+                .map(|l| l.bytes)
+                .sum();
+            StageCost {
+                stage: name.clone(),
+                tasks: members.len(),
+                bytes_read: members.iter().map(|t| t.bytes_read).sum(),
+                bytes_written: members.iter().map(|t| t.bytes_written).sum(),
+                ops: members.iter().map(|t| t.ops).sum(),
+                critical_task: critical.map(|t| t.task.clone()).unwrap_or_default(),
+                critical_bytes: critical.map(|t| t.total_bytes()).unwrap_or(0),
+                working_set,
+                over_cache: cfg.cache_bytes > 0 && working_set > cfg.cache_bytes,
+            }
+        })
+        .collect();
+
+    let (critical_path_bytes, critical_path) = sdg_critical_path(pred, &tasks);
+
+    CostReport {
+        workflow: pred.workflow.clone(),
+        total_bytes: tasks.iter().map(|t| t.total_bytes()).sum(),
+        total_ops: tasks.iter().map(|t| t.ops).sum(),
+        tasks,
+        stages,
+        critical_path_bytes,
+        critical_path,
+    }
+}
+
+/// Longest byte-weighted dependent chain through the sSDG: task nodes
+/// weigh their predicted bytes, dataset/file nodes weigh nothing, and
+/// the walk follows the graph's stable topological order.
+fn sdg_critical_path(pred: &StaticPrediction, costs: &[TaskCost]) -> (u64, Vec<String>) {
+    let g = &pred.sdg;
+    let weight_of: HashMap<&str, u64> = costs
+        .iter()
+        .map(|t| (t.task.as_str(), t.total_bytes()))
+        .collect();
+    let n = g.nodes.len();
+    if n == 0 {
+        return (0, Vec::new());
+    }
+    let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &g.edges {
+        if e.from != e.to {
+            incoming[e.to].push(e.from);
+        }
+    }
+    let weight = |id: usize| -> u64 {
+        let node = &g.nodes[id];
+        if node.kind == NodeKind::Task {
+            weight_of.get(node.label.as_str()).copied().unwrap_or(0)
+        } else {
+            0
+        }
+    };
+    let mut dist = vec![0u64; n];
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+    for id in g.topo_order() {
+        let best = incoming[id].iter().copied().max_by_key(|&p| dist[p]);
+        let base = best.map(|p| dist[p]).unwrap_or(0);
+        dist[id] = base + weight(id);
+        prev[id] = best.filter(|&p| dist[p] > 0);
+    }
+    let Some(end) = (0..n).max_by_key(|&id| dist[id]) else {
+        return (0, Vec::new());
+    };
+    let mut path = Vec::new();
+    let mut cur = Some(end);
+    while let Some(id) = cur {
+        if g.nodes[id].kind == NodeKind::Task {
+            path.push(g.nodes[id].label.clone());
+        }
+        cur = prev[id];
+    }
+    path.reverse();
+    (dist[end], path)
+}
+
+/// Longest byte-weighted chain through a simulator plan DAG: each task
+/// weighs [`SimTask::total_io_bytes`], edges are its `deps`. This is the
+/// cost the optimizer compares across candidate plans — a transform that
+/// grows it made the predicted bottleneck worse, whatever it did to
+/// total traffic.
+pub fn plan_critical_path_bytes(tasks: &[SimTask]) -> (u64, Vec<String>) {
+    let n = tasks.len();
+    if n == 0 {
+        return (0, Vec::new());
+    }
+    // Tasks reference deps by index; a well-formed plan lists a task
+    // after its deps, so one forward pass is a topological walk. Guard
+    // against forward references by iterating until stable (bounded).
+    let mut dist: Vec<u64> = vec![0; n];
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+    for _ in 0..n {
+        let mut changed = false;
+        for (i, t) in tasks.iter().enumerate() {
+            let best = t
+                .deps
+                .iter()
+                .copied()
+                .filter(|&d| d < n && d != i)
+                .max_by_key(|&d| dist[d]);
+            let base = best.map(|d| dist[d]).unwrap_or(0);
+            let w = base + t.total_io_bytes();
+            if w > dist[i] {
+                dist[i] = w;
+                prev[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let Some(end) = (0..n).max_by_key(|&i| dist[i]) else {
+        return (0, Vec::new());
+    };
+    let mut path = Vec::new();
+    let mut cur = Some(end);
+    while let Some(i) = cur {
+        path.push(tasks[i].name.clone());
+        cur = prev[i];
+    }
+    path.reverse();
+    (dist[end], path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_sim::SimOp;
+    use dayu_workflow::contract::{AffineExpr, IoContract, SymExtent};
+    use dayu_workflow::spec::{TaskSpec, WorkflowSpec};
+
+    fn pipeline_spec() -> WorkflowSpec {
+        // w writes 64 KiB; two readers consume it; a heavy reducer reads
+        // both readers' outputs.
+        let w = TaskSpec::new("w", |_| Ok(())).with_contract(IoContract::new().writes(
+            "a.h5",
+            "/d",
+            SymExtent::bytes(0, 64 << 10),
+        ));
+        let reader = |name: &str, out: &str, bytes: u64| {
+            TaskSpec::new(name, |_| Ok(())).with_contract(
+                IoContract::new()
+                    .reads("a.h5", "/d", SymExtent::bytes(0, 64 << 10))
+                    .writes(out, "/o", SymExtent::bytes(0, bytes)),
+            )
+        };
+        let reduce = TaskSpec::new("reduce", |_| Ok(())).with_contract(
+            IoContract::new()
+                .reads("b0.h5", "/o", SymExtent::bytes(0, 128 << 10))
+                .reads("b1.h5", "/o", SymExtent::bytes(0, 8 << 10)),
+        );
+        WorkflowSpec::new("pipe")
+            .stage("produce", vec![w])
+            .stage(
+                "map",
+                vec![
+                    reader("big", "b0.h5", 128 << 10),
+                    reader("small", "b1.h5", 8 << 10),
+                ],
+            )
+            .stage("reduce", vec![reduce])
+    }
+
+    #[test]
+    fn per_task_and_per_stage_costs_add_up() {
+        let pred = StaticPrediction::from_spec(&pipeline_spec());
+        let report = cost_model(&pred, &CostConfig::default());
+        assert_eq!(report.task("w").unwrap().bytes_written, 64 << 10);
+        assert_eq!(report.task("big").unwrap().bytes_read, 64 << 10);
+        assert_eq!(report.task("big").unwrap().bytes_written, 128 << 10);
+        let map = &report.stages[1];
+        assert_eq!(map.tasks, 2);
+        assert_eq!(map.bytes_read, 128 << 10);
+        assert_eq!(map.bytes_written, 136 << 10);
+        assert_eq!(map.critical_task, "big");
+        assert_eq!(
+            report.total_bytes,
+            report.tasks.iter().map(|t| t.total_bytes()).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn batched_engine_needs_fewer_ops() {
+        let pred = StaticPrediction::from_spec(&pipeline_spec());
+        let scalar = cost_model(
+            &pred,
+            &CostConfig {
+                request_bytes: 4096,
+                ..CostConfig::default()
+            },
+        );
+        let batched = cost_model(
+            &pred,
+            &CostConfig {
+                engine: IoEngineConfig::batched(),
+                request_bytes: 4096,
+                ..CostConfig::default()
+            },
+        );
+        assert!(batched.total_ops < scalar.total_ops);
+        // 64 KiB at 4 KiB requests = 16 scalar ops; one 1 MiB-cap
+        // coalesced op swallows the run whole.
+        assert_eq!(scalar.task("w").unwrap().ops, 16);
+        assert_eq!(batched.task("w").unwrap().ops, 1);
+    }
+
+    #[test]
+    fn critical_path_follows_the_heavy_chain() {
+        let pred = StaticPrediction::from_spec(&pipeline_spec());
+        let report = cost_model(&pred, &CostConfig::default());
+        // w → big → reduce outweighs w → small → reduce.
+        assert_eq!(report.critical_path, vec!["w", "big", "reduce"]);
+        let expect = report.task("w").unwrap().total_bytes()
+            + report.task("big").unwrap().total_bytes()
+            + report.task("reduce").unwrap().total_bytes();
+        assert_eq!(report.critical_path_bytes, expect);
+    }
+
+    #[test]
+    fn working_sets_judge_cache_capacity() {
+        let pred = StaticPrediction::from_spec(&pipeline_spec());
+        let tight = cost_model(
+            &pred,
+            &CostConfig {
+                cache_bytes: 16 << 10,
+                ..CostConfig::default()
+            },
+        );
+        assert!(tight.stages.iter().any(|s| s.over_cache));
+        let roomy = cost_model(&pred, &CostConfig::default());
+        assert!(roomy.stages.iter().all(|s| !s.over_cache));
+        // /d is live from stage 0 through stage 1 (its readers).
+        assert!(tight.stages[0].working_set >= 64 << 10);
+        assert!(tight.stages[1].working_set >= 64 << 10);
+    }
+
+    #[test]
+    fn plan_walk_agrees_with_graph_walk() {
+        let pred = StaticPrediction::from_spec(&pipeline_spec());
+        let report = cost_model(&pred, &CostConfig::default());
+        let (bytes, path) = plan_critical_path_bytes(&pred.to_sim_tasks());
+        assert_eq!(bytes, report.critical_path_bytes);
+        assert_eq!(path, report.critical_path);
+    }
+
+    #[test]
+    fn plan_walk_scores_transformed_plans() {
+        let pred = StaticPrediction::from_spec(&pipeline_spec());
+        let mut tasks = pred.to_sim_tasks();
+        let (before, _) = plan_critical_path_bytes(&tasks);
+        // Eliding the heavy intermediate's writes shrinks the chain.
+        let big = tasks.iter_mut().find(|t| t.name == "big").unwrap();
+        big.program.retain(|op| !op.is_io());
+        let (after, _) = plan_critical_path_bytes(&tasks);
+        assert!(after < before);
+        // Growing a task on the path grows it back.
+        let big = tasks.iter_mut().find(|t| t.name == "big").unwrap();
+        big.program.push(SimOp::write("b0.h5", 1 << 30));
+        let (heavier, path) = plan_critical_path_bytes(&tasks);
+        assert!(heavier > before);
+        assert!(path.contains(&"big".to_owned()));
+    }
+
+    #[test]
+    fn empty_prediction_costs_nothing() {
+        let pred = StaticPrediction::from_spec(&WorkflowSpec::new("empty"));
+        let report = cost_model(&pred, &CostConfig::default());
+        assert_eq!(report.total_bytes, 0);
+        assert_eq!(report.critical_path_bytes, 0);
+        assert!(report.critical_path.is_empty());
+        assert_eq!(plan_critical_path_bytes(&[]), (0, Vec::new()));
+    }
+
+    #[test]
+    fn affine_chunk_partition_costs_are_exact() {
+        // The bench synthetic shape: n writers each own a bound chunk.
+        let i = AffineExpr::var("i");
+        let mk = |idx: i64| {
+            TaskSpec::new(format!("t{idx}"), |_| Ok(())).with_contract(
+                IoContract::new().bind("i", idx).writes(
+                    "f.h5",
+                    "/d",
+                    SymExtent::span(i.clone() * 4096, (i.clone() + 1) * 4096),
+                ),
+            )
+        };
+        let spec = WorkflowSpec::new("exact").stage("w", (0..4).map(mk).collect());
+        let report = cost_model(&StaticPrediction::from_spec(&spec), &CostConfig::default());
+        assert_eq!(report.total_bytes, 4 * 4096);
+        assert_eq!(report.stages[0].critical_bytes, 4096);
+    }
+}

@@ -16,7 +16,7 @@ use dayu_trace::{FileKey, IoKind, TaskKey};
 use std::collections::BTreeMap;
 
 /// A half-open byte range `[start, end)` in a file's address space.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
 pub struct Extent {
     /// First byte covered.
     pub start: u64,

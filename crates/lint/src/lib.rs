@@ -40,6 +40,17 @@
 //!    declarations. The contract catalog exposes the same disjointness
 //!    oracle as the recorded [`ExtentCatalog`], so the transform verifier
 //!    can discharge a `parallelize` from semantics alone.
+//! 5. **Static dataflow prediction** ([`static_graph`], [`cost`]) — the
+//!    contracts, interpreted abstractly, predict the analyzer's graphs
+//!    before any run: a static FTG/sSDG with producer→consumer flows and
+//!    dataset live ranges ([`StaticPrediction`]), annotated by an abstract
+//!    cost model ([`cost_model`]) with per-task/per-stage bytes, op counts
+//!    under a chosen I/O engine, working sets vs cache capacity and the
+//!    symbolic critical path. Recorded SDGs validate against the
+//!    prediction ([`StaticPrediction::compare`]): an unpredicted raw-data
+//!    edge is a contract hole ([`Finding::IncompleteContract`]), and the
+//!    plan-DAG walk ([`plan_critical_path_bytes`]) scores optimizer
+//!    candidates by predicted critical-path bytes.
 //!
 //! CLI entry points: `dayu-analyze check <trace.{jsonl,dtb}>` (passes 1 and
 //! 1b over a recorded trace, with `--json` / `--deny <class>` for CI
@@ -47,6 +58,7 @@
 //! `dayu-h5ls --fsck [--repair] <file>` (passes 3/3b).
 
 pub mod contract;
+pub mod cost;
 pub mod extent;
 pub mod fsck;
 pub mod hazard;
@@ -54,12 +66,14 @@ pub mod hb;
 pub mod lifetime;
 pub mod model;
 pub mod repair;
+pub mod static_graph;
 pub mod symbolic;
 pub mod verify;
 
 pub use contract::{
     analyze_contracts, check_conformance, check_conformance_stream, ConformanceChecker,
 };
+pub use cost::{cost_model, plan_critical_path_bytes, CostConfig, CostReport, StageCost, TaskCost};
 pub use extent::{Extent, ExtentCatalog, ExtentSet, IntervalTree, TaskFileExtents};
 pub use fsck::fsck_bytes;
 pub use hazard::{
@@ -70,6 +84,10 @@ pub use hb::{OpCtx, TaskHb};
 pub use lifetime::LifetimePass;
 pub use model::{Finding, FindingKey, Report};
 pub use repair::{repair_bytes, RepairReport};
+pub use static_graph::{
+    LiveRange, PredictedFlow, PredictedTask, SdgComparison, StaticPrediction, TaskAccess,
+    TOP_FOOTPRINT_BYTES,
+};
 pub use symbolic::{ContractCatalog, FootprintOracle, SymCollision, SymFootprint};
 pub use verify::{
     check, snapshot, snapshot_with, verified, verified_with_contracts, verified_with_extents,

@@ -214,6 +214,33 @@ pub enum Finding {
         /// never touched.
         undeclared: bool,
     },
+    /// A recorded run moved raw bytes along a task↔dataset edge the
+    /// contract-predicted sSDG does not contain: the task's declared
+    /// contract has a hole, and every static proof about the task
+    /// (disjointness, plan cost, elision safety) silently under-counts.
+    IncompleteContract {
+        /// The task whose contract under-declares.
+        task: String,
+        /// File the unpredicted flow targets.
+        file: String,
+        /// Dataset within the file.
+        dataset: String,
+        /// `"read"` or `"write"`.
+        access: String,
+        /// Raw bytes observed along the unpredicted edge.
+        bytes: u64,
+    },
+    /// A recorded SDG edge whose *structure* the static prediction cannot
+    /// explain at all — e.g. a recorded task the workflow spec never
+    /// declares, so no contract could even be consulted for the edge.
+    GraphMismatch {
+        /// Source node label of the offending recorded edge.
+        from: String,
+        /// Destination node label of the offending recorded edge.
+        to: String,
+        /// Why the edge has no static counterpart.
+        detail: String,
+    },
 }
 
 /// Structural identity of a finding: category plus the fields that pin it
@@ -254,6 +281,8 @@ impl Finding {
             Finding::DatasetReadBeforeWrite { .. } => "dataset-read-before-write",
             Finding::RedundantOverwrite { .. } => "redundant-overwrite",
             Finding::ContractViolation { .. } => "contract-violation",
+            Finding::IncompleteContract { .. } => "incomplete-contract",
+            Finding::GraphMismatch { .. } => "graph-mismatch",
         }
     }
 
@@ -383,6 +412,16 @@ impl Finding {
                 span = (*start, *end);
                 flag = *undeclared;
             }
+            Finding::IncompleteContract {
+                task,
+                file,
+                dataset,
+                access,
+                ..
+            } => parts.extend([task.clone(), file.clone(), dataset.clone(), access.clone()]),
+            Finding::GraphMismatch { from, to, .. } => {
+                parts.extend([from.clone(), to.clone()]);
+            }
         }
         FindingKey {
             category: self.category(),
@@ -413,6 +452,8 @@ impl Finding {
             "dataset-read-before-write",
             "redundant-overwrite",
             "contract-violation",
+            "incomplete-contract",
+            "graph-mismatch",
         ]
     }
 }
@@ -577,6 +618,20 @@ impl fmt::Display for Finding {
                     )
                 }
             }
+            Finding::IncompleteContract {
+                task,
+                file,
+                dataset,
+                access,
+                bytes,
+            } => write!(
+                f,
+                "task {task:?} moved {bytes} raw B ({access}) of {dataset:?} in {file:?} along an edge its contract never predicts"
+            ),
+            Finding::GraphMismatch { from, to, detail } => write!(
+                f,
+                "recorded edge {from:?} -> {to:?} has no static counterpart: {detail}"
+            ),
         }
     }
 }
@@ -776,6 +831,20 @@ mod tests {
                 start: 0,
                 end: 8,
                 undeclared: true,
+            }
+            .category(),
+            Finding::IncompleteContract {
+                task: "t".into(),
+                file: "f".into(),
+                dataset: "/d".into(),
+                access: "read".into(),
+                bytes: 64,
+            }
+            .category(),
+            Finding::GraphMismatch {
+                from: "f:/d".into(),
+                to: "t".into(),
+                detail: "task not in spec".into(),
             }
             .category(),
         ] {

@@ -1,0 +1,200 @@
+//! Integration: static dataflow prediction end to end. The contracts of
+//! every bundled workload, interpreted abstractly, must predict a graph
+//! that *contains* whatever a real recorded run produces — soundness of
+//! the sSDG — across exact parameter bindings, and a planted contract
+//! hole must surface as an `incomplete-contract` finding instead of
+//! silently shrinking the prediction.
+
+use dayu_analyzer::Analysis;
+use dayu_lint::{cost_model, CostConfig, Finding, StaticPrediction};
+use dayu_sim::cluster::{Cluster, Placement};
+use dayu_sim::engine::Engine;
+use dayu_vfd::MemFs;
+use dayu_workflow::{record, WorkflowSpec};
+use dayu_workloads::{arldm, ddmd, pyflextrkr};
+use proptest::prelude::*;
+
+/// Records `spec` on a fresh in-memory filesystem and returns its
+/// recorded (concrete) SDG.
+fn recorded_sdg(spec: &WorkflowSpec, fs: &MemFs) -> dayu_analyzer::graph::Graph {
+    let run = record(spec, fs).expect("record workload");
+    Analysis::run(&run.bundle).sdg
+}
+
+/// Asserts the prediction contains the recorded run: zero missing and
+/// zero mismatched raw-data edges.
+fn assert_sound(spec: &WorkflowSpec, fs: &MemFs) {
+    let pred = StaticPrediction::from_spec(spec);
+    let cmp = pred.compare(&recorded_sdg(spec, fs));
+    assert!(
+        cmp.is_sound(),
+        "predicted sSDG must contain the recorded SDG: {} missing, {} mismatched\n{}",
+        cmp.missing,
+        cmp.mismatched,
+        cmp.report
+    );
+    assert_eq!(cmp.recall(), 1.0);
+}
+
+#[test]
+fn ddmd_prediction_contains_recorded_sdg() {
+    let cfg = ddmd::DdmdConfig {
+        sim_tasks: 3,
+        iterations: 2,
+        contact_map_dim: 32,
+        point_cloud_points: 64,
+        scalar_series_len: 16,
+        ..Default::default()
+    };
+    assert_sound(&ddmd::workflow(&cfg), &MemFs::new());
+}
+
+#[test]
+fn pyflextrkr_prediction_contains_recorded_sdg() {
+    let cfg = pyflextrkr::PyflextrkrConfig {
+        input_files: 3,
+        input_bytes: 32 << 10,
+        feature_bytes: 16 << 10,
+        small_datasets: 6,
+        small_dataset_bytes: 200,
+        small_dataset_accesses: 2,
+        compute_ns: 0,
+    };
+    let fs = MemFs::new();
+    pyflextrkr::prepare_inputs_untraced(&fs, &cfg).expect("prepare inputs");
+    assert_sound(&pyflextrkr::workflow(&cfg), &fs);
+}
+
+#[test]
+fn arldm_prediction_contains_recorded_sdg() {
+    assert_sound(
+        &arldm::workflow(&arldm::ArldmConfig::default()),
+        &MemFs::new(),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Soundness holds for *every* exact parameter binding, not just the
+    /// defaults: the concrete recorded SDG is a subgraph of the
+    /// predicted sSDG whatever the scale knobs say.
+    #[test]
+    fn ddmd_prediction_sound_for_any_binding(
+        sim_tasks in 1usize..4,
+        iterations in 1usize..3,
+        dim_exp in 4u32..7,
+        points_exp in 5u32..8,
+    ) {
+        let (dim, points) = (1u64 << dim_exp, 1u64 << points_exp);
+        let cfg = ddmd::DdmdConfig {
+            sim_tasks,
+            iterations,
+            contact_map_dim: dim,
+            point_cloud_points: points,
+            scalar_series_len: 16,
+            ..Default::default()
+        };
+        let spec = ddmd::workflow(&cfg);
+        let fs = MemFs::new();
+        let pred = StaticPrediction::from_spec(&spec);
+        let cmp = pred.compare(&recorded_sdg(&spec, &fs));
+        prop_assert!(cmp.is_sound(), "{} missing, {} mismatched", cmp.missing, cmp.mismatched);
+    }
+
+    #[test]
+    fn pyflextrkr_prediction_sound_for_any_binding(
+        input_files in 1usize..4,
+        small_datasets in 2usize..8,
+    ) {
+        let cfg = pyflextrkr::PyflextrkrConfig {
+            input_files,
+            input_bytes: 16 << 10,
+            feature_bytes: 8 << 10,
+            small_datasets,
+            small_dataset_bytes: 128,
+            small_dataset_accesses: 2,
+            compute_ns: 0,
+        };
+        let fs = MemFs::new();
+        pyflextrkr::prepare_inputs_untraced(&fs, &cfg).expect("prepare inputs");
+        let spec = pyflextrkr::workflow(&cfg);
+        let pred = StaticPrediction::from_spec(&spec);
+        let cmp = pred.compare(&recorded_sdg(&spec, &fs));
+        prop_assert!(cmp.is_sound(), "{} missing, {} mismatched", cmp.missing, cmp.mismatched);
+    }
+}
+
+#[test]
+fn planted_contract_hole_fires_incomplete_contract() {
+    // Record the real ddmd pipeline, then predict from a spec whose
+    // aggregate task's contract was emptied: every raw-data edge that
+    // task produced is now unpredicted, and each must surface as a hole.
+    let cfg = ddmd::DdmdConfig {
+        sim_tasks: 2,
+        iterations: 1,
+        contact_map_dim: 32,
+        point_cloud_points: 64,
+        scalar_series_len: 16,
+        ..Default::default()
+    };
+    let spec = ddmd::workflow(&cfg);
+    let sdg = recorded_sdg(&spec, &MemFs::new());
+
+    let mut holed = spec.clone();
+    let mut victim = None;
+    for stage in &mut holed.stages {
+        for task in &mut stage.tasks {
+            if task.name.starts_with("aggregate") {
+                task.contract = Some(dayu_workflow::IoContract::new());
+                victim = Some(task.name.clone());
+            }
+        }
+    }
+    let victim = victim.expect("ddmd has an aggregate task");
+
+    let cmp = StaticPrediction::from_spec(&holed).compare(&sdg);
+    assert!(cmp.missing > 0, "the hole must be visible");
+    assert!(
+        cmp.report.findings.iter().any(|f| matches!(
+            f,
+            Finding::IncompleteContract { task, .. } if *task == victim
+        )),
+        "expected an incomplete-contract finding for {victim}:\n{}",
+        cmp.report
+    );
+    // And CI can gate on exactly that class.
+    assert!(!cmp
+        .report
+        .denied(&["incomplete-contract".into()])
+        .is_empty());
+}
+
+#[test]
+fn predicted_sdg_is_a_runnable_sim_dag() {
+    // The sSDG's task DAG feeds straight into the simulator: flows become
+    // dependencies, resolved footprints become I/O programs.
+    let cfg = ddmd::DdmdConfig {
+        sim_tasks: 2,
+        iterations: 1,
+        contact_map_dim: 32,
+        point_cloud_points: 64,
+        scalar_series_len: 16,
+        ..Default::default()
+    };
+    let spec = ddmd::workflow(&cfg);
+    let pred = StaticPrediction::from_spec(&spec);
+    let tasks = pred.to_sim_tasks();
+    assert_eq!(tasks.len(), spec.task_count());
+
+    let cluster = Cluster::gpu_cluster(2);
+    let report = Engine::new(&cluster, &Placement::new())
+        .run(&tasks)
+        .expect("predicted DAG must simulate");
+    assert!(report.makespan_ns > 0);
+
+    // The cost model's totals agree with what the sim plan moves.
+    let costs = cost_model(&pred, &CostConfig::default());
+    let plan_bytes: u64 = tasks.iter().map(|t| t.total_io_bytes()).sum();
+    assert_eq!(costs.total_bytes, plan_bytes);
+}
