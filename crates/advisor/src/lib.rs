@@ -124,6 +124,13 @@ pub enum Action {
         /// Index of the divergent event within that task's stream.
         event_index: usize,
     },
+    /// Re-ingest a workflow's trace sections after a degraded streaming
+    /// ingest: the live graph is missing quarantined or load-shed
+    /// sections, so recommendations derived from it are lower bounds.
+    ReingestWorkflow {
+        /// The workflow to re-ingest from a clean trace.
+        workflow: String,
+    },
     /// Stop materializing a dataset whose bytes the recorded workflow
     /// never consumes (dead data, or a version fully overwritten before
     /// any read).
@@ -366,6 +373,23 @@ pub fn advise(findings: &[Finding]) -> Vec<Recommendation> {
                     }
                 ),
             }),
+            Finding::DegradedIngest {
+                workflow,
+                reason,
+                quarantined,
+                dropped,
+            } => out.push(Recommendation {
+                guideline: Guideline::Scheduling,
+                action: Action::ReingestWorkflow {
+                    workflow: workflow.clone(),
+                },
+                rationale: format!(
+                    "{workflow}'s streaming ingest degraded ({reason}: \
+                     {quarantined} sections quarantined, {dropped} dropped); its \
+                     live graph is a lower bound — re-ingest from a clean trace \
+                     before acting on findings for this workflow"
+                ),
+            }),
         }
     }
     out
@@ -601,6 +625,24 @@ mod tests {
             }
         );
         assert!(recs[0].rationale.contains("journal-recovered"));
+    }
+
+    #[test]
+    fn degraded_ingest_asks_for_a_reingest() {
+        let recs = advise(&[Finding::DegradedIngest {
+            workflow: "wf-7".into(),
+            reason: "quarantined sections".into(),
+            quarantined: 3,
+            dropped: 1,
+        }]);
+        assert_eq!(
+            recs[0].action,
+            Action::ReingestWorkflow {
+                workflow: "wf-7".into()
+            }
+        );
+        assert!(recs[0].rationale.contains("3 sections quarantined"));
+        assert!(recs[0].rationale.contains("lower bound"));
     }
 
     #[test]

@@ -69,12 +69,33 @@ fn vfd_stats(rec: &dayu_trace::vfd::VfdRecord) -> EdgeStats {
     }
 }
 
-/// One task's slice of a bundle, in within-task record order.
-struct Partition<'a> {
-    task: TaskKey,
-    vfd: Vec<&'a VfdRecord>,
-    vol: Vec<&'a VolRecord>,
-    files: Vec<&'a FileRecord>,
+/// One task's slice of a bundle, in within-task record order. Shared with
+/// the incremental builder ([`crate::partial`]), which assembles partitions
+/// from its retained per-task record stores instead of a whole bundle.
+pub(crate) struct Partition<'a> {
+    pub(crate) task: TaskKey,
+    pub(crate) vfd: Vec<&'a VfdRecord>,
+    pub(crate) vol: Vec<&'a VolRecord>,
+    pub(crate) files: Vec<&'a FileRecord>,
+}
+
+impl<'a> Partition<'a> {
+    /// A partition over records already grouped by task (the incremental
+    /// builder's retained state). Slices must be in within-task record
+    /// order for the build to match the batch path.
+    pub(crate) fn from_slices(
+        task: TaskKey,
+        vfd: &'a [VfdRecord],
+        vol: &'a [VolRecord],
+        files: &'a [FileRecord],
+    ) -> Self {
+        Self {
+            task,
+            vfd: vfd.iter().collect(),
+            vol: vol.iter().collect(),
+            files: files.iter().collect(),
+        }
+    }
 }
 
 /// Splits the bundle's records by task, in `all_tasks` order (execution
@@ -113,7 +134,7 @@ fn partition(bundle: &TraceBundle) -> Vec<Partition<'_>> {
 /// `(from, to, op)` with statistics merged. All the merge operations are
 /// commutative-and-associative min/max/sum, but the fold itself runs
 /// sequentially in task order so node and edge ids come out deterministic.
-fn merge_partial(g: &mut Graph, part: &Graph) {
+pub(crate) fn merge_partial(g: &mut Graph, part: &Graph) {
     let mut map = Vec::with_capacity(part.nodes.len());
     for n in &part.nodes {
         let id = g.node_sym(n.kind, Symbol::intern(&n.label));
@@ -149,7 +170,7 @@ where
     g
 }
 
-fn ftg_partial(part: &Partition<'_>, vfd_empty: bool) -> Graph {
+pub(crate) fn ftg_partial(part: &Partition<'_>, vfd_empty: bool) -> Graph {
     let mut g = Graph::new(GraphKind::Ftg, "");
     let t = g.node_sym(NodeKind::Task, part.task.symbol());
 
@@ -267,7 +288,7 @@ impl LabelCache {
     }
 }
 
-fn sdg_partial(
+pub(crate) fn sdg_partial(
     part: &Partition<'_>,
     opts: &SdgOptions,
     file_extent: &HashMap<Symbol, u64>,

@@ -214,6 +214,23 @@ pub enum Finding {
         /// Datasets on the backward path (`file:path` labels).
         ancestor_datasets: Vec<String>,
     },
+    /// A streaming-ingest tenant is running on an incomplete graph: the
+    /// ingest service quarantined corrupt sections or shed load for this
+    /// workflow, so its FTG/SDG reflect only the sections that survived.
+    /// Produced by `dayu-served`'s watchdog, not by the single-trace
+    /// detectors — downstream advice should be re-validated after a clean
+    /// re-ingest.
+    DegradedIngest {
+        /// The workflow whose ingest degraded.
+        workflow: String,
+        /// Why the watchdog flagged it (e.g. "quarantined sections",
+        /// "budget exhausted", "evicted under memory pressure").
+        reason: String,
+        /// Sections quarantined for this tenant so far.
+        quarantined: u64,
+        /// Sections dropped by load-shedding (throttle or eviction).
+        dropped: u64,
+    },
 }
 
 impl Finding {
@@ -236,6 +253,7 @@ impl Finding {
             Finding::DegradedTrace { .. } => "degraded-trace",
             Finding::RecoveredTask { .. } => "recovered-task",
             Finding::ReplayDivergence { .. } => "replay-divergence",
+            Finding::DegradedIngest { .. } => "degraded-ingest",
         }
     }
 }

@@ -24,6 +24,7 @@ pub mod detect;
 pub mod diff;
 pub mod export;
 pub mod graph;
+pub mod partial;
 pub mod resolution;
 
 pub use build::{build_ftg, build_ftg_with, build_sdg, build_sdg_with, SdgOptions};
@@ -32,6 +33,7 @@ pub use diff::{
     diff_traces, divergence_findings, BundleDiff, CausalAncestors, DiffEvent, FirstDivergence,
 };
 pub use graph::{Edge, EdgeStats, Graph, GraphKind, Node, NodeKind, Operation};
+pub use partial::PartialGraph;
 
 use dayu_trace::store::TraceBundle;
 

@@ -1,0 +1,605 @@
+//! Incremental FTG/SDG construction from independently-arriving sections.
+//!
+//! The batch builders ([`crate::build`]) assume a complete bundle. A
+//! long-running ingest service sees the opposite: trace sections trickle in
+//! per task flush, out of order, sometimes duplicated by a retrying client.
+//! [`PartialGraph`] absorbs sections one at a time, retains records grouped
+//! by task, and snapshots a full graph on demand by rebuilding only the
+//! per-task partials whose inputs changed — reusing the *same*
+//! partition/partial/merge machinery as the batch path, so a snapshot is
+//! not merely equivalent to `build_ftg`/`build_sdg` over the union of the
+//! absorbed sections: it is the identical graph, node ids and all.
+//!
+//! Two bundle-wide properties gate what a per-task partial looks like and
+//! therefore version the caches:
+//!
+//! * whether the bundle has any VFD records at all (`vfd_empty` selects the
+//!   FileRecord/VOL fallbacks), and
+//! * in region mode, each file's observed extent (region geometry).
+//!
+//! Absorbing a section that flips either invalidates every cached partial;
+//! absorbing one that only appends records to task *t* invalidates only
+//! *t*'s. Sections are deduplicated by content digest
+//! ([`PartialGraph::absorb_unique`]) so a client retrying over a flaky
+//! connection cannot double-count records.
+//!
+//! ## Equivalence contract
+//!
+//! A snapshot equals the one-shot batch build of the merged bundle whenever
+//! every record-bearing task appears in the merged `task_order` (true for
+//! per-task section flushes carrying full meta, the shape
+//! [`TraceBundle::split_per_task`](dayu_trace::TraceBundle::split_per_task)
+//! produces). Stragglers — tasks that appear only in records — are ordered
+//! by first arrival, which matches the batch build exactly when sections
+//! arrive in recorded order and is a deterministic (but arrival-dependent)
+//! order otherwise.
+
+use crate::build::{self, Partition, SdgOptions, PARALLEL_RECORD_THRESHOLD};
+use crate::graph::{Graph, GraphKind, NodeKind};
+use dayu_trace::sha256::Digest;
+use dayu_trace::store::{TraceBundle, TraceMeta};
+use dayu_trace::vfd::{FileRecord, VfdRecord};
+use dayu_trace::vol::VolRecord;
+use dayu_trace::{Symbol, TaskKey};
+use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Records retained for one task, in arrival (= within-task record) order.
+#[derive(Default)]
+struct TaskState {
+    vfd: Vec<VfdRecord>,
+    vol: Vec<VolRecord>,
+    files: Vec<FileRecord>,
+    /// Bumped on every append; cached partials remember the value they
+    /// were built from.
+    rev: u64,
+}
+
+impl TaskState {
+    fn records(&self) -> usize {
+        self.vfd.len() + self.vol.len() + self.files.len()
+    }
+}
+
+/// A cached per-task partial graph and the input versions it reflects.
+struct CacheEntry {
+    task_rev: u64,
+    geometry_rev: u64,
+    graph: Graph,
+}
+
+/// Mergeable, incrementally-buildable graph state for one workflow.
+#[derive(Default)]
+pub struct PartialGraph {
+    meta: TraceMeta,
+    saw_meta: bool,
+    tasks: HashMap<TaskKey, TaskState>,
+    /// Record-bearing tasks in first-arrival order (straggler ordering).
+    arrival: Vec<TaskKey>,
+    vfd_total: usize,
+    record_total: usize,
+    /// Observed per-file extents (region geometry for SDG region mode).
+    file_extent: HashMap<Symbol, u64>,
+    /// Bumped when `vfd_empty` flips or any file extent grows.
+    geometry_rev: u64,
+    /// Digests of sections already absorbed via [`Self::absorb_unique`].
+    digests: HashSet<Digest>,
+    ftg_cache: HashMap<TaskKey, CacheEntry>,
+    /// SDG cache plus the options fingerprint it was built under; a
+    /// snapshot with different options drops the whole cache.
+    sdg_cache: HashMap<TaskKey, CacheEntry>,
+    sdg_opts: Option<(bool, u64)>,
+}
+
+impl PartialGraph {
+    /// An empty partial graph; the first absorbed section names the
+    /// workflow.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Workflow name from the first absorbed section (empty before any).
+    pub fn workflow(&self) -> &str {
+        &self.meta.workflow
+    }
+
+    /// Total data records retained.
+    pub fn records(&self) -> usize {
+        self.record_total
+    }
+
+    /// Approximate heap footprint of the retained records, for budget
+    /// enforcement. Counts struct sizes plus the variable-length tails
+    /// (intervals, accesses, selection vectors); interned names are
+    /// process-global and not attributed.
+    pub fn retained_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for s in self.tasks.values() {
+            bytes += s.vfd.len() * std::mem::size_of::<VfdRecord>();
+            bytes += s.files.len() * std::mem::size_of::<FileRecord>();
+            bytes += s.vol.len() * std::mem::size_of::<VolRecord>();
+            for r in &s.files {
+                bytes += r.lifetimes.len() * 16;
+            }
+            for r in &s.vol {
+                bytes += r.lifetimes.len() * 16;
+                bytes += r.description.shape.len() * 8;
+                bytes += r.description.chunk_shape.len() * 8;
+                for a in &r.accesses {
+                    bytes += std::mem::size_of_val(a);
+                    bytes += (a.sel_offset.len() + a.sel_count.len()) * 8;
+                }
+            }
+        }
+        bytes
+    }
+
+    /// Absorbs one decoded section, merging its meta with the same rules
+    /// as concatenated-trace reads (first workflow/page size win, task
+    /// orders extend, degraded/recovered sets union, stages and origin
+    /// first-non-empty win) and appending its records per task.
+    pub fn absorb(&mut self, section: &TraceBundle) {
+        self.absorb_meta(&section.meta);
+        for r in &section.vfd {
+            if r.kind.moves_data() {
+                let e = self.file_extent.entry(r.file.symbol()).or_default();
+                let end = r.offset.saturating_add(r.len);
+                if end > *e {
+                    *e = end;
+                    self.geometry_rev += 1;
+                }
+            }
+            if self.vfd_total == 0 {
+                // vfd_empty flips: every fallback-derived partial is stale.
+                self.geometry_rev += 1;
+            }
+            self.vfd_total += 1;
+            self.record_total += 1;
+            self.task_state(r.task.clone()).vfd.push(r.clone());
+        }
+        for r in &section.vol {
+            self.record_total += 1;
+            self.task_state(r.task.clone()).vol.push(r.clone());
+        }
+        for r in &section.files {
+            self.record_total += 1;
+            self.task_state(r.task.clone()).files.push(r.clone());
+        }
+    }
+
+    /// Absorbs the section unless an identical one (by content digest) was
+    /// absorbed before; returns whether it was new. The digest is the
+    /// wire-level SHA-256 of the encoded section, computed by the caller
+    /// (the ingest service checks it against the frame header anyway).
+    pub fn absorb_unique(&mut self, digest: Digest, section: &TraceBundle) -> bool {
+        if !self.digests.insert(digest) {
+            return false;
+        }
+        self.absorb(section);
+        true
+    }
+
+    /// Merges another partial graph into this one, exactly as if `other`'s
+    /// sections had been absorbed here in their original arrival order.
+    pub fn merge(&mut self, other: PartialGraph) {
+        self.absorb_meta(&other.meta);
+        for task in other.arrival {
+            let state = &other.tasks[&task];
+            for r in &state.vfd {
+                if r.kind.moves_data() {
+                    let e = self.file_extent.entry(r.file.symbol()).or_default();
+                    let end = r.offset.saturating_add(r.len);
+                    if end > *e {
+                        *e = end;
+                        self.geometry_rev += 1;
+                    }
+                }
+                if self.vfd_total == 0 {
+                    self.geometry_rev += 1;
+                }
+                self.vfd_total += 1;
+            }
+            self.record_total += state.records();
+            let into = self.task_state(task);
+            into.vfd.extend(state.vfd.iter().cloned());
+            into.vol.extend(state.vol.iter().cloned());
+            into.files.extend(state.files.iter().cloned());
+        }
+        self.digests.extend(other.digests);
+    }
+
+    /// Reconstructs the merged bundle: full meta, records grouped by task
+    /// in snapshot order. This is the bundle a snapshot is equivalent to
+    /// batch-building.
+    pub fn to_bundle(&self) -> TraceBundle {
+        let mut b = TraceBundle {
+            meta: self.meta.clone(),
+            ..Default::default()
+        };
+        for task in self.ordering() {
+            if let Some(s) = self.tasks.get(&task) {
+                b.vfd.extend(s.vfd.iter().cloned());
+                b.vol.extend(s.vol.iter().cloned());
+                b.files.extend(s.files.iter().cloned());
+            }
+        }
+        b
+    }
+
+    /// Snapshots the File-Task Graph over everything absorbed so far,
+    /// rebuilding only the per-task partials invalidated since the last
+    /// snapshot.
+    pub fn snapshot_ftg(&mut self) -> Graph {
+        let vfd_empty = self.vfd_total == 0;
+        let ordering = self.ordering();
+        let geometry_rev = self.geometry_rev;
+        refresh_cache(
+            &mut self.ftg_cache,
+            &self.tasks,
+            &ordering,
+            geometry_rev,
+            |part| build::ftg_partial(part, vfd_empty),
+        );
+        let mut g = Graph::new(GraphKind::Ftg, self.meta.workflow.clone());
+        assemble(&mut g, &ordering, &self.ftg_cache);
+        g
+    }
+
+    /// Snapshots the Semantic Dataflow Graph. Changing `opts` between
+    /// snapshots is allowed and rebuilds everything once.
+    pub fn snapshot_sdg(&mut self, opts: &SdgOptions) -> Graph {
+        let fingerprint = (opts.include_regions, opts.region_count);
+        if self.sdg_opts != Some(fingerprint) {
+            self.sdg_cache.clear();
+            self.sdg_opts = Some(fingerprint);
+        }
+        let vfd_empty = self.vfd_total == 0;
+        let page = self.meta.page_size.max(1);
+        let ordering = self.ordering();
+        let geometry_rev = self.geometry_rev;
+        let file_extent = &self.file_extent;
+        refresh_cache(
+            &mut self.sdg_cache,
+            &self.tasks,
+            &ordering,
+            geometry_rev,
+            |part| build::sdg_partial(part, opts, file_extent, page, vfd_empty),
+        );
+        let mut g = Graph::new(GraphKind::Sdg, self.meta.workflow.clone());
+        assemble(&mut g, &ordering, &self.sdg_cache);
+        g
+    }
+
+    /// Snapshot task ordering: execution order first, record-bearing
+    /// stragglers after in first-arrival order — the incremental analogue
+    /// of [`TraceBundle::all_tasks`].
+    fn ordering(&self) -> Vec<TaskKey> {
+        let mut tasks = self.meta.task_order.clone();
+        let mut seen: HashSet<TaskKey> = tasks.iter().cloned().collect();
+        for t in &self.arrival {
+            if seen.insert(t.clone()) {
+                tasks.push(t.clone());
+            }
+        }
+        tasks
+    }
+
+    fn task_state(&mut self, task: TaskKey) -> &mut TaskState {
+        if !self.tasks.contains_key(&task) {
+            self.arrival.push(task.clone());
+            self.tasks.insert(task.clone(), TaskState::default());
+        }
+        let state = self
+            .tasks
+            .get_mut(&task)
+            .expect("inserted on miss just above");
+        state.rev += 1;
+        state
+    }
+
+    fn absorb_meta(&mut self, m: &TraceMeta) {
+        if self.saw_meta {
+            for t in &m.task_order {
+                if !self.meta.task_order.contains(t) {
+                    self.meta.task_order.push(t.clone());
+                }
+            }
+            if self.meta.stages.is_empty() {
+                self.meta.stages = m.stages.clone();
+            }
+            if self.meta.origin.is_none() {
+                self.meta.origin = m.origin.clone();
+            }
+        } else {
+            self.meta = TraceMeta {
+                degraded_tasks: Vec::new(),
+                recovered_tasks: Vec::new(),
+                ..m.clone()
+            };
+            self.saw_meta = true;
+        }
+        // Re-mark sorted+deduped, as every trace read path does.
+        for t in &m.degraded_tasks {
+            if let Err(at) = self.meta.degraded_tasks.binary_search(t) {
+                self.meta.degraded_tasks.insert(at, t.clone());
+            }
+        }
+        for t in &m.recovered_tasks {
+            if let Err(at) = self.meta.recovered_tasks.binary_search(t) {
+                self.meta.recovered_tasks.insert(at, t.clone());
+            }
+        }
+    }
+}
+
+/// Rebuilds the cache entries that are stale for the current input
+/// versions, in parallel when the stale tasks hold enough records.
+fn refresh_cache<F>(
+    cache: &mut HashMap<TaskKey, CacheEntry>,
+    tasks: &HashMap<TaskKey, TaskState>,
+    ordering: &[TaskKey],
+    geometry_rev: u64,
+    build: F,
+) where
+    F: Fn(&Partition<'_>) -> Graph + Sync,
+{
+    static EMPTY: TaskState = TaskState {
+        vfd: Vec::new(),
+        vol: Vec::new(),
+        files: Vec::new(),
+        rev: 0,
+    };
+    let stale: Vec<(&TaskKey, &TaskState)> = ordering
+        .iter()
+        .map(|t| (t, tasks.get(t).unwrap_or(&EMPTY)))
+        .filter(|(t, s)| {
+            cache
+                .get(*t)
+                .map(|c| c.task_rev != s.rev || c.geometry_rev != geometry_rev)
+                .unwrap_or(true)
+        })
+        .collect();
+    let stale_records: usize = stale.iter().map(|(_, s)| s.records()).sum();
+    let rebuild = |(t, s): &(&TaskKey, &TaskState)| {
+        let part = Partition::from_slices((*t).clone(), &s.vfd, &s.vol, &s.files);
+        ((*t).clone(), s.rev, build(&part))
+    };
+    let built: Vec<(TaskKey, u64, Graph)> = if stale_records >= PARALLEL_RECORD_THRESHOLD {
+        stale.par_iter().map(rebuild).collect()
+    } else {
+        stale.iter().map(rebuild).collect()
+    };
+    for (task, task_rev, graph) in built {
+        cache.insert(
+            task,
+            CacheEntry {
+                task_rev,
+                geometry_rev,
+                graph,
+            },
+        );
+    }
+}
+
+/// Seeds task nodes then folds the cached partials, in snapshot order —
+/// the same two-phase merge as the batch `build_partitioned`.
+fn assemble(g: &mut Graph, ordering: &[TaskKey], cache: &HashMap<TaskKey, CacheEntry>) {
+    for t in ordering {
+        g.node_sym(NodeKind::Task, t.symbol());
+    }
+    for t in ordering {
+        if let Some(entry) = cache.get(t) {
+            build::merge_partial(g, &entry.graph);
+        }
+    }
+    g.normalize_times();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_ftg_with, build_sdg_with};
+    use dayu_trace::ids::{FileKey, ObjectKey};
+    use dayu_trace::time::{Interval, Timestamp};
+    use dayu_trace::vfd::{AccessType, FileStats, IoKind};
+    use dayu_trace::vol::{ObjectDescription, ObjectKind, VolAccess, VolAccessKind};
+
+    /// Id-exact graph equality: node and edge vectors compared verbatim
+    /// (ids are vector positions), not just the index-insensitive
+    /// `PartialEq`.
+    fn assert_identical(a: &Graph, b: &Graph) {
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.workflow, b.workflow);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.edges, b.edges);
+    }
+
+    fn vfd(task: &str, file: &str, object: &str, kind: IoKind, offset: u64, at: u64) -> VfdRecord {
+        VfdRecord {
+            task: TaskKey::new(task),
+            file: FileKey::new(file),
+            object: ObjectKey::new(object),
+            kind,
+            offset,
+            len: 100,
+            access: AccessType::RawData,
+            start: Timestamp(at),
+            end: Timestamp(at + 5),
+        }
+    }
+
+    fn sample_bundle() -> TraceBundle {
+        let mut b = TraceBundle::new("wf");
+        for t in ["producer", "mid", "consumer"] {
+            b.push_task(TaskKey::new(t));
+        }
+        b.meta.stages = vec![
+            vec![TaskKey::new("producer")],
+            vec![TaskKey::new("mid"), TaskKey::new("consumer")],
+        ];
+        b.vfd = vec![
+            vfd("producer", "a.h5", "/d1", IoKind::Write, 0, 0),
+            vfd("producer", "a.h5", "/d1", IoKind::Write, 4096, 10),
+            vfd("mid", "a.h5", "/d1", IoKind::Read, 4096, 50),
+            vfd("mid", "b.h5", "/d2", IoKind::Write, 0, 60),
+            vfd("consumer", "b.h5", "/d2", IoKind::Read, 0, 90),
+        ];
+        b.vol.push(VolRecord {
+            task: TaskKey::new("producer"),
+            file: FileKey::new("a.h5"),
+            object: ObjectKey::new("/d1"),
+            kind: ObjectKind::Dataset,
+            lifetimes: vec![Interval::new(Timestamp(0), Timestamp(20))],
+            description: ObjectDescription::default(),
+            accesses: vec![VolAccess {
+                kind: VolAccessKind::Write,
+                count: 1,
+                bytes: 200,
+                sel_offset: vec![],
+                sel_count: vec![],
+                at: Timestamp(5),
+            }],
+        });
+        b.files.push(FileRecord {
+            task: TaskKey::new("consumer"),
+            file: FileKey::new("b.h5"),
+            lifetimes: vec![Interval::new(Timestamp(85), Timestamp(95))],
+            stats: FileStats::default(),
+        });
+        b
+    }
+
+    fn region_opts() -> SdgOptions {
+        SdgOptions {
+            include_regions: true,
+            region_count: 4,
+        }
+    }
+
+    #[test]
+    fn absorbing_sections_in_reverse_matches_batch_build() {
+        let b = sample_bundle();
+        let mut pg = PartialGraph::new();
+        for s in b.split_per_task().iter().rev() {
+            pg.absorb(s);
+        }
+        assert_identical(&pg.snapshot_ftg(), &build_ftg_with(&b, false));
+        for opts in [SdgOptions::default(), region_opts()] {
+            assert_identical(&pg.snapshot_sdg(&opts), &build_sdg_with(&b, &opts, false));
+        }
+        assert_eq!(pg.to_bundle().meta, b.meta);
+        assert_eq!(pg.records(), b.vfd.len() + b.vol.len() + b.files.len());
+        assert!(pg.retained_bytes() > 0);
+        assert_eq!(pg.workflow(), "wf");
+    }
+
+    #[test]
+    fn interleaved_snapshots_match_fresh_batch_builds() {
+        // Snapshot between every absorb: the caches must refresh exactly
+        // the partials whose inputs changed, including the vfd_empty flip
+        // when the first VFD-bearing section lands after a FileRecord-only
+        // one.
+        let b = sample_bundle();
+        let sections = b.split_per_task();
+        let mut pg = PartialGraph::new();
+        let mut acc = TraceBundle::default();
+        let mut first = true;
+        // consumer first: its section carries the FileRecord fallback.
+        for s in sections.iter().rev() {
+            pg.absorb(s);
+            if first {
+                acc = s.clone();
+                first = false;
+            } else {
+                // Batch reference accumulates with stream-merge semantics.
+                let mut bytes = acc.to_binary_bytes();
+                bytes.extend(s.to_binary_bytes());
+                acc = TraceBundle::read_binary(&bytes[..]).unwrap();
+            }
+            assert_identical(&pg.snapshot_ftg(), &build_ftg_with(&acc, false));
+            assert_identical(
+                &pg.snapshot_sdg(&region_opts()),
+                &build_sdg_with(&acc, &region_opts(), false),
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_sections_are_dropped_by_digest() {
+        let b = sample_bundle();
+        let mut pg = PartialGraph::new();
+        for s in b.split_per_task() {
+            let digest = dayu_trace::sha256(&s.to_binary_bytes());
+            assert!(pg.absorb_unique(digest, &s));
+            assert!(!pg.absorb_unique(digest, &s), "duplicate must be dropped");
+        }
+        assert_identical(&pg.snapshot_ftg(), &build_ftg_with(&b, false));
+    }
+
+    #[test]
+    fn merge_of_split_states_matches_sequential_absorb() {
+        let b = sample_bundle();
+        let sections = b.split_per_task();
+        let mut left = PartialGraph::new();
+        let mut right = PartialGraph::new();
+        for (i, s) in sections.iter().enumerate() {
+            if i % 2 == 0 { &mut left } else { &mut right }.absorb(s);
+        }
+        left.merge(right);
+        let mut seq = PartialGraph::new();
+        for s in &sections {
+            seq.absorb(s);
+        }
+        // Orders differ (left absorbed 0,2 then 1), but every task is in
+        // task_order so the snapshots are identical.
+        assert_identical(&left.snapshot_ftg(), &seq.snapshot_ftg());
+        assert_identical(&left.snapshot_ftg(), &build_ftg_with(&b, false));
+    }
+
+    #[test]
+    fn extent_growth_invalidates_region_geometry() {
+        // First section writes low offsets; snapshot; second section
+        // extends the file 100x — region boundaries move for *already
+        // absorbed* records, so stale cached partials would be wrong.
+        let mut b = TraceBundle::new("wf");
+        b.push_task(TaskKey::new("t1"));
+        b.push_task(TaskKey::new("t2"));
+        b.vfd = vec![
+            vfd("t1", "a.h5", "/d", IoKind::Write, 0, 0),
+            vfd("t2", "a.h5", "/d", IoKind::Write, 100_000, 10),
+        ];
+        let sections = b.split_per_task();
+        let mut pg = PartialGraph::new();
+        pg.absorb(&sections[0]);
+        let _ = pg.snapshot_sdg(&region_opts());
+        pg.absorb(&sections[1]);
+        assert_identical(
+            &pg.snapshot_sdg(&region_opts()),
+            &build_sdg_with(&b, &region_opts(), false),
+        );
+    }
+
+    #[test]
+    fn degraded_and_recovered_marks_union_across_sections() {
+        let mut b = sample_bundle();
+        b.mark_degraded(TaskKey::new("mid"));
+        b.mark_recovered(TaskKey::new("producer"));
+        let mut pg = PartialGraph::new();
+        for s in b.split_per_task().iter().rev() {
+            pg.absorb(s);
+        }
+        let back = pg.to_bundle();
+        assert_eq!(back.meta.degraded_tasks, b.meta.degraded_tasks);
+        assert_eq!(back.meta.recovered_tasks, b.meta.recovered_tasks);
+        assert_eq!(back.meta.stages, b.meta.stages);
+    }
+
+    #[test]
+    fn empty_partial_graph_snapshots_empty_graphs() {
+        let mut pg = PartialGraph::new();
+        assert_eq!(pg.snapshot_ftg().nodes.len(), 0);
+        assert_eq!(pg.snapshot_sdg(&SdgOptions::default()).nodes.len(), 0);
+        assert_eq!(pg.records(), 0);
+        assert_eq!(pg.retained_bytes(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for the incremental [`PartialGraph`]: absorbing a trace's
+//! per-task sections in *any* permutation, with *any* amount of duplication,
+//! must yield graphs identical to the one-shot batch `analyzer::build` —
+//! node for node, edge for edge, id for id.
+
+use dayu_analyzer::build::{build_ftg_with, build_sdg_with};
+use dayu_analyzer::{Graph, PartialGraph, SdgOptions};
+use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
+use dayu_trace::time::{Interval, Timestamp};
+use dayu_trace::vfd::{AccessType, FileRecord, IoKind, VfdRecord};
+use dayu_trace::vol::{ObjectDescription, ObjectKind, VolAccess, VolAccessKind, VolRecord};
+use dayu_trace::{sha256, TraceBundle};
+use proptest::prelude::*;
+
+const TASKS: [&str; 4] = ["prep", "sim", "reduce", "plot"];
+const FILES: [&str; 3] = ["a.h5", "b.h5", "c.h5"];
+
+fn arb_vfd() -> impl Strategy<Value = VfdRecord> {
+    (
+        0usize..TASKS.len(),
+        0usize..FILES.len(),
+        0u64..1 << 24,
+        1u64..1 << 16,
+        prop::bool::ANY,
+        prop::bool::ANY,
+        0u64..1 << 30,
+    )
+        .prop_map(|(task, file, offset, len, write, meta, t)| VfdRecord {
+            task: TaskKey::new(TASKS[task]),
+            file: FileKey::new(FILES[file]),
+            kind: if write { IoKind::Write } else { IoKind::Read },
+            offset,
+            len,
+            access: if meta {
+                AccessType::Metadata
+            } else {
+                AccessType::RawData
+            },
+            object: ObjectKey::new("/d"),
+            start: Timestamp(t),
+            end: Timestamp(t + 10),
+        })
+}
+
+fn arb_vol() -> impl Strategy<Value = VolRecord> {
+    (
+        0usize..TASKS.len(),
+        0usize..FILES.len(),
+        "/[a-z]{1,8}",
+        0u64..1 << 20,
+    )
+        .prop_map(|(task, file, object, bytes)| VolRecord {
+            task: TaskKey::new(TASKS[task]),
+            file: FileKey::new(FILES[file]),
+            object: ObjectKey::new(object),
+            kind: ObjectKind::Dataset,
+            lifetimes: vec![Interval::new(Timestamp(1), Timestamp(50))],
+            description: ObjectDescription::default(),
+            accesses: vec![VolAccess {
+                kind: VolAccessKind::Write,
+                count: 1,
+                bytes,
+                sel_offset: vec![],
+                sel_count: vec![],
+                at: Timestamp(5),
+            }],
+        })
+}
+
+fn arb_file() -> impl Strategy<Value = FileRecord> {
+    (0usize..TASKS.len(), 0usize..FILES.len()).prop_map(|(task, file)| FileRecord {
+        task: TaskKey::new(TASKS[task]),
+        file: FileKey::new(FILES[file]),
+        lifetimes: vec![Interval::new(Timestamp(0), Timestamp(99))],
+        stats: Default::default(),
+    })
+}
+
+/// Task-order-complete bundles: every task that may carry records is pushed
+/// into `task_order`, which is the shape the streaming collector produces
+/// and the condition under which incremental == batch holds exactly.
+fn arb_bundle() -> impl Strategy<Value = TraceBundle> {
+    (
+        prop::collection::vec(arb_vfd(), 0..24),
+        prop::collection::vec(arb_vol(), 0..10),
+        prop::collection::vec(arb_file(), 0..6),
+    )
+        .prop_map(|(vfd, vol, files)| {
+            let mut b = TraceBundle::new("prop-partial");
+            for t in TASKS {
+                b.push_task(TaskKey::new(t));
+            }
+            b.vfd = vfd;
+            b.vol = vol;
+            b.files = files;
+            b
+        })
+}
+
+fn assert_identical(a: &Graph, b: &Graph) {
+    // Plain asserts: proptest reports panics as failures with the minimal
+    // counterexample, same as prop_assert!.
+    assert_eq!(a.kind, b.kind);
+    assert_eq!(a.workflow, b.workflow);
+    assert_eq!(a.nodes, b.nodes);
+    assert_eq!(a.edges, b.edges);
+}
+
+fn region_opts() -> SdgOptions {
+    SdgOptions {
+        include_regions: true,
+        region_count: 4,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any permutation of the per-task sections reproduces the batch build.
+    #[test]
+    fn any_absorb_order_matches_batch(b in arb_bundle(), perm_seed in 0u64..u64::MAX) {
+        let mut sections = b.split_per_task();
+        // Deterministic Fisher–Yates driven by the seed.
+        let mut s = perm_seed | 1;
+        for i in (1..sections.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            sections.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let mut pg = PartialGraph::new();
+        for sec in &sections {
+            pg.absorb(sec);
+        }
+        assert_identical(&pg.snapshot_ftg(), &build_ftg_with(&b, false));
+        for opts in [SdgOptions::default(), region_opts()] {
+            assert_identical(&pg.snapshot_sdg(&opts), &build_sdg_with(&b, &opts, false));
+        }
+    }
+
+    /// Duplicated sections are dropped by digest and change nothing; taking
+    /// interim snapshots along the way never perturbs the final result.
+    #[test]
+    fn duplication_and_interim_snapshots_are_harmless(
+        b in arb_bundle(),
+        dup in prop::collection::vec(0usize..16, 0..6),
+    ) {
+        let sections = b.split_per_task();
+        let mut pg = PartialGraph::new();
+        for (i, sec) in sections.iter().enumerate() {
+            let digest = sha256(&sec.to_binary_bytes());
+            prop_assert!(pg.absorb_unique(digest, sec));
+            if dup.contains(&i) {
+                prop_assert!(!pg.absorb_unique(digest, sec));
+                let _ = pg.snapshot_ftg();
+                let _ = pg.snapshot_sdg(&region_opts());
+            }
+        }
+        assert_identical(&pg.snapshot_ftg(), &build_ftg_with(&b, false));
+        assert_identical(
+            &pg.snapshot_sdg(&region_opts()),
+            &build_sdg_with(&b, &region_opts(), false),
+        );
+    }
+
+    /// Splitting the section stream across two partial graphs and merging
+    /// them equals absorbing everything into one.
+    #[test]
+    fn merged_partials_match_batch(b in arb_bundle(), mask in 0u32..u32::MAX) {
+        let sections = b.split_per_task();
+        let mut left = PartialGraph::new();
+        let mut right = PartialGraph::new();
+        for (i, sec) in sections.iter().enumerate() {
+            if mask >> (i % 32) & 1 == 0 { &mut left } else { &mut right }.absorb(sec);
+        }
+        left.merge(right);
+        assert_identical(&left.snapshot_ftg(), &build_ftg_with(&b, false));
+        assert_identical(
+            &left.snapshot_sdg(&SdgOptions::default()),
+            &build_sdg_with(&b, &SdgOptions::default(), false),
+        );
+    }
+}

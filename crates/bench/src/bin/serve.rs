@@ -1,0 +1,81 @@
+//! `serve` — the tracked streaming-ingest benchmark.
+//!
+//! ```text
+//! cargo run --release -p dayu-bench --bin serve -- [--smoke] [--check]
+//!     [--tenants N] [--out PATH]
+//! ```
+//!
+//! Writes `BENCH_serve.json` (or `--out PATH`) and prints a short
+//! human-readable summary. `--smoke` runs the quick CI-sized sweep;
+//! `--check` exits non-zero if any serve-gate invariant fails: clean
+//! sections rejected, corrupt sections absorbed, a tenant's live graph
+//! diverging from the batch build, or throughput under the floor.
+
+use dayu_bench::serve::{check, report_json, run, ServeConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        ServeConfig::smoke()
+    } else {
+        ServeConfig::full()
+    };
+    let mut do_check = false;
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {}
+            "--check" => do_check = true,
+            "--tenants" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cfg.tenants = n,
+                _ => return usage("--tenants needs a positive integer"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let report = run(&cfg);
+    println!(
+        "{} tenants x {} sections ({} records each), {} corrupt planted",
+        cfg.tenants, cfg.tasks_per_tenant, cfg.records_per_section, report.corrupt_sent
+    );
+    println!(
+        "ingest {:.0} records/s  accepted {}  quarantined {}  graphs identical {}/{}",
+        report.records_per_sec(),
+        report.accepted,
+        report.quarantined,
+        report.graphs_identical,
+        report.tenants
+    );
+
+    let json = report_json(&cfg, &report);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("serve: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    if do_check {
+        let failures = check(&cfg, &report);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("serve check FAILED: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("serve check passed: corrupt sections quarantined, live graphs match batch");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("serve: {err}");
+    eprintln!("usage: serve [--smoke] [--check] [--tenants N] [--out PATH]");
+    ExitCode::FAILURE
+}

@@ -21,6 +21,7 @@
 //! | [`recovery`] | tracked journal-overhead + crash-recovery benchmark (`BENCH_recovery.json`) |
 //! | [`replay`] | tracked bundle pack/unpack + validated-replay-overhead benchmark (`BENCH_replay.json`) |
 //! | [`io`] | tracked scalar-vs-batched I/O engine benchmark (`BENCH_io.json`) |
+//! | [`serve`] | tracked streaming-ingest throughput + robustness benchmark (`BENCH_serve.json`) |
 //!
 //! Absolute numbers differ from the paper (the substrate is a simulator,
 //! not the authors' testbed); regenerators aim to reproduce the *shape*:
@@ -39,6 +40,7 @@ pub mod lint;
 pub mod pipeline;
 pub mod recovery;
 pub mod replay;
+pub mod serve;
 pub mod tables;
 
 /// How big to run a regenerator.

@@ -1,0 +1,354 @@
+//! Tracked streaming-ingest benchmark (`BENCH_serve.json`).
+//!
+//! Drives the in-process [`dayu_served::Served`] service with N tenants
+//! submitting interleaved per-task trace sections, a configurable fraction
+//! of them deliberately corrupted, and measures sustained ingest
+//! throughput (records/second) plus the robustness invariants the serve
+//! gate checks in CI:
+//!
+//! * zero panics (the run finishing *is* the assertion — corrupt frames
+//!   are fed straight through the ingest path),
+//! * every planted corrupt section quarantined, none absorbed,
+//! * every healthy tenant's live graph identical to the batch
+//!   `analyzer::build` of its sections.
+//!
+//! The report serializes to JSON by hand — no serde dependency — so the
+//! binary runs in minimal environments.
+
+use dayu_analyzer::build_ftg;
+use dayu_served::{Budgets, IngestStatus, Served};
+use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
+use dayu_trace::time::Timestamp;
+use dayu_trace::vfd::{AccessType, IoKind, VfdRecord};
+use dayu_trace::TraceBundle;
+use std::time::Instant;
+
+/// Workload shape for one benchmark run.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Concurrent tenants (workflows).
+    pub tenants: usize,
+    /// Tasks per tenant; each task flushes one section.
+    pub tasks_per_tenant: usize,
+    /// VFD records per section.
+    pub records_per_section: usize,
+    /// Corrupt one in this many sections (0 = none).
+    pub corrupt_every: usize,
+}
+
+impl ServeConfig {
+    /// CI-sized run: small but past every code path, including >5%
+    /// corruption.
+    pub fn smoke() -> Self {
+        Self {
+            tenants: 16,
+            tasks_per_tenant: 8,
+            records_per_section: 64,
+            corrupt_every: 10,
+        }
+    }
+
+    /// The tracked full-size run.
+    pub fn full() -> Self {
+        Self {
+            tenants: 32,
+            tasks_per_tenant: 24,
+            records_per_section: 512,
+            corrupt_every: 10,
+        }
+    }
+}
+
+/// Results of one run.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Sections submitted (including corrupt ones).
+    pub sections_sent: usize,
+    /// Sections the service absorbed.
+    pub accepted: usize,
+    /// Corrupt sections planted.
+    pub corrupt_sent: usize,
+    /// Sections the service quarantined.
+    pub quarantined: usize,
+    /// Data records absorbed.
+    pub records: usize,
+    /// Wall time of the ingest phase, nanoseconds.
+    pub ingest_ns: u64,
+    /// Wall time of the final snapshot phase, nanoseconds.
+    pub snapshot_ns: u64,
+    /// Tenants whose final live graph matched the batch build exactly.
+    pub graphs_identical: usize,
+    /// Tenants driven in the run.
+    pub tenants: usize,
+}
+
+impl ServeReport {
+    /// Sustained ingest throughput in records/second.
+    pub fn records_per_sec(&self) -> f64 {
+        if self.ingest_ns == 0 {
+            return 0.0;
+        }
+        self.records as f64 / (self.ingest_ns as f64 / 1e9)
+    }
+}
+
+/// One tenant's synthetic workload: a producer/consumer chain over a
+/// shared file, one task per section.
+fn tenant_bundle(tenant: usize, cfg: &ServeConfig) -> TraceBundle {
+    let workflow = format!("wf-{tenant:03}");
+    let mut b = TraceBundle::new(&workflow);
+    for t in 0..cfg.tasks_per_tenant {
+        b.push_task(TaskKey::new(format!("task-{t:03}")));
+    }
+    let file = FileKey::new(format!("{workflow}.h5"));
+    let mut at = 0u64;
+    for t in 0..cfg.tasks_per_tenant {
+        let task = TaskKey::new(format!("task-{t:03}"));
+        for r in 0..cfg.records_per_section {
+            let write = t == 0 || r % 3 != 0;
+            b.vfd.push(VfdRecord {
+                task: task.clone(),
+                file: file.clone(),
+                object: ObjectKey::new(format!("/d{:02}", r % 8)),
+                kind: if write { IoKind::Write } else { IoKind::Read },
+                offset: (r as u64) * 4096,
+                len: 4096,
+                access: if r % 7 == 0 {
+                    AccessType::Metadata
+                } else {
+                    AccessType::RawData
+                },
+                start: Timestamp(at),
+                end: Timestamp(at + 100),
+            });
+            at += 150;
+        }
+    }
+    b
+}
+
+/// Deterministically corrupts a section: truncation or a byte flip,
+/// alternating, so both quarantine paths stay exercised.
+fn corrupt(mut bytes: Vec<u8>, salt: usize) -> Vec<u8> {
+    if salt.is_multiple_of(2) {
+        bytes.truncate(bytes.len() / 2);
+    } else {
+        let pos = 8 + (salt * 2654435761) % (bytes.len() - 8);
+        bytes[pos] ^= 0xA5;
+    }
+    bytes
+}
+
+/// Runs the benchmark.
+pub fn run(cfg: &ServeConfig) -> ServeReport {
+    let served = Served::new(Budgets::unlimited());
+    let bundles: Vec<TraceBundle> = (0..cfg.tenants).map(|i| tenant_bundle(i, cfg)).collect();
+    let sections: Vec<Vec<Vec<u8>>> = bundles
+        .iter()
+        .map(|b| {
+            b.split_per_task()
+                .iter()
+                .map(TraceBundle::to_binary_bytes)
+                .collect()
+        })
+        .collect();
+
+    let mut sections_sent = 0usize;
+    let mut corrupt_sent = 0usize;
+    let mut accepted = 0usize;
+    let mut quarantined = 0usize;
+    let mut records = 0usize;
+    let ingest_start = Instant::now();
+    // Interleave across tenants: section s of every tenant, then s+1.
+    for s in 0..cfg.tasks_per_tenant {
+        for (tenant, tenant_sections) in sections.iter().enumerate() {
+            let workflow = format!("wf-{tenant:03}");
+            let clean = &tenant_sections[s];
+            sections_sent += 1;
+            let seq = s * cfg.tenants + tenant;
+            let payload = if cfg.corrupt_every > 0 && seq % cfg.corrupt_every == 1 {
+                corrupt_sent += 1;
+                corrupt(clean.clone(), seq)
+            } else {
+                clean.clone()
+            };
+            let digest = dayu_trace::sha256(&payload);
+            match served.ingest(&workflow, &payload, Some(digest)) {
+                IngestStatus::Accepted {
+                    records: r,
+                    duplicate: false,
+                } => {
+                    accepted += 1;
+                    records += r;
+                }
+                IngestStatus::Quarantined(_) => quarantined += 1,
+                _ => {}
+            }
+        }
+    }
+    let ingest_ns = ingest_start.elapsed().as_nanos() as u64;
+
+    // A corrupted section *may* still decode (a flipped bit inside a
+    // payload byte can survive structurally); what must never happen is a
+    // clean section failing or a truncation being absorbed. Compare every
+    // tenant's live graph against the batch build of exactly the sections
+    // the service accepted.
+    let snapshot_start = Instant::now();
+    let mut graphs_identical = 0usize;
+    for tenant in 0..cfg.tenants {
+        let workflow = format!("wf-{tenant:03}");
+        let reference = served
+            .bundle(&workflow)
+            .map(|merged| build_ftg(&merged))
+            .expect("tenant resident");
+        let live = served.snapshot_ftg(&workflow).expect("tenant resident");
+        if live.nodes == reference.nodes && live.edges == reference.edges {
+            graphs_identical += 1;
+        }
+    }
+    let snapshot_ns = snapshot_start.elapsed().as_nanos() as u64;
+
+    ServeReport {
+        sections_sent,
+        accepted,
+        corrupt_sent,
+        quarantined,
+        records,
+        ingest_ns,
+        snapshot_ns,
+        graphs_identical,
+        tenants: cfg.tenants,
+    }
+}
+
+/// The serve-gate invariants; empty = pass.
+pub fn check(cfg: &ServeConfig, report: &ServeReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    let clean = report.sections_sent - report.corrupt_sent;
+    if report.accepted < clean {
+        failures.push(format!(
+            "only {}/{clean} clean sections accepted",
+            report.accepted
+        ));
+    }
+    // Truncations always quarantine; byte flips may decode structurally.
+    // At least the truncated half of the planted corruptions must be
+    // caught, and nothing may be quarantined spuriously.
+    if report.quarantined + report.accepted != report.sections_sent {
+        failures.push(format!(
+            "{} sections unaccounted for (sent {}, accepted {}, quarantined {})",
+            report.sections_sent - report.accepted - report.quarantined,
+            report.sections_sent,
+            report.accepted,
+            report.quarantined
+        ));
+    }
+    if report.quarantined < report.corrupt_sent.div_ceil(2) {
+        failures.push(format!(
+            "only {}/{} corrupt sections quarantined",
+            report.quarantined, report.corrupt_sent
+        ));
+    }
+    if report.graphs_identical != report.tenants {
+        failures.push(format!(
+            "only {}/{} tenant graphs identical to the batch build",
+            report.graphs_identical, report.tenants
+        ));
+    }
+    if cfg.corrupt_every > 0 && report.corrupt_sent * 20 < report.sections_sent {
+        failures.push(format!(
+            "corruption rate under 5% ({}/{})",
+            report.corrupt_sent, report.sections_sent
+        ));
+    }
+    if report.records_per_sec() < 10_000.0 {
+        failures.push(format!(
+            "sustained ingest {:.0} records/s under the 10k floor",
+            report.records_per_sec()
+        ));
+    }
+    failures
+}
+
+/// Renders the tracked JSON document (by hand; no serde).
+pub fn report_json(cfg: &ServeConfig, report: &ServeReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"tenants\": {},\n",
+            "  \"tasks_per_tenant\": {},\n",
+            "  \"records_per_section\": {},\n",
+            "  \"corrupt_every\": {},\n",
+            "  \"sections_sent\": {},\n",
+            "  \"accepted\": {},\n",
+            "  \"corrupt_sent\": {},\n",
+            "  \"quarantined\": {},\n",
+            "  \"records\": {},\n",
+            "  \"ingest_ns\": {},\n",
+            "  \"snapshot_ns\": {},\n",
+            "  \"records_per_sec\": {:.1},\n",
+            "  \"graphs_identical\": {},\n",
+            "  \"graphs_total\": {}\n",
+            "}}\n"
+        ),
+        cfg.tenants,
+        cfg.tasks_per_tenant,
+        cfg.records_per_section,
+        cfg.corrupt_every,
+        report.sections_sent,
+        report.accepted,
+        report.corrupt_sent,
+        report.quarantined,
+        report.records,
+        report.ingest_ns,
+        report.snapshot_ns,
+        report.records_per_sec(),
+        report.graphs_identical,
+        report.tenants,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_passes_the_gate() {
+        let cfg = ServeConfig {
+            tenants: 4,
+            tasks_per_tenant: 4,
+            records_per_section: 16,
+            corrupt_every: 5,
+        };
+        let report = run(&cfg);
+        assert_eq!(report.sections_sent, 16);
+        assert!(report.corrupt_sent >= 3);
+        let failures: Vec<String> = check(&cfg, &report)
+            .into_iter()
+            .filter(|f| !f.contains("records/s"))
+            .collect();
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let cfg = ServeConfig {
+            tenants: 2,
+            tasks_per_tenant: 2,
+            records_per_section: 4,
+            corrupt_every: 0,
+        };
+        let report = run(&cfg);
+        let json = report_json(&cfg, &report);
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"bench\": \"serve\""));
+        assert!(json.contains("\"records_per_sec\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+}

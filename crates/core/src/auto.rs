@@ -461,6 +461,14 @@ pub fn optimize_with_contracts(
                     "re-record {task} (salvaged trace fragment; plan derived from partial data)"
                 ));
             }
+            Action::ReingestWorkflow { workflow } => {
+                // The live graph is missing quarantined or load-shed
+                // sections; a plan built on it optimizes a partial view.
+                advisories.push(format!(
+                    "re-ingest {workflow} from a clean trace (streaming ingest \
+                     degraded; this plan was derived from an incomplete graph)"
+                ));
+            }
             Action::InvestigateDivergence { task, event_index } => {
                 // Two recordings disagree: the trace this plan was derived
                 // from may not describe what the workload actually does.

@@ -34,6 +34,9 @@
 //! dayu-analyze bundle verify run.drb       # hash-chain check, no re-execution
 //! dayu-analyze replay run.drb              # re-execute + cross-check op-by-op
 //! dayu-analyze diff a.drb b.drb [--json]   # first divergent event + SDG ancestors
+//! dayu-analyze serve --idle-shutdown-ms 60000   # streaming-ingest service (quarantine,
+//!                                          # budgets, live per-tenant FTG/SDG)
+//! dayu-analyze ingest run/trace.dtb --addr 127.0.0.1:7474   # stream a trace into it
 //! ```
 //!
 //! `record` executes one of the paper's workloads under full
@@ -78,7 +81,14 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dayu-analyze <trace.{{jsonl|dtb}}> [--format jsonl|binary] [--out DIR]\n                           [--regions N] [--aggregate]\n       dayu-analyze check [<trace.{{jsonl|dtb}}>] [--inputs FILE,FILE,...] [--json]\n                           [--deny CLASS]... [--waste]\n                           [--contracts <ddmd|pyflextrkr|arldm>]\n                           (a trace, --contracts, or both; --contracts alone runs\n                            the static footprint pass, with a trace it also checks\n                            conformance)\n       dayu-analyze predict <ddmd|pyflextrkr|arldm> [--json] [--io-engine scalar|batched]\n                           [--compare <trace.{{jsonl|dtb}}>] [--deny CLASS]...\n                           (contract-derived static sSDG/sFTG + abstract cost model;\n                            --compare validates a recorded trace against the prediction,\n                            unpredicted raw edges are incomplete-contract findings)\n       dayu-analyze record <ddmd|pyflextrkr|arldm> [--chaos-seed N] [--retries N]\n                           [--fault-rate P] [--dead-at N] [--crash-seed N] [--crash-at N]\n                           [--durability journal|write-through] [--resume]\n                           [--io-engine scalar|batched] [--queue-depth N]\n                           [--readahead N] [--no-coalesce]\n                           [--manual-clock] [--bundle FILE.drb]\n                           [--format jsonl|binary] [--out DIR]\n       record exits 0 (clean), 3 (degraded trace), 4 (unrecoverable corruption);\n       on 3/4 a replay bundle is auto-emitted with the reproduction command\n       dayu-analyze bundle verify <run.drb>    # hash-chain check, no re-execution\n       dayu-analyze replay <run.drb>           # re-execute + cross-check (exit 5: diverged)\n       dayu-analyze diff <a.drb> <b.drb> [--json]   # first divergence + SDG ancestors"
+        "usage: dayu-analyze <trace.{{jsonl|dtb}}> [--format jsonl|binary] [--out DIR]\n                           [--regions N] [--aggregate]\n       dayu-analyze check [<trace.{{jsonl|dtb}}>] [--inputs FILE,FILE,...] [--json]\n                           [--deny CLASS]... [--waste]\n                           [--contracts <ddmd|pyflextrkr|arldm>]\n                           (a trace, --contracts, or both; --contracts alone runs\n                            the static footprint pass, with a trace it also checks\n                            conformance)\n       dayu-analyze predict <ddmd|pyflextrkr|arldm> [--json] [--io-engine scalar|batched]\n                           [--compare <trace.{{jsonl|dtb}}>] [--deny CLASS]...\n                           (contract-derived static sSDG/sFTG + abstract cost model;\n                            --compare validates a recorded trace against the prediction,\n                            unpredicted raw edges are incomplete-contract findings)\n       dayu-analyze record <ddmd|pyflextrkr|arldm> [--chaos-seed N] [--retries N]\n                           [--fault-rate P] [--dead-at N] [--crash-seed N] [--crash-at N]\n                           [--durability journal|write-through] [--resume]\n                           [--io-engine scalar|batched] [--queue-depth N]\n                           [--readahead N] [--no-coalesce]\n                           [--manual-clock] [--bundle FILE.drb]\n                           [--format jsonl|binary] [--out DIR]\n       record exits 0 (clean), 3 (degraded trace), 4 (unrecoverable corruption);\n       on 3/4 a replay bundle is auto-emitted with the reproduction command\n       dayu-analyze bundle verify <run.drb>    # hash-chain check, no re-execution\n       dayu-analyze replay <run.drb>           # re-execute + cross-check (exit 5: diverged)\n       dayu-analyze diff <a.drb> <b.drb> [--json]   # first divergence + SDG ancestors
+       dayu-analyze serve [--addr HOST:PORT] [--idle-shutdown-ms N]
+                           [--max-tenants N] [--sections-per-sec R]
+                           # resilient streaming-ingest service: quarantine,
+                           # budgets/backpressure, live per-tenant graphs
+       dayu-analyze ingest <trace.{{jsonl|dtb}}> [--addr HOST:PORT] [--tenant NAME]
+                           [--format jsonl|binary]   # stream a trace in per-task
+                           # sections (digest-framed, deduplicated, retried)"
     );
     std::process::exit(2);
 }
@@ -886,6 +896,152 @@ fn diff_main(args: Vec<String>) -> ! {
     std::process::exit(1);
 }
 
+/// `dayu-analyze serve`: run the resilient streaming-ingest service.
+/// Workflows stream `.dtb` sections in over TCP; corrupt sections are
+/// quarantined, over-budget tenants are shed, and each tenant's live graph
+/// stays identical to the batch build of its accepted sections.
+fn serve_main(args: Vec<String>) -> ! {
+    let mut addr = "127.0.0.1:7474".to_owned();
+    let mut idle_shutdown_ms: Option<u64> = None;
+    let mut budgets = dayu_served::Budgets::default();
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--idle-shutdown-ms" => {
+                idle_shutdown_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--max-tenants" => {
+                budgets.max_tenants = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--sections-per-sec" => {
+                budgets.sections_per_sec = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let service = std::sync::Arc::new(dayu_served::Served::new(budgets));
+    let opts = dayu_served::ServerOptions {
+        idle_shutdown: idle_shutdown_ms.map(std::time::Duration::from_millis),
+        ..dayu_served::ServerOptions::default()
+    };
+    let server = match dayu_served::Server::bind(&addr, std::sync::Arc::clone(&service), opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("serving on {}", server.local_addr());
+    server.wait();
+    let findings = service.watchdog();
+    for t in service.tenants() {
+        if let Some(s) = service.stats(&t) {
+            println!(
+                "tenant {t}: {} accepted, {} quarantined, {} dropped, {} B retained{}",
+                s.accepted,
+                s.quarantined,
+                s.dropped,
+                s.retained_bytes,
+                s.degraded
+                    .as_deref()
+                    .map(|r| format!(" (DEGRADED: {r})"))
+                    .unwrap_or_default()
+            );
+        }
+    }
+    for f in &findings {
+        println!("  [{}] {f:?}", f.category());
+    }
+    std::process::exit(0);
+}
+
+/// `dayu-analyze ingest`: stream a persisted trace into a running serve
+/// instance, one section per task, with digest framing and retry.
+fn ingest_main(args: Vec<String>) -> ! {
+    let mut input: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:7474".to_owned();
+    let mut tenant: Option<String> = None;
+    let mut forced: Option<TraceFormat> = None;
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--tenant" => tenant = Some(args.next().unwrap_or_else(|| usage())),
+            "--format" => forced = Some(parse_format(args.next())),
+            p if input.is_none() => input = Some(PathBuf::from(p)),
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+    let bundle = load_bundle(&input, forced);
+    let tenant = tenant.unwrap_or_else(|| bundle.meta.workflow.clone());
+    let mut client = dayu_served::IngestClient::new(addr.clone(), RetryPolicy::default());
+    let sections = bundle.split_per_task();
+    let mut failed = false;
+    for (i, section) in sections.iter().enumerate() {
+        let bytes = section.to_binary_bytes();
+        let mut attempt = 0u32;
+        loop {
+            match client.ingest(&tenant, &bytes) {
+                Ok(dayu_served::IngestStatus::Accepted { records, duplicate }) => {
+                    println!(
+                        "section {}/{}: accepted, {records} records{}",
+                        i + 1,
+                        sections.len(),
+                        if duplicate { " (duplicate)" } else { "" }
+                    );
+                    break;
+                }
+                Ok(dayu_served::IngestStatus::Throttled { retry_after_ns }) => {
+                    attempt += 1;
+                    if attempt > 100 {
+                        eprintln!("section {}: throttled too long, giving up", i + 1);
+                        failed = true;
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_nanos(retry_after_ns));
+                }
+                Ok(dayu_served::IngestStatus::Quarantined(report)) => {
+                    eprintln!("section {}: quarantined: {report}", i + 1);
+                    failed = true;
+                    break;
+                }
+                Ok(dayu_served::IngestStatus::Rejected { reason }) => {
+                    eprintln!("section {}: rejected: {reason}", i + 1);
+                    failed = true;
+                    break;
+                }
+                Err(e) => {
+                    eprintln!("section {}: transport failure: {e}", i + 1);
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            break;
+        }
+    }
+    if let Ok(Some(s)) = client.stats(&tenant) {
+        println!(
+            "tenant {tenant} @ {addr}: {} accepted, {} duplicates, {} quarantined, {} dropped",
+            s.accepted, s.duplicates, s.quarantined, s.dropped
+        );
+    }
+    std::process::exit(i32::from(failed));
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("check") {
@@ -905,6 +1061,12 @@ fn main() {
     }
     if raw.first().map(String::as_str) == Some("diff") {
         diff_main(raw[1..].to_vec());
+    }
+    if raw.first().map(String::as_str) == Some("serve") {
+        serve_main(raw[1..].to_vec());
+    }
+    if raw.first().map(String::as_str) == Some("ingest") {
+        ingest_main(raw[1..].to_vec());
     }
     let mut input: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;

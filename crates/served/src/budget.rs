@@ -1,0 +1,153 @@
+//! Per-tenant and service-wide resource budgets.
+//!
+//! Every limit is a *policy*, enforced by [`crate::Served`]: the token
+//! bucket turns a section-rate budget into backpressure (`Throttled` with
+//! a retry hint), the byte and node budgets turn memory pressure into
+//! load-shedding (oldest-idle tenant eviction, then rejection), and the
+//! idle timeout bounds how long a silent tenant may pin state.
+
+use dayu_trace::time::Timestamp;
+
+/// Resource limits for the ingest service. [`Budgets::default`] is sized
+/// for tests and small deployments; production callers override fields.
+#[derive(Clone, Debug)]
+pub struct Budgets {
+    /// Most tenants resident at once; admitting one more evicts the
+    /// oldest-idle tenant first.
+    pub max_tenants: usize,
+    /// Retained record bytes per tenant (see
+    /// `PartialGraph::retained_bytes`); sections past it are shed.
+    pub max_bytes_per_tenant: usize,
+    /// Retained record bytes across all tenants; exceeding it evicts
+    /// oldest-idle tenants until back under.
+    pub max_bytes_total: usize,
+    /// FTG node budget per tenant; a graph past it stops growing and the
+    /// tenant degrades.
+    pub max_graph_nodes: usize,
+    /// Sustained sections/second each tenant may submit.
+    pub sections_per_sec: f64,
+    /// Burst capacity of the rate limiter, in sections.
+    pub burst: f64,
+    /// A tenant silent this long is evictable by the watchdog.
+    pub idle_evict_ns: u64,
+}
+
+impl Default for Budgets {
+    fn default() -> Self {
+        Self {
+            max_tenants: 64,
+            max_bytes_per_tenant: 64 << 20,
+            max_bytes_total: 512 << 20,
+            max_graph_nodes: 100_000,
+            sections_per_sec: 1000.0,
+            burst: 100.0,
+            idle_evict_ns: 300_000_000_000, // 5 minutes
+        }
+    }
+}
+
+impl Budgets {
+    /// A permissive configuration for benchmarks: no practical limits.
+    pub fn unlimited() -> Self {
+        Self {
+            max_tenants: usize::MAX,
+            max_bytes_per_tenant: usize::MAX,
+            max_bytes_total: usize::MAX,
+            max_graph_nodes: usize::MAX,
+            sections_per_sec: f64::INFINITY,
+            burst: f64::INFINITY,
+            idle_evict_ns: u64::MAX,
+        }
+    }
+}
+
+/// A token bucket over the service clock: `sections_per_sec` refill,
+/// `burst` capacity. Deterministic under a `ManualClock`.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    tokens: f64,
+    capacity: f64,
+    per_ns: f64,
+    last: Timestamp,
+}
+
+impl TokenBucket {
+    /// A full bucket observed at `now`.
+    pub fn new(sections_per_sec: f64, burst: f64, now: Timestamp) -> Self {
+        Self {
+            tokens: burst,
+            capacity: burst,
+            per_ns: sections_per_sec / 1e9,
+            last: now,
+        }
+    }
+
+    /// Takes one token, refilling for the time elapsed since the last
+    /// call. On an empty bucket returns `Err(retry_after_ns)` — the wait
+    /// after which one token will be available.
+    pub fn try_take(&mut self, now: Timestamp) -> Result<(), u64> {
+        if self.per_ns.is_infinite() || self.capacity.is_infinite() {
+            return Ok(());
+        }
+        let elapsed = now.since(self.last) as f64;
+        self.last = now;
+        self.tokens = (self.tokens + elapsed * self.per_ns).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else if self.per_ns <= 0.0 {
+            Err(u64::MAX)
+        } else {
+            Err(((1.0 - self.tokens) / self.per_ns).ceil() as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_trace::time::{Clock, ManualClock};
+
+    #[test]
+    fn bucket_enforces_rate_and_refills() {
+        let clock = ManualClock::new();
+        // 2 sections/sec, burst of 2.
+        let mut b = TokenBucket::new(2.0, 2.0, clock.now());
+        assert!(b.try_take(clock.now()).is_ok());
+        assert!(b.try_take(clock.now()).is_ok());
+        let retry = b.try_take(clock.now()).unwrap_err();
+        // One token refills in 0.5 s.
+        assert_eq!(retry, 500_000_000);
+        clock.advance(retry);
+        assert!(b.try_take(clock.now()).is_ok());
+        assert!(b.try_take(clock.now()).is_err());
+    }
+
+    #[test]
+    fn bucket_caps_at_burst() {
+        let clock = ManualClock::new();
+        let mut b = TokenBucket::new(1000.0, 3.0, clock.now());
+        clock.advance(60_000_000_000);
+        for _ in 0..3 {
+            assert!(b.try_take(clock.now()).is_ok());
+        }
+        assert!(b.try_take(clock.now()).is_err());
+    }
+
+    #[test]
+    fn unlimited_budgets_never_throttle() {
+        let clock = ManualClock::new();
+        let budgets = Budgets::unlimited();
+        let mut b = TokenBucket::new(budgets.sections_per_sec, budgets.burst, clock.now());
+        for _ in 0..10_000 {
+            assert!(b.try_take(clock.now()).is_ok());
+        }
+    }
+
+    #[test]
+    fn zero_rate_bucket_reports_unbounded_wait() {
+        let clock = ManualClock::new();
+        let mut b = TokenBucket::new(0.0, 0.0, clock.now());
+        assert_eq!(b.try_take(clock.now()).unwrap_err(), u64::MAX);
+    }
+}

@@ -1,0 +1,252 @@
+//! # dayu-served
+//!
+//! A long-running, multi-tenant trace-ingest service: workflows stream
+//! their `.dtb` trace sections in as they execute, and the service keeps a
+//! live File-Task Graph / Semantic Dataflow Graph per workflow by feeding
+//! each section to an incremental
+//! [`PartialGraph`](dayu_analyzer::PartialGraph) — the same
+//! partition/merge machinery as the batch analyzer, so a live snapshot is
+//! *identical* to the one-shot build over the sections absorbed so far.
+//!
+//! The robustness layer is the point:
+//!
+//! * **Quarantine** ([`QuarantineReport`]) — the frame digest is checked
+//!   and the decode runs behind a panic barrier; a corrupt section is
+//!   recorded (byte offset, cause) and the tenant keeps serving its last
+//!   good graph.
+//! * **Budgets & backpressure** ([`Budgets`]) — per-tenant section-rate
+//!   token buckets answer `Throttled` with a retry hint; byte and
+//!   graph-node budgets shed load; the service-wide byte budget evicts
+//!   oldest-idle tenants (LRU).
+//! * **Graceful degradation** — the watchdog surfaces every degraded
+//!   tenant as an analyzer `Finding::DegradedIngest`, which the advisor
+//!   turns into a re-ingest recommendation.
+//! * **Timeouts & retries** ([`Server`], [`IngestClient`]) — every socket
+//!   carries read/write timeouts; clients reconnect with the same
+//!   deterministic-jitter [`RetryPolicy`](dayu_vfd::RetryPolicy) the
+//!   workflow runner uses, and resubmission is idempotent because
+//!   sections are deduplicated by digest.
+//!
+//! In-process use (tests, benches) goes through [`Served`] directly; the
+//! wire protocol ([`wire`]) and TCP front-end ([`server`]) add the
+//! length-framed transport.
+
+pub mod budget;
+pub mod quarantine;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use budget::{Budgets, TokenBucket};
+pub use quarantine::{QuarantineCause, QuarantineReport};
+pub use server::{IngestClient, Server, ServerOptions};
+pub use service::{IngestStatus, Served, TenantStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dayu_analyzer::build_ftg;
+    use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
+    use dayu_trace::time::{ManualClock, Timestamp};
+    use dayu_trace::vfd::{AccessType, IoKind, VfdRecord};
+    use dayu_trace::TraceBundle;
+    use std::sync::Arc;
+
+    fn sample_bundle(workflow: &str) -> TraceBundle {
+        let mut b = TraceBundle::new(workflow);
+        for t in ["w", "r"] {
+            b.push_task(TaskKey::new(t));
+        }
+        let mk = |task: &str, kind, at| VfdRecord {
+            task: TaskKey::new(task),
+            file: FileKey::new("f.h5"),
+            kind,
+            offset: 0,
+            len: 512,
+            access: AccessType::RawData,
+            object: ObjectKey::new("/d"),
+            start: Timestamp(at),
+            end: Timestamp(at + 1),
+        };
+        b.vfd = vec![mk("w", IoKind::Write, 0), mk("r", IoKind::Read, 10)];
+        b
+    }
+
+    fn service(budgets: Budgets) -> (Served, ManualClock) {
+        let clock = ManualClock::new();
+        (Served::with_clock(budgets, Arc::new(clock.clone())), clock)
+    }
+
+    #[test]
+    fn live_graph_is_identical_to_batch_build() {
+        let (served, _clock) = service(Budgets::default());
+        let bundle = sample_bundle("wf");
+        for section in bundle.split_per_task() {
+            let status = served.ingest("wf", &section.to_binary_bytes(), None);
+            assert!(matches!(status, IngestStatus::Accepted { .. }));
+        }
+        let live = served.snapshot_ftg("wf").expect("tenant resident");
+        let batch = build_ftg(&bundle);
+        assert_eq!(live.nodes, batch.nodes);
+        assert_eq!(live.edges, batch.edges);
+    }
+
+    #[test]
+    fn corrupt_sections_quarantine_and_leave_last_good_graph() {
+        let (served, _clock) = service(Budgets::default());
+        let bundle = sample_bundle("wf");
+        let good = bundle.to_binary_bytes();
+        assert!(matches!(
+            served.ingest("wf", &good, None),
+            IngestStatus::Accepted { .. }
+        ));
+        let before = served.snapshot_ftg("wf").unwrap();
+
+        let mut torn = good.clone();
+        torn.truncate(torn.len() - 3);
+        let digest = dayu_trace::sha256(&torn);
+        match served.ingest("wf", &torn, Some(digest)) {
+            IngestStatus::Quarantined(report) => {
+                assert_eq!(report.tenant, "wf");
+                assert_eq!(report.cause, QuarantineCause::Truncated);
+                assert!(report.offset <= torn.len() as u64);
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // Digest mismatch: frame claims one digest, payload hashes to
+        // another.
+        match served.ingest("wf", &good, Some([0u8; 32])) {
+            IngestStatus::Quarantined(report) => {
+                assert!(matches!(
+                    report.cause,
+                    QuarantineCause::DigestMismatch { .. }
+                ));
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        let after = served.snapshot_ftg("wf").unwrap();
+        assert_eq!(before.nodes, after.nodes);
+        assert_eq!(before.edges, after.edges);
+        let stats = served.stats("wf").unwrap();
+        assert_eq!(stats.quarantined, 2);
+        assert_eq!(served.quarantine_log().len(), 2);
+    }
+
+    #[test]
+    fn rate_budget_throttles_with_retry_hint() {
+        let budgets = Budgets {
+            sections_per_sec: 10.0,
+            burst: 2.0,
+            ..Budgets::default()
+        };
+        let (served, clock) = service(budgets);
+        let payload = sample_bundle("wf").to_binary_bytes();
+        assert!(matches!(
+            served.ingest("wf", &payload, None),
+            IngestStatus::Accepted { .. }
+        ));
+        // Second send of identical bytes: in-budget duplicate.
+        assert!(matches!(
+            served.ingest("wf", &payload, None),
+            IngestStatus::Accepted {
+                duplicate: true,
+                ..
+            }
+        ));
+        let retry = match served.ingest("wf", &payload, None) {
+            IngestStatus::Throttled { retry_after_ns } => retry_after_ns,
+            other => panic!("expected throttle, got {other:?}"),
+        };
+        assert!(retry > 0);
+        assert_eq!(served.stats("wf").unwrap().dropped, 1);
+        clock.advance(retry);
+        assert!(matches!(
+            served.ingest("wf", &payload, None),
+            IngestStatus::Accepted { .. }
+        ));
+    }
+
+    #[test]
+    fn byte_budget_sheds_and_degrades() {
+        let budgets = Budgets {
+            max_bytes_per_tenant: 1,
+            ..Budgets::default()
+        };
+        let (served, _clock) = service(budgets);
+        let b = sample_bundle("wf");
+        let sections: Vec<Vec<u8>> = b
+            .split_per_task()
+            .iter()
+            .map(TraceBundle::to_binary_bytes)
+            .collect();
+        assert!(matches!(
+            served.ingest("wf", &sections[0], None),
+            IngestStatus::Accepted { .. }
+        ));
+        match served.ingest("wf", &sections[1], None) {
+            IngestStatus::Rejected { reason } => assert!(reason.contains("byte budget")),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        let findings = served.watchdog();
+        assert_eq!(findings.len(), 1);
+        match &findings[0] {
+            dayu_analyzer::Finding::DegradedIngest {
+                workflow,
+                reason,
+                dropped,
+                ..
+            } => {
+                assert_eq!(workflow, "wf");
+                assert!(reason.contains("byte budget"));
+                assert_eq!(*dropped, 1);
+            }
+            other => panic!("expected DegradedIngest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tenant_table_evicts_oldest_idle() {
+        let budgets = Budgets {
+            max_tenants: 2,
+            ..Budgets::default()
+        };
+        let (served, clock) = service(budgets);
+        served.ingest("a", &sample_bundle("a").to_binary_bytes(), None);
+        clock.advance(1_000);
+        served.ingest("b", &sample_bundle("b").to_binary_bytes(), None);
+        clock.advance(1_000);
+        // Admitting "c" evicts "a", the least recently active.
+        served.ingest("c", &sample_bundle("c").to_binary_bytes(), None);
+        assert_eq!(served.tenants(), vec!["b".to_owned(), "c".to_owned()]);
+        assert_eq!(served.evicted(), 1);
+    }
+
+    #[test]
+    fn watchdog_evicts_idle_tenants() {
+        let budgets = Budgets {
+            idle_evict_ns: 1_000_000,
+            ..Budgets::default()
+        };
+        let (served, clock) = service(budgets);
+        served.ingest("wf", &sample_bundle("wf").to_binary_bytes(), None);
+        assert_eq!(served.tenants().len(), 1);
+        assert!(served.total_retained_bytes() > 0);
+        clock.advance(2_000_000);
+        let findings = served.watchdog();
+        assert!(findings.is_empty(), "healthy tenant: no degradation");
+        assert!(served.tenants().is_empty(), "idle tenant evicted");
+        assert_eq!(served.evicted(), 1);
+        assert_eq!(served.total_retained_bytes(), 0);
+    }
+
+    #[test]
+    fn unknown_tenant_queries_are_none() {
+        let (served, _clock) = service(Budgets::default());
+        assert!(served.snapshot_ftg("ghost").is_none());
+        assert!(served
+            .snapshot_sdg("ghost", &dayu_analyzer::SdgOptions::default())
+            .is_none());
+        assert!(served.stats("ghost").is_none());
+        assert!(served.bundle("ghost").is_none());
+    }
+}

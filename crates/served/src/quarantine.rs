@@ -1,0 +1,94 @@
+//! Structured quarantine reports for sections the service refused.
+//!
+//! The ingest path never lets a bad section near a tenant's graph: the
+//! frame digest is verified first, the decode runs inside a panic
+//! barrier, and whatever goes wrong is written down as a
+//! [`QuarantineReport`] — which section, which tenant, where in the
+//! bytes it broke, and why — while the tenant keeps serving snapshots
+//! from its last good graph.
+
+use dayu_trace::sha256::Digest;
+use std::fmt;
+
+/// Why a section was quarantined.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QuarantineCause {
+    /// The frame's declared SHA-256 digest does not match the payload:
+    /// the section was corrupted (or torn) in transit or at rest.
+    DigestMismatch {
+        /// Digest the frame header declared.
+        declared: Digest,
+        /// Digest of the bytes actually received.
+        computed: Digest,
+    },
+    /// The payload ends before the section does — a torn flush or a
+    /// truncated upload.
+    Truncated,
+    /// The payload is structurally invalid at the recorded offset.
+    Malformed(String),
+    /// The decoder panicked — a decoder bug, survived by the barrier.
+    /// The panic payload is preserved for the report.
+    DecoderPanic(String),
+}
+
+impl fmt::Display for QuarantineCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineCause::DigestMismatch { .. } => write!(f, "frame digest mismatch"),
+            QuarantineCause::Truncated => write!(f, "section truncated"),
+            QuarantineCause::Malformed(m) => write!(f, "malformed section: {m}"),
+            QuarantineCause::DecoderPanic(m) => write!(f, "decoder panic: {m}"),
+        }
+    }
+}
+
+/// One quarantined section: everything an operator needs to find the bad
+/// producer and re-flush, without taking the tenant down.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Workflow (tenant) the section was addressed to.
+    pub tenant: String,
+    /// 1-based ordinal of this section among the tenant's arrivals.
+    pub sequence: u64,
+    /// Byte offset into the section payload where decoding failed
+    /// (0 for digest mismatches — the whole frame is suspect).
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// SHA-256 of the received payload.
+    pub digest: Digest,
+    /// What went wrong.
+    pub cause: QuarantineCause,
+}
+
+impl fmt::Display for QuarantineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "quarantined section #{} for {} ({} bytes): {} at byte {}",
+            self.sequence, self.tenant, self.len, self.cause, self.offset
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_display_names_tenant_offset_and_cause() {
+        let r = QuarantineReport {
+            tenant: "wf-3".into(),
+            sequence: 7,
+            offset: 42,
+            len: 128,
+            digest: [0u8; 32],
+            cause: QuarantineCause::Malformed("bad frame tag 0x7f".into()),
+        };
+        let text = r.to_string();
+        assert!(text.contains("wf-3"));
+        assert!(text.contains("#7"));
+        assert!(text.contains("byte 42"));
+        assert!(text.contains("bad frame tag"));
+    }
+}

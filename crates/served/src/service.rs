@@ -1,0 +1,412 @@
+//! The multi-tenant ingest service core (transport-free).
+//!
+//! [`Served`] owns one [`PartialGraph`] per workflow (tenant) and feeds it
+//! encoded `.dtb` sections through a guarded pipeline:
+//!
+//! 1. **Admission** — unknown tenants are admitted, evicting the
+//!    oldest-idle tenant when the tenant table is full.
+//! 2. **Backpressure** — a per-tenant token bucket converts the
+//!    section-rate budget into [`IngestStatus::Throttled`] with a retry
+//!    hint instead of unbounded queueing.
+//! 3. **Quarantine** — the payload digest is verified and the decode runs
+//!    inside a panic barrier; anything wrong produces a structured
+//!    [`QuarantineReport`] and the tenant keeps serving snapshots from
+//!    its last good graph.
+//! 4. **Load-shedding** — per-tenant byte and node budgets reject
+//!    sections once exhausted; the service-wide byte budget evicts
+//!    oldest-idle tenants.
+//!
+//! A [`watchdog`](Served::watchdog) pass evicts idle tenants and surfaces
+//! every degraded tenant as an analyzer
+//! [`Finding::DegradedIngest`], which the advisor turns into a
+//! re-ingest recommendation.
+
+use crate::budget::{Budgets, TokenBucket};
+use crate::quarantine::{QuarantineCause, QuarantineReport};
+use dayu_analyzer::{Finding, Graph, PartialGraph, SdgOptions};
+use dayu_trace::sha256::{sha256, Digest};
+use dayu_trace::time::{Clock, RealClock, Timestamp};
+use dayu_trace::TraceBundle;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Refresh the cached FTG node count every this many accepted sections;
+/// between refreshes the node budget is enforced against the last count.
+const NODE_CHECK_EVERY: u64 = 16;
+
+/// Most quarantine reports retained in the service-wide log.
+const QUARANTINE_LOG_CAP: usize = 1024;
+
+/// Outcome of one section submission.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IngestStatus {
+    /// The section was absorbed into the tenant's graph (or was an exact
+    /// duplicate of one that already was, which is success for a
+    /// retrying client).
+    Accepted {
+        /// Data records the section carried.
+        records: usize,
+        /// Whether this exact section (by digest) had been absorbed
+        /// before.
+        duplicate: bool,
+    },
+    /// The tenant is over its section-rate budget; retry after the hint.
+    Throttled {
+        /// Nanoseconds after which one submission will be admitted.
+        retry_after_ns: u64,
+    },
+    /// The section was corrupt and has been quarantined; the tenant's
+    /// graph is unchanged.
+    Quarantined(Box<QuarantineReport>),
+    /// The section was valid but the tenant is out of budget (bytes or
+    /// graph nodes); the section was shed.
+    Rejected {
+        /// Which budget was exhausted.
+        reason: String,
+    },
+}
+
+/// Per-tenant counters, for operators and the watchdog.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Sections that arrived (including bad ones).
+    pub sections: u64,
+    /// Sections absorbed into the graph.
+    pub accepted: u64,
+    /// Exact duplicates dropped by digest.
+    pub duplicates: u64,
+    /// Sections quarantined as corrupt.
+    pub quarantined: u64,
+    /// Sections shed by throttling or budget rejection.
+    pub dropped: u64,
+    /// Approximate retained record bytes.
+    pub retained_bytes: usize,
+    /// FTG nodes at the last refresh.
+    pub nodes: usize,
+    /// Why the tenant is degraded, if it is.
+    pub degraded: Option<String>,
+}
+
+struct Tenant {
+    graph: PartialGraph,
+    bucket: TokenBucket,
+    last_seen: Timestamp,
+    stats: TenantStats,
+}
+
+impl Tenant {
+    fn new(budgets: &Budgets, now: Timestamp) -> Self {
+        Self {
+            graph: PartialGraph::new(),
+            bucket: TokenBucket::new(budgets.sections_per_sec, budgets.burst, now),
+            last_seen: now,
+            stats: TenantStats::default(),
+        }
+    }
+
+    fn degrade(&mut self, reason: &str) {
+        if self.stats.degraded.is_none() {
+            self.stats.degraded = Some(reason.to_owned());
+        }
+    }
+}
+
+#[derive(Default)]
+struct State {
+    tenants: HashMap<String, Tenant>,
+    quarantine_log: Vec<QuarantineReport>,
+    evicted: u64,
+}
+
+/// The transport-free ingest service. Thread-safe: the TCP front-end
+/// shares one instance across connections via [`Arc`].
+pub struct Served {
+    budgets: Budgets,
+    clock: Arc<dyn Clock>,
+    state: Mutex<State>,
+}
+
+impl Served {
+    /// A service on the real clock.
+    pub fn new(budgets: Budgets) -> Self {
+        Self::with_clock(budgets, Arc::new(RealClock::new()))
+    }
+
+    /// A service on an explicit clock (deterministic tests use
+    /// [`dayu_trace::ManualClock`]).
+    pub fn with_clock(budgets: Budgets, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            budgets,
+            clock,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A panicking ingest never leaves partial tenant state behind
+        // (the graph mutates only after every check passes), so a
+        // poisoned lock is safe to keep using.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Submits one encoded `.dtb` section for `tenant`. `declared` is the
+    /// client's digest of the payload (from the wire frame); `None` means
+    /// the transport did not carry one and only the self-computed digest
+    /// is used (for dedup).
+    pub fn ingest(&self, tenant: &str, payload: &[u8], declared: Option<Digest>) -> IngestStatus {
+        let now = self.clock.now();
+        let mut state = self.lock();
+        self.admit(&mut state, tenant, now);
+        let computed = sha256(payload);
+
+        // Everything below needs the tenant entry; admission guarantees
+        // it exists.
+        let t = state.tenants.get_mut(tenant).expect("admitted above");
+        t.last_seen = now;
+        t.stats.sections += 1;
+        let sequence = t.stats.sections;
+
+        if let Err(retry_after_ns) = t.bucket.try_take(now) {
+            t.stats.dropped += 1;
+            return IngestStatus::Throttled { retry_after_ns };
+        }
+
+        if let Some(declared) = declared {
+            if declared != computed {
+                let report = QuarantineReport {
+                    tenant: tenant.to_owned(),
+                    sequence,
+                    offset: 0,
+                    len: payload.len() as u64,
+                    digest: computed,
+                    cause: QuarantineCause::DigestMismatch { declared, computed },
+                };
+                return Self::quarantine(&mut state, tenant, report);
+            }
+        }
+
+        let bundle = match Self::decode_guarded(payload) {
+            Ok(bundle) => bundle,
+            Err((offset, cause)) => {
+                let report = QuarantineReport {
+                    tenant: tenant.to_owned(),
+                    sequence,
+                    offset,
+                    len: payload.len() as u64,
+                    digest: computed,
+                    cause,
+                };
+                return Self::quarantine(&mut state, tenant, report);
+            }
+        };
+
+        let t = state.tenants.get_mut(tenant).expect("admitted above");
+        if t.stats.retained_bytes >= self.budgets.max_bytes_per_tenant {
+            t.stats.dropped += 1;
+            t.degrade("byte budget exhausted");
+            return IngestStatus::Rejected {
+                reason: "tenant byte budget exhausted".to_owned(),
+            };
+        }
+        if t.stats.nodes >= self.budgets.max_graph_nodes {
+            t.stats.dropped += 1;
+            t.degrade("graph node budget exhausted");
+            return IngestStatus::Rejected {
+                reason: "tenant graph node budget exhausted".to_owned(),
+            };
+        }
+
+        let records = bundle.vfd.len() + bundle.vol.len() + bundle.files.len();
+        if !t.graph.absorb_unique(computed, &bundle) {
+            t.stats.duplicates += 1;
+            return IngestStatus::Accepted {
+                records,
+                duplicate: true,
+            };
+        }
+        t.stats.accepted += 1;
+        t.stats.retained_bytes = t.graph.retained_bytes();
+        if t.stats.nodes == 0 || t.stats.accepted.is_multiple_of(NODE_CHECK_EVERY) {
+            t.stats.nodes = t.graph.snapshot_ftg().nodes.len();
+        }
+
+        self.shed_global(&mut state, tenant);
+        IngestStatus::Accepted {
+            records,
+            duplicate: false,
+        }
+    }
+
+    /// Evicts idle tenants and reports every degraded tenant as a
+    /// [`Finding::DegradedIngest`] for the advisor. Run it periodically;
+    /// the TCP front-end calls it between accepts.
+    pub fn watchdog(&self) -> Vec<Finding> {
+        let now = self.clock.now();
+        let mut state = self.lock();
+        let idle: Vec<String> = state
+            .tenants
+            .iter()
+            .filter(|(_, t)| now.since(t.last_seen) >= self.budgets.idle_evict_ns)
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in idle {
+            state.tenants.remove(&name);
+            state.evicted += 1;
+        }
+        let mut names: Vec<&String> = state.tenants.keys().collect();
+        names.sort();
+        names
+            .into_iter()
+            .filter_map(|name| {
+                let t = &state.tenants[name];
+                let reason = t.stats.degraded.clone()?;
+                Some(Finding::DegradedIngest {
+                    workflow: name.clone(),
+                    reason,
+                    quarantined: t.stats.quarantined,
+                    dropped: t.stats.dropped,
+                })
+            })
+            .collect()
+    }
+
+    /// Snapshot of a tenant's File-Task Graph (its last good graph).
+    pub fn snapshot_ftg(&self, tenant: &str) -> Option<Graph> {
+        let mut state = self.lock();
+        let t = state.tenants.get_mut(tenant)?;
+        let g = t.graph.snapshot_ftg();
+        t.stats.nodes = g.nodes.len();
+        Some(g)
+    }
+
+    /// Snapshot of a tenant's Semantic Dataflow Graph.
+    pub fn snapshot_sdg(&self, tenant: &str, opts: &SdgOptions) -> Option<Graph> {
+        let mut state = self.lock();
+        Some(state.tenants.get_mut(tenant)?.graph.snapshot_sdg(opts))
+    }
+
+    /// The merged bundle a tenant's snapshots are built from.
+    pub fn bundle(&self, tenant: &str) -> Option<TraceBundle> {
+        let state = self.lock();
+        Some(state.tenants.get(tenant)?.graph.to_bundle())
+    }
+
+    /// A tenant's counters.
+    pub fn stats(&self, tenant: &str) -> Option<TenantStats> {
+        let state = self.lock();
+        Some(state.tenants.get(tenant)?.stats.clone())
+    }
+
+    /// Resident tenant names, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        let state = self.lock();
+        let mut names: Vec<String> = state.tenants.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The service-wide quarantine log, oldest first (bounded; oldest
+    /// entries are dropped past the cap).
+    pub fn quarantine_log(&self) -> Vec<QuarantineReport> {
+        self.lock().quarantine_log.clone()
+    }
+
+    /// Tenants evicted so far (idle timeout or byte-budget shedding).
+    pub fn evicted(&self) -> u64 {
+        self.lock().evicted
+    }
+
+    /// Approximate retained record bytes across all tenants.
+    pub fn total_retained_bytes(&self) -> usize {
+        let state = self.lock();
+        state.tenants.values().map(|t| t.stats.retained_bytes).sum()
+    }
+
+    /// Admits `tenant`, evicting the oldest-idle tenant if the table is
+    /// full.
+    fn admit(&self, state: &mut State, tenant: &str, now: Timestamp) {
+        if state.tenants.contains_key(tenant) {
+            return;
+        }
+        while state.tenants.len() >= self.budgets.max_tenants.max(1) {
+            if !Self::evict_lru(state, None) {
+                break;
+            }
+        }
+        state
+            .tenants
+            .insert(tenant.to_owned(), Tenant::new(&self.budgets, now));
+    }
+
+    /// Sheds oldest-idle tenants (never `keep`) until the service-wide
+    /// byte budget is respected.
+    fn shed_global(&self, state: &mut State, keep: &str) {
+        loop {
+            let total: usize = state.tenants.values().map(|t| t.stats.retained_bytes).sum();
+            if total <= self.budgets.max_bytes_total {
+                return;
+            }
+            if !Self::evict_lru(state, Some(keep)) {
+                return;
+            }
+        }
+    }
+
+    /// Evicts the least-recently-active tenant (ties broken by name for
+    /// determinism), skipping `keep`. Returns whether anything was
+    /// evicted.
+    fn evict_lru(state: &mut State, keep: Option<&str>) -> bool {
+        let victim = state
+            .tenants
+            .iter()
+            .filter(|(name, _)| Some(name.as_str()) != keep)
+            .min_by(|(an, a), (bn, b)| a.last_seen.cmp(&b.last_seen).then_with(|| an.cmp(bn)))
+            .map(|(name, _)| name.clone());
+        match victim {
+            Some(name) => {
+                state.tenants.remove(&name);
+                state.evicted += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn quarantine(state: &mut State, tenant: &str, report: QuarantineReport) -> IngestStatus {
+        let t = state.tenants.get_mut(tenant).expect("admitted above");
+        t.stats.quarantined += 1;
+        t.degrade("quarantined sections");
+        if state.quarantine_log.len() >= QUARANTINE_LOG_CAP {
+            state.quarantine_log.remove(0);
+        }
+        state.quarantine_log.push(report.clone());
+        IngestStatus::Quarantined(Box::new(report))
+    }
+
+    /// Decodes a section behind a panic barrier. The decoder is hardened
+    /// against corrupt input and should never panic; if it does anyway,
+    /// the panic becomes a quarantine cause instead of taking down the
+    /// service.
+    fn decode_guarded(payload: &[u8]) -> Result<TraceBundle, (u64, QuarantineCause)> {
+        match catch_unwind(AssertUnwindSafe(|| dayu_trace::decode_section(payload))) {
+            Ok(Ok(bundle)) => Ok(bundle),
+            Ok(Err(e)) => {
+                let cause = if e.is_truncation() {
+                    QuarantineCause::Truncated
+                } else {
+                    QuarantineCause::Malformed(e.cause.to_string())
+                };
+                Err((e.offset, cause))
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                Err((0, QuarantineCause::DecoderPanic(msg)))
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The length-framed ingest wire protocol.
+//!
+//! Built on the shared [`dayu_trace::wire`] primitives (LEB128 varints,
+//! length-prefixed byte strings, sanity caps), so the service enforces
+//! the same bounds as every other DaYu format. One request, one
+//! response, in order, per connection:
+//!
+//! ```text
+//! request  := op:u8 body
+//!   INGEST (0x01) := tenant:str digest:[u8;32] section:bytes
+//!   STATS  (0x02) := tenant:str
+//!   PING   (0x03) :=
+//! response := tag:u8 body
+//!   ACCEPTED    (0x00) := records:varint duplicate:u8
+//!   THROTTLED   (0x01) := retry_after_ns:varint
+//!   QUARANTINED (0x02) := sequence:varint offset:varint len:varint cause:str
+//!   REJECTED    (0x03) := reason:str
+//!   STATS       (0x04) := found:u8 [sections accepted duplicates
+//!                          quarantined dropped retained nodes:varint
+//!                          degraded:opt-str]
+//!   PONG        (0x05) :=
+//! ```
+//!
+//! Every field is length-framed with a cap, so a torn or hostile frame
+//! fails with a structured `io::Error` instead of a huge allocation or a
+//! hang; the digest lets the server detect payload corruption the `.dtb`
+//! format itself (checksum-free by design) cannot.
+
+use crate::quarantine::QuarantineReport;
+use crate::service::{IngestStatus, TenantStats};
+use dayu_trace::sha256::Digest;
+use dayu_trace::wire::{
+    bad, read_bytes, read_str, read_u8, read_varint, write_bytes, write_str, write_u8, write_varint,
+};
+use std::io::{self, BufRead, Write};
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Submit one encoded `.dtb` section.
+    Ingest {
+        /// Target workflow (tenant).
+        tenant: String,
+        /// Client-computed SHA-256 of `section`.
+        digest: Digest,
+        /// The encoded section payload.
+        section: Vec<u8>,
+    },
+    /// Fetch a tenant's counters.
+    Stats {
+        /// The tenant to describe.
+        tenant: String,
+    },
+    /// Liveness probe.
+    Ping,
+}
+
+/// One server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Ingest outcome.
+    Ingest(IngestStatus),
+    /// Stats outcome (`None` for an unknown tenant).
+    Stats(Option<TenantStats>),
+    /// Liveness answer.
+    Pong,
+}
+
+const OP_INGEST: u8 = 0x01;
+const OP_STATS: u8 = 0x02;
+const OP_PING: u8 = 0x03;
+
+const TAG_ACCEPTED: u8 = 0x00;
+const TAG_THROTTLED: u8 = 0x01;
+const TAG_QUARANTINED: u8 = 0x02;
+const TAG_REJECTED: u8 = 0x03;
+const TAG_STATS: u8 = 0x04;
+const TAG_PONG: u8 = 0x05;
+
+/// Writes one request frame.
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
+    match req {
+        Request::Ingest {
+            tenant,
+            digest,
+            section,
+        } => {
+            write_u8(w, OP_INGEST)?;
+            write_str(w, tenant)?;
+            w.write_all(digest)?;
+            write_bytes(w, section)?;
+        }
+        Request::Stats { tenant } => {
+            write_u8(w, OP_STATS)?;
+            write_str(w, tenant)?;
+        }
+        Request::Ping => write_u8(w, OP_PING)?,
+    }
+    w.flush()
+}
+
+/// Reads one request frame. `Ok(None)` is a clean end-of-stream (the
+/// client closed between requests).
+pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
+    let op = match read_u8(r) {
+        Ok(op) => op,
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    match op {
+        OP_INGEST => {
+            let tenant = read_str(r, "tenant")?;
+            let mut digest = [0u8; 32];
+            r.read_exact(&mut digest)?;
+            let section = read_bytes(r, "section")?;
+            Ok(Some(Request::Ingest {
+                tenant,
+                digest,
+                section,
+            }))
+        }
+        OP_STATS => Ok(Some(Request::Stats {
+            tenant: read_str(r, "tenant")?,
+        })),
+        OP_PING => Ok(Some(Request::Ping)),
+        other => Err(bad(format!("unknown request op {other:#04x}"))),
+    }
+}
+
+/// Writes one response frame.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
+    match resp {
+        Response::Ingest(IngestStatus::Accepted { records, duplicate }) => {
+            write_u8(w, TAG_ACCEPTED)?;
+            write_varint(w, *records as u64)?;
+            write_u8(w, u8::from(*duplicate))?;
+        }
+        Response::Ingest(IngestStatus::Throttled { retry_after_ns }) => {
+            write_u8(w, TAG_THROTTLED)?;
+            write_varint(w, *retry_after_ns)?;
+        }
+        Response::Ingest(IngestStatus::Quarantined(report)) => {
+            write_u8(w, TAG_QUARANTINED)?;
+            write_varint(w, report.sequence)?;
+            write_varint(w, report.offset)?;
+            write_varint(w, report.len)?;
+            write_str(w, &report.cause.to_string())?;
+        }
+        Response::Ingest(IngestStatus::Rejected { reason }) => {
+            write_u8(w, TAG_REJECTED)?;
+            write_str(w, reason)?;
+        }
+        Response::Stats(stats) => {
+            write_u8(w, TAG_STATS)?;
+            match stats {
+                None => write_u8(w, 0)?,
+                Some(s) => {
+                    write_u8(w, 1)?;
+                    write_varint(w, s.sections)?;
+                    write_varint(w, s.accepted)?;
+                    write_varint(w, s.duplicates)?;
+                    write_varint(w, s.quarantined)?;
+                    write_varint(w, s.dropped)?;
+                    write_varint(w, s.retained_bytes as u64)?;
+                    write_varint(w, s.nodes as u64)?;
+                    match &s.degraded {
+                        None => write_u8(w, 0)?,
+                        Some(reason) => {
+                            write_u8(w, 1)?;
+                            write_str(w, reason)?;
+                        }
+                    }
+                }
+            }
+        }
+        Response::Pong => write_u8(w, TAG_PONG)?,
+    }
+    w.flush()
+}
+
+/// Reads one response frame.
+///
+/// A `Quarantined` decodes into a [`QuarantineReport`] with the tenant
+/// and digest left for the caller to fill in (the client knows both; the
+/// wire does not repeat them).
+pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<Response> {
+    match read_u8(r)? {
+        TAG_ACCEPTED => Ok(Response::Ingest(IngestStatus::Accepted {
+            records: read_varint(r)? as usize,
+            duplicate: read_u8(r)? != 0,
+        })),
+        TAG_THROTTLED => Ok(Response::Ingest(IngestStatus::Throttled {
+            retry_after_ns: read_varint(r)?,
+        })),
+        TAG_QUARANTINED => {
+            let sequence = read_varint(r)?;
+            let offset = read_varint(r)?;
+            let len = read_varint(r)?;
+            let cause = read_str(r, "quarantine cause")?;
+            Ok(Response::Ingest(IngestStatus::Quarantined(Box::new(
+                QuarantineReport {
+                    tenant: String::new(),
+                    sequence,
+                    offset,
+                    len,
+                    digest: [0u8; 32],
+                    cause: crate::quarantine::QuarantineCause::Malformed(cause),
+                },
+            ))))
+        }
+        TAG_REJECTED => Ok(Response::Ingest(IngestStatus::Rejected {
+            reason: read_str(r, "reject reason")?,
+        })),
+        TAG_STATS => match read_u8(r)? {
+            0 => Ok(Response::Stats(None)),
+            1 => {
+                let mut s = TenantStats {
+                    sections: read_varint(r)?,
+                    accepted: read_varint(r)?,
+                    duplicates: read_varint(r)?,
+                    quarantined: read_varint(r)?,
+                    dropped: read_varint(r)?,
+                    retained_bytes: read_varint(r)? as usize,
+                    nodes: read_varint(r)? as usize,
+                    degraded: None,
+                };
+                if read_u8(r)? != 0 {
+                    s.degraded = Some(read_str(r, "degraded reason")?);
+                }
+                Ok(Response::Stats(Some(s)))
+            }
+            other => Err(bad(format!("bad stats presence tag {other:#04x}"))),
+        },
+        TAG_PONG => Ok(Response::Pong),
+        other => Err(bad(format!("unknown response tag {other:#04x}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quarantine::QuarantineCause;
+    use std::io::Cursor;
+
+    fn round_trip_request(req: &Request) -> Request {
+        let mut buf = Vec::new();
+        write_request(&mut buf, req).unwrap();
+        read_request(&mut Cursor::new(buf)).unwrap().unwrap()
+    }
+
+    fn round_trip_response(resp: &Response) -> Response {
+        let mut buf = Vec::new();
+        write_response(&mut buf, resp).unwrap();
+        read_response(&mut Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Ingest {
+                tenant: "wf/α".into(),
+                digest: [7u8; 32],
+                section: vec![1, 2, 3],
+            },
+            Request::Stats {
+                tenant: "wf-2".into(),
+            },
+            Request::Ping,
+        ] {
+            assert_eq!(round_trip_request(&req), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Ingest(IngestStatus::Accepted {
+                records: 12,
+                duplicate: true,
+            }),
+            Response::Ingest(IngestStatus::Throttled {
+                retry_after_ns: 1_500_000,
+            }),
+            Response::Ingest(IngestStatus::Rejected {
+                reason: "tenant byte budget exhausted".into(),
+            }),
+            Response::Stats(None),
+            Response::Stats(Some(TenantStats {
+                sections: 9,
+                accepted: 7,
+                duplicates: 1,
+                quarantined: 1,
+                dropped: 0,
+                retained_bytes: 4096,
+                nodes: 17,
+                degraded: Some("quarantined sections".into()),
+            })),
+            Response::Pong,
+        ] {
+            assert_eq!(round_trip_response(&resp), resp);
+        }
+    }
+
+    #[test]
+    fn quarantine_response_carries_offset_and_cause_text() {
+        let mut buf = Vec::new();
+        write_response(
+            &mut buf,
+            &Response::Ingest(IngestStatus::Quarantined(Box::new(QuarantineReport {
+                tenant: "wf".into(),
+                sequence: 3,
+                offset: 99,
+                len: 1000,
+                digest: [1u8; 32],
+                cause: QuarantineCause::Truncated,
+            }))),
+        )
+        .unwrap();
+        match read_response(&mut Cursor::new(buf)).unwrap() {
+            Response::Ingest(IngestStatus::Quarantined(r)) => {
+                assert_eq!(r.sequence, 3);
+                assert_eq!(r.offset, 99);
+                assert_eq!(r.len, 1000);
+                assert_eq!(
+                    r.cause,
+                    QuarantineCause::Malformed("section truncated".into())
+                );
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_frames_are_structured_errors() {
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            &Request::Ingest {
+                tenant: "wf".into(),
+                digest: [0u8; 32],
+                section: vec![9; 100],
+            },
+        )
+        .unwrap();
+        for cut in 1..buf.len() {
+            let err = match read_request(&mut Cursor::new(buf[..cut].to_vec())) {
+                Ok(Some(_)) => panic!("truncated frame decoded at cut {cut}"),
+                Ok(None) => panic!("truncated frame read as clean EOF at cut {cut}"),
+                Err(e) => e,
+            };
+            let _ = err.to_string();
+        }
+        assert!(read_request(&mut Cursor::new(vec![0xEEu8])).is_err());
+        assert!(read_response(&mut Cursor::new(vec![0xEEu8])).is_err());
+    }
+
+    #[test]
+    fn clean_eof_between_requests_is_none() {
+        assert_eq!(read_request(&mut Cursor::new(Vec::new())).unwrap(), None);
+    }
+}

@@ -379,6 +379,13 @@ impl Table {
 /// drive a multi-gigabyte allocation before the decode fails.
 const LEN_CAP: u64 = 1 << 32;
 
+/// Tighter cap for a single string-table entry. Strings are task, file,
+/// object and workflow names; unlike the collection caps (which bound loop
+/// counts, not buffers), this one bounds a real upfront allocation
+/// (`scratch.resize`), so a flipped length varint must not be able to
+/// demand gigabytes before the subsequent read fails.
+const STRING_CAP: u64 = 1 << 20;
+
 fn read_intervals<R: BufRead>(r: &mut R) -> io::Result<Vec<Interval>> {
     let n = read_len(r, "interval list", LEN_CAP)?;
     let mut out = Vec::with_capacity(n.min(1024));
@@ -573,7 +580,7 @@ pub fn stream_bundles<R: BufRead, S: RecordSink>(mut r: R, sink: &mut S) -> io::
         let mut syms = Vec::with_capacity(n.min(65536));
         let mut scratch = Vec::new();
         for _ in 0..n {
-            let len = read_len(&mut r, "string", LEN_CAP)?;
+            let len = read_len(&mut r, "string", STRING_CAP)?;
             scratch.resize(len, 0);
             r.read_exact(&mut scratch)?;
             let s = std::str::from_utf8(&scratch).map_err(|e| bad(format!("bad utf-8: {e}")))?;

@@ -26,6 +26,7 @@ pub mod binary;
 pub mod context;
 pub mod ids;
 pub mod intern;
+pub mod section;
 pub mod sha256;
 pub mod store;
 pub mod time;
@@ -36,6 +37,7 @@ pub mod wire;
 pub use context::SharedContext;
 pub use ids::{FileKey, ObjectKey, TaskKey};
 pub use intern::Symbol;
+pub use section::{decode_section, SectionDecodeError};
 pub use sha256::{sha256, Sha256};
 pub use store::{RecordSink, TraceBundle, TraceFormat, TraceMeta, TraceOrigin};
 pub use time::{Clock, ManualClock, RealClock, Timestamp};

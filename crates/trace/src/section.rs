@@ -1,0 +1,302 @@
+//! Fallible, offset-reporting decode of `.dtb` sections.
+//!
+//! The batch readers in [`crate::binary`] already refuse malformed input,
+//! but they report a bare `io::Error` with no position — fine when the
+//! trace is a trusted local file, useless when sections arrive over a wire
+//! from many concurrently-recording tenants and one of them ships a torn
+//! or bit-flipped frame. [`decode_section`] decodes a byte blob through a
+//! counting reader and, on failure, returns a [`SectionDecodeError`]
+//! carrying the exact byte offset the decoder had consumed when it gave
+//! up — the ingest service copies both into its quarantine report so an
+//! operator can line the offset up against the captured blob.
+//!
+//! The decode path is allocation-bounded (every length prefix is checked
+//! against a sanity cap before any buffer is sized) and never panics on
+//! arbitrary bytes: corruption surfaces as `Err`, not as a crash. A flip
+//! that happens to decode to *some* valid section is indistinguishable
+//! from honest data at this layer — the format carries no per-frame
+//! checksum — which is why the wire protocol in `dayu-served` frames every
+//! section with a SHA-256 digest ([`crate::sha256`]) checked before the
+//! bytes ever reach this decoder.
+//!
+//! [`TraceBundle::split_per_task`] is the inverse convenience: it cuts a
+//! recorded bundle into per-task sections, each carrying the full bundle
+//! meta, so that re-merging any subset in any arrival order reconstructs
+//! the same metadata — the shape a per-task section flush produces in a
+//! live deployment.
+
+use crate::store::TraceBundle;
+use std::fmt;
+use std::io::{self, BufRead, Read};
+
+/// A `.dtb` section blob failed to decode.
+#[derive(Debug)]
+pub struct SectionDecodeError {
+    /// Bytes the decoder had successfully consumed before the failing
+    /// read — the position of (or just before) the corruption.
+    pub offset: u64,
+    /// The underlying decode error.
+    pub cause: io::Error,
+}
+
+impl SectionDecodeError {
+    /// Whether the section simply ended early (torn write / truncated
+    /// frame) as opposed to containing structurally invalid bytes.
+    pub fn is_truncation(&self) -> bool {
+        self.cause.kind() == io::ErrorKind::UnexpectedEof
+    }
+}
+
+impl fmt::Display for SectionDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "section decode failed at byte {}: {}",
+            self.offset, self.cause
+        )
+    }
+}
+
+impl std::error::Error for SectionDecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.cause)
+    }
+}
+
+/// Slice reader that remembers how many bytes the decoder consumed, so a
+/// decode failure can be pinned to a byte offset.
+struct CountingReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Read for CountingReader<'_> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        let n = out.len().min(self.buf.len() - self.pos);
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl BufRead for CountingReader<'_> {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        Ok(&self.buf[self.pos..])
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.pos += n;
+    }
+}
+
+/// Decodes one or more concatenated `.dtb` sections from `bytes`,
+/// merging them with the usual concatenation semantics. Unlike
+/// [`TraceBundle::read_binary`], the input must actually *be* binary (an
+/// empty or JSONL blob is an error, not an empty bundle) and failures
+/// report the byte offset at which decoding stopped.
+pub fn decode_section(bytes: &[u8]) -> Result<TraceBundle, SectionDecodeError> {
+    if bytes.first() != Some(&crate::binary::MAGIC[0]) {
+        return Err(SectionDecodeError {
+            offset: 0,
+            cause: io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a .dtb section (missing magic byte)",
+            ),
+        });
+    }
+    let mut r = CountingReader { buf: bytes, pos: 0 };
+    match TraceBundle::read_binary(&mut r) {
+        Ok(bundle) => Ok(bundle),
+        Err(cause) => Err(SectionDecodeError {
+            offset: r.pos as u64,
+            cause,
+        }),
+    }
+}
+
+impl TraceBundle {
+    /// Splits the bundle into one section per task (in [`Self::all_tasks`]
+    /// order), each carrying the complete bundle meta and only that task's
+    /// records. Merging any subset of the sections, in any order and with
+    /// any duplication, reconstructs the same metadata; merging all of
+    /// them reconstructs a bundle equal to the original up to record
+    /// order grouped by task. A bundle that mentions no task at all
+    /// splits into a single meta-only section.
+    pub fn split_per_task(&self) -> Vec<TraceBundle> {
+        let tasks = self.all_tasks();
+        if tasks.is_empty() {
+            return vec![self.clone()];
+        }
+        tasks
+            .into_iter()
+            .map(|task| TraceBundle {
+                meta: self.meta.clone(),
+                vol: self
+                    .vol
+                    .iter()
+                    .filter(|r| r.task == task)
+                    .cloned()
+                    .collect(),
+                vfd: self
+                    .vfd
+                    .iter()
+                    .filter(|r| r.task == task)
+                    .cloned()
+                    .collect(),
+                files: self
+                    .files
+                    .iter()
+                    .filter(|r| r.task == task)
+                    .cloned()
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FileKey, ObjectKey, TaskKey};
+    use crate::time::{Interval, Timestamp};
+    use crate::vfd::{AccessType, FileRecord, IoKind, VfdRecord};
+    use crate::vol::{ObjectDescription, ObjectKind, VolRecord};
+
+    fn bundle() -> TraceBundle {
+        let mut b = TraceBundle::new("wf");
+        for t in ["t1", "t2"] {
+            b.push_task(TaskKey::new(t));
+            b.vol.push(VolRecord {
+                task: TaskKey::new(t),
+                file: FileKey::new("f.h5"),
+                object: ObjectKey::new("/d"),
+                kind: ObjectKind::Dataset,
+                lifetimes: vec![Interval::new(Timestamp(0), Timestamp(5))],
+                description: ObjectDescription::default(),
+                accesses: vec![],
+            });
+            b.vfd.push(VfdRecord {
+                task: TaskKey::new(t),
+                file: FileKey::new("f.h5"),
+                kind: IoKind::Write,
+                offset: 0,
+                len: 128,
+                access: AccessType::RawData,
+                object: ObjectKey::new("/d"),
+                start: Timestamp(1),
+                end: Timestamp(2),
+            });
+            b.files.push(FileRecord {
+                task: TaskKey::new(t),
+                file: FileKey::new("f.h5"),
+                lifetimes: vec![Interval::new(Timestamp(0), Timestamp(5))],
+                stats: Default::default(),
+            });
+        }
+        b
+    }
+
+    #[test]
+    fn valid_section_decodes() {
+        let b = bundle();
+        let back = decode_section(&b.to_binary_bytes()).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn empty_and_non_binary_blobs_are_errors() {
+        let err = decode_section(b"").unwrap_err();
+        assert_eq!(err.offset, 0);
+        let err = decode_section(b"{\"Meta\":{}}").unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert!(!err.is_truncation());
+        assert!(err.to_string().contains("at byte 0"));
+    }
+
+    #[test]
+    fn every_truncation_is_a_structured_error() {
+        // Exhaustive cut sweep: every proper nonempty prefix of a
+        // single-section blob must fail (the section ends with an end
+        // tag, so no prefix is complete), with a sane offset.
+        let bytes = bundle().to_binary_bytes();
+        for cut in 1..bytes.len() {
+            let err = decode_section(&bytes[..cut])
+                .map(|_| panic!("prefix of {cut}/{} bytes decoded", bytes.len()))
+                .unwrap_err();
+            assert!(
+                err.offset <= cut as u64,
+                "offset {} past cut {cut}",
+                err.offset
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_error_or_valid() {
+        // No per-frame checksum: a flip may decode to a *different* valid
+        // bundle, but it must never panic, hang, or over-allocate.
+        let bytes = bundle().to_binary_bytes();
+        let mut detected = 0usize;
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 1 << bit;
+                if let Err(e) = decode_section(&bad) {
+                    assert!(e.offset <= bad.len() as u64);
+                    detected += 1;
+                }
+            }
+        }
+        // The format is dense enough that most flips are structural
+        // damage; if almost nothing is detected the decoder is not
+        // actually validating.
+        assert!(detected > bytes.len(), "only {detected} flips detected");
+    }
+
+    #[test]
+    fn truncation_classified_as_truncation() {
+        let bytes = bundle().to_binary_bytes();
+        let err = decode_section(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert!(err.is_truncation());
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn oversized_string_length_is_rejected_without_allocating() {
+        // Magic, then a 1-entry string table whose string claims to be
+        // ~u48 bytes long: must fail the cap check, not try to allocate.
+        let mut bytes = crate::binary::MAGIC.to_vec();
+        bytes.push(1); // one table entry
+        bytes.extend([0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F]); // huge varint len
+        let err = decode_section(&bytes).unwrap_err();
+        assert!(err.cause.to_string().contains("cap"), "{}", err.cause);
+    }
+
+    #[test]
+    fn split_per_task_sections_remerge_to_the_original() {
+        let mut b = bundle();
+        b.mark_degraded(TaskKey::new("t2"));
+        b.meta.stages = vec![vec![TaskKey::new("t1")], vec![TaskKey::new("t2")]];
+        let sections = b.split_per_task();
+        assert_eq!(sections.len(), 2);
+        // Concatenate the encoded sections in reverse arrival order:
+        // full-meta sections make the merge order-insensitive.
+        let mut bytes = Vec::new();
+        for s in sections.iter().rev() {
+            bytes.extend(s.to_binary_bytes());
+        }
+        let back = decode_section(&bytes).unwrap();
+        assert_eq!(back.meta, b.meta);
+        assert_eq!(back.vol.len(), b.vol.len());
+        assert_eq!(back.vfd.len(), b.vfd.len());
+        assert_eq!(back.files.len(), b.files.len());
+    }
+
+    #[test]
+    fn taskless_bundle_splits_into_one_meta_section() {
+        let b = TraceBundle::new("empty");
+        let sections = b.split_per_task();
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0], b);
+    }
+}

@@ -1,0 +1,132 @@
+//! Corruption sweep over the `.dtb` section decoder, mirroring the `.drb`
+//! bundle_prop tests in `dayu-workflow`: arbitrary bundles round-trip, every
+//! truncation point fails with a structured offset-bearing error, and every
+//! single-byte flip either fails the same way or decodes to *some* valid
+//! bundle — never a panic, hang, or unbounded allocation.
+
+use dayu_trace::ids::{FileKey, ObjectKey, TaskKey};
+use dayu_trace::time::{Interval, Timestamp};
+use dayu_trace::vfd::{AccessType, FileRecord, IoKind, VfdRecord};
+use dayu_trace::vol::{ObjectDescription, ObjectKind, VolRecord};
+use dayu_trace::{decode_section, TraceBundle};
+use proptest::prelude::*;
+
+fn arb_vfd() -> impl Strategy<Value = VfdRecord> {
+    (
+        "[a-z]{1,6}",
+        "[a-z]{1,6}\\.h5",
+        0u64..1 << 30,
+        0u64..1 << 20,
+        prop::bool::ANY,
+        prop::bool::ANY,
+        0u64..1 << 40,
+    )
+        .prop_map(|(task, file, offset, len, write, meta, t)| VfdRecord {
+            task: TaskKey::new(task),
+            file: FileKey::new(file),
+            kind: if write { IoKind::Write } else { IoKind::Read },
+            offset,
+            len,
+            access: if meta {
+                AccessType::Metadata
+            } else {
+                AccessType::RawData
+            },
+            object: ObjectKey::new("/d"),
+            start: Timestamp(t),
+            end: Timestamp(t + 10),
+        })
+}
+
+fn arb_vol() -> impl Strategy<Value = VolRecord> {
+    ("[a-z]{1,6}", "[a-z]{1,6}\\.h5", "/[a-z]{1,10}").prop_map(|(task, file, object)| VolRecord {
+        task: TaskKey::new(task),
+        file: FileKey::new(file),
+        object: ObjectKey::new(object),
+        kind: ObjectKind::Dataset,
+        lifetimes: vec![Interval::new(Timestamp(1), Timestamp(2))],
+        description: ObjectDescription::default(),
+        accesses: vec![],
+    })
+}
+
+fn arb_file() -> impl Strategy<Value = FileRecord> {
+    ("[a-z]{1,6}", "[a-z]{1,6}\\.h5").prop_map(|(task, file)| FileRecord {
+        task: TaskKey::new(task),
+        file: FileKey::new(file),
+        lifetimes: vec![Interval::new(Timestamp(0), Timestamp(9))],
+        stats: Default::default(),
+    })
+}
+
+fn arb_bundle() -> impl Strategy<Value = TraceBundle> {
+    (
+        prop::collection::vec("[a-z]{1,6}", 0..5),
+        prop::collection::vec(arb_vfd(), 0..20),
+        prop::collection::vec(arb_vol(), 0..10),
+        prop::collection::vec(arb_file(), 0..6),
+    )
+        .prop_map(|(tasks, vfd, vol, files)| {
+            let mut b = TraceBundle::new("prop-section");
+            for t in tasks {
+                b.push_task(TaskKey::new(t));
+            }
+            b.vfd = vfd;
+            b.vol = vol;
+            b.files = files;
+            b
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The decoder is a fixpoint of the encoder.
+    #[test]
+    fn round_trip_fixpoint(b in arb_bundle()) {
+        let bytes = b.to_binary_bytes();
+        let back = decode_section(&bytes).unwrap();
+        prop_assert_eq!(back, b);
+    }
+
+    /// Cutting the section at any interior point yields a structured
+    /// error whose offset never exceeds the surviving byte count.
+    #[test]
+    fn every_cut_point_is_detected(b in arb_bundle(), cut_seed in 0usize..usize::MAX) {
+        let bytes = b.to_binary_bytes();
+        let cut = 1 + cut_seed % (bytes.len() - 1);
+        match decode_section(&bytes[..cut]) {
+            Ok(_) => prop_assert!(false, "prefix of {}/{} bytes decoded", cut, bytes.len()),
+            Err(e) => prop_assert!(e.offset <= cut as u64),
+        }
+    }
+
+    /// Flipping any single bit never panics: the decode returns an error
+    /// (with an in-range offset) or some other valid bundle.
+    #[test]
+    fn every_bit_flip_is_err_or_valid(b in arb_bundle(), flip_seed in 0usize..usize::MAX, bit in 0u8..8) {
+        let mut bytes = b.to_binary_bytes();
+        let pos = flip_seed % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        if let Err(e) = decode_section(&bytes) {
+            prop_assert!(e.offset <= bytes.len() as u64);
+        }
+    }
+
+    /// Splitting per task and re-merging the encoded sections in any
+    /// rotation reconstructs the original metadata and record counts.
+    #[test]
+    fn split_sections_remerge_in_any_rotation(b in arb_bundle(), rot in 0usize..8) {
+        let sections = b.split_per_task();
+        let n = sections.len();
+        let mut bytes = Vec::new();
+        for i in 0..n {
+            bytes.extend(sections[(i + rot % n) % n].to_binary_bytes());
+        }
+        let back = decode_section(&bytes).unwrap();
+        prop_assert_eq!(&back.meta, &b.meta);
+        prop_assert_eq!(back.vol.len(), b.vol.len());
+        prop_assert_eq!(back.vfd.len(), b.vfd.len());
+        prop_assert_eq!(back.files.len(), b.files.len());
+    }
+}

@@ -33,6 +33,7 @@ pub mod faulty;
 pub mod file;
 pub mod mem;
 pub mod replay;
+pub mod retry;
 
 pub use batch::{BatchCompletion, BatchOp, BatchOpKind, IoEngineConfig, IoEngineMode};
 pub use counting::{CountingVfd, LatencySampler, OpCounters};
@@ -41,6 +42,7 @@ pub use faulty::{ChaosRng, FaultInjector, FaultPlan, FaultSchedule, FaultyVfd};
 pub use file::FileVfd;
 pub use mem::{MemFs, MemVfd};
 pub use replay::{ReplayDivergence, ReplayEvent, ReplaySession, ReplayValidator, ReplayVfd};
+pub use retry::RetryPolicy;
 
 use dayu_trace::vfd::AccessType;
 use std::fmt;

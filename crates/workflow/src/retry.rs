@@ -6,104 +6,23 @@
 //! exponential backoff and deterministic jitter, up to an attempt cap and
 //! an optional per-task deadline.
 //!
-//! Only *driver I/O errors* ([`HdfError::Vfd`] wrapping [`VfdError::Io`])
-//! are retryable: they are the signature of environmental failure. Logical
+//! The backoff/deadline mechanics are the shared, error-agnostic
+//! [`RetryPolicy`] from `dayu-vfd` (also used by the `dayu-served` ingest
+//! path), re-exported here. What this module adds is the *classification*:
+//! only *driver I/O errors* ([`HdfError::Vfd`] wrapping [`VfdError::Io`])
+//! are retryable — they are the signature of environmental failure. Logical
 //! errors — missing objects, type mismatches, corrupt structures — are
 //! deterministic properties of the workflow and would fail identically on
 //! every attempt.
 
 use dayu_hdf::HdfError;
-use dayu_vfd::{ChaosRng, VfdError};
+use dayu_vfd::VfdError;
 
-/// How the runner retries a failed task.
-#[derive(Clone, Debug, PartialEq)]
-pub struct RetryPolicy {
-    /// Maximum attempts per task (1 = no retries).
-    pub max_attempts: u32,
-    /// Backoff before the second attempt, nanoseconds; doubles each
-    /// further attempt.
-    pub base_backoff_ns: u64,
-    /// Upper bound on a single backoff pause, nanoseconds.
-    pub max_backoff_ns: u64,
-    /// Jitter as a fraction of the backoff (`0.25` adds up to +25%),
-    /// drawn deterministically from the chaos seed so reruns are
-    /// reproducible.
-    pub jitter: f64,
-    /// Per-task wall-clock budget, nanoseconds. Checked cooperatively
-    /// between attempts: once exceeded, no further attempt starts. `None`
-    /// disables the deadline.
-    pub deadline_ns: Option<u64>,
-}
+pub use dayu_vfd::RetryPolicy;
 
-impl Default for RetryPolicy {
-    /// Three attempts, 100 µs base backoff capped at 10 ms, 25% jitter,
-    /// no deadline — fast enough for tests, shaped like production.
-    fn default() -> Self {
-        Self {
-            max_attempts: 3,
-            base_backoff_ns: 100_000,
-            max_backoff_ns: 10_000_000,
-            jitter: 0.25,
-            deadline_ns: None,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// No retries: a task gets exactly one attempt.
-    pub fn none() -> Self {
-        Self {
-            max_attempts: 1,
-            base_backoff_ns: 0,
-            max_backoff_ns: 0,
-            jitter: 0.0,
-            deadline_ns: None,
-        }
-    }
-
-    /// Sets the attempt cap (clamped to at least 1).
-    pub fn attempts(mut self, n: u32) -> Self {
-        self.max_attempts = n.max(1);
-        self
-    }
-
-    /// Sets the base and maximum backoff, nanoseconds.
-    pub fn with_backoff(mut self, base_ns: u64, max_ns: u64) -> Self {
-        self.base_backoff_ns = base_ns;
-        self.max_backoff_ns = max_ns;
-        self
-    }
-
-    /// Sets the per-task deadline, nanoseconds.
-    pub fn with_deadline_ns(mut self, ns: u64) -> Self {
-        self.deadline_ns = Some(ns);
-        self
-    }
-
-    /// Whether `err` is worth retrying (environmental I/O failures only).
-    pub fn retryable(err: &HdfError) -> bool {
-        matches!(err, HdfError::Vfd(VfdError::Io(_)))
-    }
-
-    /// Backoff before attempt `attempt + 1`, given that attempt `attempt`
-    /// (1-based) just failed: exponential in the attempt number, capped,
-    /// plus deterministic jitter derived from `jitter_seed`.
-    pub fn backoff_ns(&self, attempt: u32, jitter_seed: u64) -> u64 {
-        if self.base_backoff_ns == 0 {
-            return 0;
-        }
-        let exp = attempt.saturating_sub(1).min(32);
-        let base = self
-            .base_backoff_ns
-            .saturating_mul(1u64 << exp)
-            .min(self.max_backoff_ns.max(self.base_backoff_ns));
-        if self.jitter <= 0.0 {
-            return base;
-        }
-        let mut rng =
-            ChaosRng::new(jitter_seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        base + (base as f64 * self.jitter * rng.next_f64()) as u64
-    }
+/// Whether `err` is worth retrying (environmental I/O failures only).
+pub fn retryable(err: &HdfError) -> bool {
+    matches!(err, HdfError::Vfd(VfdError::Io(_)))
 }
 
 #[cfg(test)]
@@ -112,61 +31,24 @@ mod tests {
 
     #[test]
     fn retryable_classification() {
-        assert!(RetryPolicy::retryable(&HdfError::Vfd(VfdError::Io(
+        assert!(retryable(&HdfError::Vfd(VfdError::Io(
             std::io::Error::other("injected")
         ))));
-        assert!(!RetryPolicy::retryable(&HdfError::NotFound("x".into())));
-        assert!(!RetryPolicy::retryable(&HdfError::Corrupt("bad".into())));
-        assert!(!RetryPolicy::retryable(&HdfError::Vfd(VfdError::Closed)));
-        assert!(!RetryPolicy::retryable(&HdfError::Vfd(
-            VfdError::OutOfBounds {
-                offset: 0,
-                len: 1,
-                eof: 0
-            }
-        )));
+        assert!(!retryable(&HdfError::NotFound("x".into())));
+        assert!(!retryable(&HdfError::Corrupt("bad".into())));
+        assert!(!retryable(&HdfError::Vfd(VfdError::Closed)));
+        assert!(!retryable(&HdfError::Vfd(VfdError::OutOfBounds {
+            offset: 0,
+            len: 1,
+            eof: 0
+        })));
     }
 
     #[test]
-    fn backoff_grows_exponentially_and_caps() {
-        let p = RetryPolicy {
-            jitter: 0.0,
-            ..RetryPolicy::default()
-        };
-        assert_eq!(p.backoff_ns(1, 0), 100_000);
-        assert_eq!(p.backoff_ns(2, 0), 200_000);
-        assert_eq!(p.backoff_ns(3, 0), 400_000);
-        assert_eq!(p.backoff_ns(60, 0), 10_000_000, "capped at max");
-    }
-
-    #[test]
-    fn jitter_is_deterministic_and_bounded() {
-        let p = RetryPolicy::default();
-        let a = p.backoff_ns(2, 42);
-        let b = p.backoff_ns(2, 42);
-        assert_eq!(a, b, "same seed, same jitter");
-        let base = 200_000;
-        assert!((base..=base + base / 4).contains(&a), "{a}");
-        assert_ne!(p.backoff_ns(2, 42), p.backoff_ns(2, 43));
-    }
-
-    #[test]
-    fn none_policy_never_pauses() {
-        let p = RetryPolicy::none();
-        assert_eq!(p.max_attempts, 1);
-        assert_eq!(p.backoff_ns(1, 7), 0);
-    }
-
-    #[test]
-    fn builders() {
-        let p = RetryPolicy::none()
-            .attempts(5)
-            .with_backoff(10, 100)
-            .with_deadline_ns(1_000);
-        assert_eq!(p.max_attempts, 5);
-        assert_eq!(p.base_backoff_ns, 10);
-        assert_eq!(p.max_backoff_ns, 100);
-        assert_eq!(p.deadline_ns, Some(1_000));
-        assert_eq!(RetryPolicy::none().attempts(0).max_attempts, 1);
+    fn policy_reexport_is_the_shared_one() {
+        // The workflow-facing type must be literally the shared policy so
+        // served ingest and task retries can exchange configurations.
+        let p: dayu_vfd::RetryPolicy = RetryPolicy::default();
+        assert_eq!(p.max_attempts, 3);
     }
 }

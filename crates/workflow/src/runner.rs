@@ -370,7 +370,9 @@ fn run_task(
                     .retry
                     .deadline_ns
                     .is_some_and(|d| started.elapsed().as_nanos() as u64 >= d);
-                if RetryPolicy::retryable(&e) && attempts < opts.retry.max_attempts && !deadline_hit
+                if crate::retry::retryable(&e)
+                    && attempts < opts.retry.max_attempts
+                    && !deadline_hit
                 {
                     // A crashed "machine" rejects all I/O until revived;
                     // the fired-latch stays set, so the retry runs clean.

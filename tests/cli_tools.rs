@@ -469,3 +469,99 @@ fn dayu_analyze_rejects_missing_and_garbage_input() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
     std::fs::remove_dir_all(dir).unwrap();
 }
+
+#[test]
+fn dayu_analyze_serve_and_ingest_round_trip() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let dir = tmp_dir("serve");
+    let trace = dir.join("wf.dtb");
+    {
+        use dayu_trace::{
+            AccessType, FileKey, IoKind, ObjectKey, TaskKey, Timestamp, TraceBundle, VfdRecord,
+        };
+        let mut b = TraceBundle::new("wf-serve");
+        for t in ["produce", "consume"] {
+            b.push_task(TaskKey::new(t));
+        }
+        for (i, (task, kind)) in [("produce", IoKind::Write), ("consume", IoKind::Read)]
+            .iter()
+            .enumerate()
+        {
+            b.vfd.push(VfdRecord {
+                task: TaskKey::new(*task),
+                file: FileKey::new("data.h5"),
+                object: ObjectKey::new("/grid"),
+                kind: *kind,
+                offset: 0,
+                len: 4096,
+                access: AccessType::RawData,
+                start: Timestamp(i as u64 * 100),
+                end: Timestamp(i as u64 * 100 + 50),
+            });
+        }
+        std::fs::write(&trace, b.to_binary_bytes()).unwrap();
+    }
+
+    // Port 0: the kernel picks a free port; the server prints the bound
+    // address as its first output line.
+    let mut child = Command::new(bin("dayu-analyze"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--idle-shutdown-ms",
+            "1500",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn dayu-analyze serve");
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut first = String::new();
+    reader.read_line(&mut first).unwrap();
+    let addr = first
+        .trim()
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {first:?}"))
+        .to_string();
+
+    let out = Command::new(bin("dayu-analyze"))
+        .arg("ingest")
+        .arg(&trace)
+        .args(["--addr", &addr])
+        .output()
+        .expect("run dayu-analyze ingest");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{text}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("accepted"), "{text}");
+    assert!(
+        text.contains("2 accepted, 0 duplicates, 0 quarantined"),
+        "{text}"
+    );
+
+    // Re-ingesting the same trace is acknowledged as duplicates, not
+    // double-counted.
+    let out = Command::new(bin("dayu-analyze"))
+        .arg("ingest")
+        .arg(&trace)
+        .args(["--addr", &addr])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("(duplicate)"), "{text}");
+    assert!(text.contains("2 accepted, 2 duplicates"), "{text}");
+
+    // The server idles out, prints per-tenant stats, and exits cleanly.
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap();
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve exited with {status}: {rest}");
+    assert!(rest.contains("tenant wf-serve"), "{rest}");
+    assert!(rest.contains("2 accepted"), "{rest}");
+    std::fs::remove_dir_all(dir).unwrap();
+}
